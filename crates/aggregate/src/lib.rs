@@ -1,0 +1,27 @@
+//! Label aggregation over VirusTotal scan results.
+//!
+//! §3.1 of the paper surveys how the community turns 70 engine verdicts
+//! into one binary label: absolute thresholds (t = 1, 2, 10…),
+//! percentage thresholds (e.g. 50% of engines), and trusted-engine
+//! subsets. §6.2 models a sample's label history as a `B`/`M` sequence
+//! and asks when it stabilizes. This crate implements all of those as a
+//! small strategy library:
+//!
+//! * [`strategy`] — [`strategy::Aggregator`] implementations: absolute
+//!   threshold, percentage, trusted subset, weighted vote.
+//! * [`reliability`] — a *learned* weighted vote: per-engine log-odds
+//!   weights fitted from stabilized reference labels (the §8.1
+//!   direction that "engines should not be weighted equally").
+//! * [`sequence`] — label sequences and the suffix-stabilization search
+//!   used by the Fig. 9 analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reliability;
+pub mod sequence;
+pub mod strategy;
+
+pub use reliability::ReliabilityModel;
+pub use sequence::{stabilization_index, LabelSequence};
+pub use strategy::{Aggregator, Label, PercentageThreshold, Threshold, TrustedSubset, WeightedVote};

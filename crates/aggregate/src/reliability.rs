@@ -1,0 +1,232 @@
+//! Learned engine-reliability weighting (a Kantchelian-et-al.-style
+//! extension the paper points at in §3.1/§8.1: *"engines should not be
+//! weighted equally when processing their results"*).
+//!
+//! [`ReliabilityModel::fit`] estimates each engine's reliability from
+//! training pairs `(verdict vector, reference label)` — in practice the
+//! reference label is the sample's *final* label once its history has
+//! stabilized (§6) — and turns the per-engine true/false positive rates
+//! into log-odds votes (a naive-Bayes / weighted-majority scheme with
+//! Laplace smoothing):
+//!
+//! * an engine that flags: adds `ln(TPR / FPR)`;
+//! * an engine that clears: adds `ln((1−TPR) / (1−FPR))`;
+//! * an inactive engine abstains.
+//!
+//! The sample is labeled malicious when the total log-odds exceed the
+//! decision threshold (default 0: maximum-likelihood with equal
+//! priors). The `label_quality` example measures how much this improves
+//! first-scan labels over fixed-threshold voting.
+
+use crate::strategy::{Aggregator, Label};
+use vt_model::VerdictVec;
+
+/// Per-engine reliability estimates and the resulting vote weights.
+#[derive(Debug, Clone)]
+pub struct ReliabilityModel {
+    /// Per-engine log-weight applied when the engine flags.
+    flag_weight: Vec<f64>,
+    /// Per-engine log-weight applied when the engine clears.
+    clear_weight: Vec<f64>,
+    /// Per-engine estimated true-positive rate.
+    tpr: Vec<f64>,
+    /// Per-engine estimated false-positive rate.
+    fpr: Vec<f64>,
+    /// Decision threshold on the summed log-odds.
+    pub decision_threshold: f64,
+}
+
+impl ReliabilityModel {
+    /// Fits the model from training pairs. `engine_count` sizes the
+    /// tables; verdicts from engines beyond it are ignored.
+    ///
+    /// Counts are Laplace-smoothed (add-one), so engines with no
+    /// training coverage degrade to uninformative weights of 0 rather
+    /// than ±∞.
+    pub fn fit<'a, I>(engine_count: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a VerdictVec, Label)>,
+    {
+        // counts[e] = (flag&mal, active&mal, flag&ben, active&ben)
+        let mut flag_mal = vec![1.0f64; engine_count];
+        let mut active_mal = vec![2.0f64; engine_count];
+        let mut flag_ben = vec![1.0f64; engine_count];
+        let mut active_ben = vec![2.0f64; engine_count];
+        for (verdicts, label) in pairs {
+            for (e, v) in verdicts.iter() {
+                if e.index() >= engine_count {
+                    continue;
+                }
+                let Some(bit) = v.binary_label() else {
+                    continue;
+                };
+                match label {
+                    Label::Malicious => {
+                        active_mal[e.index()] += 1.0;
+                        flag_mal[e.index()] += bit as f64;
+                    }
+                    Label::Benign => {
+                        active_ben[e.index()] += 1.0;
+                        flag_ben[e.index()] += bit as f64;
+                    }
+                }
+            }
+        }
+        let mut tpr = Vec::with_capacity(engine_count);
+        let mut fpr = Vec::with_capacity(engine_count);
+        let mut flag_weight = Vec::with_capacity(engine_count);
+        let mut clear_weight = Vec::with_capacity(engine_count);
+        for e in 0..engine_count {
+            let tp = (flag_mal[e] / active_mal[e]).clamp(1e-4, 1.0 - 1e-4);
+            let fp = (flag_ben[e] / active_ben[e]).clamp(1e-4, 1.0 - 1e-4);
+            tpr.push(tp);
+            fpr.push(fp);
+            flag_weight.push((tp / fp).ln());
+            clear_weight.push(((1.0 - tp) / (1.0 - fp)).ln());
+        }
+        Self {
+            flag_weight,
+            clear_weight,
+            tpr,
+            fpr,
+            decision_threshold: 0.0,
+        }
+    }
+
+    /// The summed log-odds score of one verdict vector.
+    pub fn score(&self, verdicts: &VerdictVec) -> f64 {
+        let mut score = 0.0;
+        for (e, v) in verdicts.iter() {
+            if e.index() >= self.flag_weight.len() {
+                continue;
+            }
+            match v.binary_label() {
+                Some(1) => score += self.flag_weight[e.index()],
+                Some(_) => score += self.clear_weight[e.index()],
+                None => {}
+            }
+        }
+        score
+    }
+
+    /// Estimated true-positive rate of one engine.
+    pub fn engine_tpr(&self, engine: usize) -> f64 {
+        self.tpr[engine]
+    }
+
+    /// Estimated false-positive rate of one engine.
+    pub fn engine_fpr(&self, engine: usize) -> f64 {
+        self.fpr[engine]
+    }
+
+    /// Engines ranked by informativeness (|flag weight|), descending.
+    pub fn ranked_by_weight(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .flag_weight
+            .iter()
+            .enumerate()
+            .map(|(e, &w)| (e, w))
+            .collect();
+        v.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+        v
+    }
+}
+
+impl Aggregator for ReliabilityModel {
+    fn label(&self, verdicts: &VerdictVec) -> Label {
+        if self.score(verdicts) > self.decision_threshold {
+            Label::Malicious
+        } else {
+            Label::Benign
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("reliability(τ={})", self.decision_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::{EngineId, Verdict};
+
+    /// Three engines: #0 is an oracle, #1 flags everything, #2 is
+    /// anti-correlated (flags only benign).
+    fn training_data() -> Vec<(VerdictVec, Label)> {
+        let mut out = Vec::new();
+        for i in 0..200u32 {
+            let malicious = i % 2 == 0;
+            let mut v = VerdictVec::new(3);
+            v.set(EngineId(0), if malicious { Verdict::Malicious } else { Verdict::Benign });
+            v.set(EngineId(1), Verdict::Malicious);
+            v.set(EngineId(2), if malicious { Verdict::Benign } else { Verdict::Malicious });
+            out.push((
+                v,
+                if malicious { Label::Malicious } else { Label::Benign },
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_oracle_and_ignores_spammer() {
+        let data = training_data();
+        let model = ReliabilityModel::fit(3, data.iter().map(|(v, l)| (v, *l)));
+        // Oracle has high TPR, low FPR → large positive flag weight.
+        assert!(model.flag_weight[0] > 2.0, "{}", model.flag_weight[0]);
+        // The always-flags engine is uninformative: TPR ≈ FPR ≈ 1.
+        assert!(model.flag_weight[1].abs() < 0.2, "{}", model.flag_weight[1]);
+        // The anti-correlated engine gets a negative flag weight.
+        assert!(model.flag_weight[2] < -2.0, "{}", model.flag_weight[2]);
+        // Ranked: oracle and anti-oracle dominate.
+        let ranked = model.ranked_by_weight();
+        assert!(ranked[0].0 != 1 && ranked[1].0 != 1);
+    }
+
+    #[test]
+    fn classifies_training_distribution_perfectly() {
+        let data = training_data();
+        let model = ReliabilityModel::fit(3, data.iter().map(|(v, l)| (v, *l)));
+        for (v, expected) in &data {
+            assert_eq!(model.label(v), *expected);
+        }
+    }
+
+    #[test]
+    fn inactive_engines_abstain() {
+        let data = training_data();
+        let model = ReliabilityModel::fit(3, data.iter().map(|(v, l)| (v, *l)));
+        // Only the spammer active → score ≈ 0 → benign (≤ threshold).
+        let mut v = VerdictVec::new(3);
+        v.set(EngineId(1), Verdict::Malicious);
+        assert!(model.score(&v).abs() < 0.2);
+        let empty = VerdictVec::new(3);
+        assert_eq!(model.score(&empty), 0.0);
+        assert_eq!(model.label(&empty), Label::Benign);
+    }
+
+    #[test]
+    fn unseen_engine_degrades_gracefully() {
+        // Fit with zero training pairs: all weights 0, everything benign.
+        let model = ReliabilityModel::fit(4, std::iter::empty());
+        let mut v = VerdictVec::new(4);
+        v.set(EngineId(3), Verdict::Malicious);
+        assert_eq!(model.score(&v), 0.0);
+        assert_eq!(model.label(&v), Label::Benign);
+        assert_eq!(model.engine_tpr(3), 0.5);
+        assert_eq!(model.engine_fpr(3), 0.5);
+    }
+
+    #[test]
+    fn threshold_shifts_decision() {
+        let data = training_data();
+        let mut model = ReliabilityModel::fit(3, data.iter().map(|(v, l)| (v, *l)));
+        let mut v = VerdictVec::new(3);
+        v.set(EngineId(0), Verdict::Malicious);
+        assert_eq!(model.label(&v), Label::Malicious);
+        model.decision_threshold = 100.0;
+        assert_eq!(model.label(&v), Label::Benign);
+        assert!(model.name().contains("reliability"));
+    }
+}

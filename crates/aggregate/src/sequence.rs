@@ -1,0 +1,146 @@
+//! Label sequences and stabilization search (§6.2).
+//!
+//! For a sample with reports `r₁…rₙ` and an aggregation strategy, the
+//! label history is `C = [c₁…cₙ]`, cᵢ ∈ {B, M}. The paper "searches the
+//! label sequence to see if there is a moment from which all the labels
+//! no longer change". [`stabilization_index`] implements that search
+//! with the convention used throughout this reproduction: the stable
+//! suffix must contain **at least two observations** (a single final
+//! report is trivially 'unchanged' and says nothing about stability).
+
+use crate::strategy::{Aggregator, Label};
+use vt_model::ScanReport;
+
+/// A sample's aggregated label history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSequence {
+    labels: Vec<Label>,
+}
+
+impl LabelSequence {
+    /// Builds the sequence by aggregating each report in order.
+    pub fn from_reports<A: Aggregator>(reports: &[ScanReport], agg: &A) -> Self {
+        Self {
+            labels: reports.iter().map(|r| agg.label_report(r)).collect(),
+        }
+    }
+
+    /// Builds directly from labels (tests, synthetic sequences).
+    pub fn from_labels(labels: Vec<Label>) -> Self {
+        Self { labels }
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Length of the sequence.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The §6.2 string coding, e.g. `"BBMMM"`.
+    pub fn coded(&self) -> String {
+        self.labels.iter().map(|l| l.code()).collect()
+    }
+
+    /// Number of label changes between consecutive reports.
+    pub fn changes(&self) -> usize {
+        self.labels.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+/// Finds the stabilization point of a label sequence: the smallest
+/// index `i` such that `labels[i..]` is constant **and** contains at
+/// least two observations. Returns `None` if the sequence never
+/// stabilizes under that rule (including sequences shorter than 2).
+///
+/// # Examples
+///
+/// ```
+/// use vt_aggregate::{stabilization_index, Label};
+/// use Label::{Benign as B, Malicious as M};
+/// assert_eq!(stabilization_index(&[B, M, M, M]), Some(1));
+/// assert_eq!(stabilization_index(&[B, B, B]), Some(0));
+/// assert_eq!(stabilization_index(&[B, M]), None); // final singleton
+/// assert_eq!(stabilization_index(&[B]), None);
+/// ```
+pub fn stabilization_index(labels: &[Label]) -> Option<usize> {
+    if labels.len() < 2 {
+        return None;
+    }
+    // Walk backwards over the constant suffix.
+    let last = *labels.last().expect("len >= 2");
+    let mut start = labels.len() - 1;
+    while start > 0 && labels[start - 1] == last {
+        start -= 1;
+    }
+    // Suffix labels[start..] is the maximal constant suffix.
+    (labels.len() - start >= 2).then_some(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use Label::{Benign as B, Malicious as M};
+
+    #[test]
+    fn constant_sequences_stabilize_at_zero() {
+        assert_eq!(stabilization_index(&[B, B]), Some(0));
+        assert_eq!(stabilization_index(&[M, M, M, M]), Some(0));
+    }
+
+    #[test]
+    fn late_stabilization() {
+        assert_eq!(stabilization_index(&[B, M, B, M, M, M]), Some(3));
+        assert_eq!(stabilization_index(&[M, B, B]), Some(1));
+    }
+
+    #[test]
+    fn never_stabilizes() {
+        assert_eq!(stabilization_index(&[B, M]), None);
+        assert_eq!(stabilization_index(&[B, B, M]), None);
+        assert_eq!(stabilization_index(&[]), None);
+        assert_eq!(stabilization_index(&[B]), None);
+    }
+
+    #[test]
+    fn coded_string_and_changes() {
+        let seq = LabelSequence::from_labels(vec![B, B, M, M, B]);
+        assert_eq!(seq.coded(), "BBMMB");
+        assert_eq!(seq.changes(), 2);
+        assert_eq!(seq.len(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn suffix_is_constant_and_maximal(bits in proptest::collection::vec(any::<bool>(), 0..40)) {
+            let labels: Vec<Label> = bits.iter().map(|&b| if b { M } else { B }).collect();
+            match stabilization_index(&labels) {
+                Some(i) => {
+                    let suffix = &labels[i..];
+                    prop_assert!(suffix.len() >= 2);
+                    prop_assert!(suffix.iter().all(|&l| l == suffix[0]));
+                    // Maximality: extending the suffix breaks constancy.
+                    if i > 0 {
+                        prop_assert_ne!(labels[i - 1], suffix[0]);
+                    }
+                }
+                None => {
+                    // Either too short, or the constant suffix is a singleton.
+                    if labels.len() >= 2 {
+                        let last = labels[labels.len() - 1];
+                        prop_assert_ne!(labels[labels.len() - 2], last);
+                    }
+                }
+            }
+        }
+    }
+}

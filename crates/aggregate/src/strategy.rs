@@ -1,0 +1,207 @@
+//! Aggregation strategies: one binary label from 70 engine verdicts.
+
+use vt_model::{EngineId, ScanReport, VerdictVec};
+
+/// The aggregated binary label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Aggregated "benign" (coded `B` in §6.2).
+    Benign,
+    /// Aggregated "malicious" (coded `M` in §6.2).
+    Malicious,
+}
+
+impl Label {
+    /// The §6.2 letter coding.
+    pub fn code(self) -> char {
+        match self {
+            Label::Benign => 'B',
+            Label::Malicious => 'M',
+        }
+    }
+}
+
+/// An aggregation strategy: verdict vector → binary label.
+pub trait Aggregator {
+    /// Aggregates one verdict vector.
+    fn label(&self, verdicts: &VerdictVec) -> Label;
+
+    /// Convenience: aggregates a report.
+    fn label_report(&self, report: &ScanReport) -> Label {
+        self.label(&report.verdicts)
+    }
+
+    /// Human-readable name for report output.
+    fn name(&self) -> String;
+}
+
+/// Absolute-threshold voting (the method most papers use, §3.1/§5.4):
+/// malicious iff AV-Rank ≥ t.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threshold(pub u32);
+
+impl Aggregator for Threshold {
+    fn label(&self, verdicts: &VerdictVec) -> Label {
+        if verdicts.positives() >= self.0 {
+            Label::Malicious
+        } else {
+            Label::Benign
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("threshold(t={})", self.0)
+    }
+}
+
+/// Percentage-threshold voting (e.g. Duan et al., Feng et al.: 50% of
+/// engines): malicious iff positives ≥ fraction × active engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentageThreshold(pub f64);
+
+impl Aggregator for PercentageThreshold {
+    fn label(&self, verdicts: &VerdictVec) -> Label {
+        let active = verdicts.active_count();
+        if active == 0 {
+            return Label::Benign;
+        }
+        if verdicts.positives() as f64 >= self.0 * active as f64 {
+            Label::Malicious
+        } else {
+            Label::Benign
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("percentage({:.0}%)", self.0 * 100.0)
+    }
+}
+
+/// Trusted-subset voting (Drebin-style, §3.1: "select engines with a
+/// high reputation and rely solely on \[their\] reports"): malicious iff
+/// at least `min_hits` of the trusted engines flag.
+#[derive(Debug, Clone)]
+pub struct TrustedSubset {
+    /// The trusted engines.
+    pub engines: Vec<EngineId>,
+    /// Votes required among them.
+    pub min_hits: u32,
+}
+
+impl Aggregator for TrustedSubset {
+    fn label(&self, verdicts: &VerdictVec) -> Label {
+        let hits = self
+            .engines
+            .iter()
+            .filter(|&&e| verdicts.get(e).is_malicious())
+            .count() as u32;
+        if hits >= self.min_hits {
+            Label::Malicious
+        } else {
+            Label::Benign
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("trusted({} engines, ≥{})", self.engines.len(), self.min_hits)
+    }
+}
+
+/// Weighted voting (Kantchelian et al.-style): each engine carries a
+/// weight; malicious iff the flagged weight reaches `threshold`.
+/// Inactive engines contribute nothing.
+#[derive(Debug, Clone)]
+pub struct WeightedVote {
+    /// Per-engine weights, indexed by engine id.
+    pub weights: Vec<f64>,
+    /// Flagged-weight threshold.
+    pub threshold: f64,
+}
+
+impl Aggregator for WeightedVote {
+    fn label(&self, verdicts: &VerdictVec) -> Label {
+        let mut score = 0.0;
+        for (e, v) in verdicts.iter() {
+            if v.is_malicious() {
+                score += self.weights.get(e.index()).copied().unwrap_or(0.0);
+            }
+        }
+        if score >= self.threshold {
+            Label::Malicious
+        } else {
+            Label::Benign
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("weighted(τ={})", self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::Verdict;
+
+    fn verdicts(pattern: &[Verdict]) -> VerdictVec {
+        VerdictVec::from_verdicts(pattern)
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        use Verdict::*;
+        let v = verdicts(&[Malicious, Malicious, Benign, Benign]);
+        assert_eq!(Threshold(2).label(&v), Label::Malicious);
+        assert_eq!(Threshold(3).label(&v), Label::Benign);
+        assert_eq!(Threshold(0).label(&v), Label::Malicious); // degenerate: everything malicious
+        assert_eq!(Threshold(1).name(), "threshold(t=1)");
+    }
+
+    #[test]
+    fn percentage_uses_active_denominator() {
+        use Verdict::*;
+        // 2 malicious of 3 active (one undetected): 66% ≥ 50%.
+        let v = verdicts(&[Malicious, Malicious, Benign, Undetected]);
+        assert_eq!(PercentageThreshold(0.5).label(&v), Label::Malicious);
+        assert_eq!(PercentageThreshold(0.7).label(&v), Label::Benign);
+        // All undetected → benign, no divide-by-zero.
+        let empty = verdicts(&[Undetected, Undetected]);
+        assert_eq!(PercentageThreshold(0.5).label(&empty), Label::Benign);
+    }
+
+    #[test]
+    fn trusted_subset_ignores_others() {
+        use Verdict::*;
+        // Engines 0 and 1 trusted; only engine 2 flags → benign.
+        let v = verdicts(&[Benign, Benign, Malicious]);
+        let agg = TrustedSubset {
+            engines: vec![EngineId(0), EngineId(1)],
+            min_hits: 1,
+        };
+        assert_eq!(agg.label(&v), Label::Benign);
+        let v2 = verdicts(&[Malicious, Benign, Benign]);
+        assert_eq!(agg.label(&v2), Label::Malicious);
+    }
+
+    #[test]
+    fn weighted_vote_sums_weights() {
+        use Verdict::*;
+        let v = verdicts(&[Malicious, Malicious, Benign]);
+        let agg = WeightedVote {
+            weights: vec![0.9, 0.2, 5.0],
+            threshold: 1.0,
+        };
+        assert_eq!(agg.label(&v), Label::Malicious); // 1.1 ≥ 1.0
+        let tight = WeightedVote {
+            weights: vec![0.9, 0.05, 5.0],
+            threshold: 1.0,
+        };
+        assert_eq!(tight.label(&v), Label::Benign); // 0.95 < 1.0
+    }
+
+    #[test]
+    fn label_codes() {
+        assert_eq!(Label::Benign.code(), 'B');
+        assert_eq!(Label::Malicious.code(), 'M');
+    }
+}

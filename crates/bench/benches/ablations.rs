@@ -1,0 +1,201 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_store_codec` — packed column codec vs a naive fixed-size
+//!   row encoding (bytes written and encode/decode throughput).
+//! * `ablation_parallelism` — dataset generation with 1/2/4/8 workers.
+//! * `ablation_alias_sampling` — alias-method categorical sampling vs a
+//!   linear CDF scan over the 351-way file-type distribution.
+//! * `ablation_scale` — full pipeline runtime vs population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vt_bench::study;
+use vt_dynamics::Study;
+use vt_model::filetype::{FileType, TOTAL_TYPE_COUNT};
+use vt_sim::{AliasTable, SimConfig};
+use vt_store::codec::{decode_report, encode_report, RAW_REPORT_BYTES};
+
+fn ablation_store_codec(c: &mut Criterion) {
+    let study = study();
+    let reports: Vec<_> = study
+        .records()
+        .iter()
+        .flat_map(|r| r.reports.iter().copied())
+        .take(50_000)
+        .collect();
+    let mut group = c.benchmark_group("ablation_store_codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(reports.len() as u64));
+    group.bench_function("encode_packed", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(reports.len() * 40);
+            let mut prev = 0i64;
+            for r in &reports {
+                encode_report(&mut buf, r, prev);
+                prev = r.analysis_date.0;
+            }
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("decode_packed", |b| {
+        let mut buf = bytes::BytesMut::new();
+        let mut prev = 0i64;
+        for r in &reports {
+            encode_report(&mut buf, r, prev);
+            prev = r.analysis_date.0;
+        }
+        let frozen = buf.freeze();
+        b.iter(|| {
+            let mut cur = frozen.clone();
+            let mut prev = 0i64;
+            let mut count = 0u64;
+            while let Some((r, p)) = decode_report(&mut cur, prev) {
+                black_box(r);
+                prev = p;
+                count += 1;
+            }
+            assert_eq!(count as usize, reports.len());
+        })
+    });
+    // Report the compression win as a bench "measurement" via eprintln
+    // once (criterion has no direct artifact channel for this).
+    let mut buf = bytes::BytesMut::new();
+    let mut prev = 0i64;
+    for r in &reports {
+        encode_report(&mut buf, r, prev);
+        prev = r.analysis_date.0;
+    }
+    eprintln!(
+        "[ablation_store_codec] packed {} bytes vs naive {} bytes ({:.2}x)",
+        buf.len(),
+        RAW_REPORT_BYTES * reports.len() as u64,
+        RAW_REPORT_BYTES as f64 * reports.len() as f64 / buf.len() as f64
+    );
+    group.finish();
+}
+
+fn ablation_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallelism");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("generate_20k", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    black_box(Study::generate_with_workers(SimConfig::new(9, 20_000), w))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_alias_sampling(c: &mut Criterion) {
+    // The 351-way file-type distribution, as the population generator
+    // builds it.
+    let mut weights = vec![0.0f64; TOTAL_TYPE_COUNT];
+    for idx in 0..TOTAL_TYPE_COUNT {
+        let ft = FileType::from_dense_index(idx);
+        weights[idx] = ft.sample_share_ppm().max(1) as f64;
+    }
+    let table = AliasTable::new(&weights);
+    let total: f64 = weights.iter().sum();
+    let mut group = c.benchmark_group("ablation_alias_sampling");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("alias_method", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(table.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("linear_cdf_scan", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                let target = rng.gen::<f64>() * total;
+                let mut cum = 0.0;
+                let mut idx = weights.len() - 1;
+                for (i, &w) in weights.iter().enumerate() {
+                    cum += w;
+                    if cum >= target {
+                        idx = i;
+                        break;
+                    }
+                }
+                acc = acc.wrapping_add(idx);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn ablation_correlation_estimators(c: &mut Criterion) {
+    // Three ways to compute the §7.2 engine correlation on real verdict
+    // columns: the exact contingency-table Spearman shortcut (what the
+    // pipeline uses), the general rank-based Spearman, and Kendall τ-b.
+    let study = study();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 2];
+    let avast = study.sim().fleet().engine_by_name("Avast");
+    let avg = study.sim().fleet().engine_by_name("AVG");
+    for rec in study.records().iter().take(20_000) {
+        for rep in &rec.reports {
+            cols[0].push(rep.verdicts.get(avast).r_value() as f64);
+            cols[1].push(rep.verdicts.get(avg).r_value() as f64);
+        }
+    }
+    let mut group = c.benchmark_group("ablation_correlation_estimators");
+    group.throughput(Throughput::Elements(cols[0].len() as u64));
+    group.bench_function("contingency_spearman", |b| {
+        b.iter(|| {
+            let mut counts = [[0u64; 3]; 3];
+            for (&x, &y) in cols[0].iter().zip(&cols[1]) {
+                counts[(x as i8 + 1) as usize][(y as i8 + 1) as usize] += 1;
+            }
+            black_box(vt_dynamics::correlation::spearman_from_contingency(&counts))
+        })
+    });
+    group.bench_function("general_spearman", |b| {
+        b.iter(|| black_box(vt_stats::spearman(&cols[0], &cols[1])))
+    });
+    group.bench_function("kendall_tau_b", |b| {
+        b.iter(|| black_box(vt_stats::kendall_tau(&cols[0], &cols[1])))
+    });
+    group.finish();
+}
+
+fn ablation_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scale");
+    group.sample_size(10);
+    for samples in [5_000u64, 20_000, 60_000] {
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", samples),
+            &samples,
+            |b, &n| {
+                b.iter(|| {
+                    let study = Study::generate(SimConfig::new(4, n));
+                    black_box(study.run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_store_codec,
+    ablation_parallelism,
+    ablation_alias_sampling,
+    ablation_correlation_estimators,
+    ablation_scale
+);
+criterion_main!(benches);

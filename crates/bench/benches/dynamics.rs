@@ -1,0 +1,58 @@
+//! §5 benches: Fig. 2 (stable/dynamic split), Figs. 3–4 (stable-sample
+//! characterization), Fig. 5 (δ/Δ CDFs), Fig. 6 (per-type boxes),
+//! Fig. 7 (interval correlation), plus the §8.1 window sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vt_bench::{fresh_dynamic, study};
+use vt_dynamics::{intervals, metrics, stability};
+use vt_model::time::Duration;
+
+/// Figs. 2–4 — the §5.1–5.2 stability pass (one pass computes the
+/// split, the stable-rank CDF, and the span boxes).
+fn fig2_fig4_stability(c: &mut Criterion) {
+    let study = study();
+    let mut group = c.benchmark_group("stability");
+    group.sample_size(20);
+    group.bench_function("fig2_stable_dynamic_and_fig3_fig4", |b| {
+        b.iter(|| black_box(stability::analyze(study.records())))
+    });
+    group.finish();
+}
+
+/// Figs. 5–6 — δ/Δ metrics over *S*.
+fn fig5_fig6_metrics(c: &mut Criterion) {
+    let study = study();
+    let s = fresh_dynamic();
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(20);
+    group.bench_function("fig5_delta_cdf_and_fig6_per_type", |b| {
+        b.iter(|| black_box(metrics::analyze(study.records(), s)))
+    });
+    group.bench_function("sec81_window_sweep", |b| {
+        b.iter(|| {
+            black_box(metrics::window_growth_fraction(
+                study.records(),
+                s,
+                Duration::days(30),
+                Duration::days(90),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 7 — pairwise interval analysis + Spearman.
+fn fig7_intervals(c: &mut Criterion) {
+    let study = study();
+    let s = fresh_dynamic();
+    let mut group = c.benchmark_group("intervals");
+    group.sample_size(10);
+    group.bench_function("fig7_interval_corr", |b| {
+        b.iter(|| black_box(intervals::analyze(study.records(), s, 430)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2_fig4_stability, fig5_fig6_metrics, fig7_intervals);
+criterion_main!(benches);

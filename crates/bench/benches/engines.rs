@@ -1,0 +1,65 @@
+//! §5.5 + §7 benches: Obs. 7 (flip-cause attribution), Fig. 10
+//! (per-engine flip matrix), Fig. 11 (global correlation), Fig. 12 +
+//! Tables 4–8 (per-type correlation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vt_bench::{fresh_dynamic, study};
+use vt_dynamics::{causes, correlation, flips};
+use vt_model::FileType;
+
+fn obs7_flip_causes(c: &mut Criterion) {
+    let study = study();
+    let s = fresh_dynamic();
+    let mut group = c.benchmark_group("causes");
+    group.sample_size(10);
+    group.bench_function("obs7_flip_causes", |b| {
+        b.iter(|| black_box(causes::analyze(study.records(), s, study.sim().fleet())))
+    });
+    group.finish();
+}
+
+fn fig10_flip_matrix(c: &mut Criterion) {
+    let study = study();
+    let s = fresh_dynamic();
+    let engines = study.sim().fleet().engine_count();
+    let mut group = c.benchmark_group("flips");
+    group.sample_size(10);
+    group.bench_function("sec71_flip_counts_and_fig10_heatmap", |b| {
+        b.iter(|| black_box(flips::analyze(study.records(), s, engines)))
+    });
+    group.finish();
+}
+
+fn fig11_fig12_correlation(c: &mut Criterion) {
+    let study = study();
+    let s = fresh_dynamic();
+    let engines = study.sim().fleet().engine_count();
+    let mut group = c.benchmark_group("correlation");
+    group.sample_size(10);
+    group.bench_function("fig11_global_graph", |b| {
+        b.iter(|| black_box(correlation::analyze(study.records(), s, engines, None, 400_000)))
+    });
+    group.bench_function("fig12_win32exe_graph", |b| {
+        b.iter(|| {
+            black_box(correlation::analyze(
+                study.records(),
+                s,
+                engines,
+                Some(FileType::Win32Exe),
+                400_000,
+            ))
+        })
+    });
+    group.bench_function("tables4_8_groups", |b| {
+        b.iter(|| {
+            for ft in [FileType::Txt, FileType::Html, FileType::Zip, FileType::Pdf] {
+                black_box(correlation::analyze(study.records(), s, engines, Some(ft), 400_000));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs7_flip_causes, fig10_flip_matrix, fig11_fig12_correlation);
+criterion_main!(benches);

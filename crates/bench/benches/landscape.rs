@@ -1,0 +1,73 @@
+//! §3–§4 benches: Table 1 (API semantics), Table 2 (store accounting),
+//! Table 3 (file-type distribution), Fig. 1 (reports-per-sample CDF).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vt_bench::study;
+use vt_dynamics::landscape;
+use vt_engines::EngineFleet;
+use vt_model::time::{Date, Duration, Timestamp};
+use vt_model::{FileType, GroundTruth, SampleHash, SampleMeta};
+use vt_sim::SampleSession;
+use vt_store::ReportStore;
+
+/// Table 1 — one full upload/rescan/report API cycle.
+fn table1_api_semantics(c: &mut Criterion) {
+    let fleet = EngineFleet::with_seed(1);
+    let origin = Timestamp::from_date(Date::new(2021, 6, 1));
+    let meta = SampleMeta {
+        hash: SampleHash::from_ordinal(7),
+        file_type: FileType::Win32Exe,
+        origin,
+        first_submission: origin + Duration::days(3),
+        truth: GroundTruth::Malicious { detectability: 0.6 },
+    };
+    c.bench_function("table1_api_semantics", |b| {
+        b.iter(|| {
+            let t0 = meta.first_submission;
+            let (mut session, first) = SampleSession::open(&fleet, meta, t0);
+            let rescan = session.rescan(t0 + Duration::days(2));
+            let upload = session.upload(t0 + Duration::days(5));
+            let report = session.report();
+            black_box((first, rescan, upload, report))
+        })
+    });
+}
+
+/// Table 2 — load the full benchmark feed into the compressed,
+/// month-partitioned store and account per month.
+fn table2_monthly_volume(c: &mut Criterion) {
+    let study = study();
+    let mut group = c.benchmark_group("table2_monthly_volume");
+    group.sample_size(10);
+    group.bench_function("store_and_account", |b| {
+        b.iter(|| {
+            let store = ReportStore::new();
+            for rec in study.records() {
+                store.append_batch(&rec.reports);
+            }
+            store.seal();
+            black_box(store.partition_stats())
+        })
+    });
+    group.finish();
+}
+
+/// Table 3 + Fig. 1 — one pass dataset overview.
+fn table3_and_fig1(c: &mut Criterion) {
+    let study = study();
+    let window = study.sim().config().window_start();
+    c.bench_function("table3_filetypes", |b| {
+        b.iter(|| {
+            let stats = landscape::dataset_stats(study.records(), window);
+            black_box(stats.table3())
+        })
+    });
+    c.bench_function("fig1_reports_per_sample", |b| {
+        let stats = landscape::dataset_stats(study.records(), window);
+        b.iter(|| black_box(landscape::fig1_points(&stats)))
+    });
+}
+
+criterion_group!(benches, table1_api_semantics, table2_monthly_volume, table3_and_fig1);
+criterion_main!(benches);

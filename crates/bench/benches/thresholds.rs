@@ -1,0 +1,41 @@
+//! §5.4 + §6 benches: Fig. 8 (white/black/gray sweeps), Obs. 8
+//! (AV-Rank stabilization), Fig. 9 (label stabilization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vt_bench::{fresh_dynamic, study};
+use vt_dynamics::{categorize, stabilization};
+
+fn fig8_categorization(c: &mut Criterion) {
+    let study = study();
+    let s = fresh_dynamic();
+    let mut group = c.benchmark_group("categorize");
+    group.sample_size(20);
+    group.bench_function("fig8a_gray_overall", |b| {
+        b.iter(|| black_box(categorize::sweep(study.records(), s, false)))
+    });
+    group.bench_function("fig8b_gray_pe", |b| {
+        b.iter(|| black_box(categorize::sweep(study.records(), s, true)))
+    });
+    group.finish();
+}
+
+fn obs8_rank_stabilization(c: &mut Criterion) {
+    let study = study();
+    let s = fresh_dynamic();
+    let mut group = c.benchmark_group("stabilization");
+    group.sample_size(20);
+    group.bench_function("obs8_avrank_stability", |b| {
+        b.iter(|| black_box(stabilization::rank_stabilization(study.records(), s)))
+    });
+    group.bench_function("fig9a_label_stability_all", |b| {
+        b.iter(|| black_box(stabilization::label_stabilization(study.records(), s, false)))
+    });
+    group.bench_function("fig9b_label_stability_multi", |b| {
+        b.iter(|| black_box(stabilization::label_stabilization(study.records(), s, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8_categorization, obs8_rank_stabilization);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Every bench target regenerates one of the paper's tables or figures
+//! over the same seeded study, so criterion timings compare the cost of
+//! the analyses themselves, not dataset variance. [`study`] memoizes the
+//! generated dataset per process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+use vt_dynamics::freshdyn::{self, FreshDynamic};
+use vt_dynamics::Study;
+use vt_sim::SimConfig;
+
+/// Samples in the benchmark dataset. Large enough that the analyses are
+/// out of the noise floor, small enough for quick `cargo bench` runs.
+pub const BENCH_SAMPLES: u64 = 60_000;
+
+/// Benchmark seed.
+pub const BENCH_SEED: u64 = 0xBE5C;
+
+/// The memoized benchmark study.
+pub fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(SimConfig::new(BENCH_SEED, BENCH_SAMPLES)))
+}
+
+/// The memoized fresh dynamic set *S* for the benchmark study.
+pub fn fresh_dynamic() -> &'static FreshDynamic {
+    static S: OnceLock<FreshDynamic> = OnceLock::new();
+    S.get_or_init(|| {
+        let st = study();
+        freshdyn::build(st.records(), st.sim().config().window_start())
+    })
+}

@@ -1,0 +1,224 @@
+//! §5.5 — inferring causes of label dynamics (Obs. 7).
+//!
+//! For every per-engine label flip in *S* (a change between two
+//! consecutive *active* labels from the same engine), we attribute:
+//!
+//! * **engine update** — did the engine ship a model update in the
+//!   interval between the two scans? (paper: present in ~60% of flips);
+//! * **engine latency** — 0→1 flips are signature acquisitions (the
+//!   learning process the paper describes);
+//! * **engine activity** — separately, we count *gap consistency*: when
+//!   an engine goes inactive for a scan and returns, how often its
+//!   label matches the one before the gap (paper: "if these 'inactive'
+//!   engines give valid results, they are usually consistent").
+
+use crate::freshdyn::FreshDynamic;
+use crate::records::SampleRecord;
+use vt_engines::EngineFleet;
+use vt_model::EngineId;
+
+/// Outcome of the cause-attribution analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CauseAnalysis {
+    /// Total per-engine label flips observed.
+    pub flips: u64,
+    /// Flips 0→1 (acquisitions — the latency mechanism).
+    pub flips_up: u64,
+    /// Flips 1→0 (retractions).
+    pub flips_down: u64,
+    /// Flips with ≥1 engine update inside the scan interval.
+    pub update_coincident: u64,
+    /// Inactivity gaps where the engine returned with the same label.
+    pub gap_consistent: u64,
+    /// Inactivity gaps where the label changed across the gap.
+    pub gap_changed: u64,
+}
+
+impl CauseAnalysis {
+    /// Fraction of flips coinciding with an engine update (paper: ~60%).
+    pub fn update_fraction(&self) -> f64 {
+        if self.flips == 0 {
+            0.0
+        } else {
+            self.update_coincident as f64 / self.flips as f64
+        }
+    }
+
+    /// Fraction of inactivity gaps whose flanking labels agree.
+    pub fn gap_consistency(&self) -> f64 {
+        let total = self.gap_consistent + self.gap_changed;
+        if total == 0 {
+            0.0
+        } else {
+            self.gap_consistent as f64 / total as f64
+        }
+    }
+
+    /// Merge partitions.
+    pub fn merge(&mut self, o: &CauseAnalysis) {
+        self.flips += o.flips;
+        self.flips_up += o.flips_up;
+        self.flips_down += o.flips_down;
+        self.update_coincident += o.update_coincident;
+        self.gap_consistent += o.gap_consistent;
+        self.gap_changed += o.gap_changed;
+    }
+}
+
+/// Runs the cause attribution over *S* using the fleet's update
+/// schedules.
+pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, fleet: &EngineFleet) -> CauseAnalysis {
+    let mut a = CauseAnalysis::default();
+    let engines = fleet.engine_count();
+    for r in s.iter(records) {
+        for e in 0..engines {
+            let id = EngineId(e as u8);
+            // Walk the report sequence tracking the last *active* label
+            // and whether an inactivity gap intervened.
+            let mut last: Option<(u8, vt_model::Timestamp)> = None;
+            let mut gap_since_last = false;
+            for rep in &r.reports {
+                let verdict = rep.verdicts.get(id);
+                match verdict.binary_label() {
+                    None => {
+                        if last.is_some() {
+                            gap_since_last = true;
+                        }
+                    }
+                    Some(label) => {
+                        if let Some((prev, prev_t)) = last {
+                            if prev != label {
+                                a.flips += 1;
+                                if label == 1 {
+                                    a.flips_up += 1;
+                                } else {
+                                    a.flips_down += 1;
+                                }
+                                if fleet.schedule(id).updated_in(prev_t, rep.analysis_date) {
+                                    a.update_coincident += 1;
+                                }
+                            }
+                            if gap_since_last {
+                                if prev == label {
+                                    a.gap_consistent += 1;
+                                } else {
+                                    a.gap_changed += 1;
+                                }
+                            }
+                        }
+                        last = Some((label, rep.analysis_date));
+                        gap_since_last = false;
+                    }
+                }
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freshdyn;
+    use vt_model::time::{Date, Duration, Timestamp};
+    use vt_model::{
+        FileType, GroundTruth, ReportKind, SampleHash, SampleMeta, ScanReport, Verdict, VerdictVec,
+    };
+
+    /// Builds a record where engine 0 follows `labels` (M/B/U per scan)
+    /// and engine 1 stays benign (keeping the sample dynamic via
+    /// engine 0's changes).
+    fn record(labels: &[char], gap_days: i64) -> SampleRecord {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let first = window + Duration::days(5);
+        let meta = SampleMeta {
+            hash: SampleHash::from_ordinal(1),
+            file_type: FileType::Win32Exe,
+            origin: first,
+            first_submission: first,
+            truth: GroundTruth::Benign,
+        };
+        let reports = labels
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                let mut verdicts = VerdictVec::new(70);
+                verdicts.set(
+                    EngineId(0),
+                    match c {
+                        'M' => Verdict::Malicious,
+                        'B' => Verdict::Benign,
+                        _ => Verdict::Undetected,
+                    },
+                );
+                verdicts.set(EngineId(1), Verdict::Benign);
+                ScanReport {
+                    sample: meta.hash,
+                    file_type: FileType::Pdf,
+                    analysis_date: first + Duration::days(k as i64 * gap_days),
+                    last_submission_date: first,
+                    times_submitted: 1,
+                    kind: ReportKind::Upload,
+                    verdicts,
+                }
+            })
+            .collect();
+        SampleRecord::new(meta, reports)
+    }
+
+    fn run(labels: &[char], gap_days: i64) -> CauseAnalysis {
+        let records = vec![record(labels, gap_days)];
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let s = freshdyn::build(&records, window);
+        assert_eq!(s.len(), 1, "fixture must land in S");
+        let fleet = EngineFleet::with_seed(1);
+        analyze(&records, &s, &fleet)
+    }
+
+    #[test]
+    fn counts_up_and_down_flips() {
+        let a = run(&['B', 'M', 'M'], 1);
+        assert_eq!(a.flips, 1);
+        assert_eq!(a.flips_up, 1);
+        assert_eq!(a.flips_down, 0);
+
+        let b = run(&['M', 'M', 'B'], 1);
+        assert_eq!(b.flips, 1);
+        assert_eq!(b.flips_down, 1);
+    }
+
+    #[test]
+    fn undetected_scans_do_not_flip() {
+        // M U M: the gap is consistent, no flip.
+        let a = run(&['M', 'U', 'M'], 1);
+        assert_eq!(a.flips, 0);
+        assert_eq!(a.gap_consistent, 1);
+        assert_eq!(a.gap_changed, 0);
+        assert_eq!(a.gap_consistency(), 1.0);
+
+        // M U B: gap with a change — one flip (M→B across the gap).
+        let b = run(&['M', 'U', 'B'], 1);
+        assert_eq!(b.flips, 1);
+        assert_eq!(b.gap_changed, 1);
+    }
+
+    #[test]
+    fn long_interval_flips_coincide_with_updates() {
+        // With a 60-day gap, every engine's update schedule fires in
+        // between, so the flip is update-coincident.
+        let a = run(&['B', 'M'], 60);
+        assert_eq!(a.flips, 1);
+        assert_eq!(a.update_coincident, 1);
+        assert_eq!(a.update_fraction(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = run(&['B', 'M'], 1);
+        let b = run(&['M', 'B'], 1);
+        a.merge(&b);
+        assert_eq!(a.flips, 2);
+        assert_eq!(a.flips_up, 1);
+        assert_eq!(a.flips_down, 1);
+    }
+}

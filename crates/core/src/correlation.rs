@@ -1,0 +1,315 @@
+//! §7.2 — engine correlation (Obs. 11, Figs. 11–12, Tables 4–8).
+//!
+//! The scan matrix `R` has one row per scan and one column per engine,
+//! with entries in {1, 0, −1} (Eq. 1). For every pair of engine columns
+//! we compute the Spearman correlation; pairs with ρ > 0.8 are *strongly
+//! correlated*, and the connected components of the strong-pair graph
+//! are the engine groups of Tables 4–8.
+//!
+//! Because each column takes only three values, we compute the exact
+//! tie-corrected Spearman from the 3×3 contingency table of each pair —
+//! O(n) per pair with no rank arrays — and verify the shortcut against
+//! the general implementation in `vt-stats`.
+
+use crate::freshdyn::FreshDynamic;
+use crate::records::SampleRecord;
+use vt_model::{EngineId, FileType};
+
+/// Correlation threshold for "strongly correlated" (the paper's 0.8).
+pub const STRONG_RHO: f64 = 0.8;
+
+/// Result of the correlation analysis for one scope.
+#[derive(Debug, Clone)]
+pub struct CorrelationAnalysis {
+    /// Scope: `None` = all of *S* (Fig. 11); `Some(ft)` = one file type
+    /// (Fig. 12, Tables 4–8).
+    pub scope: Option<FileType>,
+    /// Number of engines.
+    pub engine_count: usize,
+    /// Rows of `R` used.
+    pub rows: u64,
+    /// Full ρ matrix, row-major `engine_count × engine_count`; `NaN`
+    /// where undefined (constant column).
+    pub rho: Vec<f64>,
+    /// Pairs with ρ > [`STRONG_RHO`], sorted by descending ρ.
+    pub strong_pairs: Vec<(EngineId, EngineId, f64)>,
+    /// Connected components of the strong-pair graph with ≥2 members,
+    /// each sorted by engine index; components sorted by size then
+    /// first member.
+    pub groups: Vec<Vec<EngineId>>,
+}
+
+impl CorrelationAnalysis {
+    /// ρ between two engines (NaN when undefined).
+    pub fn rho_between(&self, a: EngineId, b: EngineId) -> f64 {
+        self.rho[a.index() * self.engine_count + b.index()]
+    }
+}
+
+/// Spearman ρ between two three-valued columns given their 3×3
+/// contingency table. `counts[i][j]` counts rows with
+/// `x = i as i8 - 1`, `y = j as i8 - 1`. Returns `None` when either
+/// margin is constant.
+pub fn spearman_from_contingency(counts: &[[u64; 3]; 3]) -> Option<f64> {
+    let n: u64 = counts.iter().flatten().sum();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    // Margins.
+    let mut row: [f64; 3] = [0.0; 3];
+    let mut col: [f64; 3] = [0.0; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            row[i] += counts[i][j] as f64;
+            col[j] += counts[i][j] as f64;
+        }
+    }
+    // Average ranks per value group (1-based fractional ranks).
+    let rank_of = |margin: &[f64; 3]| -> [f64; 3] {
+        let mut out = [0.0; 3];
+        let mut below = 0.0;
+        for v in 0..3 {
+            out[v] = below + (margin[v] + 1.0) / 2.0;
+            below += margin[v];
+        }
+        out
+    };
+    let rx = rank_of(&row);
+    let ry = rank_of(&col);
+    // Pearson over ranks. Mean rank is (n+1)/2 on both sides.
+    let mean = (nf + 1.0) / 2.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..3 {
+        let dx = rx[i] - mean;
+        sxx += row[i] * dx * dx;
+        let dy = ry[i] - mean;
+        syy += col[i] * dy * dy;
+        for j in 0..3 {
+            sxy += counts[i][j] as f64 * dx * (ry[j] - mean);
+        }
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Runs the correlation analysis over *S* (optionally restricted to one
+/// file type). At most `max_rows` scan rows are used (rows are taken in
+/// deterministic record order).
+pub fn analyze(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    engine_count: usize,
+    scope: Option<FileType>,
+    max_rows: usize,
+) -> CorrelationAnalysis {
+    // Collect columns: one Vec<i8> per engine.
+    let mut columns: Vec<Vec<i8>> = vec![Vec::new(); engine_count];
+    let mut rows = 0u64;
+    'outer: for rec in s.iter(records) {
+        if let Some(ft) = scope {
+            if rec.meta.file_type != ft {
+                continue;
+            }
+        }
+        for rep in &rec.reports {
+            if rows as usize >= max_rows {
+                break 'outer;
+            }
+            for e in 0..engine_count {
+                columns[e].push(rep.verdicts.get(EngineId(e as u8)).r_value());
+            }
+            rows += 1;
+        }
+    }
+
+    let mut rho = vec![f64::NAN; engine_count * engine_count];
+    let mut strong_pairs = Vec::new();
+    for a in 0..engine_count {
+        rho[a * engine_count + a] = 1.0;
+        for b in (a + 1)..engine_count {
+            let mut counts = [[0u64; 3]; 3];
+            for (&x, &y) in columns[a].iter().zip(&columns[b]) {
+                counts[(x + 1) as usize][(y + 1) as usize] += 1;
+            }
+            let r = spearman_from_contingency(&counts).unwrap_or(f64::NAN);
+            rho[a * engine_count + b] = r;
+            rho[b * engine_count + a] = r;
+            if r > STRONG_RHO {
+                strong_pairs.push((EngineId(a as u8), EngineId(b as u8), r));
+            }
+        }
+    }
+    strong_pairs.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite"));
+
+    // Connected components over strong pairs (union-find).
+    let mut parent: Vec<usize> = (0..engine_count).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(a, b, _) in &strong_pairs {
+        let ra = find(&mut parent, a.index());
+        let rb = find(&mut parent, b.index());
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut comp: std::collections::HashMap<usize, Vec<EngineId>> = std::collections::HashMap::new();
+    for e in 0..engine_count {
+        let root = find(&mut parent, e);
+        comp.entry(root).or_default().push(EngineId(e as u8));
+    }
+    let mut groups: Vec<Vec<EngineId>> = comp.into_values().filter(|g| g.len() >= 2).collect();
+    for g in &mut groups {
+        g.sort_by_key(|e| e.index());
+    }
+    groups.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].index().cmp(&b[0].index())));
+
+    CorrelationAnalysis {
+        scope,
+        engine_count,
+        rows,
+        rho,
+        strong_pairs,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freshdyn;
+    use proptest::prelude::*;
+    use vt_model::time::{Date, Duration, Timestamp};
+    use vt_model::{
+        GroundTruth, ReportKind, SampleHash, SampleMeta, ScanReport, Verdict, VerdictVec,
+    };
+
+    #[test]
+    fn contingency_matches_general_spearman() {
+        // Deterministic mixed data.
+        let xs: Vec<i8> = (0..200).map(|i| ((i * 7 + 3) % 3) as i8 - 1).collect();
+        let ys: Vec<i8> = (0..200)
+            .map(|i| if i % 4 == 0 { ((i * 5) % 3) as i8 - 1 } else { xs[i] })
+            .collect();
+        let mut counts = [[0u64; 3]; 3];
+        for (&x, &y) in xs.iter().zip(&ys) {
+            counts[(x + 1) as usize][(y + 1) as usize] += 1;
+        }
+        let fast = spearman_from_contingency(&counts).unwrap();
+        let xf: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        let yf: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+        let general = vt_stats::spearman(&xf, &yf).unwrap();
+        assert!((fast - general).abs() < 1e-12, "{fast} vs {general}");
+    }
+
+    proptest! {
+        #[test]
+        fn contingency_shortcut_is_exact(
+            data in proptest::collection::vec((0u8..3, 0u8..3), 2..300)
+        ) {
+            let mut counts = [[0u64; 3]; 3];
+            for &(x, y) in &data {
+                counts[x as usize][y as usize] += 1;
+            }
+            let fast = spearman_from_contingency(&counts);
+            let xf: Vec<f64> = data.iter().map(|&(x, _)| x as f64).collect();
+            let yf: Vec<f64> = data.iter().map(|&(_, y)| y as f64).collect();
+            let general = vt_stats::spearman(&xf, &yf);
+            match (fast, general) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b),
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "disagree: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
+    /// Two samples with 4 engines: engines 0 and 1 identical (copiers),
+    /// engine 2 anti-correlated with 0, engine 3 independent-ish.
+    fn fixture() -> (Vec<SampleRecord>, FreshDynamic) {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let first = window + Duration::days(5);
+        let mut records = Vec::new();
+        for i in 0..6u64 {
+            let meta = SampleMeta {
+                hash: SampleHash::from_ordinal(i),
+                file_type: if i % 2 == 0 { FileType::Win32Exe } else { FileType::Pdf },
+                origin: first,
+                first_submission: first,
+                truth: GroundTruth::Benign,
+            };
+            let reports: Vec<ScanReport> = (0..4)
+                .map(|k| {
+                    let bit = (i + k) % 2 == 0;
+                    let mut verdicts = VerdictVec::new(4);
+                    let v = |b: bool| if b { Verdict::Malicious } else { Verdict::Benign };
+                    verdicts.set(EngineId(0), v(bit));
+                    verdicts.set(EngineId(1), v(bit));
+                    verdicts.set(EngineId(2), v(!bit));
+                    verdicts.set(
+                        EngineId(3),
+                        if (i * 3 + k) % 3 == 0 { Verdict::Undetected } else { v(k % 2 == 0) },
+                    );
+                    ScanReport {
+                        sample: meta.hash,
+                        file_type: FileType::Pdf,
+                        analysis_date: first + Duration::days(k as i64),
+                        last_submission_date: first,
+                        times_submitted: 1,
+                        kind: ReportKind::Upload,
+                        verdicts,
+                    }
+                })
+                .collect();
+            records.push(SampleRecord::new(meta, reports));
+        }
+        let s = freshdyn::build(&records, window);
+        (records, s)
+    }
+
+    #[test]
+    fn copier_pair_is_strong_and_grouped() {
+        let (records, s) = fixture();
+        assert!(!s.is_empty());
+        let a = analyze(&records, &s, 4, None, 10_000);
+        assert!(a.rho_between(EngineId(0), EngineId(1)) > 0.99);
+        assert!(a.rho_between(EngineId(0), EngineId(2)) < -0.99);
+        assert!(a
+            .strong_pairs
+            .iter()
+            .any(|&(x, y, _)| (x, y) == (EngineId(0), EngineId(1))));
+        // Anti-correlation is NOT a strong pair.
+        assert!(!a
+            .strong_pairs
+            .iter()
+            .any(|&(x, y, _)| (x, y) == (EngineId(0), EngineId(2))));
+        assert!(a.groups.iter().any(|g| g.contains(&EngineId(0)) && g.contains(&EngineId(1))));
+        // Diagonal is 1.
+        assert_eq!(a.rho_between(EngineId(3), EngineId(3)), 1.0);
+    }
+
+    #[test]
+    fn scope_filters_rows() {
+        let (records, s) = fixture();
+        let all = analyze(&records, &s, 4, None, 10_000);
+        let exe = analyze(&records, &s, 4, Some(FileType::Win32Exe), 10_000);
+        assert!(exe.rows < all.rows);
+        assert!(exe.rows > 0);
+        assert_eq!(exe.scope, Some(FileType::Win32Exe));
+    }
+
+    #[test]
+    fn max_rows_caps() {
+        let (records, s) = fixture();
+        let capped = analyze(&records, &s, 4, None, 5);
+        assert_eq!(capped.rows, 5);
+    }
+}

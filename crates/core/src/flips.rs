@@ -1,0 +1,238 @@
+//! §7.1 — per-engine label flips (Obs. 10, Fig. 10).
+//!
+//! An engine's label sequence for a sample is its consecutive *active*
+//! labels (`Undetected` scans are skipped — counting them as benign
+//! would manufacture hazard flips that the real data does not contain).
+//! A **flip** is `0→1` or `1→0` between consecutive labels; a **hazard
+//! flip** is `0→1→0` or `1→0→1` over three consecutive labels. The
+//! paper counts 16,838,818 flips (12.27 M up / 4.57 M down ≈ 2.7 : 1)
+//! and — against prior work — only **9** hazard flips.
+//!
+//! Fig. 10's flip ratio for (engine, type) is flips per adjacent label
+//! pair, i.e. `flips / opportunities`.
+
+use crate::freshdyn::FreshDynamic;
+use crate::records::SampleRecord;
+use vt_model::{EngineId, FileType};
+
+/// Flip accounting for one (engine, file-type) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlipCell {
+    /// Adjacent active-label pairs observed.
+    pub opportunities: u64,
+    /// Label changes.
+    pub flips: u64,
+}
+
+impl FlipCell {
+    /// Fig. 10's flip ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            self.flips as f64 / self.opportunities as f64
+        }
+    }
+}
+
+/// Outcome of the flip analysis.
+#[derive(Debug, Clone)]
+pub struct FlipAnalysis {
+    /// Engines analyzed.
+    pub engine_count: usize,
+    /// Cells: `matrix[engine][type_dense_index]` over the top-20 types.
+    pub matrix: Vec<[FlipCell; 20]>,
+    /// Total flips.
+    pub flips: u64,
+    /// 0→1 flips.
+    pub flips_up: u64,
+    /// 1→0 flips.
+    pub flips_down: u64,
+    /// Hazard flips (0→1→0 or 1→0→1 over consecutive labels).
+    pub hazard_flips: u64,
+    /// Reports contributing label observations.
+    pub reports: u64,
+}
+
+impl FlipAnalysis {
+    /// Flip ratio of one engine on one type.
+    pub fn ratio(&self, engine: EngineId, ft: FileType) -> f64 {
+        self.matrix[engine.index()][ft.dense_index()].ratio()
+    }
+
+    /// An engine's flip ratio across all types.
+    pub fn engine_ratio(&self, engine: EngineId) -> f64 {
+        let mut total = FlipCell::default();
+        for cell in &self.matrix[engine.index()] {
+            total.opportunities += cell.opportunities;
+            total.flips += cell.flips;
+        }
+        total.ratio()
+    }
+
+    /// Engines ranked by overall flip ratio, descending.
+    pub fn ranked_engines(&self) -> Vec<(EngineId, f64)> {
+        let mut v: Vec<(EngineId, f64)> = (0..self.engine_count)
+            .map(|e| (EngineId(e as u8), self.engine_ratio(EngineId(e as u8))))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        v
+    }
+}
+
+/// Runs the flip analysis over *S*.
+pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, engine_count: usize) -> FlipAnalysis {
+    let mut a = FlipAnalysis {
+        engine_count,
+        matrix: vec![[FlipCell::default(); 20]; engine_count],
+        flips: 0,
+        flips_up: 0,
+        flips_down: 0,
+        hazard_flips: 0,
+        reports: 0,
+    };
+    for rec in s.iter(records) {
+        let type_idx = rec.meta.file_type.dense_index();
+        debug_assert!(type_idx < 20);
+        a.reports += rec.report_count() as u64;
+        for e in 0..engine_count {
+            let id = EngineId(e as u8);
+            let mut prev: Option<u8> = None;
+            let mut prev_prev: Option<u8> = None;
+            for rep in &rec.reports {
+                let Some(label) = rep.verdicts.get(id).binary_label() else {
+                    continue;
+                };
+                if let Some(p) = prev {
+                    let cell = &mut a.matrix[e][type_idx];
+                    cell.opportunities += 1;
+                    if p != label {
+                        cell.flips += 1;
+                        a.flips += 1;
+                        if label == 1 {
+                            a.flips_up += 1;
+                        } else {
+                            a.flips_down += 1;
+                        }
+                        // Hazard: the previous transition went the other
+                        // way (pp → p → label with pp == label ≠ p).
+                        if prev_prev == Some(label) {
+                            a.hazard_flips += 1;
+                        }
+                    }
+                }
+                prev_prev = prev;
+                prev = Some(label);
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freshdyn;
+    use vt_model::time::{Date, Duration, Timestamp};
+    use vt_model::{
+        GroundTruth, ReportKind, SampleHash, SampleMeta, ScanReport, Verdict, VerdictVec,
+    };
+
+    /// Engine 0 follows `labels`; engine 1 alternates to keep the sample
+    /// dynamic regardless of engine 0's pattern.
+    fn record(i: u64, ft: FileType, labels: &[char]) -> SampleRecord {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let first = window + Duration::days(5);
+        let meta = SampleMeta {
+            hash: SampleHash::from_ordinal(i),
+            file_type: ft,
+            origin: first,
+            first_submission: first,
+            truth: GroundTruth::Benign,
+        };
+        let reports = labels
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                let mut verdicts = VerdictVec::new(4);
+                verdicts.set(
+                    EngineId(0),
+                    match c {
+                        'M' => Verdict::Malicious,
+                        'B' => Verdict::Benign,
+                        _ => Verdict::Undetected,
+                    },
+                );
+                verdicts.set(
+                    EngineId(1),
+                    if k % 2 == 0 { Verdict::Malicious } else { Verdict::Benign },
+                );
+                ScanReport {
+                    sample: meta.hash,
+                    file_type: FileType::Pdf,
+                    analysis_date: first + Duration::days(k as i64),
+                    last_submission_date: first,
+                    times_submitted: 1,
+                    kind: ReportKind::Upload,
+                    verdicts,
+                }
+            })
+            .collect();
+        SampleRecord::new(meta, reports)
+    }
+
+    fn run(records: Vec<SampleRecord>) -> FlipAnalysis {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let s = freshdyn::build(&records, window);
+        assert_eq!(s.len(), records.len(), "fixtures must land in S");
+        analyze(&records, &s, 4)
+    }
+
+    #[test]
+    fn counts_flips_and_opportunities() {
+        let a = run(vec![record(0, FileType::Win32Exe, &['B', 'M', 'M'])]);
+        let cell = a.matrix[0][FileType::Win32Exe.dense_index()];
+        assert_eq!(cell.opportunities, 2);
+        assert_eq!(cell.flips, 1);
+        assert!((a.ratio(EngineId(0), FileType::Win32Exe) - 0.5).abs() < 1e-12);
+        // Engine 1 alternates M,B,M: 2 flips, 1 hazard.
+        assert_eq!(a.matrix[1][FileType::Win32Exe.dense_index()].flips, 2);
+        assert_eq!(a.hazard_flips, 1);
+        assert_eq!(a.flips, 3);
+        assert_eq!(a.flips_up, 2); // B→M (engine 0), B→M (engine 1)
+        assert_eq!(a.flips_down, 1);
+    }
+
+    #[test]
+    fn undetected_does_not_create_hazard() {
+        // M U B M: active labels M,B,M → 2 flips, 1 hazard. But
+        // M U M B: active labels M,M,B → 1 flip, 0 hazards.
+        let a = run(vec![record(0, FileType::Pdf, &['M', 'U', 'M', 'B'])]);
+        let cell = a.matrix[0][FileType::Pdf.dense_index()];
+        assert_eq!(cell.opportunities, 2);
+        assert_eq!(cell.flips, 1);
+        // engine 1 pattern M,B,M,B: 3 flips 2 hazards.
+        assert_eq!(a.hazard_flips, 2);
+    }
+
+    #[test]
+    fn ranked_engines_descending() {
+        let a = run(vec![record(0, FileType::Zip, &['M', 'M', 'M', 'M'])]);
+        // Engine 1 alternates (ratio 1.0); engine 0 constant (0.0).
+        let ranked = a.ranked_engines();
+        assert_eq!(ranked[0].0, EngineId(1));
+        assert!(ranked[0].1 > ranked[1].1);
+        assert_eq!(a.engine_ratio(EngineId(0)), 0.0);
+    }
+
+    #[test]
+    fn per_type_cells_are_separate() {
+        let a = run(vec![
+            record(0, FileType::Zip, &['B', 'M', 'M']),
+            record(1, FileType::Pdf, &['M', 'M']),
+        ]);
+        assert_eq!(a.matrix[0][FileType::Zip.dense_index()].flips, 1);
+        assert_eq!(a.matrix[0][FileType::Pdf.dense_index()].flips, 0);
+        assert_eq!(a.matrix[0][FileType::Pdf.dense_index()].opportunities, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! §5.3.1 — construction of the fresh dynamic dataset *S*.
+//!
+//! *S* contains samples that are (i) **fresh** — first submitted inside
+//! the collection window, so their label history is observed from the
+//! beginning; (ii) **dynamic** — Δ > 0 over multiple scans; and (iii)
+//! of one of the **top-20 file types**. In the paper S holds 32,051,433
+//! samples / 109,142,027 reports.
+
+use crate::records::SampleRecord;
+use vt_model::time::Timestamp;
+
+/// The fresh dynamic dataset: indices into the record slice.
+#[derive(Debug, Clone)]
+pub struct FreshDynamic {
+    /// Indices of the records in *S*.
+    pub indices: Vec<usize>,
+    /// Total reports across *S*.
+    pub reports: u64,
+}
+
+impl FreshDynamic {
+    /// Number of samples in *S*.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when *S* is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterates the records of *S*.
+    pub fn iter<'a>(&'a self, records: &'a [SampleRecord]) -> impl Iterator<Item = &'a SampleRecord> {
+        self.indices.iter().map(move |&i| &records[i])
+    }
+}
+
+/// Builds *S* from the full record set.
+pub fn build(records: &[SampleRecord], window_start: Timestamp) -> FreshDynamic {
+    let mut indices = Vec::new();
+    let mut reports = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        if !r.meta.file_type.is_top20() {
+            continue;
+        }
+        if !r.meta.is_fresh(window_start) {
+            continue;
+        }
+        if !r.is_multi_report() || r.is_stable() {
+            continue;
+        }
+        indices.push(i);
+        reports += r.report_count() as u64;
+    }
+    FreshDynamic { indices, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Duration};
+    use vt_model::{
+        EngineId, FileType, GroundTruth, ReportKind, SampleHash, SampleMeta, ScanReport, Verdict,
+        VerdictVec,
+    };
+
+    fn record(i: u64, ft: FileType, fresh: bool, positives_seq: &[u32]) -> SampleRecord {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let first = if fresh {
+            window + Duration::days(30)
+        } else {
+            window - Duration::days(30)
+        };
+        let meta = SampleMeta {
+            hash: SampleHash::from_ordinal(i),
+            file_type: ft,
+            origin: first - Duration::days(2),
+            first_submission: first,
+            truth: GroundTruth::Benign,
+        };
+        let reports = positives_seq
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| {
+                let mut verdicts = VerdictVec::new(70);
+                for e in 0..p {
+                    verdicts.set(EngineId(e as u8), Verdict::Malicious);
+                }
+                ScanReport {
+                    sample: meta.hash,
+                    file_type: FileType::Pdf,
+                    analysis_date: window + Duration::days(31 + k as i64),
+                    last_submission_date: first,
+                    times_submitted: 1,
+                    kind: ReportKind::Upload,
+                    verdicts,
+                }
+            })
+            .collect();
+        SampleRecord::new(meta, reports)
+    }
+
+    #[test]
+    fn applies_all_three_filters() {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let records = vec![
+            record(0, FileType::Win32Exe, true, &[1, 3]),   // in S
+            record(1, FileType::Win32Exe, false, &[1, 3]),  // not fresh
+            record(2, FileType::Other(0), true, &[1, 3]),   // not top-20
+            record(3, FileType::Null, true, &[1, 3]),       // not top-20
+            record(4, FileType::Win32Exe, true, &[3, 3]),   // stable
+            record(5, FileType::Win32Exe, true, &[3]),      // single report
+            record(6, FileType::Pdf, true, &[0, 2, 1]),     // in S
+        ];
+        let s = build(&records, window);
+        assert_eq!(s.indices, vec![0, 6]);
+        assert_eq!(s.reports, 5);
+        assert_eq!(s.len(), 2);
+        let collected: Vec<u64> = s
+            .iter(&records)
+            .map(|r| r.meta.hash.seed64())
+            .collect();
+        assert_eq!(collected.len(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! §5.3.2–§5.3.4 — the dynamics metrics δᵢ and Δᵢ (Obs. 3–4,
+//! Figs. 5–6), plus the §8.1 measurement-window sweep.
+//!
+//! For each sample in *S* with AV-Rank sequence `p₁…pₙ`:
+//! `δᵢ = |pᵢ − pᵢ₋₁|` (adjacent-scan difference, one value per adjacent
+//! pair) and `Δ = p_max − p_min` (overall swing, one value per sample).
+
+use crate::freshdyn::FreshDynamic;
+use crate::records::SampleRecord;
+use vt_model::time::Duration;
+use vt_model::FileType;
+use vt_stats::{BoxplotSummary, Histogram};
+
+/// Per-file-type δ/Δ distributions (Fig. 6's boxes).
+#[derive(Debug, Clone)]
+pub struct TypeMetrics {
+    /// The file type.
+    pub file_type: FileType,
+    /// Box summary of δ values (adjacent differences).
+    pub delta_adjacent: Option<BoxplotSummary>,
+    /// Box summary of Δ values (overall swing).
+    pub delta_overall: Option<BoxplotSummary>,
+}
+
+/// Outcome of the δ/Δ analysis.
+#[derive(Debug, Clone)]
+pub struct MetricsAnalysis {
+    /// Fig. 5: histogram of δ values across all adjacent pairs in *S*.
+    pub delta_adjacent_hist: Histogram,
+    /// Fig. 5: histogram of Δ values across samples of *S*.
+    pub delta_overall_hist: Histogram,
+    /// Fraction of adjacent pairs with δ = 0 (paper: 35.49%).
+    pub delta_zero_fraction: f64,
+    /// Fraction of samples with Δ > 2 (paper: ~half).
+    pub delta_over_2_fraction: f64,
+    /// Fraction of samples with Δ ≤ 11 (paper: 90%).
+    pub delta_le_11_fraction: f64,
+    /// Fig. 6: per-type box summaries, one entry per top-20 type.
+    pub per_type: Vec<TypeMetrics>,
+}
+
+/// Runs the δ/Δ analysis over *S*.
+pub fn analyze(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
+    let mut delta_adjacent_hist = Histogram::new(71);
+    let mut delta_overall_hist = Histogram::new(71);
+    let mut per_type_adjacent: Vec<Vec<f64>> = vec![Vec::new(); 20];
+    let mut per_type_overall: Vec<Vec<f64>> = vec![Vec::new(); 20];
+
+    for r in s.iter(records) {
+        let p = r.positives();
+        let type_idx = r.meta.file_type.dense_index();
+        debug_assert!(type_idx < 20, "S contains only top-20 types");
+        for w in p.windows(2) {
+            let d = w[0].abs_diff(w[1]);
+            delta_adjacent_hist.record(d as u64);
+            per_type_adjacent[type_idx].push(d as f64);
+        }
+        let delta = r.delta_max().unwrap_or(0);
+        delta_overall_hist.record(delta as u64);
+        per_type_overall[type_idx].push(delta as f64);
+    }
+
+    let delta_zero_fraction = if delta_adjacent_hist.total() == 0 {
+        0.0
+    } else {
+        delta_adjacent_hist.count(0) as f64 / delta_adjacent_hist.total() as f64
+    };
+    let delta_over_2_fraction = 1.0 - delta_overall_hist.fraction_le(2);
+    let delta_le_11_fraction = delta_overall_hist.fraction_le(11);
+
+    let per_type = (0..20)
+        .map(|idx| TypeMetrics {
+            file_type: FileType::from_dense_index(idx),
+            delta_adjacent: BoxplotSummary::from_unsorted(&per_type_adjacent[idx]),
+            delta_overall: BoxplotSummary::from_unsorted(&per_type_overall[idx]),
+        })
+        .collect();
+
+    MetricsAnalysis {
+        delta_adjacent_hist,
+        delta_overall_hist,
+        delta_zero_fraction,
+        delta_over_2_fraction,
+        delta_le_11_fraction,
+        per_type,
+    }
+}
+
+/// §8.1 — the measurement-window sweep: among samples first submitted
+/// in the window's first month, the fraction whose observed Δ grows
+/// when the observation window extends from `short` to `long`
+/// (paper: 8.6% grow from 1 month to 3 months).
+pub fn window_growth_fraction(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    short: Duration,
+    long: Duration,
+) -> f64 {
+    let mut eligible = 0u64;
+    let mut grew = 0u64;
+    for r in s.iter(records) {
+        let t0 = r.reports[0].analysis_date;
+        let delta_within = |span: Duration| -> Option<u32> {
+            let mut min = u32::MAX;
+            let mut max = 0u32;
+            let mut n = 0;
+            for rep in &r.reports {
+                if rep.analysis_date - t0 <= span {
+                    let p = rep.positives();
+                    min = min.min(p);
+                    max = max.max(p);
+                    n += 1;
+                }
+            }
+            (n >= 2).then(|| max - min)
+        };
+        let (Some(d_short), Some(d_long)) = (delta_within(short), delta_within(long)) else {
+            continue;
+        };
+        eligible += 1;
+        if d_long > d_short {
+            grew += 1;
+        }
+    }
+    if eligible == 0 {
+        0.0
+    } else {
+        grew as f64 / eligible as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freshdyn;
+    use vt_model::time::{Date, Timestamp};
+    use vt_model::{
+        EngineId, GroundTruth, ReportKind, SampleHash, SampleMeta, ScanReport, Verdict, VerdictVec,
+    };
+
+    fn record(i: u64, ft: FileType, positives_at_days: &[(i64, u32)]) -> SampleRecord {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let first = window + Duration::days(5);
+        let meta = SampleMeta {
+            hash: SampleHash::from_ordinal(i),
+            file_type: ft,
+            origin: first - Duration::days(1),
+            first_submission: first,
+            truth: GroundTruth::Benign,
+        };
+        let reports = positives_at_days
+            .iter()
+            .map(|&(day, p)| {
+                let mut verdicts = VerdictVec::new(70);
+                for e in 0..p {
+                    verdicts.set(EngineId(e as u8), Verdict::Malicious);
+                }
+                ScanReport {
+                    sample: meta.hash,
+                    file_type: FileType::Pdf,
+                    analysis_date: first + Duration::days(day),
+                    last_submission_date: first,
+                    times_submitted: 1,
+                    kind: ReportKind::Upload,
+                    verdicts,
+                }
+            })
+            .collect();
+        SampleRecord::new(meta, reports)
+    }
+
+    fn dataset() -> (Vec<SampleRecord>, FreshDynamic) {
+        let records = vec![
+            record(0, FileType::Win32Exe, &[(0, 5), (1, 5), (2, 8)]), // δ: 0, 3; Δ: 3
+            record(1, FileType::Pdf, &[(0, 1), (9, 2)]),              // δ: 1; Δ: 1
+        ];
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let s = freshdyn::build(&records, window);
+        (records, s)
+    }
+
+    #[test]
+    fn delta_distributions() {
+        let (records, s) = dataset();
+        assert_eq!(s.len(), 2);
+        let m = analyze(&records, &s);
+        // Adjacent pairs: {0, 3, 1} → one zero of three.
+        assert!((m.delta_zero_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.delta_adjacent_hist.total(), 3);
+        // Overall: {3, 1} → none above 2? 3 > 2, so half.
+        assert!((m.delta_over_2_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(m.delta_le_11_fraction, 1.0);
+    }
+
+    #[test]
+    fn per_type_boxes() {
+        let (records, s) = dataset();
+        let m = analyze(&records, &s);
+        let exe = m
+            .per_type
+            .iter()
+            .find(|t| t.file_type == FileType::Win32Exe)
+            .unwrap();
+        let exe_adj = exe.delta_adjacent.unwrap();
+        assert_eq!(exe_adj.n, 2);
+        assert!((exe_adj.mean - 1.5).abs() < 1e-12);
+        let pdf = m.per_type.iter().find(|t| t.file_type == FileType::Pdf).unwrap();
+        assert_eq!(pdf.delta_overall.unwrap().n, 1);
+        // Types absent from S have no box.
+        let zip = m.per_type.iter().find(|t| t.file_type == FileType::Zip).unwrap();
+        assert!(zip.delta_adjacent.is_none());
+    }
+
+    #[test]
+    fn window_growth() {
+        // Sample 0 grows Δ from day-1 window (Δ=0) to day-30 window
+        // (Δ=3). Sample 1's second scan is outside the short window →
+        // not eligible.
+        let (records, s) = dataset();
+        let frac = window_growth_fraction(&records, &s, Duration::days(1), Duration::days(30));
+        assert_eq!(frac, 1.0);
+        // With both windows long, nothing grows.
+        let frac2 = window_growth_fraction(&records, &s, Duration::days(30), Duration::days(60));
+        assert_eq!(frac2, 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Stabilization monitoring — the feature the paper recommends
+//! VirusTotal build (§8.1): *"implement a feature notifying users when
+//! a sample's AV-Rank has stabilized … this feature could be
+//! customizable, allowing users to set their own criteria for what they
+//! consider 'stable'"*, and *"a notification system for users when
+//! significant AV-Rank variations are detected in short time
+//! intervals"*.
+//!
+//! [`SampleMonitor`] is that feature as a streaming state machine: feed
+//! it `(time, AV-Rank)` observations as scans arrive and it emits
+//! [`MonitorEvent`]s:
+//!
+//! * [`MonitorEvent::Stabilized`] — the trailing observations have
+//!   stayed within the configured fluctuation range for long enough
+//!   (both a count and a quiet-time requirement, mirroring §6.1's
+//!   fluctuation-range definition);
+//! * [`MonitorEvent::Destabilized`] — a previously-stable sample broke
+//!   its envelope (the re-evaluation trigger the paper suggests);
+//! * [`MonitorEvent::Swing`] — a large AV-Rank change over a short
+//!   interval (the paper's "significant variations in short time
+//!   intervals" alert).
+
+use vt_model::time::{Duration, Timestamp};
+
+/// User-customizable stability criteria (§8.1: "allowing users to set
+/// their own criteria").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorCriteria {
+    /// Maximum AV-Rank spread (max − min) the stable window may have —
+    /// §6.1's fluctuation range `r`.
+    pub fluctuation_range: u32,
+    /// Minimum observations the stable window must contain (≥ 2; a
+    /// single report says nothing about stability).
+    pub min_observations: usize,
+    /// Minimum time the stable window must span.
+    pub min_quiet: Duration,
+    /// Swing alert: AV-Rank change of at least this much…
+    pub swing_threshold: u32,
+    /// …within at most this interval triggers [`MonitorEvent::Swing`].
+    pub swing_interval: Duration,
+}
+
+impl Default for MonitorCriteria {
+    fn default() -> Self {
+        Self {
+            fluctuation_range: 1,
+            min_observations: 3,
+            min_quiet: Duration::days(14),
+            swing_threshold: 10,
+            swing_interval: Duration::days(3),
+        }
+    }
+}
+
+/// A notification from the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// The sample's AV-Rank has met the stability criteria.
+    Stabilized {
+        /// Time of the observation that completed the criteria.
+        at: Timestamp,
+        /// Time the stable window began.
+        since: Timestamp,
+        /// Envelope of the stable window.
+        rank_min: u32,
+        /// See `rank_min`.
+        rank_max: u32,
+    },
+    /// A previously-stable sample left its envelope.
+    Destabilized {
+        /// Time of the breaking observation.
+        at: Timestamp,
+        /// The new AV-Rank that broke the envelope.
+        rank: u32,
+        /// The envelope that was broken.
+        previous_min: u32,
+        /// See `previous_min`.
+        previous_max: u32,
+    },
+    /// A significant AV-Rank change over a short interval.
+    Swing {
+        /// Time of the second observation.
+        at: Timestamp,
+        /// Absolute AV-Rank change.
+        delta: u32,
+        /// Interval between the two observations.
+        interval: Duration,
+    },
+}
+
+/// Streaming stability monitor for one sample.
+#[derive(Debug, Clone)]
+pub struct SampleMonitor {
+    criteria: MonitorCriteria,
+    /// The current candidate stable window (trailing observations whose
+    /// envelope fits the fluctuation range).
+    window: Vec<(Timestamp, u32)>,
+    /// Whether a Stabilized event has fired for the current window.
+    announced: bool,
+    last: Option<(Timestamp, u32)>,
+}
+
+impl SampleMonitor {
+    /// Creates a monitor with the given criteria.
+    pub fn new(criteria: MonitorCriteria) -> Self {
+        assert!(criteria.min_observations >= 2, "a stable window needs >= 2 observations");
+        Self {
+            criteria,
+            window: Vec::new(),
+            announced: false,
+            last: None,
+        }
+    }
+
+    /// Current stable-window envelope, if any observations are held.
+    pub fn envelope(&self) -> Option<(u32, u32)> {
+        let min = self.window.iter().map(|&(_, p)| p).min()?;
+        let max = self.window.iter().map(|&(_, p)| p).max()?;
+        Some((min, max))
+    }
+
+    /// Whether the sample is currently considered stable (a
+    /// [`MonitorEvent::Stabilized`] has fired and not been broken).
+    pub fn is_stable(&self) -> bool {
+        self.announced
+    }
+
+    /// Feeds one observation, returning any events it triggers.
+    ///
+    /// # Panics
+    /// Panics if observations arrive out of time order.
+    pub fn observe(&mut self, at: Timestamp, rank: u32) -> Vec<MonitorEvent> {
+        if let Some((prev_t, _)) = self.last {
+            assert!(at >= prev_t, "observations must arrive in time order");
+        }
+        let mut events = Vec::new();
+
+        // Swing alert (independent of the stability window).
+        if let Some((prev_t, prev_p)) = self.last {
+            let delta = prev_p.abs_diff(rank);
+            let interval = at - prev_t;
+            if delta >= self.criteria.swing_threshold && interval <= self.criteria.swing_interval {
+                events.push(MonitorEvent::Swing {
+                    at,
+                    delta,
+                    interval,
+                });
+            }
+        }
+        self.last = Some((at, rank));
+
+        // Does the new observation fit the current envelope?
+        let fits = match self.envelope() {
+            Some((min, max)) => {
+                rank.max(max) - rank.min(min) <= self.criteria.fluctuation_range
+            }
+            None => true,
+        };
+        if !fits {
+            if self.announced {
+                let (min, max) = self.envelope().expect("announced implies window");
+                events.push(MonitorEvent::Destabilized {
+                    at,
+                    rank,
+                    previous_min: min,
+                    previous_max: max,
+                });
+            }
+            // Restart the window from the trailing observations that fit
+            // with the new one (keep the maximal suffix).
+            self.announced = false;
+            while !self.window.is_empty() {
+                let min = self
+                    .window
+                    .iter()
+                    .map(|&(_, p)| p)
+                    .chain(std::iter::once(rank))
+                    .min()
+                    .expect("nonempty");
+                let max = self
+                    .window
+                    .iter()
+                    .map(|&(_, p)| p)
+                    .chain(std::iter::once(rank))
+                    .max()
+                    .expect("nonempty");
+                if max - min <= self.criteria.fluctuation_range {
+                    break;
+                }
+                self.window.remove(0);
+            }
+        }
+        self.window.push((at, rank));
+
+        // Announce stabilization once the window meets the criteria.
+        if !self.announced
+            && self.window.len() >= self.criteria.min_observations
+            && self.window.last().expect("nonempty").0 - self.window[0].0
+                >= self.criteria.min_quiet
+        {
+            let (min, max) = self.envelope().expect("nonempty");
+            self.announced = true;
+            events.push(MonitorEvent::Stabilized {
+                at,
+                since: self.window[0].0,
+                rank_min: min,
+                rank_max: max,
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Timestamp};
+
+    fn t(day: i64) -> Timestamp {
+        Timestamp::from_date(Date::new(2021, 6, 1)) + Duration::days(day)
+    }
+
+    fn monitor() -> SampleMonitor {
+        SampleMonitor::new(MonitorCriteria {
+            fluctuation_range: 1,
+            min_observations: 3,
+            min_quiet: Duration::days(10),
+            swing_threshold: 10,
+            swing_interval: Duration::days(3),
+        })
+    }
+
+    #[test]
+    fn stabilizes_after_quiet_window() {
+        let mut m = monitor();
+        assert!(m.observe(t(0), 20).is_empty());
+        assert!(m.observe(t(5), 21).is_empty()); // within range, too short
+        let events = m.observe(t(12), 20);
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            MonitorEvent::Stabilized {
+                since,
+                rank_min,
+                rank_max,
+                ..
+            } => {
+                assert_eq!(since, t(0));
+                assert_eq!((rank_min, rank_max), (20, 21));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(m.is_stable());
+        // No duplicate announcements while stable.
+        assert!(m.observe(t(20), 21).is_empty());
+    }
+
+    #[test]
+    fn destabilizes_on_envelope_break() {
+        let mut m = monitor();
+        m.observe(t(0), 20);
+        m.observe(t(5), 20);
+        m.observe(t(12), 20);
+        assert!(m.is_stable());
+        let events = m.observe(t(14), 26);
+        assert!(matches!(
+            events[0],
+            MonitorEvent::Destabilized {
+                rank: 26,
+                previous_min: 20,
+                previous_max: 20,
+                ..
+            }
+        ));
+        assert!(!m.is_stable());
+        // It can stabilize again at the new level.
+        m.observe(t(18), 26);
+        let again = m.observe(t(25), 27);
+        assert!(matches!(again.last(), Some(MonitorEvent::Stabilized { .. })));
+    }
+
+    #[test]
+    fn swing_alert_on_fast_change() {
+        let mut m = monitor();
+        m.observe(t(0), 5);
+        let events = m.observe(t(1), 30);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::Swing { delta: 25, .. })));
+        // A slow change of the same magnitude does not alert.
+        let mut m2 = monitor();
+        m2.observe(t(0), 5);
+        let slow = m2.observe(t(30), 30);
+        assert!(!slow.iter().any(|e| matches!(e, MonitorEvent::Swing { .. })));
+    }
+
+    #[test]
+    fn window_restart_keeps_fitting_suffix() {
+        let mut m = monitor();
+        m.observe(t(0), 10);
+        m.observe(t(2), 11);
+        // 12 breaks the range-1 envelope of {10, 11} but fits with {11}.
+        m.observe(t(4), 12);
+        assert_eq!(m.envelope(), Some((11, 12)));
+    }
+
+    #[test]
+    fn matches_offline_stabilization_index() {
+        // The streaming monitor (count-only criteria) agrees with the
+        // batch §6.1 search on a fixed trajectory.
+        let ranks = [3u32, 7, 8, 8, 7, 8, 8];
+        let mut m = SampleMonitor::new(MonitorCriteria {
+            fluctuation_range: 1,
+            min_observations: 2,
+            min_quiet: Duration::minutes(0),
+            swing_threshold: 100,
+            swing_interval: Duration::days(1),
+        });
+        let mut first_stable_at = None;
+        for (i, &p) in ranks.iter().enumerate() {
+            for e in m.observe(t(i as i64), p) {
+                if matches!(e, MonitorEvent::Stabilized { .. }) && first_stable_at.is_none() {
+                    first_stable_at = Some(i);
+                }
+            }
+        }
+        let offline = crate::stabilization::rank_stabilization_index(&ranks, 1);
+        // Offline finds the suffix start; the monitor announces at the
+        // observation that completes the min_observations requirement.
+        assert_eq!(offline, Some(1));
+        assert_eq!(first_stable_at, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order() {
+        let mut m = monitor();
+        m.observe(t(5), 1);
+        m.observe(t(4), 1);
+    }
+}

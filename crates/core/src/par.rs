@@ -1,0 +1,119 @@
+//! Parallel partitioned map over index ranges.
+//!
+//! The analyses are CPU-bound batch passes over millions of samples —
+//! exactly the workload the async guides say to keep off an async
+//! runtime. [`map_partitions`] splits `0..n` into contiguous chunks,
+//! runs a worker per chunk on crossbeam scoped threads, and returns the
+//! per-chunk results in order, so any analysis whose accumulator merges
+//! associatively parallelizes in three lines.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the available parallelism, capped
+/// at 16 (the passes are memory-bandwidth-bound beyond that).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Splits `0..n` into `workers` contiguous ranges, runs `f` on each
+/// range on its own scoped thread, and returns the results in range
+/// order. With `workers == 1` (or tiny `n`) it runs inline.
+///
+/// `f` must be deterministic per range for study reproducibility — all
+/// callers derive their randomness from sample ordinals, never from
+/// thread identity.
+pub fn map_partitions<T, F>(n: u64, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<u64>) -> T + Sync,
+{
+    let workers = workers.max(1).min(n.max(1) as usize);
+    if workers == 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(workers as u64);
+    let ranges: Vec<std::ops::Range<u64>> = (0..workers as u64)
+        .map(|w| {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(n);
+            start..end
+        })
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut out: Vec<Option<T>> = (0..ranges.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for range in &ranges {
+            let f = &f;
+            handles.push(scope.spawn(move |_| f(range.clone())));
+        }
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("analysis worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter().map(|t| t.expect("worker result")).collect()
+}
+
+/// Convenience: map partitions then fold the results into the first
+/// one with `merge`.
+pub fn map_reduce<T, F, M>(n: u64, workers: usize, f: F, mut merge: M) -> Option<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<u64>) -> T + Sync,
+    M: FnMut(&mut T, T),
+{
+    let parts = map_partitions(n, workers, f);
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next()?;
+    for part in iter {
+        merge(&mut acc, part);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_range_exactly() {
+        for n in [0u64, 1, 7, 100, 101] {
+            for workers in [1usize, 2, 3, 8] {
+                let parts = map_partitions(n, workers, |r| r.clone());
+                let mut covered = 0u64;
+                let mut expected_start = 0u64;
+                for r in &parts {
+                    assert_eq!(r.start, expected_start, "gap in coverage");
+                    covered += r.end - r.start;
+                    expected_start = r.end;
+                }
+                assert_eq!(covered, n, "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let n = 100_000u64;
+        let serial: u64 = (0..n).map(|i| i * i % 97).sum();
+        let parallel = map_reduce(n, 8, |r| r.map(|i| i * i % 97).sum::<u64>(), |a, b| *a += b)
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let parts = map_partitions(10, 1, |r| r.count());
+        assert_eq!(parts, vec![10]);
+    }
+
+    #[test]
+    fn empty_range() {
+        let parts = map_partitions(0, 4, |r| r.count());
+        assert_eq!(parts.iter().sum::<usize>(), 0);
+    }
+}

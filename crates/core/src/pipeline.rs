@@ -1,0 +1,301 @@
+//! End-to-end study orchestration: simulate → store → analyze.
+//!
+//! [`Study::generate`] produces the dataset (in parallel over sample
+//! ordinals — generation is the expensive pass), routes every report
+//! through the compressed [`vt_store::ReportStore`] (producing the
+//! Table 2 accounting and exercising the storage substrate end to end),
+//! and [`Study::run`] executes every analysis of the paper, returning a
+//! [`StudyResults`] with one field per table/figure.
+
+use crate::categorize::{self, CategorySweep};
+use crate::causes::{self, CauseAnalysis};
+use crate::correlation::{self, CorrelationAnalysis};
+use crate::flips::{self, FlipAnalysis};
+use crate::freshdyn;
+use crate::intervals::{self, IntervalAnalysis};
+use crate::landscape::{self, Fig1Points};
+use crate::metrics::{self, MetricsAnalysis};
+use crate::par;
+use crate::records::SampleRecord;
+use crate::stability::{self, StabilityAnalysis};
+use crate::stabilization::{self, LabelStabilization, RankStabilization};
+use vt_engines::EngineFleet;
+use vt_model::time::{Duration, Timestamp};
+use vt_model::FileType;
+use vt_sim::{SimConfig, VirusTotalSim};
+use vt_store::{DatasetStats, PartitionStats, ReportStore};
+
+/// A generated dataset plus the machinery to analyze it.
+#[derive(Debug)]
+pub struct Study {
+    sim: VirusTotalSim,
+    records: Vec<SampleRecord>,
+}
+
+/// Every table and figure of the paper, as typed results.
+#[derive(Debug)]
+pub struct StudyResults {
+    /// §4.2 dataset overview (Tables 2–3, Fig. 1 inputs).
+    pub dataset: DatasetStats,
+    /// Fig. 1 reference points.
+    pub fig1: Fig1Points,
+    /// Table 2: per-month store accounting.
+    pub partitions: Vec<PartitionStats>,
+    /// §5.1–5.2 (Obs. 1–2, Figs. 2–4).
+    pub stability: StabilityAnalysis,
+    /// |S| (paper: 32,051,433).
+    pub s_samples: u64,
+    /// Reports in S (paper: 109,142,027).
+    pub s_reports: u64,
+    /// §5.3.2–5.3.4 (Obs. 3–4, Figs. 5–6).
+    pub metrics: MetricsAnalysis,
+    /// §8.1: fraction of S whose Δ grows from a 1-month to a 3-month
+    /// observation window (paper: 8.6%).
+    pub window_growth: f64,
+    /// §5.3.5 (Obs. 5, Fig. 7).
+    pub intervals: IntervalAnalysis,
+    /// §5.4 overall sweep (Fig. 8a).
+    pub categories_all: CategorySweep,
+    /// §5.4 PE sweep (Fig. 8b).
+    pub categories_pe: CategorySweep,
+    /// §5.5 (Obs. 7).
+    pub causes: CauseAnalysis,
+    /// §6.1 sweep over r = 0..=5 (Obs. 8).
+    pub rank_stabilization: Vec<RankStabilization>,
+    /// §6.2 over all of S (Fig. 9a).
+    pub label_stabilization_all: Vec<LabelStabilization>,
+    /// §6.2 excluding 2-scan samples (Fig. 9b).
+    pub label_stabilization_multi: Vec<LabelStabilization>,
+    /// §7.1 (Obs. 10, Fig. 10).
+    pub flips: FlipAnalysis,
+    /// §7.2 global (Fig. 11).
+    pub correlation_global: CorrelationAnalysis,
+    /// §7.2 per type (Fig. 12, Tables 4–8 + the DEX/GZIP quirks).
+    pub correlation_per_type: Vec<CorrelationAnalysis>,
+}
+
+/// File types given a dedicated correlation analysis (the paper's top-5
+/// tables plus the DEX and GZIP quirk scopes).
+pub const CORRELATION_SCOPES: [FileType; 7] = [
+    FileType::Win32Exe,
+    FileType::Txt,
+    FileType::Html,
+    FileType::Zip,
+    FileType::Pdf,
+    FileType::Dex,
+    FileType::Gzip,
+];
+
+/// Row cap for correlation matrices (keeps the O(pairs × rows) pass
+/// bounded at large scales).
+pub const CORRELATION_MAX_ROWS: usize = 400_000;
+
+impl Study {
+    /// Generates the dataset with [`par::default_workers`] threads.
+    pub fn generate(config: SimConfig) -> Self {
+        Self::generate_with_workers(config, par::default_workers())
+    }
+
+    /// Generates the dataset with an explicit worker count (the
+    /// parallelism ablation bench drives this).
+    pub fn generate_with_workers(config: SimConfig, workers: usize) -> Self {
+        let sim = VirusTotalSim::new(config);
+        let parts = par::map_partitions(config.samples, workers, |range| {
+            sim.trajectories_in(range)
+                .map(|(meta, reports)| SampleRecord::new(meta, reports))
+                .collect::<Vec<_>>()
+        });
+        let mut records = Vec::with_capacity(config.samples as usize);
+        for part in parts {
+            records.extend(part);
+        }
+        Self { sim, records }
+    }
+
+    /// The generated records.
+    pub fn records(&self) -> &[SampleRecord] {
+        &self.records
+    }
+
+    /// The simulator (fleet access for engine names/schedules).
+    pub fn sim(&self) -> &VirusTotalSim {
+        &self.sim
+    }
+
+    /// Loads every report into a fresh, sealed report store.
+    pub fn build_store(&self) -> ReportStore {
+        let store = ReportStore::new();
+        for r in &self.records {
+            store.append_batch(&r.reports);
+        }
+        store.seal();
+        store
+    }
+
+    /// Runs the complete measurement pipeline.
+    pub fn run(&self) -> StudyResults {
+        // Storage round trip (Table 2).
+        let store = self.build_store();
+        analyze_records(
+            &self.records,
+            store.partition_stats(),
+            self.sim.fleet(),
+            self.sim.config().window_start(),
+        )
+    }
+}
+
+/// Runs every analysis of the paper over a record set — the entry point
+/// when the data comes from somewhere other than an in-process
+/// simulation (e.g. a persisted store loaded via
+/// [`vt_store::read_store`] + [`crate::records::records_from_store`]).
+///
+/// `fleet` supplies the engine roster and update schedules for the
+/// §5.5 cause attribution; when analyzing a foreign feed, construct it
+/// with the fleet seed the feed was generated with (or accept that the
+/// update-coincidence numbers are not meaningful).
+pub fn analyze_records(
+    records: &[SampleRecord],
+    partitions: Vec<PartitionStats>,
+    fleet: &EngineFleet,
+    window_start: Timestamp,
+) -> StudyResults {
+    // §4.
+    let dataset = landscape::dataset_stats(records, window_start);
+    let fig1 = landscape::fig1_points(&dataset);
+
+    // §5.1–5.2.
+    let stability = stability::analyze(records);
+
+    // §5.3.
+    let s = freshdyn::build(records, window_start);
+    let metrics = metrics::analyze(records, &s);
+    let window_growth =
+        metrics::window_growth_fraction(records, &s, Duration::days(30), Duration::days(90));
+    let intervals = intervals::analyze(records, &s, 430);
+
+    // §5.4.
+    let categories_all = categorize::sweep(records, &s, false);
+    let categories_pe = categorize::sweep(records, &s, true);
+
+    // §5.5.
+    let causes = causes::analyze(records, &s, fleet);
+
+    // §6.
+    let rank_stabilization = stabilization::rank_stabilization(records, &s);
+    let label_stabilization_all = stabilization::label_stabilization(records, &s, false);
+    let label_stabilization_multi = stabilization::label_stabilization(records, &s, true);
+
+    // §7.
+    let engine_count = fleet.engine_count();
+    let flips = flips::analyze(records, &s, engine_count);
+    let correlation_global =
+        correlation::analyze(records, &s, engine_count, None, CORRELATION_MAX_ROWS);
+    let correlation_per_type = CORRELATION_SCOPES
+        .iter()
+        .map(|&ft| correlation::analyze(records, &s, engine_count, Some(ft), CORRELATION_MAX_ROWS))
+        .collect();
+
+    StudyResults {
+        dataset,
+        fig1,
+        partitions,
+        stability,
+        s_samples: s.len() as u64,
+        s_reports: s.reports,
+        metrics,
+        window_growth,
+        intervals,
+        categories_all,
+        categories_pe,
+        causes,
+        rank_stabilization,
+        label_stabilization_all,
+        label_stabilization_multi,
+        flips,
+        correlation_global,
+        correlation_per_type,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_study() -> Study {
+        Study::generate_with_workers(SimConfig::new(0xA11CE, 4_000), 2)
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_worker_counts() {
+        let config = SimConfig::new(42, 500);
+        let a = Study::generate_with_workers(config, 1);
+        let b = Study::generate_with_workers(config, 4);
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn store_round_trip_preserves_reports() {
+        let study = small_study();
+        let store = study.build_store();
+        let total: usize = study.records().iter().map(|r| r.reports.len()).sum();
+        assert_eq!(store.report_count() as usize, total);
+        // Spot-check one multi-report sample's trajectory through the
+        // store.
+        let rec = study
+            .records()
+            .iter()
+            .find(|r| r.report_count() >= 3)
+            .expect("some sample has 3+ reports");
+        let from_store = store.sample_reports(rec.meta.hash);
+        assert_eq!(from_store, rec.reports);
+    }
+
+    #[test]
+    fn full_pipeline_produces_consistent_results() {
+        let study = small_study();
+        let results = study.run();
+
+        // Dataset totals agree across paths.
+        assert_eq!(results.dataset.total_samples(), 4_000);
+        let partition_reports: u64 = results.partitions.iter().map(|p| p.reports).sum();
+        assert_eq!(results.dataset.total_reports(), partition_reports);
+
+        // Stable + dynamic = multi-report.
+        let st = &results.stability;
+        assert_eq!(st.stable + st.dynamic, st.multi_report_samples);
+
+        // S is a subset of dynamic samples.
+        assert!(results.s_samples <= st.dynamic);
+        assert!(results.s_samples > 0, "study too small to exercise S");
+
+        // Category shares partition.
+        for sh in &results.categories_all.shares {
+            assert!((sh.white + sh.black + sh.gray - 1.0).abs() < 1e-9);
+        }
+
+        // Flip totals decompose.
+        let f = &results.flips;
+        assert_eq!(f.flips, f.flips_up + f.flips_down);
+        assert!(f.hazard_flips <= f.flips);
+
+        // Correlation matrices are symmetric with unit diagonal.
+        let c = &results.correlation_global;
+        for a in 0..c.engine_count {
+            assert_eq!(c.rho[a * c.engine_count + a], 1.0);
+            for b in 0..c.engine_count {
+                let ab = c.rho[a * c.engine_count + b];
+                let ba = c.rho[b * c.engine_count + a];
+                assert!(ab.is_nan() && ba.is_nan() || (ab - ba).abs() < 1e-12);
+            }
+        }
+
+        // Rank stabilization is monotone in r.
+        for w in results.rank_stabilization.windows(2) {
+            assert!(w[1].stabilized >= w[0].stabilized);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The unit of analysis: one sample and its time-ordered reports.
+//!
+//! Every analysis consumes `&[SampleRecord]`. Records come from the
+//! simulator (via [`crate::pipeline::Study`]) or from a sealed
+//! [`vt_store::ReportStore`] joined with sample metadata — either way
+//! the analyses only read what the paper's pipeline could read from
+//! scan reports (hash, file type, times, verdict vectors), never the
+//! simulator's ground truth.
+
+use vt_model::time::Duration;
+use vt_model::{FileType, SampleMeta, ScanReport};
+
+/// One sample's metadata and complete, analysis-time-ordered report
+/// trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    /// Sample metadata. Analyses use `hash`, `file_type` and
+    /// `first_submission`; ground truth is never read.
+    pub meta: SampleMeta,
+    /// Reports sorted by `analysis_date` ascending.
+    pub reports: Vec<ScanReport>,
+}
+
+impl SampleRecord {
+    /// Builds a record, sorting reports by analysis date.
+    pub fn new(meta: SampleMeta, mut reports: Vec<ScanReport>) -> Self {
+        reports.sort_by_key(|r| r.analysis_date);
+        Self { meta, reports }
+    }
+
+    /// Number of reports.
+    pub fn report_count(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True if the sample has more than one report (the measurable
+    /// subset for dynamics, §5.1).
+    pub fn is_multi_report(&self) -> bool {
+        self.reports.len() > 1
+    }
+
+    /// The AV-Rank (positives) sequence.
+    pub fn positives(&self) -> Vec<u32> {
+        self.reports.iter().map(|r| r.positives()).collect()
+    }
+
+    /// `Δ = p_max − p_min` over the trajectory; `None` with no reports.
+    pub fn delta_max(&self) -> Option<u32> {
+        let p = self.positives();
+        let max = *p.iter().max()?;
+        let min = *p.iter().min()?;
+        Some(max - min)
+    }
+
+    /// True when every report has the same AV-Rank (a §5.1 *stable*
+    /// sample). Only meaningful for multi-report samples.
+    pub fn is_stable(&self) -> bool {
+        self.delta_max() == Some(0)
+    }
+
+    /// Time between first and last report.
+    pub fn time_span(&self) -> Duration {
+        match (self.reports.first(), self.reports.last()) {
+            (Some(a), Some(b)) => b.analysis_date - a.analysis_date,
+            _ => Duration::minutes(0),
+        }
+    }
+
+    /// The file type.
+    pub fn file_type(&self) -> FileType {
+        self.meta.file_type
+    }
+}
+
+/// Reconstructs analysis records from a sealed report store — the
+/// paper's situation exactly: *only* the scan reports are available, so
+/// sample metadata must be derived from them:
+///
+/// * `file_type` — carried in every report (§4.1);
+/// * `first_submission` — the earliest `last_submission_date` across the
+///   sample's reports (fresh samples were first uploaded in-window;
+///   pre-existing samples re-enter via rescans that preserve their
+///   original pre-window submission date, §3 / Table 1);
+/// * `origin` and `truth` are *not derivable from reports* and are set
+///   to placeholder values — no analysis reads them (the blinding
+///   invariant), so records from a store analyze identically to records
+///   from the simulator.
+pub fn records_from_store(store: &vt_store::ReportStore) -> Vec<SampleRecord> {
+    store
+        .group_by_sample()
+        .into_iter()
+        .map(|(hash, reports)| {
+            let first = reports.first().expect("groups are nonempty");
+            let first_submission = reports
+                .iter()
+                .map(|r| r.last_submission_date)
+                .min()
+                .expect("nonempty");
+            let meta = SampleMeta {
+                hash,
+                file_type: first.file_type,
+                origin: first_submission,
+                first_submission,
+                truth: vt_model::GroundTruth::Benign,
+            };
+            SampleRecord { meta, reports }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Timestamp};
+    use vt_model::{EngineId, GroundTruth, ReportKind, SampleHash, Verdict, VerdictVec};
+
+    fn meta() -> SampleMeta {
+        let t = Timestamp::from_date(Date::new(2021, 6, 1));
+        SampleMeta {
+            hash: SampleHash::from_ordinal(1),
+            file_type: FileType::Pdf,
+            origin: t,
+            first_submission: t,
+            truth: GroundTruth::Benign,
+        }
+    }
+
+    fn report(day: i64, positives: u32) -> ScanReport {
+        let mut verdicts = VerdictVec::new(70);
+        for i in 0..positives {
+            verdicts.set(EngineId(i as u8), Verdict::Malicious);
+        }
+        ScanReport {
+            sample: SampleHash::from_ordinal(1),
+            file_type: FileType::Pdf,
+            analysis_date: Timestamp::from_date(Date::new(2021, 6, 1)) + Duration::days(day),
+            last_submission_date: Timestamp::from_date(Date::new(2021, 6, 1)),
+            times_submitted: 1,
+            kind: ReportKind::Upload,
+            verdicts,
+        }
+    }
+
+    #[test]
+    fn sorts_reports_and_computes_metrics() {
+        let r = SampleRecord::new(meta(), vec![report(5, 7), report(0, 3), report(2, 5)]);
+        assert_eq!(r.positives(), vec![3, 5, 7]);
+        assert_eq!(r.delta_max(), Some(4));
+        assert!(!r.is_stable());
+        assert!(r.is_multi_report());
+        assert_eq!(r.time_span().as_days(), 5);
+    }
+
+    #[test]
+    fn stable_sample() {
+        let r = SampleRecord::new(meta(), vec![report(0, 2), report(9, 2)]);
+        assert!(r.is_stable());
+        assert_eq!(r.delta_max(), Some(0));
+    }
+
+    #[test]
+    fn single_report_sample() {
+        let r = SampleRecord::new(meta(), vec![report(0, 1)]);
+        assert!(!r.is_multi_report());
+        assert_eq!(r.delta_max(), Some(0));
+        assert_eq!(r.time_span().as_minutes(), 0);
+    }
+
+    #[test]
+    fn empty_record() {
+        let r = SampleRecord::new(meta(), vec![]);
+        assert_eq!(r.delta_max(), None);
+        assert_eq!(r.report_count(), 0);
+    }
+}

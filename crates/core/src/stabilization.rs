@@ -1,0 +1,351 @@
+//! §6 — label stabilization (Obs. 8–9, Fig. 9).
+//!
+//! Two questions, both over the fresh dynamic dataset *S*:
+//!
+//! 1. **AV-Rank stabilization** (§6.1): does the positives sequence
+//!    eventually settle? A sample *reaches stability under fluctuation
+//!    range r* if some suffix of ≥2 reports has `max − min ≤ r`. The
+//!    paper sweeps r = 0..=5 (10.9% at r = 0 up to 88.11% at r = 5) and
+//!    reports >90% of stabilizing samples settle within 30 days.
+//! 2. **File-label stabilization** (§6.2): under a threshold t, the
+//!    B/M label sequence stabilizes when a constant suffix (≥2 labels)
+//!    begins; the paper reports the mean serial number of the
+//!    stabilizing scan and the mean days to stability per t, with and
+//!    without 2-scan samples (Fig. 9a/9b).
+
+use crate::freshdyn::FreshDynamic;
+use crate::records::SampleRecord;
+use vt_aggregate::{stabilization_index, LabelSequence, Threshold};
+
+/// §6.1 result for one fluctuation range r.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankStabilization {
+    /// The fluctuation range r.
+    pub r: u32,
+    /// Samples examined.
+    pub samples: u64,
+    /// Samples that reached stability.
+    pub stabilized: u64,
+    /// Of those, how many settled within 10 / 20 / 30 days of their
+    /// first scan.
+    pub within_10d: u64,
+    /// See `within_10d`.
+    pub within_20d: u64,
+    /// See `within_10d`.
+    pub within_30d: u64,
+}
+
+impl RankStabilization {
+    /// Fraction of samples reaching stability.
+    pub fn stabilized_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.stabilized as f64 / self.samples as f64
+        }
+    }
+
+    /// Of stabilizing samples, the fraction settling within 30 days.
+    pub fn within_30d_fraction(&self) -> f64 {
+        if self.stabilized == 0 {
+            0.0
+        } else {
+            self.within_30d as f64 / self.stabilized as f64
+        }
+    }
+}
+
+/// Earliest index `i` such that the suffix `p[i..]` (length ≥ 2) has
+/// `max − min ≤ r`. Exposed for tests and the benches.
+pub fn rank_stabilization_index(p: &[u32], r: u32) -> Option<usize> {
+    if p.len() < 2 {
+        return None;
+    }
+    // Walk backwards maintaining suffix min/max; record the smallest i
+    // whose suffix satisfies the bound. Suffix envelopes only widen as
+    // i decreases, so the last i where the bound holds going backwards
+    // is the answer — once violated it stays violated.
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+    let mut best: Option<usize> = None;
+    for i in (0..p.len()).rev() {
+        min = min.min(p[i]);
+        max = max.max(p[i]);
+        if max - min <= r && p.len() - i >= 2 {
+            best = Some(i);
+        }
+        if max - min > r {
+            break;
+        }
+    }
+    best
+}
+
+/// Runs the §6.1 sweep over r = 0..=5.
+pub fn rank_stabilization(records: &[SampleRecord], s: &FreshDynamic) -> Vec<RankStabilization> {
+    let mut out: Vec<RankStabilization> = (0..=5)
+        .map(|r| RankStabilization {
+            r,
+            samples: 0,
+            stabilized: 0,
+            within_10d: 0,
+            within_20d: 0,
+            within_30d: 0,
+        })
+        .collect();
+    for rec in s.iter(records) {
+        let p = rec.positives();
+        let t0 = rec.reports[0].analysis_date;
+        for stat in &mut out {
+            stat.samples += 1;
+            if let Some(i) = rank_stabilization_index(&p, stat.r) {
+                stat.stabilized += 1;
+                let days = (rec.reports[i].analysis_date - t0).as_days_f64();
+                if days <= 10.0 {
+                    stat.within_10d += 1;
+                }
+                if days <= 20.0 {
+                    stat.within_20d += 1;
+                }
+                if days <= 30.0 {
+                    stat.within_30d += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// §6.2 result for one threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelStabilization {
+    /// The threshold t.
+    pub t: u32,
+    /// Samples examined.
+    pub samples: u64,
+    /// Samples whose label sequence stabilized.
+    pub stabilized: u64,
+    /// Mean 1-based serial number of the stabilizing scan.
+    pub mean_serial: f64,
+    /// Mean days from first scan to the stabilizing scan.
+    pub mean_days: f64,
+    /// Of stabilizing samples: settled within 15 days.
+    pub within_15d: u64,
+    /// Of stabilizing samples: settled within 30 days.
+    pub within_30d: u64,
+}
+
+impl LabelStabilization {
+    /// Fraction of samples stabilizing (paper: 93.14%–98.04%).
+    pub fn stabilized_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.stabilized as f64 / self.samples as f64
+        }
+    }
+
+    /// Of samples, fraction stable within 30 days (paper: ~91–92%).
+    pub fn within_30d_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.within_30d as f64 / self.samples as f64
+        }
+    }
+}
+
+/// The paper's Fig. 9 threshold set.
+pub const FIG9_THRESHOLDS: [u32; 9] = [2, 5, 10, 15, 20, 25, 30, 35, 40];
+
+/// Runs the §6.2 sweep. `exclude_two_scans` selects Fig. 9b's variant
+/// (samples with only two scans trivially stabilize and dominate the
+/// averages).
+pub fn label_stabilization(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    exclude_two_scans: bool,
+) -> Vec<LabelStabilization> {
+    FIG9_THRESHOLDS
+        .iter()
+        .map(|&t| {
+            let agg = Threshold(t);
+            let mut samples = 0u64;
+            let mut stabilized = 0u64;
+            let mut serial_sum = 0f64;
+            let mut days_sum = 0f64;
+            let mut within_15 = 0u64;
+            let mut within_30 = 0u64;
+            for rec in s.iter(records) {
+                if exclude_two_scans && rec.report_count() <= 2 {
+                    continue;
+                }
+                samples += 1;
+                let seq = LabelSequence::from_reports(&rec.reports, &agg);
+                if let Some(i) = stabilization_index(seq.labels()) {
+                    stabilized += 1;
+                    serial_sum += (i + 1) as f64;
+                    let days = (rec.reports[i].analysis_date - rec.reports[0].analysis_date)
+                        .as_days_f64();
+                    days_sum += days;
+                    if days <= 15.0 {
+                        within_15 += 1;
+                    }
+                    if days <= 30.0 {
+                        within_30 += 1;
+                    }
+                }
+            }
+            LabelStabilization {
+                t,
+                samples,
+                stabilized,
+                mean_serial: if stabilized == 0 {
+                    0.0
+                } else {
+                    serial_sum / stabilized as f64
+                },
+                mean_days: if stabilized == 0 {
+                    0.0
+                } else {
+                    days_sum / stabilized as f64
+                },
+                within_15d: within_15,
+                within_30d: within_30,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freshdyn;
+    use proptest::prelude::*;
+    use vt_model::time::{Date, Duration, Timestamp};
+    use vt_model::{
+        EngineId, FileType, GroundTruth, ReportKind, SampleHash, SampleMeta, ScanReport, Verdict,
+        VerdictVec,
+    };
+
+    #[test]
+    fn rank_stabilization_index_cases() {
+        // Settles at index 2 for r=0 (suffix 5,5,5).
+        assert_eq!(rank_stabilization_index(&[1, 3, 5, 5, 5], 0), Some(2));
+        // r=2 allows the suffix to start at index 1 (3,5,5,5 → spread 2).
+        assert_eq!(rank_stabilization_index(&[1, 3, 5, 5, 5], 2), Some(1));
+        // A final change means no r=0 stability.
+        assert_eq!(rank_stabilization_index(&[2, 2, 3], 0), None);
+        // …but r=1 covers the whole thing.
+        assert_eq!(rank_stabilization_index(&[2, 2, 3], 1), Some(0));
+        // Too short.
+        assert_eq!(rank_stabilization_index(&[7], 0), None);
+        // Two equal reports: stable from 0.
+        assert_eq!(rank_stabilization_index(&[4, 4], 0), Some(0));
+        // Two differing reports: never at r=0.
+        assert_eq!(rank_stabilization_index(&[4, 6], 0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn index_is_sound_and_monotone_in_r(
+            p in proptest::collection::vec(0u32..20, 2..30)
+        ) {
+            let mut last_idx: Option<usize> = None;
+            for r in 0..6u32 {
+                let idx = rank_stabilization_index(&p, r);
+                if let Some(i) = idx {
+                    let suffix = &p[i..];
+                    prop_assert!(suffix.len() >= 2);
+                    let max = *suffix.iter().max().unwrap();
+                    let min = *suffix.iter().min().unwrap();
+                    prop_assert!(max - min <= r);
+                    // Minimality: starting one earlier violates the bound
+                    // (or is the start).
+                    if i > 0 {
+                        let wider = &p[i - 1..];
+                        let wmax = *wider.iter().max().unwrap();
+                        let wmin = *wider.iter().min().unwrap();
+                        prop_assert!(wmax - wmin > r);
+                    }
+                }
+                // Larger r stabilizes at the same or earlier index.
+                if let (Some(prev), Some(cur)) = (last_idx, idx) {
+                    prop_assert!(cur <= prev);
+                }
+                if last_idx.is_some() {
+                    prop_assert!(idx.is_some(), "stability must persist as r grows");
+                }
+                last_idx = idx;
+            }
+        }
+    }
+
+    fn record(i: u64, positives_seq: &[u32], gap_days: i64) -> SampleRecord {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let first = window + Duration::days(5);
+        let meta = SampleMeta {
+            hash: SampleHash::from_ordinal(i),
+            file_type: FileType::Win32Exe,
+            origin: first,
+            first_submission: first,
+            truth: GroundTruth::Benign,
+        };
+        let reports = positives_seq
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| {
+                let mut verdicts = VerdictVec::new(70);
+                for e in 0..p {
+                    verdicts.set(EngineId(e as u8), Verdict::Malicious);
+                }
+                ScanReport {
+                    sample: meta.hash,
+                    file_type: FileType::Pdf,
+                    analysis_date: first + Duration::days(k as i64 * gap_days),
+                    last_submission_date: first,
+                    times_submitted: 1,
+                    kind: ReportKind::Upload,
+                    verdicts,
+                }
+            })
+            .collect();
+        SampleRecord::new(meta, reports)
+    }
+
+    #[test]
+    fn rank_sweep_counts() {
+        let records = vec![
+            record(0, &[1, 5, 5, 5], 1), // stabilizes at r=0 (idx 1, day 1)
+            record(1, &[1, 2], 1),       // only stabilizes at r>=1
+        ];
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let s = freshdyn::build(&records, window);
+        let sweep = rank_stabilization(&records, &s);
+        assert_eq!(sweep[0].r, 0);
+        assert_eq!(sweep[0].samples, 2);
+        assert_eq!(sweep[0].stabilized, 1);
+        assert_eq!(sweep[0].within_30d, 1);
+        assert_eq!(sweep[1].stabilized, 2);
+        assert!((sweep[1].stabilized_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_sweep_and_exclusion() {
+        // Under t=2: sample 0's labels are B,M,M,M → stabilizes at
+        // serial 2 (day 1). Sample 1: B,M → never (singleton suffix).
+        let records = vec![record(0, &[1, 5, 5, 5], 1), record(1, &[1, 2], 1)];
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let s = freshdyn::build(&records, window);
+        let all = label_stabilization(&records, &s, false);
+        let t2 = all[0];
+        assert_eq!(t2.t, 2);
+        assert_eq!(t2.samples, 2);
+        assert_eq!(t2.stabilized, 1);
+        assert!((t2.mean_serial - 2.0).abs() < 1e-12);
+        assert!((t2.mean_days - 1.0).abs() < 1e-12);
+
+        let excl = label_stabilization(&records, &s, true);
+        assert_eq!(excl[0].samples, 1, "2-scan sample excluded");
+    }
+}

@@ -1,0 +1,761 @@
+//! The deterministic verdict function.
+//!
+//! [`EngineFleet`] answers the question at the heart of the simulator:
+//! *what does engine `e` say about sample `s` at time `t`?* The answer
+//! is a pure function of `(fleet seed, sample, engine, t)` — every
+//! "random" decision is derived by hashing, never by mutable RNG state —
+//! so scans are reproducible, order-independent, and cachable.
+//!
+//! ## Pair plans
+//!
+//! For each (engine, sample) pair the fleet resolves a [`PairPlan`]:
+//!
+//! 1. **Copy resolution** — if a [`crate::groups::CopyRule`] covers the
+//!    pair's file type and the per-sample copy draw fires, the follower
+//!    adopts its leader's plan (recursively), modelling label copying.
+//! 2. **Malicious samples** — the pair *eventually detects* with
+//!    probability `min(1, detectability × capability)`. If it detects:
+//!    with probability `instant_prob` the signature was live at the
+//!    sample's origin (plan: flag from origin; may later *retract* with
+//!    `retract_prob`); otherwise the signature arrives after a lognormal
+//!    latency, optionally quantized to the engine's next model update
+//!    (plan: flag from the acquisition time, forever).
+//! 3. **Benign samples** — a false positive fires with probability
+//!    `fp_rate × fp_mult(type)`; FPs exist from origin and are usually
+//!    retracted after a lognormal delay.
+//!
+//! Retraction is *only* possible for origin-flagging pairs, which is
+//! what makes hazard flips (`0→1→0` / `1→0→1`) structurally impossible
+//! outside the tiny glitch path (see the crate docs).
+//!
+//! ## Per-scan noise
+//!
+//! On top of the plan, every scan independently applies *activity*
+//! noise: whole-day engine outages and per-scan timeouts (both →
+//! [`Verdict::Undetected`]), plus the rare glitch that inverts a label
+//! for one scan.
+
+use crate::groups::{build_copy_rules, rule_for, CopyRule};
+use crate::registry::{build_roster, EngineProfile};
+use crate::typemods::{engine_type_latency_mult, type_mods, TypeMods};
+use crate::update::UpdateSchedule;
+use vt_model::hash::{mix64, unit_f64};
+use vt_model::time::MINUTES_PER_DAY;
+use vt_model::{EngineId, GroundTruth, SampleMeta, Timestamp, Verdict, VerdictVec};
+
+// Hash-stream tags: each purpose gets its own stream so draws are
+// independent.
+const TAG_COPY: u64 = 1;
+const TAG_DETECT: u64 = 2;
+const TAG_INSTANT: u64 = 3;
+const TAG_LATENCY: u64 = 4;
+const TAG_QUANT: u64 = 5;
+const TAG_RETRACT: u64 = 6;
+const TAG_RETRACT_T: u64 = 7;
+const TAG_FP: u64 = 8;
+const TAG_FP_RETRACT: u64 = 9;
+const TAG_FP_RETRACT_T: u64 = 10;
+const TAG_TIMEOUT: u64 = 11;
+const TAG_OUTAGE: u64 = 12;
+const TAG_GLITCH: u64 = 13;
+const TAG_SLOWNESS: u64 = 14;
+const TAG_LOAD: u64 = 15;
+const TAG_EPOCH: u64 = 16;
+const TAG_EPOCH_LEN: u64 = 17;
+const TAG_EPOCH_SLOW: u64 = 18;
+const TAG_EPOCH_SLOW_LEN: u64 = 19;
+const TAG_TREND: u64 = 20;
+
+/// Fleet-level tunables (fault injection and calibration knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Seed for all behavioural draws.
+    pub seed: u64,
+    /// Global multiplier on per-scan timeout rates (fault injection;
+    /// 1.0 = nominal).
+    pub timeout_mult: f64,
+    /// Global multiplier on per-day outage rates (fault injection).
+    pub outage_mult: f64,
+    /// Per-scan probability that an engine's label is inverted for that
+    /// scan only — the sole source of hazard flips. The paper observed
+    /// 9 in 109 M reports ≈ 1e-7 per report-pair.
+    pub glitch_rate: f64,
+    /// Lognormal σ of the per-sample "slowness" factor that stretches
+    /// every engine's latency for evasive samples.
+    pub slowness_sigma: f64,
+    /// Lognormal σ of the per-(sample, day) load factor that scales
+    /// every engine's timeout probability that day (mean-normalized to
+    /// 1). Correlated engine dropouts within a scan are a major source
+    /// of AV-Rank jitter — the paper's "engine activity" cause.
+    pub load_sigma: f64,
+    /// Lognormal σ of the per-(engine, epoch) availability factor.
+    /// Engines go through multi-week good/bad periods (infra incidents,
+    /// regressed builds); scans weeks apart therefore differ more than
+    /// scans days apart, which is what drives the §5.3.5 correlation
+    /// between scan interval and AV-Rank difference.
+    pub epoch_sigma: f64,
+    /// Lognormal σ of the slow availability tier (2–5 month epochs):
+    /// infrastructure migrations, roster churn, long-lived regressions.
+    /// This is what keeps AV-Rank differences growing over intervals of
+    /// months rather than plateauing after the fast tier's ~3 weeks.
+    pub epoch_slow_sigma: f64,
+    /// σ of the per-engine *secular trend*: each engine's availability
+    /// drifts monotonically (log-linearly) across the collection window
+    /// — vendor coverage waxes or wanes over a year. Unlike the epoch
+    /// tiers (piecewise-constant random draws), the trend guarantees
+    /// that scans further apart see systematically different engine
+    /// availability at every interval scale, which is the §5.3.5
+    /// monotone interval–difference relationship.
+    pub trend_sigma: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed_0001,
+            timeout_mult: 1.0,
+            outage_mult: 1.0,
+            glitch_rate: 1.0e-7,
+            slowness_sigma: 0.6,
+            load_sigma: 0.55,
+            epoch_sigma: 0.95,
+            epoch_slow_sigma: 1.0,
+            trend_sigma: 1.0,
+        }
+    }
+}
+
+/// The lifetime plan of one (engine, sample) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairPlan {
+    /// The engine never flags this sample.
+    Never,
+    /// The engine flags from `from` onward, forever.
+    From(Timestamp),
+    /// The engine flags from the sample's origin until `until`
+    /// (retraction), then never again.
+    UntilRetract(Timestamp),
+}
+
+impl PairPlan {
+    /// Whether the plan has the pair flagged at time `t` (ignoring
+    /// per-scan noise), given the sample's origin.
+    pub fn flagged_at(self, t: Timestamp) -> bool {
+        match self {
+            PairPlan::Never => false,
+            PairPlan::From(from) => t >= from,
+            PairPlan::UntilRetract(until) => t < until,
+        }
+    }
+}
+
+/// Precomputed plans for every engine against one sample. Building this
+/// once per sample and reusing it across that sample's scans is the
+/// fast path the simulator uses.
+#[derive(Debug, Clone)]
+pub struct SamplePlan {
+    plans: Vec<PairPlan>,
+    /// Timeout rate per engine for this sample's type (the *effective*
+    /// engine's profile rate × type multiplier × fleet multiplier —
+    /// copied engines share an engine core and hang on the same
+    /// samples).
+    timeout_rates: Vec<f64>,
+    /// Effective engine index per engine (after copy resolution); the
+    /// timeout draw is keyed by it so copier pairs drop out together.
+    effective: Vec<u8>,
+}
+
+/// The full engine fleet: profiles, update schedules, copy rules.
+#[derive(Debug, Clone)]
+pub struct EngineFleet {
+    profiles: Vec<EngineProfile>,
+    schedules: Vec<UpdateSchedule>,
+    rules: Vec<CopyRule>,
+    config: FleetConfig,
+}
+
+impl EngineFleet {
+    /// Builds the fleet with the given configuration.
+    pub fn new(config: FleetConfig) -> Self {
+        let profiles = build_roster();
+        let schedules = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| UpdateSchedule::new(i, p.update_period_days))
+            .collect();
+        Self {
+            profiles,
+            schedules,
+            rules: build_copy_rules(),
+            config,
+        }
+    }
+
+    /// Builds the fleet with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(FleetConfig {
+            seed,
+            ..FleetConfig::default()
+        })
+    }
+
+    /// Number of engines.
+    pub fn engine_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The profile of engine `e`.
+    pub fn profile(&self, e: EngineId) -> &EngineProfile {
+        &self.profiles[e.index()]
+    }
+
+    /// The update schedule of engine `e` (for §5.5 cause attribution).
+    pub fn schedule(&self, e: EngineId) -> &UpdateSchedule {
+        &self.schedules[e.index()]
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Engine id by roster name (panics on unknown name).
+    pub fn engine_by_name(&self, name: &str) -> EngineId {
+        EngineId(crate::registry::engine_index(name) as u8)
+    }
+
+    // ---- draw helpers ------------------------------------------------
+
+    fn u(&self, sample: &SampleMeta, engine: usize, tag: u64) -> f64 {
+        unit_f64(mix64(&[self.config.seed, sample.hash.seed64(), engine as u64, tag]))
+    }
+
+    fn u_scan(&self, sample: &SampleMeta, engine: usize, tag: u64, t: Timestamp) -> f64 {
+        unit_f64(mix64(&[
+            self.config.seed,
+            sample.hash.seed64(),
+            engine as u64,
+            tag,
+            t.0 as u64,
+        ]))
+    }
+
+    /// Deterministic lognormal draw in days: `exp(N(ln median, sigma))`.
+    fn lognormal_days(&self, sample: &SampleMeta, engine: usize, tag: u64, median: f64, sigma: f64) -> f64 {
+        let u = self.u(sample, engine, tag).clamp(1e-12, 1.0 - 1e-12);
+        let z = vt_stats::special::probit(u);
+        median.max(1e-3) * (sigma * z).exp()
+    }
+
+    /// The per-sample slowness factor shared by all engines (evasive
+    /// samples are slow for everyone — this correlates latencies across
+    /// the fleet).
+    fn sample_slowness(&self, sample: &SampleMeta) -> f64 {
+        let u = unit_f64(mix64(&[self.config.seed, sample.hash.seed64(), TAG_SLOWNESS]))
+            .clamp(1e-12, 1.0 - 1e-12);
+        (self.config.slowness_sigma * vt_stats::special::probit(u)).exp()
+    }
+
+    // ---- plan resolution ----------------------------------------------
+
+    /// Resolves the engine whose behavioural draws the pair uses:
+    /// follows copy rules (recursively) while the per-sample copy draws
+    /// fire. Returns the effective engine index.
+    fn resolve_effective(&self, engine: usize, sample: &SampleMeta) -> usize {
+        let mut cur = engine;
+        let mut depth = 0;
+        while let Some(rule) = rule_for(&self.rules, cur, sample.file_type) {
+            // The copy draw is keyed by the *follower* so independent
+            // followers of one leader decorrelate independently.
+            if self.u(sample, cur, TAG_COPY) < rule.prob {
+                cur = rule.leader;
+                depth += 1;
+                if depth >= 8 {
+                    break; // cycle guard; build_copy_rules() is acyclic
+                }
+            } else {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Computes the lifetime plan of `(engine, sample)`.
+    pub fn pair_plan(&self, engine: EngineId, sample: &SampleMeta) -> PairPlan {
+        let eff = self.resolve_effective(engine.index(), sample);
+        self.pair_plan_with_eff(engine, eff, sample)
+    }
+
+    fn pair_plan_with_eff(&self, engine: EngineId, eff: usize, sample: &SampleMeta) -> PairPlan {
+        let profile = &self.profiles[eff];
+        let mods = type_mods(sample.file_type);
+        match sample.truth {
+            GroundTruth::Benign => self.benign_plan(eff, profile, &mods, sample),
+            GroundTruth::Malicious { detectability } => {
+                self.malicious_plan(engine.index(), eff, profile, &mods, sample, detectability as f64)
+            }
+        }
+    }
+
+    fn benign_plan(
+        &self,
+        eff: usize,
+        profile: &EngineProfile,
+        mods: &TypeMods,
+        sample: &SampleMeta,
+    ) -> PairPlan {
+        let fp_rate = (profile.fp_rate * mods.fp_mult).min(1.0);
+        if self.u(sample, eff, TAG_FP) >= fp_rate {
+            return PairPlan::Never;
+        }
+        // False positive, live from origin. Usually retracted — and the
+        // retraction clock starts at first submission: FPs surface once
+        // the file circulates and users report them.
+        if self.u(sample, eff, TAG_FP_RETRACT) < profile.fp_retract_prob {
+            let days = self.lognormal_days(sample, eff, TAG_FP_RETRACT_T, 9.0, 0.9);
+            let until = sample.first_submission
+                + vt_model::time::Duration::minutes((days * MINUTES_PER_DAY as f64) as i64);
+            if until <= sample.origin {
+                PairPlan::Never
+            } else {
+                PairPlan::UntilRetract(until)
+            }
+        } else {
+            PairPlan::From(sample.origin)
+        }
+    }
+
+    fn malicious_plan(
+        &self,
+        follower: usize,
+        eff: usize,
+        profile: &EngineProfile,
+        mods: &TypeMods,
+        sample: &SampleMeta,
+        detectability: f64,
+    ) -> PairPlan {
+        let q = (detectability * profile.capability).min(1.0);
+        if self.u(sample, eff, TAG_DETECT) >= q {
+            return PairPlan::Never;
+        }
+        if self.u(sample, eff, TAG_INSTANT) < profile.instant_prob {
+            // Signature live at origin. Possibly retracted later.
+            let retract = (profile.retract_prob * mods.retract_mult).min(1.0);
+            if self.u(sample, eff, TAG_RETRACT) < retract {
+                // Retraction (pruning/whitelisting) follows visibility:
+                // anchored at first submission.
+                let days = self.lognormal_days(sample, eff, TAG_RETRACT_T, 12.0, 1.0);
+                let until = sample.first_submission
+                    + vt_model::time::Duration::minutes((days * MINUTES_PER_DAY as f64) as i64);
+                if until <= sample.origin {
+                    return PairPlan::Never;
+                }
+                return PairPlan::UntilRetract(until);
+            }
+            return PairPlan::From(sample.origin);
+        }
+        // Signature arrives after a latency. The hot-spot override uses
+        // the *follower's* identity (Fig. 10 is about the engine whose
+        // column flips, even when it copies labels).
+        let hot = engine_type_latency_mult(self.profiles[follower].name, sample.file_type);
+        let median = profile.latency_median_days * mods.latency_scale * hot * self.sample_slowness(sample);
+        let days = self.lognormal_days(sample, eff, TAG_LATENCY, median, profile.latency_sigma);
+        let mut at = sample.origin
+            + vt_model::time::Duration::minutes((days * MINUTES_PER_DAY as f64) as i64);
+        // Quantize to the *effective* engine's next model update with
+        // the profile's probability (the §5.5 "engine update"
+        // mechanism). Copier pairs share the leader's database, so they
+        // acquire signatures on the leader's schedule.
+        if self.u(sample, eff, TAG_QUANT) < profile.update_quant_prob {
+            at = self.schedules[eff].next_update_at_or_after(at);
+        }
+        PairPlan::From(at)
+    }
+
+    /// Precomputes the plans of every engine against `sample`.
+    pub fn sample_plan(&self, sample: &SampleMeta) -> SamplePlan {
+        let mods = type_mods(sample.file_type);
+        let n = self.profiles.len();
+        let mut plans = Vec::with_capacity(n);
+        let mut timeout_rates = Vec::with_capacity(n);
+        let mut effective = Vec::with_capacity(n);
+        for i in 0..n {
+            let eff = self.resolve_effective(i, sample);
+            plans.push(self.pair_plan_with_eff(EngineId(i as u8), eff, sample));
+            timeout_rates.push(
+                (self.profiles[eff].timeout_rate * mods.timeout_mult * self.config.timeout_mult)
+                    .min(0.5),
+            );
+            effective.push(eff as u8);
+        }
+        SamplePlan {
+            plans,
+            timeout_rates,
+            effective,
+        }
+    }
+
+    // ---- per-scan evaluation -------------------------------------------
+
+    /// Whether engine `e` is in a whole-day outage on the day of `t`.
+    pub fn in_outage(&self, e: EngineId, t: Timestamp) -> bool {
+        let rate = self.profiles[e.index()].outage_rate * self.config.outage_mult;
+        let day = t.day_number() as u64;
+        unit_f64(mix64(&[self.config.seed, TAG_OUTAGE, e.index() as u64, day])) < rate
+    }
+
+    /// Mean-normalized lognormal factor from a uniform word.
+    fn lognormal_factor(word: u64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        let u = unit_f64(word).clamp(1e-12, 1.0 - 1e-12);
+        (sigma * vt_stats::special::probit(u) - sigma * sigma / 2.0).exp()
+    }
+
+    /// The per-(sample, day) load factor: scales every engine's timeout
+    /// probability for scans of this sample that day. Lognormal,
+    /// mean-normalized to 1.
+    pub fn load_factor(&self, sample: &SampleMeta, t: Timestamp) -> f64 {
+        Self::lognormal_factor(
+            mix64(&[
+                self.config.seed,
+                sample.hash.seed64(),
+                TAG_LOAD,
+                t.day_number() as u64,
+            ]),
+            self.config.load_sigma,
+        )
+    }
+
+    /// The per-(engine, epoch) availability factor. Each engine's
+    /// timeline is cut into epochs of 7–21 days (length and phase
+    /// engine-specific); within an epoch the engine's timeout rate is a
+    /// constant multiple of its base rate. Scans far apart in time land
+    /// in different epochs and therefore see systematically different
+    /// engine availability — the slow component of AV-Rank drift.
+    pub fn epoch_factor(&self, engine: usize, t: Timestamp) -> f64 {
+        let seed = self.config.seed;
+        // Fast tier: 7–21 day epochs.
+        let fast_len = 7 + (mix64(&[seed, TAG_EPOCH_LEN, engine as u64]) % 15) as i64;
+        let fast = Self::lognormal_factor(
+            mix64(&[
+                seed,
+                TAG_EPOCH,
+                engine as u64,
+                t.day_number().div_euclid(fast_len) as u64,
+            ]),
+            self.config.epoch_sigma,
+        );
+        // Slow tier: 60–150 day epochs.
+        let slow_len = 60 + (mix64(&[seed, TAG_EPOCH_SLOW_LEN, engine as u64]) % 91) as i64;
+        let slow = Self::lognormal_factor(
+            mix64(&[
+                seed,
+                TAG_EPOCH_SLOW,
+                engine as u64,
+                t.day_number().div_euclid(slow_len) as u64,
+            ]),
+            self.config.epoch_slow_sigma,
+        );
+        // Secular tier: log-linear drift across the collection window
+        // (day 0 = 2021-01-01; the window spans days ~120..546, centred
+        // near day 333).
+        let trend = if self.config.trend_sigma > 0.0 {
+            let u = unit_f64(mix64(&[seed, TAG_TREND, engine as u64])).clamp(1e-12, 1.0 - 1e-12);
+            let slope = self.config.trend_sigma * vt_stats::special::probit(u);
+            let frac = (t.day_number() as f64 - 333.0) / 426.0; // ≈ ±0.5 over the window
+            (slope * frac).exp()
+        } else {
+            1.0
+        };
+        fast * slow * trend
+    }
+
+    /// One engine's verdict for one scan, using a precomputed plan.
+    pub fn verdict_with_plan(
+        &self,
+        plan: &SamplePlan,
+        e: EngineId,
+        sample: &SampleMeta,
+        t: Timestamp,
+    ) -> Verdict {
+        let i = e.index();
+        if self.in_outage(e, t) {
+            return Verdict::Undetected;
+        }
+        // Timeout draw keyed by the *effective* engine and the scan day:
+        // copier pairs share an engine core (they hang on the same
+        // samples), and scans of a sample within one day see identical
+        // engine availability.
+        let eff = plan.effective[i] as usize;
+        let p = (plan.timeout_rates[i] * self.epoch_factor(eff, t) * self.load_factor(sample, t))
+            .min(0.9);
+        let day_word = mix64(&[
+            self.config.seed,
+            sample.hash.seed64(),
+            eff as u64,
+            TAG_TIMEOUT,
+            t.day_number() as u64,
+        ]);
+        if unit_f64(day_word) < p {
+            return Verdict::Undetected;
+        }
+        let mut flagged = plan.plans[i].flagged_at(t);
+        if self.config.glitch_rate > 0.0
+            && self.u_scan(sample, i, TAG_GLITCH, t) < self.config.glitch_rate
+        {
+            flagged = !flagged;
+        }
+        if flagged {
+            Verdict::Malicious
+        } else {
+            Verdict::Benign
+        }
+    }
+
+    /// One engine's verdict for one scan (resolves the plan on the fly;
+    /// prefer [`EngineFleet::sample_plan`] + [`EngineFleet::verdict_with_plan`]
+    /// when scanning a sample repeatedly).
+    pub fn verdict(&self, e: EngineId, sample: &SampleMeta, t: Timestamp) -> Verdict {
+        let plan = self.sample_plan(sample);
+        self.verdict_with_plan(&plan, e, sample, t)
+    }
+
+    /// Scans a sample with the whole fleet at time `t`.
+    pub fn scan(&self, plan: &SamplePlan, sample: &SampleMeta, t: Timestamp) -> VerdictVec {
+        let mut v = VerdictVec::new(self.profiles.len());
+        for i in 0..self.profiles.len() {
+            let id = EngineId(i as u8);
+            v.set(id, self.verdict_with_plan(plan, id, sample, t));
+        }
+        v
+    }
+}
+
+impl SamplePlan {
+    /// The plan of one engine.
+    pub fn plan(&self, e: EngineId) -> PairPlan {
+        self.plans[e.index()]
+    }
+
+    /// The asymptotic AV-Rank: how many engines flag the sample as
+    /// `t → ∞` (after all acquisitions and retractions settle).
+    pub fn asymptotic_positives(&self) -> u32 {
+        self.plans
+            .iter()
+            .filter(|p| matches!(p, PairPlan::From(_)))
+            .count() as u32
+    }
+
+    /// How many engines flag at time `t` under the plan (no noise).
+    pub fn positives_at(&self, t: Timestamp) -> u32 {
+        self.plans.iter().filter(|p| p.flagged_at(t)).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Duration};
+    use vt_model::{FileType, SampleHash};
+
+    fn fleet() -> EngineFleet {
+        EngineFleet::with_seed(42)
+    }
+
+    fn sample(ordinal: u64, ft: FileType, truth: GroundTruth) -> SampleMeta {
+        let origin = Timestamp::from_date(Date::new(2021, 6, 1));
+        SampleMeta {
+            hash: SampleHash::from_ordinal(ordinal),
+            file_type: ft,
+            origin,
+            first_submission: origin + Duration::days(4),
+            truth,
+        }
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let f = fleet();
+        let s = sample(7, FileType::Win32Exe, GroundTruth::Malicious { detectability: 0.6 });
+        let t = s.first_submission + Duration::days(3);
+        let plan = f.sample_plan(&s);
+        for e in 0..f.engine_count() {
+            let id = EngineId(e as u8);
+            assert_eq!(
+                f.verdict_with_plan(&plan, id, &s, t),
+                f.verdict_with_plan(&plan, id, &s, t)
+            );
+            assert_eq!(f.verdict_with_plan(&plan, id, &s, t), f.verdict(id, &s, t));
+        }
+    }
+
+    #[test]
+    fn benign_samples_mostly_scan_clean() {
+        let f = fleet();
+        let mut total_positives = 0u32;
+        let n = 200;
+        for i in 0..n {
+            let s = sample(1000 + i, FileType::Jpeg, GroundTruth::Benign);
+            let plan = f.sample_plan(&s);
+            let v = f.scan(&plan, &s, s.first_submission);
+            total_positives += v.positives();
+        }
+        // JPEG FP rates are tiny: expect well under 0.2 positives/sample.
+        assert!(
+            (total_positives as f64) < 0.2 * n as f64 * 70.0 / 70.0 * 10.0,
+            "benign positives too high: {total_positives}"
+        );
+    }
+
+    #[test]
+    fn detectability_drives_asymptotic_rank() {
+        let f = fleet();
+        let mean_rank = |d: f32| {
+            let mut acc = 0u32;
+            let n = 120;
+            for i in 0..n {
+                let s = sample(5000 + i, FileType::Win32Exe, GroundTruth::Malicious { detectability: d });
+                acc += f.sample_plan(&s).asymptotic_positives();
+            }
+            acc as f64 / n as f64
+        };
+        let low = mean_rank(0.2);
+        let mid = mean_rank(0.5);
+        let high = mean_rank(0.9);
+        assert!(low < mid && mid < high, "{low} {mid} {high}");
+        // ≈ 70 × detectability (capability mean ≈ 1).
+        assert!((high - 63.0).abs() < 12.0, "high = {high}");
+        assert!((low - 14.0).abs() < 7.0, "low = {low}");
+    }
+
+    #[test]
+    fn ranks_ramp_up_over_time() {
+        let f = fleet();
+        let mut early = 0u32;
+        let mut late = 0u32;
+        for i in 0..150 {
+            let s = sample(9000 + i, FileType::Win32Exe, GroundTruth::Malicious { detectability: 0.7 });
+            let plan = f.sample_plan(&s);
+            early += plan.positives_at(s.first_submission);
+            late += plan.positives_at(s.first_submission + Duration::days(90));
+        }
+        assert!(late > early, "no ramp: early={early} late={late}");
+        // And a decent share must already be armed at first submission
+        // (the §5.4 gray curves require fresh samples not to start at 0).
+        assert!(early as f64 > 0.35 * late as f64, "early share too small: {early}/{late}");
+    }
+
+    #[test]
+    fn pair_transitions_at_most_once() {
+        // Scan densely over a year; per engine the (active-only) label
+        // sequence must change at most once with glitches disabled.
+        let mut cfg = FleetConfig {
+            seed: 9,
+            glitch_rate: 0.0,
+            ..FleetConfig::default()
+        };
+        cfg.timeout_mult = 0.0;
+        cfg.outage_mult = 0.0;
+        let f = EngineFleet::new(cfg);
+        for i in 0..40 {
+            let s = sample(100 + i, FileType::Html, GroundTruth::Malicious { detectability: 0.5 });
+            let plan = f.sample_plan(&s);
+            for e in 0..f.engine_count() {
+                let id = EngineId(e as u8);
+                let mut changes = 0;
+                let mut last: Option<bool> = None;
+                for day in 0..400 {
+                    let t = s.first_submission + Duration::days(day);
+                    let v = f.verdict_with_plan(&plan, id, &s, t);
+                    let label = v.is_malicious();
+                    if let Some(prev) = last {
+                        if prev != label {
+                            changes += 1;
+                        }
+                    }
+                    last = Some(label);
+                }
+                assert!(changes <= 1, "engine {e} flipped {changes} times");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_groups_agree() {
+        let f = fleet();
+        let avast = f.engine_by_name("Avast");
+        let avg = f.engine_by_name("AVG");
+        let paloalto = f.engine_by_name("Paloalto");
+        let apex = f.engine_by_name("APEX");
+        let mut avast_avg_agree = 0;
+        let mut pa_apex_agree = 0;
+        let mut unrelated_agree = 0;
+        let kasp = f.engine_by_name("Kaspersky");
+        let zoner = f.engine_by_name("Zoner");
+        let n = 400;
+        for i in 0..n {
+            let s = sample(
+                50_000 + i,
+                FileType::Win32Exe,
+                GroundTruth::Malicious { detectability: 0.5 },
+            );
+            let plan = f.sample_plan(&s);
+            let t = s.first_submission + Duration::days(10);
+            let lab = |e: EngineId| f.verdict_with_plan(&plan, e, &s, t).is_malicious();
+            if lab(avast) == lab(avg) {
+                avast_avg_agree += 1;
+            }
+            if lab(paloalto) == lab(apex) {
+                pa_apex_agree += 1;
+            }
+            if lab(kasp) == lab(zoner) {
+                unrelated_agree += 1;
+            }
+        }
+        // Copy pairs agree far more often than unrelated engines at
+        // detectability 0.5 (where independent engines agree ~50-60%).
+        assert!(avast_avg_agree as f64 > 0.93 * n as f64, "{avast_avg_agree}/{n}");
+        assert!(pa_apex_agree as f64 > 0.95 * n as f64, "{pa_apex_agree}/{n}");
+        assert!(
+            unrelated_agree < avast_avg_agree,
+            "unrelated {unrelated_agree} vs copy {avast_avg_agree}"
+        );
+    }
+
+    #[test]
+    fn timeouts_respect_fault_injection() {
+        let nominal = EngineFleet::new(FleetConfig {
+            seed: 5,
+            ..FleetConfig::default()
+        });
+        let stormy = EngineFleet::new(FleetConfig {
+            seed: 5,
+            timeout_mult: 30.0,
+            ..FleetConfig::default()
+        });
+        let s = sample(77, FileType::Pdf, GroundTruth::Benign);
+        let count_undetected = |f: &EngineFleet| {
+            let plan = f.sample_plan(&s);
+            let mut n = 0;
+            for day in 0..60 {
+                let v = f.scan(&plan, &s, s.first_submission + Duration::days(day));
+                n += f.engine_count() as u32 - v.active_count();
+            }
+            n
+        };
+        assert!(count_undetected(&stormy) > 3 * count_undetected(&nominal).max(1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f1 = EngineFleet::with_seed(1);
+        let f2 = EngineFleet::with_seed(2);
+        let s = sample(3, FileType::Win32Exe, GroundTruth::Malicious { detectability: 0.5 });
+        let t = s.first_submission;
+        let v1 = f1.scan(&f1.sample_plan(&s), &s, t);
+        let v2 = f2.scan(&f2.sample_plan(&s), &s, t);
+        assert_ne!(v1, v2, "seeds should decorrelate verdict vectors");
+    }
+}

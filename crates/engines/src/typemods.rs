@@ -1,0 +1,253 @@
+//! Per-file-type behaviour modifiers.
+//!
+//! Fig. 6 and Fig. 10 show that label dynamics differ sharply by file
+//! type: PE binaries move the most (Win32 EXE has the largest overall
+//! AV-Rank swing, Win32 DLL the largest adjacent-scan difference), while
+//! EPUB / FPX / JPEG / ELF shared library / GZIP / PHP barely move, and
+//! container/text types (ZIP, JSON, TXT) creep slowly (small adjacent
+//! differences, large overall drift). These modifiers scale the engine
+//! profiles per type to produce those regimes:
+//!
+//! * `latency_scale` — stretches signature latency: longer ramps ⇒ more
+//!   within-window acquisitions ⇒ higher dynamics.
+//! * `timeout_mult` — scales per-scan engine timeouts: analysis-heavy
+//!   formats (DLL/EXE) time out more, adding adjacent-scan jitter.
+//! * `fp_mult` — scales false-positive rates (script/text formats draw
+//!   more FPs than images).
+//! * `retract_mult` — scales detection-retraction probability.
+
+use vt_model::FileType;
+
+/// Behaviour modifiers for one file type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeMods {
+    /// Multiplier on engine signature-latency medians.
+    pub latency_scale: f64,
+    /// Multiplier on engine per-scan timeout rates.
+    pub timeout_mult: f64,
+    /// Multiplier on engine false-positive rates.
+    pub fp_mult: f64,
+    /// Multiplier on engine retraction probabilities.
+    pub retract_mult: f64,
+}
+
+impl TypeMods {
+    const DEFAULT: TypeMods = TypeMods {
+        latency_scale: 1.0,
+        timeout_mult: 1.0,
+        fp_mult: 1.0,
+        retract_mult: 1.0,
+    };
+}
+
+/// The modifiers for a file type.
+pub fn type_mods(ft: FileType) -> TypeMods {
+    use FileType::*;
+    match ft {
+        // PE binaries: heavy analysis (timeouts), fast-moving detections
+        // with moderate ramps. DLLs time out the most (Fig. 6a: highest
+        // adjacent-scan δ).
+        Win32Exe => TypeMods {
+            latency_scale: 2.2,
+            timeout_mult: 1.25,
+            fp_mult: 1.2,
+            retract_mult: 1.2,
+        },
+        Win32Dll => TypeMods {
+            latency_scale: 1.8,
+            timeout_mult: 3.2,
+            fp_mult: 1.2,
+            retract_mult: 1.6,
+        },
+        Win64Exe => TypeMods {
+            latency_scale: 2.0,
+            timeout_mult: 1.15,
+            fp_mult: 1.1,
+            retract_mult: 1.2,
+        },
+        Win64Dll => TypeMods {
+            latency_scale: 1.8,
+            timeout_mult: 1.8,
+            fp_mult: 1.1,
+            retract_mult: 1.4,
+        },
+        // Slow-creep types: small per-step movement but long ramps
+        // (signatures for text/script content lag).
+        Txt => TypeMods {
+            latency_scale: 6.0,
+            timeout_mult: 0.55,
+            fp_mult: 2.6,
+            retract_mult: 1.0,
+        },
+        Html => TypeMods {
+            latency_scale: 4.5,
+            timeout_mult: 0.7,
+            fp_mult: 2.6,
+            retract_mult: 1.0,
+        },
+        Zip => TypeMods {
+            latency_scale: 6.0,
+            timeout_mult: 0.8,
+            fp_mult: 1.9,
+            retract_mult: 0.9,
+        },
+        Json => TypeMods {
+            latency_scale: 8.0,
+            timeout_mult: 0.06,
+            fp_mult: 0.7,
+            retract_mult: 0.8,
+        },
+        Xml => TypeMods {
+            latency_scale: 5.0,
+            timeout_mult: 0.5,
+            fp_mult: 2.0,
+            retract_mult: 0.9,
+        },
+        Pdf => TypeMods {
+            latency_scale: 3.0,
+            timeout_mult: 0.9,
+            fp_mult: 1.9,
+            retract_mult: 1.0,
+        },
+        Docx => TypeMods {
+            latency_scale: 1.8,
+            timeout_mult: 0.8,
+            fp_mult: 1.0,
+            retract_mult: 1.0,
+        },
+        Dex => TypeMods {
+            latency_scale: 1.4,
+            timeout_mult: 0.7,
+            fp_mult: 0.8,
+            retract_mult: 0.9,
+        },
+        ElfExecutable => TypeMods {
+            latency_scale: 1.6,
+            timeout_mult: 1.0,
+            fp_mult: 0.9,
+            retract_mult: 1.1,
+        },
+        Lnk => TypeMods {
+            latency_scale: 1.5,
+            timeout_mult: 0.6,
+            fp_mult: 1.0,
+            retract_mult: 1.0,
+        },
+        // Quiet types (Fig. 6: "both δ and Δ maintain low dynamics in
+        // EPUB, FPX, JPEG, ELF shared library, GZIP, PHP"): fast
+        // (or never) detection, few timeouts, few FP adventures.
+        ElfSharedLib => TypeMods {
+            latency_scale: 0.6,
+            timeout_mult: 0.3,
+            fp_mult: 0.5,
+            retract_mult: 0.5,
+        },
+        Epub => TypeMods {
+            latency_scale: 0.5,
+            timeout_mult: 0.25,
+            fp_mult: 0.4,
+            retract_mult: 0.4,
+        },
+        Fpx => TypeMods {
+            latency_scale: 0.5,
+            timeout_mult: 0.25,
+            fp_mult: 0.3,
+            retract_mult: 0.4,
+        },
+        Php => TypeMods {
+            latency_scale: 0.7,
+            timeout_mult: 0.3,
+            fp_mult: 0.8,
+            retract_mult: 0.5,
+        },
+        Gzip => TypeMods {
+            latency_scale: 0.6,
+            timeout_mult: 0.35,
+            fp_mult: 0.5,
+            retract_mult: 0.5,
+        },
+        Jpeg => TypeMods {
+            latency_scale: 0.45,
+            timeout_mult: 0.2,
+            fp_mult: 0.3,
+            retract_mult: 0.3,
+        },
+        Null => TypeMods {
+            latency_scale: 1.2,
+            timeout_mult: 0.8,
+            fp_mult: 0.9,
+            retract_mult: 0.9,
+        },
+        Other(_) => TypeMods::DEFAULT,
+    }
+}
+
+/// Per-(engine, type) latency overrides for the flip hot spots the paper
+/// names — e.g. Arcabit's 25.78% flip ratio on ELF executables vs 0.05%
+/// on DEX (Fig. 10). Returns a latency multiplier (≥1 makes the engine's
+/// detections for that type land late, inside observation windows, which
+/// is what produces flips).
+pub fn engine_type_latency_mult(engine_name: &str, ft: FileType) -> f64 {
+    use FileType::*;
+    match (engine_name, ft) {
+        ("Arcabit", ElfExecutable) => 3.0,
+        ("Arcabit", Dex) => 0.05, // near-instant ⇒ almost never flips
+        ("F-Secure", Win32Exe) => 3.0,
+        ("F-Secure", Html) => 3.0,
+        ("Lionic", Txt) => 4.0,
+        ("Lionic", Gzip) => 3.0,
+        ("Microsoft", Win32Exe) => 2.0,
+        ("Microsoft", Win32Dll) => 2.5,
+        ("Jiangmin", _) => 0.3,
+        ("AhnLab-V3", _) => 0.4,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::filetype::TOTAL_TYPE_COUNT;
+
+    #[test]
+    fn all_types_have_sane_mods() {
+        for idx in 0..TOTAL_TYPE_COUNT {
+            let ft = FileType::from_dense_index(idx);
+            let m = type_mods(ft);
+            assert!(m.latency_scale > 0.0 && m.latency_scale < 20.0, "{ft}");
+            assert!(m.timeout_mult >= 0.0 && m.timeout_mult < 20.0);
+            assert!(m.fp_mult >= 0.0 && m.fp_mult < 20.0);
+            assert!(m.retract_mult >= 0.0 && m.retract_mult < 20.0);
+        }
+    }
+
+    #[test]
+    fn dll_times_out_most() {
+        // Fig. 6a: Win32 DLL has the highest adjacent-scan difference;
+        // its timeout multiplier dominates the named types.
+        let dll = type_mods(FileType::Win32Dll).timeout_mult;
+        for ft in FileType::TOP20 {
+            if ft != FileType::Win32Dll {
+                assert!(type_mods(ft).timeout_mult < dll, "{ft}");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_types_are_quiet() {
+        // The six quiet types have below-default latency and timeout.
+        use FileType::*;
+        for ft in [Epub, Fpx, Jpeg, ElfSharedLib, Gzip, Php] {
+            let m = type_mods(ft);
+            assert!(m.latency_scale < 1.0, "{ft}");
+            assert!(m.timeout_mult < 1.0, "{ft}");
+        }
+    }
+
+    #[test]
+    fn arcabit_elf_hotspot() {
+        assert!(engine_type_latency_mult("Arcabit", FileType::ElfExecutable) > 2.0);
+        assert!(engine_type_latency_mult("Arcabit", FileType::Dex) < 0.2);
+        assert_eq!(engine_type_latency_mult("Zoner", FileType::Pdf), 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Engine identifiers.
+//!
+//! The platform runs a fixed roster of engines; an [`EngineId`] is a
+//! small dense index into that roster. The roster itself (names,
+//! behaviour profiles) lives in the `vt-engines` crate; keeping the ID
+//! type here lets `ScanReport` store verdict vectors without depending on
+//! behaviour code.
+
+use core::fmt;
+
+/// Maximum number of engines a report's verdict vector can carry. The
+/// paper's platform runs "over 70" engines; we fix the roster at 70 and
+/// size bitmaps for up to 128 so the format has headroom.
+pub const MAX_ENGINES: usize = 128;
+
+/// Dense engine index (0-based position in the roster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EngineId(pub u8);
+
+impl EngineId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `count` engine ids.
+    pub fn roster(count: usize) -> impl Iterator<Item = EngineId> {
+        assert!(count <= MAX_ENGINES);
+        (0..count as u8).map(EngineId)
+    }
+}
+
+impl fmt::Display for EngineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_iterates_in_order() {
+        let ids: Vec<EngineId> = EngineId::roster(3).collect();
+        assert_eq!(ids, vec![EngineId(0), EngineId(1), EngineId(2)]);
+        assert_eq!(ids[2].index(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EngineId(7).to_string(), "engine#7");
+    }
+}

@@ -1,0 +1,40 @@
+//! Domain types for the VirusTotal label-dynamics study.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`time`] — a small civil-calendar and virtual-clock implementation
+//!   covering the paper's 14-month collection window (May 2021 – June
+//!   2022) with minute resolution. No external date crate.
+//! * [`hash`] — 128-bit sample identifiers (the study aggregates scan
+//!   reports by sample hash).
+//! * [`filetype`] — the VirusTotal file-type taxonomy: the paper's top-20
+//!   types (Table 3), the `NULL` type, and an open-ended `Other` space
+//!   reaching the 351 types the dataset contains; plus the PE grouping
+//!   used in §5.4.3.
+//! * [`verdict`] — per-engine scan outcomes, the `R_ij ∈ {1, 0, −1}`
+//!   encoding of Eq. (1).
+//! * [`report`] — scan reports carrying the three metadata fields whose
+//!   update rules the paper reverse-engineers (Table 1) and a compact
+//!   per-engine verdict vector.
+//! * [`sample`] — sample metadata and simulation ground truth.
+//! * [`engine`] — engine identifiers (the engine *behaviour* lives in
+//!   `vt-engines`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod filetype;
+pub mod hash;
+pub mod report;
+pub mod sample;
+pub mod time;
+pub mod verdict;
+
+pub use engine::EngineId;
+pub use filetype::FileType;
+pub use hash::SampleHash;
+pub use report::{ReportKind, ScanReport, VerdictVec};
+pub use sample::{GroundTruth, SampleMeta};
+pub use time::{Date, Duration, Month, Timestamp};
+pub use verdict::Verdict;

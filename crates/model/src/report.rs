@@ -1,0 +1,268 @@
+//! Scan reports.
+//!
+//! A VT scan report carries file metadata, VT-specific metadata, and one
+//! label per engine. The paper's §3 establishes that three metadata
+//! fields update differently depending on which API produced the report
+//! (Table 1):
+//!
+//! | API    | `last_analysis_date` | `last_submission_date` | `times_submitted` |
+//! |--------|----------------------|------------------------|-------------------|
+//! | Upload | update               | update                 | increment         |
+//! | Rescan | update               | unchanged              | unchanged         |
+//! | Report | unchanged            | unchanged              | unchanged         |
+//!
+//! [`ScanReport`] carries exactly those fields plus the verdict vector;
+//! the update semantics are enforced by `vt-sim::api` and exercised by
+//! its tests.
+
+use crate::engine::{EngineId, MAX_ENGINES};
+use crate::filetype::FileType;
+use crate::hash::SampleHash;
+use crate::time::Timestamp;
+use crate::verdict::Verdict;
+
+/// Which API produced a report (§3's three report types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ReportKind {
+    /// Produced by the upload API (file submitted and analyzed).
+    Upload,
+    /// Produced by the rescan API (existing file re-analyzed).
+    Rescan,
+    /// Produced by the report API (existing report retrieved; no new
+    /// analysis).
+    Report,
+}
+
+/// A compact per-engine verdict vector: two bitmaps over engine indices.
+///
+/// `active` bit set ⇒ the engine produced a label for this scan;
+/// `detected` bit set ⇒ that label was "malicious". A `detected` bit is
+/// only meaningful when the corresponding `active` bit is set (the
+/// constructor enforces `detected ⊆ active`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VerdictVec {
+    active: [u64; 2],
+    detected: [u64; 2],
+    engine_count: u8,
+}
+
+impl VerdictVec {
+    /// An empty vector over a roster of `engine_count` engines.
+    pub fn new(engine_count: usize) -> Self {
+        assert!(engine_count <= MAX_ENGINES);
+        Self {
+            active: [0; 2],
+            detected: [0; 2],
+            engine_count: engine_count as u8,
+        }
+    }
+
+    /// Builds a vector from per-engine verdicts, in roster order.
+    pub fn from_verdicts(verdicts: &[Verdict]) -> Self {
+        let mut v = Self::new(verdicts.len());
+        for (i, &verdict) in verdicts.iter().enumerate() {
+            v.set(EngineId(i as u8), verdict);
+        }
+        v
+    }
+
+    /// Sets one engine's verdict.
+    pub fn set(&mut self, engine: EngineId, verdict: Verdict) {
+        let (w, b) = (engine.index() / 64, engine.index() % 64);
+        let mask = 1u64 << b;
+        match verdict {
+            Verdict::Malicious => {
+                self.active[w] |= mask;
+                self.detected[w] |= mask;
+            }
+            Verdict::Benign => {
+                self.active[w] |= mask;
+                self.detected[w] &= !mask;
+            }
+            Verdict::Undetected => {
+                self.active[w] &= !mask;
+                self.detected[w] &= !mask;
+            }
+        }
+    }
+
+    /// Reads one engine's verdict.
+    pub fn get(&self, engine: EngineId) -> Verdict {
+        let (w, b) = (engine.index() / 64, engine.index() % 64);
+        let mask = 1u64 << b;
+        if self.active[w] & mask == 0 {
+            Verdict::Undetected
+        } else if self.detected[w] & mask != 0 {
+            Verdict::Malicious
+        } else {
+            Verdict::Benign
+        }
+    }
+
+    /// Number of engines in the roster this vector covers.
+    pub fn engine_count(&self) -> usize {
+        self.engine_count as usize
+    }
+
+    /// The report's `positives` field — the AV-Rank: how many engines
+    /// flagged the sample.
+    pub fn positives(&self) -> u32 {
+        (self.detected[0].count_ones() + self.detected[1].count_ones()) as u32
+    }
+
+    /// How many engines produced a label at all.
+    pub fn active_count(&self) -> u32 {
+        (self.active[0].count_ones() + self.active[1].count_ones()) as u32
+    }
+
+    /// Iterates `(engine, verdict)` pairs over the roster.
+    pub fn iter(&self) -> impl Iterator<Item = (EngineId, Verdict)> + '_ {
+        (0..self.engine_count).map(move |i| {
+            let id = EngineId(i);
+            (id, self.get(id))
+        })
+    }
+
+    /// Raw bitmap words `(active, detected)` — used by the store codec.
+    pub fn raw(&self) -> ([u64; 2], [u64; 2]) {
+        (self.active, self.detected)
+    }
+
+    /// Reconstructs from raw bitmap words.
+    ///
+    /// # Panics
+    /// Panics if a `detected` bit is set without its `active` bit — that
+    /// encoding is unrepresentable via the public API.
+    pub fn from_raw(active: [u64; 2], detected: [u64; 2], engine_count: usize) -> Self {
+        assert!(engine_count <= MAX_ENGINES);
+        assert!(
+            detected[0] & !active[0] == 0 && detected[1] & !active[1] == 0,
+            "detected bits must be a subset of active bits"
+        );
+        Self {
+            active,
+            detected,
+            engine_count: engine_count as u8,
+        }
+    }
+}
+
+/// One scan report: what the analysis pipeline consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScanReport {
+    /// Hash of the scanned sample.
+    pub sample: SampleHash,
+    /// The sample's file type — §4.1: "in each VT scan report there is a
+    /// field indicating the type of the scanned sample". Carrying it in
+    /// the report (not just sample metadata) is what makes a stored feed
+    /// self-contained for analysis.
+    pub file_type: FileType,
+    /// When the analysis ran ("last_analysis_date" at generation time).
+    pub analysis_date: Timestamp,
+    /// "last_submission_date" — when the file was last uploaded.
+    pub last_submission_date: Timestamp,
+    /// "times_submitted" — upload count at generation time.
+    pub times_submitted: u32,
+    /// Which API produced this report.
+    pub kind: ReportKind,
+    /// Per-engine verdicts.
+    pub verdicts: VerdictVec,
+}
+
+impl ScanReport {
+    /// The report's AV-Rank (`positives` field).
+    pub fn positives(&self) -> u32 {
+        self.verdicts.positives()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = VerdictVec::new(70);
+        v.set(EngineId(0), Verdict::Malicious);
+        v.set(EngineId(63), Verdict::Benign);
+        v.set(EngineId(64), Verdict::Malicious);
+        v.set(EngineId(69), Verdict::Undetected);
+        assert_eq!(v.get(EngineId(0)), Verdict::Malicious);
+        assert_eq!(v.get(EngineId(63)), Verdict::Benign);
+        assert_eq!(v.get(EngineId(64)), Verdict::Malicious);
+        assert_eq!(v.get(EngineId(69)), Verdict::Undetected);
+        assert_eq!(v.get(EngineId(5)), Verdict::Undetected); // default
+        assert_eq!(v.positives(), 2);
+        assert_eq!(v.active_count(), 3);
+    }
+
+    #[test]
+    fn overwrite_transitions() {
+        let mut v = VerdictVec::new(4);
+        v.set(EngineId(1), Verdict::Malicious);
+        assert_eq!(v.positives(), 1);
+        v.set(EngineId(1), Verdict::Benign);
+        assert_eq!(v.positives(), 0);
+        assert_eq!(v.get(EngineId(1)), Verdict::Benign);
+        v.set(EngineId(1), Verdict::Undetected);
+        assert_eq!(v.active_count(), 0);
+    }
+
+    #[test]
+    fn from_verdicts_matches_iter() {
+        let verdicts = [
+            Verdict::Malicious,
+            Verdict::Benign,
+            Verdict::Undetected,
+            Verdict::Malicious,
+        ];
+        let v = VerdictVec::from_verdicts(&verdicts);
+        assert_eq!(v.engine_count(), 4);
+        let collected: Vec<Verdict> = v.iter().map(|(_, x)| x).collect();
+        assert_eq!(collected.as_slice(), &verdicts);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut v = VerdictVec::new(70);
+        v.set(EngineId(3), Verdict::Malicious);
+        v.set(EngineId(65), Verdict::Benign);
+        let (a, d) = v.raw();
+        let v2 = VerdictVec::from_raw(a, d, 70);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset")]
+    fn invalid_raw_rejected() {
+        VerdictVec::from_raw([0, 0], [1, 0], 70);
+    }
+
+    proptest! {
+        #[test]
+        fn positives_counts_malicious(
+            pattern in proptest::collection::vec(0u8..3, 1..70)
+        ) {
+            let verdicts: Vec<Verdict> = pattern
+                .iter()
+                .map(|&p| match p {
+                    0 => Verdict::Benign,
+                    1 => Verdict::Malicious,
+                    _ => Verdict::Undetected,
+                })
+                .collect();
+            let v = VerdictVec::from_verdicts(&verdicts);
+            let expect_pos = verdicts.iter().filter(|x| x.is_malicious()).count() as u32;
+            let expect_act = verdicts.iter().filter(|x| x.is_active()).count() as u32;
+            prop_assert_eq!(v.positives(), expect_pos);
+            prop_assert_eq!(v.active_count(), expect_act);
+            for (i, &expected) in verdicts.iter().enumerate() {
+                prop_assert_eq!(v.get(EngineId(i as u8)), expected);
+            }
+        }
+    }
+}

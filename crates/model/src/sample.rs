@@ -1,0 +1,106 @@
+//! Sample metadata and simulation ground truth.
+//!
+//! The real platform has no ground truth — that is the paper's whole
+//! problem. The *simulator* does: every generated sample carries a latent
+//! class and detectability that drive engine behaviour. Analyses never
+//! read the ground truth (they see only reports, as the paper did); it
+//! exists for the generator and for validating the simulator itself.
+
+use crate::filetype::FileType;
+use crate::hash::SampleHash;
+use crate::time::Timestamp;
+
+/// Latent class of a simulated sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GroundTruth {
+    /// A clean file. Engines only flag it by false positive.
+    Benign,
+    /// A malicious or unwanted file.
+    Malicious {
+        /// How easy the sample is to detect, in [0, 1]: the asymptotic
+        /// fraction of capable engines that will eventually flag it.
+        /// Low values model grayware/PUPs and evasive samples; high
+        /// values model commodity malware.
+        detectability: f32,
+    },
+}
+
+impl GroundTruth {
+    /// True for the malicious class.
+    pub fn is_malicious(self) -> bool {
+        matches!(self, GroundTruth::Malicious { .. })
+    }
+
+    /// Detectability (0 for benign samples).
+    pub fn detectability(self) -> f32 {
+        match self {
+            GroundTruth::Benign => 0.0,
+            GroundTruth::Malicious { detectability } => detectability,
+        }
+    }
+}
+
+/// Static metadata of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SampleMeta {
+    /// The sample's identifier.
+    pub hash: SampleHash,
+    /// VT file type.
+    pub file_type: FileType,
+    /// When the sample started circulating in the wild. Engine signature
+    /// acquisition is anchored here: by the time a sample reaches VT
+    /// (`first_submission`), fast engines may already detect it, which is
+    /// why fresh samples rarely start at AV-Rank 0 (§5.4's gray-sample
+    /// curves). Always `<= first_submission`.
+    pub origin: Timestamp,
+    /// When the sample was first submitted to the platform. For "fresh"
+    /// samples (91.76% in the paper) this falls inside the collection
+    /// window; for the rest it precedes it.
+    pub first_submission: Timestamp,
+    /// Simulation ground truth (invisible to analyses).
+    pub truth: GroundTruth,
+}
+
+impl SampleMeta {
+    /// Whether the sample is "fresh" with respect to a collection window
+    /// starting at `window_start` (§4.1: first submitted within the
+    /// window).
+    pub fn is_fresh(&self, window_start: Timestamp) -> bool {
+        self.first_submission >= window_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Date, Timestamp};
+
+    #[test]
+    fn ground_truth_accessors() {
+        assert!(!GroundTruth::Benign.is_malicious());
+        assert_eq!(GroundTruth::Benign.detectability(), 0.0);
+        let m = GroundTruth::Malicious { detectability: 0.8 };
+        assert!(m.is_malicious());
+        assert_eq!(m.detectability(), 0.8);
+    }
+
+    #[test]
+    fn freshness() {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let fresh = SampleMeta {
+            hash: SampleHash::from_ordinal(1),
+            file_type: FileType::Pdf,
+            origin: window - crate::time::Duration::days(3),
+            first_submission: window,
+            truth: GroundTruth::Benign,
+        };
+        assert!(fresh.is_fresh(window));
+        let old = SampleMeta {
+            first_submission: Timestamp::from_date(Date::new(2021, 4, 30)),
+            ..fresh
+        };
+        assert!(!old.is_fresh(window));
+    }
+}

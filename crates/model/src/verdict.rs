@@ -1,0 +1,93 @@
+//! Per-engine scan outcomes.
+//!
+//! §7.2 Eq. (1) encodes an engine's decision about a sample as
+//! `R_ij ∈ {1, 0, −1}`: malicious, benign, or undetected (the engine
+//! produced no result — timeout, unsupported type, engine absent from
+//! that scan). [`Verdict`] is that three-valued outcome.
+
+/// One engine's outcome for one scan of one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Verdict {
+    /// The engine flagged the sample (R = 1).
+    Malicious,
+    /// The engine examined the sample and did not flag it (R = 0).
+    Benign,
+    /// The engine produced no result for this scan (R = −1).
+    Undetected,
+}
+
+impl Verdict {
+    /// The paper's matrix encoding: 1 / 0 / −1.
+    pub fn r_value(self) -> i8 {
+        match self {
+            Verdict::Malicious => 1,
+            Verdict::Benign => 0,
+            Verdict::Undetected => -1,
+        }
+    }
+
+    /// Inverse of [`Verdict::r_value`].
+    ///
+    /// # Panics
+    /// Panics on values outside {−1, 0, 1}.
+    pub fn from_r_value(v: i8) -> Self {
+        match v {
+            1 => Verdict::Malicious,
+            0 => Verdict::Benign,
+            -1 => Verdict::Undetected,
+            _ => panic!("invalid R value {v}"),
+        }
+    }
+
+    /// True when the engine actually produced a label (R ≥ 0).
+    pub fn is_active(self) -> bool {
+        !matches!(self, Verdict::Undetected)
+    }
+
+    /// True when the engine flagged the sample.
+    pub fn is_malicious(self) -> bool {
+        matches!(self, Verdict::Malicious)
+    }
+
+    /// The §7.1 binary label `l_t ∈ {0, 1}` used for flip counting, or
+    /// `None` if the engine was inactive for this scan (inactive scans do
+    /// not participate in consecutive-label flip analysis).
+    pub fn binary_label(self) -> Option<u8> {
+        match self {
+            Verdict::Malicious => Some(1),
+            Verdict::Benign => Some(0),
+            Verdict::Undetected => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_value_roundtrip() {
+        for v in [Verdict::Malicious, Verdict::Benign, Verdict::Undetected] {
+            assert_eq!(Verdict::from_r_value(v.r_value()), v);
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Verdict::Malicious.is_active());
+        assert!(Verdict::Benign.is_active());
+        assert!(!Verdict::Undetected.is_active());
+        assert!(Verdict::Malicious.is_malicious());
+        assert!(!Verdict::Benign.is_malicious());
+        assert_eq!(Verdict::Malicious.binary_label(), Some(1));
+        assert_eq!(Verdict::Benign.binary_label(), Some(0));
+        assert_eq!(Verdict::Undetected.binary_label(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R value")]
+    fn bad_r_value_panics() {
+        Verdict::from_r_value(3);
+    }
+}

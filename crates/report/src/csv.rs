@@ -1,0 +1,79 @@
+//! Minimal CSV emission (RFC 4180 quoting) — no external dependency.
+
+/// A CSV document builder.
+#[derive(Debug, Default, Clone)]
+pub struct CsvWriter {
+    buf: String,
+}
+
+impl CsvWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record, quoting fields as needed.
+    pub fn record<I, S>(&mut self, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            self.buf.push_str(&escape(f.as_ref()));
+        }
+        self.buf.push_str("\r\n");
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        let mut w = CsvWriter::new();
+        w.record(["a", "b", "c"]);
+        assert_eq!(w.as_str(), "a,b,c\r\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut w = CsvWriter::new();
+        w.record(["has,comma", "has\"quote", "has\nnewline", "plain"]);
+        assert_eq!(
+            w.finish(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\r\n"
+        );
+    }
+
+    #[test]
+    fn multiple_records() {
+        let mut w = CsvWriter::new();
+        w.record(["h1", "h2"]);
+        w.record(["1", "2"]);
+        assert_eq!(w.as_str().lines().count(), 2);
+    }
+}

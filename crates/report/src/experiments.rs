@@ -1,0 +1,615 @@
+//! Per-experiment renderers: every table and figure of the paper, with
+//! the paper's reported values printed alongside the measured ones.
+//!
+//! [`render_full_report`] concatenates all experiments — that output is
+//! what `examples/full_study.rs` prints and what `EXPERIMENTS.md`
+//! archives.
+
+use crate::figure::{ascii_cdf, ascii_heatmap, box_row};
+use crate::table::TextTable;
+use vt_dynamics::pipeline::CORRELATION_SCOPES;
+use vt_dynamics::StudyResults;
+use vt_engines::EngineFleet;
+use vt_model::{EngineId, FileType};
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+fn section(title: &str, body: String) -> String {
+    format!("\n## {title}\n\n{body}")
+}
+
+/// Table 1 — API field-update semantics. The behaviour itself is
+/// enforced and tested in `vt-sim::api`; this renders the rule table.
+pub fn table1() -> String {
+    let mut t = TextTable::new(vec!["API", "last_analysis_date", "last_submission_date", "times_submitted"]);
+    t.row(vec!["Upload".into(), "Update".into(), "Update".into(), "Update".into()]);
+    t.row(vec!["Rescan".into(), "Update".into(), "Unchange".into(), "Unchange".into()]);
+    t.row(vec!["Report".into(), "Unchange".into(), "Unchange".into(), "Unchange".into()]);
+    section(
+        "Table 1 — report-field update rules per API",
+        format!("{}\nEnforced by vt-sim::api (see its unit tests).\n", t.render()),
+    )
+}
+
+/// Table 2 — monthly report volumes and store accounting.
+pub fn table2(r: &StudyResults) -> String {
+    let mut t = TextTable::new(vec!["Month", "Reports", "Stored", "Compression"]);
+    let mut total_reports = 0u64;
+    let mut total_bytes = 0u64;
+    for p in &r.partitions {
+        if p.reports == 0 {
+            continue;
+        }
+        let label = match p.month {
+            Some(m) => format!("{m} Reports"),
+            None => "Out-of-window".to_string(),
+        };
+        t.row(vec![
+            label,
+            p.reports.to_string(),
+            format!("{:.3} MB", p.stored_bytes as f64 / 1e6),
+            format!("{:.2}x", p.compression_ratio()),
+        ]);
+        total_reports += p.reports;
+        total_bytes += p.stored_bytes;
+    }
+    t.row(vec![
+        "Total".into(),
+        total_reports.to_string(),
+        format!("{:.3} MB", total_bytes as f64 / 1e6),
+        String::new(),
+    ]);
+    section(
+        "Table 2 — reports per month (store accounting)",
+        format!(
+            "{}\nPaper: 847,567,045 reports / 753.4 GB over 14 months; field-pruned &\n\
+             compressed at 10.06x. Monthly volume profile (March 2022 peak, May 2021\n\
+             trough) is reproduced by the traffic model; absolute counts scale with\n\
+             the configured population.\n",
+            t.render()
+        ),
+    )
+}
+
+/// Table 3 — file-type distribution.
+pub fn table3(r: &StudyResults) -> String {
+    let mut t = TextTable::new(vec!["File Type", "# Samples", "% Samples", "# Reports", "% Reports"]);
+    for (name, s, sp, rep, rp) in r.dataset.table3() {
+        t.row(vec![
+            name,
+            s.to_string(),
+            format!("{sp:.2}%"),
+            rep.to_string(),
+            format!("{rp:.2}%"),
+        ]);
+    }
+    section(
+        "Table 3 — file-type distribution",
+        format!(
+            "{}\nPaper: Win32 EXE 25.21% of samples / 29.09% of reports; NULL 9.60%;\n\
+             Others 11.71% across 330 long-tail types (351 types total).\n",
+            t.render()
+        ),
+    )
+}
+
+/// Fig. 1 — CDF of reports per sample.
+pub fn fig1(r: &StudyResults) -> String {
+    let hist = r.dataset.reports_per_sample_hist();
+    let pts: Vec<(f64, f64)> = hist
+        .cumulative()
+        .into_iter()
+        .map(|(v, f)| (v as f64, f))
+        .collect();
+    let plot = ascii_cdf(&[("reports/sample", pts)], 60, 12);
+    let f = r.fig1;
+    let body = format!(
+        "{plot}\n\
+         fraction with 1 report        paper 88.81%   measured {}\n\
+         fraction with <6 reports      paper 99.10%   measured {}\n\
+         fraction with <20 reports     paper 99.90%   measured {}\n\
+         max reports for one sample    paper 64,168   measured {}\n\
+         multi-report samples          paper 63,999,984 (11.21%)   measured {}\n",
+        pct(f.singleton),
+        pct(f.under_6),
+        pct(f.under_20),
+        f.max_reports,
+        f.multi_report_samples,
+    );
+    section("Fig. 1 — CDF of reports per sample", body)
+}
+
+/// Obs. 1 + Fig. 2 — stable vs dynamic samples.
+pub fn fig2(r: &StudyResults) -> String {
+    let st = &r.stability;
+    let stable_pts: Vec<(f64, f64)> = st
+        .stable_report_hist
+        .cumulative()
+        .into_iter()
+        .map(|(v, f)| (v as f64, f))
+        .collect();
+    let dynamic_pts: Vec<(f64, f64)> = st
+        .dynamic_report_hist
+        .cumulative()
+        .into_iter()
+        .map(|(v, f)| (v as f64, f))
+        .collect();
+    let plot = ascii_cdf(&[("stable", stable_pts), ("dynamic", dynamic_pts)], 60, 12);
+    let body = format!(
+        "{plot}\n\
+         stable fraction of multi-report samples   paper 49.90%   measured {}\n\
+         dynamic fraction                           paper 50.10%   measured {}\n\
+         stable with exactly 2 reports              paper 67.09%   measured {}\n\
+         dynamic with exactly 2 reports             paper 71.30%   measured {}\n",
+        pct(st.stable_fraction()),
+        pct(1.0 - st.stable_fraction()),
+        pct(if st.stable == 0 { 0.0 } else { st.stable_report_hist.count(2) as f64 / st.stable as f64 }),
+        pct(if st.dynamic == 0 { 0.0 } else { st.dynamic_report_hist.count(2) as f64 / st.dynamic as f64 }),
+    );
+    section("Obs. 1 / Fig. 2 — stable vs dynamic samples", body)
+}
+
+/// Obs. 2 + Figs. 3–4 — characterizing stable samples.
+pub fn fig3_fig4(r: &StudyResults) -> String {
+    let st = &r.stability;
+    let pts: Vec<(f64, f64)> = st
+        .stable_rank_hist
+        .cumulative()
+        .into_iter()
+        .map(|(v, f)| (v as f64, f))
+        .collect();
+    let plot = ascii_cdf(&[("AV-Rank of stable samples", pts)], 60, 12);
+    let mut boxes = String::new();
+    let x_max = st
+        .span_by_rank
+        .iter()
+        .flatten()
+        .map(|b| b.whisker_hi)
+        .fold(1.0, f64::max);
+    for (rank, b) in st.span_by_rank.iter().enumerate() {
+        if let Some(b) = b {
+            let label = if rank == vt_dynamics::stability::StabilityAnalysis::RANK_CAP {
+                format!("rank >= {rank} (days)")
+            } else {
+                format!("rank {rank} (days)")
+            };
+            boxes.push_str(&box_row(&label, b, x_max, 50));
+        }
+    }
+    let body = format!(
+        "{plot}\n\
+         stable at AV-Rank 0            paper 66.36%   measured {}\n\
+         stable at AV-Rank <= 5         paper >80%     measured {}\n\
+         benign share excl. 2-scan      paper 81.7%    measured {}\n\
+         rank-0 mean scans              paper 3.54     measured {:.2}\n\
+         rank>0 mean scans              paper 2.92     measured {:.2}\n\
+         span within 17 days            paper ~50%     measured {}\n\
+         span within 350 days           paper >93%     measured {}\n\n\
+         Fig. 4 — stable time span by AV-Rank:\n{boxes}\n\
+         Paper: benign (rank 0) samples hold their state longest\n\
+         (mean 20.34 d, median 14 d).\n",
+        pct(st.stable_at_zero_fraction()),
+        pct(st.stable_le5_fraction()),
+        pct(st.stable_benign_fraction_excluding_two_scans()),
+        st.rank0_mean_scans(),
+        st.rank_pos_mean_scans(),
+        pct(st.span_within_17d),
+        pct(st.span_within_350d),
+    );
+    section("Obs. 2 / Figs. 3–4 — stable-sample characteristics", body)
+}
+
+/// Obs. 3 + Fig. 5 — δ/Δ distributions over *S*.
+pub fn fig5(r: &StudyResults) -> String {
+    let m = &r.metrics;
+    let adj: Vec<(f64, f64)> = m
+        .delta_adjacent_hist
+        .cumulative()
+        .into_iter()
+        .map(|(v, f)| (v as f64, f))
+        .collect();
+    let ovl: Vec<(f64, f64)> = m
+        .delta_overall_hist
+        .cumulative()
+        .into_iter()
+        .map(|(v, f)| (v as f64, f))
+        .collect();
+    let plot = ascii_cdf(&[("delta (adjacent)", adj), ("Delta (overall)", ovl)], 60, 12);
+    let body = format!(
+        "{plot}\n\
+         |S| samples / reports     paper 32,051,433 / 109,142,027   measured {} / {}\n\
+         adjacent pairs with d=0   paper 35.49%   measured {}\n\
+         samples with Delta > 2    paper ~50%     measured {}\n\
+         samples with Delta <= 11  paper 90%      measured {}\n",
+        r.s_samples,
+        r.s_reports,
+        pct(m.delta_zero_fraction),
+        pct(m.delta_over_2_fraction),
+        pct(m.delta_le_11_fraction),
+    );
+    section("Obs. 3 / Fig. 5 — adjacent (δ) and overall (Δ) AV-Rank differences", body)
+}
+
+/// Obs. 4 + Fig. 6 — per-type δ/Δ boxes.
+pub fn fig6(r: &StudyResults) -> String {
+    let mut t = TextTable::new(vec![
+        "File type", "δ mean", "δ median", "Δ mean", "Δ median", "n",
+    ]);
+    for tm in &r.metrics.per_type {
+        if let (Some(adj), Some(ovl)) = (tm.delta_adjacent, tm.delta_overall) {
+            t.row(vec![
+                tm.file_type.name(),
+                format!("{:.2}", adj.mean),
+                format!("{:.1}", adj.median),
+                format!("{:.2}", ovl.mean),
+                format!("{:.1}", ovl.median),
+                ovl.n.to_string(),
+            ]);
+        }
+    }
+    section(
+        "Obs. 4 / Fig. 6 — per-file-type dynamics",
+        format!(
+            "{}\nPaper reference points: Win32 DLL has the highest adjacent-scan δ\n\
+             (mean 3.25); JSON the lowest (0.29); overall Δ means range from 1.49\n\
+             (JPEG) to 14.08 (Win32 EXE); EPUB/FPX/JPEG/ELF-shared/GZIP/PHP are the\n\
+             quiet types; ZIP/JSON/TXT creep (small δ, larger Δ).\n",
+            t.render()
+        ),
+    )
+}
+
+/// Obs. 5 + Fig. 7 — AV-Rank difference vs scan interval.
+pub fn fig7(r: &StudyResults) -> String {
+    let iv = &r.intervals;
+    let mut boxes = String::new();
+    let x_max = iv
+        .by_day
+        .iter()
+        .flatten()
+        .map(|b| b.whisker_hi)
+        .fold(1.0, f64::max);
+    for day in [1usize, 3, 7, 14, 30, 60, 120, 240, 360] {
+        if let Some(b) = iv.by_day.get(day).and_then(|b| b.as_ref()) {
+            boxes.push_str(&box_row(&format!("interval {day:>3} d"), b, x_max, 50));
+        }
+    }
+    let corr = match iv.correlation {
+        Some(c) => format!(
+            "Spearman(interval, mean diff)  paper rho=0.9181, p=2.6083e-167\n\
+             \u{20}                              measured rho={:.4}, p={:.4e} over {} day bins",
+            c.rho, c.p_value, c.n
+        ),
+        None => "correlation undefined (insufficient data)".to_string(),
+    };
+    let body = format!(
+        "{boxes}\n{corr}\n\
+         pairs examined: {} (per-sample scans capped at {} — see module docs)\n\
+         max interval observed: {} days (paper: 418)\n\
+         window-growth check (§8.1): Delta grew from 1->3 month window for\n\
+         paper 8.6% / measured {} of eligible samples\n",
+        iv.pairs,
+        vt_dynamics::intervals::MAX_SCANS_PER_SAMPLE,
+        iv.max_interval_days,
+        pct(r.window_growth),
+    );
+    section("Obs. 5 / Fig. 7 — difference grows with scan interval", body)
+}
+
+/// Obs. 6 + Fig. 8 — white/black/gray threshold sweeps.
+pub fn fig8(r: &StudyResults) -> String {
+    let render_sweep = |name: &str, sweep: &vt_dynamics::categorize::CategorySweep, paper: &str| {
+        let mut t = TextTable::new(vec!["t", "white", "black", "gray"]);
+        for sh in sweep.shares.iter().filter(|s| s.t % 3 == 1 || s.t == 50) {
+            t.row(vec![
+                sh.t.to_string(),
+                pct(sh.white),
+                pct(sh.black),
+                pct(sh.gray),
+            ]);
+        }
+        let max = sweep.gray_max().expect("nonempty sweep");
+        let min = sweep.gray_min().expect("nonempty sweep");
+        format!(
+            "{name} ({} samples):\n{}\n\
+             gray max: measured {} at t={} | gray min: measured {} at t={}\n\
+             {paper}\n\n",
+            sweep.samples,
+            t.render(),
+            pct(max.gray),
+            max.t,
+            pct(min.gray),
+            min.t,
+        )
+    };
+    let body = format!(
+        "{}{}",
+        render_sweep(
+            "Fig. 8a — all of S",
+            &r.categories_all,
+            "paper: gray max 14.92% at t=24; min 3.82% at t=45; gray <10% for t in 1–11 and 28–50",
+        ),
+        render_sweep(
+            "Fig. 8b — PE files only",
+            &r.categories_pe,
+            "paper: gray grows with t; max 16.41% at t=50; min 2.70% at t=3; <10% for t<=24",
+        ),
+    );
+    section("Obs. 6 / Fig. 8 — white/black/gray samples vs threshold", body)
+}
+
+/// Obs. 7 — causes of label dynamics.
+pub fn obs7(r: &StudyResults) -> String {
+    let c = &r.causes;
+    let body = format!(
+        "per-engine flips in S: {} ({} up / {} down)\n\
+         flips coinciding with an engine update   paper ~60%   measured {}\n\
+         inactivity gaps returning the same label paper \"usually consistent\"   measured {}\n\
+         (mechanisms: engine latency = 0→1 acquisitions; engine update =\n\
+         update-quantized signature pushes; engine activity = timeouts/outages)\n",
+        c.flips,
+        c.flips_up,
+        c.flips_down,
+        pct(c.update_fraction()),
+        pct(c.gap_consistency()),
+    );
+    section("Obs. 7 — inferred causes of label dynamics", body)
+}
+
+/// Obs. 8 — AV-Rank stabilization under fluctuation ranges.
+pub fn obs8(r: &StudyResults) -> String {
+    let paper = ["10.90%", "55.10%", "69.58%", "77.84%", "83.52%", "88.11%"];
+    let mut t = TextTable::new(vec![
+        "r", "stabilized (paper)", "stabilized (measured)", "of which within 30d",
+    ]);
+    for s in &r.rank_stabilization {
+        t.row(vec![
+            s.r.to_string(),
+            paper[s.r as usize].to_string(),
+            pct(s.stabilized_fraction()),
+            pct(s.within_30d_fraction()),
+        ]);
+    }
+    section(
+        "Obs. 8 — AV-Rank stabilization (fluctuation ranges r = 0..5)",
+        format!(
+            "{}\nPaper: >90% of stabilizing samples settle within 30 days\n\
+             (90.36%–95.68% across r).\n",
+            t.render()
+        ),
+    )
+}
+
+/// Obs. 9 + Fig. 9 — file-label stabilization.
+pub fn fig9(r: &StudyResults) -> String {
+    let render = |name: &str, rows: &[vt_dynamics::stabilization::LabelStabilization]| {
+        let mut t = TextTable::new(vec![
+            "t", "stabilized", "mean serial", "mean days", "within 30d",
+        ]);
+        for l in rows {
+            t.row(vec![
+                l.t.to_string(),
+                pct(l.stabilized_fraction()),
+                format!("{:.1}", l.mean_serial),
+                format!("{:.1}", l.mean_days),
+                pct(l.within_30d_fraction()),
+            ]);
+        }
+        format!("{name}:\n{}\n", t.render())
+    };
+    let body = format!(
+        "{}{}\
+         Paper (Fig. 9a, all samples): stabilize at the 2nd–3rd report on average,\n\
+         9.4–10.6 days; (Fig. 9b, >2 scans): 10th–11th scan, 26–34 days — their\n\
+         averages are dominated by heavily re-scanned monitoring samples.\n\
+         93.14%–98.04% of labels eventually stabilize; 91.09%–92.31% within 30 days.\n\
+         Known deviation: our simulated label histories cross thresholds less often\n\
+         than the real feed, so measured serial/day means run lower (see EXPERIMENTS.md).\n",
+        render("Fig. 9a — all of S", &r.label_stabilization_all),
+        render("Fig. 9b — excluding 2-scan samples", &r.label_stabilization_multi),
+    );
+    section("Obs. 9 / Fig. 9 — file-label stabilization under thresholds", body)
+}
+
+/// Obs. 10 + Fig. 10 — per-engine flip behaviour.
+pub fn fig10(r: &StudyResults, fleet: &EngineFleet) -> String {
+    let f = &r.flips;
+    // Heat map over a readable subset: 14 engines of interest × top-20
+    // types, normalized to the max cell.
+    let engines_of_interest = [
+        "Arcabit", "F-Secure", "Lionic", "Microsoft", "F-Prot", "Cyren", "Rising",
+        "CAT-QuickHeal", "Avast", "BitDefender", "Kaspersky", "ESET-NOD32", "Jiangmin",
+        "AhnLab-V3",
+    ];
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    let mut max_ratio: f64 = 1e-9;
+    for name in engines_of_interest {
+        let e = fleet.engine_by_name(name);
+        let row: Vec<f64> = (0..20)
+            .map(|idx| f.ratio(e, FileType::from_dense_index(idx)))
+            .collect();
+        for &v in &row {
+            max_ratio = max_ratio.max(v);
+        }
+        cells.push(row);
+        labels.push(name.to_string());
+    }
+    for row in &mut cells {
+        for v in row.iter_mut() {
+            *v /= max_ratio;
+        }
+    }
+    let col_labels: Vec<String> = (0..20)
+        .map(|i| format!("{i}={}", FileType::from_dense_index(i).name()))
+        .collect();
+    let map = ascii_heatmap(&labels, &col_labels, &cells);
+    let ranked = f.ranked_engines();
+    let top: Vec<String> = ranked
+        .iter()
+        .take(6)
+        .map(|(e, ratio)| format!("{} {:.2}%", fleet.profile(*e).name, ratio * 100.0))
+        .collect();
+    let bottom: Vec<String> = ranked
+        .iter()
+        .rev()
+        .take(4)
+        .map(|(e, ratio)| format!("{} {:.2}%", fleet.profile(*e).name, ratio * 100.0))
+        .collect();
+    let body = format!(
+        "flip ratio heat map (darkest = {:.2}%):\n{map}\n\
+         total flips {} | up {} | down {} (paper 12.27 M up / 4.57 M down ≈ 2.7:1; measured ratio {:.2})\n\
+         hazard flips: paper 9 of 16.8 M | measured {} of {}\n\
+         most flip-prone: {}\n\
+         most stable: {}\n\
+         paper: flip-prone Arcabit / F-Secure / Lionic (and even Microsoft);\n\
+         stable Jiangmin / AhnLab; Arcabit ELF 25.78% vs DEX 0.05%.\n",
+        max_ratio * 100.0,
+        f.flips,
+        f.flips_up,
+        f.flips_down,
+        f.flips_up as f64 / f.flips_down.max(1) as f64,
+        f.hazard_flips,
+        f.flips,
+        top.join(", "),
+        bottom.join(", "),
+    );
+    section("Obs. 10 / Fig. 10 — flip ratio per engine and file type", body)
+}
+
+/// Obs. 11 + Figs. 11–12 + Tables 4–8 — engine correlation.
+pub fn fig11_12(r: &StudyResults, fleet: &EngineFleet) -> String {
+    let mut body = String::new();
+    let name = |e: EngineId| fleet.profile(e).name;
+
+    body.push_str("Fig. 11 — global strong correlations (rho > 0.8):\n");
+    let g = &r.correlation_global;
+    let mut t = TextTable::new(vec!["pair", "rho"]);
+    for &(a, b, rho) in g.strong_pairs.iter().take(20) {
+        t.row(vec![format!("{} — {}", name(a), name(b)), format!("{rho:.4}")]);
+    }
+    body.push_str(&t.render());
+    body.push_str(&format!(
+        "({} strong pairs over {} scan rows; showing top 20)\n\
+         paper anchors: Paloalto–APEX 0.9933, Avast–AVG 0.9814,\n\
+         Webroot–CrowdStrike 0.9754, BitDefender–FireEye 0.9520,\n\
+         Emsisoft–FireEye 0.9189, Babable–F-Prot 0.9698, Avira–Cynet 0.9751\n\n",
+        g.strong_pairs.len(),
+        g.rows
+    ));
+    body.push_str("global engine groups (connected components):\n");
+    for (i, group) in g.groups.iter().enumerate() {
+        let names: Vec<&str> = group.iter().map(|&e| name(e)).collect();
+        body.push_str(&format!("  group {}: {}\n", i + 1, names.join(", ")));
+    }
+
+    for ct in &r.correlation_per_type {
+        let scope = ct.scope.expect("per-type scopes are typed");
+        body.push_str(&format!(
+            "\nscope {} ({} rows, {} strong pairs):\n",
+            scope.name(),
+            ct.rows,
+            ct.strong_pairs.len()
+        ));
+        for (i, group) in ct.groups.iter().take(10).enumerate() {
+            let names: Vec<&str> = group.iter().map(|&e| name(e)).collect();
+            body.push_str(&format!("  group {}: {}\n", i + 1, names.join(", ")));
+        }
+        let top_pairs: Vec<String> = ct
+            .strong_pairs
+            .iter()
+            .take(5)
+            .map(|&(a, b, rho)| format!("{}–{} {:.3}", name(a), name(b), rho))
+            .collect();
+        if !top_pairs.is_empty() {
+            body.push_str(&format!("  strongest pairs: {}\n", top_pairs.join("; ")));
+        }
+    }
+
+    // The two per-type quirks the paper highlights.
+    let exe = &r.correlation_per_type[0];
+    debug_assert_eq!(CORRELATION_SCOPES[0], FileType::Win32Exe);
+    let rho_of = |c: &vt_dynamics::correlation::CorrelationAnalysis, a: &str, b: &str| {
+        c.rho_between(fleet.engine_by_name(a), fleet.engine_by_name(b))
+    };
+    body.push_str(&format!(
+        "\nper-type quirks (Appendix 2):\n\
+         Cyren–Fortinet   global {:.3} (weak) vs Win32 EXE {:.3} (paper: strong only on EXE)\n\
+         Avira–Cynet      global {:.3} (strong) vs Win32 EXE {:.3} (paper: weak on EXE)\n",
+        rho_of(g, "Cyren", "Fortinet"),
+        rho_of(exe, "Cyren", "Fortinet"),
+        rho_of(g, "Avira", "Cynet"),
+        rho_of(exe, "Avira", "Cynet"),
+    ));
+    section("Obs. 11 / Figs. 11–12, Tables 4–8 — engine correlation", body)
+}
+
+/// The complete paper-vs-measured report.
+pub fn render_full_report(r: &StudyResults, fleet: &EngineFleet) -> String {
+    let mut out = String::from(
+        "# Reproduction report — Re-measuring the Label Dynamics of Online\n\
+         # Anti-Malware Engines from Millions of Samples (IMC '23)\n",
+    );
+    out.push_str(&table1());
+    out.push_str(&table2(r));
+    out.push_str(&table3(r));
+    out.push_str(&fig1(r));
+    out.push_str(&fig2(r));
+    out.push_str(&fig3_fig4(r));
+    out.push_str(&fig5(r));
+    out.push_str(&fig6(r));
+    out.push_str(&fig7(r));
+    out.push_str(&fig8(r));
+    out.push_str(&obs7(r));
+    out.push_str(&obs8(r));
+    out.push_str(&fig9(r));
+    out.push_str(&fig10(r, fleet));
+    out.push_str(&fig11_12(r, fleet));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_dynamics::Study;
+    use vt_sim::SimConfig;
+
+    #[test]
+    fn full_report_renders_every_section() {
+        let study = Study::generate(SimConfig::new(0xEE, 6_000));
+        let results = study.run();
+        let report = render_full_report(&results, study.sim().fleet());
+        for needle in [
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Fig. 1",
+            "Fig. 2",
+            "Figs. 3–4",
+            "Fig. 5",
+            "Fig. 6",
+            "Fig. 7",
+            "Fig. 8",
+            "Obs. 7",
+            "Obs. 8",
+            "Fig. 9",
+            "Fig. 10",
+            "Figs. 11–12",
+            "Paloalto",
+            "Win32 EXE",
+        ] {
+            assert!(report.contains(needle), "missing section: {needle}");
+        }
+        // Sanity: the report is substantial.
+        assert!(report.len() > 5_000, "report suspiciously short");
+    }
+
+    #[test]
+    fn table1_is_static() {
+        let t = table1();
+        assert!(t.contains("Upload"));
+        assert!(t.contains("Unchange"));
+    }
+}

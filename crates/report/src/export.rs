@@ -1,0 +1,257 @@
+//! CSV exports: the data series behind every figure, for external
+//! plotting tools (matplotlib, gnuplot, a spreadsheet).
+//!
+//! [`export_csv`] returns `(file name, CSV contents)` pairs; the `vtld`
+//! CLI writes them with `--csv-dir`.
+
+use crate::csv::CsvWriter;
+use vt_dynamics::StudyResults;
+use vt_engines::EngineFleet;
+use vt_model::{EngineId, FileType};
+
+/// Renders every figure's data series as CSV documents.
+pub fn export_csv(r: &StudyResults, fleet: &EngineFleet) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+
+    // Fig. 1 — reports-per-sample CDF.
+    let mut w = CsvWriter::new();
+    w.record(["reports_per_sample", "cdf"]);
+    for (v, f) in r.dataset.reports_per_sample_hist().cumulative() {
+        w.record([v.to_string(), format!("{f:.6}")]);
+    }
+    out.push(("fig1_reports_per_sample.csv".into(), w.finish()));
+
+    // Fig. 2 — stable/dynamic report-count CDFs.
+    let mut w = CsvWriter::new();
+    w.record(["class", "reports", "cdf"]);
+    for (label, hist) in [
+        ("stable", &r.stability.stable_report_hist),
+        ("dynamic", &r.stability.dynamic_report_hist),
+    ] {
+        for (v, f) in hist.cumulative() {
+            w.record([label.to_string(), v.to_string(), format!("{f:.6}")]);
+        }
+    }
+    out.push(("fig2_stable_dynamic_cdf.csv".into(), w.finish()));
+
+    // Fig. 3 — stable-sample AV-Rank CDF.
+    let mut w = CsvWriter::new();
+    w.record(["av_rank", "cdf"]);
+    for (v, f) in r.stability.stable_rank_hist.cumulative() {
+        w.record([v.to_string(), format!("{f:.6}")]);
+    }
+    out.push(("fig3_stable_avrank_cdf.csv".into(), w.finish()));
+
+    // Fig. 4 — stable span boxes by rank.
+    let mut w = CsvWriter::new();
+    w.record(["rank", "n", "mean", "median", "q1", "q3", "whisker_lo", "whisker_hi"]);
+    for (rank, b) in r.stability.span_by_rank.iter().enumerate() {
+        if let Some(b) = b {
+            w.record([
+                rank.to_string(),
+                b.n.to_string(),
+                format!("{:.4}", b.mean),
+                format!("{:.4}", b.median),
+                format!("{:.4}", b.q1),
+                format!("{:.4}", b.q3),
+                format!("{:.4}", b.whisker_lo),
+                format!("{:.4}", b.whisker_hi),
+            ]);
+        }
+    }
+    out.push(("fig4_stable_span_by_rank.csv".into(), w.finish()));
+
+    // Fig. 5 — δ/Δ CDFs.
+    let mut w = CsvWriter::new();
+    w.record(["metric", "value", "cdf"]);
+    for (label, hist) in [
+        ("delta_adjacent", &r.metrics.delta_adjacent_hist),
+        ("delta_overall", &r.metrics.delta_overall_hist),
+    ] {
+        for (v, f) in hist.cumulative() {
+            w.record([label.to_string(), v.to_string(), format!("{f:.6}")]);
+        }
+    }
+    out.push(("fig5_delta_cdf.csv".into(), w.finish()));
+
+    // Fig. 6 — per-type box stats.
+    let mut w = CsvWriter::new();
+    w.record(["file_type", "metric", "n", "mean", "median", "q1", "q3"]);
+    for tm in &r.metrics.per_type {
+        for (label, b) in [
+            ("delta_adjacent", tm.delta_adjacent),
+            ("delta_overall", tm.delta_overall),
+        ] {
+            if let Some(b) = b {
+                w.record([
+                    tm.file_type.name(),
+                    label.to_string(),
+                    b.n.to_string(),
+                    format!("{:.4}", b.mean),
+                    format!("{:.4}", b.median),
+                    format!("{:.4}", b.q1),
+                    format!("{:.4}", b.q3),
+                ]);
+            }
+        }
+    }
+    out.push(("fig6_per_type.csv".into(), w.finish()));
+
+    // Fig. 7 — day-bin statistics.
+    let mut w = CsvWriter::new();
+    w.record(["interval_days", "pairs", "mean_diff", "median_diff"]);
+    for (day, b) in r.intervals.by_day.iter().enumerate() {
+        if let Some(b) = b {
+            w.record([
+                day.to_string(),
+                b.n.to_string(),
+                format!("{:.4}", b.mean),
+                format!("{:.4}", b.median),
+            ]);
+        }
+    }
+    out.push(("fig7_interval_bins.csv".into(), w.finish()));
+
+    // Fig. 8 — threshold sweeps.
+    for (name, sweep) in [
+        ("fig8a_categories_all.csv", &r.categories_all),
+        ("fig8b_categories_pe.csv", &r.categories_pe),
+    ] {
+        let mut w = CsvWriter::new();
+        w.record(["t", "white", "black", "gray"]);
+        for sh in &sweep.shares {
+            w.record([
+                sh.t.to_string(),
+                format!("{:.6}", sh.white),
+                format!("{:.6}", sh.black),
+                format!("{:.6}", sh.gray),
+            ]);
+        }
+        out.push((name.to_string(), w.finish()));
+    }
+
+    // Obs. 8 — rank stabilization sweep.
+    let mut w = CsvWriter::new();
+    w.record(["r", "samples", "stabilized", "within_10d", "within_20d", "within_30d"]);
+    for s in &r.rank_stabilization {
+        w.record([
+            s.r.to_string(),
+            s.samples.to_string(),
+            s.stabilized.to_string(),
+            s.within_10d.to_string(),
+            s.within_20d.to_string(),
+            s.within_30d.to_string(),
+        ]);
+    }
+    out.push(("obs8_rank_stabilization.csv".into(), w.finish()));
+
+    // Fig. 9 — label stabilization.
+    let mut w = CsvWriter::new();
+    w.record(["variant", "t", "samples", "stabilized", "mean_serial", "mean_days"]);
+    for (variant, rows) in [
+        ("all", &r.label_stabilization_all),
+        ("gt2scans", &r.label_stabilization_multi),
+    ] {
+        for l in rows {
+            w.record([
+                variant.to_string(),
+                l.t.to_string(),
+                l.samples.to_string(),
+                l.stabilized.to_string(),
+                format!("{:.3}", l.mean_serial),
+                format!("{:.3}", l.mean_days),
+            ]);
+        }
+    }
+    out.push(("fig9_label_stabilization.csv".into(), w.finish()));
+
+    // Fig. 10 — the full engine × type flip-ratio matrix.
+    let mut w = CsvWriter::new();
+    let mut header = vec!["engine".to_string()];
+    header.extend((0..20).map(|i| FileType::from_dense_index(i).name()));
+    w.record(header);
+    for e in 0..r.flips.engine_count {
+        let id = EngineId(e as u8);
+        let mut row = vec![fleet.profile(id).name.to_string()];
+        for i in 0..20 {
+            row.push(format!(
+                "{:.6}",
+                r.flips.ratio(id, FileType::from_dense_index(i))
+            ));
+        }
+        w.record(row);
+    }
+    out.push(("fig10_flip_matrix.csv".into(), w.finish()));
+
+    // Figs. 11–12 / Tables 4–8 — strong pairs per scope.
+    let mut w = CsvWriter::new();
+    w.record(["scope", "engine_a", "engine_b", "rho"]);
+    let push_scope = |w: &mut CsvWriter, scope: &str, c: &vt_dynamics::correlation::CorrelationAnalysis| {
+        for &(a, b, rho) in &c.strong_pairs {
+            w.record([
+                scope.to_string(),
+                fleet.profile(a).name.to_string(),
+                fleet.profile(b).name.to_string(),
+                format!("{rho:.6}"),
+            ]);
+        }
+    };
+    push_scope(&mut w, "global", &r.correlation_global);
+    for c in &r.correlation_per_type {
+        let scope = c.scope.expect("typed scope").name();
+        push_scope(&mut w, &scope, c);
+    }
+    out.push(("fig11_12_strong_pairs.csv".into(), w.finish()));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_dynamics::Study;
+    use vt_sim::SimConfig;
+
+    #[test]
+    fn exports_cover_every_figure() {
+        let study = Study::generate(SimConfig::new(0xC5, 5_000));
+        let results = study.run();
+        let files = export_csv(&results, study.sim().fleet());
+        let names: Vec<&str> = files.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in [
+            "fig1_reports_per_sample.csv",
+            "fig2_stable_dynamic_cdf.csv",
+            "fig3_stable_avrank_cdf.csv",
+            "fig4_stable_span_by_rank.csv",
+            "fig5_delta_cdf.csv",
+            "fig6_per_type.csv",
+            "fig7_interval_bins.csv",
+            "fig8a_categories_all.csv",
+            "fig8b_categories_pe.csv",
+            "obs8_rank_stabilization.csv",
+            "fig9_label_stabilization.csv",
+            "fig10_flip_matrix.csv",
+            "fig11_12_strong_pairs.csv",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        for (name, content) in &files {
+            assert!(content.lines().count() >= 2, "{name} has no data rows");
+            // Every row has the same number of commas as the header
+            // (no quoting needed in these exports).
+            let header_cols = content.lines().next().unwrap().split(',').count();
+            for line in content.lines() {
+                assert_eq!(line.split(',').count(), header_cols, "{name}: ragged row");
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_rows_cover_thresholds_1_to_50() {
+        let study = Study::generate(SimConfig::new(0xC6, 3_000));
+        let results = study.run();
+        let files = export_csv(&results, study.sim().fleet());
+        let fig8 = &files.iter().find(|(n, _)| n == "fig8a_categories_all.csv").unwrap().1;
+        assert_eq!(fig8.lines().count(), 51); // header + t=1..=50
+    }
+}

@@ -1,0 +1,173 @@
+//! ASCII figures: CDF line plots, box-plot rows, and heat maps.
+//!
+//! These are deliberately plain: every figure of the paper renders as
+//! monospaced text so runs can be diffed, logged, and embedded in
+//! `EXPERIMENTS.md`.
+
+use vt_stats::BoxplotSummary;
+
+/// Renders a CDF staircase as an ASCII plot.
+///
+/// `series` is a list of `(label, points)` where points are `(x, F(x))`
+/// with `F` nondecreasing in `[0, 1]`. Each series draws with its own
+/// glyph. The plot is `width × height` characters plus axes.
+pub fn ascii_cdf(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(10);
+    let height = height.max(4);
+    let x_max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+        .fold(1.0f64, f64::max);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Evaluate the staircase at each column.
+        for col in 0..width {
+            let x = x_max * col as f64 / (width - 1) as f64;
+            // F(x) = the y of the last point with point.x <= x.
+            let mut y = 0.0;
+            for &(px, py) in pts.iter() {
+                if px <= x {
+                    y = py;
+                } else {
+                    break;
+                }
+            }
+            let row = ((1.0 - y) * (height - 1) as f64).round() as usize;
+            let row = row.min(height - 1);
+            grid[row][col] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, line) in grid.iter().enumerate() {
+        let y = 1.0 - r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:>5.2} |"));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      +{}\n", "-".repeat(width)));
+    out.push_str(&format!("       0{:>w$.1}\n", x_max, w = width - 1));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (label, _))| format!("{} {label}", GLYPHS[si % GLYPHS.len()]))
+        .collect();
+    out.push_str(&format!("       {}\n", legend.join("   ")));
+    out
+}
+
+/// Renders one box-plot row: `min ⊢ [Q1 | median | Q3] ⊣ max` scaled to
+/// `width` characters over `[0, x_max]`, with the mean marked `^`.
+pub fn box_row(label: &str, b: &BoxplotSummary, x_max: f64, width: usize) -> String {
+    let width = width.max(20);
+    let x_max = x_max.max(1e-9);
+    let col = |v: f64| {
+        (((v / x_max) * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+    let mut line = vec![' '; width];
+    let (lo, q1, med, q3, hi) = (
+        col(b.whisker_lo),
+        col(b.q1),
+        col(b.median),
+        col(b.q3),
+        col(b.whisker_hi),
+    );
+    for cell in line.iter_mut().take(q1).skip(lo) {
+        *cell = '-';
+    }
+    for cell in line.iter_mut().take(hi + 1).skip(q3) {
+        *cell = '-';
+    }
+    for cell in line.iter_mut().take(q3 + 1).skip(q1) {
+        *cell = '=';
+    }
+    line[lo] = '|';
+    line[hi] = '|';
+    line[med] = 'M';
+    let mean_col = col(b.mean);
+    if line[mean_col] == ' ' || line[mean_col] == '-' || line[mean_col] == '=' {
+        line[mean_col] = '^';
+    }
+    format!(
+        "{label:<22} {}  (med {:.1}, mean {:.1}, n={})\n",
+        line.iter().collect::<String>(),
+        b.median,
+        b.mean,
+        b.n
+    )
+}
+
+/// Renders a heat map with intensity glyphs (` .:-=+*#%@` from 0 to 1).
+/// `cells[r][c]` ∈ [0, 1]; row labels on the left.
+pub fn ascii_heatmap(row_labels: &[String], col_labels: &[String], cells: &[Vec<f64>]) -> String {
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    let label_w = row_labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    for (r, row) in cells.iter().enumerate() {
+        let label = row_labels.get(r).map(String::as_str).unwrap_or("");
+        out.push_str(&format!("{label:<label_w$} "));
+        for &v in row {
+            let idx = ((v.clamp(0.0, 1.0)) * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx]);
+        }
+        out.push('\n');
+    }
+    // Column legend: indices every 10 columns.
+    out.push_str(&format!("{:<label_w$} ", ""));
+    for c in 0..cells.first().map(Vec::len).unwrap_or(0) {
+        out.push(if c % 10 == 0 { '|' } else { ' ' });
+    }
+    out.push('\n');
+    if !col_labels.is_empty() {
+        out.push_str(&format!(
+            "{:<label_w$} cols: {}\n",
+            "",
+            col_labels.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_plot_has_expected_dimensions() {
+        let pts = vec![(0.0, 0.2), (1.0, 0.6), (5.0, 1.0)];
+        let plot = ascii_cdf(&[("demo", pts)], 40, 10);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 13); // 10 rows + axis + scale + legend
+        assert!(plot.contains("demo"));
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn cdf_plot_multi_series_glyphs() {
+        let a = vec![(0.0, 0.5), (2.0, 1.0)];
+        let b = vec![(0.0, 0.1), (4.0, 1.0)];
+        let plot = ascii_cdf(&[("a", a), ("b", b)], 30, 8);
+        assert!(plot.contains('*') && plot.contains('o'));
+    }
+
+    #[test]
+    fn box_row_renders_markers() {
+        let b = BoxplotSummary::from_unsorted(&[1.0, 2.0, 3.0, 4.0, 10.0]).unwrap();
+        let row = box_row("demo", &b, 10.0, 40);
+        assert!(row.contains('M'));
+        assert!(row.contains('='));
+        assert!(row.starts_with("demo"));
+        assert!(row.contains("n=5"));
+    }
+
+    #[test]
+    fn heatmap_shades() {
+        let cells = vec![vec![0.0, 0.5, 1.0], vec![0.2, 0.8, 0.0]];
+        let labels = vec!["r1".to_string(), "r2".to_string()];
+        let map = ascii_heatmap(&labels, &["a".into()], &cells);
+        assert!(map.contains('@'));
+        assert!(map.contains("r1"));
+        assert!(map.contains("cols: a"));
+    }
+}

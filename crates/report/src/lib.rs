@@ -1,0 +1,20 @@
+//! Rendering layer: text tables, ASCII figures, CSV, and the
+//! per-experiment paper-vs-measured reports.
+//!
+//! Everything renders to plain strings so the harness works in any
+//! terminal and output can be diffed / archived (`EXPERIMENTS.md` is
+//! generated from [`experiments::render_full_report`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod experiments;
+pub mod export;
+pub mod figure;
+pub mod table;
+
+pub use csv::CsvWriter;
+pub use export::export_csv;
+pub use figure::{ascii_cdf, ascii_heatmap, box_row};
+pub use table::TextTable;

@@ -1,0 +1,136 @@
+//! Aligned text tables.
+
+/// A simple column-aligned text table builder.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = vt_report::TextTable::new(vec!["engine", "flips"]);
+/// t.row(vec!["Arcabit".into(), "25.78%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Arcabit"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Self {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded; longer
+    /// rows extend the column set with empty headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header underline and two-space column
+    /// separation. Numeric-looking cells are right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        fn cell_of<'a>(row: &'a [String], c: usize) -> &'a str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        for (c, w) in widths.iter_mut().enumerate() {
+            *w = self
+                .headers
+                .get(c)
+                .map(|h| h.chars().count())
+                .unwrap_or(0);
+            for row in &self.rows {
+                *w = (*w).max(cell_of(row, c).chars().count());
+            }
+        }
+        let numericish = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|ch| ch.is_ascii_digit() || "+-.,%eE×x/@".contains(ch))
+        };
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &dyn Fn(usize) -> String| {
+            for (c, w) in widths.iter().enumerate() {
+                let cell = cells(c);
+                let pad = w.saturating_sub(cell.chars().count());
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                if numericish(&cell) {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(&cell);
+                } else {
+                    out.push_str(&cell);
+                    if c + 1 < widths.len() {
+                        out.push_str(&" ".repeat(pad));
+                    }
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &|c| {
+            self.headers.get(c).cloned().unwrap_or_default()
+        });
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, &|c| cell_of(row, c).to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "count"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Numeric column right-aligned: "1" ends at same col as "12345".
+        let c1 = lines[2].rfind('1').unwrap();
+        let c2 = lines[3].rfind('5').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        t.row(vec!["x".into(), "y".into(), "z".into(), "extra".into()]);
+        let s = t.render();
+        assert!(s.contains("extra"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! The three VirusTotal APIs and their Table 1 field semantics.
+//!
+//! §3 of the paper establishes, by black-box probing, how three report
+//! fields update under each API:
+//!
+//! * **Upload** (`POST /api/v3/files`) — submits the file and analyzes
+//!   it: `last_analysis_date` updates, `last_submission_date` updates,
+//!   `times_submitted` increments.
+//! * **Rescan** (`POST /api/v3/files/{id}/analyse`) — re-analyzes an
+//!   existing file: only `last_analysis_date` updates.
+//! * **Report** (`GET /api/v3/files/{id}`) — retrieves the latest
+//!   report: nothing updates, and *no new report is generated*.
+//!
+//! [`SampleSession`] is the per-sample platform state machine enforcing
+//! exactly those rules; the platform drives one session per sample.
+
+use vt_engines::{EngineFleet, SamplePlan};
+use vt_model::{ReportKind, SampleMeta, ScanReport, Timestamp};
+
+/// Platform-side state of one sample, advanced by API calls.
+#[derive(Debug)]
+pub struct SampleSession<'f> {
+    fleet: &'f EngineFleet,
+    plan: SamplePlan,
+    meta: SampleMeta,
+    /// Last produced report (what the report API returns).
+    last_report: Option<ScanReport>,
+    times_submitted: u32,
+    last_submission_date: Timestamp,
+}
+
+impl<'f> SampleSession<'f> {
+    /// Opens a session by uploading the sample for the first time at
+    /// `t` (every sample enters the platform through the upload API).
+    /// Returns the session and the first report.
+    pub fn open(fleet: &'f EngineFleet, meta: SampleMeta, t: Timestamp) -> (Self, ScanReport) {
+        let plan = fleet.sample_plan(&meta);
+        let mut session = Self {
+            fleet,
+            plan,
+            meta,
+            last_report: None,
+            times_submitted: 0,
+            last_submission_date: t,
+        };
+        let report = session.upload(t);
+        (session, report)
+    }
+
+    /// Resumes a session for a sample that was already on the platform
+    /// before the collection window: the platform state carries its
+    /// prior submission history (`prior_submissions` ≥ 1 and the
+    /// original `meta.first_submission` as the last submission date),
+    /// and the first in-window event is a **rescan** — which is what
+    /// keeps the pre-window submission metadata visible in the report
+    /// stream, exactly how the paper distinguishes fresh samples
+    /// (91.76%) from pre-existing ones.
+    pub fn open_resumed(
+        fleet: &'f EngineFleet,
+        meta: SampleMeta,
+        t: Timestamp,
+        prior_submissions: u32,
+    ) -> (Self, ScanReport) {
+        assert!(prior_submissions >= 1, "a pre-existing sample was submitted before");
+        assert!(meta.first_submission <= t, "resume after the original submission");
+        let plan = fleet.sample_plan(&meta);
+        let mut session = Self {
+            fleet,
+            plan,
+            meta,
+            last_report: None,
+            times_submitted: prior_submissions,
+            last_submission_date: meta.first_submission,
+        };
+        let report = session.rescan(t);
+        (session, report)
+    }
+
+    /// The sample this session manages.
+    pub fn meta(&self) -> &SampleMeta {
+        &self.meta
+    }
+
+    /// `times_submitted` as the platform currently reports it.
+    pub fn times_submitted(&self) -> u32 {
+        self.times_submitted
+    }
+
+    /// Upload API: new submission + analysis. Updates all three fields.
+    pub fn upload(&mut self, t: Timestamp) -> ScanReport {
+        self.times_submitted += 1;
+        self.last_submission_date = t;
+        self.analyze(t, ReportKind::Upload)
+    }
+
+    /// Rescan API: analysis only. Updates `last_analysis_date`; leaves
+    /// `last_submission_date` and `times_submitted` unchanged.
+    pub fn rescan(&mut self, t: Timestamp) -> ScanReport {
+        self.analyze(t, ReportKind::Rescan)
+    }
+
+    /// Report API: retrieval only — returns the most recent report
+    /// (kind re-tagged), generating nothing and updating nothing.
+    /// Returns `None` if the sample was never analyzed (unreachable via
+    /// [`SampleSession::open`], which always uploads).
+    pub fn report(&self) -> Option<ScanReport> {
+        self.last_report.map(|r| ScanReport {
+            kind: ReportKind::Report,
+            ..r
+        })
+    }
+
+    fn analyze(&mut self, t: Timestamp, kind: ReportKind) -> ScanReport {
+        let verdicts = self.fleet.scan(&self.plan, &self.meta, t);
+        let report = ScanReport {
+            sample: self.meta.hash,
+            file_type: self.meta.file_type,
+            analysis_date: t,
+            last_submission_date: self.last_submission_date,
+            times_submitted: self.times_submitted,
+            kind,
+            verdicts,
+        };
+        self.last_report = Some(report);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_engines::EngineFleet;
+    use vt_model::time::{Date, Duration};
+    use vt_model::{FileType, GroundTruth, ReportKind, SampleHash};
+
+    fn meta() -> SampleMeta {
+        let origin = Timestamp::from_date(Date::new(2021, 6, 1));
+        SampleMeta {
+            hash: SampleHash::from_ordinal(1),
+            file_type: FileType::Pdf,
+            origin,
+            first_submission: origin + Duration::days(3),
+            truth: GroundTruth::Malicious { detectability: 0.5 },
+        }
+    }
+
+    #[test]
+    fn table1_upload_semantics() {
+        let fleet = EngineFleet::with_seed(1);
+        let m = meta();
+        let t0 = m.first_submission;
+        let (mut s, r0) = SampleSession::open(&fleet, m, t0);
+        assert_eq!(r0.kind, ReportKind::Upload);
+        assert_eq!(r0.times_submitted, 1);
+        assert_eq!(r0.last_submission_date, t0);
+        assert_eq!(r0.analysis_date, t0);
+
+        let t1 = t0 + Duration::days(2);
+        let r1 = s.upload(t1);
+        // Upload updates everything.
+        assert_eq!(r1.times_submitted, 2);
+        assert_eq!(r1.last_submission_date, t1);
+        assert_eq!(r1.analysis_date, t1);
+    }
+
+    #[test]
+    fn table1_rescan_semantics() {
+        let fleet = EngineFleet::with_seed(1);
+        let m = meta();
+        let t0 = m.first_submission;
+        let (mut s, _) = SampleSession::open(&fleet, m, t0);
+        let t1 = t0 + Duration::days(5);
+        let r = s.rescan(t1);
+        assert_eq!(r.kind, ReportKind::Rescan);
+        // Analysis date moves; submission metadata does not.
+        assert_eq!(r.analysis_date, t1);
+        assert_eq!(r.last_submission_date, t0);
+        assert_eq!(r.times_submitted, 1);
+    }
+
+    #[test]
+    fn table1_report_semantics() {
+        let fleet = EngineFleet::with_seed(1);
+        let m = meta();
+        let t0 = m.first_submission;
+        let (mut s, _) = SampleSession::open(&fleet, m, t0);
+        let t1 = t0 + Duration::days(5);
+        let r1 = s.rescan(t1);
+
+        let before = s.times_submitted();
+        let fetched = s.report().expect("analyzed sample has a report");
+        assert_eq!(fetched.kind, ReportKind::Report);
+        // Retrieval returns the latest analysis, unchanged.
+        assert_eq!(fetched.analysis_date, r1.analysis_date);
+        assert_eq!(fetched.last_submission_date, r1.last_submission_date);
+        assert_eq!(fetched.times_submitted, r1.times_submitted);
+        assert_eq!(fetched.verdicts, r1.verdicts);
+        // And nothing advanced.
+        assert_eq!(s.times_submitted(), before);
+    }
+
+    #[test]
+    fn rescan_after_upload_keeps_latest_submission() {
+        let fleet = EngineFleet::with_seed(1);
+        let m = meta();
+        let t0 = m.first_submission;
+        let (mut s, _) = SampleSession::open(&fleet, m, t0);
+        let t1 = t0 + Duration::days(1);
+        s.upload(t1);
+        let t2 = t0 + Duration::days(9);
+        let r = s.rescan(t2);
+        assert_eq!(r.last_submission_date, t1);
+        assert_eq!(r.times_submitted, 2);
+    }
+}

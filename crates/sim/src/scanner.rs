@@ -1,0 +1,41 @@
+//! Scan execution helpers.
+//!
+//! Thin wrapper over the fleet for one-off scans; bulk generation goes
+//! through [`crate::api::SampleSession`] (which reuses the per-sample
+//! plan across that sample's scans).
+
+use vt_engines::EngineFleet;
+use vt_model::{SampleMeta, Timestamp, VerdictVec};
+
+/// Scans a sample once at time `t`, returning the verdict vector.
+///
+/// Equivalent to what the platform's analysis pipeline does for one
+/// report; useful for spot checks and examples.
+pub fn scan_once(fleet: &EngineFleet, sample: &SampleMeta, t: Timestamp) -> VerdictVec {
+    let plan = fleet.sample_plan(sample);
+    fleet.scan(&plan, sample, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Duration};
+    use vt_model::{FileType, GroundTruth, SampleHash};
+
+    #[test]
+    fn scan_once_matches_session_path() {
+        let fleet = EngineFleet::with_seed(3);
+        let origin = Timestamp::from_date(Date::new(2021, 7, 1));
+        let meta = SampleMeta {
+            hash: SampleHash::from_ordinal(9),
+            file_type: FileType::Win32Exe,
+            origin,
+            first_submission: origin + Duration::days(2),
+            truth: GroundTruth::Malicious { detectability: 0.7 },
+        };
+        let t = meta.first_submission + Duration::days(1);
+        let direct = scan_once(&fleet, &meta, t);
+        let plan = fleet.sample_plan(&meta);
+        assert_eq!(direct, fleet.scan(&plan, &meta, t));
+    }
+}

@@ -1,0 +1,157 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! The Fig. 7 day-bins at laptop scale hold 10²–10⁴ pairs, so their
+//! means carry visible sampling noise (EXPERIMENTS.md, deviation 1).
+//! A bootstrap CI quantifies that noise, letting the report annotate
+//! which bins are trustworthy. Deterministic: resampling indices come
+//! from a splitmix stream seeded by the caller.
+
+use crate::summary::RunningSummary;
+use vt_model_free::splitmix64;
+
+/// The crate avoids a dependency on vt-model; a local splitmix copy
+/// keeps the bootstrap deterministic without an RNG crate.
+mod vt_model_free {
+    /// SplitMix64 finalizer (same constants as `vt_model::hash`).
+    pub fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A bootstrap confidence interval for a statistic of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+}
+
+impl BootstrapCi {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap CI for the *mean* of `data` at the given
+/// confidence level (e.g. 0.95), using `replicates` resamples.
+///
+/// Returns `None` on an empty sample. Deterministic for a given
+/// `(data, seed)`.
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    confidence: f64,
+    replicates: usize,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if data.is_empty() || replicates == 0 {
+        return None;
+    }
+    assert!((0.0..1.0).contains(&confidence) || confidence == 0.0 || confidence < 1.0);
+    let n = data.len();
+    let mut state = seed ^ 0xb007_57a9;
+    let mut next = || {
+        state = splitmix64(state);
+        state
+    };
+    let mut means = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let mut acc = RunningSummary::new();
+        for _ in 0..n {
+            let idx = (next() % n as u64) as usize;
+            acc.push(data[idx]);
+        }
+        means.push(acc.mean().expect("n >= 1"));
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let pick = |q: f64| {
+        let pos = (q * (replicates - 1) as f64).round() as usize;
+        means[pos.min(replicates - 1)]
+    };
+    let estimate = data.iter().sum::<f64>() / n as f64;
+    Some(BootstrapCi {
+        estimate,
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+        replicates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let a = bootstrap_mean_ci(&data, 0.95, 200, 42).unwrap();
+        let b = bootstrap_mean_ci(&data, 0.95, 200, 42).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&data, 0.95, 200, 43).unwrap();
+        assert_ne!(a, c, "different seeds should resample differently");
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let data: Vec<f64> = (0..200).map(|i| ((i * 13) % 29) as f64).collect();
+        let ci = bootstrap_mean_ci(&data, 0.95, 500, 7).unwrap();
+        assert!(ci.lo <= ci.estimate);
+        assert!(ci.estimate <= ci.hi);
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn constant_data_collapses() {
+        let data = vec![5.0; 30];
+        let ci = bootstrap_mean_ci(&data, 0.9, 100, 1).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert_eq!(ci.estimate, 5.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, 1).is_none());
+    }
+
+    #[test]
+    fn wider_sample_narrows_interval() {
+        // CI width shrinks roughly like 1/√n.
+        let small: Vec<f64> = (0..20).map(|i| (i % 10) as f64).collect();
+        let large: Vec<f64> = (0..2_000).map(|i| (i % 10) as f64).collect();
+        let ci_small = bootstrap_mean_ci(&small, 0.95, 400, 3).unwrap();
+        let ci_large = bootstrap_mean_ci(&large, 0.95, 400, 3).unwrap();
+        assert!(
+            ci_large.width() < ci_small.width() / 3.0,
+            "{} vs {}",
+            ci_large.width(),
+            ci_small.width()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn bounds_are_ordered(
+            data in proptest::collection::vec(-100.0..100.0f64, 1..100),
+            seed in any::<u64>(),
+        ) {
+            let ci = bootstrap_mean_ci(&data, 0.9, 100, seed).unwrap();
+            prop_assert!(ci.lo <= ci.hi);
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(ci.lo >= min - 1e-9);
+            prop_assert!(ci.hi <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Box-plot summaries (Tukey box-and-whisker statistics).
+//!
+//! The paper renders several distributions as box plots with the median
+//! (orange line), the mean (green triangle), the interquartile box, and
+//! whiskers, with outliers *excluded from the figures* (Figs. 4, 6, 7).
+//! [`BoxplotSummary`] computes exactly that statistic set so the report
+//! layer can render the same figures.
+
+/// The statistics behind one box in a box plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotSummary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (the paper's green triangle).
+    pub mean: f64,
+    /// Median / Q2 (the paper's orange line).
+    pub median: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lower whisker: smallest observation ≥ Q1 − 1.5·IQR.
+    pub whisker_lo: f64,
+    /// Upper whisker: largest observation ≤ Q3 + 1.5·IQR.
+    pub whisker_hi: f64,
+    /// Count of observations outside the whiskers (excluded by the
+    /// paper's figures).
+    pub outliers: usize,
+    /// Minimum observation (including outliers).
+    pub min: f64,
+    /// Maximum observation (including outliers).
+    pub max: f64,
+}
+
+impl BoxplotSummary {
+    /// Computes the summary from an unsorted sample. Returns `None` on an
+    /// empty sample.
+    ///
+    /// Quartiles use linear interpolation between order statistics
+    /// (matplotlib's default, which is what the paper's figures use).
+    pub fn from_unsorted(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite inputs"));
+        Some(Self::from_sorted(&sorted))
+    }
+
+    /// Computes the summary from an already-sorted (ascending) sample.
+    ///
+    /// # Panics
+    /// Panics on an empty slice; debug-asserts sortedness.
+    pub fn from_sorted(sorted: &[f64]) -> Self {
+        assert!(!sorted.is_empty(), "BoxplotSummary requires observations");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        let n = sorted.len();
+        let q1 = interp_quantile(sorted, 0.25);
+        let median = interp_quantile(sorted, 0.50);
+        let q3 = interp_quantile(sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers extend to the most extreme points within the fences,
+        // clamped to the box edges so a whisker never sits inside the box
+        // (possible with interpolated quartiles over gappy data).
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&v| v >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v <= hi_fence)
+            .unwrap_or(sorted[n - 1])
+            .max(q3);
+        let outliers = sorted.iter().filter(|&&v| v < whisker_lo || v > whisker_hi).count();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        Self {
+            n,
+            mean,
+            median,
+            q1,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            min: sorted[0],
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation quantile on a sorted slice (type-7 estimator, the
+/// NumPy/matplotlib default).
+fn interp_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_box() {
+        let s = BoxplotSummary::from_unsorted(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.whisker_lo, 1.0);
+        assert_eq!(s.whisker_hi, 5.0);
+        assert_eq!(s.outliers, 0);
+    }
+
+    #[test]
+    fn outlier_is_fenced() {
+        // 1..=9 plus an extreme point: IQR fences exclude 100.
+        let mut v: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        v.push(100.0);
+        let s = BoxplotSummary::from_unsorted(&v).unwrap();
+        assert_eq!(s.outliers, 1);
+        assert_eq!(s.whisker_hi, 9.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn interpolated_quartiles_match_numpy() {
+        // numpy.percentile([1,2,3,4], 25) = 1.75 ; 75 → 3.25
+        let s = BoxplotSummary::from_unsorted(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = BoxplotSummary::from_unsorted(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.q1, 7.0);
+        assert_eq!(s.q3, 7.0);
+        assert_eq!(s.outliers, 0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxplotSummary::from_unsorted(&[]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn ordering_invariants(v in proptest::collection::vec(-1e4..1e4f64, 1..300)) {
+            let s = BoxplotSummary::from_unsorted(&v).unwrap();
+            prop_assert!(s.min <= s.whisker_lo);
+            prop_assert!(s.whisker_lo <= s.q1 + 1e-9);
+            prop_assert!(s.q1 <= s.median + 1e-9);
+            prop_assert!(s.median <= s.q3 + 1e-9);
+            prop_assert!(s.q3 - 1e-9 <= s.whisker_hi);
+            prop_assert!(s.whisker_hi <= s.max);
+            prop_assert!(s.outliers <= s.n);
+            prop_assert!((s.min..=s.max).contains(&s.mean));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Frequency counters over arbitrary keys, with ranked ("top-N")
+//! extraction — the machinery behind the file-type distribution table
+//! (Table 3) and the per-month accounting (Table 2).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A frequency counter with percentage and top-N reporting.
+#[derive(Debug, Clone)]
+pub struct FreqCounter<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Eq + Hash> Default for FreqCounter<K> {
+    fn default() -> Self {
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> FreqCounter<K> {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn record(&mut self, key: K) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` occurrences of `key`.
+    pub fn record_n(&mut self, key: K, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Count for `key` (0 if unseen).
+    pub fn count(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all occurrences belonging to `key`.
+    pub fn fraction(&self, key: &K) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(key) as f64 / self.total as f64
+        }
+    }
+
+    /// Total occurrences recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// All `(key, count)` pairs sorted by descending count. Ties are
+    /// broken by insertion-independent key comparison when `K: Ord`-like
+    /// ordering is unavailable; here we leave tie order unspecified.
+    pub fn ranked(&self) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> = self
+            .counts
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// The `n` most frequent keys with their counts.
+    pub fn top_n(&self, n: usize) -> Vec<(K, u64)> {
+        let mut v = self.ranked();
+        v.truncate(n);
+        v
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &FreqCounter<K>) {
+        for (k, &c) in &other.counts {
+            *self.counts.entry(k.clone()).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Iterates over all `(key, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let mut c = FreqCounter::new();
+        c.record("exe");
+        c.record("exe");
+        c.record("pdf");
+        assert_eq!(c.count(&"exe"), 2);
+        assert_eq!(c.count(&"pdf"), 1);
+        assert_eq!(c.count(&"zip"), 0);
+        assert_eq!(c.total(), 3);
+        assert!((c.fraction(&"exe") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    fn ranked_descending() {
+        let mut c = FreqCounter::new();
+        c.record_n("a", 5);
+        c.record_n("b", 9);
+        c.record_n("c", 1);
+        let r = c.ranked();
+        assert_eq!(r[0], ("b", 9));
+        assert_eq!(r[1], ("a", 5));
+        assert_eq!(r[2], ("c", 1));
+        assert_eq!(c.top_n(2).len(), 2);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = FreqCounter::new();
+        a.record("x");
+        let mut b = FreqCounter::new();
+        b.record_n("x", 2);
+        b.record("y");
+        a.merge(&b);
+        assert_eq!(a.count(&"x"), 3);
+        assert_eq!(a.count(&"y"), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c: FreqCounter<u32> = FreqCounter::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.fraction(&7), 0.0);
+        assert!(c.ranked().is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Every "CDF of …" figure in the paper (Figs. 1, 2, 3, 5) is an ECDF over
+//! integer-valued observations (report counts, AV-Ranks, rank
+//! differences). [`Ecdf`] stores the sorted sample once and answers
+//! `F(x)`, quantile, and "fraction ≤ x" queries in `O(log n)`.
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts the data (`O(n log n)`); queries are
+/// binary searches.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Non-finite values are rejected with a
+    /// panic — the study's data is always finite.
+    pub fn new(mut data: Vec<f64>) -> Self {
+        assert!(
+            data.iter().all(|v| v.is_finite()),
+            "Ecdf requires finite observations"
+        );
+        data.sort_by(|a, b| a.partial_cmp(b).expect("finite inputs"));
+        Self { sorted: data }
+    }
+
+    /// Builds an ECDF from integer counts (the common case in this study).
+    pub fn from_u64(data: impl IntoIterator<Item = u64>) -> Self {
+        Self::new(data.into_iter().map(|v| v as f64).collect())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — the fraction of observations `<= x`. Returns 0 for an
+    /// empty sample.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of observations strictly less than `x`.
+    pub fn fraction_lt(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile for `q ∈ [0, 1]` using the nearest-rank (inverse
+    /// CDF) definition. Returns `None` on an empty sample.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        // Nearest-rank: smallest k with k/n >= q.
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[k - 1])
+    }
+
+    /// Median (0.5 quantile, nearest-rank).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Evaluates the CDF at each of the given points, producing `(x, F(x))`
+    /// pairs — the series a plotting front-end consumes.
+    pub fn curve(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.fraction_le(x))).collect()
+    }
+
+    /// The distinct observed values and the CDF evaluated at each — the
+    /// minimal exact staircase representation.
+    pub fn staircase(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let n = self.sorted.len() as f64;
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / n));
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_queries() {
+        let e = Ecdf::from_u64([1, 1, 2, 3, 5]);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.fraction_le(0.0), 0.0);
+        assert_eq!(e.fraction_le(1.0), 0.4);
+        assert_eq!(e.fraction_le(2.5), 0.6);
+        assert_eq!(e.fraction_le(5.0), 1.0);
+        assert_eq!(e.fraction_lt(1.0), 0.0);
+        assert_eq!(e.fraction_lt(2.0), 0.4);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::from_u64([10, 20, 30, 40]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(0.75), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+        assert_eq!(e.median(), Some(20.0));
+    }
+
+    #[test]
+    fn staircase_is_exact() {
+        let e = Ecdf::from_u64([1, 1, 2, 2, 2, 7]);
+        assert_eq!(
+            e.staircase(),
+            vec![(1.0, 2.0 / 6.0), (2.0, 5.0 / 6.0), (7.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_le(3.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.mean(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone_and_bounded(v in proptest::collection::vec(-1e4..1e4f64, 1..200)) {
+            let e = Ecdf::new(v);
+            let mut last = 0.0;
+            for i in -20..=20 {
+                let f = e.fraction_le(i as f64 * 500.0);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prop_assert!(f >= last);
+                last = f;
+            }
+        }
+
+        #[test]
+        fn quantile_inverts_cdf(v in proptest::collection::vec(0..1000u64, 1..200)) {
+            let e = Ecdf::from_u64(v);
+            for i in 1..=10 {
+                let q = i as f64 / 10.0;
+                let x = e.quantile(q).unwrap();
+                // Nearest-rank property: F(x) >= q.
+                prop_assert!(e.fraction_le(x) >= q - 1e-12);
+            }
+        }
+
+        #[test]
+        fn quantiles_are_monotone(v in proptest::collection::vec(0..1000u64, 1..200)) {
+            let e = Ecdf::from_u64(v);
+            let mut last = f64::NEG_INFINITY;
+            for i in 0..=20 {
+                let x = e.quantile(i as f64 / 20.0).unwrap();
+                prop_assert!(x >= last);
+                last = x;
+            }
+        }
+    }
+}

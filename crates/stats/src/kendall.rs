@@ -1,0 +1,232 @@
+//! Kendall's τ-b rank correlation.
+//!
+//! An alternative to Spearman for the engine-correlation analysis
+//! (§7.2): τ-b handles the heavy ties of three-valued verdict columns
+//! gracefully and is less sensitive to marginal distributions. The
+//! `ablation` benches compare the two on the same engine pairs.
+//!
+//! This is the O(n log n) Knight algorithm: sort by x, count discordant
+//! pairs via merge-sort inversion counting, with the standard tie
+//! corrections.
+
+/// Kendall's τ-b between two equal-length slices.
+///
+/// Returns `None` for inputs shorter than 2 or when either side is
+/// constant (τ undefined).
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "kendall_tau requires equal-length inputs");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    // Sort indices by (x, y).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        x[a].partial_cmp(&x[b])
+            .expect("finite")
+            .then(y[a].partial_cmp(&y[b]).expect("finite"))
+    });
+
+    let nf = n as f64;
+    let n0 = nf * (nf - 1.0) / 2.0;
+
+    // Tie counts in x (n1), in y (n2), and joint ties (n3).
+    let mut n1 = 0.0;
+    let mut n3 = 0.0;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && x[idx[j]] == x[idx[i]] {
+                j += 1;
+            }
+            let t = (j - i) as f64;
+            n1 += t * (t - 1.0) / 2.0;
+            // Joint ties within the x-tie run.
+            let mut k = i;
+            while k < j {
+                let mut m = k + 1;
+                while m < j && y[idx[m]] == y[idx[k]] {
+                    m += 1;
+                }
+                let u = (m - k) as f64;
+                n3 += u * (u - 1.0) / 2.0;
+                k = m;
+            }
+            i = j;
+        }
+    }
+    let mut n2 = 0.0;
+    {
+        let mut ys: Vec<f64> = y.to_vec();
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && ys[j] == ys[i] {
+                j += 1;
+            }
+            let t = (j - i) as f64;
+            n2 += t * (t - 1.0) / 2.0;
+            i = j;
+        }
+    }
+
+    // Count discordant pairs: inversions of the y-sequence ordered by x.
+    let y_ordered: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+    let discordant = count_inversions(&y_ordered);
+
+    let denom = ((n0 - n1) * (n0 - n2)).sqrt();
+    if denom <= 0.0 {
+        return None;
+    }
+    let concordant_minus_discordant = n0 - n1 - n2 + n3 - 2.0 * discordant as f64;
+    Some((concordant_minus_discordant / denom).clamp(-1.0, 1.0))
+}
+
+/// Counts strict inversions (i < j, v[i] > v[j]) via merge sort.
+fn count_inversions(v: &[f64]) -> u64 {
+    fn merge_count(v: &mut [f64], buf: &mut [f64]) -> u64 {
+        let n = v.len();
+        if n <= 1 {
+            return 0;
+        }
+        let mid = n / 2;
+        let mut inv = {
+            let (lo, hi) = v.split_at_mut(mid);
+            merge_count(lo, buf) + merge_count(hi, buf)
+        };
+        // Merge.
+        buf[..n].copy_from_slice(v);
+        let (lo, hi) = buf[..n].split_at(mid);
+        let (mut i, mut j) = (0, 0);
+        for slot in v.iter_mut() {
+            if i < lo.len() && (j >= hi.len() || lo[i] <= hi[j]) {
+                *slot = lo[i];
+                i += 1;
+            } else {
+                if i < lo.len() {
+                    inv += (lo.len() - i) as u64;
+                }
+                *slot = hi[j];
+                j += 1;
+            }
+        }
+        inv
+    }
+    let mut work = v.to_vec();
+    let mut buf = vec![0.0; v.len()];
+    merge_count(&mut work, &mut buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_orders() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(kendall_tau(&x, &x), Some(1.0));
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&x, &rev), Some(-1.0));
+    }
+
+    #[test]
+    fn known_value_no_ties() {
+        // x = 1..5, y = [2,1,4,3,5]: discordant pairs = 2 of 10 →
+        // tau = (8 - 2)/10 = 0.6
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!((tau - 0.6).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn tie_handling_matches_reference() {
+        // scipy.stats.kendalltau([1,2,2,3], [1,2,3,4]) → 0.9128709291752769
+        let tau = kendall_tau(&[1.0, 2.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((tau - 0.912_870_929_175_276_9).abs() < 1e-12, "tau = {tau}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(kendall_tau(&[], &[]), None);
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn inversion_counter() {
+        assert_eq!(count_inversions(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(count_inversions(&[3.0, 2.0, 1.0]), 3);
+        assert_eq!(count_inversions(&[2.0, 1.0, 3.0]), 1);
+        assert_eq!(count_inversions(&[]), 0);
+    }
+
+    /// Brute-force τ-b for the property test.
+    fn tau_naive(x: &[f64], y: &[f64]) -> Option<f64> {
+        let n = x.len();
+        if n < 2 {
+            return None;
+        }
+        let sgn = |a: f64, b: f64| -> f64 {
+            if a > b {
+                1.0
+            } else if a < b {
+                -1.0
+            } else {
+                0.0
+            }
+        };
+        let (mut c, mut d, mut tx, mut ty) = (0f64, 0f64, 0f64, 0f64);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let sx = sgn(x[i], x[j]);
+                let sy = sgn(y[i], y[j]);
+                if sx == 0.0 && sy == 0.0 {
+                    // joint tie: counts toward both tie corrections
+                    tx += 1.0;
+                    ty += 1.0;
+                } else if sx == 0.0 {
+                    tx += 1.0;
+                } else if sy == 0.0 {
+                    ty += 1.0;
+                } else if sx == sy {
+                    c += 1.0;
+                } else {
+                    d += 1.0;
+                }
+            }
+        }
+        let n0 = n as f64 * (n as f64 - 1.0) / 2.0;
+        let denom = ((n0 - tx) * (n0 - ty)).sqrt();
+        (denom > 0.0).then(|| (c - d) / denom)
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive(
+            data in proptest::collection::vec((0u8..6, 0u8..6), 2..60)
+        ) {
+            let x: Vec<f64> = data.iter().map(|&(a, _)| a as f64).collect();
+            let y: Vec<f64> = data.iter().map(|&(_, b)| b as f64).collect();
+            match (kendall_tau(&x, &y), tau_naive(&x, &y)) {
+                (Some(fast), Some(naive)) => {
+                    prop_assert!((fast - naive).abs() < 1e-9, "{} vs {}", fast, naive)
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "disagree: {:?} vs {:?}", a, b),
+            }
+        }
+
+        #[test]
+        fn bounded(data in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..80)) {
+            let x: Vec<f64> = data.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = data.iter().map(|p| p.1).collect();
+            if let Some(tau) = kendall_tau(&x, &y) {
+                prop_assert!((-1.0..=1.0).contains(&tau));
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Pearson product-moment correlation, used directly on ranks to compute
+//! the tie-robust Spearman coefficient.
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns `None` when the inputs are shorter than 2 elements or either
+/// input has zero variance (the coefficient is undefined there — the
+/// caller decides whether that means "no correlation" or "skip pair").
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "pearson requires equal-length inputs");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = x.iter().sum::<f64>() / nf;
+    let mean_y = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mean_x;
+        let dy = y[i] - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    // Clamp tiny floating-point excursions outside [-1, 1].
+    Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero variance
+    }
+
+    #[test]
+    fn known_value() {
+        // Hand-computed: x = [1,2,3], y = [1,3,2] → r = 0.5
+        let r = pearson(&[1.0, 2.0, 3.0], &[1.0, 3.0, 2.0]).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn in_unit_interval(
+            v in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..100)
+        ) {
+            let x: Vec<f64> = v.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = v.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+
+        #[test]
+        fn self_correlation_is_one(v in proptest::collection::vec(-1e3..1e3f64, 2..100)) {
+            if let Some(r) = pearson(&v, &v) {
+                prop_assert!((r - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn symmetric(v in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..100)) {
+            let x: Vec<f64> = v.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = v.iter().map(|p| p.1).collect();
+            let a = pearson(&x, &y);
+            let b = pearson(&y, &x);
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-12),
+                (None, None) => {}
+                _ => prop_assert!(false, "asymmetric None"),
+            }
+        }
+    }
+}

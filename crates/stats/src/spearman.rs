@@ -1,0 +1,155 @@
+//! Spearman rank correlation with significance testing.
+//!
+//! This is the workhorse of the paper's two correlation analyses:
+//!
+//! * §5.3.5 correlates the per-day mean AV-Rank difference against the
+//!   scan interval and reports ρ = 0.9181, p = 2.6083e-167.
+//! * §7.2 computes ρ between every pair of engine verdict columns of the
+//!   scan matrix `R` and keeps pairs with ρ > 0.8 as "strongly
+//!   correlated" (Figs. 11–12, Tables 4–8).
+//!
+//! We compute ρ as the Pearson correlation of fractional ranks (the
+//! tie-robust definition), and the p-value via the Student-t
+//! approximation `t = ρ√((n−2)/(1−ρ²))` with `n−2` degrees of freedom —
+//! the same procedure SciPy's `spearmanr` uses, which is what the
+//! paper's numbers come from.
+
+use crate::pearson::pearson;
+use crate::rank::average_ranks;
+use crate::special::student_t_two_sided_p;
+
+/// Result of a Spearman correlation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpearmanResult {
+    /// The rank correlation coefficient ρ ∈ [−1, 1].
+    pub rho: f64,
+    /// Two-sided p-value from the t-approximation. For |ρ| = 1 the
+    /// statistic diverges and the p-value is reported as 0.
+    pub p_value: f64,
+    /// Number of paired observations.
+    pub n: usize,
+}
+
+/// Spearman rank correlation coefficient between `x` and `y`.
+///
+/// Returns `None` if fewer than 2 observations are available or either
+/// side is constant (ranks have zero variance).
+///
+/// # Examples
+///
+/// ```
+/// // A strictly monotone relationship has ρ = 1 regardless of shape.
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+/// assert_eq!(vt_stats::spearman(&x, &y), Some(1.0));
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "spearman requires equal-length inputs");
+    if x.len() < 2 {
+        return None;
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Spearman ρ together with its two-sided p-value.
+///
+/// Returns `None` under the same degenerate conditions as [`spearman`],
+/// plus `n < 3` (the t-test needs at least one degree of freedom).
+pub fn spearman_with_p(x: &[f64], y: &[f64]) -> Option<SpearmanResult> {
+    let n = x.len();
+    if n < 3 {
+        return None;
+    }
+    let rho = spearman(x, y)?;
+    let p_value = if rho.abs() >= 1.0 {
+        0.0
+    } else {
+        let df = (n - 2) as f64;
+        let t = rho * (df / (1.0 - rho * rho)).sqrt();
+        student_t_two_sided_p(t, df)
+    };
+    Some(SpearmanResult { rho, p_value, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn monotone_transform_invariance() {
+        let x: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert_eq!(spearman(&x, &y), Some(1.0));
+        let y_rev: Vec<f64> = x.iter().map(|v| -v.powi(3)).collect();
+        assert_eq!(spearman(&x, &y_rev), Some(-1.0));
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        // Wikipedia's IQ vs TV-hours example: ρ = −29/165 ≈ −0.17575757
+        let iq = [106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0];
+        let tv = [7.0, 27.0, 2.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
+        let rho = spearman(&iq, &tv).unwrap();
+        assert!((rho - (-29.0 / 165.0)).abs() < 1e-12, "rho = {rho}");
+    }
+
+    #[test]
+    fn tie_handling_matches_scipy() {
+        // scipy.stats.spearmanr([1,2,2,3], [1,2,3,4]) → 0.9486832980505138
+        let rho = spearman(&[1.0, 2.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((rho - 0.948_683_298_050_513_8).abs() < 1e-12, "rho = {rho}");
+    }
+
+    #[test]
+    fn p_value_matches_scipy() {
+        // scipy.stats.spearmanr([1..10], [2,1,4,3,6,5,8,7,10,9])
+        //   → rho = 0.9393939393939394, p ≈ 5.484053e-05
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 8.0, 7.0, 10.0, 9.0];
+        let r = spearman_with_p(&x, &y).unwrap();
+        assert!((r.rho - 0.939_393_939_393_939_4).abs() < 1e-12);
+        assert!((r.p_value - 5.484_053e-5).abs() < 1e-9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn perfect_correlation_p_is_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let r = spearman_with_p(&x, &x).unwrap();
+        assert_eq!(r.rho, 1.0);
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn constant_column_yields_none() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn rho_in_unit_interval(
+            v in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..120)
+        ) {
+            let x: Vec<f64> = v.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = v.iter().map(|p| p.1).collect();
+            if let Some(r) = spearman_with_p(&x, &y) {
+                prop_assert!((-1.0..=1.0).contains(&r.rho));
+                prop_assert!((0.0..=1.0).contains(&r.p_value));
+            }
+        }
+
+        #[test]
+        fn reversal_negates_rho(v in proptest::collection::vec(-1e3..1e3f64, 3..60)) {
+            // ρ(x, y) = −ρ(x, −y)
+            let x: Vec<f64> = (0..v.len()).map(|i| i as f64).collect();
+            let neg: Vec<f64> = v.iter().map(|a| -a).collect();
+            match (spearman(&x, &v), spearman(&x, &neg)) {
+                (Some(a), Some(b)) => prop_assert!((a + b).abs() < 1e-9),
+                (None, None) => {}
+                _ => prop_assert!(false),
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Streaming summary statistics (Welford's online algorithm).
+//!
+//! The analysis passes stream millions of reports; [`RunningSummary`]
+//! accumulates count/mean/variance/min/max in O(1) memory and merges
+//! across threads (parallel partitions are combined with
+//! [`RunningSummary::merge`] using Chan et al.'s pairwise update).
+
+/// Online mean/variance/min/max accumulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningSummary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary (Chan/parallel-variance formula).
+    pub fn merge(&mut self, other: &RunningSummary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample (Bessel-corrected) variance, or `None` when n < 2.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_stats() {
+        let mut s = RunningSummary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = RunningSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningSummary::new();
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningSummary::new());
+        assert_eq!(a, before);
+
+        let mut e = RunningSummary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            a in proptest::collection::vec(-1e3..1e3f64, 1..50),
+            b in proptest::collection::vec(-1e3..1e3f64, 1..50),
+        ) {
+            let mut s1 = RunningSummary::new();
+            for &x in a.iter().chain(&b) {
+                s1.push(x);
+            }
+            let mut sa = RunningSummary::new();
+            for &x in &a { sa.push(x); }
+            let mut sb = RunningSummary::new();
+            for &x in &b { sb.push(x); }
+            sa.merge(&sb);
+            prop_assert_eq!(s1.count(), sa.count());
+            prop_assert!((s1.mean().unwrap() - sa.mean().unwrap()).abs() < 1e-8);
+            prop_assert!((s1.variance().unwrap() - sa.variance().unwrap()).abs() < 1e-6);
+            prop_assert_eq!(s1.min(), sa.min());
+            prop_assert_eq!(s1.max(), sa.max());
+        }
+    }
+}

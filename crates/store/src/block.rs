@@ -1,0 +1,200 @@
+//! Report blocks: the unit of compression and decoding.
+//!
+//! Reports append into a [`BlockBuilder`]; when it reaches
+//! [`BLOCK_CAPACITY`] reports (or the partition is sealed) it freezes
+//! into an immutable [`Block`] of contiguous encoded bytes. Decoding is
+//! sequential within a block (the delta chain requires it), which is the
+//! access pattern every analysis uses.
+
+use crate::codec::{decode_report, encode_report};
+use bytes::{Buf, Bytes, BytesMut};
+use vt_model::ScanReport;
+
+/// Reports per block. Big enough to amortize per-block overhead, small
+/// enough that decoding a block to reach one report stays cheap.
+pub const BLOCK_CAPACITY: usize = 1024;
+
+/// An immutable, encoded run of reports.
+#[derive(Debug, Clone)]
+pub struct Block {
+    data: Bytes,
+    len: u32,
+}
+
+impl Block {
+    /// Number of reports in the block.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if the block holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Encoded size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reconstructs a block from its raw parts (the persistence path).
+    /// Call [`Block::verify`] before trusting untrusted bytes.
+    pub fn from_parts(data: Bytes, len: u32) -> Self {
+        Self { data, len }
+    }
+
+    /// The encoded bytes (for persistence).
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Checked decode: true iff the bytes decode to exactly `len`
+    /// reports with nothing left over.
+    pub fn verify(&self) -> bool {
+        let mut cur = self.data.clone();
+        let mut prev = 0i64;
+        for _ in 0..self.len {
+            match decode_report(&mut cur, prev) {
+                Some((_, p)) => prev = p,
+                None => return false,
+            }
+        }
+        !cur.has_remaining()
+    }
+
+    /// Decodes every report in the block.
+    ///
+    /// # Panics
+    /// Panics if the block bytes are corrupt — blocks are only built by
+    /// [`BlockBuilder`], so corruption is a program error.
+    pub fn decode_all(&self) -> Vec<ScanReport> {
+        let mut cur = self.data.clone();
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut prev = 0i64;
+        for i in 0..self.len {
+            let (r, p) = decode_report(&mut cur, prev)
+                .unwrap_or_else(|| panic!("corrupt block at report {i}"));
+            out.push(r);
+            prev = p;
+        }
+        out
+    }
+}
+
+/// An open block accepting appends.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    buf: BytesMut,
+    len: u32,
+    prev_analysis: i64,
+}
+
+impl BlockBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of reports appended so far.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current encoded size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the block has reached capacity and should be sealed.
+    pub fn is_full(&self) -> bool {
+        self.len as usize >= BLOCK_CAPACITY
+    }
+
+    /// Appends one report. Returns the offset (report index within the
+    /// block) it was stored at.
+    pub fn push(&mut self, report: &ScanReport) -> u32 {
+        let offset = self.len;
+        encode_report(&mut self.buf, report, self.prev_analysis);
+        self.prev_analysis = report.analysis_date.0;
+        self.len += 1;
+        offset
+    }
+
+    /// Freezes into an immutable [`Block`], resetting the builder.
+    pub fn seal(&mut self) -> Block {
+        let data = std::mem::take(&mut self.buf).freeze();
+        let len = self.len;
+        self.len = 0;
+        self.prev_analysis = 0;
+        Block { data, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::{FileType, ReportKind, SampleHash, Timestamp, VerdictVec};
+
+    fn report(i: u64) -> ScanReport {
+        ScanReport {
+            sample: SampleHash::from_ordinal(i),
+            file_type: FileType::Pdf,
+            analysis_date: Timestamp(1_000 + i as i64 * 7),
+            last_submission_date: Timestamp(1_000 + i as i64 * 7),
+            times_submitted: 1,
+            kind: ReportKind::Upload,
+            verdicts: VerdictVec::new(70),
+        }
+    }
+
+    #[test]
+    fn build_seal_decode() {
+        let mut b = BlockBuilder::new();
+        assert!(b.is_empty());
+        for i in 0..10 {
+            assert_eq!(b.push(&report(i)), i as u32);
+        }
+        assert_eq!(b.len(), 10);
+        let block = b.seal();
+        assert!(b.is_empty(), "builder resets after seal");
+        assert_eq!(block.len(), 10);
+        let decoded = block.decode_all();
+        for (i, r) in decoded.iter().enumerate() {
+            assert_eq!(r, &report(i as u64));
+        }
+    }
+
+    #[test]
+    fn seal_resets_delta_chain() {
+        let mut b = BlockBuilder::new();
+        b.push(&report(5));
+        let first = b.seal();
+        b.push(&report(6));
+        let second = b.seal();
+        assert_eq!(first.decode_all()[0], report(5));
+        assert_eq!(second.decode_all()[0], report(6));
+    }
+
+    #[test]
+    fn capacity_flag() {
+        let mut b = BlockBuilder::new();
+        for i in 0..BLOCK_CAPACITY as u64 {
+            assert!(!b.is_full());
+            b.push(&report(i));
+        }
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn empty_block() {
+        let mut b = BlockBuilder::new();
+        let block = b.seal();
+        assert!(block.is_empty());
+        assert!(block.decode_all().is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! Dataset-overview statistics (§4.2): the inputs behind Table 2,
+//! Table 3 and Fig. 1.
+//!
+//! [`DatasetStats`] accumulates, in one pass over (sample, reports)
+//! pairs, everything the overview needs: per-file-type sample and
+//! report counts, the reports-per-sample distribution, freshness, and
+//! per-month volumes. It merges across threads.
+
+use crate::partition::PartitionStats;
+use vt_model::filetype::TOTAL_TYPE_COUNT;
+use vt_model::time::Timestamp;
+use vt_model::{FileType, SampleMeta, ScanReport};
+
+/// One-pass dataset overview accumulator.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Samples per dense type index.
+    samples_per_type: Vec<u64>,
+    /// Reports per dense type index.
+    reports_per_type: Vec<u64>,
+    /// Histogram of reports-per-sample (bounded; overflow beyond).
+    reports_per_sample: vt_stats::Histogram,
+    /// Count of fresh samples (first submitted in the window).
+    fresh_samples: u64,
+    /// Total samples seen.
+    total_samples: u64,
+    /// Total reports seen.
+    total_reports: u64,
+    /// Largest report count observed for a single sample.
+    max_reports_one_sample: u64,
+    /// Window start used for freshness.
+    window_start: Timestamp,
+}
+
+impl DatasetStats {
+    /// Creates an empty accumulator; `window_start` anchors freshness.
+    pub fn new(window_start: Timestamp) -> Self {
+        Self {
+            samples_per_type: vec![0; TOTAL_TYPE_COUNT],
+            reports_per_type: vec![0; TOTAL_TYPE_COUNT],
+            reports_per_sample: vt_stats::Histogram::new(64),
+            fresh_samples: 0,
+            total_samples: 0,
+            total_reports: 0,
+            max_reports_one_sample: 0,
+            window_start,
+        }
+    }
+
+    /// Accumulates one sample and its reports.
+    pub fn record(&mut self, meta: &SampleMeta, reports: &[ScanReport]) {
+        let idx = meta.file_type.dense_index();
+        self.samples_per_type[idx] += 1;
+        self.reports_per_type[idx] += reports.len() as u64;
+        self.reports_per_sample.record(reports.len() as u64);
+        if meta.is_fresh(self.window_start) {
+            self.fresh_samples += 1;
+        }
+        self.total_samples += 1;
+        self.total_reports += reports.len() as u64;
+        self.max_reports_one_sample = self.max_reports_one_sample.max(reports.len() as u64);
+    }
+
+    /// Merges a partition of the dataset computed on another thread.
+    pub fn merge(&mut self, other: &DatasetStats) {
+        assert_eq!(self.window_start, other.window_start);
+        for (a, b) in self.samples_per_type.iter_mut().zip(&other.samples_per_type) {
+            *a += b;
+        }
+        for (a, b) in self.reports_per_type.iter_mut().zip(&other.reports_per_type) {
+            *a += b;
+        }
+        self.reports_per_sample.merge(&other.reports_per_sample);
+        self.fresh_samples += other.fresh_samples;
+        self.total_samples += other.total_samples;
+        self.total_reports += other.total_reports;
+        self.max_reports_one_sample = self.max_reports_one_sample.max(other.max_reports_one_sample);
+    }
+
+    /// Total samples.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Total reports.
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Fraction of fresh samples (paper: 91.76%).
+    pub fn fresh_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            0.0
+        } else {
+            self.fresh_samples as f64 / self.total_samples as f64
+        }
+    }
+
+    /// Sample count for one file type.
+    pub fn samples_of(&self, ft: FileType) -> u64 {
+        self.samples_per_type[ft.dense_index()]
+    }
+
+    /// Report count for one file type.
+    pub fn reports_of(&self, ft: FileType) -> u64 {
+        self.reports_per_type[ft.dense_index()]
+    }
+
+    /// Table 3 rows: `(type, samples, sample %, reports, report %)` for
+    /// the top-20 named types plus NULL plus an aggregate Others row,
+    /// ordered by descending sample count within the top-20.
+    pub fn table3(&self) -> Vec<(String, u64, f64, u64, f64)> {
+        let s_tot = self.total_samples.max(1) as f64;
+        let r_tot = self.total_reports.max(1) as f64;
+        let mut named: Vec<(String, u64, u64)> = FileType::TOP20
+            .iter()
+            .map(|&ft| (ft.name(), self.samples_of(ft), self.reports_of(ft)))
+            .collect();
+        named.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut rows: Vec<(String, u64, f64, u64, f64)> = named
+            .into_iter()
+            .map(|(name, s, r)| (name, s, s as f64 / s_tot * 100.0, r, r as f64 / r_tot * 100.0))
+            .collect();
+        let null_s = self.samples_of(FileType::Null);
+        let null_r = self.reports_of(FileType::Null);
+        rows.push((
+            "NULL".into(),
+            null_s,
+            null_s as f64 / s_tot * 100.0,
+            null_r,
+            null_r as f64 / r_tot * 100.0,
+        ));
+        let named_s: u64 = FileType::TOP20.iter().map(|&ft| self.samples_of(ft)).sum::<u64>() + null_s;
+        let named_r: u64 = FileType::TOP20.iter().map(|&ft| self.reports_of(ft)).sum::<u64>() + null_r;
+        let other_s = self.total_samples - named_s;
+        let other_r = self.total_reports - named_r;
+        rows.push((
+            "Others".into(),
+            other_s,
+            other_s as f64 / s_tot * 100.0,
+            other_r,
+            other_r as f64 / r_tot * 100.0,
+        ));
+        rows
+    }
+
+    /// Fig. 1's CDF: fraction of samples with `<= n` reports.
+    pub fn reports_per_sample_cdf(&self, n: u64) -> f64 {
+        self.reports_per_sample.fraction_le(n)
+    }
+
+    /// The reports-per-sample histogram (for plotting).
+    pub fn reports_per_sample_hist(&self) -> &vt_stats::Histogram {
+        &self.reports_per_sample
+    }
+
+    /// Number of samples with more than one report (the paper's
+    /// measurable subset: 63,999,984 of 571 M).
+    pub fn multi_report_samples(&self) -> u64 {
+        self.total_samples - self.reports_per_sample.count(1)
+    }
+
+    /// Largest report count observed for one sample.
+    pub fn max_reports_one_sample(&self) -> u64 {
+        self.max_reports_one_sample
+    }
+}
+
+/// Renders Table 2 rows from partition stats: `(label, reports,
+/// stored bytes, compression ratio)`, skipping empty partitions.
+pub fn table2(stats: &[PartitionStats]) -> Vec<(String, u64, u64, f64)> {
+    stats
+        .iter()
+        .filter(|p| p.reports > 0)
+        .map(|p| {
+            let label = match p.month {
+                Some(m) => format!("{m} Reports"),
+                None => "Out-of-window Reports".to_string(),
+            };
+            (label, p.reports, p.stored_bytes, p.compression_ratio())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Duration};
+    use vt_model::{GroundTruth, ReportKind, SampleHash, VerdictVec};
+
+    fn meta(i: u64, ft: FileType, fresh: bool) -> SampleMeta {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let first = if fresh {
+            window + Duration::days(10)
+        } else {
+            window - Duration::days(10)
+        };
+        SampleMeta {
+            hash: SampleHash::from_ordinal(i),
+            file_type: ft,
+            origin: first - Duration::days(2),
+            first_submission: first,
+            truth: GroundTruth::Benign,
+        }
+    }
+
+    fn reports(meta: &SampleMeta, n: usize) -> Vec<ScanReport> {
+        (0..n)
+            .map(|k| ScanReport {
+                sample: meta.hash,
+                file_type: FileType::Pdf,
+                analysis_date: meta.first_submission + Duration::days(k as i64),
+                last_submission_date: meta.first_submission,
+                times_submitted: 1,
+                kind: ReportKind::Upload,
+                verdicts: VerdictVec::new(70),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn record_and_query() {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let mut d = DatasetStats::new(window);
+        let m1 = meta(1, FileType::Win32Exe, true);
+        d.record(&m1, &reports(&m1, 3));
+        let m2 = meta(2, FileType::Pdf, false);
+        d.record(&m2, &reports(&m2, 1));
+        assert_eq!(d.total_samples(), 2);
+        assert_eq!(d.total_reports(), 4);
+        assert_eq!(d.fresh_fraction(), 0.5);
+        assert_eq!(d.samples_of(FileType::Win32Exe), 1);
+        assert_eq!(d.reports_of(FileType::Win32Exe), 3);
+        assert_eq!(d.multi_report_samples(), 1);
+        assert_eq!(d.max_reports_one_sample(), 3);
+        assert_eq!(d.reports_per_sample_cdf(1), 0.5);
+        assert_eq!(d.reports_per_sample_cdf(3), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let mut all = DatasetStats::new(window);
+        let mut a = DatasetStats::new(window);
+        let mut b = DatasetStats::new(window);
+        for i in 0..20 {
+            let m = meta(i, if i % 2 == 0 { FileType::Zip } else { FileType::Txt }, i % 3 != 0);
+            let rs = reports(&m, 1 + (i % 4) as usize);
+            all.record(&m, &rs);
+            if i < 10 {
+                a.record(&m, &rs);
+            } else {
+                b.record(&m, &rs);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.total_samples(), all.total_samples());
+        assert_eq!(a.total_reports(), all.total_reports());
+        assert_eq!(a.fresh_fraction(), all.fresh_fraction());
+        assert_eq!(a.samples_of(FileType::Zip), all.samples_of(FileType::Zip));
+    }
+
+    #[test]
+    fn table3_rows_are_complete() {
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let mut d = DatasetStats::new(window);
+        for i in 0..50 {
+            let ft = match i % 4 {
+                0 => FileType::Win32Exe,
+                1 => FileType::Null,
+                2 => FileType::Other(3),
+                _ => FileType::Jpeg,
+            };
+            let m = meta(i, ft, true);
+            d.record(&m, &reports(&m, 1));
+        }
+        let rows = d.table3();
+        // 20 named + NULL + Others.
+        assert_eq!(rows.len(), 22);
+        let total_samples: u64 = rows.iter().map(|r| r.1).sum();
+        assert_eq!(total_samples, 50);
+        let total_pct: f64 = rows.iter().map(|r| r.2).sum();
+        assert!((total_pct - 100.0).abs() < 1e-9);
+        // Sorted descending among the top-20 block.
+        for w in rows[..20].windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Compressed, month-partitioned scan-report store.
+//!
+//! The paper's data engineering (§4.1) stores 847 M reports in MongoDB,
+//! splitting sample info from scan results, keeping only relevant
+//! fields, and compressing — reaching a 10.06× compression rate and the
+//! per-month accounting of Table 2. This crate is that substrate as a
+//! real, in-process storage engine:
+//!
+//! * [`codec`] — varint / zigzag-delta / packed-bitmap encoding of
+//!   report columns.
+//! * [`block`] — append → seal lifecycle of compressed report blocks.
+//! * [`partition`] — one partition per calendar month of the collection
+//!   window, with raw-vs-compressed byte accounting (Table 2's rows).
+//! * [`store`] — [`store::ReportStore`]: the append path, the
+//!   per-sample index, bulk iteration, and per-sample gather.
+//! * [`dataset`] — dataset-overview statistics: file-type distribution
+//!   (Table 3), reports-per-sample CDF (Fig. 1), monthly volumes
+//!   (Table 2).
+//!
+//! The store is synchronous and single-writer / multi-reader
+//! (`parking_lot` guards the append path), in line with the project's
+//! threads-over-async design for CPU-bound batch work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod codec;
+pub mod dataset;
+pub mod partition;
+pub mod persist;
+pub mod store;
+
+pub use dataset::DatasetStats;
+pub use persist::{read_store, write_store, PersistError};
+pub use partition::PartitionStats;
+pub use store::ReportStore;

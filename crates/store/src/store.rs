@@ -1,0 +1,337 @@
+//! The report store: append path, per-sample index, iteration.
+//!
+//! Reports append into their analysis-month's partition; a per-sample
+//! index records every report's location so per-sample trajectories can
+//! be gathered later (the unit every analysis consumes). The paper's
+//! pipeline does the same thing with MongoDB collections keyed by
+//! sample hash.
+
+use crate::block::Block;
+use crate::partition::{Loc, Partition, PartitionStats};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use vt_model::time::Month;
+use vt_model::{SampleHash, ScanReport};
+
+/// An in-process, compressed, month-partitioned report store.
+#[derive(Debug)]
+pub struct ReportStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Partition 0..14 = the collection window months; last = catch-all.
+    partitions: Vec<Partition>,
+    index: HashMap<SampleHash, Vec<Loc>>,
+    sealed: bool,
+}
+
+impl Default for ReportStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReportStore {
+    /// Creates an empty store with one partition per collection-window
+    /// month plus a catch-all for out-of-window reports.
+    pub fn new() -> Self {
+        let mut partitions: Vec<Partition> =
+            Month::collection_window().map(|m| Partition::new(Some(m))).collect();
+        partitions.push(Partition::new(None));
+        Self {
+            inner: RwLock::new(Inner {
+                partitions,
+                index: HashMap::new(),
+                sealed: false,
+            }),
+        }
+    }
+
+    fn partition_for(month_index: Option<usize>, n: usize) -> usize {
+        month_index.unwrap_or(n - 1)
+    }
+
+    /// Appends one report.
+    ///
+    /// # Panics
+    /// Panics if the store was already sealed.
+    pub fn append(&self, report: &ScanReport) {
+        let mut inner = self.inner.write();
+        assert!(!inner.sealed, "append after seal");
+        let n = inner.partitions.len();
+        let pi = Self::partition_for(report.analysis_date.month().collection_index(), n);
+        let (block, offset) = inner.partitions[pi].append(report);
+        inner.index.entry(report.sample).or_default().push(Loc {
+            partition: pi as u16,
+            block,
+            offset,
+        });
+    }
+
+    /// Appends a batch (one lock acquisition).
+    pub fn append_batch(&self, reports: &[ScanReport]) {
+        let mut inner = self.inner.write();
+        assert!(!inner.sealed, "append after seal");
+        let n = inner.partitions.len();
+        for report in reports {
+            let pi = Self::partition_for(report.analysis_date.month().collection_index(), n);
+            let (block, offset) = inner.partitions[pi].append(report);
+            inner.index.entry(report.sample).or_default().push(Loc {
+                partition: pi as u16,
+                block,
+                offset,
+            });
+        }
+    }
+
+    /// Seals every partition. Must be called before reads; afterwards
+    /// appends panic.
+    pub fn seal(&self) {
+        let mut inner = self.inner.write();
+        for p in &mut inner.partitions {
+            p.seal();
+        }
+        inner.sealed = true;
+    }
+
+    /// Total number of reports stored.
+    pub fn report_count(&self) -> u64 {
+        self.inner.read().partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Number of distinct samples.
+    pub fn sample_count(&self) -> u64 {
+        self.inner.read().index.len() as u64
+    }
+
+    /// Per-partition statistics, in window order (catch-all last).
+    pub fn partition_stats(&self) -> Vec<PartitionStats> {
+        self.inner.read().partitions.iter().map(|p| p.stats()).collect()
+    }
+
+    /// Gathers one sample's reports, sorted by analysis date.
+    ///
+    /// # Panics
+    /// Panics if the store is not sealed.
+    pub fn sample_reports(&self, hash: SampleHash) -> Vec<ScanReport> {
+        let inner = self.inner.read();
+        assert!(inner.sealed, "seal the store before reading");
+        let Some(locs) = inner.index.get(&hash) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(locs.len());
+        // Decode each needed block once.
+        let mut cache: HashMap<(u16, u32), Vec<ScanReport>> = HashMap::new();
+        for loc in locs {
+            let block_reports = cache.entry((loc.partition, loc.block)).or_insert_with(|| {
+                inner.partitions[loc.partition as usize].blocks()[loc.block as usize].decode_all()
+            });
+            out.push(block_reports[loc.offset as usize]);
+        }
+        out.sort_by_key(|r| r.analysis_date);
+        out
+    }
+
+    /// Iterates all reports grouped by sample, each group sorted by
+    /// analysis date. Materializes the grouping (bulk-analysis path).
+    ///
+    /// # Panics
+    /// Panics if the store is not sealed.
+    pub fn group_by_sample(&self) -> Vec<(SampleHash, Vec<ScanReport>)> {
+        let inner = self.inner.read();
+        assert!(inner.sealed, "seal the store before reading");
+        let mut groups: HashMap<SampleHash, Vec<ScanReport>> =
+            HashMap::with_capacity(inner.index.len());
+        for p in &inner.partitions {
+            for block in p.blocks() {
+                for r in block.decode_all() {
+                    groups.entry(r.sample).or_default().push(r);
+                }
+            }
+        }
+        let mut out: Vec<(SampleHash, Vec<ScanReport>)> = groups.into_iter().collect();
+        for (_, reports) in &mut out {
+            reports.sort_by_key(|r| r.analysis_date);
+        }
+        // Deterministic order for reproducible analyses.
+        out.sort_by_key(|(h, _)| *h);
+        out
+    }
+
+    /// Snapshot of the sealed partitions for persistence:
+    /// `(month, blocks)` per partition.
+    ///
+    /// # Panics
+    /// Panics if the store is not sealed.
+    pub fn partitions_for_persist(&self) -> Vec<(Option<Month>, Vec<Block>)> {
+        let inner = self.inner.read();
+        assert!(inner.sealed, "seal the store before persisting");
+        inner
+            .partitions
+            .iter()
+            .map(|p| (p.month(), p.blocks().to_vec()))
+            .collect()
+    }
+
+    /// Rebuilds a sealed store from persisted partitions, re-deriving
+    /// the per-sample index by decoding each block once. Returns an
+    /// error message if the partition layout is not the expected
+    /// 14-months-plus-catch-all shape.
+    pub fn from_persisted(
+        parts: Vec<(Option<Month>, Vec<Block>)>,
+    ) -> Result<Self, &'static str> {
+        let expected: Vec<Option<Month>> = Month::collection_window()
+            .map(Some)
+            .chain(std::iter::once(None))
+            .collect();
+        if parts.len() != expected.len() {
+            return Err("unexpected partition count");
+        }
+        let mut partitions = Vec::with_capacity(parts.len());
+        let mut index: HashMap<SampleHash, Vec<Loc>> = HashMap::new();
+        for (pi, ((month, blocks), want)) in parts.into_iter().zip(expected).enumerate() {
+            if month != want {
+                return Err("unexpected partition month order");
+            }
+            for (bi, block) in blocks.iter().enumerate() {
+                for (off, report) in block.decode_all().into_iter().enumerate() {
+                    index.entry(report.sample).or_default().push(Loc {
+                        partition: pi as u16,
+                        block: bi as u32,
+                        offset: off as u32,
+                    });
+                }
+            }
+            partitions.push(Partition::from_blocks(month, blocks));
+        }
+        Ok(Self {
+            inner: RwLock::new(Inner {
+                partitions,
+                index,
+                sealed: true,
+            }),
+        })
+    }
+
+    /// Visits every stored report (unordered across samples).
+    pub fn for_each_report(&self, mut f: impl FnMut(&ScanReport)) {
+        let inner = self.inner.read();
+        assert!(inner.sealed, "seal the store before reading");
+        for p in &inner.partitions {
+            for block in p.blocks() {
+                for r in block.decode_all() {
+                    f(&r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Timestamp};
+    use vt_model::{FileType, ReportKind, VerdictVec};
+
+    fn report(sample: u64, date: Date, minute: i64) -> ScanReport {
+        ScanReport {
+            sample: SampleHash::from_ordinal(sample),
+            file_type: FileType::Pdf,
+            analysis_date: Timestamp::from_date_time(date, minute),
+            last_submission_date: Timestamp::from_date(date),
+            times_submitted: 1,
+            kind: ReportKind::Upload,
+            verdicts: VerdictVec::new(70),
+        }
+    }
+
+    #[test]
+    fn append_and_gather() {
+        let store = ReportStore::new();
+        store.append(&report(1, Date::new(2021, 6, 3), 10));
+        store.append(&report(2, Date::new(2021, 6, 4), 10));
+        store.append(&report(1, Date::new(2022, 1, 9), 10));
+        store.append(&report(1, Date::new(2021, 5, 2), 10));
+        store.seal();
+
+        assert_eq!(store.report_count(), 4);
+        assert_eq!(store.sample_count(), 2);
+        let r1 = store.sample_reports(SampleHash::from_ordinal(1));
+        assert_eq!(r1.len(), 3);
+        // Sorted by time even though appended out of order.
+        assert!(r1[0].analysis_date < r1[1].analysis_date);
+        assert!(r1[1].analysis_date < r1[2].analysis_date);
+        assert!(store.sample_reports(SampleHash::from_ordinal(99)).is_empty());
+    }
+
+    #[test]
+    fn reports_land_in_their_month() {
+        let store = ReportStore::new();
+        store.append(&report(1, Date::new(2021, 5, 15), 0)); // month 0
+        store.append(&report(2, Date::new(2022, 6, 15), 0)); // month 13
+        store.append(&report(3, Date::new(2020, 1, 1), 0)); // catch-all
+        store.seal();
+        let stats = store.partition_stats();
+        assert_eq!(stats.len(), 15);
+        assert_eq!(stats[0].reports, 1);
+        assert_eq!(stats[13].reports, 1);
+        assert_eq!(stats[14].reports, 1);
+        assert_eq!(stats[14].month, None);
+        assert_eq!(stats[1].reports, 0);
+    }
+
+    #[test]
+    fn group_by_sample_covers_everything() {
+        let store = ReportStore::new();
+        for i in 0..500u64 {
+            store.append(&report(i % 50, Date::new(2021, 8, 1 + (i % 20) as u8), i as i64 % 1440));
+        }
+        store.seal();
+        let groups = store.group_by_sample();
+        assert_eq!(groups.len(), 50);
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 500);
+        for (hash, reports) in &groups {
+            for w in reports.windows(2) {
+                assert!(w[0].analysis_date <= w[1].analysis_date);
+            }
+            for r in reports {
+                assert_eq!(r.sample, *hash);
+            }
+        }
+        // Deterministic ordering.
+        let again = store.group_by_sample();
+        assert_eq!(groups.len(), again.len());
+        assert!(groups.iter().zip(&again).all(|(a, b)| a.0 == b.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "append after seal")]
+    fn append_after_seal_panics() {
+        let store = ReportStore::new();
+        store.seal();
+        store.append(&report(1, Date::new(2021, 6, 1), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "seal the store")]
+    fn read_before_seal_panics() {
+        let store = ReportStore::new();
+        store.append(&report(1, Date::new(2021, 6, 1), 0));
+        store.sample_reports(SampleHash::from_ordinal(1));
+    }
+
+    #[test]
+    fn for_each_report_counts() {
+        let store = ReportStore::new();
+        for i in 0..37 {
+            store.append(&report(i, Date::new(2021, 9, 9), i as i64));
+        }
+        store.seal();
+        let mut n = 0;
+        store.for_each_report(|_| n += 1);
+        assert_eq!(n, 37);
+    }
+}

@@ -1,0 +1,79 @@
+//! Engine audit — the §7 workflow as a tool: which engines flip, which
+//! copy each other, and which subset makes a good trusted-voting panel.
+//!
+//! The paper's Obs. 10–11: engine stability varies wildly by file type,
+//! and correlated engines should not be counted as independent votes.
+//! This example ranks engines by flip ratio, lists the correlation
+//! groups, and proposes a trusted panel of stable, mutually
+//! *uncorrelated* engines (one per correlation group).
+//!
+//! Run with: `cargo run --release --example engine_audit -- [samples]`
+
+use vt_label_dynamics::dynamics::{correlation, flips, freshdyn, Study};
+use vt_label_dynamics::model::EngineId;
+use vt_label_dynamics::sim::SimConfig;
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300_000);
+
+    let study = Study::generate(SimConfig::new(0xA0D1, samples));
+    let records = study.records();
+    let fleet = study.sim().fleet();
+    let window_start = study.sim().config().window_start();
+    let s = freshdyn::build(records, window_start);
+
+    let flip = flips::analyze(records, &s, fleet.engine_count());
+    let corr = correlation::analyze(records, &s, fleet.engine_count(), None, 400_000);
+
+    println!("== engine stability (flip ratio, lower is steadier) ==");
+    let ranked = flip.ranked_engines();
+    println!("most flip-prone:");
+    for (e, ratio) in ranked.iter().take(8) {
+        println!("  {:<18} {:.2}%", fleet.profile(*e).name, ratio * 100.0);
+    }
+    println!("steadiest:");
+    for (e, ratio) in ranked.iter().rev().take(5) {
+        println!("  {:<18} {:.3}%", fleet.profile(*e).name, ratio * 100.0);
+    }
+
+    println!("\n== correlation groups (rho > 0.8 — votes that are not independent) ==");
+    for (i, group) in corr.groups.iter().enumerate() {
+        let names: Vec<&str> = group.iter().map(|&e| fleet.profile(e).name).collect();
+        println!("  group {}: {}", i + 1, names.join(", "));
+    }
+
+    // Build a trusted panel: walk engines from steadiest upward, skip
+    // any engine sharing a correlation group with one already picked.
+    let group_of = |e: EngineId| corr.groups.iter().position(|g| g.contains(&e));
+    let mut panel: Vec<EngineId> = Vec::new();
+    let mut used_groups: Vec<usize> = Vec::new();
+    for (e, _) in ranked.iter().rev() {
+        match group_of(*e) {
+            Some(g) if used_groups.contains(&g) => continue,
+            Some(g) => used_groups.push(g),
+            None => {}
+        }
+        panel.push(*e);
+        if panel.len() == 10 {
+            break;
+        }
+    }
+    println!("\n== proposed trusted panel (stable + mutually uncorrelated) ==");
+    for e in &panel {
+        println!(
+            "  {:<18} flip ratio {:.3}%",
+            fleet.profile(*e).name,
+            flip.engine_ratio(*e) * 100.0
+        );
+    }
+    println!(
+        "\nUse it with vt_aggregate::TrustedSubset {{ engines, min_hits }} — e.g.\n\
+         min_hits = 2 of these {} engines. The paper's point: a '2 of 70' rule\n\
+         silently degrades to '1 vendor decision' when the two votes come from\n\
+         the same OEM family.",
+        panel.len()
+    );
+}

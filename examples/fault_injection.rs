@@ -1,0 +1,71 @@
+//! Fault injection — how engine availability degrades label quality.
+//!
+//! The paper identifies *engine activity* (timeouts, absent engines) as
+//! one of the three causes of label dynamics. This example sweeps the
+//! fleet's fault-injection knobs (timeout and outage multipliers, per
+//! the smoltcp tradition of `--drop-chance`-style options) and shows
+//! what a degraded platform does to the measurements: stability
+//! collapses, gray samples multiply, and thresholds that looked safe
+//! stop being safe.
+//!
+//! Run with: `cargo run --release --example fault_injection -- [samples]`
+
+use vt_label_dynamics::dynamics::{categorize, freshdyn, stability, Study};
+use vt_label_dynamics::sim::SimConfig;
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120_000);
+
+    println!("timeout×  outage×  stable%   |S|      gray@t=10  gray@t=40  undetected/scan");
+    for (timeout_mult, outage_mult) in [
+        (0.0, 0.0),  // perfect availability
+        (1.0, 1.0),  // nominal
+        (3.0, 1.0),  // flaky engines
+        (1.0, 10.0), // outage storms
+        (6.0, 10.0), // degraded platform
+    ] {
+        let mut config = SimConfig::new(0xFA_017, samples);
+        config.fleet.timeout_mult = timeout_mult;
+        config.fleet.outage_mult = outage_mult;
+        let study = Study::generate(config);
+        let records = study.records();
+
+        let st = stability::analyze(records);
+        let s = freshdyn::build(records, config.window_start());
+        let sweep = categorize::sweep(records, &s, false);
+        let gray = |t: u32| {
+            sweep
+                .shares
+                .iter()
+                .find(|sh| sh.t == t)
+                .map(|sh| sh.gray * 100.0)
+                .unwrap_or(0.0)
+        };
+        let mut inactive = 0u64;
+        let mut scans = 0u64;
+        for r in records {
+            for rep in &r.reports {
+                inactive += (rep.verdicts.engine_count() as u32 - rep.verdicts.active_count()) as u64;
+                scans += 1;
+            }
+        }
+        println!(
+            "{timeout_mult:>7.1}  {outage_mult:>7.1}  {:>6.2}%  {:>6}  {:>8.2}%  {:>8.2}%  {:>10.2}",
+            st.stable_fraction() * 100.0,
+            s.len(),
+            gray(10),
+            gray(40),
+            inactive as f64 / scans as f64,
+        );
+    }
+    println!(
+        "\nReading: with availability faults injected, samples that would be\n\
+         stable flip between scans purely because different engine subsets\n\
+         answered — the paper's 'engine activity' mechanism isolated from\n\
+         signature churn. (timeout×0 keeps outages at 0 too only when both\n\
+         knobs are zeroed; glitches remain at their nominal 1e-7.)"
+    );
+}

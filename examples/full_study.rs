@@ -1,0 +1,35 @@
+//! Full paper reproduction: regenerates every table and figure of the
+//! paper with paper-vs-measured annotations.
+//!
+//! Run with:
+//! `cargo run --release --example full_study -- [samples] [seed]`
+//!
+//! Defaults to 1,000,000 samples (~30 s on a laptop). The output of this
+//! binary is what `EXPERIMENTS.md` archives.
+
+use vt_label_dynamics::dynamics::Study;
+use vt_label_dynamics::report::experiments::render_full_report;
+use vt_label_dynamics::sim::SimConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let samples: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let seed: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0x7e57_5eed);
+
+    eprintln!("simulating {samples} samples (seed {seed:#x})...");
+    let t0 = std::time::Instant::now();
+    let study = Study::generate(SimConfig::new(seed, samples));
+    eprintln!("generated in {:.1?}; running analyses...", t0.elapsed());
+
+    let t1 = std::time::Instant::now();
+    let results = study.run();
+    eprintln!("analyzed in {:.1?}", t1.elapsed());
+
+    println!("{}", render_full_report(&results, study.sim().fleet()));
+}

@@ -1,0 +1,135 @@
+//! Stabilization monitor — the §6 question as a tool: *how long should
+//! you wait before trusting a sample's label?*
+//!
+//! The paper's Obs. 8–9: most samples' AV-Ranks settle into a narrow
+//! band, and the vast majority of threshold labels stop changing within
+//! 30 days. This example measures, for a user-chosen threshold and
+//! fluctuation tolerance, the waiting time needed to reach a target
+//! confidence that the label is final.
+//!
+//! Run with:
+//! `cargo run --release --example stabilization_monitor -- [samples] [threshold]`
+
+use vt_label_dynamics::aggregate::{stabilization_index, LabelSequence, Threshold};
+use vt_label_dynamics::dynamics::{freshdyn, stabilization, Study};
+use vt_label_dynamics::dynamics::{MonitorCriteria, MonitorEvent, SampleMonitor};
+use vt_label_dynamics::sim::SimConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let samples: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(300_000);
+    let threshold: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    let study = Study::generate(SimConfig::new(0x57AB, samples));
+    let records = study.records();
+    let window_start = study.sim().config().window_start();
+    let s = freshdyn::build(records, window_start);
+    println!("fresh dynamic set S: {} samples\n", s.len());
+
+    // §6.1 — AV-Rank stabilization under fluctuation ranges.
+    println!("== AV-Rank stabilization (fluctuation tolerance r) ==");
+    for stat in stabilization::rank_stabilization(records, &s) {
+        println!(
+            "  r={}  {:.1}% of samples settle; of those, {:.1}% within 30 days",
+            stat.r,
+            stat.stabilized_fraction() * 100.0,
+            stat.within_30d_fraction() * 100.0
+        );
+    }
+
+    // §6.2 — distribution of days-to-stability for the chosen threshold.
+    let agg = Threshold(threshold);
+    let mut days_to_stable: Vec<f64> = Vec::new();
+    let mut never = 0u64;
+    for rec in s.iter(records) {
+        let seq = LabelSequence::from_reports(&rec.reports, &agg);
+        match stabilization_index(seq.labels()) {
+            Some(i) => {
+                let days =
+                    (rec.reports[i].analysis_date - rec.reports[0].analysis_date).as_days_f64();
+                days_to_stable.push(days);
+            }
+            None => never += 1,
+        }
+    }
+    days_to_stable.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let total = days_to_stable.len() as u64 + never;
+    println!("\n== label stabilization at threshold t={threshold} ==");
+    println!(
+        "  {:.2}% of S stabilized in-window; {:.2}% still changing at window end",
+        days_to_stable.len() as f64 / total as f64 * 100.0,
+        never as f64 / total as f64 * 100.0
+    );
+    let ecdf = vt_label_dynamics::stats::Ecdf::new(days_to_stable);
+    for q in [0.50, 0.75, 0.90, 0.95, 0.99] {
+        if let Some(days) = ecdf.quantile(q) {
+            println!("  {:>4.0}% of stabilizing labels final within {days:.1} days", q * 100.0);
+        }
+    }
+    for wait in [0.0, 7.0, 15.0, 30.0, 60.0] {
+        println!(
+            "  re-scan policy 'wait {wait:>2.0} d': label already final for {:.1}% of stabilizing samples",
+            ecdf.fraction_le(wait) * 100.0
+        );
+    }
+    println!(
+        "\npaper: 93.14%–98.04% of labels eventually stabilize;\n\
+         91.09%–92.31% of file labels are stable after 30 days —\n\
+         re-scan after ~30 days before freezing dataset labels."
+    );
+
+    // Live demo of the §8.1 notification feature the paper proposes:
+    // stream one busy sample's scans through a SampleMonitor.
+    let busy = s
+        .iter(records)
+        .filter(|r| r.report_count() >= 6)
+        .max_by_key(|r| r.delta_max().unwrap_or(0));
+    if let Some(rec) = busy {
+        println!(
+            "\n== streaming notifications for sample {} ({} scans) ==",
+            rec.meta.hash,
+            rec.report_count()
+        );
+        let mut monitor = SampleMonitor::new(MonitorCriteria {
+            fluctuation_range: 3,
+            min_observations: 3,
+            min_quiet: vt_label_dynamics::model::time::Duration::days(10),
+            swing_threshold: 8,
+            swing_interval: vt_label_dynamics::model::time::Duration::days(3),
+        });
+        for rep in &rec.reports {
+            for event in monitor.observe(rep.analysis_date, rep.positives()) {
+                match event {
+                    MonitorEvent::Stabilized {
+                        at,
+                        since,
+                        rank_min,
+                        rank_max,
+                    } => println!(
+                        "  {at}  STABILIZED in [{rank_min}, {rank_max}] (quiet since {since})"
+                    ),
+                    MonitorEvent::Destabilized {
+                        at,
+                        rank,
+                        previous_min,
+                        previous_max,
+                    } => println!(
+                        "  {at}  DESTABILIZED: rank {rank} left [{previous_min}, {previous_max}] — re-evaluate"
+                    ),
+                    MonitorEvent::Swing {
+                        at,
+                        delta,
+                        interval,
+                    } => println!(
+                        "  {at}  SWING: AV-Rank moved {delta} in {:.1} days",
+                        interval.as_days_f64()
+                    ),
+                }
+            }
+        }
+        println!(
+            "  final state: {}",
+            if monitor.is_stable() { "stable" } else { "still moving" }
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # vt-label-dynamics
+//!
+//! Facade crate for the reproduction of *"Re-measuring the Label Dynamics
+//! of Online Anti-Malware Engines from Millions of Samples"* (IMC '23).
+//!
+//! Re-exports every subsystem under one roof so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`stats`] — statistics substrate (Spearman, ECDF, box plots).
+//! * [`model`] — domain types (time, hashes, file types, reports).
+//! * [`engines`] — the 70 simulated antivirus engine behaviour models.
+//! * [`sim`] — the discrete-event VirusTotal platform simulator.
+//! * [`store`] — the compressed, month-partitioned report store.
+//! * [`aggregate`] — label aggregation strategies.
+//! * [`dynamics`] — the paper's measurement analyses (the core library).
+//! * [`report`] — text tables / ASCII figures / CSV renderers.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or run the full paper reproduction with
+//! `cargo run --release --example full_study`.
+
+#![forbid(unsafe_code)]
+
+pub use vt_aggregate as aggregate;
+pub use vt_dynamics as dynamics;
+pub use vt_engines as engines;
+pub use vt_model as model;
+pub use vt_report as report;
+pub use vt_sim as sim;
+pub use vt_stats as stats;
+pub use vt_store as store;

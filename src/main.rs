@@ -1,0 +1,174 @@
+//! `vtld` — the vt-label-dynamics command line.
+//!
+//! ```text
+//! vtld simulate --samples N [--seed S] --out FEED.vtstore
+//!     Generate a seeded VirusTotal feed and persist it.
+//!
+//! vtld analyze --store FEED.vtstore [--fleet-seed S] [--csv-dir DIR]
+//!     Load a persisted feed and print the full paper-vs-measured
+//!     report (every table and figure); optionally export each
+//!     figure's data series as CSV.
+//!
+//! vtld study [--samples N] [--seed S] [--csv-dir DIR]
+//!     Simulate and analyze in one step (no file involved).
+//! ```
+//!
+//! The analyze path reconstructs sample metadata purely from the stored
+//! reports (`records_from_store`) — the same situation the paper faced.
+
+use std::process::ExitCode;
+use vt_label_dynamics::dynamics::{analyze_records, records_from_store, Study};
+use vt_label_dynamics::engines::{EngineFleet, FleetConfig};
+use vt_label_dynamics::report::experiments::render_full_report;
+use vt_label_dynamics::sim::SimConfig;
+use vt_label_dynamics::store::{read_store, write_store};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "study" => cmd_study(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("vtld: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  vtld simulate --samples N [--seed S] --out FEED.vtstore
+  vtld analyze  --store FEED.vtstore [--fleet-seed S] [--csv-dir DIR]
+  vtld study    [--samples N] [--seed S] [--csv-dir DIR]
+  vtld help";
+
+/// Writes every figure's data series into `dir` as CSV files.
+fn write_csvs(
+    dir: &str,
+    results: &vt_label_dynamics::dynamics::StudyResults,
+    fleet: &EngineFleet,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let files = vt_label_dynamics::report::export_csv(results, fleet);
+    let n = files.len();
+    for (name, contents) in files {
+        let path = std::path::Path::new(dir).join(name);
+        std::fs::write(&path, contents)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    eprintln!("wrote {n} CSV files to {dir}");
+    Ok(())
+}
+
+/// Parses `--key value` flags; rejects unknown keys.
+fn parse_flags<'a>(args: &'a [String], allowed: &[&str]) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        if !allowed.contains(&key) {
+            return Err(format!("unknown flag --{key}"));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} requires a value"))?;
+        out.push((key, value.as_str()));
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn flag<'a>(flags: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    flags.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn parse_u64(flags: &[(&str, &str)], key: &str, default: u64) -> Result<u64, String> {
+    match flag(flags, key) {
+        Some(v) => {
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.map_err(|_| format!("--{key} expects an integer, got '{v}'"))
+        }
+        None => Ok(default),
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["samples", "seed", "out"])?;
+    let samples = parse_u64(&flags, "samples", 100_000)?;
+    let seed = parse_u64(&flags, "seed", 0x7e57_5eed)?;
+    let out = flag(&flags, "out").ok_or("simulate requires --out PATH")?;
+
+    eprintln!("simulating {samples} samples (seed {seed:#x})...");
+    let study = Study::generate(SimConfig::new(seed, samples));
+    let store = study.build_store();
+    let mut file =
+        std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_store(&store, &mut file).map_err(|e| format!("write failed: {e}"))?;
+    let stats = store.partition_stats();
+    let bytes: u64 = stats.iter().map(|p| p.stored_bytes).sum();
+    println!(
+        "wrote {} reports / {} samples to {out} ({:.2} MB packed)",
+        store.report_count(),
+        store.sample_count(),
+        bytes as f64 / 1e6
+    );
+    println!("analyze it with: vtld analyze --store {out} --fleet-seed {:#x}", seed ^ 0xF1EE_7000);
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["store", "fleet-seed", "csv-dir"])?;
+    let path = flag(&flags, "store").ok_or("analyze requires --store PATH")?;
+    let fleet_seed = parse_u64(&flags, "fleet-seed", 0x7e57_5eed ^ 0xF1EE_7000)?;
+
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let store = read_store(&mut file).map_err(|e| format!("load failed: {e}"))?;
+    eprintln!(
+        "loaded {} reports / {} samples from {path}",
+        store.report_count(),
+        store.sample_count()
+    );
+    let records = records_from_store(&store);
+    let fleet = EngineFleet::new(FleetConfig {
+        seed: fleet_seed,
+        ..FleetConfig::default()
+    });
+    let window_start = vt_label_dynamics::model::time::Month::COLLECTION_START.start();
+    let results = analyze_records(&records, store.partition_stats(), &fleet, window_start);
+    println!("{}", render_full_report(&results, &fleet));
+    if let Some(dir) = flag(&flags, "csv-dir") {
+        write_csvs(dir, &results, &fleet)?;
+    }
+    Ok(())
+}
+
+fn cmd_study(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["samples", "seed", "csv-dir"])?;
+    let samples = parse_u64(&flags, "samples", 100_000)?;
+    let seed = parse_u64(&flags, "seed", 0x7e57_5eed)?;
+    eprintln!("simulating {samples} samples (seed {seed:#x})...");
+    let study = Study::generate(SimConfig::new(seed, samples));
+    let results = study.run();
+    println!("{}", render_full_report(&results, study.sim().fleet()));
+    if let Some(dir) = flag(&flags, "csv-dir") {
+        write_csvs(dir, &results, study.sim().fleet())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Integration of the aggregation strategies with simulated reports:
+//! monotonicity and consistency properties over real trajectories.
+
+use vt_label_dynamics::aggregate::{
+    Aggregator, Label, PercentageThreshold, Threshold, TrustedSubset,
+};
+use vt_label_dynamics::dynamics::Study;
+use vt_label_dynamics::model::EngineId;
+use vt_label_dynamics::sim::SimConfig;
+
+#[test]
+fn threshold_is_monotone_in_t() {
+    let study = Study::generate(SimConfig::new(3, 2_000));
+    for rec in study.records() {
+        for rep in &rec.reports {
+            let mut last_malicious = true;
+            for t in 1..=60u32 {
+                let label = Threshold(t).label_report(rep);
+                let malicious = label == Label::Malicious;
+                // Once a report stops clearing a threshold, higher
+                // thresholds can't resurrect the malicious label.
+                if !last_malicious {
+                    assert!(!malicious, "non-monotone at t={t}");
+                }
+                last_malicious = malicious;
+            }
+        }
+    }
+}
+
+#[test]
+fn percentage_and_absolute_agree_at_the_boundary() {
+    let study = Study::generate(SimConfig::new(5, 1_000));
+    for rec in study.records().iter().take(300) {
+        for rep in &rec.reports {
+            let active = rep.verdicts.active_count();
+            if active == 0 {
+                continue;
+            }
+            // percentage p corresponds to absolute ceil(p × active).
+            let pct = PercentageThreshold(0.5);
+            let abs = Threshold((0.5 * active as f64).ceil() as u32);
+            assert_eq!(
+                pct.label_report(rep),
+                abs.label_report(rep),
+                "positives={} active={active}",
+                rep.positives()
+            );
+        }
+    }
+}
+
+#[test]
+fn trusted_subset_is_bounded_by_full_vote() {
+    let study = Study::generate(SimConfig::new(9, 1_000));
+    let trusted = TrustedSubset {
+        engines: (0..10).map(EngineId).collect(),
+        min_hits: 1,
+    };
+    for rec in study.records().iter().take(300) {
+        for rep in &rec.reports {
+            // If any trusted engine flags, the full t=1 vote must flag.
+            if trusted.label_report(rep) == Label::Malicious {
+                assert_eq!(Threshold(1).label_report(rep), Label::Malicious);
+            }
+        }
+    }
+}
+
+#[test]
+fn positives_equals_t1_malicious_count() {
+    // Cross-check VerdictVec::positives against label aggregation.
+    let study = Study::generate(SimConfig::new(21, 500));
+    for rec in study.records().iter().take(200) {
+        for rep in &rec.reports {
+            let by_iter = rep
+                .verdicts
+                .iter()
+                .filter(|(_, v)| v.is_malicious())
+                .count() as u32;
+            assert_eq!(by_iter, rep.positives());
+            assert_eq!(
+                rep.positives() >= 1,
+                Threshold(1).label_report(rep) == Label::Malicious
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end integration: simulate → store → analyze, checking
+//! cross-crate consistency and determinism.
+
+use vt_label_dynamics::dynamics::Study;
+use vt_label_dynamics::sim::SimConfig;
+
+fn study(seed: u64, samples: u64) -> Study {
+    Study::generate(SimConfig::new(seed, samples))
+}
+
+#[test]
+fn same_seed_same_results() {
+    let a = study(7, 3_000);
+    let b = study(7, 3_000);
+    assert_eq!(a.records(), b.records());
+    let ra = a.run();
+    let rb = b.run();
+    assert_eq!(ra.s_samples, rb.s_samples);
+    assert_eq!(ra.flips.flips, rb.flips.flips);
+    assert_eq!(
+        ra.stability.stable_fraction(),
+        rb.stability.stable_fraction()
+    );
+    assert_eq!(
+        ra.correlation_global.strong_pairs.len(),
+        rb.correlation_global.strong_pairs.len()
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = study(1, 2_000);
+    let b = study(2, 2_000);
+    assert_ne!(a.records(), b.records());
+}
+
+#[test]
+fn store_and_records_agree() {
+    let study = study(11, 3_000);
+    let store = study.build_store();
+    // Totals agree.
+    let total: usize = study.records().iter().map(|r| r.reports.len()).sum();
+    assert_eq!(store.report_count() as usize, total);
+    assert_eq!(store.sample_count() as usize, study.records().len());
+    // Every sample's trajectory round-trips through the compressed store.
+    for rec in study.records().iter().take(200) {
+        assert_eq!(store.sample_reports(rec.meta.hash), rec.reports);
+    }
+    // Grouped iteration covers exactly the same data.
+    let groups = store.group_by_sample();
+    assert_eq!(groups.len(), study.records().len());
+    let grouped_total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+    assert_eq!(grouped_total, total);
+}
+
+#[test]
+fn results_are_internally_consistent() {
+    let study = study(13, 6_000);
+    let r = study.run();
+
+    // §4 counts.
+    assert_eq!(r.dataset.total_samples(), 6_000);
+    let per_month: u64 = r.partitions.iter().map(|p| p.reports).sum();
+    assert_eq!(per_month, r.dataset.total_reports());
+    // All reports land inside the collection window (the catch-all
+    // partition stays empty: the traffic model clamps to the window).
+    assert_eq!(r.partitions.last().expect("catch-all").reports, 0);
+
+    // §5: S ⊆ dynamic ⊆ multi-report.
+    let st = &r.stability;
+    assert_eq!(st.stable + st.dynamic, st.multi_report_samples);
+    assert!(r.s_samples <= st.dynamic);
+    assert!(st.multi_report_samples <= r.dataset.total_samples());
+    assert_eq!(st.multi_report_samples, r.dataset.multi_report_samples());
+
+    // §5.4 categories partition S.
+    for sh in r
+        .categories_all
+        .shares
+        .iter()
+        .chain(&r.categories_pe.shares)
+    {
+        assert!((sh.white + sh.black + sh.gray - 1.0).abs() < 1e-9);
+        assert!(sh.gray >= 0.0);
+    }
+    assert!(r.categories_pe.samples <= r.categories_all.samples);
+
+    // §6: stabilization monotone in r; stabilized ≤ samples.
+    for w in r.rank_stabilization.windows(2) {
+        assert!(w[1].stabilized >= w[0].stabilized);
+    }
+    for l in r
+        .label_stabilization_all
+        .iter()
+        .chain(&r.label_stabilization_multi)
+    {
+        assert!(l.stabilized <= l.samples);
+        assert!(l.within_30d <= l.stabilized);
+        assert!(l.within_15d <= l.within_30d);
+    }
+
+    // §7: flips decompose; matrix totals match.
+    let f = &r.flips;
+    assert_eq!(f.flips, f.flips_up + f.flips_down);
+    let matrix_flips: u64 = f
+        .matrix
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|c| c.flips)
+        .sum();
+    assert_eq!(matrix_flips, f.flips);
+    assert!(f.hazard_flips <= f.flips);
+
+    // §7.2: rho symmetric in [-1, 1] (or NaN).
+    let c = &r.correlation_global;
+    for a in 0..c.engine_count {
+        for b in 0..c.engine_count {
+            let v = c.rho[a * c.engine_count + b];
+            assert!(v.is_nan() || (-1.0..=1.0).contains(&v));
+        }
+    }
+    for &(_, _, rho) in &c.strong_pairs {
+        assert!(rho > 0.8);
+    }
+}
+
+#[test]
+fn store_only_records_analyze_identically() {
+    // The paper's situation: nothing but the report store. Records
+    // reconstructed from it must produce identical analysis results.
+    let study = study(23, 5_000);
+    let direct = study.run();
+
+    let store = study.build_store();
+    let from_store = vt_label_dynamics::dynamics::records_from_store(&store);
+    assert_eq!(from_store.len(), study.records().len());
+
+    let window_start = study.sim().config().window_start();
+    let s = vt_label_dynamics::dynamics::freshdyn::build(&from_store, window_start);
+    assert_eq!(s.len() as u64, direct.s_samples, "S must match");
+    assert_eq!(s.reports, direct.s_reports);
+
+    let st = vt_label_dynamics::dynamics::stability::analyze(&from_store);
+    assert_eq!(st.stable, direct.stability.stable);
+    assert_eq!(st.dynamic, direct.stability.dynamic);
+
+    let m = vt_label_dynamics::dynamics::metrics::analyze(&from_store, &s);
+    assert_eq!(m.delta_zero_fraction, direct.metrics.delta_zero_fraction);
+
+    let sweep = vt_label_dynamics::dynamics::categorize::sweep(&from_store, &s, true);
+    assert_eq!(sweep.samples, direct.categories_pe.samples);
+
+    let fl = vt_label_dynamics::dynamics::flips::analyze(
+        &from_store,
+        &s,
+        study.sim().fleet().engine_count(),
+    );
+    assert_eq!(fl.flips, direct.flips.flips);
+    assert_eq!(fl.hazard_flips, direct.flips.hazard_flips);
+}
+
+#[test]
+fn analyses_never_read_ground_truth() {
+    // Blinding check: scrubbing the ground truth from the records must
+    // not change any analysis output (analyses may only read what the
+    // paper's pipeline could read from scan reports).
+    let study = study(17, 3_000);
+    let r1 = study.run();
+
+    let mut scrubbed: Vec<_> = study.records().to_vec();
+    for rec in &mut scrubbed {
+        rec.meta.truth = vt_label_dynamics::model::GroundTruth::Benign;
+    }
+    let window_start = study.sim().config().window_start();
+    let s = vt_label_dynamics::dynamics::freshdyn::build(&scrubbed, window_start);
+    assert_eq!(s.len() as u64, r1.s_samples);
+    let st = vt_label_dynamics::dynamics::stability::analyze(&scrubbed);
+    assert_eq!(st.stable, r1.stability.stable);
+    let m = vt_label_dynamics::dynamics::metrics::analyze(&scrubbed, &s);
+    assert_eq!(m.delta_zero_fraction, r1.metrics.delta_zero_fraction);
+}

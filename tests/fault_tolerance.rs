@@ -1,0 +1,132 @@
+//! Degenerate inputs and fault injection: the pipeline must stay
+//! well-defined at the edges (empty studies, tiny studies, hostile
+//! fleet configurations).
+
+use vt_label_dynamics::dynamics::Study;
+use vt_label_dynamics::sim::SimConfig;
+
+#[test]
+fn empty_study_runs() {
+    let study = Study::generate(SimConfig::new(1, 0));
+    let r = study.run();
+    assert_eq!(r.dataset.total_samples(), 0);
+    assert_eq!(r.s_samples, 0);
+    assert_eq!(r.flips.flips, 0);
+    assert!(r.intervals.correlation.is_none());
+    for sh in &r.categories_all.shares {
+        // Empty sweep degrades to all-white (0/0 conventions), still a
+        // partition.
+        assert!((sh.white + sh.black + sh.gray - 1.0).abs() < 1e-9);
+    }
+    for s in &r.rank_stabilization {
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.stabilized_fraction(), 0.0);
+    }
+}
+
+#[test]
+fn single_sample_study_runs() {
+    let study = Study::generate(SimConfig::new(2, 1));
+    let r = study.run();
+    assert_eq!(r.dataset.total_samples(), 1);
+    // One sample is almost surely single-report; S may be empty — all
+    // downstream analyses must still hold their invariants.
+    assert!(r.s_samples <= 1);
+    assert_eq!(r.flips.flips, r.flips.flips_up + r.flips.flips_down);
+}
+
+#[test]
+fn zero_glitch_rate_means_zero_hazard_flips() {
+    let mut config = SimConfig::new(3, 30_000);
+    config.fleet.glitch_rate = 0.0;
+    let study = Study::generate(config);
+    let r = study.run();
+    assert!(r.flips.flips > 0, "study too small to observe flips");
+    assert_eq!(
+        r.flips.hazard_flips, 0,
+        "hazard flips are structurally impossible without glitches"
+    );
+}
+
+#[test]
+fn saturated_timeouts_degrade_activity() {
+    // Timeout probability saturated (the per-sample rate caps at 0.5 and
+    // epoch/load factors modulate below it): activity must fall far
+    // below nominal, and the pipeline must keep its invariants.
+    let activity = |timeout_mult: f64| {
+        let mut config = SimConfig::new(4, 2_000);
+        config.fleet.timeout_mult = timeout_mult;
+        let study = Study::generate(config);
+        let mut active = 0u64;
+        let mut slots = 0u64;
+        for rec in study.records() {
+            for rep in &rec.reports {
+                active += rep.verdicts.active_count() as u64;
+                slots += rep.verdicts.engine_count() as u64;
+            }
+        }
+        let r = study.run();
+        assert_eq!(
+            r.stability.stable + r.stability.dynamic,
+            r.stability.multi_report_samples
+        );
+        active as f64 / slots as f64
+    };
+    let nominal = activity(1.0);
+    let degraded = activity(1e9);
+    assert!(nominal > 0.9, "nominal activity {nominal}");
+    assert!(
+        degraded < 0.8 * nominal,
+        "saturated timeouts must visibly degrade activity: {degraded} vs {nominal}"
+    );
+}
+
+#[test]
+fn perfect_availability_is_quieter_than_nominal() {
+    let mut perfect = SimConfig::new(5, 40_000);
+    perfect.fleet.timeout_mult = 0.0;
+    perfect.fleet.outage_mult = 0.0;
+    let nominal = SimConfig::new(5, 40_000);
+
+    let stable_fraction = |config: SimConfig| {
+        let study = Study::generate(config);
+        vt_label_dynamics::dynamics::stability::analyze(study.records()).stable_fraction()
+    };
+    let s_perfect = stable_fraction(perfect);
+    let s_nominal = stable_fraction(nominal);
+    assert!(
+        s_perfect > s_nominal + 0.05,
+        "removing activity noise must raise stability: perfect {s_perfect} vs nominal {s_nominal}"
+    );
+}
+
+#[test]
+fn store_rejects_misuse_gracefully() {
+    // Sealing an empty store and reading from it is fine.
+    let store = vt_label_dynamics::store::ReportStore::new();
+    store.seal();
+    assert_eq!(store.report_count(), 0);
+    assert!(store.group_by_sample().is_empty());
+    assert!(store
+        .sample_reports(vt_label_dynamics::model::SampleHash::from_ordinal(1))
+        .is_empty());
+    // Persisting an empty store round-trips.
+    let mut buf = Vec::new();
+    vt_label_dynamics::store::write_store(&store, &mut buf).expect("write empty");
+    let loaded = vt_label_dynamics::store::read_store(&mut buf.as_slice()).expect("read empty");
+    assert_eq!(loaded.report_count(), 0);
+}
+
+#[test]
+fn persisted_study_store_round_trips() {
+    let study = Study::generate(SimConfig::new(6, 5_000));
+    let store = study.build_store();
+    let mut buf = Vec::new();
+    vt_label_dynamics::store::write_store(&store, &mut buf).expect("write");
+    let loaded = vt_label_dynamics::store::read_store(&mut buf.as_slice()).expect("read");
+    assert_eq!(loaded.report_count(), store.report_count());
+    assert_eq!(loaded.sample_count(), store.sample_count());
+    for rec in study.records().iter().take(100) {
+        assert_eq!(loaded.sample_reports(rec.meta.hash), rec.reports);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests over the simulator: structural invariants that must
+//! hold for *every* seed and population size, not just the calibrated
+//! default.
+
+use proptest::prelude::*;
+use vt_label_dynamics::dynamics::Study;
+use vt_label_dynamics::model::{ReportKind, Verdict};
+use vt_label_dynamics::sim::SimConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn trajectories_are_structurally_sound(seed in any::<u64>(), samples in 1u64..400) {
+        let study = Study::generate(SimConfig::new(seed, samples));
+        let config = study.sim().config();
+        prop_assert_eq!(study.records().len() as u64, samples);
+        for rec in study.records() {
+            prop_assert!(!rec.reports.is_empty());
+            let mut last_time = None;
+            let mut last_submitted: Option<u32> = None;
+            for r in &rec.reports {
+                // Reports belong to their sample and carry its type.
+                prop_assert_eq!(r.sample, rec.meta.hash);
+                prop_assert_eq!(r.file_type, rec.meta.file_type);
+                // Time-ordered, inside the collection window.
+                prop_assert!(r.analysis_date >= config.window_start());
+                prop_assert!(r.analysis_date < config.window_end());
+                if let Some(t) = last_time {
+                    prop_assert!(r.analysis_date > t, "strictly increasing scan times");
+                }
+                last_time = Some(r.analysis_date);
+                // Submission metadata semantics (Table 1).
+                prop_assert!(r.last_submission_date <= r.analysis_date);
+                prop_assert!(r.times_submitted >= 1);
+                if let Some(prev) = last_submitted {
+                    prop_assert!(r.times_submitted >= prev);
+                    if r.kind == ReportKind::Rescan {
+                        prop_assert_eq!(r.times_submitted, prev);
+                    }
+                }
+                last_submitted = Some(r.times_submitted);
+                // The report API never generates stored reports.
+                prop_assert!(r.kind != ReportKind::Report);
+                // Verdict vector covers the full roster.
+                prop_assert_eq!(r.verdicts.engine_count(), 70);
+                prop_assert!(r.positives() <= r.verdicts.active_count());
+            }
+            // Freshness is derivable from the report stream (what
+            // records_from_store relies on).
+            let derived_first = rec
+                .reports
+                .iter()
+                .map(|r| r.last_submission_date)
+                .min()
+                .expect("nonempty");
+            prop_assert_eq!(derived_first, rec.meta.first_submission);
+            // Origin precedes first submission.
+            prop_assert!(rec.meta.origin <= rec.meta.first_submission);
+        }
+    }
+
+    #[test]
+    fn per_engine_sequences_have_no_hazard_without_glitches(
+        seed in any::<u64>(),
+        samples in 50u64..200,
+    ) {
+        let mut config = SimConfig::new(seed, samples);
+        config.fleet.glitch_rate = 0.0;
+        let study = Study::generate(config);
+        for rec in study.records() {
+            for e in 0..70u8 {
+                let labels: Vec<u8> = rec
+                    .reports
+                    .iter()
+                    .filter_map(|r| r.verdicts.get(vt_label_dynamics::model::EngineId(e)).binary_label())
+                    .collect();
+                let flips = labels.windows(2).filter(|w| w[0] != w[1]).count();
+                prop_assert!(
+                    flips <= 1,
+                    "engine {e} flipped {flips} times on one sample (hazard)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_are_three_valued_and_consistent(seed in any::<u64>()) {
+        let study = Study::generate(SimConfig::new(seed, 50));
+        for rec in study.records() {
+            for r in &rec.reports {
+                let mut positives = 0u32;
+                let mut active = 0u32;
+                for (_, v) in r.verdicts.iter() {
+                    match v {
+                        Verdict::Malicious => {
+                            positives += 1;
+                            active += 1;
+                        }
+                        Verdict::Benign => active += 1,
+                        Verdict::Undetected => {}
+                    }
+                }
+                prop_assert_eq!(positives, r.positives());
+                prop_assert_eq!(active, r.verdicts.active_count());
+            }
+        }
+    }
+}

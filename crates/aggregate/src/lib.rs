@@ -24,4 +24,6 @@ pub mod strategy;
 
 pub use reliability::ReliabilityModel;
 pub use sequence::{stabilization_index, LabelSequence};
-pub use strategy::{Aggregator, Label, PercentageThreshold, Threshold, TrustedSubset, WeightedVote};
+pub use strategy::{
+    Aggregator, Label, PercentageThreshold, Threshold, TrustedSubset, WeightedVote,
+};

@@ -158,12 +158,30 @@ mod tests {
         for i in 0..200u32 {
             let malicious = i % 2 == 0;
             let mut v = VerdictVec::new(3);
-            v.set(EngineId(0), if malicious { Verdict::Malicious } else { Verdict::Benign });
+            v.set(
+                EngineId(0),
+                if malicious {
+                    Verdict::Malicious
+                } else {
+                    Verdict::Benign
+                },
+            );
             v.set(EngineId(1), Verdict::Malicious);
-            v.set(EngineId(2), if malicious { Verdict::Benign } else { Verdict::Malicious });
+            v.set(
+                EngineId(2),
+                if malicious {
+                    Verdict::Benign
+                } else {
+                    Verdict::Malicious
+                },
+            );
             out.push((
                 v,
-                if malicious { Label::Malicious } else { Label::Benign },
+                if malicious {
+                    Label::Malicious
+                } else {
+                    Label::Benign
+                },
             ));
         }
         out

@@ -103,7 +103,11 @@ impl Aggregator for TrustedSubset {
     }
 
     fn name(&self) -> String {
-        format!("trusted({} engines, ≥{})", self.engines.len(), self.min_hits)
+        format!(
+            "trusted({} engines, ≥{})",
+            self.engines.len(),
+            self.min_hits
+        )
     }
 }
 

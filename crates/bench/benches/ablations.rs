@@ -84,9 +84,7 @@ fn ablation_parallelism(c: &mut Criterion) {
             BenchmarkId::new("generate_20k", workers),
             &workers,
             |b, &w| {
-                b.iter(|| {
-                    black_box(Study::generate_with_workers(SimConfig::new(9, 20_000), w))
-                })
+                b.iter(|| black_box(Study::generate_with_workers(SimConfig::new(9, 20_000), w)))
             },
         );
     }
@@ -96,11 +94,9 @@ fn ablation_parallelism(c: &mut Criterion) {
 fn ablation_alias_sampling(c: &mut Criterion) {
     // The 351-way file-type distribution, as the population generator
     // builds it.
-    let mut weights = vec![0.0f64; TOTAL_TYPE_COUNT];
-    for idx in 0..TOTAL_TYPE_COUNT {
-        let ft = FileType::from_dense_index(idx);
-        weights[idx] = ft.sample_share_ppm().max(1) as f64;
-    }
+    let weights: Vec<f64> = (0..TOTAL_TYPE_COUNT)
+        .map(|idx| FileType::from_dense_index(idx).sample_share_ppm().max(1) as f64)
+        .collect();
     let table = AliasTable::new(&weights);
     let total: f64 = weights.iter().sum();
     let mut group = c.benchmark_group("ablation_alias_sampling");

@@ -54,5 +54,10 @@ fn fig7_intervals(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig2_fig4_stability, fig5_fig6_metrics, fig7_intervals);
+criterion_group!(
+    benches,
+    fig2_fig4_stability,
+    fig5_fig6_metrics,
+    fig7_intervals
+);
 criterion_main!(benches);

@@ -38,7 +38,15 @@ fn fig11_fig12_correlation(c: &mut Criterion) {
     let mut group = c.benchmark_group("correlation");
     group.sample_size(10);
     group.bench_function("fig11_global_graph", |b| {
-        b.iter(|| black_box(correlation::analyze(study.records(), s, engines, None, 400_000)))
+        b.iter(|| {
+            black_box(correlation::analyze(
+                study.records(),
+                s,
+                engines,
+                None,
+                400_000,
+            ))
+        })
     });
     group.bench_function("fig12_win32exe_graph", |b| {
         b.iter(|| {
@@ -54,12 +62,23 @@ fn fig11_fig12_correlation(c: &mut Criterion) {
     group.bench_function("tables4_8_groups", |b| {
         b.iter(|| {
             for ft in [FileType::Txt, FileType::Html, FileType::Zip, FileType::Pdf] {
-                black_box(correlation::analyze(study.records(), s, engines, Some(ft), 400_000));
+                black_box(correlation::analyze(
+                    study.records(),
+                    s,
+                    engines,
+                    Some(ft),
+                    400_000,
+                ));
             }
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, obs7_flip_causes, fig10_flip_matrix, fig11_fig12_correlation);
+criterion_group!(
+    benches,
+    obs7_flip_causes,
+    fig10_flip_matrix,
+    fig11_fig12_correlation
+);
 criterion_main!(benches);

@@ -69,5 +69,10 @@ fn table3_and_fig1(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, table1_api_semantics, table2_monthly_volume, table3_and_fig1);
+criterion_group!(
+    benches,
+    table1_api_semantics,
+    table2_monthly_volume,
+    table3_and_fig1
+);
 criterion_main!(benches);

@@ -29,7 +29,13 @@ fn obs8_rank_stabilization(c: &mut Criterion) {
         b.iter(|| black_box(stabilization::rank_stabilization(study.records(), s)))
     });
     group.bench_function("fig9a_label_stability_all", |b| {
-        b.iter(|| black_box(stabilization::label_stabilization(study.records(), s, false)))
+        b.iter(|| {
+            black_box(stabilization::label_stabilization(
+                study.records(),
+                s,
+                false,
+            ))
+        })
     });
     group.bench_function("fig9b_label_stability_multi", |b| {
         b.iter(|| black_box(stabilization::label_stabilization(study.records(), s, true)))

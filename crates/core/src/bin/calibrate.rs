@@ -11,7 +11,10 @@ use vt_sim::SimConfig;
 fn main() {
     let mut args = std::env::args().skip(1);
     let samples: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0x7e57_5eed);
+    let seed: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0x7e57_5eed);
 
     let t0 = std::time::Instant::now();
     let study = Study::generate(SimConfig::new(seed, samples));
@@ -22,59 +25,135 @@ fn main() {
 
     let pct = |x: f64| format!("{:.2}%", x * 100.0);
     println!("== dataset (§4) ==");
-    println!("reports/sample mean      paper 1.48   got {:.3}",
-        r.dataset.total_reports() as f64 / r.dataset.total_samples() as f64);
-    println!("singleton samples        paper 88.81% got {}", pct(r.fig1.singleton));
-    println!("fresh fraction           paper 91.76% got {}", pct(r.dataset.fresh_fraction()));
-    println!("max reports one sample   paper 64168  got {}", r.fig1.max_reports);
+    println!(
+        "reports/sample mean      paper 1.48   got {:.3}",
+        r.dataset.total_reports() as f64 / r.dataset.total_samples() as f64
+    );
+    println!(
+        "singleton samples        paper 88.81% got {}",
+        pct(r.fig1.singleton)
+    );
+    println!(
+        "fresh fraction           paper 91.76% got {}",
+        pct(r.dataset.fresh_fraction())
+    );
+    println!(
+        "max reports one sample   paper 64168  got {}",
+        r.fig1.max_reports
+    );
 
     println!("== stability (§5.1-5.2) ==");
-    println!("stable fraction          paper 49.90% got {}", pct(r.stability.stable_fraction()));
-    println!("stable at rank0          paper 66.36% got {}", pct(r.stability.stable_at_zero_fraction()));
-    println!("stable rank<=5           paper >80%   got {}", pct(r.stability.stable_le5_fraction()));
-    println!("stable benign (no 2scan) paper 81.7%  got {}", pct(r.stability.stable_benign_fraction_excluding_two_scans()));
-    println!("rank0 mean scans         paper 3.54   got {:.2}", r.stability.rank0_mean_scans());
-    println!("rank>0 mean scans        paper 2.92   got {:.2}", r.stability.rank_pos_mean_scans());
-    println!("span within 17d          paper ~50%   got {}", pct(r.stability.span_within_17d));
-    println!("span within 350d         paper >93%   got {}", pct(r.stability.span_within_350d));
+    println!(
+        "stable fraction          paper 49.90% got {}",
+        pct(r.stability.stable_fraction())
+    );
+    println!(
+        "stable at rank0          paper 66.36% got {}",
+        pct(r.stability.stable_at_zero_fraction())
+    );
+    println!(
+        "stable rank<=5           paper >80%   got {}",
+        pct(r.stability.stable_le5_fraction())
+    );
+    println!(
+        "stable benign (no 2scan) paper 81.7%  got {}",
+        pct(r.stability.stable_benign_fraction_excluding_two_scans())
+    );
+    println!(
+        "rank0 mean scans         paper 3.54   got {:.2}",
+        r.stability.rank0_mean_scans()
+    );
+    println!(
+        "rank>0 mean scans        paper 2.92   got {:.2}",
+        r.stability.rank_pos_mean_scans()
+    );
+    println!(
+        "span within 17d          paper ~50%   got {}",
+        pct(r.stability.span_within_17d)
+    );
+    println!(
+        "span within 350d         paper >93%   got {}",
+        pct(r.stability.span_within_350d)
+    );
     if let Some(b0) = r.stability.span_by_rank[0] {
-        println!("rank0 span mean/median   paper 20.34/14d got {:.1}/{:.1}", b0.mean, b0.median);
+        println!(
+            "rank0 span mean/median   paper 20.34/14d got {:.1}/{:.1}",
+            b0.mean, b0.median
+        );
     }
 
     println!("== S + metrics (§5.3) ==");
-    println!("S samples/dynamic        {} / {}", r.s_samples, r.stability.dynamic);
-    println!("delta==0 adjacent        paper 35.49% got {}", pct(r.metrics.delta_zero_fraction));
-    println!("Delta>2 fraction         paper ~50%   got {}", pct(r.metrics.delta_over_2_fraction));
-    println!("Delta<=11 fraction       paper 90%    got {}", pct(r.metrics.delta_le_11_fraction));
+    println!(
+        "S samples/dynamic        {} / {}",
+        r.s_samples, r.stability.dynamic
+    );
+    println!(
+        "delta==0 adjacent        paper 35.49% got {}",
+        pct(r.metrics.delta_zero_fraction)
+    );
+    println!(
+        "Delta>2 fraction         paper ~50%   got {}",
+        pct(r.metrics.delta_over_2_fraction)
+    );
+    println!(
+        "Delta<=11 fraction       paper 90%    got {}",
+        pct(r.metrics.delta_le_11_fraction)
+    );
     for t in &r.metrics.per_type {
         if let (Some(adj), Some(ovl)) = (t.delta_adjacent, t.delta_overall) {
-            println!("  {:<20} δ mean {:.2} med {:.1} | Δ mean {:.2} med {:.1} (n={})",
-                t.file_type.name(), adj.mean, adj.median, ovl.mean, ovl.median, ovl.n);
+            println!(
+                "  {:<20} δ mean {:.2} med {:.1} | Δ mean {:.2} med {:.1} (n={})",
+                t.file_type.name(),
+                adj.mean,
+                adj.median,
+                ovl.mean,
+                ovl.median,
+                ovl.n
+            );
         }
     }
     println!("paper refs: DLL δ̄=3.25 max; JSON δ̄=0.29 min; Δ̄ JPEG 1.49 .. Win32EXE 14.08");
 
     println!("== intervals (§5.3.5) ==");
     print!("day-bin means: ");
-    for day in [0usize, 1, 2, 4, 7, 14, 21, 30, 45, 60, 90, 120, 180, 240, 300, 360, 420] {
+    for day in [
+        0usize, 1, 2, 4, 7, 14, 21, 30, 45, 60, 90, 120, 180, 240, 300, 360, 420,
+    ] {
         if let Some(b) = r.intervals.by_day.get(day).and_then(|b| b.as_ref()) {
             print!("d{day}:{:.2}(n{}) ", b.mean, b.n);
         }
     }
     println!();
     if let Some(c) = r.intervals.correlation {
-        println!("spearman(day, mean diff) paper 0.9181 got {:.4} (p={:.3e}, n={})", c.rho, c.p_value, c.n);
+        println!(
+            "spearman(day, mean diff) paper 0.9181 got {:.4} (p={:.3e}, n={})",
+            c.rho, c.p_value, c.n
+        );
     }
     if let Some(c) = r.intervals.correlation_median {
-        println!("spearman(day, median diff)             got {:.4} (p={:.3e})", c.rho, c.p_value);
+        println!(
+            "spearman(day, median diff)             got {:.4} (p={:.3e})",
+            c.rho, c.p_value
+        );
     }
-    println!("window growth 1->3mo     paper 8.6%   got {}", pct(r.window_growth));
+    println!(
+        "window growth 1->3mo     paper 8.6%   got {}",
+        pct(r.window_growth)
+    );
 
     println!("== categories (§5.4) ==");
     let gmax = r.categories_all.gray_max().unwrap();
     let gmin = r.categories_all.gray_min().unwrap();
-    println!("overall gray max         paper 14.92%@24 got {}@{}", pct(gmax.gray), gmax.t);
-    println!("overall gray min         paper 3.82%@45  got {}@{}", pct(gmin.gray), gmin.t);
+    println!(
+        "overall gray max         paper 14.92%@24 got {}@{}",
+        pct(gmax.gray),
+        gmax.t
+    );
+    println!(
+        "overall gray min         paper 3.82%@45  got {}@{}",
+        pct(gmin.gray),
+        gmin.t
+    );
     print!("overall gray curve: ");
     for sh in r.categories_all.shares.iter().step_by(4) {
         print!("t{}:{} ", sh.t, pct(sh.gray));
@@ -82,8 +161,16 @@ fn main() {
     println!();
     let pmax = r.categories_pe.gray_max().unwrap();
     let pmin = r.categories_pe.gray_min().unwrap();
-    println!("PE gray max              paper 16.41%@50 got {}@{}", pct(pmax.gray), pmax.t);
-    println!("PE gray min              paper 2.70%@3   got {}@{}", pct(pmin.gray), pmin.t);
+    println!(
+        "PE gray max              paper 16.41%@50 got {}@{}",
+        pct(pmax.gray),
+        pmax.t
+    );
+    println!(
+        "PE gray min              paper 2.70%@3   got {}@{}",
+        pct(pmin.gray),
+        pmin.t
+    );
     print!("PE gray curve: ");
     for sh in r.categories_pe.shares.iter().step_by(4) {
         print!("t{}:{} ", sh.t, pct(sh.gray));
@@ -91,61 +178,134 @@ fn main() {
     println!();
 
     println!("== causes (§5.5) ==");
-    println!("update-coincident flips  paper ~60%   got {}", pct(r.causes.update_fraction()));
-    println!("gap consistency          paper 'usually' got {}", pct(r.causes.gap_consistency()));
+    println!(
+        "update-coincident flips  paper ~60%   got {}",
+        pct(r.causes.update_fraction())
+    );
+    println!(
+        "gap consistency          paper 'usually' got {}",
+        pct(r.causes.gap_consistency())
+    );
 
     println!("== stabilization (§6) ==");
     for s in &r.rank_stabilization {
-        println!("r={} stabilized          paper {} got {} (within30d of stab: {})",
+        println!(
+            "r={} stabilized          paper {} got {} (within30d of stab: {})",
             s.r,
             ["10.9%", "55.1%", "69.58%", "77.84%", "83.52%", "88.11%"][s.r as usize],
             pct(s.stabilized_fraction()),
-            pct(s.within_30d_fraction()));
+            pct(s.within_30d_fraction())
+        );
     }
     for l in &r.label_stabilization_all {
-        println!("t={:<2} all: stab {} serial {:.1} days {:.1}", l.t, pct(l.stabilized_fraction()), l.mean_serial, l.mean_days);
+        println!(
+            "t={:<2} all: stab {} serial {:.1} days {:.1}",
+            l.t,
+            pct(l.stabilized_fraction()),
+            l.mean_serial,
+            l.mean_days
+        );
     }
     for l in &r.label_stabilization_multi {
-        println!("t={:<2} >2scans: stab {} serial {:.1} days {:.1}", l.t, pct(l.stabilized_fraction()), l.mean_serial, l.mean_days);
+        println!(
+            "t={:<2} >2scans: stab {} serial {:.1} days {:.1}",
+            l.t,
+            pct(l.stabilized_fraction()),
+            l.mean_serial,
+            l.mean_days
+        );
     }
 
     println!("== flips (§7.1) ==");
-    println!("flips up/down ratio      paper 2.69   got {:.2} ({} up, {} down)",
-        r.flips.flips_up as f64 / r.flips.flips_down.max(1) as f64, r.flips.flips_up, r.flips.flips_down);
-    println!("hazard flips             paper 9/16.8M got {}/{}", r.flips.hazard_flips, r.flips.flips);
-    println!("flips per report         paper 0.154  got {:.3}", r.flips.flips as f64 / r.flips.reports.max(1) as f64);
+    println!(
+        "flips up/down ratio      paper 2.69   got {:.2} ({} up, {} down)",
+        r.flips.flips_up as f64 / r.flips.flips_down.max(1) as f64,
+        r.flips.flips_up,
+        r.flips.flips_down
+    );
+    println!(
+        "hazard flips             paper 9/16.8M got {}/{}",
+        r.flips.hazard_flips, r.flips.flips
+    );
+    println!(
+        "flips per report         paper 0.154  got {:.3}",
+        r.flips.flips as f64 / r.flips.reports.max(1) as f64
+    );
     let fleet = study.sim().fleet();
-    let names = ["Arcabit", "F-Secure", "Lionic", "Microsoft", "Jiangmin", "AhnLab-V3"];
+    let names = [
+        "Arcabit",
+        "F-Secure",
+        "Lionic",
+        "Microsoft",
+        "Jiangmin",
+        "AhnLab-V3",
+    ];
     for n in names {
         let e = fleet.engine_by_name(n);
-        println!("  {:<12} overall flip ratio {:.4} | ELF {:.4} DEX {:.4}",
-            n, r.flips.engine_ratio(e),
+        println!(
+            "  {:<12} overall flip ratio {:.4} | ELF {:.4} DEX {:.4}",
+            n,
+            r.flips.engine_ratio(e),
             r.flips.ratio(e, vt_model::FileType::ElfExecutable),
-            r.flips.ratio(e, vt_model::FileType::Dex));
+            r.flips.ratio(e, vt_model::FileType::Dex)
+        );
     }
 
     println!("== correlation (§7.2) ==");
     let c = &r.correlation_global;
-    println!("strong pairs: {} | groups: {}", c.strong_pairs.len(), c.groups.len());
-    let pair = |a: &str, b: &str| {
-        c.rho_between(fleet.engine_by_name(a), fleet.engine_by_name(b))
-    };
-    println!("Paloalto-APEX            paper .9933 got {:.4}", pair("Paloalto", "APEX"));
-    println!("Avast-AVG                paper .9814 got {:.4}", pair("Avast", "AVG"));
-    println!("Webroot-CrowdStrike      paper .9754 got {:.4}", pair("Webroot", "CrowdStrike"));
-    println!("BitDefender-FireEye      paper .9520 got {:.4}", pair("BitDefender", "FireEye"));
-    println!("Avira-Cynet (global)     paper .9751 got {:.4}", pair("Avira", "Cynet"));
-    println!("Cyren-Fortinet (global)  paper weak  got {:.4}", pair("Cyren", "Fortinet"));
-    println!("Kaspersky-Zoner (indep)  expect weak got {:.4}", pair("Kaspersky", "Zoner"));
+    println!(
+        "strong pairs: {} | groups: {}",
+        c.strong_pairs.len(),
+        c.groups.len()
+    );
+    let pair = |a: &str, b: &str| c.rho_between(fleet.engine_by_name(a), fleet.engine_by_name(b));
+    println!(
+        "Paloalto-APEX            paper .9933 got {:.4}",
+        pair("Paloalto", "APEX")
+    );
+    println!(
+        "Avast-AVG                paper .9814 got {:.4}",
+        pair("Avast", "AVG")
+    );
+    println!(
+        "Webroot-CrowdStrike      paper .9754 got {:.4}",
+        pair("Webroot", "CrowdStrike")
+    );
+    println!(
+        "BitDefender-FireEye      paper .9520 got {:.4}",
+        pair("BitDefender", "FireEye")
+    );
+    println!(
+        "Avira-Cynet (global)     paper .9751 got {:.4}",
+        pair("Avira", "Cynet")
+    );
+    println!(
+        "Cyren-Fortinet (global)  paper weak  got {:.4}",
+        pair("Cyren", "Fortinet")
+    );
+    println!(
+        "Kaspersky-Zoner (indep)  expect weak got {:.4}",
+        pair("Kaspersky", "Zoner")
+    );
     for ct in &r.correlation_per_type {
-        println!("  scope {:?}: {} strong pairs, {} groups, {} rows",
-            ct.scope.map(|f| f.name()), ct.strong_pairs.len(), ct.groups.len(), ct.rows);
+        println!(
+            "  scope {:?}: {} strong pairs, {} groups, {} rows",
+            ct.scope.map(|f| f.name()),
+            ct.strong_pairs.len(),
+            ct.groups.len(),
+            ct.rows
+        );
     }
     // Win32EXE specifics.
     let exe = &r.correlation_per_type[0];
-    let pe_pair = |a: &str, b: &str| {
-        exe.rho_between(fleet.engine_by_name(a), fleet.engine_by_name(b))
-    };
-    println!("Cyren-Fortinet (EXE)     paper strong got {:.4}", pe_pair("Cyren", "Fortinet"));
-    println!("Avira-Cynet (EXE)        paper weak   got {:.4}", pe_pair("Avira", "Cynet"));
+    let pe_pair =
+        |a: &str, b: &str| exe.rho_between(fleet.engine_by_name(a), fleet.engine_by_name(b));
+    println!(
+        "Cyren-Fortinet (EXE)     paper strong got {:.4}",
+        pe_pair("Cyren", "Fortinet")
+    );
+    println!(
+        "Avira-Cynet (EXE)        paper weak   got {:.4}",
+        pe_pair("Avira", "Cynet")
+    );
 }

@@ -154,7 +154,11 @@ mod tests {
         let sweep = sweep(&records, &s, false);
         assert_eq!(sweep.samples, 2);
         for sh in &sweep.shares {
-            assert!((sh.white + sh.black + sh.gray - 1.0).abs() < 1e-9, "t={}", sh.t);
+            assert!(
+                (sh.white + sh.black + sh.gray - 1.0).abs() < 1e-9,
+                "t={}",
+                sh.t
+            );
         }
         // t = 5: A is gray (2 < 5 <= 8), B is black (min 20 >= 5).
         let t5 = sweep.shares[4];

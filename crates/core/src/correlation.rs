@@ -120,8 +120,8 @@ pub fn analyze(
             if rows as usize >= max_rows {
                 break 'outer;
             }
-            for e in 0..engine_count {
-                columns[e].push(rep.verdicts.get(EngineId(e as u8)).r_value());
+            for (e, col) in columns.iter_mut().enumerate() {
+                col.push(rep.verdicts.get(EngineId(e as u8)).r_value());
             }
             rows += 1;
         }
@@ -148,7 +148,7 @@ pub fn analyze(
 
     // Connected components over strong pairs (union-find).
     let mut parent: Vec<usize> = (0..engine_count).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -162,7 +162,8 @@ pub fn analyze(
             parent[ra] = rb;
         }
     }
-    let mut comp: std::collections::HashMap<usize, Vec<EngineId>> = std::collections::HashMap::new();
+    let mut comp: std::collections::HashMap<usize, Vec<EngineId>> =
+        std::collections::HashMap::new();
     for e in 0..engine_count {
         let root = find(&mut parent, e);
         comp.entry(root).or_default().push(EngineId(e as u8));
@@ -198,7 +199,13 @@ mod tests {
         // Deterministic mixed data.
         let xs: Vec<i8> = (0..200).map(|i| ((i * 7 + 3) % 3) as i8 - 1).collect();
         let ys: Vec<i8> = (0..200)
-            .map(|i| if i % 4 == 0 { ((i * 5) % 3) as i8 - 1 } else { xs[i] })
+            .map(|i| {
+                if i % 4 == 0 {
+                    ((i * 5) % 3) as i8 - 1
+                } else {
+                    xs[i]
+                }
+            })
             .collect();
         let mut counts = [[0u64; 3]; 3];
         for (&x, &y) in xs.iter().zip(&ys) {
@@ -241,7 +248,11 @@ mod tests {
         for i in 0..6u64 {
             let meta = SampleMeta {
                 hash: SampleHash::from_ordinal(i),
-                file_type: if i % 2 == 0 { FileType::Win32Exe } else { FileType::Pdf },
+                file_type: if i % 2 == 0 {
+                    FileType::Win32Exe
+                } else {
+                    FileType::Pdf
+                },
                 origin: first,
                 first_submission: first,
                 truth: GroundTruth::Benign,
@@ -250,13 +261,23 @@ mod tests {
                 .map(|k| {
                     let bit = (i + k) % 2 == 0;
                     let mut verdicts = VerdictVec::new(4);
-                    let v = |b: bool| if b { Verdict::Malicious } else { Verdict::Benign };
+                    let v = |b: bool| {
+                        if b {
+                            Verdict::Malicious
+                        } else {
+                            Verdict::Benign
+                        }
+                    };
                     verdicts.set(EngineId(0), v(bit));
                     verdicts.set(EngineId(1), v(bit));
                     verdicts.set(EngineId(2), v(!bit));
                     verdicts.set(
                         EngineId(3),
-                        if (i * 3 + k) % 3 == 0 { Verdict::Undetected } else { v(k % 2 == 0) },
+                        if (i * 3 + k) % 3 == 0 {
+                            Verdict::Undetected
+                        } else {
+                            v(k % 2 == 0)
+                        },
                     );
                     ScanReport {
                         sample: meta.hash,
@@ -291,7 +312,10 @@ mod tests {
             .strong_pairs
             .iter()
             .any(|&(x, y, _)| (x, y) == (EngineId(0), EngineId(2))));
-        assert!(a.groups.iter().any(|g| g.contains(&EngineId(0)) && g.contains(&EngineId(1))));
+        assert!(a
+            .groups
+            .iter()
+            .any(|g| g.contains(&EngineId(0)) && g.contains(&EngineId(1))));
         // Diagonal is 1.
         assert_eq!(a.rho_between(EngineId(3), EngineId(3)), 1.0);
     }

@@ -165,7 +165,11 @@ mod tests {
                 );
                 verdicts.set(
                     EngineId(1),
-                    if k % 2 == 0 { Verdict::Malicious } else { Verdict::Benign },
+                    if k % 2 == 0 {
+                        Verdict::Malicious
+                    } else {
+                        Verdict::Benign
+                    },
                 );
                 ScanReport {
                     sample: meta.hash,

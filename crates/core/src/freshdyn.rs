@@ -30,7 +30,10 @@ impl FreshDynamic {
     }
 
     /// Iterates the records of *S*.
-    pub fn iter<'a>(&'a self, records: &'a [SampleRecord]) -> impl Iterator<Item = &'a SampleRecord> {
+    pub fn iter<'a>(
+        &'a self,
+        records: &'a [SampleRecord],
+    ) -> impl Iterator<Item = &'a SampleRecord> {
         self.indices.iter().map(move |&i| &records[i])
     }
 }
@@ -104,22 +107,19 @@ mod tests {
     fn applies_all_three_filters() {
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let records = vec![
-            record(0, FileType::Win32Exe, true, &[1, 3]),   // in S
-            record(1, FileType::Win32Exe, false, &[1, 3]),  // not fresh
-            record(2, FileType::Other(0), true, &[1, 3]),   // not top-20
-            record(3, FileType::Null, true, &[1, 3]),       // not top-20
-            record(4, FileType::Win32Exe, true, &[3, 3]),   // stable
-            record(5, FileType::Win32Exe, true, &[3]),      // single report
-            record(6, FileType::Pdf, true, &[0, 2, 1]),     // in S
+            record(0, FileType::Win32Exe, true, &[1, 3]),  // in S
+            record(1, FileType::Win32Exe, false, &[1, 3]), // not fresh
+            record(2, FileType::Other(0), true, &[1, 3]),  // not top-20
+            record(3, FileType::Null, true, &[1, 3]),      // not top-20
+            record(4, FileType::Win32Exe, true, &[3, 3]),  // stable
+            record(5, FileType::Win32Exe, true, &[3]),     // single report
+            record(6, FileType::Pdf, true, &[0, 2, 1]),    // in S
         ];
         let s = build(&records, window);
         assert_eq!(s.indices, vec![0, 6]);
         assert_eq!(s.reports, 5);
         assert_eq!(s.len(), 2);
-        let collected: Vec<u64> = s
-            .iter(&records)
-            .map(|r| r.meta.hash.seed64())
-            .collect();
+        let collected: Vec<u64> = s.iter(&records).map(|r| r.meta.hash.seed64()).collect();
         assert_eq!(collected.len(), 2);
     }
 }

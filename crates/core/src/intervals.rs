@@ -96,7 +96,10 @@ pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, max_days: usize) -> I
 fn strided(reports: &[vt_model::ScanReport], cap: usize) -> Vec<(vt_model::Timestamp, u32)> {
     let n = reports.len();
     if n <= cap {
-        return reports.iter().map(|r| (r.analysis_date, r.positives())).collect();
+        return reports
+            .iter()
+            .map(|r| (r.analysis_date, r.positives()))
+            .collect();
     }
     let mut out = Vec::with_capacity(cap);
     for k in 0..cap {

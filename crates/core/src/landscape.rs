@@ -50,7 +50,10 @@ pub fn fig1_points(stats: &DatasetStats) -> Fig1Points {
 /// "types" but included in totals — we report plain shares of the
 /// total).
 pub fn topk_share(stats: &DatasetStats, k: usize) -> f64 {
-    let mut counts: Vec<u64> = FileType::TOP20.iter().map(|&ft| stats.samples_of(ft)).collect();
+    let mut counts: Vec<u64> = FileType::TOP20
+        .iter()
+        .map(|&ft| stats.samples_of(ft))
+        .collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
     let top: u64 = counts.iter().take(k).sum();
     top as f64 / stats.total_samples().max(1) as f64

@@ -204,10 +204,18 @@ mod tests {
         let exe_adj = exe.delta_adjacent.unwrap();
         assert_eq!(exe_adj.n, 2);
         assert!((exe_adj.mean - 1.5).abs() < 1e-12);
-        let pdf = m.per_type.iter().find(|t| t.file_type == FileType::Pdf).unwrap();
+        let pdf = m
+            .per_type
+            .iter()
+            .find(|t| t.file_type == FileType::Pdf)
+            .unwrap();
         assert_eq!(pdf.delta_overall.unwrap().n, 1);
         // Types absent from S have no box.
-        let zip = m.per_type.iter().find(|t| t.file_type == FileType::Zip).unwrap();
+        let zip = m
+            .per_type
+            .iter()
+            .find(|t| t.file_type == FileType::Zip)
+            .unwrap();
         assert!(zip.delta_adjacent.is_none());
     }
 

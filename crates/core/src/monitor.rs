@@ -103,7 +103,10 @@ pub struct SampleMonitor {
 impl SampleMonitor {
     /// Creates a monitor with the given criteria.
     pub fn new(criteria: MonitorCriteria) -> Self {
-        assert!(criteria.min_observations >= 2, "a stable window needs >= 2 observations");
+        assert!(
+            criteria.min_observations >= 2,
+            "a stable window needs >= 2 observations"
+        );
         Self {
             criteria,
             window: Vec::new(),
@@ -151,9 +154,7 @@ impl SampleMonitor {
 
         // Does the new observation fit the current envelope?
         let fits = match self.envelope() {
-            Some((min, max)) => {
-                rank.max(max) - rank.min(min) <= self.criteria.fluctuation_range
-            }
+            Some((min, max)) => rank.max(max) - rank.min(min) <= self.criteria.fluctuation_range,
             None => true,
         };
         if !fits {
@@ -195,8 +196,7 @@ impl SampleMonitor {
         // Announce stabilization once the window meets the criteria.
         if !self.announced
             && self.window.len() >= self.criteria.min_observations
-            && self.window.last().expect("nonempty").0 - self.window[0].0
-                >= self.criteria.min_quiet
+            && self.window.last().expect("nonempty").0 - self.window[0].0 >= self.criteria.min_quiet
         {
             let (min, max) = self.envelope().expect("nonempty");
             self.announced = true;
@@ -275,7 +275,10 @@ mod tests {
         // It can stabilize again at the new level.
         m.observe(t(18), 26);
         let again = m.observe(t(25), 27);
-        assert!(matches!(again.last(), Some(MonitorEvent::Stabilized { .. })));
+        assert!(matches!(
+            again.last(),
+            Some(MonitorEvent::Stabilized { .. })
+        ));
     }
 
     #[test]

@@ -100,8 +100,8 @@ mod tests {
     fn parallel_sum_matches_serial() {
         let n = 100_000u64;
         let serial: u64 = (0..n).map(|i| i * i % 97).sum();
-        let parallel = map_reduce(n, 8, |r| r.map(|i| i * i % 97).sum::<u64>(), |a, b| *a += b)
-            .unwrap();
+        let parallel =
+            map_reduce(n, 8, |r| r.map(|i| i * i % 97).sum::<u64>(), |a, b| *a += b).unwrap();
         assert_eq!(serial, parallel);
     }
 

@@ -209,10 +209,10 @@ mod tests {
     #[test]
     fn splits_stable_and_dynamic() {
         let records = vec![
-            record(1, &[0, 0], 1),       // stable at 0
-            record(2, &[3, 3, 3], 1),    // stable at 3
-            record(3, &[2, 5], 1),       // dynamic
-            record(4, &[7], 1),          // single report: skipped
+            record(1, &[0, 0], 1),    // stable at 0
+            record(2, &[3, 3, 3], 1), // stable at 3
+            record(3, &[2, 5], 1),    // dynamic
+            record(4, &[7], 1),       // single report: skipped
         ];
         let a = analyze(&records);
         assert_eq!(a.multi_report_samples, 3);

@@ -185,8 +185,8 @@ pub fn label_stabilization(
                 if let Some(i) = stabilization_index(seq.labels()) {
                     stabilized += 1;
                     serial_sum += (i + 1) as f64;
-                    let days = (rec.reports[i].analysis_date - rec.reports[0].analysis_date)
-                        .as_days_f64();
+                    let days =
+                        (rec.reports[i].analysis_date - rec.reports[0].analysis_date).as_days_f64();
                     days_sum += days;
                     if days <= 15.0 {
                         within_15 += 1;

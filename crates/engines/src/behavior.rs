@@ -227,7 +227,12 @@ impl EngineFleet {
     // ---- draw helpers ------------------------------------------------
 
     fn u(&self, sample: &SampleMeta, engine: usize, tag: u64) -> f64 {
-        unit_f64(mix64(&[self.config.seed, sample.hash.seed64(), engine as u64, tag]))
+        unit_f64(mix64(&[
+            self.config.seed,
+            sample.hash.seed64(),
+            engine as u64,
+            tag,
+        ]))
     }
 
     fn u_scan(&self, sample: &SampleMeta, engine: usize, tag: u64, t: Timestamp) -> f64 {
@@ -241,7 +246,14 @@ impl EngineFleet {
     }
 
     /// Deterministic lognormal draw in days: `exp(N(ln median, sigma))`.
-    fn lognormal_days(&self, sample: &SampleMeta, engine: usize, tag: u64, median: f64, sigma: f64) -> f64 {
+    fn lognormal_days(
+        &self,
+        sample: &SampleMeta,
+        engine: usize,
+        tag: u64,
+        median: f64,
+        sigma: f64,
+    ) -> f64 {
         let u = self.u(sample, engine, tag).clamp(1e-12, 1.0 - 1e-12);
         let z = vt_stats::special::probit(u);
         median.max(1e-3) * (sigma * z).exp()
@@ -251,8 +263,12 @@ impl EngineFleet {
     /// samples are slow for everyone — this correlates latencies across
     /// the fleet).
     fn sample_slowness(&self, sample: &SampleMeta) -> f64 {
-        let u = unit_f64(mix64(&[self.config.seed, sample.hash.seed64(), TAG_SLOWNESS]))
-            .clamp(1e-12, 1.0 - 1e-12);
+        let u = unit_f64(mix64(&[
+            self.config.seed,
+            sample.hash.seed64(),
+            TAG_SLOWNESS,
+        ]))
+        .clamp(1e-12, 1.0 - 1e-12);
         (self.config.slowness_sigma * vt_stats::special::probit(u)).exp()
     }
 
@@ -291,9 +307,14 @@ impl EngineFleet {
         let mods = type_mods(sample.file_type);
         match sample.truth {
             GroundTruth::Benign => self.benign_plan(eff, profile, &mods, sample),
-            GroundTruth::Malicious { detectability } => {
-                self.malicious_plan(engine.index(), eff, profile, &mods, sample, detectability as f64)
-            }
+            GroundTruth::Malicious { detectability } => self.malicious_plan(
+                engine.index(),
+                eff,
+                profile,
+                &mods,
+                sample,
+                detectability as f64,
+            ),
         }
     }
 
@@ -358,7 +379,8 @@ impl EngineFleet {
         // the *follower's* identity (Fig. 10 is about the engine whose
         // column flips, even when it copies labels).
         let hot = engine_type_latency_mult(self.profiles[follower].name, sample.file_type);
-        let median = profile.latency_median_days * mods.latency_scale * hot * self.sample_slowness(sample);
+        let median =
+            profile.latency_median_days * mods.latency_scale * hot * self.sample_slowness(sample);
         let days = self.lognormal_days(sample, eff, TAG_LATENCY, median, profile.latency_sigma);
         let mut at = sample.origin
             + vt_model::time::Duration::minutes((days * MINUTES_PER_DAY as f64) as i64);
@@ -401,7 +423,12 @@ impl EngineFleet {
     pub fn in_outage(&self, e: EngineId, t: Timestamp) -> bool {
         let rate = self.profiles[e.index()].outage_rate * self.config.outage_mult;
         let day = t.day_number() as u64;
-        unit_f64(mix64(&[self.config.seed, TAG_OUTAGE, e.index() as u64, day])) < rate
+        unit_f64(mix64(&[
+            self.config.seed,
+            TAG_OUTAGE,
+            e.index() as u64,
+            day,
+        ])) < rate
     }
 
     /// Mean-normalized lognormal factor from a uniform word.
@@ -578,7 +605,11 @@ mod tests {
     #[test]
     fn verdicts_are_deterministic() {
         let f = fleet();
-        let s = sample(7, FileType::Win32Exe, GroundTruth::Malicious { detectability: 0.6 });
+        let s = sample(
+            7,
+            FileType::Win32Exe,
+            GroundTruth::Malicious { detectability: 0.6 },
+        );
         let t = s.first_submission + Duration::days(3);
         let plan = f.sample_plan(&s);
         for e in 0..f.engine_count() {
@@ -616,7 +647,11 @@ mod tests {
             let mut acc = 0u32;
             let n = 120;
             for i in 0..n {
-                let s = sample(5000 + i, FileType::Win32Exe, GroundTruth::Malicious { detectability: d });
+                let s = sample(
+                    5000 + i,
+                    FileType::Win32Exe,
+                    GroundTruth::Malicious { detectability: d },
+                );
                 acc += f.sample_plan(&s).asymptotic_positives();
             }
             acc as f64 / n as f64
@@ -636,7 +671,11 @@ mod tests {
         let mut early = 0u32;
         let mut late = 0u32;
         for i in 0..150 {
-            let s = sample(9000 + i, FileType::Win32Exe, GroundTruth::Malicious { detectability: 0.7 });
+            let s = sample(
+                9000 + i,
+                FileType::Win32Exe,
+                GroundTruth::Malicious { detectability: 0.7 },
+            );
             let plan = f.sample_plan(&s);
             early += plan.positives_at(s.first_submission);
             late += plan.positives_at(s.first_submission + Duration::days(90));
@@ -644,7 +683,10 @@ mod tests {
         assert!(late > early, "no ramp: early={early} late={late}");
         // And a decent share must already be armed at first submission
         // (the §5.4 gray curves require fresh samples not to start at 0).
-        assert!(early as f64 > 0.35 * late as f64, "early share too small: {early}/{late}");
+        assert!(
+            early as f64 > 0.35 * late as f64,
+            "early share too small: {early}/{late}"
+        );
     }
 
     #[test]
@@ -660,7 +702,11 @@ mod tests {
         cfg.outage_mult = 0.0;
         let f = EngineFleet::new(cfg);
         for i in 0..40 {
-            let s = sample(100 + i, FileType::Html, GroundTruth::Malicious { detectability: 0.5 });
+            let s = sample(
+                100 + i,
+                FileType::Html,
+                GroundTruth::Malicious { detectability: 0.5 },
+            );
             let plan = f.sample_plan(&s);
             for e in 0..f.engine_count() {
                 let id = EngineId(e as u8);
@@ -716,8 +762,14 @@ mod tests {
         }
         // Copy pairs agree far more often than unrelated engines at
         // detectability 0.5 (where independent engines agree ~50-60%).
-        assert!(avast_avg_agree as f64 > 0.93 * n as f64, "{avast_avg_agree}/{n}");
-        assert!(pa_apex_agree as f64 > 0.95 * n as f64, "{pa_apex_agree}/{n}");
+        assert!(
+            avast_avg_agree as f64 > 0.93 * n as f64,
+            "{avast_avg_agree}/{n}"
+        );
+        assert!(
+            pa_apex_agree as f64 > 0.95 * n as f64,
+            "{pa_apex_agree}/{n}"
+        );
         assert!(
             unrelated_agree < avast_avg_agree,
             "unrelated {unrelated_agree} vs copy {avast_avg_agree}"
@@ -752,7 +804,11 @@ mod tests {
     fn different_seeds_differ() {
         let f1 = EngineFleet::with_seed(1);
         let f2 = EngineFleet::with_seed(2);
-        let s = sample(3, FileType::Win32Exe, GroundTruth::Malicious { detectability: 0.5 });
+        let s = sample(
+            3,
+            FileType::Win32Exe,
+            GroundTruth::Malicious { detectability: 0.5 },
+        );
         let t = s.first_submission;
         let v1 = f1.scan(&f1.sample_plan(&s), &s, t);
         let v2 = f2.scan(&f2.sample_plan(&s), &s, t);

@@ -233,7 +233,13 @@ fn apply_overrides(roster: &mut [EngineProfile]) {
     });
 
     // Big-name engines: strong, fast.
-    for name in ["Kaspersky", "ESET-NOD32", "BitDefender", "Avast", "Symantec"] {
+    for name in [
+        "Kaspersky",
+        "ESET-NOD32",
+        "BitDefender",
+        "Avast",
+        "Symantec",
+    ] {
         set(name, &mut |p| {
             p.capability = p.capability.max(1.15);
             p.latency_median_days = p.latency_median_days.min(1.5);
@@ -243,7 +249,15 @@ fn apply_overrides(roster: &mut [EngineProfile]) {
 
     // Next-gen/ML engines flag aggressively at origin (models, not
     // signatures) and rarely change afterwards.
-    for name in ["Paloalto", "APEX", "CrowdStrike", "Webroot", "Cylance", "SentinelOne", "Elastic"] {
+    for name in [
+        "Paloalto",
+        "APEX",
+        "CrowdStrike",
+        "Webroot",
+        "Cylance",
+        "SentinelOne",
+        "Elastic",
+    ] {
         set(name, &mut |p| {
             p.instant_prob = 0.90;
             p.latency_median_days = 0.3;

@@ -27,7 +27,8 @@ impl UpdateSchedule {
     /// engine index so schedules are stable across runs.
     pub fn new(engine_idx: usize, period_days: f64) -> Self {
         let period_minutes = ((period_days * MINUTES_PER_DAY as f64).round() as i64).max(30);
-        let phase_minutes = (mix64(&[0x5c4e_d01e, engine_idx as u64]) % period_minutes as u64) as i64;
+        let phase_minutes =
+            (mix64(&[0x5c4e_d01e, engine_idx as u64]) % period_minutes as u64) as i64;
         Self {
             period_minutes,
             phase_minutes,

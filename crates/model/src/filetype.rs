@@ -145,7 +145,10 @@ impl FileType {
             20 => FileType::Null,
             _ => {
                 let k = idx - 21;
-                assert!(k < OTHER_TYPE_COUNT as usize, "type index out of range: {idx}");
+                assert!(
+                    k < OTHER_TYPE_COUNT as usize,
+                    "type index out of range: {idx}"
+                );
                 FileType::Other(k as u16)
             }
         }

@@ -109,12 +109,12 @@ impl VerdictVec {
     /// The report's `positives` field — the AV-Rank: how many engines
     /// flagged the sample.
     pub fn positives(&self) -> u32 {
-        (self.detected[0].count_ones() + self.detected[1].count_ones()) as u32
+        self.detected[0].count_ones() + self.detected[1].count_ones()
     }
 
     /// How many engines produced a label at all.
     pub fn active_count(&self) -> u32 {
-        (self.active[0].count_ones() + self.active[1].count_ones()) as u32
+        self.active[0].count_ones() + self.active[1].count_ones()
     }
 
     /// Iterates `(engine, verdict)` pairs over the roster.

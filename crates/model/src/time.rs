@@ -182,10 +182,7 @@ impl Date {
 
     /// The first day of this date's month.
     pub fn first_of_month(self) -> Date {
-        Date {
-            day: 1,
-            ..self
-        }
+        Date { day: 1, ..self }
     }
 }
 
@@ -234,7 +231,8 @@ impl Month {
     /// Index of this month within the collection window, or `None` if it
     /// falls outside.
     pub fn collection_index(self) -> Option<usize> {
-        let base = Self::COLLECTION_START.year as i64 * 12 + (Self::COLLECTION_START.month as i64 - 1);
+        let base =
+            Self::COLLECTION_START.year as i64 * 12 + (Self::COLLECTION_START.month as i64 - 1);
         let this = self.year as i64 * 12 + (self.month as i64 - 1);
         let diff = this - base;
         (0..Self::COLLECTION_LEN as i64)
@@ -357,20 +355,61 @@ mod tests {
     fn collection_window_months() {
         let months: Vec<Month> = Month::collection_window().collect();
         assert_eq!(months.len(), 14);
-        assert_eq!(months[0], Month { year: 2021, month: 5 });
-        assert_eq!(months[7], Month { year: 2021, month: 12 });
-        assert_eq!(months[8], Month { year: 2022, month: 1 });
-        assert_eq!(months[13], Month { year: 2022, month: 6 });
+        assert_eq!(
+            months[0],
+            Month {
+                year: 2021,
+                month: 5
+            }
+        );
+        assert_eq!(
+            months[7],
+            Month {
+                year: 2021,
+                month: 12
+            }
+        );
+        assert_eq!(
+            months[8],
+            Month {
+                year: 2022,
+                month: 1
+            }
+        );
+        assert_eq!(
+            months[13],
+            Month {
+                year: 2022,
+                month: 6
+            }
+        );
         for (i, m) in months.iter().enumerate() {
             assert_eq!(m.collection_index(), Some(i));
         }
-        assert_eq!(Month { year: 2021, month: 4 }.collection_index(), None);
-        assert_eq!(Month { year: 2022, month: 7 }.collection_index(), None);
+        assert_eq!(
+            Month {
+                year: 2021,
+                month: 4
+            }
+            .collection_index(),
+            None
+        );
+        assert_eq!(
+            Month {
+                year: 2022,
+                month: 7
+            }
+            .collection_index(),
+            None
+        );
     }
 
     #[test]
     fn month_boundaries() {
-        let may = Month { year: 2021, month: 5 };
+        let may = Month {
+            year: 2021,
+            month: 5,
+        };
         assert_eq!(may.start().date(), Date::new(2021, 5, 1));
         assert_eq!(may.end().date(), Date::new(2021, 6, 1));
         assert_eq!(may.days(), 31);
@@ -393,7 +432,14 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Date::new(2021, 5, 9).to_string(), "2021-05-09");
-        assert_eq!(Month { year: 2021, month: 5 }.to_string(), "05/2021");
+        assert_eq!(
+            Month {
+                year: 2021,
+                month: 5
+            }
+            .to_string(),
+            "05/2021"
+        );
         let t = Timestamp::from_date_time(Date::new(2021, 5, 9), 61);
         assert_eq!(t.to_string(), "2021-05-09 01:01");
     }

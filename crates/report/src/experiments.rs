@@ -23,13 +23,36 @@ fn section(title: &str, body: String) -> String {
 /// Table 1 — API field-update semantics. The behaviour itself is
 /// enforced and tested in `vt-sim::api`; this renders the rule table.
 pub fn table1() -> String {
-    let mut t = TextTable::new(vec!["API", "last_analysis_date", "last_submission_date", "times_submitted"]);
-    t.row(vec!["Upload".into(), "Update".into(), "Update".into(), "Update".into()]);
-    t.row(vec!["Rescan".into(), "Update".into(), "Unchange".into(), "Unchange".into()]);
-    t.row(vec!["Report".into(), "Unchange".into(), "Unchange".into(), "Unchange".into()]);
+    let mut t = TextTable::new(vec![
+        "API",
+        "last_analysis_date",
+        "last_submission_date",
+        "times_submitted",
+    ]);
+    t.row(vec![
+        "Upload".into(),
+        "Update".into(),
+        "Update".into(),
+        "Update".into(),
+    ]);
+    t.row(vec![
+        "Rescan".into(),
+        "Update".into(),
+        "Unchange".into(),
+        "Unchange".into(),
+    ]);
+    t.row(vec![
+        "Report".into(),
+        "Unchange".into(),
+        "Unchange".into(),
+        "Unchange".into(),
+    ]);
     section(
         "Table 1 — report-field update rules per API",
-        format!("{}\nEnforced by vt-sim::api (see its unit tests).\n", t.render()),
+        format!(
+            "{}\nEnforced by vt-sim::api (see its unit tests).\n",
+            t.render()
+        ),
     )
 }
 
@@ -75,7 +98,13 @@ pub fn table2(r: &StudyResults) -> String {
 
 /// Table 3 — file-type distribution.
 pub fn table3(r: &StudyResults) -> String {
-    let mut t = TextTable::new(vec!["File Type", "# Samples", "% Samples", "# Reports", "% Reports"]);
+    let mut t = TextTable::new(vec![
+        "File Type",
+        "# Samples",
+        "% Samples",
+        "# Reports",
+        "% Reports",
+    ]);
     for (name, s, sp, rep, rp) in r.dataset.table3() {
         t.row(vec![
             name,
@@ -145,8 +174,16 @@ pub fn fig2(r: &StudyResults) -> String {
          dynamic with exactly 2 reports             paper 71.30%   measured {}\n",
         pct(st.stable_fraction()),
         pct(1.0 - st.stable_fraction()),
-        pct(if st.stable == 0 { 0.0 } else { st.stable_report_hist.count(2) as f64 / st.stable as f64 }),
-        pct(if st.dynamic == 0 { 0.0 } else { st.dynamic_report_hist.count(2) as f64 / st.dynamic as f64 }),
+        pct(if st.stable == 0 {
+            0.0
+        } else {
+            st.stable_report_hist.count(2) as f64 / st.stable as f64
+        }),
+        pct(if st.dynamic == 0 {
+            0.0
+        } else {
+            st.dynamic_report_hist.count(2) as f64 / st.dynamic as f64
+        }),
     );
     section("Obs. 1 / Fig. 2 — stable vs dynamic samples", body)
 }
@@ -216,7 +253,11 @@ pub fn fig5(r: &StudyResults) -> String {
         .into_iter()
         .map(|(v, f)| (v as f64, f))
         .collect();
-    let plot = ascii_cdf(&[("delta (adjacent)", adj), ("Delta (overall)", ovl)], 60, 12);
+    let plot = ascii_cdf(
+        &[("delta (adjacent)", adj), ("Delta (overall)", ovl)],
+        60,
+        12,
+    );
     let body = format!(
         "{plot}\n\
          |S| samples / reports     paper 32,051,433 / 109,142,027   measured {} / {}\n\
@@ -229,13 +270,21 @@ pub fn fig5(r: &StudyResults) -> String {
         pct(m.delta_over_2_fraction),
         pct(m.delta_le_11_fraction),
     );
-    section("Obs. 3 / Fig. 5 — adjacent (δ) and overall (Δ) AV-Rank differences", body)
+    section(
+        "Obs. 3 / Fig. 5 — adjacent (δ) and overall (Δ) AV-Rank differences",
+        body,
+    )
 }
 
 /// Obs. 4 + Fig. 6 — per-type δ/Δ boxes.
 pub fn fig6(r: &StudyResults) -> String {
     let mut t = TextTable::new(vec![
-        "File type", "δ mean", "δ median", "Δ mean", "Δ median", "n",
+        "File type",
+        "δ mean",
+        "δ median",
+        "Δ mean",
+        "Δ median",
+        "n",
     ]);
     for tm in &r.metrics.per_type {
         if let (Some(adj), Some(ovl)) = (tm.delta_adjacent, tm.delta_overall) {
@@ -295,7 +344,10 @@ pub fn fig7(r: &StudyResults) -> String {
         iv.max_interval_days,
         pct(r.window_growth),
     );
-    section("Obs. 5 / Fig. 7 — difference grows with scan interval", body)
+    section(
+        "Obs. 5 / Fig. 7 — difference grows with scan interval",
+        body,
+    )
 }
 
 /// Obs. 6 + Fig. 8 — white/black/gray threshold sweeps.
@@ -337,7 +389,10 @@ pub fn fig8(r: &StudyResults) -> String {
             "paper: gray grows with t; max 16.41% at t=50; min 2.70% at t=3; <10% for t<=24",
         ),
     );
-    section("Obs. 6 / Fig. 8 — white/black/gray samples vs threshold", body)
+    section(
+        "Obs. 6 / Fig. 8 — white/black/gray samples vs threshold",
+        body,
+    )
 }
 
 /// Obs. 7 — causes of label dynamics.
@@ -362,7 +417,10 @@ pub fn obs7(r: &StudyResults) -> String {
 pub fn obs8(r: &StudyResults) -> String {
     let paper = ["10.90%", "55.10%", "69.58%", "77.84%", "83.52%", "88.11%"];
     let mut t = TextTable::new(vec![
-        "r", "stabilized (paper)", "stabilized (measured)", "of which within 30d",
+        "r",
+        "stabilized (paper)",
+        "stabilized (measured)",
+        "of which within 30d",
     ]);
     for s in &r.rank_stabilization {
         t.row(vec![
@@ -386,7 +444,11 @@ pub fn obs8(r: &StudyResults) -> String {
 pub fn fig9(r: &StudyResults) -> String {
     let render = |name: &str, rows: &[vt_dynamics::stabilization::LabelStabilization]| {
         let mut t = TextTable::new(vec![
-            "t", "stabilized", "mean serial", "mean days", "within 30d",
+            "t",
+            "stabilized",
+            "mean serial",
+            "mean days",
+            "within 30d",
         ]);
         for l in rows {
             t.row(vec![
@@ -408,9 +470,15 @@ pub fn fig9(r: &StudyResults) -> String {
          Known deviation: our simulated label histories cross thresholds less often\n\
          than the real feed, so measured serial/day means run lower (see EXPERIMENTS.md).\n",
         render("Fig. 9a — all of S", &r.label_stabilization_all),
-        render("Fig. 9b — excluding 2-scan samples", &r.label_stabilization_multi),
+        render(
+            "Fig. 9b — excluding 2-scan samples",
+            &r.label_stabilization_multi
+        ),
     );
-    section("Obs. 9 / Fig. 9 — file-label stabilization under thresholds", body)
+    section(
+        "Obs. 9 / Fig. 9 — file-label stabilization under thresholds",
+        body,
+    )
 }
 
 /// Obs. 10 + Fig. 10 — per-engine flip behaviour.
@@ -419,8 +487,19 @@ pub fn fig10(r: &StudyResults, fleet: &EngineFleet) -> String {
     // Heat map over a readable subset: 14 engines of interest × top-20
     // types, normalized to the max cell.
     let engines_of_interest = [
-        "Arcabit", "F-Secure", "Lionic", "Microsoft", "F-Prot", "Cyren", "Rising",
-        "CAT-QuickHeal", "Avast", "BitDefender", "Kaspersky", "ESET-NOD32", "Jiangmin",
+        "Arcabit",
+        "F-Secure",
+        "Lionic",
+        "Microsoft",
+        "F-Prot",
+        "Cyren",
+        "Rising",
+        "CAT-QuickHeal",
+        "Avast",
+        "BitDefender",
+        "Kaspersky",
+        "ESET-NOD32",
+        "Jiangmin",
         "AhnLab-V3",
     ];
     let mut cells = Vec::new();
@@ -476,7 +555,10 @@ pub fn fig10(r: &StudyResults, fleet: &EngineFleet) -> String {
         top.join(", "),
         bottom.join(", "),
     );
-    section("Obs. 10 / Fig. 10 — flip ratio per engine and file type", body)
+    section(
+        "Obs. 10 / Fig. 10 — flip ratio per engine and file type",
+        body,
+    )
 }
 
 /// Obs. 11 + Figs. 11–12 + Tables 4–8 — engine correlation.
@@ -488,7 +570,10 @@ pub fn fig11_12(r: &StudyResults, fleet: &EngineFleet) -> String {
     let g = &r.correlation_global;
     let mut t = TextTable::new(vec!["pair", "rho"]);
     for &(a, b, rho) in g.strong_pairs.iter().take(20) {
-        t.row(vec![format!("{} — {}", name(a), name(b)), format!("{rho:.4}")]);
+        t.row(vec![
+            format!("{} — {}", name(a), name(b)),
+            format!("{rho:.4}"),
+        ]);
     }
     body.push_str(&t.render());
     body.push_str(&format!(
@@ -543,7 +628,10 @@ pub fn fig11_12(r: &StudyResults, fleet: &EngineFleet) -> String {
         rho_of(g, "Avira", "Cynet"),
         rho_of(exe, "Avira", "Cynet"),
     ));
-    section("Obs. 11 / Figs. 11–12, Tables 4–8 — engine correlation", body)
+    section(
+        "Obs. 11 / Figs. 11–12, Tables 4–8 — engine correlation",
+        body,
+    )
 }
 
 /// The complete paper-vs-measured report.

@@ -44,7 +44,16 @@ pub fn export_csv(r: &StudyResults, fleet: &EngineFleet) -> Vec<(String, String)
 
     // Fig. 4 — stable span boxes by rank.
     let mut w = CsvWriter::new();
-    w.record(["rank", "n", "mean", "median", "q1", "q3", "whisker_lo", "whisker_hi"]);
+    w.record([
+        "rank",
+        "n",
+        "mean",
+        "median",
+        "q1",
+        "q3",
+        "whisker_lo",
+        "whisker_hi",
+    ]);
     for (rank, b) in r.stability.span_by_rank.iter().enumerate() {
         if let Some(b) = b {
             w.record([
@@ -132,7 +141,14 @@ pub fn export_csv(r: &StudyResults, fleet: &EngineFleet) -> Vec<(String, String)
 
     // Obs. 8 — rank stabilization sweep.
     let mut w = CsvWriter::new();
-    w.record(["r", "samples", "stabilized", "within_10d", "within_20d", "within_30d"]);
+    w.record([
+        "r",
+        "samples",
+        "stabilized",
+        "within_10d",
+        "within_20d",
+        "within_30d",
+    ]);
     for s in &r.rank_stabilization {
         w.record([
             s.r.to_string(),
@@ -147,7 +163,14 @@ pub fn export_csv(r: &StudyResults, fleet: &EngineFleet) -> Vec<(String, String)
 
     // Fig. 9 — label stabilization.
     let mut w = CsvWriter::new();
-    w.record(["variant", "t", "samples", "stabilized", "mean_serial", "mean_days"]);
+    w.record([
+        "variant",
+        "t",
+        "samples",
+        "stabilized",
+        "mean_serial",
+        "mean_days",
+    ]);
     for (variant, rows) in [
         ("all", &r.label_stabilization_all),
         ("gt2scans", &r.label_stabilization_multi),
@@ -186,16 +209,17 @@ pub fn export_csv(r: &StudyResults, fleet: &EngineFleet) -> Vec<(String, String)
     // Figs. 11–12 / Tables 4–8 — strong pairs per scope.
     let mut w = CsvWriter::new();
     w.record(["scope", "engine_a", "engine_b", "rho"]);
-    let push_scope = |w: &mut CsvWriter, scope: &str, c: &vt_dynamics::correlation::CorrelationAnalysis| {
-        for &(a, b, rho) in &c.strong_pairs {
-            w.record([
-                scope.to_string(),
-                fleet.profile(a).name.to_string(),
-                fleet.profile(b).name.to_string(),
-                format!("{rho:.6}"),
-            ]);
-        }
-    };
+    let push_scope =
+        |w: &mut CsvWriter, scope: &str, c: &vt_dynamics::correlation::CorrelationAnalysis| {
+            for &(a, b, rho) in &c.strong_pairs {
+                w.record([
+                    scope.to_string(),
+                    fleet.profile(a).name.to_string(),
+                    fleet.profile(b).name.to_string(),
+                    format!("{rho:.6}"),
+                ]);
+            }
+        };
     push_scope(&mut w, "global", &r.correlation_global);
     for c in &r.correlation_per_type {
         let scope = c.scope.expect("typed scope").name();
@@ -251,7 +275,11 @@ mod tests {
         let study = Study::generate(SimConfig::new(0xC6, 3_000));
         let results = study.run();
         let files = export_csv(&results, study.sim().fleet());
-        let fig8 = &files.iter().find(|(n, _)| n == "fig8a_categories_all.csv").unwrap().1;
+        let fig8 = &files
+            .iter()
+            .find(|(n, _)| n == "fig8a_categories_all.csv")
+            .unwrap()
+            .1;
         assert_eq!(fig8.lines().count(), 51); // header + t=1..=50
     }
 }

@@ -22,7 +22,9 @@ pub fn ascii_cdf(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, pts)) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
-        // Evaluate the staircase at each column.
+        // Evaluate the staircase at each column. The row index is
+        // computed per column, so indexing is the natural form here.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let x = x_max * col as f64 / (width - 1) as f64;
             // F(x) = the y of the last point with point.x <= x.
@@ -62,9 +64,7 @@ pub fn ascii_cdf(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize
 pub fn box_row(label: &str, b: &BoxplotSummary, x_max: f64, width: usize) -> String {
     let width = width.max(20);
     let x_max = x_max.max(1e-9);
-    let col = |v: f64| {
-        (((v / x_max) * (width - 1) as f64).round() as usize).min(width - 1)
-    };
+    let col = |v: f64| (((v / x_max) * (width - 1) as f64).round() as usize).min(width - 1);
     let mut line = vec![' '; width];
     let (lo, q1, med, q3, hi) = (
         col(b.whisker_lo),
@@ -103,7 +103,11 @@ pub fn box_row(label: &str, b: &BoxplotSummary, x_max: f64, width: usize) -> Str
 pub fn ascii_heatmap(row_labels: &[String], col_labels: &[String], cells: &[Vec<f64>]) -> String {
     const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     let mut out = String::new();
-    let label_w = row_labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let label_w = row_labels
+        .iter()
+        .map(|l| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (r, row) in cells.iter().enumerate() {
         let label = row_labels.get(r).map(String::as_str).unwrap_or("");
         out.push_str(&format!("{label:<label_w$} "));

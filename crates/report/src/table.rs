@@ -49,15 +49,11 @@ impl TextTable {
             .len()
             .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
-        fn cell_of<'a>(row: &'a [String], c: usize) -> &'a str {
+        fn cell_of(row: &[String], c: usize) -> &str {
             row.get(c).map(String::as_str).unwrap_or("")
         }
         for (c, w) in widths.iter_mut().enumerate() {
-            *w = self
-                .headers
-                .get(c)
-                .map(|h| h.chars().count())
-                .unwrap_or(0);
+            *w = self.headers.get(c).map(|h| h.chars().count()).unwrap_or(0);
             for row in &self.rows {
                 *w = (*w).max(cell_of(row, c).chars().count());
             }

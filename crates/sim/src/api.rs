@@ -61,8 +61,14 @@ impl<'f> SampleSession<'f> {
         t: Timestamp,
         prior_submissions: u32,
     ) -> (Self, ScanReport) {
-        assert!(prior_submissions >= 1, "a pre-existing sample was submitted before");
-        assert!(meta.first_submission <= t, "resume after the original submission");
+        assert!(
+            prior_submissions >= 1,
+            "a pre-existing sample was submitted before"
+        );
+        assert!(
+            meta.first_submission <= t,
+            "resume after the original submission"
+        );
         let plan = fleet.sample_plan(&meta);
         let mut session = Self {
             fleet,

@@ -46,8 +46,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// A config with the given seed and sample count, defaults elsewhere.
     pub fn new(seed: u64, samples: u64) -> Self {
-        let mut fleet = FleetConfig::default();
-        fleet.seed = seed ^ 0xF1EE_7000;
+        let fleet = FleetConfig {
+            seed: seed ^ 0xF1EE_7000,
+            ..FleetConfig::default()
+        };
         Self {
             seed,
             samples,

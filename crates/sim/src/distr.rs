@@ -120,8 +120,14 @@ mod tests {
             }
             let mean = sum / n as f64;
             let var = sum2 / n as f64 - mean * mean;
-            assert!((mean - alpha).abs() < 0.05 * alpha.max(1.0), "α={alpha} mean={mean}");
-            assert!((var - alpha).abs() < 0.12 * alpha.max(1.0), "α={alpha} var={var}");
+            assert!(
+                (mean - alpha).abs() < 0.05 * alpha.max(1.0),
+                "α={alpha} mean={mean}"
+            );
+            assert!(
+                (var - alpha).abs() < 0.12 * alpha.max(1.0),
+                "α={alpha} var={var}"
+            );
         }
     }
 

@@ -99,7 +99,10 @@ mod tests {
         let total: usize = sim.trajectories().map(|(_, r)| r.len()).sum();
         assert_eq!(feed.len(), total);
         for w in feed.windows(2) {
-            assert!(w[0].analysis_date <= w[1].analysis_date, "feed out of order");
+            assert!(
+                w[0].analysis_date <= w[1].analysis_date,
+                "feed out of order"
+            );
         }
     }
 

@@ -20,6 +20,9 @@
 //!   `(SampleMeta, Vec<ScanReport>)` over the collection window.
 //! * [`feed`] — the paper's minute-polled collection view: every report
 //!   of the platform in global analysis-time order (k-way merge).
+//! * [`fault`] — seeded chaos injection over the feed: minute outages,
+//!   duplicate delivery, bounded-lateness reordering, and detectable
+//!   payload corruption, for exercising the collector's fault paths.
 //! * [`distr`] / [`alias`] — sampling utilities (lognormal, gamma, beta,
 //!   Zipf, and O(1) weighted choice via the alias method).
 //!
@@ -33,6 +36,7 @@ pub mod alias;
 pub mod api;
 pub mod config;
 pub mod distr;
+pub mod fault;
 pub mod feed;
 pub mod platform;
 pub mod population;
@@ -42,6 +46,7 @@ pub mod traffic;
 pub use alias::AliasTable;
 pub use api::SampleSession;
 pub use config::SimConfig;
+pub use fault::{FaultPlan, FaultyFeed, FeedEntry, FeedOutage};
 pub use feed::TimeOrderedFeed;
 pub use platform::VirusTotalSim;
 pub use population::PopulationGen;

@@ -30,8 +30,8 @@ use vt_model::{GroundTruth, SampleHash, SampleMeta};
 /// Monthly report volumes from Table 2 (used as weights for placing
 /// first submissions in time).
 pub const MONTHLY_REPORT_COUNTS: [u64; 14] = [
-    41_336_308, 51_945_339, 59_538_559, 60_369_255, 64_546_564, 55_113_116, 57_728_868,
-    59_421_199, 69_676_958, 61_981_425, 76_759_558, 68_555_398, 62_400_644, 58_193_854,
+    41_336_308, 51_945_339, 59_538_559, 60_369_255, 64_546_564, 55_113_116, 57_728_868, 59_421_199,
+    69_676_958, 61_981_425, 76_759_558, 68_555_398, 62_400_644, 58_193_854,
 ];
 
 /// Per-type population parameters (prevalence, detectability shape,
@@ -109,8 +109,8 @@ impl PopulationGen {
         // Table 3, then a Zipf(1.5) tail over the 330 Other types that
         // together carry OTHER_SHARE_PPM.
         let mut weights = vec![0.0f64; TOTAL_TYPE_COUNT];
-        for idx in 0..=20 {
-            weights[idx] = FileType::from_dense_index(idx).sample_share_ppm() as f64;
+        for (idx, w) in weights.iter_mut().enumerate().take(21) {
+            *w = FileType::from_dense_index(idx).sample_share_ppm() as f64;
         }
         let zipf_total: f64 = (1..=OTHER_TYPE_COUNT as usize)
             .map(|k| 1.0 / (k as f64).powf(1.5))
@@ -120,8 +120,7 @@ impl PopulationGen {
                 FileType::OTHER_SHARE_PPM as f64 * (1.0 / (k as f64).powf(1.5)) / zipf_total;
         }
         let type_table = AliasTable::new(&weights);
-        let month_table =
-            AliasTable::new(&MONTHLY_REPORT_COUNTS.map(|c| c as f64));
+        let month_table = AliasTable::new(&MONTHLY_REPORT_COUNTS.map(|c| c as f64));
         Self {
             config,
             type_table,

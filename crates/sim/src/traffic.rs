@@ -40,7 +40,11 @@ impl TrafficModel {
 
     /// Probability that this sample is scanned more than once.
     fn multi_scan_prob(&self, sample: &SampleMeta) -> f64 {
-        let base = if sample.truth.is_malicious() { 0.125 } else { 0.062 };
+        let base = if sample.truth.is_malicious() {
+            0.125
+        } else {
+            0.062
+        };
         (base * type_population(sample.file_type).resubmit_factor).min(0.9)
     }
 
@@ -77,7 +81,11 @@ impl TrafficModel {
 
     /// Median inter-scan gap in days for a sample with `n` total scans.
     fn gap_median_days(&self, sample: &SampleMeta, n: u32) -> f64 {
-        let base = if sample.truth.is_malicious() { 2.5 } else { 14.0 };
+        let base = if sample.truth.is_malicious() {
+            2.5
+        } else {
+            14.0
+        };
         // Heavily re-scanned samples are monitored: gaps compress so the
         // trajectory fits the window.
         base * (40.0 / n as f64).min(1.0)
@@ -106,7 +114,11 @@ impl TrafficModel {
             sample.first_submission
         };
         let median = self.gap_median_days(sample, n);
-        let sigma = if sample.truth.is_malicious() { 1.3 } else { 0.95 };
+        let sigma = if sample.truth.is_malicious() {
+            1.3
+        } else {
+            0.95
+        };
         // Malicious samples are mostly re-scanned while hot, but a
         // fraction of re-scans are archival (threat-intel sweeps months
         // later) — this is what populates the long-interval bins of
@@ -121,7 +133,7 @@ impl TrafficModel {
                 distr::lognormal(&mut rng2, median, sigma)
             }
             .max(1.0 / 1440.0);
-            t = t + Duration::minutes((gap_days * MINUTES_PER_DAY as f64).round().max(1.0) as i64);
+            t += Duration::minutes((gap_days * MINUTES_PER_DAY as f64).round().max(1.0) as i64);
             if t >= window_end {
                 break;
             }

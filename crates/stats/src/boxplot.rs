@@ -53,7 +53,10 @@ impl BoxplotSummary {
     /// Panics on an empty slice; debug-asserts sortedness.
     pub fn from_sorted(sorted: &[f64]) -> Self {
         assert!(!sorted.is_empty(), "BoxplotSummary requires observations");
-        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
         let n = sorted.len();
         let q1 = interp_quantile(sorted, 0.25);
         let median = interp_quantile(sorted, 0.50);
@@ -77,7 +80,10 @@ impl BoxplotSummary {
             .find(|&v| v <= hi_fence)
             .unwrap_or(sorted[n - 1])
             .max(q3);
-        let outliers = sorted.iter().filter(|&&v| v < whisker_lo || v > whisker_hi).count();
+        let outliers = sorted
+            .iter()
+            .filter(|&&v| v < whisker_lo || v > whisker_hi)
+            .count();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         Self {
             n,

@@ -67,12 +67,8 @@ impl<K: Eq + Hash + Clone> FreqCounter<K> {
     /// broken by insertion-independent key comparison when `K: Ord`-like
     /// ordering is unavailable; here we leave tie order unspecified.
     pub fn ranked(&self) -> Vec<(K, u64)> {
-        let mut v: Vec<(K, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut v: Vec<(K, u64)> = self.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
 

@@ -90,7 +90,9 @@ mod tests {
     #[test]
     fn classic_textbook_example() {
         // Wikipedia's IQ vs TV-hours example: ρ = −29/165 ≈ −0.17575757
-        let iq = [106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0];
+        let iq = [
+            106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0,
+        ];
         let tv = [7.0, 27.0, 2.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
         let rho = spearman(&iq, &tv).unwrap();
         assert!((rho - (-29.0 / 165.0)).abs() < 1e-12, "rho = {rho}");

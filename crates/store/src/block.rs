@@ -10,6 +10,33 @@ use crate::codec::{decode_report, encode_report};
 use bytes::{Buf, Bytes, BytesMut};
 use vt_model::ScanReport;
 
+/// A block's bytes failed to decode — either a report is corrupt or the
+/// byte stream does not end exactly at the last report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDecodeError {
+    /// Index of the report whose decode failed (== the block's report
+    /// count when the failure is trailing garbage after a clean decode).
+    pub report_index: u32,
+    /// Reports claimed by the block header.
+    pub report_count: u32,
+}
+
+impl std::fmt::Display for BlockDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.report_index == self.report_count {
+            write!(f, "trailing bytes after {} reports", self.report_count)
+        } else {
+            write!(
+                f,
+                "corrupt block at report {}/{}",
+                self.report_index, self.report_count
+            )
+        }
+    }
+}
+
+impl std::error::Error for BlockDecodeError {}
+
 /// Reports per block. Big enough to amortize per-block overhead, small
 /// enough that decoding a block to reach one report stays cheap.
 pub const BLOCK_CAPACITY: usize = 1024;
@@ -62,22 +89,32 @@ impl Block {
         !cur.has_remaining()
     }
 
-    /// Decodes every report in the block.
-    ///
-    /// # Panics
-    /// Panics if the block bytes are corrupt — blocks are only built by
-    /// [`BlockBuilder`], so corruption is a program error.
-    pub fn decode_all(&self) -> Vec<ScanReport> {
+    /// Decodes every report in the block. Fails (instead of panicking)
+    /// when the bytes are corrupt or do not end exactly at the last
+    /// report, so persistence readers can skip or salvage bad blocks.
+    pub fn decode_all(&self) -> Result<Vec<ScanReport>, BlockDecodeError> {
         let mut cur = self.data.clone();
-        let mut out = Vec::with_capacity(self.len as usize);
+        // Cap the pre-allocation by what the bytes could possibly hold:
+        // a corrupt header may claim billions of reports.
+        let plausible =
+            (self.data.len() as u64 / crate::codec::MIN_ENCODED_REPORT_BYTES.max(1)) as usize;
+        let mut out = Vec::with_capacity((self.len as usize).min(plausible + 1));
         let mut prev = 0i64;
         for i in 0..self.len {
-            let (r, p) = decode_report(&mut cur, prev)
-                .unwrap_or_else(|| panic!("corrupt block at report {i}"));
+            let (r, p) = decode_report(&mut cur, prev).ok_or(BlockDecodeError {
+                report_index: i,
+                report_count: self.len,
+            })?;
             out.push(r);
             prev = p;
         }
-        out
+        if cur.has_remaining() {
+            return Err(BlockDecodeError {
+                report_index: self.len,
+                report_count: self.len,
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -163,7 +200,7 @@ mod tests {
         let block = b.seal();
         assert!(b.is_empty(), "builder resets after seal");
         assert_eq!(block.len(), 10);
-        let decoded = block.decode_all();
+        let decoded = block.decode_all().expect("clean block decodes");
         for (i, r) in decoded.iter().enumerate() {
             assert_eq!(r, &report(i as u64));
         }
@@ -176,8 +213,8 @@ mod tests {
         let first = b.seal();
         b.push(&report(6));
         let second = b.seal();
-        assert_eq!(first.decode_all()[0], report(5));
-        assert_eq!(second.decode_all()[0], report(6));
+        assert_eq!(first.decode_all().unwrap()[0], report(5));
+        assert_eq!(second.decode_all().unwrap()[0], report(6));
     }
 
     #[test]
@@ -195,6 +232,26 @@ mod tests {
         let mut b = BlockBuilder::new();
         let block = b.seal();
         assert!(block.is_empty());
-        assert!(block.decode_all().is_empty());
+        assert!(block.decode_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_block_decode_is_an_error() {
+        let mut b = BlockBuilder::new();
+        for i in 0..4 {
+            b.push(&report(i));
+        }
+        let block = b.seal();
+        // Truncated payload with the original report count.
+        let bytes = Bytes::copy_from_slice(&block.raw_bytes()[..block.byte_len() - 3]);
+        let bad = Block::from_parts(bytes, block.len() as u32);
+        assert!(!bad.verify());
+        let err = bad.decode_all().unwrap_err();
+        assert!(err.report_index <= err.report_count);
+        // Trailing garbage after a clean decode is also an error.
+        let mut extended = block.raw_bytes().to_vec();
+        extended.extend_from_slice(&[0xAB; 5]);
+        let trailing = Block::from_parts(extended.into(), block.len() as u32);
+        assert!(trailing.decode_all().is_err());
     }
 }

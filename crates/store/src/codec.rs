@@ -20,6 +20,15 @@ use vt_model::{FileType, ReportKind, SampleHash, ScanReport, Timestamp, VerdictV
 /// + 4 (times submitted) + 1 (kind) + 70 (one byte per engine verdict).
 pub const RAW_REPORT_BYTES: u64 = 16 + 2 + 8 + 8 + 4 + 1 + 70;
 
+/// Smallest possible encoded report: 16 (hash) + 1 (type) + 1 (analysis
+/// delta) + 1 (submission offset) + 1 (times submitted) + 1 (kind)
+/// + 1 (engine count) + 4 (four bitmap varints).
+///
+/// Persistence readers use this to reject block headers whose claimed
+/// report count cannot fit in the claimed byte length before allocating
+/// anything.
+pub const MIN_ENCODED_REPORT_BYTES: u64 = 16 + 1 + 1 + 1 + 1 + 1 + 1 + 4;
+
 /// Appends a LEB128 varint.
 pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -100,9 +109,12 @@ pub fn decode_report(buf: &mut impl Buf, prev_analysis: i64) -> Option<(ScanRepo
         return None;
     }
     let file_type = FileType::from_dense_index(type_idx);
-    let analysis = prev_analysis + unzigzag(get_varint(buf)?);
-    let submission = analysis - unzigzag(get_varint(buf)?);
-    let times_submitted = get_varint(buf)? as u32;
+    // Checked arithmetic: adversarial bytes can encode deltas that
+    // overflow i64, which must surface as a decode failure, not a
+    // debug-mode panic.
+    let analysis = prev_analysis.checked_add(unzigzag(get_varint(buf)?))?;
+    let submission = analysis.checked_sub(unzigzag(get_varint(buf)?))?;
+    let times_submitted = u32::try_from(get_varint(buf)?).ok()?;
     if !buf.has_remaining() {
         return None;
     }

@@ -64,17 +64,27 @@ impl DatasetStats {
     /// Merges a partition of the dataset computed on another thread.
     pub fn merge(&mut self, other: &DatasetStats) {
         assert_eq!(self.window_start, other.window_start);
-        for (a, b) in self.samples_per_type.iter_mut().zip(&other.samples_per_type) {
+        for (a, b) in self
+            .samples_per_type
+            .iter_mut()
+            .zip(&other.samples_per_type)
+        {
             *a += b;
         }
-        for (a, b) in self.reports_per_type.iter_mut().zip(&other.reports_per_type) {
+        for (a, b) in self
+            .reports_per_type
+            .iter_mut()
+            .zip(&other.reports_per_type)
+        {
             *a += b;
         }
         self.reports_per_sample.merge(&other.reports_per_sample);
         self.fresh_samples += other.fresh_samples;
         self.total_samples += other.total_samples;
         self.total_reports += other.total_reports;
-        self.max_reports_one_sample = self.max_reports_one_sample.max(other.max_reports_one_sample);
+        self.max_reports_one_sample = self
+            .max_reports_one_sample
+            .max(other.max_reports_one_sample);
     }
 
     /// Total samples.
@@ -116,10 +126,18 @@ impl DatasetStats {
             .iter()
             .map(|&ft| (ft.name(), self.samples_of(ft), self.reports_of(ft)))
             .collect();
-        named.sort_by(|a, b| b.1.cmp(&a.1));
+        named.sort_by_key(|&(_, s, _)| std::cmp::Reverse(s));
         let mut rows: Vec<(String, u64, f64, u64, f64)> = named
             .into_iter()
-            .map(|(name, s, r)| (name, s, s as f64 / s_tot * 100.0, r, r as f64 / r_tot * 100.0))
+            .map(|(name, s, r)| {
+                (
+                    name,
+                    s,
+                    s as f64 / s_tot * 100.0,
+                    r,
+                    r as f64 / r_tot * 100.0,
+                )
+            })
             .collect();
         let null_s = self.samples_of(FileType::Null);
         let null_r = self.reports_of(FileType::Null);
@@ -130,8 +148,16 @@ impl DatasetStats {
             null_r,
             null_r as f64 / r_tot * 100.0,
         ));
-        let named_s: u64 = FileType::TOP20.iter().map(|&ft| self.samples_of(ft)).sum::<u64>() + null_s;
-        let named_r: u64 = FileType::TOP20.iter().map(|&ft| self.reports_of(ft)).sum::<u64>() + null_r;
+        let named_s: u64 = FileType::TOP20
+            .iter()
+            .map(|&ft| self.samples_of(ft))
+            .sum::<u64>()
+            + null_s;
+        let named_r: u64 = FileType::TOP20
+            .iter()
+            .map(|&ft| self.reports_of(ft))
+            .sum::<u64>()
+            + null_r;
         let other_s = self.total_samples - named_s;
         let other_r = self.total_reports - named_r;
         rows.push((
@@ -244,7 +270,15 @@ mod tests {
         let mut a = DatasetStats::new(window);
         let mut b = DatasetStats::new(window);
         for i in 0..20 {
-            let m = meta(i, if i % 2 == 0 { FileType::Zip } else { FileType::Txt }, i % 3 != 0);
+            let m = meta(
+                i,
+                if i % 2 == 0 {
+                    FileType::Zip
+                } else {
+                    FileType::Txt
+                },
+                i % 3 != 0,
+            );
             let rs = reports(&m, 1 + (i % 4) as usize);
             all.record(&m, &rs);
             if i < 10 {

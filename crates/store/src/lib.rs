@@ -16,6 +16,10 @@
 //! * [`dataset`] — dataset-overview statistics: file-type distribution
 //!   (Table 3), reports-per-sample CDF (Fig. 1), monthly volumes
 //!   (Table 2).
+//! * [`persist`] / [`crc32`] — the on-disk `VTSTORE2` container:
+//!   checksummed, marker-framed blocks, a strict reader for both format
+//!   versions, and a salvage reader that recovers what a damaged file
+//!   still holds.
 //!
 //! The store is synchronous and single-writer / multi-reader
 //! (`parking_lot` guards the append path), in line with the project's
@@ -26,12 +30,16 @@
 
 pub mod block;
 pub mod codec;
+pub mod crc32;
 pub mod dataset;
 pub mod partition;
 pub mod persist;
 pub mod store;
 
 pub use dataset::DatasetStats;
-pub use persist::{read_store, write_store, PersistError};
 pub use partition::PartitionStats;
+pub use persist::{
+    read_store, read_store_salvage, write_store, write_store_v1, PartitionRecovery, PersistError,
+    RecoveryReport, SalvageLabel,
+};
 pub use store::ReportStore;

@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn stats_account_for_open_builder() {
-        let mut p = Partition::new(Some(Month { year: 2021, month: 5 }));
+        let mut p = Partition::new(Some(Month {
+            year: 2021,
+            month: 5,
+        }));
         p.append(&report(1));
         let before_seal = p.stats();
         assert_eq!(before_seal.reports, 1);

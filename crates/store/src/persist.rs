@@ -2,7 +2,9 @@
 //!
 //! The paper's pipeline persists compressed reports in MongoDB so the
 //! 14-month collection can be analyzed repeatedly. Our equivalent is a
-//! simple length-prefixed container file:
+//! container file in one of two formats.
+//!
+//! `VTSTORE1` — the legacy length-prefixed layout (still readable):
 //!
 //! ```text
 //! magic "VTSTORE1"
@@ -13,23 +15,66 @@
 //!   per block: u32 report count, u32 byte length, <encoded bytes>
 //! ```
 //!
-//! All integers little-endian. The per-sample index is rebuilt at load
-//! time by decoding each block once (the blocks must be decoded to
-//! verify integrity anyway). Writing requires a sealed store.
+//! `VTSTORE2` — the current, fault-tolerant layout written by
+//! [`write_store`]:
+//!
+//! ```text
+//! magic "VTSTORE2"
+//! u32   partition count
+//! per partition:
+//!   u32 PART_MARKER
+//!   u8  has_month (1) → i32 year, u8 month   | (0) catch-all
+//!   u32 block count
+//!   per block:
+//!     u32 BLOCK_MARKER
+//!     u32 report count
+//!     u32 byte length
+//!     u32 crc32 of the encoded bytes
+//!     <encoded bytes>
+//! ```
+//!
+//! All integers little-endian. The markers and per-block CRCs buy two
+//! things a months-long collector needs: corruption is detected *before*
+//! decode (CRC), and a damaged region does not poison the rest of the
+//! file — [`read_store_salvage`] skips bad blocks and re-synchronizes on
+//! the next marker, returning whatever survives plus a
+//! [`RecoveryReport`] saying exactly what was lost where.
+//!
+//! The strict reader [`read_store`] accepts both formats and fails on
+//! the first integrity violation; the salvage reader degrades instead.
+//! Neither panics on arbitrary input bytes (exercised by the randomized
+//! sweep in `tests/fault_tolerance.rs`). The per-sample index is rebuilt
+//! at load time by decoding each block once. Writing requires a sealed
+//! store.
 
-use crate::block::Block;
+use crate::block::{Block, BLOCK_CAPACITY};
+use crate::codec::MIN_ENCODED_REPORT_BYTES;
+use crate::crc32::crc32;
 use crate::store::ReportStore;
 use std::io::{self, Read, Write};
 use vt_model::time::Month;
 
-const MAGIC: &[u8; 8] = b"VTSTORE1";
+const MAGIC_V1: &[u8; 8] = b"VTSTORE1";
+const MAGIC_V2: &[u8; 8] = b"VTSTORE2";
+
+/// Marks the start of a partition header (V2). Chosen to be unlikely in
+/// encoded payload, but salvage never trusts a marker alone — the frame
+/// behind it must also validate.
+const PART_MARKER: u32 = 0x9A87_110E;
+/// Marks the start of a block frame (V2).
+const BLOCK_MARKER: u32 = 0xB10C_F00D;
+
+/// Structural plausibility bounds, enforced before any allocation.
+const MAX_PARTITIONS: u32 = 1024;
+const MAX_BLOCKS_PER_PARTITION: u32 = 1 << 20;
+const MAX_BLOCK_BYTES: u32 = 1 << 30;
 
 /// Errors surfaced while loading a store file.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file is not a VTSTORE1 container or is structurally corrupt.
+    /// The file is not a VTSTORE container or is structurally corrupt.
     Corrupt(&'static str),
 }
 
@@ -60,23 +105,71 @@ fn get_u32(r: &mut impl Read) -> Result<u32, PersistError> {
     Ok(u32::from_le_bytes(buf))
 }
 
-/// Serializes a sealed store.
+/// Rejects block headers whose claimed report count cannot fit in the
+/// claimed byte length (or exceeds the builder's capacity), before any
+/// payload allocation happens.
+fn check_block_header(report_count: u32, byte_len: u32) -> Result<(), PersistError> {
+    if byte_len > MAX_BLOCK_BYTES {
+        return Err(PersistError::Corrupt("implausible block size"));
+    }
+    if report_count as usize > BLOCK_CAPACITY {
+        return Err(PersistError::Corrupt("implausible report count"));
+    }
+    if (byte_len as u64) < report_count as u64 * MIN_ENCODED_REPORT_BYTES {
+        return Err(PersistError::Corrupt(
+            "report count implausible for byte length",
+        ));
+    }
+    Ok(())
+}
+
+fn write_month_tag(w: &mut impl Write, month: Option<Month>) -> io::Result<()> {
+    match month {
+        Some(m) => {
+            w.write_all(&[1])?;
+            w.write_all(&m.year.to_le_bytes())?;
+            w.write_all(&[m.month])
+        }
+        None => w.write_all(&[0]),
+    }
+}
+
+/// Serializes a sealed store in the current `VTSTORE2` format (per-block
+/// CRCs + salvage markers).
 ///
 /// # Panics
 /// Panics if the store is not sealed (mirrors the read-path contract).
 pub fn write_store(store: &ReportStore, w: &mut impl Write) -> io::Result<()> {
-    w.write_all(MAGIC)?;
+    w.write_all(MAGIC_V2)?;
     let partitions = store.partitions_for_persist();
     put_u32(w, partitions.len() as u32)?;
     for (month, blocks) in partitions {
-        match month {
-            Some(m) => {
-                w.write_all(&[1])?;
-                w.write_all(&m.year.to_le_bytes())?;
-                w.write_all(&[m.month])?;
-            }
-            None => w.write_all(&[0])?,
+        put_u32(w, PART_MARKER)?;
+        write_month_tag(w, month)?;
+        put_u32(w, blocks.len() as u32)?;
+        for block in blocks {
+            put_u32(w, BLOCK_MARKER)?;
+            put_u32(w, block.len() as u32)?;
+            put_u32(w, block.byte_len() as u32)?;
+            put_u32(w, crc32(block.raw_bytes()))?;
+            w.write_all(block.raw_bytes())?;
         }
+    }
+    Ok(())
+}
+
+/// Serializes a sealed store in the legacy `VTSTORE1` layout — byte-for-
+/// byte what the original writer produced. Kept for compatibility tests
+/// and for producing fixtures older tooling can read.
+///
+/// # Panics
+/// Panics if the store is not sealed.
+pub fn write_store_v1(store: &ReportStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC_V1)?;
+    let partitions = store.partitions_for_persist();
+    put_u32(w, partitions.len() as u32)?;
+    for (month, blocks) in partitions {
+        write_month_tag(w, month)?;
         put_u32(w, blocks.len() as u32)?;
         for block in blocks {
             put_u32(w, block.len() as u32)?;
@@ -87,53 +180,74 @@ pub fn write_store(store: &ReportStore, w: &mut impl Write) -> io::Result<()> {
     Ok(())
 }
 
-/// Loads a store file, rebuilding the per-sample index. The returned
-/// store is sealed (read-only).
+fn read_month_tag(r: &mut impl Read) -> Result<Option<Month>, PersistError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        1 => {
+            let mut ybuf = [0u8; 4];
+            r.read_exact(&mut ybuf)?;
+            let mut mbuf = [0u8; 1];
+            r.read_exact(&mut mbuf)?;
+            if !(1..=12).contains(&mbuf[0]) {
+                return Err(PersistError::Corrupt("month out of range"));
+            }
+            Ok(Some(Month {
+                year: i32::from_le_bytes(ybuf),
+                month: mbuf[0],
+            }))
+        }
+        0 => Ok(None),
+        _ => Err(PersistError::Corrupt("bad month tag")),
+    }
+}
+
+/// Loads a store file (either format), rebuilding the per-sample index.
+/// Strict: the first integrity violation — bad marker, CRC mismatch,
+/// implausible header, undecodable block — aborts the load. Use
+/// [`read_store_salvage`] to recover what a damaged file still holds.
+/// The returned store is sealed (read-only).
 pub fn read_store(r: &mut impl Read) -> Result<ReportStore, PersistError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(PersistError::Corrupt("bad magic"));
-    }
-    let partition_count = get_u32(r)? as usize;
-    if partition_count > 1024 {
+    let v2 = match &magic {
+        m if m == MAGIC_V1 => false,
+        m if m == MAGIC_V2 => true,
+        _ => return Err(PersistError::Corrupt("bad magic")),
+    };
+    let partition_count = get_u32(r)?;
+    if partition_count > MAX_PARTITIONS {
         return Err(PersistError::Corrupt("implausible partition count"));
     }
-    let mut partitions = Vec::with_capacity(partition_count);
+    let mut partitions = Vec::with_capacity(partition_count as usize);
     for _ in 0..partition_count {
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        let month = match tag[0] {
-            1 => {
-                let mut ybuf = [0u8; 4];
-                r.read_exact(&mut ybuf)?;
-                let mut mbuf = [0u8; 1];
-                r.read_exact(&mut mbuf)?;
-                if !(1..=12).contains(&mbuf[0]) {
-                    return Err(PersistError::Corrupt("month out of range"));
-                }
-                Some(Month {
-                    year: i32::from_le_bytes(ybuf),
-                    month: mbuf[0],
-                })
-            }
-            0 => None,
-            _ => return Err(PersistError::Corrupt("bad month tag")),
-        };
-        let block_count = get_u32(r)? as usize;
-        let mut blocks = Vec::with_capacity(block_count.min(1 << 20));
+        if v2 && get_u32(r)? != PART_MARKER {
+            return Err(PersistError::Corrupt("bad partition marker"));
+        }
+        let month = read_month_tag(r)?;
+        let block_count = get_u32(r)?;
+        if block_count > MAX_BLOCKS_PER_PARTITION {
+            return Err(PersistError::Corrupt("implausible block count"));
+        }
+        let mut blocks = Vec::with_capacity(block_count as usize);
         for _ in 0..block_count {
-            let report_count = get_u32(r)?;
-            let byte_len = get_u32(r)? as usize;
-            if byte_len > 1 << 30 {
-                return Err(PersistError::Corrupt("implausible block size"));
+            if v2 && get_u32(r)? != BLOCK_MARKER {
+                return Err(PersistError::Corrupt("bad block marker"));
             }
-            let mut data = vec![0u8; byte_len];
+            let report_count = get_u32(r)?;
+            let byte_len = get_u32(r)?;
+            check_block_header(report_count, byte_len)?;
+            let expected_crc = if v2 { Some(get_u32(r)?) } else { None };
+            let mut data = vec![0u8; byte_len as usize];
             r.read_exact(&mut data)?;
+            if let Some(crc) = expected_crc {
+                if crc32(&data) != crc {
+                    return Err(PersistError::Corrupt("block checksum mismatch"));
+                }
+            }
             let block = Block::from_parts(data.into(), report_count);
             // Integrity: the block must decode to exactly report_count
-            // reports (decode_all panics on corrupt bytes; we convert
-            // that contract into a checked decode here).
+            // reports with nothing left over.
             if !block.verify() {
                 return Err(PersistError::Corrupt("block failed to decode"));
             }
@@ -142,6 +256,444 @@ pub fn read_store(r: &mut impl Read) -> Result<ReportStore, PersistError> {
         partitions.push((month, blocks));
     }
     ReportStore::from_persisted(partitions).map_err(PersistError::Corrupt)
+}
+
+/// How a salvaged partition was identified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageLabel {
+    /// The partition header named a calendar month.
+    Month(Month),
+    /// The partition header named the catch-all partition.
+    CatchAll,
+    /// Blocks recovered by marker resync after their partition header
+    /// was destroyed.
+    Unlabeled,
+}
+
+/// Per-partition salvage accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionRecovery {
+    /// Which partition section of the file these counts describe.
+    pub label: SalvageLabel,
+    /// Blocks that passed marker + header + CRC + decode and were
+    /// re-ingested.
+    pub recovered_blocks: u64,
+    /// Blocks (or unparseable regions) that were skipped.
+    pub skipped_blocks: u64,
+    /// Reports recovered from this partition's blocks.
+    pub recovered_reports: u64,
+}
+
+/// What [`read_store_salvage`] managed to recover, and what it lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// One entry per partition section encountered in the file, in file
+    /// order (plus `Unlabeled` entries for orphaned regions).
+    pub partitions: Vec<PartitionRecovery>,
+    /// Times the scanner lost framing and had to hunt forward for the
+    /// next valid marker (V2 only).
+    pub resyncs: u64,
+    /// True when the file ended in the middle of a declared structure.
+    pub truncated: bool,
+}
+
+impl RecoveryReport {
+    /// Total blocks recovered across partitions.
+    pub fn recovered_blocks(&self) -> u64 {
+        self.partitions.iter().map(|p| p.recovered_blocks).sum()
+    }
+
+    /// Total blocks skipped across partitions.
+    pub fn skipped_blocks(&self) -> u64 {
+        self.partitions.iter().map(|p| p.skipped_blocks).sum()
+    }
+
+    /// Total reports recovered.
+    pub fn recovered_reports(&self) -> u64 {
+        self.partitions.iter().map(|p| p.recovered_reports).sum()
+    }
+
+    /// True when nothing was lost: no skips, no resyncs, no truncation.
+    pub fn is_clean(&self) -> bool {
+        self.skipped_blocks() == 0 && self.resyncs == 0 && !self.truncated
+    }
+}
+
+/// Byte-slice cursor used by the salvage parser (infallible reads return
+/// `None` at EOF instead of erroring).
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn peek_u32_at(&self, offset: usize) -> Option<u32> {
+        let start = self.pos.checked_add(offset)?;
+        let bytes = self.data.get(start..start + 4)?;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn take_u32(&mut self) -> Option<u32> {
+        let v = self.peek_u32_at(0)?;
+        self.pos += 4;
+        Some(v)
+    }
+
+    fn take_u8(&mut self) -> Option<u8> {
+        let v = *self.data.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let bytes = self.data.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(bytes)
+    }
+}
+
+/// A parsed V2 partition header: label + declared block count.
+fn try_partition_header(cur: &mut Cursor<'_>) -> Option<(SalvageLabel, u32)> {
+    let start = cur.pos;
+    let parsed = (|| {
+        if cur.take_u32()? != PART_MARKER {
+            return None;
+        }
+        let label = match cur.take_u8()? {
+            1 => {
+                let year = i32::from_le_bytes(cur.take_bytes(4)?.try_into().unwrap());
+                let month = cur.take_u8()?;
+                if !(1..=12).contains(&month) {
+                    return None;
+                }
+                SalvageLabel::Month(Month { year, month })
+            }
+            0 => SalvageLabel::CatchAll,
+            _ => return None,
+        };
+        let block_count = cur.take_u32()?;
+        if block_count > MAX_BLOCKS_PER_PARTITION {
+            return None;
+        }
+        Some((label, block_count))
+    })();
+    if parsed.is_none() {
+        cur.pos = start;
+    }
+    parsed
+}
+
+enum BlockFrame {
+    /// Marker, header, CRC and decode all valid.
+    Good(Vec<vt_model::ScanReport>),
+    /// Valid marker + plausible header, but the payload is corrupt
+    /// (CRC mismatch or decode failure). The cursor has advanced past
+    /// the frame, so parsing can continue at the next one.
+    BadPayload,
+    /// Valid marker + plausible header, but the payload runs past EOF.
+    Truncated,
+    /// No valid frame here (cursor unmoved).
+    NoFrame,
+}
+
+fn try_block_frame(cur: &mut Cursor<'_>) -> BlockFrame {
+    let start = cur.pos;
+    let header = (|| {
+        if cur.take_u32()? != BLOCK_MARKER {
+            return None;
+        }
+        let report_count = cur.take_u32()?;
+        let byte_len = cur.take_u32()?;
+        let crc = cur.take_u32()?;
+        check_block_header(report_count, byte_len).ok()?;
+        Some((report_count, byte_len, crc))
+    })();
+    let Some((report_count, byte_len, crc)) = header else {
+        cur.pos = start;
+        return BlockFrame::NoFrame;
+    };
+    if cur.remaining() < byte_len as usize {
+        cur.pos = cur.data.len();
+        return BlockFrame::Truncated;
+    }
+    let payload = cur.take_bytes(byte_len as usize).expect("length checked");
+    if crc32(payload) != crc {
+        return BlockFrame::BadPayload;
+    }
+    let block = Block::from_parts(bytes::Bytes::copy_from_slice(payload), report_count);
+    match block.decode_all() {
+        Ok(reports) => BlockFrame::Good(reports),
+        Err(_) => BlockFrame::BadPayload,
+    }
+}
+
+/// Loads as much of a (possibly damaged) store file as possible.
+///
+/// For `VTSTORE2` files this skips blocks whose CRC or decode fails and
+/// re-synchronizes on the next partition/block marker when framing is
+/// lost, so one damaged region costs one block, not the rest of the
+/// file. For legacy `VTSTORE1` files (no markers, no CRCs) the valid
+/// prefix is recovered and everything after the first corruption is
+/// reported lost. Recovered reports are re-ingested into a fresh store
+/// (re-partitioned by analysis month, per-sample index rebuilt), which
+/// is returned sealed together with the [`RecoveryReport`].
+///
+/// Errors only on I/O failure or when the file is too short / not a
+/// VTSTORE container at all; damage beyond the magic degrades the
+/// report instead.
+pub fn read_store_salvage(
+    r: &mut impl Read,
+) -> Result<(ReportStore, RecoveryReport), PersistError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    if data.len() < 8 {
+        return Err(PersistError::Corrupt("file shorter than magic"));
+    }
+    match &data[..8] {
+        m if m == MAGIC_V2 => Ok(salvage_v2(&data[8..])),
+        m if m == MAGIC_V1 => Ok(salvage_v1(&data[8..])),
+        _ => Err(PersistError::Corrupt("bad magic")),
+    }
+}
+
+/// Appends a recovered block's reports to the rebuild, updating the
+/// current partition's accounting.
+fn ingest_block(
+    store: &ReportStore,
+    part: &mut PartitionRecovery,
+    reports: Vec<vt_model::ScanReport>,
+) {
+    part.recovered_blocks += 1;
+    part.recovered_reports += reports.len() as u64;
+    store.append_batch(&reports);
+}
+
+fn empty_recovery(label: SalvageLabel) -> PartitionRecovery {
+    PartitionRecovery {
+        label,
+        recovered_blocks: 0,
+        skipped_blocks: 0,
+        recovered_reports: 0,
+    }
+}
+
+fn salvage_v2(body: &[u8]) -> (ReportStore, RecoveryReport) {
+    let store = ReportStore::new();
+    let mut cur = Cursor { data: body, pos: 0 };
+    let mut partitions: Vec<PartitionRecovery> = Vec::new();
+    let mut resyncs = 0u64;
+    let mut truncated = false;
+
+    // Declared partition count — advisory only; the parse is driven by
+    // markers so a corrupt count cannot derail it.
+    if cur.take_u32().is_none() {
+        truncated = true;
+    }
+
+    let mut remaining_blocks = 0u32;
+    while cur.remaining() > 0 {
+        if remaining_blocks > 0 {
+            match try_block_frame(&mut cur) {
+                BlockFrame::Good(reports) => {
+                    let part = partitions.last_mut().expect("in a partition");
+                    ingest_block(&store, part, reports);
+                    remaining_blocks -= 1;
+                    continue;
+                }
+                BlockFrame::BadPayload => {
+                    partitions
+                        .last_mut()
+                        .expect("in a partition")
+                        .skipped_blocks += 1;
+                    remaining_blocks -= 1;
+                    continue;
+                }
+                BlockFrame::Truncated => {
+                    let part = partitions.last_mut().expect("in a partition");
+                    part.skipped_blocks += remaining_blocks as u64;
+                    truncated = true;
+                    break;
+                }
+                BlockFrame::NoFrame => {
+                    // A corrupt block count can leave us expecting
+                    // blocks when the next partition header has already
+                    // arrived — accept it and charge the phantom blocks
+                    // as skipped.
+                    if let Some((label, block_count)) = try_partition_header(&mut cur) {
+                        partitions
+                            .last_mut()
+                            .expect("in a partition")
+                            .skipped_blocks += remaining_blocks as u64;
+                        partitions.push(empty_recovery(label));
+                        remaining_blocks = block_count;
+                        continue;
+                    }
+                    /* fall through to resync */
+                }
+            }
+        } else {
+            if let Some((label, block_count)) = try_partition_header(&mut cur) {
+                partitions.push(empty_recovery(label));
+                remaining_blocks = block_count;
+                continue;
+            }
+            // Orphan block (its partition header was destroyed, or a
+            // lying block count left extra frames behind).
+            match try_block_frame(&mut cur) {
+                BlockFrame::Good(reports) => {
+                    if partitions.is_empty() {
+                        partitions.push(empty_recovery(SalvageLabel::Unlabeled));
+                    }
+                    let part = partitions.last_mut().expect("nonempty");
+                    ingest_block(&store, part, reports);
+                    continue;
+                }
+                BlockFrame::BadPayload => {
+                    if partitions.is_empty() {
+                        partitions.push(empty_recovery(SalvageLabel::Unlabeled));
+                    }
+                    partitions.last_mut().expect("nonempty").skipped_blocks += 1;
+                    continue;
+                }
+                BlockFrame::Truncated => {
+                    if partitions.is_empty() {
+                        partitions.push(empty_recovery(SalvageLabel::Unlabeled));
+                    }
+                    partitions.last_mut().expect("nonempty").skipped_blocks += 1;
+                    truncated = true;
+                    break;
+                }
+                BlockFrame::NoFrame => { /* fall through to resync */ }
+            }
+        }
+
+        // Framing lost: hunt forward for the next frame that actually
+        // validates (a marker alone is not trusted — payload bytes can
+        // contain marker-shaped u32s by chance).
+        resyncs += 1;
+        if partitions.is_empty() {
+            partitions.push(empty_recovery(SalvageLabel::Unlabeled));
+        }
+        partitions.last_mut().expect("nonempty").skipped_blocks += 1;
+        remaining_blocks = 0;
+        let mut found = false;
+        for probe in cur.pos + 1..cur.data.len().saturating_sub(3) {
+            let word = u32::from_le_bytes(cur.data[probe..probe + 4].try_into().expect("4 bytes"));
+            if word != PART_MARKER && word != BLOCK_MARKER {
+                continue;
+            }
+            let mut candidate = Cursor {
+                data: cur.data,
+                pos: probe,
+            };
+            if word == PART_MARKER {
+                if try_partition_header(&mut candidate).is_some() {
+                    cur.pos = probe;
+                    found = true;
+                    break;
+                }
+            } else if !matches!(try_block_frame(&mut candidate), BlockFrame::NoFrame) {
+                cur.pos = probe;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            truncated = truncated || cur.remaining() > 0;
+            break;
+        }
+    }
+    truncated = truncated || remaining_blocks > 0;
+
+    store.seal();
+    (
+        store,
+        RecoveryReport {
+            partitions,
+            resyncs,
+            truncated,
+        },
+    )
+}
+
+fn salvage_v1(body: &[u8]) -> (ReportStore, RecoveryReport) {
+    let store = ReportStore::new();
+    let mut cur = Cursor { data: body, pos: 0 };
+    let mut partitions: Vec<PartitionRecovery> = Vec::new();
+    let mut truncated = false;
+
+    'outer: {
+        let Some(partition_count) = cur.take_u32() else {
+            truncated = true;
+            break 'outer;
+        };
+        if partition_count > MAX_PARTITIONS {
+            truncated = true;
+            break 'outer;
+        }
+        for _ in 0..partition_count {
+            let header = (|| {
+                let label = match cur.take_u8()? {
+                    1 => {
+                        let year = i32::from_le_bytes(cur.take_bytes(4)?.try_into().unwrap());
+                        let month = cur.take_u8()?;
+                        if !(1..=12).contains(&month) {
+                            return None;
+                        }
+                        SalvageLabel::Month(Month { year, month })
+                    }
+                    0 => SalvageLabel::CatchAll,
+                    _ => return None,
+                };
+                let block_count = cur.take_u32()?;
+                if block_count > MAX_BLOCKS_PER_PARTITION {
+                    return None;
+                }
+                Some((label, block_count))
+            })();
+            let Some((label, block_count)) = header else {
+                truncated = true;
+                break 'outer;
+            };
+            partitions.push(empty_recovery(label));
+            for remaining in (1..=block_count).rev() {
+                let block = (|| {
+                    let report_count = cur.take_u32()?;
+                    let byte_len = cur.take_u32()?;
+                    check_block_header(report_count, byte_len).ok()?;
+                    let payload = cur.take_bytes(byte_len as usize)?;
+                    Block::from_parts(bytes::Bytes::copy_from_slice(payload), report_count)
+                        .decode_all()
+                        .ok()
+                })();
+                let part = partitions.last_mut().expect("just pushed");
+                match block {
+                    Some(reports) => ingest_block(&store, part, reports),
+                    None => {
+                        // V1 has no framing to recover with: everything
+                        // from here on is unreadable.
+                        part.skipped_blocks += remaining as u64;
+                        truncated = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    store.seal();
+    (
+        store,
+        RecoveryReport {
+            partitions,
+            resyncs: 0,
+            truncated,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -193,8 +745,21 @@ mod tests {
     }
 
     #[test]
+    fn v1_roundtrip_still_loads() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store_v1(&store, &mut buf).expect("write v1");
+        assert_eq!(&buf[..8], b"VTSTORE1");
+        let loaded = read_store(&mut buf.as_slice()).expect("read v1");
+        assert_eq!(loaded.report_count(), store.report_count());
+        assert_eq!(loaded.sample_count(), store.sample_count());
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let err = read_store(&mut &b"NOTASTORE!"[..]).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt("bad magic")), "{err}");
+        let err = read_store_salvage(&mut &b"NOTASTORE!"[..]).unwrap_err();
         assert!(matches!(err, PersistError::Corrupt("bad magic")), "{err}");
     }
 
@@ -217,10 +782,80 @@ mod tests {
         // Flip a byte in the middle of block data.
         let mid = buf.len() / 2;
         buf[mid] ^= 0xFF;
-        // Either a decode failure or (if we hit a length field) a
-        // structural error — both must surface as errors, never a
+        // Either a checksum/decode failure or (if we hit a length field)
+        // a structural error — both must surface as errors, never a
         // silently-wrong store.
         assert!(read_store(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn salvage_clean_file_recovers_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).expect("write");
+        let (loaded, report) = read_store_salvage(&mut buf.as_slice()).expect("salvage");
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(loaded.report_count(), store.report_count());
+        assert_eq!(loaded.sample_count(), store.sample_count());
+        assert_eq!(report.recovered_reports(), store.report_count());
+    }
+
+    #[test]
+    fn salvage_skips_corrupt_block_and_keeps_rest() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).expect("write");
+        // Corrupt one payload byte inside the first block: find the
+        // first BLOCK_MARKER and flip a byte 40 past its header.
+        let marker = BLOCK_MARKER.to_le_bytes();
+        let pos = buf
+            .windows(4)
+            .position(|w| w == marker)
+            .expect("some block exists");
+        buf[pos + 16 + 40] ^= 0x55;
+        let (loaded, report) = read_store_salvage(&mut buf.as_slice()).expect("salvage");
+        assert_eq!(report.skipped_blocks(), 1);
+        assert_eq!(report.resyncs, 0, "framing intact, no resync needed");
+        assert!(!report.truncated);
+        assert!(loaded.report_count() < store.report_count());
+        assert_eq!(
+            loaded.report_count(),
+            report.recovered_reports(),
+            "rebuilt store holds exactly the recovered reports"
+        );
+    }
+
+    #[test]
+    fn salvage_resyncs_past_destroyed_length_field() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).expect("write");
+        let marker = BLOCK_MARKER.to_le_bytes();
+        let pos = buf
+            .windows(4)
+            .position(|w| w == marker)
+            .expect("some block exists");
+        // Destroy the byte-length field so the frame header itself lies.
+        buf[pos + 8..pos + 12].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        let (loaded, report) = read_store_salvage(&mut buf.as_slice()).expect("salvage");
+        assert!(report.resyncs >= 1, "{report:?}");
+        assert!(loaded.report_count() > 0, "later blocks recovered");
+        assert!(report.skipped_blocks() >= 1);
+    }
+
+    #[test]
+    fn salvage_v1_recovers_prefix() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store_v1(&store, &mut buf).expect("write v1");
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        let (loaded, report) = read_store_salvage(&mut buf.as_slice()).expect("salvage");
+        // Either the flip hit a block payload (decode fails there) or a
+        // header; either way the prefix survives and the report owns up
+        // to the damage.
+        assert!(loaded.report_count() < store.report_count());
+        assert!(report.truncated || report.skipped_blocks() > 0);
     }
 
     #[test]

@@ -37,8 +37,9 @@ impl ReportStore {
     /// Creates an empty store with one partition per collection-window
     /// month plus a catch-all for out-of-window reports.
     pub fn new() -> Self {
-        let mut partitions: Vec<Partition> =
-            Month::collection_window().map(|m| Partition::new(Some(m))).collect();
+        let mut partitions: Vec<Partition> = Month::collection_window()
+            .map(|m| Partition::new(Some(m)))
+            .collect();
         partitions.push(Partition::new(None));
         Self {
             inner: RwLock::new(Inner {
@@ -108,7 +109,12 @@ impl ReportStore {
 
     /// Per-partition statistics, in window order (catch-all last).
     pub fn partition_stats(&self) -> Vec<PartitionStats> {
-        self.inner.read().partitions.iter().map(|p| p.stats()).collect()
+        self.inner
+            .read()
+            .partitions
+            .iter()
+            .map(|p| p.stats())
+            .collect()
     }
 
     /// Gathers one sample's reports, sorted by analysis date.
@@ -122,11 +128,15 @@ impl ReportStore {
             return Vec::new();
         };
         let mut out = Vec::with_capacity(locs.len());
-        // Decode each needed block once.
+        // Decode each needed block once. Blocks reachable here were
+        // either built by this store or integrity-checked at load time,
+        // so a decode failure is a program error, not an input error.
         let mut cache: HashMap<(u16, u32), Vec<ScanReport>> = HashMap::new();
         for loc in locs {
             let block_reports = cache.entry((loc.partition, loc.block)).or_insert_with(|| {
-                inner.partitions[loc.partition as usize].blocks()[loc.block as usize].decode_all()
+                inner.partitions[loc.partition as usize].blocks()[loc.block as usize]
+                    .decode_all()
+                    .expect("sealed in-store block decodes")
             });
             out.push(block_reports[loc.offset as usize]);
         }
@@ -146,7 +156,7 @@ impl ReportStore {
             HashMap::with_capacity(inner.index.len());
         for p in &inner.partitions {
             for block in p.blocks() {
-                for r in block.decode_all() {
+                for r in block.decode_all().expect("sealed in-store block decodes") {
                     groups.entry(r.sample).or_default().push(r);
                 }
             }
@@ -179,9 +189,7 @@ impl ReportStore {
     /// the per-sample index by decoding each block once. Returns an
     /// error message if the partition layout is not the expected
     /// 14-months-plus-catch-all shape.
-    pub fn from_persisted(
-        parts: Vec<(Option<Month>, Vec<Block>)>,
-    ) -> Result<Self, &'static str> {
+    pub fn from_persisted(parts: Vec<(Option<Month>, Vec<Block>)>) -> Result<Self, &'static str> {
         let expected: Vec<Option<Month>> = Month::collection_window()
             .map(Some)
             .chain(std::iter::once(None))
@@ -196,7 +204,8 @@ impl ReportStore {
                 return Err("unexpected partition month order");
             }
             for (bi, block) in blocks.iter().enumerate() {
-                for (off, report) in block.decode_all().into_iter().enumerate() {
+                let reports = block.decode_all().map_err(|_| "block failed to decode")?;
+                for (off, report) in reports.into_iter().enumerate() {
                     index.entry(report.sample).or_default().push(Loc {
                         partition: pi as u16,
                         block: bi as u32,
@@ -221,7 +230,7 @@ impl ReportStore {
         assert!(inner.sealed, "seal the store before reading");
         for p in &inner.partitions {
             for block in p.blocks() {
-                for r in block.decode_all() {
+                for r in block.decode_all().expect("sealed in-store block decodes") {
                     f(&r);
                 }
             }
@@ -263,7 +272,9 @@ mod tests {
         // Sorted by time even though appended out of order.
         assert!(r1[0].analysis_date < r1[1].analysis_date);
         assert!(r1[1].analysis_date < r1[2].analysis_date);
-        assert!(store.sample_reports(SampleHash::from_ordinal(99)).is_empty());
+        assert!(store
+            .sample_reports(SampleHash::from_ordinal(99))
+            .is_empty());
     }
 
     #[test]
@@ -286,7 +297,11 @@ mod tests {
     fn group_by_sample_covers_everything() {
         let store = ReportStore::new();
         for i in 0..500u64 {
-            store.append(&report(i % 50, Date::new(2021, 8, 1 + (i % 20) as u8), i as i64 % 1440));
+            store.append(&report(
+                i % 50,
+                Date::new(2021, 8, 1 + (i % 20) as u8),
+                i as i64 % 1440,
+            ));
         }
         store.seal();
         let groups = store.group_by_sample();

@@ -1,71 +1,145 @@
-//! Fault injection — how engine availability degrades label quality.
+//! Fault injection — chaos-testing the collection path end to end.
 //!
-//! The paper identifies *engine activity* (timeouts, absent engines) as
-//! one of the three causes of label dynamics. This example sweeps the
-//! fleet's fault-injection knobs (timeout and outage multipliers, per
-//! the smoltcp tradition of `--drop-chance`-style options) and shows
-//! what a degraded platform does to the measurements: stability
-//! collapses, gray samples multiply, and thresholds that looked safe
-//! stop being safe.
+//! The paper's dataset exists because a collector polled VirusTotal's
+//! feed every minute for 14 months; anything that long-lived sees
+//! outages, duplicate deliveries, out-of-order batches, and damaged
+//! bytes. This example drives the whole fault-tolerance stack:
+//!
+//! 1. A seeded [`FaultPlan`] wraps the simulator's time-ordered feed in
+//!    a [`FaultyFeed`] that injects all four fault classes.
+//! 2. The [`Collector`] ingests the chaotic feed — retrying outages,
+//!    deduplicating redeliveries, re-sequencing late batches, and
+//!    quarantining corrupted payloads — and prints its `IngestStats`.
+//! 3. The collected store is persisted as `VTSTORE2`, a fraction of its
+//!    blocks is bit-flipped, and `read_store_salvage` prints the
+//!    `RecoveryReport` for what it clawed back.
 //!
 //! Run with: `cargo run --release --example fault_injection -- [samples]`
 
-use vt_label_dynamics::dynamics::{categorize, freshdyn, stability, Study};
-use vt_label_dynamics::sim::SimConfig;
+use vt_label_dynamics::dynamics::{Collector, CollectorConfig, Study};
+use vt_label_dynamics::sim::{FaultPlan, FaultyFeed, SimConfig};
+use vt_label_dynamics::store::crc32::crc32;
+use vt_label_dynamics::store::{read_store_salvage, write_store};
 
 fn main() {
     let samples: u64 = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(120_000);
+        .unwrap_or(20_000);
 
-    println!("timeout×  outage×  stable%   |S|      gray@t=10  gray@t=40  undetected/scan");
-    for (timeout_mult, outage_mult) in [
-        (0.0, 0.0),  // perfect availability
-        (1.0, 1.0),  // nominal
-        (3.0, 1.0),  // flaky engines
-        (1.0, 10.0), // outage storms
-        (6.0, 10.0), // degraded platform
-    ] {
-        let mut config = SimConfig::new(0xFA_017, samples);
-        config.fleet.timeout_mult = timeout_mult;
-        config.fleet.outage_mult = outage_mult;
-        let study = Study::generate(config);
-        let records = study.records();
+    let config = SimConfig::new(0xFA_017, samples);
+    let study = Study::generate(config);
 
-        let st = stability::analyze(records);
-        let s = freshdyn::build(records, config.window_start());
-        let sweep = categorize::sweep(records, &s, false);
-        let gray = |t: u32| {
-            sweep
-                .shares
-                .iter()
-                .find(|sh| sh.t == t)
-                .map(|sh| sh.gray * 100.0)
-                .unwrap_or(0.0)
-        };
-        let mut inactive = 0u64;
-        let mut scans = 0u64;
-        for r in records {
-            for rep in &r.reports {
-                inactive += (rep.verdicts.engine_count() as u32 - rep.verdicts.active_count()) as u64;
-                scans += 1;
-            }
-        }
+    // --- 1. chaos plan over the minute-polled feed -------------------
+    let plan = FaultPlan::clean(0xC0FFEE)
+        .with_outages(0.03, 0.25)
+        .with_duplicates(0.15)
+        .with_reordering(0.25, 30)
+        .with_corruption(0.02);
+    let feed = FaultyFeed::from_sim(study.sim(), 0..samples, plan);
+    println!(
+        "feed: {} reports scheduled over minutes {}..={}",
+        feed.scheduled_entries(),
+        feed.first_minute().unwrap_or(0),
+        feed.last_minute().unwrap_or(0)
+    );
+    println!(
+        "      {} duplicated, {} delayed, {} corrupted by the plan\n",
+        feed.duplicated_entries(),
+        feed.delayed_entries(),
+        feed.corrupted_entries()
+    );
+
+    // --- 2. fault-tolerant ingestion ---------------------------------
+    let collector = Collector::new(CollectorConfig {
+        max_retries: 5,
+        reorder_horizon: 30,
+    });
+    let outcome = collector.run(feed);
+    let s = outcome.stats;
+    println!("IngestStats");
+    println!("  polled minutes        {:>9}", s.polled_minutes);
+    println!("  accepted              {:>9}", s.accepted);
+    println!("  deduped redeliveries  {:>9}", s.deduped);
+    println!("  re-sequenced (late)   {:>9}", s.reordered);
+    println!("  quarantined           {:>9}", s.quarantined);
+    println!("  poll retries          {:>9}", s.retries);
+    println!("  gap minutes           {:>9}", s.gap_minutes);
+    println!("  entries lost in gaps  {:>9}", s.lost_entries);
+    println!("  max reorder depth     {:>9}", s.max_buffer_depth);
+    println!("  emitted out of order  {:>9}", s.emitted_out_of_order);
+    if let Some(q) = outcome.quarantine.first() {
         println!(
-            "{timeout_mult:>7.1}  {outage_mult:>7.1}  {:>6.2}%  {:>6}  {:>8.2}%  {:>8.2}%  {:>10.2}",
-            st.stable_fraction() * 100.0,
-            s.len(),
-            gray(10),
-            gray(40),
-            inactive as f64 / scans as f64,
+            "  first quarantined: minute {} — {:?}",
+            q.delivery_minute, q.error
         );
     }
+
+    // --- 3. persist, damage, salvage ---------------------------------
+    let mut bytes = Vec::new();
+    write_store(&outcome.store, &mut bytes).expect("serialize store");
+    let (damaged, hit) = damage_blocks(bytes, 0.10, 0xBAD5EED);
+    let (salvaged, report) = read_store_salvage(&mut damaged.as_slice()).expect("salvage");
     println!(
-        "\nReading: with availability faults injected, samples that would be\n\
-         stable flip between scans purely because different engine subsets\n\
-         answered — the paper's 'engine activity' mechanism isolated from\n\
-         signature churn. (timeout×0 keeps outages at 0 too only when both\n\
-         knobs are zeroed; glitches remain at their nominal 1e-7.)"
+        "\nRecoveryReport ({} bytes on disk, {hit} blocks bit-flipped)",
+        damaged.len()
     );
+    println!("  blocks recovered      {:>9}", report.recovered_blocks());
+    println!("  blocks skipped        {:>9}", report.skipped_blocks());
+    println!("  reports recovered     {:>9}", report.recovered_reports());
+    println!("  resyncs               {:>9}", report.resyncs);
+    println!("  truncated             {:>9}", report.truncated);
+    for p in &report.partitions {
+        if p.skipped_blocks > 0 {
+            println!(
+                "    {:?}: kept {} blocks, lost {}",
+                p.label, p.recovered_blocks, p.skipped_blocks
+            );
+        }
+    }
+    println!(
+        "\nReading: duplicates and reordering are absorbed losslessly (the\n\
+         dedup index and reorder buffer restore the clean stream), hard\n\
+         outages and corrupted payloads are *accounted* rather than\n\
+         silently dropped, and per-block CRCs turn file damage into a\n\
+         bounded, reported loss: {} of {} reports survived the disk.",
+        salvaged.report_count(),
+        outcome.store.report_count(),
+    );
+}
+
+/// Flips one payload byte in roughly `p` of the store's blocks, chosen
+/// and placed by a seeded multiplicative hash — no RNG dependency.
+fn damage_blocks(mut buf: Vec<u8>, p: f64, seed: u64) -> (Vec<u8>, u64) {
+    const BLOCK_MARKER: u32 = 0xB10C_F00D;
+    let marker = BLOCK_MARKER.to_le_bytes();
+    let mut frames = Vec::new();
+    for pos in 0..buf.len().saturating_sub(16) {
+        if buf[pos..pos + 4] != marker {
+            continue;
+        }
+        let byte_len = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 12..pos + 16].try_into().unwrap());
+        let payload = pos + 16;
+        if byte_len > 0
+            && payload + byte_len <= buf.len()
+            && crc32(&buf[payload..payload + byte_len]) == crc
+        {
+            frames.push((payload, byte_len));
+        }
+    }
+    let mut hit = 0u64;
+    for (i, (payload, len)) in frames.into_iter().enumerate() {
+        let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        if (h >> 11) as f64 / (1u64 << 53) as f64 >= p {
+            continue;
+        }
+        let off = (h as usize) % len;
+        buf[payload + off] ^= 0x40;
+        hit += 1;
+    }
+    (buf, hit)
 }

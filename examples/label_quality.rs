@@ -27,7 +27,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(200_000);
 
-    let study = Study::generate(SimConfig::new(0x1AB_E1, samples));
+    let study = Study::generate(SimConfig::new(0x1ABE1, samples));
     let engine_count = study.sim().fleet().engine_count();
 
     // Multi-scan samples whose history spans at least 20 days: their
@@ -60,7 +60,11 @@ fn main() {
     // Most / least informative engines under the learned weights.
     println!("\nmost informative engines (learned log-odds):");
     for (e, w) in model.ranked_by_weight().into_iter().take(5) {
-        let name = study.sim().fleet().profile(vt_label_dynamics::model::EngineId(e as u8)).name;
+        let name = study
+            .sim()
+            .fleet()
+            .profile(vt_label_dynamics::model::EngineId(e as u8))
+            .name;
         println!(
             "  {:<18} weight {:+.2}  (TPR {:.2}, FPR {:.4})",
             name,
@@ -93,7 +97,10 @@ fn main() {
     };
 
     println!("\nfirst-scan label vs final stabilized label (held-out split):");
-    println!("{:<22} {:>9} {:>9} {:>9}", "aggregator", "agree", "early-FP", "early-FN");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}",
+        "aggregator", "agree", "early-FP", "early-FN"
+    );
     for agg in [
         &Threshold(1) as &dyn Aggregator,
         &Threshold(2),

@@ -63,7 +63,10 @@ fn main() {
     let ecdf = vt_label_dynamics::stats::Ecdf::new(days_to_stable);
     for q in [0.50, 0.75, 0.90, 0.95, 0.99] {
         if let Some(days) = ecdf.quantile(q) {
-            println!("  {:>4.0}% of stabilizing labels final within {days:.1} days", q * 100.0);
+            println!(
+                "  {:>4.0}% of stabilizing labels final within {days:.1} days",
+                q * 100.0
+            );
         }
     }
     for wait in [0.0, 7.0, 15.0, 30.0, 60.0] {
@@ -129,7 +132,11 @@ fn main() {
         }
         println!(
             "  final state: {}",
-            if monitor.is_stable() { "stable" } else { "still moving" }
+            if monitor.is_stable() {
+                "stable"
+            } else {
+                "still moving"
+            }
         );
     }
 }

@@ -73,7 +73,10 @@ fn write_csvs(
 }
 
 /// Parses `--key value` flags; rejects unknown keys.
-fn parse_flags<'a>(args: &'a [String], allowed: &[&str]) -> Result<Vec<(&'a str, &'a str)>, String> {
+fn parse_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, String> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -118,8 +121,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     eprintln!("simulating {samples} samples (seed {seed:#x})...");
     let study = Study::generate(SimConfig::new(seed, samples));
     let store = study.build_store();
-    let mut file =
-        std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     write_store(&store, &mut file).map_err(|e| format!("write failed: {e}"))?;
     let stats = store.partition_stats();
     let bytes: u64 = stats.iter().map(|p| p.stored_bytes).sum();
@@ -129,7 +131,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         store.sample_count(),
         bytes as f64 / 1e6
     );
-    println!("analyze it with: vtld analyze --store {out} --fleet-seed {:#x}", seed ^ 0xF1EE_7000);
+    println!(
+        "analyze it with: vtld analyze --store {out} --fleet-seed {:#x}",
+        seed ^ 0xF1EE_7000
+    );
     Ok(())
 }
 

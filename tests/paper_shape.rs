@@ -21,13 +21,21 @@ fn paper_shape_holds() {
 
     // ---- §4 dataset landscape -------------------------------------
     // Fig. 1: heavy singleton mass.
-    assert!((r.fig1.singleton - 0.8881).abs() < 0.03, "singletons {}", r.fig1.singleton);
+    assert!(
+        (r.fig1.singleton - 0.8881).abs() < 0.03,
+        "singletons {}",
+        r.fig1.singleton
+    );
     assert!(r.fig1.under_20 > 0.99);
     assert!((r.dataset.fresh_fraction() - 0.9176).abs() < 0.02);
     // Table 3: Win32 EXE dominates.
     let table3 = r.dataset.table3();
     assert_eq!(table3[0].0, "Win32 EXE");
-    assert!((table3[0].2 - 25.2).abs() < 2.0, "Win32 EXE share {}", table3[0].2);
+    assert!(
+        (table3[0].2 - 25.2).abs() < 2.0,
+        "Win32 EXE share {}",
+        table3[0].2
+    );
 
     // ---- Obs. 1: ~50/50 stable vs dynamic --------------------------
     let stable = r.stability.stable_fraction();
@@ -70,7 +78,11 @@ fn paper_shape_holds() {
     // each; at this test's scale the estimator is noise-limited, so we
     // assert the direction and significance rather than the magnitude
     // (EXPERIMENTS.md records the full-scale value).
-    assert!(corr.rho > 0.15, "interval correlation too weak: {}", corr.rho);
+    assert!(
+        corr.rho > 0.15,
+        "interval correlation too weak: {}",
+        corr.rho
+    );
     assert!(corr.p_value < 0.05, "p = {}", corr.p_value);
 
     // ---- Obs. 6: threshold-based labeling tolerates dynamics --------
@@ -84,8 +96,14 @@ fn paper_shape_holds() {
     assert!(pe_gray(3) < 0.10);
 
     // ---- Obs. 7: causes ---------------------------------------------
-    assert!(r.causes.update_fraction() > 0.4, "updates should coincide with many flips");
-    assert!(r.causes.gap_consistency() > 0.9, "inactivity gaps are usually consistent");
+    assert!(
+        r.causes.update_fraction() > 0.4,
+        "updates should coincide with many flips"
+    );
+    assert!(
+        r.causes.gap_consistency() > 0.9,
+        "inactivity gaps are usually consistent"
+    );
 
     // ---- Obs. 8: rank stabilization sweep ---------------------------
     let rs = &r.rank_stabilization;
@@ -104,14 +122,27 @@ fn paper_shape_holds() {
 
     // ---- Obs. 9: label stabilization --------------------------------
     for l in &r.label_stabilization_all {
-        assert!(l.stabilized_fraction() > 0.85, "t={} stab {}", l.t, l.stabilized_fraction());
+        assert!(
+            l.stabilized_fraction() > 0.85,
+            "t={} stab {}",
+            l.t,
+            l.stabilized_fraction()
+        );
     }
 
     // ---- Obs. 10 / §7.1: flips --------------------------------------
     let f = &r.flips;
-    assert!(f.flips_up > 2 * f.flips_down, "0→1 flips dominate (paper 2.7:1)");
+    assert!(
+        f.flips_up > 2 * f.flips_down,
+        "0→1 flips dominate (paper 2.7:1)"
+    );
     // Hazard flips are essentially absent (paper: 9 in 16.8 M).
-    assert!(f.hazard_flips * 1_000 <= f.flips.max(1), "hazard flips {}/{}", f.hazard_flips, f.flips);
+    assert!(
+        f.hazard_flips * 1_000 <= f.flips.max(1),
+        "hazard flips {}/{}",
+        f.hazard_flips,
+        f.flips
+    );
     // Named engine ordering: flip-prone vs stable.
     let ratio = |n: &str| f.engine_ratio(fleet.engine_by_name(n));
     assert!(ratio("F-Secure") > ratio("Jiangmin"));
@@ -124,19 +155,34 @@ fn paper_shape_holds() {
     assert!(rho("Avast", "AVG") > 0.8);
     assert!(rho("Webroot", "CrowdStrike") > 0.8);
     assert!(rho("BitDefender", "FireEye") > 0.8);
-    assert!(rho("Kaspersky", "Zoner") < 0.8, "unrelated engines below the bar");
+    assert!(
+        rho("Kaspersky", "Zoner") < 0.8,
+        "unrelated engines below the bar"
+    );
     // The BitDefender OEM family lands in one group.
     let bd = fleet.engine_by_name("BitDefender");
     let gdata = fleet.engine_by_name("GData");
-    let family = c.groups.iter().find(|g| g.contains(&bd)).expect("BitDefender grouped");
-    assert!(family.contains(&gdata), "GData belongs to the BitDefender family");
+    let family = c
+        .groups
+        .iter()
+        .find(|g| g.contains(&bd))
+        .expect("BitDefender grouped");
+    assert!(
+        family.contains(&gdata),
+        "GData belongs to the BitDefender family"
+    );
 
     // Per-type quirk: Cyren–Fortinet strong on Win32 EXE, weak globally.
     let exe = &r.correlation_per_type[0];
-    let exe_rho =
-        exe.rho_between(fleet.engine_by_name("Cyren"), fleet.engine_by_name("Fortinet"));
+    let exe_rho = exe.rho_between(
+        fleet.engine_by_name("Cyren"),
+        fleet.engine_by_name("Fortinet"),
+    );
     let global_rho = rho("Cyren", "Fortinet");
-    assert!(exe_rho > global_rho, "Cyren–Fortinet: EXE {exe_rho} vs global {global_rho}");
+    assert!(
+        exe_rho > global_rho,
+        "Cyren–Fortinet: EXE {exe_rho} vs global {global_rho}"
+    );
     assert!(exe_rho > 0.8);
     // Avira–Cynet: strong globally, weaker on EXE.
     let exe_ac = exe.rho_between(fleet.engine_by_name("Avira"), fleet.engine_by_name("Cynet"));

@@ -1,0 +1,355 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Vendored because this workspace builds hermetically (no registry
+//! access). Implements the subset the workspace uses: cheaply cloneable
+//! [`Bytes`] views (`Arc<[u8]>` + range), a growable [`BytesMut`], and
+//! big-endian cursor reads/writes through [`Buf`] / [`BufMut`]. All
+//! integer accessors use network byte order, matching the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Read cursor over a byte source. Getters consume from the front and
+/// panic on underflow, like the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// True if any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads `n` bytes from the front into a fresh `Vec`.
+    fn take_front(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let b = self.take_front(2);
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let b = self.take_front(4);
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let b = self.take_front(8);
+        u64::from_be_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// Reads a big-endian `u128`.
+    fn get_u128(&mut self) -> u128 {
+        let b = self.take_front(16);
+        u128::from_be_bytes(b.try_into().expect("16 bytes"))
+    }
+}
+
+/// Write sink for bytes. All integer putters are big-endian.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u128`.
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable, cheaply cloneable view into shared bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::from(Vec::new())
+    }
+
+    /// Copies a slice into a freshly allocated `Bytes`.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self::from(src.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The viewed bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice out of bounds: {lo}..{hi} of {len}"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "\\x{b:02x}")?;
+        }
+        if self.len() > 32 {
+            write!(f, "..[{} bytes]", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> Vec<u8> {
+        assert!(
+            n <= self.len(),
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let out = self.data[self.start..self.start + n].to_vec();
+        self.start += n;
+        out
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> Vec<u8> {
+        assert!(
+            n <= self.len(),
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head.to_vec()
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u128(12345678901234567890);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 1 + 4 + 16);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u128(), 12345678901234567890);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let sub = mid.slice(1..);
+        assert_eq!(&sub[..], &[3, 4]);
+        assert_eq!(b.len(), 6, "parent view unchanged");
+    }
+
+    #[test]
+    fn slice_buf_reads() {
+        let data = [1u8, 0, 2];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.get_u16(), 0x0100);
+        assert_eq!(cur.remaining(), 1);
+        assert_eq!(cur.get_u8(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.get_u32();
+    }
+}

@@ -1,11 +1,13 @@
 //! §5.5 + §7 benches: Obs. 7 (flip-cause attribution), Fig. 10
 //! (per-engine flip matrix), Fig. 11 (global correlation), Fig. 12 +
-//! Tables 4–8 (per-type correlation).
+//! Tables 4–8 (per-type correlation), plus the fused-kernel
+//! before/after comparison and its worker-count ablation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vt_bench::{fresh_dynamic, study};
-use vt_dynamics::{causes, correlation, flips};
+use vt_bench::{correlation_fresh_dynamic, correlation_study, fresh_dynamic, study};
+use vt_dynamics::pipeline::{CORRELATION_MAX_ROWS, CORRELATION_SCOPES};
+use vt_dynamics::{causes, correlation, flips, par};
 use vt_model::FileType;
 
 fn obs7_flip_causes(c: &mut Criterion) {
@@ -75,10 +77,71 @@ fn fig11_fig12_correlation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after for the §7.2 hot path on a feed-scale slice (≥ 100k
+/// global rows): the old design — 8 serial scope scans, each
+/// materializing per-engine columns — against the fused single-pass
+/// kernel, plus a worker-count ablation of the fused kernel.
+fn fused_correlation_kernel(c: &mut Criterion) {
+    let study = correlation_study();
+    let s = correlation_fresh_dynamic();
+    let engines = study.sim().fleet().engine_count();
+    assert!(
+        s.reports >= 100_000,
+        "fused-kernel bench needs ≥ 100k global rows, got {}",
+        s.reports
+    );
+    let mut scopes: Vec<Option<FileType>> = vec![None];
+    scopes.extend(CORRELATION_SCOPES.iter().map(|&ft| Some(ft)));
+
+    let mut group = c.benchmark_group("fused_correlation_kernel");
+    group.sample_size(10);
+    group.bench_function("before_8_serial_scope_scans", |b| {
+        b.iter(|| {
+            for &scope in &scopes {
+                black_box(correlation::analyze(
+                    study.records(),
+                    s,
+                    engines,
+                    scope,
+                    CORRELATION_MAX_ROWS,
+                ));
+            }
+        })
+    });
+    group.bench_function("after_fused_single_pass", |b| {
+        b.iter(|| {
+            black_box(correlation::analyze_fused(
+                study.records(),
+                s,
+                engines,
+                &scopes,
+                CORRELATION_MAX_ROWS,
+                par::default_workers(),
+            ))
+        })
+    });
+    for workers in [1usize, 2, 4, 8, 16] {
+        group.bench_function(format!("fused_workers_{workers}"), |b| {
+            b.iter(|| {
+                black_box(correlation::analyze_fused(
+                    study.records(),
+                    s,
+                    engines,
+                    &scopes,
+                    CORRELATION_MAX_ROWS,
+                    workers,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     obs7_flip_causes,
     fig10_flip_matrix,
-    fig11_fig12_correlation
+    fig11_fig12_correlation,
+    fused_correlation_kernel
 );
 criterion_main!(benches);

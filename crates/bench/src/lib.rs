@@ -34,3 +34,26 @@ pub fn fresh_dynamic() -> &'static FreshDynamic {
         freshdyn::build(st.records(), st.sim().config().window_start())
     })
 }
+
+/// Samples in the correlation-kernel benchmark dataset: sized so the
+/// global correlation scope holds ≥ 100k scan rows (*S* retains ~0.22
+/// reports per generated sample at this seed), which is the scale the
+/// fused-kernel speedup claim is demonstrated at.
+pub const CORR_BENCH_SAMPLES: u64 = 500_000;
+
+/// The memoized large study for the fused correlation kernel bench.
+/// Separate from [`study`] so the other bench targets keep their quick
+/// fixture.
+pub fn correlation_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(SimConfig::new(BENCH_SEED, CORR_BENCH_SAMPLES)))
+}
+
+/// The memoized fresh dynamic set *S* for [`correlation_study`].
+pub fn correlation_fresh_dynamic() -> &'static FreshDynamic {
+    static S: OnceLock<FreshDynamic> = OnceLock::new();
+    S.get_or_init(|| {
+        let st = correlation_study();
+        freshdyn::build(st.records(), st.sim().config().window_start())
+    })
+}

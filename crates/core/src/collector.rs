@@ -15,7 +15,13 @@
 //! * **Dedup** — reports are keyed on `(sample, analysis_date, kind)`;
 //!   per-sample scan minutes are strictly increasing in the platform
 //!   model, so the key is collision-free for distinct reports and a
-//!   repeat key is always a redelivery.
+//!   repeat key is always a redelivery. Keys are **evicted** once their
+//!   analysis minute falls behind the reorder watermark: a redelivery
+//!   arrives at most the feed's lateness bound (≤
+//!   [`CollectorConfig::reorder_horizon`]) after its generation minute,
+//!   so older duplicates cannot legally arrive and the dedup set stays
+//!   bounded by the horizon's report volume instead of growing for the
+//!   whole campaign.
 //! * **Bounded reorder buffer** — entries may arrive up to the feed's
 //!   lateness bound after their generation minute; accepted reports are
 //!   held in a buffer and emitted in `analysis_date` order once the
@@ -29,7 +35,7 @@
 //! [`FaultPlan`](vt_sim::fault::FaultPlan) seed) produces byte-identical
 //! [`IngestStats`], independent of upstream generation worker counts.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vt_model::ScanReport;
 use vt_sim::fault::{FaultyFeed, FeedEntry};
@@ -45,7 +51,10 @@ pub struct CollectorConfig {
     pub max_retries: u32,
     /// Reorder-buffer horizon in minutes: a buffered report generated
     /// at minute `g` is emitted once polling reaches `g + horizon`.
-    /// Must be ≥ the feed's maximum lateness to fully restore order.
+    /// Must be ≥ the feed's maximum lateness to fully restore order —
+    /// the same bound that makes dedup-key eviction safe (a redelivery
+    /// can only arrive within the lateness bound of its generation
+    /// minute).
     pub reorder_horizon: u32,
 }
 
@@ -133,6 +142,12 @@ pub struct IngestStats {
     pub lost_entries: u64,
     /// High-water mark of the reorder buffer, in reports.
     pub max_buffer_depth: u64,
+    /// High-water mark of the dedup key set. Bounded by the reorder
+    /// horizon's report volume, not the campaign length.
+    pub max_dedup_keys: u64,
+    /// Dedup keys evicted after their analysis minute passed the
+    /// reorder watermark (no duplicate can legally arrive that late).
+    pub dedup_evicted: u64,
     /// Reports emitted behind an already-emitted later report — 0
     /// whenever the horizon covers the feed's actual lateness bound.
     pub emitted_out_of_order: u64,
@@ -149,20 +164,15 @@ pub struct IngestOutcome {
     pub quarantine: Vec<QuarantinedEntry>,
 }
 
-/// Dedup key: collision-free for distinct reports because per-sample
-/// scan minutes strictly increase in the platform model.
-type DedupKey = (u128, i64, u8);
+/// Report identity key, analysis minute first: collision-free for
+/// distinct reports because per-sample scan minutes strictly increase
+/// in the platform model. The minute-major ordering serves both uses —
+/// BTreeMap iteration over the reorder buffer is emission (time) order,
+/// and the dedup set can evict everything behind the watermark with one
+/// `split_off`.
+type ReportKey = (i64, u128, u8);
 
-fn dedup_key(r: &ScanReport) -> DedupKey {
-    (r.sample.0, r.analysis_date.0, r.kind as u8)
-}
-
-/// Reorder-buffer key: analysis minute first so BTreeMap iteration
-/// order is emission (time) order; sample and kind break ties
-/// deterministically.
-type BufferKey = (i64, u128, u8);
-
-fn buffer_key(r: &ScanReport) -> BufferKey {
+fn report_key(r: &ScanReport) -> ReportKey {
     (r.analysis_date.0, r.sample.0, r.kind as u8)
 }
 
@@ -185,9 +195,9 @@ impl Collector {
         let mut stats = IngestStats::default();
         let mut quarantine = Vec::new();
         let store = ReportStore::new();
-        let mut seen: HashSet<DedupKey> = HashSet::new();
+        let mut seen: BTreeSet<ReportKey> = BTreeSet::new();
         // Reorder buffer, keyed so iteration order is emission order.
-        let mut buffer: BTreeMap<BufferKey, ScanReport> = BTreeMap::new();
+        let mut buffer: BTreeMap<ReportKey, ScanReport> = BTreeMap::new();
         let mut last_emitted_minute = i64::MIN;
 
         while let Some(minute) = feed.first_minute() {
@@ -216,15 +226,16 @@ impl Collector {
             for entry in delivered.into_iter().flatten() {
                 match Self::decode_entry(&entry) {
                     Ok(report) => {
-                        let key = dedup_key(&report);
+                        let key = report_key(&report);
                         if !seen.insert(key) {
                             stats.deduped += 1;
                             continue;
                         }
+                        stats.max_dedup_keys = stats.max_dedup_keys.max(seen.len() as u64);
                         if minute > entry.generated_minute {
                             stats.reordered += 1;
                         }
-                        buffer.insert(buffer_key(&report), report);
+                        buffer.insert(key, report);
                         stats.max_buffer_depth = stats.max_buffer_depth.max(buffer.len() as u64);
                     }
                     Err(error) => {
@@ -248,6 +259,15 @@ impl Collector {
                 let report = buffer.remove(&key).expect("first key present");
                 Self::emit(&store, &report, &mut last_emitted_minute, &mut stats);
             }
+
+            // Evict dedup keys the watermark has passed: a redelivery
+            // arrives at most the lateness bound (≤ horizon) after its
+            // generation minute, and future polls are strictly later
+            // than this one, so a key at minute ≤ watermark can never
+            // recur. Without this the set grows with the campaign.
+            let retained = seen.split_off(&(watermark + 1, 0, 0));
+            stats.dedup_evicted += seen.len() as u64;
+            seen = retained;
         }
 
         // Feed drained: flush the tail of the buffer in order.
@@ -334,8 +354,40 @@ mod tests {
         assert!(dups > 0);
         let outcome = Collector::default().run(f);
         assert_eq!(outcome.stats.accepted as usize, clean);
-        assert_eq!(outcome.stats.deduped, dups);
+        assert_eq!(outcome.stats.deduped, dups, "every duplicate absorbed");
         assert_eq!(outcome.store.report_count() as usize, clean);
+    }
+
+    /// Regression for the unbounded dedup set: keys behind the reorder
+    /// watermark are evicted (duplicates beyond the lateness bound
+    /// cannot legally arrive), yet every duplicate is still absorbed —
+    /// including late-delivered ones under combined reordering.
+    #[test]
+    fn dedup_set_is_bounded_and_still_absorbs_all_duplicates() {
+        let sim = sim(300);
+        let clean: usize = vt_sim::TimeOrderedFeed::new(&sim, 0..300).count();
+        let plan = FaultPlan::clean(7)
+            .with_duplicates(0.4)
+            .with_reordering(0.4, 30);
+        let f = feed(&sim, 300, plan);
+        let dups = f.duplicated_entries();
+        assert!(dups > 0);
+        let outcome = Collector::default().run(f);
+        assert_eq!(outcome.stats.accepted as usize, clean);
+        assert_eq!(outcome.stats.deduped, dups, "every duplicate absorbed");
+        assert_eq!(outcome.store.report_count() as usize, clean);
+        // The set was actually evicted down, and its high-water mark
+        // stayed far below the campaign's total key count (which is
+        // what the old HashSet grew to).
+        assert!(outcome.stats.dedup_evicted > 0, "eviction engaged");
+        assert!(
+            outcome.stats.max_dedup_keys < outcome.stats.accepted / 2,
+            "dedup set bounded by the horizon, not the campaign: {} keys vs {} accepted",
+            outcome.stats.max_dedup_keys,
+            outcome.stats.accepted
+        );
+        // Eviction accounts for every accepted key that left the set.
+        assert!(outcome.stats.dedup_evicted <= outcome.stats.accepted);
     }
 
     #[test]

@@ -10,8 +10,29 @@
 //! tie-corrected Spearman from the 3×3 contingency table of each pair —
 //! O(n) per pair with no rank arrays — and verify the shortcut against
 //! the general implementation in `vt-stats`.
+//!
+//! Two implementations coexist:
+//!
+//! * [`analyze`] — the reference path: one scope at a time, engine
+//!   columns materialized as `Vec<i8>`, pairs correlated serially. Kept
+//!   as the ground truth the fused kernel is verified against.
+//! * [`analyze_fused`] — the production path: a **single fused parallel
+//!   pass** over *S* that accumulates the all-pairs contingency tables
+//!   for *every* scope simultaneously. Partitions of *S* accumulate
+//!   independently ([`par::map_ranges`]) and merge associatively
+//!   ([`ScopeContingency::merge`]), so the result is bit-identical to
+//!   the reference at every worker count. A scan row only touches the
+//!   scopes it belongs to (the global scope plus at most its own file
+//!   type), so the 8-scope analysis costs one scan of *S* instead of 8
+//!   and allocates no per-engine columns.
+//!
+//! Both paths apply the same row cap: when a scope holds more than
+//! `max_rows` rows, [`row_selected`] strides the selection evenly
+//! across the scope's row sequence (instead of the old biased prefix)
+//! and the analysis reports `truncated = true`.
 
 use crate::freshdyn::FreshDynamic;
+use crate::par;
 use crate::records::SampleRecord;
 use vt_model::{EngineId, FileType};
 
@@ -26,8 +47,13 @@ pub struct CorrelationAnalysis {
     pub scope: Option<FileType>,
     /// Number of engines.
     pub engine_count: usize,
-    /// Rows of `R` used.
+    /// Rows of `R` used (after the row cap).
     pub rows: u64,
+    /// Rows the scope held before the cap.
+    pub total_rows: u64,
+    /// True when the row cap dropped rows (`total_rows > rows`); the
+    /// used rows are then a deterministic even stride across the scope.
+    pub truncated: bool,
     /// Full ρ matrix, row-major `engine_count × engine_count`; `NaN`
     /// where undefined (constant column).
     pub rho: Vec<f64>,
@@ -97,9 +123,368 @@ pub fn spearman_from_contingency(counts: &[[u64; 3]; 3]) -> Option<f64> {
     Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
 }
 
+/// Whether scope-row `row` (0-based position in the scope's row
+/// sequence, record order) survives the row cap.
+///
+/// With `total_rows ≤ max_rows` every row is used. Otherwise the
+/// selected set is `{ ⌊k·total/max⌋ : k ∈ 0..max }` — exactly
+/// `max_rows` rows, evenly strided across the whole scope, so a capped
+/// matrix samples early- and late-ordinal records alike instead of the
+/// old prefix (which biased the matrix toward early-ordinal samples).
+/// Membership depends only on `(row, total_rows, max_rows)`, never on
+/// partitioning, which is what keeps the fused kernel's output
+/// independent of worker count.
+pub fn row_selected(row: u64, total_rows: u64, max_rows: usize) -> bool {
+    let m = max_rows as u128;
+    let t = total_rows as u128;
+    if t <= m {
+        return true;
+    }
+    let r = row as u128;
+    // Smallest k with ⌊k·t/m⌋ ≥ row; selected iff it hits exactly.
+    let k = (r * m).div_ceil(t);
+    k < m && k * t < (r + 1) * m
+}
+
+/// All-pairs 3×3 contingency tables for one scope.
+///
+/// This is the fused kernel's accumulator: per-partition instances fill
+/// independently and [`merge`](Self::merge) associatively (tables are
+/// plain counts), so `partition → merge → ρ` is deterministic at every
+/// worker count. For the paper's 70-engine roster one accumulator is
+/// 70·69/2 · 9 counts ≈ 170 KB — independent of row count, unlike the
+/// reference path's `engines × rows` column matrix.
+///
+/// Rows are counted **bit-sliced**: up to 64 rows buffer as one bit per
+/// row in two words per engine (`pos` = R is 1, `zero` = R is 0; unset
+/// in both = −1). A full block flushes into the tables with 4
+/// `AND`+`popcount`s per pair — the remaining 5 cells follow exactly
+/// from the block's per-engine margins — which is ~an order of
+/// magnitude fewer operations than incrementing per row × pair. All
+/// arithmetic is exact `u64` counting, so block boundaries (and hence
+/// partitioning) never change the resulting tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeContingency {
+    /// Scope this accumulator counts (None = global).
+    pub scope: Option<FileType>,
+    /// Number of engines (columns of `R`).
+    pub engine_count: usize,
+    /// Rows accumulated so far (post-cap).
+    pub rows: u64,
+    /// Rows the scope held pre-cap (set by [`fused_contingencies`]).
+    pub total_rows: u64,
+    /// Whether the row cap dropped rows.
+    pub truncated: bool,
+    /// Flattened upper-triangle tables: pair `(a, b)` with `a < b` at
+    /// `pair_index(a, b) * 9 + (x+1)*3 + (y+1)`.
+    counts: Vec<u64>,
+    /// Block buffer: bit `r` of `pos[e]` / `zero[e]` is engine `e`'s
+    /// verdict for the `r`-th buffered row.
+    pos: Vec<u64>,
+    zero: Vec<u64>,
+    /// Rows currently buffered (0..=64).
+    buffered: u32,
+}
+
+impl ScopeContingency {
+    /// A zeroed accumulator.
+    pub fn new(scope: Option<FileType>, engine_count: usize) -> Self {
+        let pairs = engine_count * engine_count.saturating_sub(1) / 2;
+        Self {
+            scope,
+            engine_count,
+            rows: 0,
+            total_rows: 0,
+            truncated: false,
+            counts: vec![0; pairs * 9],
+            pos: vec![0; engine_count],
+            zero: vec![0; engine_count],
+            buffered: 0,
+        }
+    }
+
+    /// Position of pair `(a, b)`, `a < b`, in upper-triangle order.
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < self.engine_count);
+        a * (2 * self.engine_count - a - 1) / 2 + (b - a - 1)
+    }
+
+    /// The 3×3 table of pair `(a, b)`, `a < b`. Call
+    /// [`finalize`](Self::finalize) first if rows were accumulated
+    /// directly (the kernel does).
+    pub fn table(&self, a: usize, b: usize) -> [[u64; 3]; 3] {
+        debug_assert_eq!(self.buffered, 0, "finalize() before reading tables");
+        let base = self.pair_index(a, b) * 9;
+        let mut out = [[0u64; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.counts[base + i * 3 + j];
+            }
+        }
+        out
+    }
+
+    /// Counts one scan row into every pair's table. `vals[e]` is engine
+    /// `e`'s R-value for this row (−1, 0 or 1).
+    pub fn accumulate_row(&mut self, vals: &[i8]) {
+        debug_assert_eq!(vals.len(), self.engine_count);
+        let bit = 1u64 << self.buffered;
+        for (e, &v) in vals.iter().enumerate() {
+            match v {
+                1 => self.pos[e] |= bit,
+                0 => self.zero[e] |= bit,
+                _ => {}
+            }
+        }
+        self.advance_row();
+    }
+
+    /// Counts one scan row given engine bitmaps (bit `e` of `pos[e/64]`
+    /// set = engine `e` flagged; of `zero` = scanned clean; neither =
+    /// undetected). This is the kernel's entry point — it reads the
+    /// report's native verdict bitmaps without materializing per-engine
+    /// values.
+    pub fn accumulate_masks(&mut self, pos: &[u64; 2], zero: &[u64; 2]) {
+        let bit = 1u64 << self.buffered;
+        for e in 0..self.engine_count {
+            let (w, b) = (e >> 6, e & 63);
+            if pos[w] >> b & 1 == 1 {
+                self.pos[e] |= bit;
+            } else if zero[w] >> b & 1 == 1 {
+                self.zero[e] |= bit;
+            }
+        }
+        self.advance_row();
+    }
+
+    fn advance_row(&mut self) {
+        self.rows += 1;
+        self.buffered += 1;
+        if self.buffered == 64 {
+            self.flush_block();
+        }
+    }
+
+    /// Folds the buffered block into the tables. For each pair only the
+    /// four `{1,0}×{1,0}` cells need a popcount of an `AND`; the five
+    /// cells involving −1 follow exactly from the block's per-engine
+    /// margins and the block row count.
+    fn flush_block(&mut self) {
+        if self.buffered == 0 {
+            return;
+        }
+        let n = self.buffered as u64;
+        let mut base = 0usize;
+        for a in 0..self.engine_count {
+            let (pa, za) = (self.pos[a], self.zero[a]);
+            let ma = pa.count_ones() as u64;
+            let ka = za.count_ones() as u64;
+            for b in (a + 1)..self.engine_count {
+                let (pb, zb) = (self.pos[b], self.zero[b]);
+                let c22 = (pa & pb).count_ones() as u64;
+                let c21 = (pa & zb).count_ones() as u64;
+                let c12 = (za & pb).count_ones() as u64;
+                let c11 = (za & zb).count_ones() as u64;
+                let mb = pb.count_ones() as u64;
+                let kb = zb.count_ones() as u64;
+                let c20 = ma - c22 - c21;
+                let c10 = ka - c12 - c11;
+                let c02 = mb - c22 - c12;
+                let c01 = kb - c21 - c11;
+                let c00 = (n - ma - ka) - c01 - c02;
+                let t = &mut self.counts[base..base + 9];
+                t[0] += c00;
+                t[1] += c01;
+                t[2] += c02;
+                t[3] += c10;
+                t[4] += c11;
+                t[5] += c12;
+                t[6] += c20;
+                t[7] += c21;
+                t[8] += c22;
+                base += 9;
+            }
+        }
+        self.pos.iter_mut().for_each(|w| *w = 0);
+        self.zero.iter_mut().for_each(|w| *w = 0);
+        self.buffered = 0;
+    }
+
+    /// Flushes any partially filled block. Must be called after the
+    /// last row and before [`table`](Self::table) or
+    /// [`merge`](Self::merge).
+    pub fn finalize(&mut self) {
+        self.flush_block();
+    }
+
+    /// Folds another partition's finalized accumulator into this one.
+    /// Addition of counts is associative and commutative, so any merge
+    /// tree yields the same tables.
+    pub fn merge(&mut self, other: ScopeContingency) {
+        debug_assert_eq!(self.scope, other.scope);
+        debug_assert_eq!(self.engine_count, other.engine_count);
+        debug_assert_eq!(self.buffered, 0, "finalize() both sides before merging");
+        debug_assert_eq!(other.buffered, 0, "finalize() both sides before merging");
+        self.rows += other.rows;
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+    }
+}
+
+/// The fused kernel: one parallel scan of *S* that fills the all-pairs
+/// contingency tables of every scope in `scopes` simultaneously.
+///
+/// Two passes over the same [`par::partition_ranges`] split:
+///
+/// 1. a metadata-only counting pass gives each partition its starting
+///    row index per scope (and the per-scope totals the row cap strides
+///    against);
+/// 2. the accumulation pass walks each partition's records once,
+///    assigns every report its global scope-row indices, applies
+///    [`row_selected`], and counts the row into the matching scopes'
+///    accumulators (a row belongs to the global scope plus at most its
+///    own file type, so fusing 8 scopes does *not* cost 8× the work).
+///
+/// Partition accumulators then merge associatively. Because row
+/// indices and selection are global quantities, the merged tables are
+/// bit-identical at every worker count.
+pub fn fused_contingencies(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    engine_count: usize,
+    scopes: &[Option<FileType>],
+    max_rows: usize,
+    workers: usize,
+) -> Vec<ScopeContingency> {
+    let n = s.len() as u64;
+    let ranges = par::partition_ranges(n, workers);
+
+    // Pass 1: per-partition, per-scope row counts (metadata only).
+    let per_part: Vec<Vec<u64>> = par::map_ranges(&ranges, |_, range| {
+        let mut c = vec![0u64; scopes.len()];
+        for i in range {
+            let rec = &records[s.indices[i as usize]];
+            let nrep = rec.reports.len() as u64;
+            for (cnt, &scope) in c.iter_mut().zip(scopes) {
+                if scope_matches(scope, rec) {
+                    *cnt += nrep;
+                }
+            }
+        }
+        c
+    });
+
+    // Exclusive prefix sums: each partition's starting row index per
+    // scope; the grand totals drive the row-cap stride.
+    let mut offsets: Vec<Vec<u64>> = Vec::with_capacity(per_part.len());
+    let mut totals = vec![0u64; scopes.len()];
+    for part in &per_part {
+        offsets.push(totals.clone());
+        for (t, c) in totals.iter_mut().zip(part) {
+            *t += c;
+        }
+    }
+
+    // Pass 2: fused accumulation over the same partitions.
+    let parts: Vec<Vec<ScopeContingency>> = par::map_ranges(&ranges, |pi, range| {
+        let mut accs: Vec<ScopeContingency> = scopes
+            .iter()
+            .map(|&scope| ScopeContingency::new(scope, engine_count))
+            .collect();
+        let mut next_row = offsets[pi].clone();
+        for i in range {
+            let rec = &records[s.indices[i as usize]];
+            for rep in &rec.reports {
+                // R-values map straight onto the report's native verdict
+                // bitmaps: pos = flagged, zero = scanned-and-clean,
+                // neither = undetected (engines beyond the report's
+                // roster have unset `active` bits, matching `get()`).
+                let (active, detected) = rep.verdicts.raw();
+                let zero = [active[0] & !detected[0], active[1] & !detected[1]];
+                for (si, &scope) in scopes.iter().enumerate() {
+                    if !scope_matches(scope, rec) {
+                        continue;
+                    }
+                    let row = next_row[si];
+                    next_row[si] += 1;
+                    if !row_selected(row, totals[si], max_rows) {
+                        continue;
+                    }
+                    accs[si].accumulate_masks(&detected, &zero);
+                }
+            }
+        }
+        for acc in &mut accs {
+            acc.finalize();
+        }
+        accs
+    });
+
+    let mut iter = parts.into_iter();
+    let mut merged: Vec<ScopeContingency> = iter.next().unwrap_or_else(|| {
+        scopes
+            .iter()
+            .map(|&scope| ScopeContingency::new(scope, engine_count))
+            .collect()
+    });
+    for part in iter {
+        for (acc, p) in merged.iter_mut().zip(part) {
+            acc.merge(p);
+        }
+    }
+    for (acc, &total) in merged.iter_mut().zip(&totals) {
+        acc.total_rows = total;
+        acc.truncated = total > max_rows as u64;
+    }
+    merged
+}
+
+fn scope_matches(scope: Option<FileType>, rec: &SampleRecord) -> bool {
+    match scope {
+        None => true,
+        Some(ft) => rec.meta.file_type == ft,
+    }
+}
+
+/// Runs the fused kernel and finishes every scope into a
+/// [`CorrelationAnalysis`]. Output is bit-identical (ρ matrices,
+/// strong pairs, groups) to calling [`analyze`] once per scope,
+/// independent of `workers`.
+pub fn analyze_fused(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    engine_count: usize,
+    scopes: &[Option<FileType>],
+    max_rows: usize,
+    workers: usize,
+) -> Vec<CorrelationAnalysis> {
+    fused_contingencies(records, s, engine_count, scopes, max_rows, workers)
+        .iter()
+        .map(analysis_from_contingency)
+        .collect()
+}
+
+/// Finishes one scope's merged contingency tables into the ρ matrix,
+/// strong pairs and groups.
+pub fn analysis_from_contingency(sc: &ScopeContingency) -> CorrelationAnalysis {
+    finish_analysis(
+        sc.scope,
+        sc.engine_count,
+        sc.rows,
+        sc.total_rows,
+        sc.truncated,
+        |a, b| sc.table(a, b),
+    )
+}
+
 /// Runs the correlation analysis over *S* (optionally restricted to one
-/// file type). At most `max_rows` scan rows are used (rows are taken in
-/// deterministic record order).
+/// file type) — the serial, column-materializing reference
+/// implementation the fused kernel is verified against.
+///
+/// At most `max_rows` scan rows are used; when the scope exceeds the
+/// cap the rows are strided evenly across the scope (see
+/// [`row_selected`]) and the result is flagged `truncated`.
 pub fn analyze(
     records: &[SampleRecord],
     s: &FreshDynamic,
@@ -107,40 +492,65 @@ pub fn analyze(
     scope: Option<FileType>,
     max_rows: usize,
 ) -> CorrelationAnalysis {
+    // Count the scope's rows so the cap can stride instead of truncate.
+    let total_rows: u64 = s
+        .iter(records)
+        .filter(|rec| scope_matches(scope, rec))
+        .map(|rec| rec.reports.len() as u64)
+        .sum();
+    let truncated = total_rows > max_rows as u64;
+
     // Collect columns: one Vec<i8> per engine.
     let mut columns: Vec<Vec<i8>> = vec![Vec::new(); engine_count];
     let mut rows = 0u64;
-    'outer: for rec in s.iter(records) {
-        if let Some(ft) = scope {
-            if rec.meta.file_type != ft {
-                continue;
-            }
+    let mut next_row = 0u64;
+    for rec in s.iter(records) {
+        if !scope_matches(scope, rec) {
+            continue;
         }
         for rep in &rec.reports {
-            if rows as usize >= max_rows {
-                break 'outer;
+            let row = next_row;
+            next_row += 1;
+            if !row_selected(row, total_rows, max_rows) {
+                continue;
             }
             for (e, col) in columns.iter_mut().enumerate() {
-                col.push(rep.verdicts.get(EngineId(e as u8)).r_value());
+                col.push(rep.verdicts.get(EngineId::new(e)).r_value());
             }
             rows += 1;
         }
     }
 
+    finish_analysis(scope, engine_count, rows, total_rows, truncated, |a, b| {
+        let mut counts = [[0u64; 3]; 3];
+        for (&x, &y) in columns[a].iter().zip(&columns[b]) {
+            counts[(x + 1) as usize][(y + 1) as usize] += 1;
+        }
+        counts
+    })
+}
+
+/// Shared tail of both paths: pairwise ρ from contingency tables, then
+/// the strong-pair list and connected-component groups.
+fn finish_analysis(
+    scope: Option<FileType>,
+    engine_count: usize,
+    rows: u64,
+    total_rows: u64,
+    truncated: bool,
+    mut pair_table: impl FnMut(usize, usize) -> [[u64; 3]; 3],
+) -> CorrelationAnalysis {
     let mut rho = vec![f64::NAN; engine_count * engine_count];
     let mut strong_pairs = Vec::new();
     for a in 0..engine_count {
         rho[a * engine_count + a] = 1.0;
         for b in (a + 1)..engine_count {
-            let mut counts = [[0u64; 3]; 3];
-            for (&x, &y) in columns[a].iter().zip(&columns[b]) {
-                counts[(x + 1) as usize][(y + 1) as usize] += 1;
-            }
+            let counts = pair_table(a, b);
             let r = spearman_from_contingency(&counts).unwrap_or(f64::NAN);
             rho[a * engine_count + b] = r;
             rho[b * engine_count + a] = r;
             if r > STRONG_RHO {
-                strong_pairs.push((EngineId(a as u8), EngineId(b as u8), r));
+                strong_pairs.push((EngineId::new(a), EngineId::new(b), r));
             }
         }
     }
@@ -166,7 +576,7 @@ pub fn analyze(
         std::collections::HashMap::new();
     for e in 0..engine_count {
         let root = find(&mut parent, e);
-        comp.entry(root).or_default().push(EngineId(e as u8));
+        comp.entry(root).or_default().push(EngineId::new(e));
     }
     let mut groups: Vec<Vec<EngineId>> = comp.into_values().filter(|g| g.len() >= 2).collect();
     for g in &mut groups {
@@ -178,6 +588,8 @@ pub fn analyze(
         scope,
         engine_count,
         rows,
+        total_rows,
+        truncated,
         rho,
         strong_pairs,
         groups,
@@ -235,6 +647,86 @@ mod tests {
                 (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b),
                 (None, None) => {}
                 (a, b) => prop_assert!(false, "disagree: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn row_selection_is_even_and_exact() {
+        for (total, max) in [(10u64, 3usize), (24, 5), (1000, 7), (400_001, 400_000)] {
+            let selected: Vec<u64> = (0..total)
+                .filter(|&r| row_selected(r, total, max))
+                .collect();
+            assert_eq!(selected.len(), max, "total={total} max={max}");
+            assert_eq!(selected[0], 0, "stride starts at the front");
+            // Evenly strided: consecutive picks are ⌈total/max⌉ apart at
+            // most, and the back half of the scope is represented — the
+            // bias the old prefix cap had.
+            let stride_bound = total.div_ceil(max as u64) + 1;
+            for w in selected.windows(2) {
+                assert!(
+                    w[1] - w[0] <= stride_bound,
+                    "gap {w:?} total={total} max={max}"
+                );
+            }
+            assert!(
+                selected.iter().any(|&r| r >= total / 2),
+                "selection reaches the back half: total={total} max={max}"
+            );
+        }
+        // No cap → everything selected.
+        assert!((0..50u64).all(|r| row_selected(r, 50, 50)));
+        assert!((0..50u64).all(|r| row_selected(r, 50, 1000)));
+    }
+
+    #[test]
+    fn bit_sliced_blocks_count_exactly() {
+        // 150 rows crosses two full 64-row blocks plus a 22-row partial
+        // flush; verdicts cycle through all 9 (x, y) combinations per
+        // engine pair. The bit-sliced tables must equal a direct count,
+        // and the mask entry point must agree with the row entry point.
+        let engines = 5usize;
+        let rows: Vec<Vec<i8>> = (0..150u64)
+            .map(|r| {
+                (0..engines)
+                    .map(|e| ((r * 7 + e as u64 * 13 + r * r % 5) % 3) as i8 - 1)
+                    .collect()
+            })
+            .collect();
+
+        let mut by_rows = ScopeContingency::new(None, engines);
+        let mut by_masks = ScopeContingency::new(None, engines);
+        let mut direct = vec![[[0u64; 3]; 3]; engines * (engines - 1) / 2];
+        for vals in &rows {
+            by_rows.accumulate_row(vals);
+            let mut pos = [0u64; 2];
+            let mut zero = [0u64; 2];
+            for (e, &v) in vals.iter().enumerate() {
+                match v {
+                    1 => pos[e >> 6] |= 1 << (e & 63),
+                    0 => zero[e >> 6] |= 1 << (e & 63),
+                    _ => {}
+                }
+            }
+            by_masks.accumulate_masks(&pos, &zero);
+            let mut p = 0;
+            for a in 0..engines {
+                for b in (a + 1)..engines {
+                    direct[p][(vals[a] + 1) as usize][(vals[b] + 1) as usize] += 1;
+                    p += 1;
+                }
+            }
+        }
+        by_rows.finalize();
+        by_masks.finalize();
+
+        assert_eq!(by_rows.rows, 150);
+        let mut p = 0;
+        for a in 0..engines {
+            for b in (a + 1)..engines {
+                assert_eq!(by_rows.table(a, b), direct[p], "pair ({a},{b})");
+                assert_eq!(by_masks.table(a, b), direct[p], "mask pair ({a},{b})");
+                p += 1;
             }
         }
     }
@@ -328,12 +820,174 @@ mod tests {
         assert!(exe.rows < all.rows);
         assert!(exe.rows > 0);
         assert_eq!(exe.scope, Some(FileType::Win32Exe));
+        assert!(!all.truncated);
+        assert_eq!(all.total_rows, all.rows);
     }
 
     #[test]
-    fn max_rows_caps() {
+    fn max_rows_caps_with_stride() {
         let (records, s) = fixture();
         let capped = analyze(&records, &s, 4, None, 5);
         assert_eq!(capped.rows, 5);
+        assert!(capped.truncated, "cap is surfaced, not silent");
+        assert!(capped.total_rows > 5);
+        let uncapped = analyze(&records, &s, 4, None, 10_000);
+        assert!(!uncapped.truncated);
+        assert_eq!(uncapped.rows, capped.total_rows);
+    }
+
+    fn assert_bit_identical(a: &CorrelationAnalysis, b: &CorrelationAnalysis, ctx: &str) {
+        assert_eq!(a.scope, b.scope, "{ctx}: scope");
+        assert_eq!(a.rows, b.rows, "{ctx}: rows");
+        assert_eq!(a.total_rows, b.total_rows, "{ctx}: total_rows");
+        assert_eq!(a.truncated, b.truncated, "{ctx}: truncated");
+        assert_eq!(a.rho.len(), b.rho.len(), "{ctx}: rho len");
+        for (i, (x, y)) in a.rho.iter().zip(&b.rho).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: rho[{i}] {x} vs {y}");
+        }
+        assert_eq!(a.strong_pairs.len(), b.strong_pairs.len(), "{ctx}: pairs");
+        for ((e1, e2, r1), (f1, f2, r2)) in a.strong_pairs.iter().zip(&b.strong_pairs) {
+            assert_eq!((e1, e2), (f1, f2), "{ctx}: pair");
+            assert_eq!(r1.to_bits(), r2.to_bits(), "{ctx}: pair rho");
+        }
+        assert_eq!(a.groups, b.groups, "{ctx}: groups");
+    }
+
+    /// The fused kernel must reproduce the reference per-scope analyses
+    /// bit for bit — ρ matrices, strong pairs and groups — at every
+    /// worker count, with and without row-cap truncation.
+    #[test]
+    fn fused_matches_reference_bit_for_bit() {
+        let (records, s) = fixture();
+        let scopes = [
+            None,
+            Some(FileType::Win32Exe),
+            Some(FileType::Pdf),
+            Some(FileType::Html), // empty scope
+        ];
+        for max_rows in [10_000usize, 7] {
+            let reference: Vec<CorrelationAnalysis> = scopes
+                .iter()
+                .map(|&sc| analyze(&records, &s, 4, sc, max_rows))
+                .collect();
+            for workers in [1usize, 2, 8] {
+                let fused = analyze_fused(&records, &s, 4, &scopes, max_rows, workers);
+                assert_eq!(fused.len(), reference.len());
+                for (f, r) in fused.iter().zip(&reference) {
+                    assert_bit_identical(f, r, &format!("workers={workers} max={max_rows}"));
+                }
+            }
+        }
+    }
+
+    // Random record sets: the fused kernel's contingency tables equal
+    // the column-materializing path's, per scope and per pair.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn fused_contingency_equals_column_path(
+            // Per sample: (file-type selector, per-scan verdict words).
+            samples in proptest::collection::vec(
+                (0u8..3, proptest::collection::vec(0u32..81, 1..6)),
+                1..20,
+            ),
+            max_rows in 3usize..60,
+            workers in 1usize..5,
+        ) {
+            let engines = 4usize;
+            let window = Timestamp::from_date(Date::new(2021, 5, 1));
+            let first = window + Duration::days(5);
+            let types = [FileType::Win32Exe, FileType::Pdf, FileType::Zip];
+            let mut records = Vec::new();
+            for (i, (ft, scans)) in samples.iter().enumerate() {
+                let meta = SampleMeta {
+                    hash: SampleHash::from_ordinal(i as u64),
+                    file_type: types[*ft as usize],
+                    origin: first,
+                    first_submission: first,
+                    truth: GroundTruth::Benign,
+                };
+                let reports: Vec<ScanReport> = scans
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &word)| {
+                        // Decode the scan word as 4 base-3 verdicts.
+                        let mut verdicts = VerdictVec::new(engines);
+                        let mut w = word;
+                        for e in 0..engines {
+                            let v = match w % 3 {
+                                0 => Verdict::Malicious,
+                                1 => Verdict::Benign,
+                                _ => Verdict::Undetected,
+                            };
+                            verdicts.set(EngineId::new(e), v);
+                            w /= 3;
+                        }
+                        ScanReport {
+                            sample: meta.hash,
+                            file_type: meta.file_type,
+                            analysis_date: first + Duration::days(k as i64),
+                            last_submission_date: first,
+                            times_submitted: 1,
+                            kind: ReportKind::Upload,
+                            verdicts,
+                        }
+                    })
+                    .collect();
+                records.push(SampleRecord::new(meta, reports));
+            }
+            // Hand-built S over every record (bypasses the freshness
+            // filters — the kernel only contracts on S's indices).
+            let s = FreshDynamic {
+                indices: (0..records.len()).collect(),
+                reports: records.iter().map(|r| r.reports.len() as u64).sum(),
+            };
+            let scopes = [None, Some(FileType::Win32Exe), Some(FileType::Pdf)];
+            let fused = fused_contingencies(&records, &s, engines, &scopes, max_rows, workers);
+            for (si, &scope) in scopes.iter().enumerate() {
+                // Column path, independent of the kernel: materialize
+                // selected rows, then count each pair's table directly.
+                let mut columns: Vec<Vec<i8>> = vec![Vec::new(); engines];
+                let total: u64 = s
+                    .iter(&records)
+                    .filter(|rec| scope_matches(scope, rec))
+                    .map(|rec| rec.reports.len() as u64)
+                    .sum();
+                let mut next = 0u64;
+                for rec in s.iter(&records) {
+                    if !scope_matches(scope, rec) {
+                        continue;
+                    }
+                    for rep in &rec.reports {
+                        let row = next;
+                        next += 1;
+                        if !row_selected(row, total, max_rows) {
+                            continue;
+                        }
+                        for (e, col) in columns.iter_mut().enumerate() {
+                            col.push(rep.verdicts.get(EngineId::new(e)).r_value());
+                        }
+                    }
+                }
+                prop_assert_eq!(fused[si].total_rows, total);
+                prop_assert_eq!(fused[si].rows, columns[0].len() as u64);
+                for a in 0..engines {
+                    for b in (a + 1)..engines {
+                        let mut expect = [[0u64; 3]; 3];
+                        for (&x, &y) in columns[a].iter().zip(&columns[b]) {
+                            expect[(x + 1) as usize][(y + 1) as usize] += 1;
+                        }
+                        prop_assert_eq!(
+                            fused[si].table(a, b),
+                            expect,
+                            "scope {} pair ({}, {})",
+                            si,
+                            a,
+                            b
+                        );
+                    }
+                }
+            }
+        }
     }
 }

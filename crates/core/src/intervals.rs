@@ -35,17 +35,27 @@ pub struct IntervalAnalysis {
     /// Spearman of (day, median |Δp| at that day) — robust to the
     /// composition of heavy-scanned samples within bins.
     pub correlation_median: Option<SpearmanResult>,
-    /// Total pairs examined.
+    /// Total pairs examined (including pairs beyond `max_days`).
     pub pairs: u64,
-    /// Largest interval observed, in days.
+    /// Pairs whose interval exceeded `max_days`. Excluded from the day
+    /// bins and the Spearman input — the old behavior clamped them into
+    /// the top bin, polluting its boxplot and the correlation.
+    pub pairs_beyond_max: u64,
+    /// Largest interval observed, in days — the true maximum, including
+    /// pairs beyond `max_days`.
     pub max_interval_days: u32,
 }
 
 /// Runs the §5.3.5 analysis over *S*. `max_days` bounds the day-bin
-/// axis (the paper observes up to 418 days).
+/// axis (the paper observes up to 418 days); pairs with a longer
+/// interval are counted in
+/// [`pairs_beyond_max`](IntervalAnalysis::pairs_beyond_max) and kept
+/// out of the bins (and hence the Spearman input) rather than clamped
+/// into the top bin.
 pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, max_days: usize) -> IntervalAnalysis {
     let mut per_day: Vec<Vec<f64>> = vec![Vec::new(); max_days + 1];
     let mut pairs = 0u64;
+    let mut pairs_beyond_max = 0u64;
     let mut max_interval = 0u32;
     for r in s.iter(records) {
         let scans = strided(&r.reports, MAX_SCANS_PER_SAMPLE);
@@ -53,11 +63,17 @@ pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, max_days: usize) -> I
             for j in (i + 1)..scans.len() {
                 let (t1, p1) = scans[i];
                 let (t2, p2) = scans[j];
-                let days = (t2 - t1).as_days().unsigned_abs().min(max_days as u64) as usize;
-                let diff = p1.abs_diff(p2) as f64;
-                per_day[days].push(diff);
+                let days = (t2 - t1).as_days().unsigned_abs();
                 pairs += 1;
-                max_interval = max_interval.max(days as u32);
+                max_interval = max_interval.max(days.min(u32::MAX as u64) as u32);
+                if days > max_days as u64 {
+                    // Beyond the bin axis: counted, never clamped into
+                    // the top bin.
+                    pairs_beyond_max += 1;
+                    continue;
+                }
+                let diff = p1.abs_diff(p2) as f64;
+                per_day[days as usize].push(diff);
             }
         }
     }
@@ -87,6 +103,7 @@ pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, max_days: usize) -> I
         correlation,
         correlation_median,
         pairs,
+        pairs_beyond_max,
         max_interval_days: max_interval,
     }
 }
@@ -184,6 +201,40 @@ mod tests {
         assert!(a.pairs <= cap * (cap - 1) / 2);
         // First and last scans survive the stride.
         assert_eq!(a.max_interval_days, 499);
+    }
+
+    /// Regression for the silent top-bin clamp: a pair at `max_days +
+    /// k` must not shift bin `max_days`'s statistics — it is counted in
+    /// `pairs_beyond_max` instead, and `max_interval_days` reports the
+    /// true (unclamped) maximum.
+    #[test]
+    fn beyond_max_pairs_do_not_pollute_top_bin() {
+        let max_days = 5usize;
+        // 120 clean samples put pairs with |Δp| = 5 into bin 5.
+        let mut records: Vec<SampleRecord> =
+            (0..120).map(|i| record(i, &[(0, 0), (5, 5)])).collect();
+        let window = Timestamp::from_date(Date::new(2021, 5, 1));
+        let clean = analyze(&records, &freshdyn::build(&records, window), max_days);
+        let clean_top = clean.by_day[max_days].expect("top bin populated");
+        assert_eq!(clean.pairs_beyond_max, 0);
+        assert_eq!(clean.max_interval_days, 5);
+
+        // Add one sample whose pair spans max_days + 7 with |Δp| = 4 —
+        // under the old clamp it landed in bin 5 and dragged its mean.
+        records.push(record(120, &[(0, 0), (12, 4)]));
+        let s = freshdyn::build(&records, window);
+        let a = analyze(&records, &s, max_days);
+        let top = a.by_day[max_days].expect("top bin populated");
+        assert_eq!(top.n, clean_top.n, "outlier pair stays out of the bin");
+        assert!(
+            (top.mean - clean_top.mean).abs() < 1e-12,
+            "top-bin mean unchanged: {} vs {}",
+            top.mean,
+            clean_top.mean
+        );
+        assert_eq!(a.pairs_beyond_max, 1);
+        assert_eq!(a.pairs, clean.pairs + 1, "overflow pair still examined");
+        assert_eq!(a.max_interval_days, 12, "true maximum, not the clamp");
     }
 
     #[test]

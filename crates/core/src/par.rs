@@ -18,6 +18,60 @@ pub fn default_workers() -> usize {
         .min(16)
 }
 
+/// The contiguous ranges [`map_partitions`] assigns to `workers`
+/// threads over `0..n`. Public so multi-pass kernels (e.g. the fused
+/// correlation kernel, which needs per-partition row offsets from a
+/// counting pass before its accumulation pass) can align per-partition
+/// state across passes: both passes call this with the same `(n,
+/// workers)` and see the same split.
+pub fn partition_ranges(n: u64, workers: usize) -> Vec<std::ops::Range<u64>> {
+    let workers = workers.max(1).min(n.max(1) as usize);
+    let chunk = n.div_ceil(workers as u64);
+    (0..workers as u64)
+        .map(|w| {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(n);
+            start..end
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Runs `f(partition_index, range)` for each range on its own scoped
+/// thread and returns the results in range order. With one range it
+/// runs inline.
+///
+/// `f` must be deterministic per range for study reproducibility — all
+/// callers derive their randomness from sample ordinals, never from
+/// thread identity.
+pub fn map_ranges<T, F>(ranges: &[std::ops::Range<u64>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<u64>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, r)| f(i, r))
+            .collect();
+    }
+    let mut out: Vec<Option<T>> = (0..ranges.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, range) in ranges.iter().enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| f(i, range.clone())));
+        }
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("analysis worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter().map(|t| t.expect("worker result")).collect()
+}
+
 /// Splits `0..n` into `workers` contiguous ranges, runs `f` on each
 /// range on its own scoped thread, and returns the results in range
 /// order. With `workers == 1` (or tiny `n`) it runs inline.
@@ -30,32 +84,7 @@ where
     T: Send,
     F: Fn(std::ops::Range<u64>) -> T + Sync,
 {
-    let workers = workers.max(1).min(n.max(1) as usize);
-    if workers == 1 {
-        return vec![f(0..n)];
-    }
-    let chunk = n.div_ceil(workers as u64);
-    let ranges: Vec<std::ops::Range<u64>> = (0..workers as u64)
-        .map(|w| {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(n);
-            start..end
-        })
-        .filter(|r| !r.is_empty())
-        .collect();
-    let mut out: Vec<Option<T>> = (0..ranges.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for range in &ranges {
-            let f = &f;
-            handles.push(scope.spawn(move |_| f(range.clone())));
-        }
-        for (slot, handle) in out.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("analysis worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    out.into_iter().map(|t| t.expect("worker result")).collect()
+    map_ranges(&partition_ranges(n, workers), |_, r| f(r))
 }
 
 /// Convenience: map partitions then fold the results into the first
@@ -115,5 +144,20 @@ mod tests {
     fn empty_range() {
         let parts = map_partitions(0, 4, |r| r.count());
         assert_eq!(parts.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn map_ranges_sees_stable_partition_indices() {
+        let ranges = partition_ranges(100, 4);
+        assert_eq!(ranges.len(), 4);
+        // Two passes over the same ranges observe identical (index,
+        // range) pairs — the property multi-pass kernels rely on.
+        let a = map_ranges(&ranges, |i, r| (i, r));
+        let b = map_ranges(&ranges, |i, r| (i, r));
+        assert_eq!(a, b);
+        for (i, (idx, r)) in a.iter().enumerate() {
+            assert_eq!(i, *idx);
+            assert_eq!(*r, ranges[i]);
+        }
     }
 }

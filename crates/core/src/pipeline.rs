@@ -87,8 +87,37 @@ pub const CORRELATION_SCOPES: [FileType; 7] = [
 ];
 
 /// Row cap for correlation matrices (keeps the O(pairs × rows) pass
-/// bounded at large scales).
+/// bounded at large scales). When a scope exceeds the cap the rows are
+/// strided evenly across it (see [`correlation::row_selected`]) and the
+/// analysis is flagged `truncated` — never a silent prefix.
 pub const CORRELATION_MAX_ROWS: usize = 400_000;
+
+/// Runs the §7.2 correlation analysis for the global scope and every
+/// [`CORRELATION_SCOPES`] file type in **one fused parallel pass** over
+/// *S*, instead of 8 serial re-scans. Returns `(global, per_type)` with
+/// `per_type` in `CORRELATION_SCOPES` order.
+///
+/// Output is bit-identical to calling [`correlation::analyze`] once per
+/// scope, at every worker count.
+pub fn correlation_all_scopes(
+    records: &[SampleRecord],
+    s: &freshdyn::FreshDynamic,
+    engine_count: usize,
+    workers: usize,
+) -> (CorrelationAnalysis, Vec<CorrelationAnalysis>) {
+    let mut scopes: Vec<Option<FileType>> = vec![None];
+    scopes.extend(CORRELATION_SCOPES.iter().map(|&ft| Some(ft)));
+    let mut analyses = correlation::analyze_fused(
+        records,
+        s,
+        engine_count,
+        &scopes,
+        CORRELATION_MAX_ROWS,
+        workers,
+    );
+    let global = analyses.remove(0);
+    (global, analyses)
+}
 
 impl Study {
     /// Generates the dataset with [`par::default_workers`] threads.
@@ -186,15 +215,12 @@ pub fn analyze_records(
     let label_stabilization_all = stabilization::label_stabilization(records, &s, false);
     let label_stabilization_multi = stabilization::label_stabilization(records, &s, true);
 
-    // §7.
+    // §7. The 8 correlation scopes (global + per-type) come from one
+    // fused parallel pass over S, not 8 serial re-scans.
     let engine_count = fleet.engine_count();
     let flips = flips::analyze(records, &s, engine_count);
-    let correlation_global =
-        correlation::analyze(records, &s, engine_count, None, CORRELATION_MAX_ROWS);
-    let correlation_per_type = CORRELATION_SCOPES
-        .iter()
-        .map(|&ft| correlation::analyze(records, &s, engine_count, Some(ft), CORRELATION_MAX_ROWS))
-        .collect();
+    let (correlation_global, correlation_per_type) =
+        correlation_all_scopes(records, &s, engine_count, par::default_workers());
 
     StudyResults {
         dataset,
@@ -296,6 +322,50 @@ mod tests {
         // Rank stabilization is monotone in r.
         for w in results.rank_stabilization.windows(2) {
             assert!(w[1].stabilized >= w[0].stabilized);
+        }
+    }
+
+    /// Acceptance gate for the fused kernel: on a seeded study, every
+    /// scope's fused analysis is bit-identical (ρ matrix, strong pairs,
+    /// groups, row accounting) to the reference per-scope `analyze`, at
+    /// worker counts 1, 2 and 8.
+    #[test]
+    fn fused_correlation_matches_reference_on_seeded_study() {
+        let study = small_study();
+        let records = study.records();
+        let s = freshdyn::build(records, study.sim().config().window_start());
+        let engines = study.sim().fleet().engine_count();
+
+        let mut scopes: Vec<Option<FileType>> = vec![None];
+        scopes.extend(CORRELATION_SCOPES.iter().map(|&ft| Some(ft)));
+        // A cap small enough to truncate the global scope, so the
+        // strided row selection is exercised end to end.
+        let max_rows = 500;
+        let reference: Vec<CorrelationAnalysis> = scopes
+            .iter()
+            .map(|&sc| correlation::analyze(records, &s, engines, sc, max_rows))
+            .collect();
+        assert!(reference[0].truncated, "global scope exceeds the cap");
+
+        for workers in [1usize, 2, 8] {
+            let fused =
+                correlation::analyze_fused(records, &s, engines, &scopes, max_rows, workers);
+            for (f, r) in fused.iter().zip(&reference) {
+                assert_eq!(f.scope, r.scope);
+                assert_eq!(f.rows, r.rows, "workers={workers}");
+                assert_eq!(f.total_rows, r.total_rows, "workers={workers}");
+                assert_eq!(f.truncated, r.truncated, "workers={workers}");
+                assert_eq!(f.rho.len(), r.rho.len());
+                for (x, y) in f.rho.iter().zip(&r.rho) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "workers={workers}");
+                }
+                assert_eq!(f.strong_pairs.len(), r.strong_pairs.len());
+                for ((a1, b1, r1), (a2, b2, r2)) in f.strong_pairs.iter().zip(&r.strong_pairs) {
+                    assert_eq!((a1, b1), (a2, b2), "workers={workers}");
+                    assert_eq!(r1.to_bits(), r2.to_bits(), "workers={workers}");
+                }
+                assert_eq!(f.groups, r.groups, "workers={workers}");
+            }
         }
     }
 }

@@ -19,6 +19,24 @@ pub const MAX_ENGINES: usize = 128;
 pub struct EngineId(pub u8);
 
 impl EngineId {
+    /// Checked constructor from a dense roster index.
+    ///
+    /// The wire format stores engine ids in a `u8`, so a bare
+    /// `EngineId(e as u8)` silently truncates for fleets past 256
+    /// engines (and produces out-of-roster ids past [`MAX_ENGINES`]).
+    /// Analyses that enumerate engines by `usize` index must go through
+    /// this constructor instead of casting.
+    ///
+    /// # Panics
+    /// Panics when `index >= MAX_ENGINES`.
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < MAX_ENGINES,
+            "engine index {index} out of range: the roster is bounded at {MAX_ENGINES} engines"
+        );
+        EngineId(index as u8)
+    }
+
     /// The raw index.
     pub fn index(self) -> usize {
         self.0 as usize
@@ -51,5 +69,29 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(EngineId(7).to_string(), "engine#7");
+    }
+
+    #[test]
+    fn checked_constructor_accepts_the_full_roster() {
+        for e in 0..MAX_ENGINES {
+            assert_eq!(EngineId::new(e).index(), e);
+        }
+    }
+
+    /// Documents the fleet-size bound: `MAX_ENGINES` is the hard roster
+    /// limit. A bare `as u8` cast would wrap 256 → 0 and alias engine
+    /// 0's column; the checked constructor refuses instead.
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn checked_constructor_rejects_oversized_fleets() {
+        let _ = EngineId::new(MAX_ENGINES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn checked_constructor_rejects_wrapping_index() {
+        // 256 would wrap to 0 under `as u8` — the truncation this
+        // constructor exists to catch.
+        let _ = EngineId::new(256);
     }
 }

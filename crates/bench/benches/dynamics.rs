@@ -1,55 +1,51 @@
 //! §5 benches: Fig. 2 (stable/dynamic split), Figs. 3–4 (stable-sample
 //! characterization), Fig. 5 (δ/Δ CDFs), Fig. 6 (per-type boxes),
 //! Fig. 7 (interval correlation), plus the §8.1 window sweep.
+//!
+//! All benches drive the unified [`Analysis`] stages through a shared
+//! [`vt_bench::bench_ctx`], the same entry point the pipeline uses.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vt_bench::{fresh_dynamic, study};
-use vt_dynamics::{intervals, metrics, stability};
-use vt_model::time::Duration;
+use vt_bench::bench_ctx;
+use vt_dynamics::intervals::Intervals;
+use vt_dynamics::metrics::{Metrics, WindowGrowth};
+use vt_dynamics::stability::Stability;
+use vt_dynamics::Analysis;
 
 /// Figs. 2–4 — the §5.1–5.2 stability pass (one pass computes the
 /// split, the stable-rank CDF, and the span boxes).
 fn fig2_fig4_stability(c: &mut Criterion) {
-    let study = study();
+    let ctx = bench_ctx();
     let mut group = c.benchmark_group("stability");
     group.sample_size(20);
     group.bench_function("fig2_stable_dynamic_and_fig3_fig4", |b| {
-        b.iter(|| black_box(stability::analyze(study.records())))
+        b.iter(|| black_box(Stability.run(&ctx)))
     });
     group.finish();
 }
 
 /// Figs. 5–6 — δ/Δ metrics over *S*.
 fn fig5_fig6_metrics(c: &mut Criterion) {
-    let study = study();
-    let s = fresh_dynamic();
+    let ctx = bench_ctx();
     let mut group = c.benchmark_group("metrics");
     group.sample_size(20);
     group.bench_function("fig5_delta_cdf_and_fig6_per_type", |b| {
-        b.iter(|| black_box(metrics::analyze(study.records(), s)))
+        b.iter(|| black_box(Metrics.run(&ctx)))
     });
     group.bench_function("sec81_window_sweep", |b| {
-        b.iter(|| {
-            black_box(metrics::window_growth_fraction(
-                study.records(),
-                s,
-                Duration::days(30),
-                Duration::days(90),
-            ))
-        })
+        b.iter(|| black_box(WindowGrowth::default().run(&ctx)))
     });
     group.finish();
 }
 
 /// Fig. 7 — pairwise interval analysis + Spearman.
 fn fig7_intervals(c: &mut Criterion) {
-    let study = study();
-    let s = fresh_dynamic();
+    let ctx = bench_ctx();
     let mut group = c.benchmark_group("intervals");
     group.sample_size(10);
     group.bench_function("fig7_interval_corr", |b| {
-        b.iter(|| black_box(intervals::analyze(study.records(), s, 430)))
+        b.iter(|| black_box(Intervals { max_days: 430 }.run(&ctx)))
     });
     group.finish();
 }

@@ -5,73 +5,80 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vt_bench::{correlation_fresh_dynamic, correlation_study, fresh_dynamic, study};
+use vt_bench::{bench_ctx, correlation_fresh_dynamic, correlation_study};
+use vt_dynamics::causes::Causes;
+use vt_dynamics::flips::Flips;
 use vt_dynamics::pipeline::{CORRELATION_MAX_ROWS, CORRELATION_SCOPES};
-use vt_dynamics::{causes, correlation, flips, par};
+use vt_dynamics::{correlation, par, Analysis};
 use vt_model::FileType;
 
 fn obs7_flip_causes(c: &mut Criterion) {
-    let study = study();
-    let s = fresh_dynamic();
+    let ctx = bench_ctx();
     let mut group = c.benchmark_group("causes");
     group.sample_size(10);
     group.bench_function("obs7_flip_causes", |b| {
-        b.iter(|| black_box(causes::analyze(study.records(), s, study.sim().fleet())))
+        b.iter(|| black_box(Causes.run(&ctx)))
     });
     group.finish();
 }
 
 fn fig10_flip_matrix(c: &mut Criterion) {
-    let study = study();
-    let s = fresh_dynamic();
-    let engines = study.sim().fleet().engine_count();
+    let ctx = bench_ctx();
     let mut group = c.benchmark_group("flips");
     group.sample_size(10);
     group.bench_function("sec71_flip_counts_and_fig10_heatmap", |b| {
-        b.iter(|| black_box(flips::analyze(study.records(), s, engines)))
+        b.iter(|| black_box(Flips.run(&ctx)))
     });
     group.finish();
 }
 
 fn fig11_fig12_correlation(c: &mut Criterion) {
-    let study = study();
-    let s = fresh_dynamic();
-    let engines = study.sim().fleet().engine_count();
+    let ctx = bench_ctx();
+    let engines = ctx.engine_count();
+    let records = ctx.records;
+    let s = ctx.s;
+    let workers = par::default_workers();
     let mut group = c.benchmark_group("correlation");
     group.sample_size(10);
     group.bench_function("fig11_global_graph", |b| {
         b.iter(|| {
-            black_box(correlation::analyze(
-                study.records(),
+            black_box(correlation::analyze_fused(
+                records,
                 s,
                 engines,
-                None,
+                &[None],
                 400_000,
+                workers,
             ))
         })
     });
     group.bench_function("fig12_win32exe_graph", |b| {
         b.iter(|| {
-            black_box(correlation::analyze(
-                study.records(),
+            black_box(correlation::analyze_fused(
+                records,
                 s,
                 engines,
-                Some(FileType::Win32Exe),
+                &[Some(FileType::Win32Exe)],
                 400_000,
+                workers,
             ))
         })
     });
     group.bench_function("tables4_8_groups", |b| {
         b.iter(|| {
-            for ft in [FileType::Txt, FileType::Html, FileType::Zip, FileType::Pdf] {
-                black_box(correlation::analyze(
-                    study.records(),
-                    s,
-                    engines,
-                    Some(ft),
-                    400_000,
-                ));
-            }
+            black_box(correlation::analyze_fused(
+                records,
+                s,
+                engines,
+                &[
+                    Some(FileType::Txt),
+                    Some(FileType::Html),
+                    Some(FileType::Zip),
+                    Some(FileType::Pdf),
+                ],
+                400_000,
+                workers,
+            ))
         })
     });
     group.finish();
@@ -81,6 +88,10 @@ fn fig11_fig12_correlation(c: &mut Criterion) {
 /// global rows): the old design — 8 serial scope scans, each
 /// materializing per-engine columns — against the fused single-pass
 /// kernel, plus a worker-count ablation of the fused kernel.
+///
+/// The "before" arm deliberately exercises the deprecated serial
+/// `correlation::analyze` — it *is* the legacy path under measurement.
+#[allow(deprecated)]
 fn fused_correlation_kernel(c: &mut Criterion) {
     let study = correlation_study();
     let s = correlation_fresh_dynamic();

@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vt_bench::study;
-use vt_dynamics::landscape;
+use vt_bench::{bench_ctx, study};
+use vt_dynamics::landscape::{self, Landscape};
+use vt_dynamics::Analysis;
 use vt_engines::EngineFleet;
 use vt_model::time::{Date, Duration, Timestamp};
 use vt_model::{FileType, GroundTruth, SampleHash, SampleMeta};
@@ -55,16 +56,15 @@ fn table2_monthly_volume(c: &mut Criterion) {
 
 /// Table 3 + Fig. 1 — one pass dataset overview.
 fn table3_and_fig1(c: &mut Criterion) {
-    let study = study();
-    let window = study.sim().config().window_start();
+    let ctx = bench_ctx();
     c.bench_function("table3_filetypes", |b| {
         b.iter(|| {
-            let stats = landscape::dataset_stats(study.records(), window);
+            let (stats, _) = Landscape.run(&ctx);
             black_box(stats.table3())
         })
     });
     c.bench_function("fig1_reports_per_sample", |b| {
-        let stats = landscape::dataset_stats(study.records(), window);
+        let (stats, _) = Landscape.run(&ctx);
         b.iter(|| black_box(landscape::fig1_points(&stats)))
     });
 }

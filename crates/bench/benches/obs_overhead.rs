@@ -1,0 +1,56 @@
+//! Observability overhead: the acceptance bar for the `vt-obs` layer is
+//! that a fully instrumented analysis pass stays within 5% of the
+//! uninstrumented one, and that a *disabled* `Obs` costs nothing
+//! measurable (every handle is a no-op branch on an `Option`).
+//!
+//! Three arms over the same [`vt_bench::study`] fixture:
+//!
+//! * `obs_noop` — the default path, `Obs::noop()` threaded through.
+//! * `obs_disabled_handles` — a freshly constructed disabled `Obs`,
+//!   exercising the handle-resolution path without a live sink.
+//! * `obs_enabled` — a live `Obs` recording every span, counter, and
+//!   per-worker busy-time histogram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vt_bench::{fresh_dynamic, study};
+use vt_dynamics::par;
+use vt_dynamics::pipeline::analyze_records_obs;
+use vt_obs::Obs;
+
+fn run_pass(partitions: &[vt_store::PartitionStats], obs: &Obs) {
+    let study = study();
+    black_box(analyze_records_obs(
+        study.records(),
+        partitions.to_vec(),
+        study.sim().fleet(),
+        study.sim().config().window_start(),
+        par::default_workers(),
+        obs,
+    ));
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    // Warm the memoized fixtures and build the store once, outside the
+    // timed region — the bench times the analysis pass, not storage.
+    let _ = fresh_dynamic();
+    let partitions = study().build_store().partition_stats();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("obs_noop", |b| {
+        b.iter(|| run_pass(&partitions, Obs::noop()))
+    });
+    group.bench_function("obs_disabled_handles", |b| {
+        let obs = Obs::disabled();
+        b.iter(|| run_pass(&partitions, &obs))
+    });
+    group.bench_function("obs_enabled", |b| {
+        let obs = Obs::new();
+        b.iter(|| run_pass(&partitions, &obs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

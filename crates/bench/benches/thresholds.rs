@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vt_bench::{fresh_dynamic, study};
-use vt_dynamics::{categorize, stabilization};
+use vt_bench::{bench_ctx, fresh_dynamic, study};
+use vt_dynamics::categorize;
+use vt_dynamics::stabilization::Stabilization;
+use vt_dynamics::Analysis;
 
 fn fig8_categorization(c: &mut Criterion) {
     let study = study();
@@ -20,28 +22,18 @@ fn fig8_categorization(c: &mut Criterion) {
     group.finish();
 }
 
-fn obs8_rank_stabilization(c: &mut Criterion) {
-    let study = study();
-    let s = fresh_dynamic();
+/// Obs. 8 + Fig. 9 — the [`Stabilization`] stage computes the AV-Rank
+/// curve and both label-stabilization curves (all / multi-report) in one
+/// run, matching what the pipeline pays per study.
+fn obs8_fig9_stabilization(c: &mut Criterion) {
+    let ctx = bench_ctx();
     let mut group = c.benchmark_group("stabilization");
     group.sample_size(20);
-    group.bench_function("obs8_avrank_stability", |b| {
-        b.iter(|| black_box(stabilization::rank_stabilization(study.records(), s)))
-    });
-    group.bench_function("fig9a_label_stability_all", |b| {
-        b.iter(|| {
-            black_box(stabilization::label_stabilization(
-                study.records(),
-                s,
-                false,
-            ))
-        })
-    });
-    group.bench_function("fig9b_label_stability_multi", |b| {
-        b.iter(|| black_box(stabilization::label_stabilization(study.records(), s, true)))
+    group.bench_function("obs8_avrank_and_fig9_labels", |b| {
+        b.iter(|| black_box(Stabilization.run(&ctx)))
     });
     group.finish();
 }
 
-criterion_group!(benches, fig8_categorization, obs8_rank_stabilization);
+criterion_group!(benches, fig8_categorization, obs8_fig9_stabilization);
 criterion_main!(benches);

@@ -10,6 +10,7 @@
 
 use std::sync::OnceLock;
 use vt_dynamics::freshdyn::{self, FreshDynamic};
+use vt_dynamics::AnalysisCtx;
 use vt_dynamics::Study;
 use vt_sim::SimConfig;
 
@@ -56,4 +57,27 @@ pub fn correlation_fresh_dynamic() -> &'static FreshDynamic {
         let st = correlation_study();
         freshdyn::build(st.records(), st.sim().config().window_start())
     })
+}
+
+/// An [`AnalysisCtx`] over the memoized benchmark [`study`], for bench
+/// targets that exercise the unified [`vt_dynamics::Analysis`] stages.
+pub fn bench_ctx() -> AnalysisCtx<'static> {
+    let st = study();
+    AnalysisCtx::new(
+        st.records(),
+        fresh_dynamic(),
+        st.sim().fleet(),
+        st.sim().config().window_start(),
+    )
+}
+
+/// An [`AnalysisCtx`] over the large [`correlation_study`].
+pub fn correlation_ctx() -> AnalysisCtx<'static> {
+    let st = correlation_study();
+    AnalysisCtx::new(
+        st.records(),
+        correlation_fresh_dynamic(),
+        st.sim().fleet(),
+        st.sim().config().window_start(),
+    )
 }

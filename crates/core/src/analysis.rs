@@ -1,0 +1,186 @@
+//! The unified analysis API: one context, one trait, one span per
+//! stage.
+//!
+//! The per-module `analyze` free functions grew drifted signatures —
+//! `(records, s)`, `(records, s, engine_count)`, `(records, s, fleet)`,
+//! `(records, s, max_days)` — which made instrumenting the pipeline
+//! uniformly impossible. [`AnalysisCtx`] bundles everything any stage
+//! can legitimately consume (the record set, the fresh dynamic dataset
+//! *S*, the engine fleet, the observation-window start, the worker
+//! count, and an [`Obs`] handle), and [`Analysis`] is the common shape
+//! every stage now presents:
+//!
+//! ```
+//! use vt_dynamics::analysis::{Analysis, AnalysisCtx};
+//! use vt_dynamics::{flips, freshdyn, pipeline::Study};
+//! use vt_sim::SimConfig;
+//!
+//! let study = Study::generate_with_workers(SimConfig::new(7, 500), 2);
+//! let s = freshdyn::build(study.records(), study.sim().config().window_start());
+//! let ctx = AnalysisCtx::new(
+//!     study.records(),
+//!     &s,
+//!     study.sim().fleet(),
+//!     study.sim().config().window_start(),
+//! );
+//! let flips = flips::Flips.run(&ctx);
+//! assert_eq!(flips.flips, flips.flips_up + flips.flips_down);
+//! ```
+//!
+//! [`Analysis::run_timed`] wraps the stage in a `pipeline/<name>` span
+//! on the context's `Obs`, which is how [`crate::pipeline`] produces
+//! the per-stage timing breakdown. Instrumentation never feeds back
+//! into the computation: a stage run under a live `Obs` returns results
+//! bit-identical to the same stage under [`Obs::noop`].
+
+use crate::freshdyn::FreshDynamic;
+use crate::par;
+use crate::records::SampleRecord;
+use vt_engines::EngineFleet;
+use vt_model::time::Timestamp;
+use vt_obs::Obs;
+
+/// Everything an analysis stage may consume, in one place.
+///
+/// Construction is cheap (all borrows); [`AnalysisCtx::new`] defaults
+/// to [`par::default_workers`] and a no-op `Obs`, with `with_workers` /
+/// `with_obs` to override.
+#[derive(Clone, Copy)]
+pub struct AnalysisCtx<'a> {
+    /// The full record set under analysis.
+    pub records: &'a [SampleRecord],
+    /// The fresh dynamic dataset *S* (§5.3.1) over `records`.
+    pub s: &'a FreshDynamic,
+    /// Engine roster and update schedules (§5.5 cause attribution).
+    pub fleet: &'a EngineFleet,
+    /// Start of the observation window (landscape accounting).
+    pub window_start: Timestamp,
+    /// Worker threads for parallel stages.
+    pub workers: usize,
+    /// Metrics sink; [`Obs::noop`] when not observing.
+    pub obs: &'a Obs,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// A context with default parallelism and no observation.
+    pub fn new(
+        records: &'a [SampleRecord],
+        s: &'a FreshDynamic,
+        fleet: &'a EngineFleet,
+        window_start: Timestamp,
+    ) -> Self {
+        Self {
+            records,
+            s,
+            fleet,
+            window_start,
+            workers: par::default_workers(),
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Overrides the worker count for parallel stages.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Attaches a live metrics sink.
+    pub fn with_obs(mut self, obs: &'a Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Engine roster size (the fleet's, always).
+    pub fn engine_count(&self) -> usize {
+        self.fleet.engine_count()
+    }
+}
+
+impl std::fmt::Debug for AnalysisCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCtx")
+            .field("records", &self.records.len())
+            .field("s_samples", &self.s.len())
+            .field("window_start", &self.window_start)
+            .field("workers", &self.workers)
+            .field("obs_enabled", &self.obs.is_enabled())
+            .finish()
+    }
+}
+
+/// One stage of the measurement pipeline.
+///
+/// Implementors are unit-ish structs (`Flips`, `Causes`, …) living next
+/// to the analysis they wrap; [`crate::pipeline::analyze_records`]
+/// iterates a registry of them instead of hand-calling eight drifted
+/// signatures. The contract:
+///
+/// * [`name`](Analysis::name) is stable and unique across the registry
+///   — it keys the `pipeline/<name>` span and the
+///   [`crate::pipeline::StudyResults::stage_timings`] rows;
+/// * [`run`](Analysis::run) is deterministic in `ctx` (worker count
+///   included: parallel stages must merge associatively) and must not
+///   let the `Obs` handle feed back into results.
+pub trait Analysis {
+    /// The stage's typed result.
+    type Output;
+
+    /// Stable, registry-unique stage name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    fn run(&self, ctx: &AnalysisCtx) -> Self::Output;
+
+    /// Runs the stage inside a `pipeline/<name>` span on `ctx.obs`.
+    fn run_timed(&self, ctx: &AnalysisCtx) -> Self::Output {
+        let _span = ctx.obs.span(&format!("pipeline/{}", self.name()));
+        self.run(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freshdyn;
+    use crate::pipeline::Study;
+    use vt_sim::SimConfig;
+
+    #[test]
+    fn ctx_builds_and_overrides() {
+        let study = Study::generate_with_workers(SimConfig::new(11, 200), 2);
+        let s = freshdyn::build(study.records(), study.sim().config().window_start());
+        let obs = Obs::new();
+        let ctx = AnalysisCtx::new(
+            study.records(),
+            &s,
+            study.sim().fleet(),
+            study.sim().config().window_start(),
+        )
+        .with_workers(3)
+        .with_obs(&obs);
+        assert_eq!(ctx.workers, 3);
+        assert!(ctx.obs.is_enabled());
+        assert_eq!(ctx.engine_count(), study.sim().fleet().engine_count());
+        let dbg = format!("{ctx:?}");
+        assert!(dbg.contains("workers: 3"), "{dbg}");
+    }
+
+    #[test]
+    fn run_timed_records_a_span_without_changing_results() {
+        let study = Study::generate_with_workers(SimConfig::new(11, 400), 2);
+        let s = freshdyn::build(study.records(), study.sim().config().window_start());
+        let base = AnalysisCtx::new(
+            study.records(),
+            &s,
+            study.sim().fleet(),
+            study.sim().config().window_start(),
+        );
+        let obs = Obs::new();
+        let quiet = crate::stability::Stability.run_timed(&base);
+        let loud = crate::stability::Stability.run_timed(&base.with_obs(&obs));
+        assert_eq!(format!("{quiet:?}"), format!("{loud:?}"));
+        let snap = obs.snapshot();
+        assert_eq!(snap.span("pipeline/stability").unwrap().count, 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! sweeps t = 1..50 overall (gray peaks at 14.92% at t = 24) and over
 //! PE files only (gray grows with t, max 16.41% at t = 50).
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::records::SampleRecord;
 
@@ -59,6 +60,39 @@ impl CategorySweep {
             .filter(|s| s.gray < limit)
             .map(|s| s.t)
             .collect()
+    }
+}
+
+/// §5.4 categorization stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`]. The two Fig. 8 variants are the two constructions
+/// ([`Categorize::ALL`] and [`Categorize::PE`]), each with its own
+/// stage name so their spans never collide.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Categorize {
+    /// Restrict the sweep to PE (Win32 EXE/DLL) samples (Fig. 8b).
+    pub pe_only: bool,
+}
+
+impl Categorize {
+    /// The overall sweep (Fig. 8a).
+    pub const ALL: Categorize = Categorize { pe_only: false };
+    /// The PE-only sweep (Fig. 8b).
+    pub const PE: Categorize = Categorize { pe_only: true };
+}
+
+impl Analysis for Categorize {
+    type Output = CategorySweep;
+
+    fn name(&self) -> &'static str {
+        if self.pe_only {
+            "categorize_pe"
+        } else {
+            "categorize_all"
+        }
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> CategorySweep {
+        sweep(ctx.records, ctx.s, self.pe_only)
     }
 }
 

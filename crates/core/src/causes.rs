@@ -12,6 +12,7 @@
 //!   label matches the one before the gap (paper: "if these 'inactive'
 //!   engines give valid results, they are usually consistent").
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::records::SampleRecord;
 use vt_engines::EngineFleet;
@@ -65,9 +66,35 @@ impl CauseAnalysis {
     }
 }
 
+/// §5.5 cause-attribution stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Causes;
+
+impl Analysis for Causes {
+    type Output = CauseAnalysis;
+
+    fn name(&self) -> &'static str {
+        "causes"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> CauseAnalysis {
+        analyze_impl(ctx.records, ctx.s, ctx.fleet)
+    }
+}
+
 /// Runs the cause attribution over *S* using the fleet's update
 /// schedules.
+#[deprecated(note = "run the `causes::Causes` stage with an `AnalysisCtx` instead")]
 pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, fleet: &EngineFleet) -> CauseAnalysis {
+    analyze_impl(records, s, fleet)
+}
+
+pub(crate) fn analyze_impl(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    fleet: &EngineFleet,
+) -> CauseAnalysis {
     let mut a = CauseAnalysis::default();
     let engines = fleet.engine_count();
     for r in s.iter(records) {
@@ -172,7 +199,7 @@ mod tests {
         let s = freshdyn::build(&records, window);
         assert_eq!(s.len(), 1, "fixture must land in S");
         let fleet = EngineFleet::with_seed(1);
-        analyze(&records, &s, &fleet)
+        analyze_impl(&records, &s, &fleet)
     }
 
     #[test]

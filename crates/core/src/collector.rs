@@ -6,7 +6,7 @@
 //! deliveries, late batches, damaged payloads — and the collector's job
 //! is to produce a clean, deduplicated, time-ordered report stream
 //! anyway. [`Collector`] is that component over the chaos-injected
-//! [`FaultyFeed`](vt_sim::fault::FaultyFeed):
+//! [`FaultyFeed`]:
 //!
 //! * **Retry with bounded backoff** — a failed poll is retried up to
 //!   [`CollectorConfig::max_retries`] times (backoff is simulated
@@ -32,13 +32,14 @@
 //!   [`IngestError`] for post-campaign inspection.
 //!
 //! Everything is deterministic: the same feed (same
-//! [`FaultPlan`](vt_sim::fault::FaultPlan) seed) produces byte-identical
+//! [`FaultPlan`] seed) produces byte-identical
 //! [`IngestStats`], independent of upstream generation worker counts.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use vt_model::ScanReport;
-use vt_sim::fault::{FaultyFeed, FeedEntry};
+use vt_obs::Obs;
+use vt_sim::fault::{FaultPlan, FaultyFeed, FeedEntry};
 use vt_store::codec::decode_report;
 use vt_store::crc32::crc32;
 use vt_store::ReportStore;
@@ -107,6 +108,38 @@ impl std::fmt::Display for IngestError {
 }
 
 impl std::error::Error for IngestError {}
+
+/// A collector configuration rejected by [`Collector::for_plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectorConfigError {
+    /// The reorder horizon does not cover the feed's lateness bound, so
+    /// late arrivals would be emitted out of order and redeliveries
+    /// could outlive their dedup keys.
+    HorizonTooShort {
+        /// The configured [`CollectorConfig::reorder_horizon`].
+        horizon: u32,
+        /// The plan's maximum lateness in minutes.
+        max_lateness: u32,
+    },
+}
+
+impl std::fmt::Display for CollectorConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectorConfigError::HorizonTooShort {
+                horizon,
+                max_lateness,
+            } => write!(
+                f,
+                "reorder horizon {horizon} min is shorter than the feed's \
+                 lateness bound {max_lateness} min: order restoration and \
+                 dedup-key eviction would both be unsound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollectorConfigError {}
 
 /// An entry the collector refused, kept for inspection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,12 +222,70 @@ impl Collector {
         Self { config }
     }
 
+    /// A collector validated against the fault plan it will face:
+    /// rejects a reorder horizon shorter than the plan's lateness bound
+    /// (which would make both order restoration and dedup-key eviction
+    /// unsound) instead of silently emitting out of order.
+    pub fn for_plan(
+        config: CollectorConfig,
+        plan: &FaultPlan,
+    ) -> Result<Self, CollectorConfigError> {
+        if config.reorder_horizon < plan.max_lateness {
+            return Err(CollectorConfigError::HorizonTooShort {
+                horizon: config.reorder_horizon,
+                max_lateness: plan.max_lateness,
+            });
+        }
+        Ok(Self::new(config))
+    }
+
+    /// [`run`](Self::run) timed under the `collector/ingest` span, with
+    /// the run's [`IngestStats`] mirrored into `obs` counters
+    /// (`collector/accepted`, `collector/deduped`, …) and high-water
+    /// gauges (`collector/max_buffer_depth`, `collector/max_dedup_keys`)
+    /// afterwards. The ingestion itself is untouched — stats, store and
+    /// quarantine are identical whether `obs` is enabled, disabled or
+    /// [`Obs::noop`].
+    /// `store/*` metrics (encode timings, sealed bytes) are recorded
+    /// too: the run's store is built with [`ReportStore::with_obs`].
+    pub fn run_with_obs(&self, feed: FaultyFeed, obs: &Obs) -> IngestOutcome {
+        let outcome = obs.time("collector/ingest", || {
+            self.run_into(feed, ReportStore::with_obs(obs))
+        });
+        if obs.is_enabled() {
+            let s = &outcome.stats;
+            obs.counter("collector/polled_minutes")
+                .add(s.polled_minutes);
+            obs.counter("collector/accepted").add(s.accepted);
+            obs.counter("collector/deduped").add(s.deduped);
+            obs.counter("collector/reordered").add(s.reordered);
+            obs.counter("collector/quarantined").add(s.quarantined);
+            obs.counter("collector/retries").add(s.retries);
+            obs.counter("collector/gap_minutes").add(s.gap_minutes);
+            obs.counter("collector/lost_entries").add(s.lost_entries);
+            obs.counter("collector/dedup_evicted").add(s.dedup_evicted);
+            obs.counter("collector/emitted_out_of_order")
+                .add(s.emitted_out_of_order);
+            obs.gauge("collector/max_buffer_depth")
+                .set_max(s.max_buffer_depth);
+            obs.gauge("collector/max_dedup_keys")
+                .set_max(s.max_dedup_keys);
+        }
+        outcome
+    }
+
     /// Drains `feed` to completion and returns the sealed store, the
     /// run counters, and the quarantine.
-    pub fn run(&self, mut feed: FaultyFeed) -> IngestOutcome {
+    pub fn run(&self, feed: FaultyFeed) -> IngestOutcome {
+        self.run_into(feed, ReportStore::new())
+    }
+
+    /// [`run`](Self::run) into a caller-provided (possibly instrumented)
+    /// empty store. Store content is independent of the store's own
+    /// instrumentation.
+    fn run_into(&self, mut feed: FaultyFeed, store: ReportStore) -> IngestOutcome {
         let mut stats = IngestStats::default();
         let mut quarantine = Vec::new();
-        let store = ReportStore::new();
         let mut seen: BTreeSet<ReportKey> = BTreeSet::new();
         // Reorder buffer, keyed so iteration order is emission order.
         let mut buffer: BTreeMap<ReportKey, ScanReport> = BTreeMap::new();
@@ -251,13 +342,22 @@ impl Collector {
 
             // Emit everything the watermark has passed. Entries still
             // inside the horizon may yet be preceded by a late arrival.
+            // The minute's ripe reports land in one `append_batch` (one
+            // store-lock acquisition per minute, not per report); batch
+            // order is buffer order, so the store content is identical
+            // to per-report appends.
             let watermark = minute - self.config.reorder_horizon as i64;
+            let mut ripe = Vec::new();
             while let Some((&key, _)) = buffer.iter().next() {
                 if key.0 > watermark {
                     break;
                 }
                 let report = buffer.remove(&key).expect("first key present");
-                Self::emit(&store, &report, &mut last_emitted_minute, &mut stats);
+                Self::note_emit(&report, &mut last_emitted_minute, &mut stats);
+                ripe.push(report);
+            }
+            if !ripe.is_empty() {
+                store.append_batch(&ripe);
             }
 
             // Evict dedup keys the watermark has passed: a redelivery
@@ -271,8 +371,12 @@ impl Collector {
         }
 
         // Feed drained: flush the tail of the buffer in order.
-        for (_, report) in std::mem::take(&mut buffer) {
-            Self::emit(&store, &report, &mut last_emitted_minute, &mut stats);
+        let tail: Vec<ScanReport> = std::mem::take(&mut buffer).into_values().collect();
+        for report in &tail {
+            Self::note_emit(report, &mut last_emitted_minute, &mut stats);
+        }
+        if !tail.is_empty() {
+            store.append_batch(&tail);
         }
         store.seal();
 
@@ -302,18 +406,14 @@ impl Collector {
         Ok(report)
     }
 
-    fn emit(
-        store: &ReportStore,
-        report: &ScanReport,
-        last_emitted_minute: &mut i64,
-        stats: &mut IngestStats,
-    ) {
+    /// Books one report's emission (ordering check + counters); the
+    /// caller appends the batch to the store.
+    fn note_emit(report: &ScanReport, last_emitted_minute: &mut i64, stats: &mut IngestStats) {
         if report.analysis_date.0 < *last_emitted_minute {
             stats.emitted_out_of_order += 1;
         }
         *last_emitted_minute = (*last_emitted_minute).max(report.analysis_date.0);
         stats.accepted += 1;
-        store.append(report);
     }
 }
 
@@ -439,6 +539,62 @@ mod tests {
             vt_sim::TimeOrderedFeed::new(&sim, 0..300).count() as u64,
             "every entry is either ingested or accounted lost"
         );
+    }
+
+    #[test]
+    fn for_plan_rejects_a_horizon_below_the_lateness_bound() {
+        let plan = FaultPlan::clean(1).with_reordering(0.3, 40);
+        let short = CollectorConfig {
+            reorder_horizon: 20,
+            ..CollectorConfig::default()
+        };
+        assert_eq!(
+            Collector::for_plan(short, &plan).unwrap_err(),
+            CollectorConfigError::HorizonTooShort {
+                horizon: 20,
+                max_lateness: 40,
+            }
+        );
+        // The default horizon (64) covers the bound.
+        assert!(Collector::for_plan(CollectorConfig::default(), &plan).is_ok());
+    }
+
+    #[test]
+    fn obs_mirrors_stats_without_changing_the_run() {
+        let sim = sim(300);
+        let plan = FaultPlan::clean(8)
+            .with_duplicates(0.3)
+            .with_reordering(0.3, 15)
+            .with_corruption(0.05);
+        let plain = Collector::default().run(feed(&sim, 300, plan));
+        let obs = Obs::new();
+        let observed = Collector::default().run_with_obs(feed(&sim, 300, plan), &obs);
+        assert_eq!(plain.stats, observed.stats);
+        assert_eq!(plain.store.report_count(), observed.store.report_count());
+        let m = obs.snapshot();
+        assert_eq!(m.counter("collector/accepted"), Some(plain.stats.accepted));
+        assert_eq!(m.counter("collector/deduped"), Some(plain.stats.deduped));
+        assert_eq!(
+            m.counter("collector/quarantined"),
+            Some(plain.stats.quarantined)
+        );
+        assert_eq!(
+            m.gauge("collector/max_buffer_depth"),
+            Some(plain.stats.max_buffer_depth)
+        );
+        assert_eq!(m.span("collector/ingest").map(|s| s.count), Some(1));
+        // The run's store is instrumented too: every accepted report
+        // was encoded exactly once.
+        assert_eq!(
+            m.counter("store/encoded_reports"),
+            Some(plain.stats.accepted)
+        );
+        assert!(m.gauge("store/sealed_bytes").unwrap_or(0) > 0);
+        // A disabled handle records nothing and changes nothing.
+        let off = Obs::disabled();
+        let silent = Collector::default().run_with_obs(feed(&sim, 300, plan), &off);
+        assert_eq!(silent.stats, plain.stats);
+        assert!(off.snapshot().counters.is_empty());
     }
 
     #[test]

@@ -31,10 +31,12 @@
 //! across the scope's row sequence (instead of the old biased prefix)
 //! and the analysis reports `truncated = true`.
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
 use crate::records::SampleRecord;
 use vt_model::{EngineId, FileType};
+use vt_obs::Obs;
 
 /// Correlation threshold for "strongly correlated" (the paper's 0.8).
 pub const STRONG_RHO: f64 = 0.8;
@@ -357,23 +359,51 @@ pub fn fused_contingencies(
     max_rows: usize,
     workers: usize,
 ) -> Vec<ScopeContingency> {
+    fused_contingencies_obs(
+        records,
+        s,
+        engine_count,
+        scopes,
+        max_rows,
+        workers,
+        Obs::noop(),
+    )
+}
+
+/// [`fused_contingencies`] with per-worker instrumentation: the
+/// counting pass records under the `correlation_count` kernel and the
+/// accumulation pass under `correlation_accumulate` (see
+/// [`par::map_ranges_obs`] for the metric names). Instrumentation
+/// never feeds back into the tables — output is bit-identical with
+/// `obs` enabled, disabled, or [`Obs::noop`].
+#[allow(clippy::too_many_arguments)]
+pub fn fused_contingencies_obs(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    engine_count: usize,
+    scopes: &[Option<FileType>],
+    max_rows: usize,
+    workers: usize,
+    obs: &Obs,
+) -> Vec<ScopeContingency> {
     let n = s.len() as u64;
     let ranges = par::partition_ranges(n, workers);
 
     // Pass 1: per-partition, per-scope row counts (metadata only).
-    let per_part: Vec<Vec<u64>> = par::map_ranges(&ranges, |_, range| {
-        let mut c = vec![0u64; scopes.len()];
-        for i in range {
-            let rec = &records[s.indices[i as usize]];
-            let nrep = rec.reports.len() as u64;
-            for (cnt, &scope) in c.iter_mut().zip(scopes) {
-                if scope_matches(scope, rec) {
-                    *cnt += nrep;
+    let per_part: Vec<Vec<u64>> =
+        par::map_ranges_obs(&ranges, obs, "correlation_count", |_, range| {
+            let mut c = vec![0u64; scopes.len()];
+            for i in range {
+                let rec = &records[s.indices[i as usize]];
+                let nrep = rec.reports.len() as u64;
+                for (cnt, &scope) in c.iter_mut().zip(scopes) {
+                    if scope_matches(scope, rec) {
+                        *cnt += nrep;
+                    }
                 }
             }
-        }
-        c
-    });
+            c
+        });
 
     // Exclusive prefix sums: each partition's starting row index per
     // scope; the grand totals drive the row-cap stride.
@@ -387,39 +417,40 @@ pub fn fused_contingencies(
     }
 
     // Pass 2: fused accumulation over the same partitions.
-    let parts: Vec<Vec<ScopeContingency>> = par::map_ranges(&ranges, |pi, range| {
-        let mut accs: Vec<ScopeContingency> = scopes
-            .iter()
-            .map(|&scope| ScopeContingency::new(scope, engine_count))
-            .collect();
-        let mut next_row = offsets[pi].clone();
-        for i in range {
-            let rec = &records[s.indices[i as usize]];
-            for rep in &rec.reports {
-                // R-values map straight onto the report's native verdict
-                // bitmaps: pos = flagged, zero = scanned-and-clean,
-                // neither = undetected (engines beyond the report's
-                // roster have unset `active` bits, matching `get()`).
-                let (active, detected) = rep.verdicts.raw();
-                let zero = [active[0] & !detected[0], active[1] & !detected[1]];
-                for (si, &scope) in scopes.iter().enumerate() {
-                    if !scope_matches(scope, rec) {
-                        continue;
+    let parts: Vec<Vec<ScopeContingency>> =
+        par::map_ranges_obs(&ranges, obs, "correlation_accumulate", |pi, range| {
+            let mut accs: Vec<ScopeContingency> = scopes
+                .iter()
+                .map(|&scope| ScopeContingency::new(scope, engine_count))
+                .collect();
+            let mut next_row = offsets[pi].clone();
+            for i in range {
+                let rec = &records[s.indices[i as usize]];
+                for rep in &rec.reports {
+                    // R-values map straight onto the report's native verdict
+                    // bitmaps: pos = flagged, zero = scanned-and-clean,
+                    // neither = undetected (engines beyond the report's
+                    // roster have unset `active` bits, matching `get()`).
+                    let (active, detected) = rep.verdicts.raw();
+                    let zero = [active[0] & !detected[0], active[1] & !detected[1]];
+                    for (si, &scope) in scopes.iter().enumerate() {
+                        if !scope_matches(scope, rec) {
+                            continue;
+                        }
+                        let row = next_row[si];
+                        next_row[si] += 1;
+                        if !row_selected(row, totals[si], max_rows) {
+                            continue;
+                        }
+                        accs[si].accumulate_masks(&detected, &zero);
                     }
-                    let row = next_row[si];
-                    next_row[si] += 1;
-                    if !row_selected(row, totals[si], max_rows) {
-                        continue;
-                    }
-                    accs[si].accumulate_masks(&detected, &zero);
                 }
             }
-        }
-        for acc in &mut accs {
-            acc.finalize();
-        }
-        accs
-    });
+            for acc in &mut accs {
+                acc.finalize();
+            }
+            accs
+        });
 
     let mut iter = parts.into_iter();
     let mut merged: Vec<ScopeContingency> = iter.next().unwrap_or_else(|| {
@@ -459,10 +490,81 @@ pub fn analyze_fused(
     max_rows: usize,
     workers: usize,
 ) -> Vec<CorrelationAnalysis> {
-    fused_contingencies(records, s, engine_count, scopes, max_rows, workers)
+    analyze_fused_obs(
+        records,
+        s,
+        engine_count,
+        scopes,
+        max_rows,
+        workers,
+        Obs::noop(),
+    )
+}
+
+/// [`analyze_fused`] with per-worker instrumentation (see
+/// [`fused_contingencies_obs`]). Output is bit-identical regardless of
+/// whether `obs` is enabled.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_fused_obs(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    engine_count: usize,
+    scopes: &[Option<FileType>],
+    max_rows: usize,
+    workers: usize,
+    obs: &Obs,
+) -> Vec<CorrelationAnalysis> {
+    fused_contingencies_obs(records, s, engine_count, scopes, max_rows, workers, obs)
         .iter()
         .map(analysis_from_contingency)
         .collect()
+}
+
+/// §7.2 correlation stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`]. Produces the global-scope analysis plus one
+/// analysis per file type in [`Correlation::scopes`] (in order), all
+/// from one fused parallel pass honoring `ctx.workers` and recording
+/// per-worker busy time into `ctx.obs`.
+#[derive(Debug, Clone, Copy)]
+pub struct Correlation {
+    /// File types given a dedicated per-type analysis alongside the
+    /// global scope.
+    pub scopes: &'static [FileType],
+    /// Row cap per scope (see [`row_selected`]).
+    pub max_rows: usize,
+}
+
+impl Default for Correlation {
+    fn default() -> Self {
+        Correlation {
+            scopes: &crate::pipeline::CORRELATION_SCOPES,
+            max_rows: crate::pipeline::CORRELATION_MAX_ROWS,
+        }
+    }
+}
+
+impl Analysis for Correlation {
+    type Output = (CorrelationAnalysis, Vec<CorrelationAnalysis>);
+
+    fn name(&self) -> &'static str {
+        "correlation"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> (CorrelationAnalysis, Vec<CorrelationAnalysis>) {
+        let mut all: Vec<Option<FileType>> = vec![None];
+        all.extend(self.scopes.iter().map(|&ft| Some(ft)));
+        let mut analyses = analyze_fused_obs(
+            ctx.records,
+            ctx.s,
+            ctx.engine_count(),
+            &all,
+            self.max_rows,
+            ctx.workers,
+            ctx.obs,
+        );
+        let global = analyses.remove(0);
+        (global, analyses)
+    }
 }
 
 /// Finishes one scope's merged contingency tables into the ρ matrix,
@@ -485,7 +587,18 @@ pub fn analysis_from_contingency(sc: &ScopeContingency) -> CorrelationAnalysis {
 /// At most `max_rows` scan rows are used; when the scope exceeds the
 /// cap the rows are strided evenly across the scope (see
 /// [`row_selected`]) and the result is flagged `truncated`.
+#[deprecated(note = "run the `correlation::Correlation` stage with an `AnalysisCtx` instead")]
 pub fn analyze(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    engine_count: usize,
+    scope: Option<FileType>,
+    max_rows: usize,
+) -> CorrelationAnalysis {
+    analyze_impl(records, s, engine_count, scope, max_rows)
+}
+
+pub(crate) fn analyze_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,
     engine_count: usize,
@@ -792,7 +905,7 @@ mod tests {
     fn copier_pair_is_strong_and_grouped() {
         let (records, s) = fixture();
         assert!(!s.is_empty());
-        let a = analyze(&records, &s, 4, None, 10_000);
+        let a = analyze_impl(&records, &s, 4, None, 10_000);
         assert!(a.rho_between(EngineId(0), EngineId(1)) > 0.99);
         assert!(a.rho_between(EngineId(0), EngineId(2)) < -0.99);
         assert!(a
@@ -815,8 +928,8 @@ mod tests {
     #[test]
     fn scope_filters_rows() {
         let (records, s) = fixture();
-        let all = analyze(&records, &s, 4, None, 10_000);
-        let exe = analyze(&records, &s, 4, Some(FileType::Win32Exe), 10_000);
+        let all = analyze_impl(&records, &s, 4, None, 10_000);
+        let exe = analyze_impl(&records, &s, 4, Some(FileType::Win32Exe), 10_000);
         assert!(exe.rows < all.rows);
         assert!(exe.rows > 0);
         assert_eq!(exe.scope, Some(FileType::Win32Exe));
@@ -827,11 +940,11 @@ mod tests {
     #[test]
     fn max_rows_caps_with_stride() {
         let (records, s) = fixture();
-        let capped = analyze(&records, &s, 4, None, 5);
+        let capped = analyze_impl(&records, &s, 4, None, 5);
         assert_eq!(capped.rows, 5);
         assert!(capped.truncated, "cap is surfaced, not silent");
         assert!(capped.total_rows > 5);
-        let uncapped = analyze(&records, &s, 4, None, 10_000);
+        let uncapped = analyze_impl(&records, &s, 4, None, 10_000);
         assert!(!uncapped.truncated);
         assert_eq!(uncapped.rows, capped.total_rows);
     }
@@ -868,7 +981,7 @@ mod tests {
         for max_rows in [10_000usize, 7] {
             let reference: Vec<CorrelationAnalysis> = scopes
                 .iter()
-                .map(|&sc| analyze(&records, &s, 4, sc, max_rows))
+                .map(|&sc| analyze_impl(&records, &s, 4, sc, max_rows))
                 .collect();
             for workers in [1usize, 2, 8] {
                 let fused = analyze_fused(&records, &s, 4, &scopes, max_rows, workers);

@@ -11,6 +11,7 @@
 //! Fig. 10's flip ratio for (engine, type) is flips per adjacent label
 //! pair, i.e. `flips / opportunities`.
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::records::SampleRecord;
 use vt_model::{EngineId, FileType};
@@ -80,8 +81,34 @@ impl FlipAnalysis {
     }
 }
 
+/// §7.1 flip-analysis stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flips;
+
+impl Analysis for Flips {
+    type Output = FlipAnalysis;
+
+    fn name(&self) -> &'static str {
+        "flips"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> FlipAnalysis {
+        analyze_impl(ctx.records, ctx.s, ctx.engine_count())
+    }
+}
+
 /// Runs the flip analysis over *S*.
+#[deprecated(note = "run the `flips::Flips` stage with an `AnalysisCtx` instead")]
 pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, engine_count: usize) -> FlipAnalysis {
+    analyze_impl(records, s, engine_count)
+}
+
+pub(crate) fn analyze_impl(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    engine_count: usize,
+) -> FlipAnalysis {
     let mut a = FlipAnalysis {
         engine_count,
         matrix: vec![[FlipCell::default(); 20]; engine_count],
@@ -189,7 +216,7 @@ mod tests {
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
         assert_eq!(s.len(), records.len(), "fixtures must land in S");
-        analyze(&records, &s, 4)
+        analyze_impl(&records, &s, 4)
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! evenly spaced scans — a documented deviation that preserves each
 //! sample's time coverage.
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::records::SampleRecord;
 use vt_stats::{spearman_with_p, BoxplotSummary, SpearmanResult};
@@ -46,13 +47,49 @@ pub struct IntervalAnalysis {
     pub max_interval_days: u32,
 }
 
+/// §5.3.5 interval-analysis stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`]. `max_days` bounds the day-bin axis; the pipeline
+/// default ([`Intervals::default`]) is the paper's 430.
+#[derive(Debug, Clone, Copy)]
+pub struct Intervals {
+    /// Day-bin axis bound; longer pairs are accounted, not clamped.
+    pub max_days: usize,
+}
+
+impl Default for Intervals {
+    fn default() -> Self {
+        Self { max_days: 430 }
+    }
+}
+
+impl Analysis for Intervals {
+    type Output = IntervalAnalysis;
+
+    fn name(&self) -> &'static str {
+        "intervals"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> IntervalAnalysis {
+        analyze_impl(ctx.records, ctx.s, self.max_days)
+    }
+}
+
 /// Runs the §5.3.5 analysis over *S*. `max_days` bounds the day-bin
 /// axis (the paper observes up to 418 days); pairs with a longer
 /// interval are counted in
 /// [`pairs_beyond_max`](IntervalAnalysis::pairs_beyond_max) and kept
 /// out of the bins (and hence the Spearman input) rather than clamped
 /// into the top bin.
+#[deprecated(note = "run the `intervals::Intervals` stage with an `AnalysisCtx` instead")]
 pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, max_days: usize) -> IntervalAnalysis {
+    analyze_impl(records, s, max_days)
+}
+
+pub(crate) fn analyze_impl(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    max_days: usize,
+) -> IntervalAnalysis {
     let mut per_day: Vec<Vec<f64>> = vec![Vec::new(); max_days + 1];
     let mut pairs = 0u64;
     let mut pairs_beyond_max = 0u64;
@@ -178,7 +215,7 @@ mod tests {
             .collect();
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let a = analyze(&records, &s, 30);
+        let a = analyze_impl(&records, &s, 30);
         assert_eq!(a.pairs, 6 * 120);
         assert_eq!(a.max_interval_days, 3);
         for d in 1..=3usize {
@@ -196,7 +233,7 @@ mod tests {
         let records = vec![record(0, &scans)];
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let a = analyze(&records, &s, 600);
+        let a = analyze_impl(&records, &s, 600);
         let cap = MAX_SCANS_PER_SAMPLE as u64;
         assert!(a.pairs <= cap * (cap - 1) / 2);
         // First and last scans survive the stride.
@@ -214,7 +251,7 @@ mod tests {
         let mut records: Vec<SampleRecord> =
             (0..120).map(|i| record(i, &[(0, 0), (5, 5)])).collect();
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
-        let clean = analyze(&records, &freshdyn::build(&records, window), max_days);
+        let clean = analyze_impl(&records, &freshdyn::build(&records, window), max_days);
         let clean_top = clean.by_day[max_days].expect("top bin populated");
         assert_eq!(clean.pairs_beyond_max, 0);
         assert_eq!(clean.max_interval_days, 5);
@@ -223,7 +260,7 @@ mod tests {
         // under the old clamp it landed in bin 5 and dragged its mean.
         records.push(record(120, &[(0, 0), (12, 4)]));
         let s = freshdyn::build(&records, window);
-        let a = analyze(&records, &s, max_days);
+        let a = analyze_impl(&records, &s, max_days);
         let top = a.by_day[max_days].expect("top bin populated");
         assert_eq!(top.n, clean_top.n, "outlier pair stays out of the bin");
         assert!(
@@ -244,7 +281,7 @@ mod tests {
             indices: vec![],
             reports: 0,
         };
-        let a = analyze(&records, &s, 10);
+        let a = analyze_impl(&records, &s, 10);
         assert_eq!(a.pairs, 0);
         assert!(a.correlation.is_none());
         assert!(a.correlation_median.is_none());

@@ -5,6 +5,7 @@
 //! headline numbers the paper reports (88.81% singleton samples, top-20
 //! share, freshness).
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::records::SampleRecord;
 use vt_model::time::Timestamp;
 use vt_model::FileType;
@@ -25,8 +26,36 @@ pub struct Fig1Points {
     pub multi_report_samples: u64,
 }
 
+/// §4.2 landscape stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`]. Produces the dataset overview and the Fig. 1
+/// reference points in one pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Landscape;
+
+impl Analysis for Landscape {
+    type Output = (DatasetStats, Fig1Points);
+
+    fn name(&self) -> &'static str {
+        "landscape"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> (DatasetStats, Fig1Points) {
+        let stats = dataset_stats_impl(ctx.records, ctx.window_start);
+        let fig1 = fig1_points(&stats);
+        (stats, fig1)
+    }
+}
+
 /// Builds the dataset overview from records.
+#[deprecated(note = "run the `landscape::Landscape` stage with an `AnalysisCtx` instead")]
 pub fn dataset_stats(records: &[SampleRecord], window_start: Timestamp) -> DatasetStats {
+    dataset_stats_impl(records, window_start)
+}
+
+pub(crate) fn dataset_stats_impl(
+    records: &[SampleRecord],
+    window_start: Timestamp,
+) -> DatasetStats {
     let mut stats = DatasetStats::new(window_start);
     for r in records {
         stats.record(&r.meta, &r.reports);
@@ -94,7 +123,7 @@ mod tests {
         let records: Vec<SampleRecord> = (0..10)
             .map(|i| record(i, FileType::Pdf, if i < 8 { 1 } else { 25 }))
             .collect();
-        let stats = dataset_stats(&records, window);
+        let stats = dataset_stats_impl(&records, window);
         let p = fig1_points(&stats);
         assert_eq!(p.singleton, 0.8);
         assert_eq!(p.under_6, 0.8);
@@ -113,7 +142,7 @@ mod tests {
         for i in 6..8 {
             records.push(record(i, FileType::Other(1), 1));
         }
-        let stats = dataset_stats(&records, window);
+        let stats = dataset_stats_impl(&records, window);
         assert_eq!(topk_share(&stats, 10), 0.75);
         assert_eq!(topk_share(&stats, 20), 0.75);
     }

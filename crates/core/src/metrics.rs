@@ -5,6 +5,7 @@
 //! `δᵢ = |pᵢ − pᵢ₋₁|` (adjacent-scan difference, one value per adjacent
 //! pair) and `Δ = p_max − p_min` (overall swing, one value per sample).
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::records::SampleRecord;
 use vt_model::time::Duration;
@@ -39,8 +40,63 @@ pub struct MetricsAnalysis {
     pub per_type: Vec<TypeMetrics>,
 }
 
+/// §5.3.2–§5.3.4 δ/Δ metrics stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Metrics;
+
+impl Analysis for Metrics {
+    type Output = MetricsAnalysis;
+
+    fn name(&self) -> &'static str {
+        "metrics"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> MetricsAnalysis {
+        analyze_impl(ctx.records, ctx.s)
+    }
+}
+
+/// §8.1 measurement-window sweep stage: the fraction of *S* whose Δ
+/// grows when the observation window extends from `short` to `long`.
+/// The pipeline default ([`WindowGrowth::default`]) is the paper's
+/// 1-month → 3-month comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowGrowth {
+    /// The short observation window.
+    pub short: Duration,
+    /// The long observation window.
+    pub long: Duration,
+}
+
+impl Default for WindowGrowth {
+    fn default() -> Self {
+        Self {
+            short: Duration::days(30),
+            long: Duration::days(90),
+        }
+    }
+}
+
+impl Analysis for WindowGrowth {
+    type Output = f64;
+
+    fn name(&self) -> &'static str {
+        "window_growth"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> f64 {
+        window_growth_impl(ctx.records, ctx.s, self.short, self.long)
+    }
+}
+
 /// Runs the δ/Δ analysis over *S*.
+#[deprecated(note = "run the `metrics::Metrics` stage with an `AnalysisCtx` instead")]
 pub fn analyze(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
+    analyze_impl(records, s)
+}
+
+pub(crate) fn analyze_impl(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
     let mut delta_adjacent_hist = Histogram::new(71);
     let mut delta_overall_hist = Histogram::new(71);
     let mut per_type_adjacent: Vec<Vec<f64>> = vec![Vec::new(); 20];
@@ -90,7 +146,17 @@ pub fn analyze(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
 /// in the window's first month, the fraction whose observed Δ grows
 /// when the observation window extends from `short` to `long`
 /// (paper: 8.6% grow from 1 month to 3 months).
+#[deprecated(note = "run the `metrics::WindowGrowth` stage with an `AnalysisCtx` instead")]
 pub fn window_growth_fraction(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    short: Duration,
+    long: Duration,
+) -> f64 {
+    window_growth_impl(records, s, short, long)
+}
+
+pub(crate) fn window_growth_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,
     short: Duration,
@@ -183,7 +249,7 @@ mod tests {
     fn delta_distributions() {
         let (records, s) = dataset();
         assert_eq!(s.len(), 2);
-        let m = analyze(&records, &s);
+        let m = analyze_impl(&records, &s);
         // Adjacent pairs: {0, 3, 1} → one zero of three.
         assert!((m.delta_zero_fraction - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(m.delta_adjacent_hist.total(), 3);
@@ -195,7 +261,7 @@ mod tests {
     #[test]
     fn per_type_boxes() {
         let (records, s) = dataset();
-        let m = analyze(&records, &s);
+        let m = analyze_impl(&records, &s);
         let exe = m
             .per_type
             .iter()
@@ -225,10 +291,10 @@ mod tests {
         // (Δ=3). Sample 1's second scan is outside the short window →
         // not eligible.
         let (records, s) = dataset();
-        let frac = window_growth_fraction(&records, &s, Duration::days(1), Duration::days(30));
+        let frac = window_growth_impl(&records, &s, Duration::days(1), Duration::days(30));
         assert_eq!(frac, 1.0);
         // With both windows long, nothing grows.
-        let frac2 = window_growth_fraction(&records, &s, Duration::days(30), Duration::days(60));
+        let frac2 = window_growth_impl(&records, &s, Duration::days(30), Duration::days(60));
         assert_eq!(frac2, 0.0);
     }
 }

@@ -8,6 +8,9 @@
 //! associatively parallelizes in three lines.
 
 use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use vt_obs::{saturating_ns, Obs};
 
 /// Number of worker threads to use: the available parallelism, capped
 /// at 16 (the passes are memory-bandwidth-bound beyond that).
@@ -70,6 +73,55 @@ where
     })
     .expect("crossbeam scope failed");
     out.into_iter().map(|t| t.expect("worker result")).collect()
+}
+
+/// [`map_ranges`] with per-worker instrumentation: each range's wall
+/// time lands in the `par/<kernel>/worker_busy_ns` histogram, the
+/// spread between the slowest and the mean worker in the
+/// `par/<kernel>/imbalance_pct` gauge (100 = perfectly balanced, 200 =
+/// slowest worker ran twice the mean; high-water across invocations),
+/// and each call bumps `par/<kernel>/invocations`.
+///
+/// Timing wraps whole ranges, never items, so the hot loop is
+/// untouched; all recording happens on the calling thread after the
+/// join. With a disabled `obs` this *is* [`map_ranges`] — results are
+/// identical either way.
+pub fn map_ranges_obs<T, F>(
+    ranges: &[std::ops::Range<u64>],
+    obs: &Obs,
+    kernel: &str,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<u64>) -> T + Sync,
+{
+    if !obs.is_enabled() {
+        return map_ranges(ranges, f);
+    }
+    let timed = map_ranges(ranges, |i, r| {
+        let start = Instant::now();
+        let out = f(i, r);
+        (out, saturating_ns(start.elapsed()))
+    });
+    let busy = obs.histogram(&format!("par/{kernel}/worker_busy_ns"));
+    let mut total_ns = 0u64;
+    let mut max_ns = 0u64;
+    let mut out = Vec::with_capacity(timed.len());
+    for (t, ns) in timed {
+        busy.observe(ns);
+        total_ns = total_ns.saturating_add(ns);
+        max_ns = max_ns.max(ns);
+        out.push(t);
+    }
+    if !out.is_empty() && total_ns > 0 {
+        let mean = total_ns as f64 / out.len() as f64;
+        let pct = (max_ns as f64 / mean * 100.0).round() as u64;
+        obs.gauge(&format!("par/{kernel}/imbalance_pct"))
+            .set_max(pct);
+    }
+    obs.counter(&format!("par/{kernel}/invocations")).incr();
+    out
 }
 
 /// Splits `0..n` into `workers` contiguous ranges, runs `f` on each

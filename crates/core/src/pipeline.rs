@@ -1,4 +1,4 @@
-//! End-to-end study orchestration: simulate → store → analyze.
+//! End-to-end study orchestration: simulate → ingest → store → analyze.
 //!
 //! [`Study::generate`] produces the dataset (in parallel over sample
 //! ordinals — generation is the expensive pass), routes every report
@@ -6,22 +6,40 @@
 //! Table 2 accounting and exercising the storage substrate end to end),
 //! and [`Study::run`] executes every analysis of the paper, returning a
 //! [`StudyResults`] with one field per table/figure.
+//!
+//! ## The stage registry
+//!
+//! Every analysis runs as an [`Analysis`] stage against one shared
+//! [`AnalysisCtx`]. `registry` is the single ordered list of stages;
+//! [`analyze_records_obs`] iterates it, running each stage under its
+//! `pipeline/<name>` span, so adding an analysis means adding one
+//! registry line — the timing, naming and result plumbing come free.
+//! [`stage_names`] exposes the roster for tests and tooling.
+//!
+//! Instrumentation is strictly write-only: no stage reads the `Obs`
+//! handle, so a [`StudyResults`] is bit-identical whether observability
+//! is enabled, disabled, or [`Obs::noop`] — only
+//! [`StudyResults::stage_timings`] (empty when disabled) differs.
 
-use crate::categorize::{self, CategorySweep};
-use crate::causes::{self, CauseAnalysis};
-use crate::correlation::{self, CorrelationAnalysis};
-use crate::flips::{self, FlipAnalysis};
+use crate::analysis::{Analysis, AnalysisCtx};
+use crate::categorize::{Categorize, CategorySweep};
+use crate::causes::{CauseAnalysis, Causes};
+use crate::collector::Collector;
+use crate::correlation::{self, Correlation, CorrelationAnalysis};
+use crate::flips::{FlipAnalysis, Flips};
 use crate::freshdyn;
-use crate::intervals::{self, IntervalAnalysis};
-use crate::landscape::{self, Fig1Points};
-use crate::metrics::{self, MetricsAnalysis};
+use crate::intervals::{IntervalAnalysis, Intervals};
+use crate::landscape::{Fig1Points, Landscape};
+use crate::metrics::{Metrics, MetricsAnalysis, WindowGrowth};
 use crate::par;
 use crate::records::SampleRecord;
-use crate::stability::{self, StabilityAnalysis};
-use crate::stabilization::{self, LabelStabilization, RankStabilization};
+use crate::stability::{Stability, StabilityAnalysis};
+use crate::stabilization::{LabelStabilization, RankStabilization, Stabilization};
 use vt_engines::EngineFleet;
-use vt_model::time::{Duration, Timestamp};
-use vt_model::FileType;
+use vt_model::time::Timestamp;
+use vt_model::{FileType, ScanReport};
+use vt_obs::Obs;
+use vt_sim::fault::{FaultPlan, FaultyFeed};
 use vt_sim::{SimConfig, VirusTotalSim};
 use vt_store::{DatasetStats, PartitionStats, ReportStore};
 
@@ -30,6 +48,21 @@ use vt_store::{DatasetStats, PartitionStats, ReportStore};
 pub struct Study {
     sim: VirusTotalSim,
     records: Vec<SampleRecord>,
+}
+
+/// Wall-clock accounting for one pipeline stage, extracted from the
+/// run's `pipeline/<name>` spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (as in [`stage_names`], plus `freshdyn` for the *S*
+    /// construction that precedes the stages).
+    pub name: String,
+    /// Times the stage ran during this `Obs`'s lifetime.
+    pub count: u64,
+    /// Total nanoseconds across those runs.
+    pub total_ns: u64,
+    /// Slowest single run in nanoseconds.
+    pub max_ns: u64,
 }
 
 /// Every table and figure of the paper, as typed results.
@@ -72,6 +105,11 @@ pub struct StudyResults {
     pub correlation_global: CorrelationAnalysis,
     /// §7.2 per type (Fig. 12, Tables 4–8 + the DEX/GZIP quirks).
     pub correlation_per_type: Vec<CorrelationAnalysis>,
+    /// Per-stage wall clock, in `Obs` snapshot order. Empty when the
+    /// run's `Obs` was disabled (the default paths). Counts accumulate
+    /// over the `Obs`'s lifetime, so a reused handle reports totals
+    /// across runs.
+    pub stage_timings: Vec<StageTiming>,
 }
 
 /// File types given a dedicated correlation analysis (the paper's top-5
@@ -97,7 +135,7 @@ pub const CORRELATION_MAX_ROWS: usize = 400_000;
 /// *S*, instead of 8 serial re-scans. Returns `(global, per_type)` with
 /// `per_type` in `CORRELATION_SCOPES` order.
 ///
-/// Output is bit-identical to calling [`correlation::analyze`] once per
+/// Output is bit-identical to running the reference analysis once per
 /// scope, at every worker count.
 pub fn correlation_all_scopes(
     records: &[SampleRecord],
@@ -119,6 +157,75 @@ pub fn correlation_all_scopes(
     (global, analyses)
 }
 
+/// Stage results being assembled; each registry entry fills its slot.
+#[derive(Default)]
+struct Draft {
+    landscape: Option<(DatasetStats, Fig1Points)>,
+    stability: Option<StabilityAnalysis>,
+    metrics: Option<MetricsAnalysis>,
+    window_growth: Option<f64>,
+    intervals: Option<IntervalAnalysis>,
+    categories_all: Option<CategorySweep>,
+    categories_pe: Option<CategorySweep>,
+    causes: Option<CauseAnalysis>,
+    stabilization: Option<crate::stabilization::StabilizationOutput>,
+    flips: Option<FlipAnalysis>,
+    correlation: Option<(CorrelationAnalysis, Vec<CorrelationAnalysis>)>,
+}
+
+/// One registry entry: run a stage against the context and deposit its
+/// output into the draft. Plain function pointers so the registry is a
+/// static, allocation-free roster.
+type StageFn = fn(&AnalysisCtx, &mut Draft);
+
+/// The ordered stage roster [`analyze_records_obs`] executes. Each
+/// entry pairs the stage's [`Analysis::name`] with the function that
+/// runs it (timed, via [`Analysis::run_timed`]) and stores its output.
+fn registry() -> Vec<(&'static str, StageFn)> {
+    vec![
+        (Landscape.name(), |ctx, d| {
+            d.landscape = Some(Landscape.run_timed(ctx));
+        }),
+        (Stability.name(), |ctx, d| {
+            d.stability = Some(Stability.run_timed(ctx));
+        }),
+        (Metrics.name(), |ctx, d| {
+            d.metrics = Some(Metrics.run_timed(ctx));
+        }),
+        (WindowGrowth::default().name(), |ctx, d| {
+            d.window_growth = Some(WindowGrowth::default().run_timed(ctx));
+        }),
+        (Intervals::default().name(), |ctx, d| {
+            d.intervals = Some(Intervals::default().run_timed(ctx));
+        }),
+        (Categorize::ALL.name(), |ctx, d| {
+            d.categories_all = Some(Categorize::ALL.run_timed(ctx));
+        }),
+        (Categorize::PE.name(), |ctx, d| {
+            d.categories_pe = Some(Categorize::PE.run_timed(ctx));
+        }),
+        (Causes.name(), |ctx, d| {
+            d.causes = Some(Causes.run_timed(ctx));
+        }),
+        (Stabilization.name(), |ctx, d| {
+            d.stabilization = Some(Stabilization.run_timed(ctx));
+        }),
+        (Flips.name(), |ctx, d| {
+            d.flips = Some(Flips.run_timed(ctx));
+        }),
+        (Correlation::default().name(), |ctx, d| {
+            d.correlation = Some(Correlation::default().run_timed(ctx));
+        }),
+    ]
+}
+
+/// Names of every registered pipeline stage, in execution order. Every
+/// name appears as a `pipeline/<name>` span in an instrumented run's
+/// metrics.
+pub fn stage_names() -> Vec<&'static str> {
+    registry().into_iter().map(|(name, _)| name).collect()
+}
+
 impl Study {
     /// Generates the dataset with [`par::default_workers`] threads.
     pub fn generate(config: SimConfig) -> Self {
@@ -128,8 +235,19 @@ impl Study {
     /// Generates the dataset with an explicit worker count (the
     /// parallelism ablation bench drives this).
     pub fn generate_with_workers(config: SimConfig, workers: usize) -> Self {
+        Self::generate_with_workers_obs(config, workers, Obs::noop())
+    }
+
+    /// [`generate_with_workers`](Self::generate_with_workers) with
+    /// per-worker instrumentation under the `generate` kernel and a
+    /// `pipeline/generate` span. Generation is deterministic per sample
+    /// ordinal, so the records are identical at every worker count and
+    /// whether or not `obs` is enabled.
+    pub fn generate_with_workers_obs(config: SimConfig, workers: usize, obs: &Obs) -> Self {
+        let _span = obs.span("pipeline/generate");
         let sim = VirusTotalSim::new(config);
-        let parts = par::map_partitions(config.samples, workers, |range| {
+        let ranges = par::partition_ranges(config.samples, workers);
+        let parts = par::map_ranges_obs(&ranges, obs, "generate", |_, range| {
             sim.trajectories_in(range)
                 .map(|(meta, reports)| SampleRecord::new(meta, reports))
                 .collect::<Vec<_>>()
@@ -172,6 +290,36 @@ impl Study {
             self.sim.config().window_start(),
         )
     }
+
+    /// [`run`](Self::run) with explicit parallelism and observability:
+    /// ingestion goes through the fault-tolerant [`Collector`] over a
+    /// fault-free feed (exercising — and instrumenting — the paper's
+    /// actual collection path instead of bulk-loading the store), and
+    /// every analysis stage runs under its `pipeline/<name>` span with
+    /// `ctx.workers = workers`.
+    ///
+    /// Analysis fields are bit-identical to [`run`](Self::run) at every
+    /// worker count and obs state; only the Table 2 byte accounting may
+    /// differ from `run`'s (the collector packs blocks in emission
+    /// order, `build_store` in sample order — the per-month report
+    /// counts are identical).
+    pub fn run_with_obs(&self, workers: usize, obs: &Obs) -> StudyResults {
+        let reports: Vec<ScanReport> = self
+            .records
+            .iter()
+            .flat_map(|r| r.reports.iter().cloned())
+            .collect();
+        let feed = FaultyFeed::new(reports, FaultPlan::clean(self.sim.config().seed));
+        let outcome = Collector::default().run_with_obs(feed, obs);
+        analyze_records_obs(
+            &self.records,
+            outcome.store.partition_stats(),
+            self.sim.fleet(),
+            self.sim.config().window_start(),
+            workers,
+            obs,
+        )
+    }
 }
 
 /// Runs every analysis of the paper over a record set — the entry point
@@ -189,59 +337,86 @@ pub fn analyze_records(
     fleet: &EngineFleet,
     window_start: Timestamp,
 ) -> StudyResults {
-    // §4.
-    let dataset = landscape::dataset_stats(records, window_start);
-    let fig1 = landscape::fig1_points(&dataset);
+    analyze_records_obs(
+        records,
+        partitions,
+        fleet,
+        window_start,
+        par::default_workers(),
+        Obs::noop(),
+    )
+}
 
-    // §5.1–5.2.
-    let stability = stability::analyze(records);
+/// [`analyze_records`] with explicit parallelism and observability:
+/// builds *S* under the `pipeline/freshdyn` span, then executes the
+/// registry stages in order against one [`AnalysisCtx`]. When `obs`
+/// is enabled, [`StudyResults::stage_timings`] reports each stage's
+/// wall clock; analysis outputs never depend on `obs` or `workers`.
+pub fn analyze_records_obs(
+    records: &[SampleRecord],
+    partitions: Vec<PartitionStats>,
+    fleet: &EngineFleet,
+    window_start: Timestamp,
+    workers: usize,
+    obs: &Obs,
+) -> StudyResults {
+    let s = obs.time("pipeline/freshdyn", || {
+        freshdyn::build(records, window_start)
+    });
+    let ctx = AnalysisCtx::new(records, &s, fleet, window_start)
+        .with_workers(workers)
+        .with_obs(obs);
+    let mut draft = Draft::default();
+    for (_, stage) in registry() {
+        stage(&ctx, &mut draft);
+    }
 
-    // §5.3.
-    let s = freshdyn::build(records, window_start);
-    let metrics = metrics::analyze(records, &s);
-    let window_growth =
-        metrics::window_growth_fraction(records, &s, Duration::days(30), Duration::days(90));
-    let intervals = intervals::analyze(records, &s, 430);
-
-    // §5.4.
-    let categories_all = categorize::sweep(records, &s, false);
-    let categories_pe = categorize::sweep(records, &s, true);
-
-    // §5.5.
-    let causes = causes::analyze(records, &s, fleet);
-
-    // §6.
-    let rank_stabilization = stabilization::rank_stabilization(records, &s);
-    let label_stabilization_all = stabilization::label_stabilization(records, &s, false);
-    let label_stabilization_multi = stabilization::label_stabilization(records, &s, true);
-
-    // §7. The 8 correlation scopes (global + per-type) come from one
-    // fused parallel pass over S, not 8 serial re-scans.
-    let engine_count = fleet.engine_count();
-    let flips = flips::analyze(records, &s, engine_count);
+    let (dataset, fig1) = draft.landscape.expect("landscape stage ran");
+    let stabilization = draft.stabilization.expect("stabilization stage ran");
     let (correlation_global, correlation_per_type) =
-        correlation_all_scopes(records, &s, engine_count, par::default_workers());
-
+        draft.correlation.expect("correlation stage ran");
     StudyResults {
         dataset,
         fig1,
         partitions,
-        stability,
+        stability: draft.stability.expect("stability stage ran"),
         s_samples: s.len() as u64,
         s_reports: s.reports,
-        metrics,
-        window_growth,
-        intervals,
-        categories_all,
-        categories_pe,
-        causes,
-        rank_stabilization,
-        label_stabilization_all,
-        label_stabilization_multi,
-        flips,
+        metrics: draft.metrics.expect("metrics stage ran"),
+        window_growth: draft.window_growth.expect("window_growth stage ran"),
+        intervals: draft.intervals.expect("intervals stage ran"),
+        categories_all: draft.categories_all.expect("categorize_all stage ran"),
+        categories_pe: draft.categories_pe.expect("categorize_pe stage ran"),
+        causes: draft.causes.expect("causes stage ran"),
+        rank_stabilization: stabilization.rank,
+        label_stabilization_all: stabilization.label_all,
+        label_stabilization_multi: stabilization.label_multi,
+        flips: draft.flips.expect("flips stage ran"),
         correlation_global,
         correlation_per_type,
+        stage_timings: stage_timings_from(obs),
     }
+}
+
+/// Extracts [`StageTiming`]s from the `pipeline/`-prefixed spans of an
+/// enabled `Obs` (empty for a disabled one).
+fn stage_timings_from(obs: &Obs) -> Vec<StageTiming> {
+    if !obs.is_enabled() {
+        return Vec::new();
+    }
+    obs.snapshot()
+        .spans
+        .into_iter()
+        .filter_map(|(name, span)| {
+            let stage = name.strip_prefix("pipeline/")?;
+            Some(StageTiming {
+                name: stage.to_string(),
+                count: span.count,
+                total_ns: span.total_ns,
+                max_ns: span.max_ns,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -261,6 +436,15 @@ mod tests {
         for (x, y) in a.records().iter().zip(b.records()) {
             assert_eq!(x, y);
         }
+        // Instrumented generation produces the same records and leaves
+        // a per-worker busy-time trail.
+        let obs = Obs::new();
+        let c = Study::generate_with_workers_obs(config, 4, &obs);
+        assert_eq!(a.records(), c.records());
+        let m = obs.snapshot();
+        assert_eq!(m.counter("par/generate/invocations"), Some(1));
+        assert!(m.histogram("par/generate/worker_busy_ns").is_some());
+        assert_eq!(m.span("pipeline/generate").map(|s| s.count), Some(1));
     }
 
     #[test]
@@ -281,6 +465,19 @@ mod tests {
     }
 
     #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names = stage_names();
+        assert_eq!(names.len(), 11);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate stage name");
+        for expected in ["landscape", "stability", "flips", "correlation"] {
+            assert!(names.contains(&expected), "missing stage {expected}");
+        }
+    }
+
+    #[test]
     fn full_pipeline_produces_consistent_results() {
         let study = small_study();
         let results = study.run();
@@ -289,6 +486,9 @@ mod tests {
         assert_eq!(results.dataset.total_samples(), 4_000);
         let partition_reports: u64 = results.partitions.iter().map(|p| p.reports).sum();
         assert_eq!(results.dataset.total_reports(), partition_reports);
+
+        // The default path records no timings.
+        assert!(results.stage_timings.is_empty());
 
         // Stable + dynamic = multi-report.
         let st = &results.stability;
@@ -325,9 +525,34 @@ mod tests {
         }
     }
 
+    #[test]
+    fn instrumented_run_times_every_stage() {
+        let study = Study::generate_with_workers(SimConfig::new(0x0B5, 800), 2);
+        let obs = Obs::new();
+        let results = study.run_with_obs(2, &obs);
+        let timed: Vec<&str> = results
+            .stage_timings
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        for name in stage_names() {
+            assert!(timed.contains(&name), "stage {name} missing a timing");
+        }
+        assert!(timed.contains(&"freshdyn"));
+        for t in &results.stage_timings {
+            assert_eq!(t.count, 1, "stage {} ran once", t.name);
+            assert!(t.max_ns <= t.total_ns);
+        }
+        // The collector path ingested every report.
+        let m = obs.snapshot();
+        let total: u64 = study.records().iter().map(|r| r.reports.len() as u64).sum();
+        assert_eq!(m.counter("collector/accepted"), Some(total));
+        assert_eq!(m.counter("collector/deduped"), Some(0));
+    }
+
     /// Acceptance gate for the fused kernel: on a seeded study, every
     /// scope's fused analysis is bit-identical (ρ matrix, strong pairs,
-    /// groups, row accounting) to the reference per-scope `analyze`, at
+    /// groups, row accounting) to the reference per-scope analysis, at
     /// worker counts 1, 2 and 8.
     #[test]
     fn fused_correlation_matches_reference_on_seeded_study() {
@@ -343,7 +568,7 @@ mod tests {
         let max_rows = 500;
         let reference: Vec<CorrelationAnalysis> = scopes
             .iter()
-            .map(|&sc| correlation::analyze(records, &s, engines, sc, max_rows))
+            .map(|&sc| correlation::analyze_impl(records, &s, engines, sc, max_rows))
             .collect();
         assert!(reference[0].truncated, "global scope exceeds the cap");
 

@@ -7,6 +7,7 @@
 //! of stable samples sit at AV-Rank 0, and that benign (rank-0) stable
 //! samples hold their state longest.
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::records::SampleRecord;
 use vt_stats::{BoxplotSummary, Histogram};
 
@@ -101,9 +102,31 @@ impl StabilityAnalysis {
     }
 }
 
+/// §5.1–5.2 stability stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stability;
+
+impl Analysis for Stability {
+    type Output = StabilityAnalysis;
+
+    fn name(&self) -> &'static str {
+        "stability"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> StabilityAnalysis {
+        analyze_impl(ctx.records)
+    }
+}
+
 /// Runs the §5.1–5.2 analysis over all records (single-report samples
 /// are skipped).
+#[deprecated(note = "run the `stability::Stability` stage with an `AnalysisCtx` instead")]
 pub fn analyze(records: &[SampleRecord]) -> StabilityAnalysis {
+    analyze_impl(records)
+}
+
+pub(crate) fn analyze_impl(records: &[SampleRecord]) -> StabilityAnalysis {
     let mut a = StabilityAnalysis {
         multi_report_samples: 0,
         stable: 0,
@@ -214,7 +237,7 @@ mod tests {
             record(3, &[2, 5], 1),    // dynamic
             record(4, &[7], 1),       // single report: skipped
         ];
-        let a = analyze(&records);
+        let a = analyze_impl(&records);
         assert_eq!(a.multi_report_samples, 3);
         assert_eq!(a.stable, 2);
         assert_eq!(a.dynamic, 1);
@@ -230,7 +253,7 @@ mod tests {
             record(2, &[0, 0, 0, 0], 1),
             record(3, &[4, 4], 1),
         ];
-        let a = analyze(&records);
+        let a = analyze_impl(&records);
         assert_eq!(a.rank0_scans, (2, 1, 6));
         assert_eq!(a.rank_pos_scans, (1, 1, 2));
         assert_eq!(a.rank0_mean_scans(), 3.0);
@@ -246,7 +269,7 @@ mod tests {
             record(2, &[0, 0], 40),  // span 40 days at rank 0
             record(3, &[25, 25], 2), // rank 25 → capped bucket
         ];
-        let a = analyze(&records);
+        let a = analyze_impl(&records);
         let rank0 = a.span_by_rank[0].expect("rank 0 box");
         assert_eq!(rank0.n, 2);
         assert!((rank0.mean - 25.0).abs() < 1e-9);

@@ -13,9 +13,42 @@
 //!    stabilizing scan and the mean days to stability per t, with and
 //!    without 2-scan samples (Fig. 9a/9b).
 
+use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::records::SampleRecord;
 use vt_aggregate::{stabilization_index, LabelSequence, Threshold};
+
+/// Combined §6 output: the r-sweep plus both Fig. 9 variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilizationOutput {
+    /// §6.1 sweep over r = 0..=5 (Obs. 8).
+    pub rank: Vec<RankStabilization>,
+    /// §6.2 over all of *S* (Fig. 9a).
+    pub label_all: Vec<LabelStabilization>,
+    /// §6.2 excluding 2-scan samples (Fig. 9b).
+    pub label_multi: Vec<LabelStabilization>,
+}
+
+/// §6 stabilization stage: run via [`Analysis::run`] with an
+/// [`AnalysisCtx`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stabilization;
+
+impl Analysis for Stabilization {
+    type Output = StabilizationOutput;
+
+    fn name(&self) -> &'static str {
+        "stabilization"
+    }
+
+    fn run(&self, ctx: &AnalysisCtx) -> StabilizationOutput {
+        StabilizationOutput {
+            rank: rank_stabilization_impl(ctx.records, ctx.s),
+            label_all: label_stabilization_impl(ctx.records, ctx.s, false),
+            label_multi: label_stabilization_impl(ctx.records, ctx.s, true),
+        }
+    }
+}
 
 /// §6.1 result for one fluctuation range r.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,7 +115,15 @@ pub fn rank_stabilization_index(p: &[u32], r: u32) -> Option<usize> {
 }
 
 /// Runs the §6.1 sweep over r = 0..=5.
+#[deprecated(note = "run the `stabilization::Stabilization` stage with an `AnalysisCtx` instead")]
 pub fn rank_stabilization(records: &[SampleRecord], s: &FreshDynamic) -> Vec<RankStabilization> {
+    rank_stabilization_impl(records, s)
+}
+
+pub(crate) fn rank_stabilization_impl(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+) -> Vec<RankStabilization> {
     let mut out: Vec<RankStabilization> = (0..=5)
         .map(|r| RankStabilization {
             r,
@@ -161,7 +202,16 @@ pub const FIG9_THRESHOLDS: [u32; 9] = [2, 5, 10, 15, 20, 25, 30, 35, 40];
 /// Runs the §6.2 sweep. `exclude_two_scans` selects Fig. 9b's variant
 /// (samples with only two scans trivially stabilize and dominate the
 /// averages).
+#[deprecated(note = "run the `stabilization::Stabilization` stage with an `AnalysisCtx` instead")]
 pub fn label_stabilization(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    exclude_two_scans: bool,
+) -> Vec<LabelStabilization> {
+    label_stabilization_impl(records, s, exclude_two_scans)
+}
+
+pub(crate) fn label_stabilization_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,
     exclude_two_scans: bool,
@@ -321,7 +371,7 @@ mod tests {
         ];
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let sweep = rank_stabilization(&records, &s);
+        let sweep = rank_stabilization_impl(&records, &s);
         assert_eq!(sweep[0].r, 0);
         assert_eq!(sweep[0].samples, 2);
         assert_eq!(sweep[0].stabilized, 1);
@@ -337,7 +387,7 @@ mod tests {
         let records = vec![record(0, &[1, 5, 5, 5], 1), record(1, &[1, 2], 1)];
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let all = label_stabilization(&records, &s, false);
+        let all = label_stabilization_impl(&records, &s, false);
         let t2 = all[0];
         assert_eq!(t2.t, 2);
         assert_eq!(t2.samples, 2);
@@ -345,7 +395,7 @@ mod tests {
         assert!((t2.mean_serial - 2.0).abs() < 1e-12);
         assert!((t2.mean_days - 1.0).abs() < 1e-12);
 
-        let excl = label_stabilization(&records, &s, true);
+        let excl = label_stabilization_impl(&records, &s, true);
         assert_eq!(excl[0].samples, 1, "2-scan sample excluded");
     }
 }

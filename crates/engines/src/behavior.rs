@@ -125,6 +125,139 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// A validating builder seeded with the defaults.
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// A validation failure from [`FleetConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetConfigError {
+    /// A rate multiplier or lognormal σ was negative, NaN or infinite.
+    NotFiniteNonNegative {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `glitch_rate` is a per-scan probability and must lie in `[0, 1]`.
+    GlitchRateOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetConfigError::NotFiniteNonNegative { field, value } => {
+                write!(f, "{field} must be finite and >= 0, got {value}")
+            }
+            FleetConfigError::GlitchRateOutOfRange { value } => {
+                write!(
+                    f,
+                    "glitch_rate must be a probability in [0, 1], got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+/// Validating builder for [`FleetConfig`]: the only construction path
+/// that guarantees every multiplier/σ is finite and non-negative and
+/// `glitch_rate` is a probability. Struct-literal construction remains
+/// possible for tests that deliberately want out-of-range values.
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the fleet seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.config.seed = v;
+        self
+    }
+
+    /// Sets the global timeout-rate multiplier.
+    pub fn timeout_mult(mut self, v: f64) -> Self {
+        self.config.timeout_mult = v;
+        self
+    }
+
+    /// Sets the global outage-rate multiplier.
+    pub fn outage_mult(mut self, v: f64) -> Self {
+        self.config.outage_mult = v;
+        self
+    }
+
+    /// Sets the per-scan label-glitch probability.
+    pub fn glitch_rate(mut self, v: f64) -> Self {
+        self.config.glitch_rate = v;
+        self
+    }
+
+    /// Sets the per-sample slowness lognormal σ.
+    pub fn slowness_sigma(mut self, v: f64) -> Self {
+        self.config.slowness_sigma = v;
+        self
+    }
+
+    /// Sets the per-(sample, day) load lognormal σ.
+    pub fn load_sigma(mut self, v: f64) -> Self {
+        self.config.load_sigma = v;
+        self
+    }
+
+    /// Sets the fast availability-epoch lognormal σ.
+    pub fn epoch_sigma(mut self, v: f64) -> Self {
+        self.config.epoch_sigma = v;
+        self
+    }
+
+    /// Sets the slow availability-epoch lognormal σ.
+    pub fn epoch_slow_sigma(mut self, v: f64) -> Self {
+        self.config.epoch_slow_sigma = v;
+        self
+    }
+
+    /// Sets the secular availability-trend σ.
+    pub fn trend_sigma(mut self, v: f64) -> Self {
+        self.config.trend_sigma = v;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<FleetConfig, FleetConfigError> {
+        let c = &self.config;
+        for (field, value) in [
+            ("timeout_mult", c.timeout_mult),
+            ("outage_mult", c.outage_mult),
+            ("slowness_sigma", c.slowness_sigma),
+            ("load_sigma", c.load_sigma),
+            ("epoch_sigma", c.epoch_sigma),
+            ("epoch_slow_sigma", c.epoch_slow_sigma),
+            ("trend_sigma", c.trend_sigma),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(FleetConfigError::NotFiniteNonNegative { field, value });
+            }
+        }
+        if !c.glitch_rate.is_finite() || !(0.0..=1.0).contains(&c.glitch_rate) {
+            return Err(FleetConfigError::GlitchRateOutOfRange {
+                value: c.glitch_rate,
+            });
+        }
+        Ok(self.config)
+    }
+}
+
 /// The lifetime plan of one (engine, sample) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PairPlan {

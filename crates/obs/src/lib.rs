@@ -1,0 +1,539 @@
+//! # vt-obs — zero-dependency observability
+//!
+//! The measurement pipeline ingests a simulated 14-month feed and runs
+//! a dozen CPU-bound analysis passes; operating that at scale lives or
+//! dies on per-stage throughput visibility. This crate is the
+//! observability substrate the rest of the workspace threads through:
+//! hand-rolled (the build is hermetic — no `tracing`, no `tokio`),
+//! lock-free on hot paths, and near-zero cost when disabled.
+//!
+//! * [`Obs`] — the metric registry. Constructed enabled ([`Obs::new`])
+//!   or disabled ([`Obs::disabled`] / the static [`Obs::noop`]).
+//!   Registration (cold path) takes a mutex; every recording operation
+//!   (hot path) is a relaxed atomic on an [`std::sync::Arc`]-shared
+//!   cell, so handles outlive the borrow that registered them and can
+//!   be stashed in long-lived structs (stores, collectors, workers).
+//! * [`Counter`] / [`Gauge`] — monotonic adds and set/set-max values.
+//! * [`Histogram`] — fixed-bucket log2 histogram (65 buckets covering
+//!   the full `u64` range), with count/sum/min/max.
+//! * [`Span`] — a monotonic-clock ([`std::time::Instant`]) RAII timer
+//!   that records elapsed nanoseconds on drop.
+//! * [`RunMetrics`] — a point-in-time snapshot of everything
+//!   registered, serializable to JSON ([`RunMetrics::to_json`]) and
+//!   renderable as a human-readable stage table
+//!   ([`RunMetrics::render_table`]).
+//! * [`json`] — a minimal JSON reader used to validate round trips of
+//!   the writer's output (and by tests/tools that consume
+//!   `metrics.json`).
+//!
+//! Every handle obtained from a *disabled* `Obs` carries no cell: the
+//! recording methods reduce to a branch on a `None`, which the
+//! optimizer hoists — a disabled pipeline pays essentially nothing, and
+//! no `Instant::now` syscalls are made.
+//!
+//! Metric names are `/`-separated paths (`"collector/accepted"`,
+//! `"pipeline/flips"`); the snapshot is sorted by name and the table
+//! renderer groups rows by their first path segment, which is what
+//! makes the flat registry read as a tree.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod json;
+mod snapshot;
+
+pub use snapshot::{HistogramSnapshot, RunMetrics, SpanSnapshot};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of log2 histogram buckets: bucket 0 holds exact zeros,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`, so 65 buckets
+/// cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+pub(crate) fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_lower_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct SpanCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanCell {
+    #[inline]
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One registered metric (internal registry slot).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCell>),
+    Span(Arc<SpanCell>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Span(_) => "span",
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning is cheap (an `Arc` bump); a handle from a disabled [`Obs`]
+/// (or a `Default` one) is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value / high-water-mark gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log2 histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.observe(v);
+        }
+    }
+
+    /// Observations recorded so far (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+/// An RAII span timer: measures from construction to drop on the
+/// monotonic clock and records the elapsed nanoseconds. Obtained from
+/// [`Obs::span`]; a span from a disabled `Obs` never reads the clock.
+#[derive(Debug)]
+pub struct Span {
+    cell: Option<(Arc<SpanCell>, Instant)>,
+}
+
+impl Span {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((cell, start)) = self.cell.take() {
+            cell.record(saturating_ns(start.elapsed()));
+        }
+    }
+}
+
+/// Clamps a duration to nanoseconds in `u64` (584 years — effectively
+/// never saturates, but keeps the cast honest).
+#[inline]
+pub fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The metric registry. See the crate docs for the design.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: bool,
+    registry: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            registry: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry: every handle it returns is a no-op and no
+    /// clock is ever read.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            registry: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared static disabled registry — the default `&Obs` to pass
+    /// when instrumentation is not wanted.
+    pub fn noop() -> &'static Obs {
+        static NOOP: Obs = Obs {
+            enabled: false,
+            registry: Mutex::new(BTreeMap::new()),
+        };
+        &NOOP
+    }
+
+    /// Whether this registry records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        extract: impl FnOnce(&Metric) -> Option<T>,
+    ) -> Option<T> {
+        if !self.enabled {
+            return None;
+        }
+        let mut reg = self.registry.lock().expect("obs registry poisoned");
+        let metric = reg.entry(name.to_owned()).or_insert_with(make);
+        match extract(metric) {
+            Some(t) => Some(t),
+            None => panic!("metric '{name}' already registered as a {}", metric.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) a counter. Panics if `name` is already
+    /// registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.register(
+            name,
+            || Metric::Counter(Arc::new(AtomicU64::new(0))),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        ))
+    }
+
+    /// Registers (or re-fetches) a gauge. Panics on a kind mismatch.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.register(
+            name,
+            || Metric::Gauge(Arc::new(AtomicU64::new(0))),
+            |m| match m {
+                Metric::Gauge(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        ))
+    }
+
+    /// Registers (or re-fetches) a histogram. Panics on a kind
+    /// mismatch.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.register(
+            name,
+            || Metric::Histogram(Arc::new(HistCell::new())),
+            |m| match m {
+                Metric::Histogram(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        ))
+    }
+
+    fn span_cell(&self, name: &str) -> Option<Arc<SpanCell>> {
+        self.register(
+            name,
+            || Metric::Span(Arc::new(SpanCell::default())),
+            |m| match m {
+                Metric::Span(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Starts a named span; elapsed wall time records when the returned
+    /// guard drops. Disabled registries return an inert guard without
+    /// reading the clock.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            cell: self.span_cell(name).map(|c| (c, Instant::now())),
+        }
+    }
+
+    /// Records an externally measured duration into a named span —
+    /// the merge point for per-worker shards timed off-thread.
+    pub fn record_span(&self, name: &str, ns: u64) {
+        if let Some(cell) = self.span_cell(name) {
+            cell.record(ns);
+        }
+    }
+
+    /// Times `f` under a named span and returns its output.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name within each kind.
+    pub fn snapshot(&self) -> RunMetrics {
+        let reg = self.registry.lock().expect("obs registry poisoned");
+        let mut metrics = RunMetrics::default();
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(c) => metrics
+                    .counters
+                    .push((name.clone(), c.load(Ordering::Relaxed))),
+                Metric::Gauge(c) => metrics
+                    .gauges
+                    .push((name.clone(), c.load(Ordering::Relaxed))),
+                Metric::Histogram(c) => metrics.histograms.push((name.clone(), c.snapshot())),
+                Metric::Span(c) => metrics.spans.push((name.clone(), c.snapshot())),
+            }
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let obs = Obs::new();
+        let c = obs.counter("a/hits");
+        c.add(3);
+        c.incr();
+        assert_eq!(c.value(), 4);
+        // Re-registration returns the same cell.
+        assert_eq!(obs.counter("a/hits").value(), 4);
+
+        let g = obs.gauge("a/depth");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.value(), 7);
+        g.set_max(11);
+        assert_eq!(g.value(), 11);
+    }
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let obs = Obs::disabled();
+        let c = obs.counter("x");
+        c.add(100);
+        assert_eq!(c.value(), 0);
+        obs.histogram("h").observe(5);
+        obs.record_span("s", 123);
+        drop(obs.span("s2"));
+        let snap = obs.snapshot();
+        assert!(snap.counters.is_empty() && snap.spans.is_empty());
+        assert!(!Obs::noop().is_enabled());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(64), 1 << 63);
+
+        let obs = Obs::new();
+        let h = obs.histogram("h");
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        let snap = obs.snapshot();
+        let (_, hist) = &snap.histograms[0];
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.sum, 1006);
+        assert_eq!(hist.min, 0);
+        assert_eq!(hist.max, 1000);
+        // Buckets: 0 → [0], 1 → [1], 2 → [2,3], 1000 → [512..1024).
+        assert_eq!(hist.buckets, vec![(0, 1), (1, 1), (2, 2), (512, 1)]);
+    }
+
+    #[test]
+    fn spans_accumulate() {
+        let obs = Obs::new();
+        obs.record_span("stage/a", 100);
+        obs.record_span("stage/a", 300);
+        obs.time("stage/b", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let snap = obs.snapshot();
+        let a = snap.span("stage/a").expect("span a");
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_ns, 400);
+        assert_eq!(a.max_ns, 300);
+        let b = snap.span("stage/b").expect("span b");
+        assert_eq!(b.count, 1);
+        assert!(b.total_ns >= 1_000_000, "slept ≥ 1ms: {}", b.total_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let obs = Obs::new();
+        obs.counter("same");
+        obs.gauge("same");
+    }
+
+    #[test]
+    fn handles_are_send_sync_and_shareable() {
+        let obs = Obs::new();
+        let c = obs.counter("threads/total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+    }
+}

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use vt_engines::FleetConfig;
+use vt_engines::{FleetConfig, FleetConfigError};
 use vt_model::time::{Month, Timestamp};
 
 /// Full configuration of one simulated dataset.
@@ -67,6 +67,156 @@ impl SimConfig {
     pub fn window_end(&self) -> Timestamp {
         Month::COLLECTION_START.plus(Month::COLLECTION_LEN).start()
     }
+
+    /// A validating builder seeded with the defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: Self::default(),
+            fleet_set: false,
+        }
+    }
+}
+
+/// A validation failure from [`SimConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimConfigError {
+    /// `samples` must be at least 1 — an empty study has no statistics.
+    ZeroSamples,
+    /// A fraction field was outside `[0, 1]` (or not finite).
+    FractionOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `max_reports_per_sample` must be at least 1.
+    ZeroMaxReports,
+    /// The nested fleet configuration failed its own validation.
+    Fleet(FleetConfigError),
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::ZeroSamples => write!(f, "samples must be at least 1"),
+            SimConfigError::FractionOutOfRange { field, value } => {
+                write!(f, "{field} must be a fraction in [0, 1], got {value}")
+            }
+            SimConfigError::ZeroMaxReports => {
+                write!(f, "max_reports_per_sample must be at least 1")
+            }
+            SimConfigError::Fleet(e) => write!(f, "fleet config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimConfigError::Fleet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FleetConfigError> for SimConfigError {
+    fn from(e: FleetConfigError) -> Self {
+        SimConfigError::Fleet(e)
+    }
+}
+
+/// Validating builder for [`SimConfig`] — the construction path the CLI
+/// parses through, so malformed flag values surface as typed errors
+/// instead of simulator panics or nonsense studies.
+///
+/// Unless a fleet is set explicitly, [`build`](Self::build) derives the
+/// fleet seed from the master seed exactly like [`SimConfig::new`], so
+/// `SimConfig::builder().seed(s).samples(n).build()` ≡
+/// `SimConfig::new(s, n)`.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+    fleet_set: bool,
+}
+
+impl SimConfigBuilder {
+    /// Sets the master seed (also re-derives the fleet seed unless a
+    /// fleet was set explicitly).
+    pub fn seed(mut self, v: u64) -> Self {
+        self.config.seed = v;
+        self
+    }
+
+    /// Sets the sample count.
+    pub fn samples(mut self, v: u64) -> Self {
+        self.config.samples = v;
+        self
+    }
+
+    /// Sets the fraction of samples first submitted inside the window.
+    pub fn fresh_fraction(mut self, v: f64) -> Self {
+        self.config.fresh_fraction = v;
+        self
+    }
+
+    /// Sets the re-submission (vs rescan) fraction.
+    pub fn resubmit_fraction(mut self, v: f64) -> Self {
+        self.config.resubmit_fraction = v;
+        self
+    }
+
+    /// Sets the per-sample report cap.
+    pub fn max_reports_per_sample(mut self, v: u32) -> Self {
+        self.config.max_reports_per_sample = v;
+        self
+    }
+
+    /// Sets an explicit (already validated) fleet configuration,
+    /// suppressing the default fleet-seed derivation.
+    pub fn fleet(mut self, fleet: FleetConfig) -> Self {
+        self.config.fleet = fleet;
+        self.fleet_set = true;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<SimConfig, SimConfigError> {
+        let mut c = self.config;
+        if c.samples == 0 {
+            return Err(SimConfigError::ZeroSamples);
+        }
+        if c.max_reports_per_sample == 0 {
+            return Err(SimConfigError::ZeroMaxReports);
+        }
+        for (field, value) in [
+            ("fresh_fraction", c.fresh_fraction),
+            ("resubmit_fraction", c.resubmit_fraction),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(SimConfigError::FractionOutOfRange { field, value });
+            }
+        }
+        if !self.fleet_set {
+            c.fleet = FleetConfig {
+                seed: c.seed ^ 0xF1EE_7000,
+                ..c.fleet
+            };
+        }
+        // Re-validate the fleet through its own builder so a fleet set
+        // via struct literal cannot smuggle bad values past this path.
+        c.fleet = FleetConfig::builder()
+            .seed(c.fleet.seed)
+            .timeout_mult(c.fleet.timeout_mult)
+            .outage_mult(c.fleet.outage_mult)
+            .glitch_rate(c.fleet.glitch_rate)
+            .slowness_sigma(c.fleet.slowness_sigma)
+            .load_sigma(c.fleet.load_sigma)
+            .epoch_sigma(c.fleet.epoch_sigma)
+            .epoch_slow_sigma(c.fleet.epoch_slow_sigma)
+            .trend_sigma(c.fleet.trend_sigma)
+            .build()?;
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -87,5 +237,73 @@ mod tests {
         let b = SimConfig::new(2, 10);
         assert_ne!(a.fleet.seed, b.fleet.seed);
         assert_eq!(a.samples, 10);
+    }
+
+    #[test]
+    fn builder_matches_new() {
+        let built = SimConfig::builder().seed(42).samples(500).build().unwrap();
+        let direct = SimConfig::new(42, 500);
+        assert_eq!(built.seed, direct.seed);
+        assert_eq!(built.samples, direct.samples);
+        assert_eq!(built.fleet.seed, direct.fleet.seed);
+        assert_eq!(built.fresh_fraction, direct.fresh_fraction);
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert_eq!(
+            SimConfig::builder().samples(0).build().unwrap_err(),
+            SimConfigError::ZeroSamples
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .max_reports_per_sample(0)
+                .build()
+                .unwrap_err(),
+            SimConfigError::ZeroMaxReports
+        );
+        assert!(matches!(
+            SimConfig::builder()
+                .fresh_fraction(1.5)
+                .build()
+                .unwrap_err(),
+            SimConfigError::FractionOutOfRange {
+                field: "fresh_fraction",
+                ..
+            }
+        ));
+        let bad_fleet = FleetConfig {
+            glitch_rate: 2.0,
+            ..FleetConfig::default()
+        };
+        assert!(matches!(
+            SimConfig::builder().fleet(bad_fleet).build().unwrap_err(),
+            SimConfigError::Fleet(FleetConfigError::GlitchRateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SimConfig::builder()
+                .fleet(FleetConfig {
+                    timeout_mult: f64::NAN,
+                    ..FleetConfig::default()
+                })
+                .build()
+                .unwrap_err(),
+            SimConfigError::Fleet(FleetConfigError::NotFiniteNonNegative {
+                field: "timeout_mult",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn explicit_fleet_survives_build() {
+        let fleet = FleetConfig::builder()
+            .seed(7)
+            .outage_mult(2.0)
+            .build()
+            .unwrap();
+        let c = SimConfig::builder().seed(1).fleet(fleet).build().unwrap();
+        assert_eq!(c.fleet.seed, 7);
+        assert_eq!(c.fleet.outage_mult, 2.0);
     }
 }

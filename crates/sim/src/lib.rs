@@ -45,7 +45,7 @@ pub mod traffic;
 
 pub use alias::AliasTable;
 pub use api::SampleSession;
-pub use config::SimConfig;
+pub use config::{SimConfig, SimConfigBuilder, SimConfigError};
 pub use fault::{FaultPlan, FaultyFeed, FeedEntry, FeedOutage};
 pub use feed::TimeOrderedFeed;
 pub use platform::VirusTotalSim;

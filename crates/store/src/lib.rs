@@ -39,7 +39,7 @@ pub mod store;
 pub use dataset::DatasetStats;
 pub use partition::PartitionStats;
 pub use persist::{
-    read_store, read_store_salvage, write_store, write_store_v1, PartitionRecovery, PersistError,
-    RecoveryReport, SalvageLabel,
+    read_store, read_store_salvage, write_store, write_store_v1, CorruptKind, PartitionRecovery,
+    PersistError, RecoveryReport, SalvageLabel,
 };
-pub use store::ReportStore;
+pub use store::{ReportStore, StoreError, StoreObs};

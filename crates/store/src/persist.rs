@@ -50,7 +50,7 @@
 use crate::block::{Block, BLOCK_CAPACITY};
 use crate::codec::MIN_ENCODED_REPORT_BYTES;
 use crate::crc32::crc32;
-use crate::store::ReportStore;
+use crate::store::{ReportStore, StoreError};
 use std::io::{self, Read, Write};
 use vt_model::time::Month;
 
@@ -69,13 +69,80 @@ const MAX_PARTITIONS: u32 = 1024;
 const MAX_BLOCKS_PER_PARTITION: u32 = 1 << 20;
 const MAX_BLOCK_BYTES: u32 = 1 << 30;
 
+/// The exact structural violation a strict load aborted on.
+///
+/// Each variant corresponds to one integrity check in the read path;
+/// [`std::fmt::Display`] reproduces the legacy free-text descriptions so
+/// rendered error messages are stable across the typed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Shorter than the 8-byte magic — not a VTSTORE container.
+    FileShorterThanMagic,
+    /// Leading magic matched neither `VTSTORE1` nor `VTSTORE2`.
+    BadMagic,
+    /// Declared partition count exceeds `MAX_PARTITIONS`.
+    ImplausiblePartitionCount,
+    /// A V2 partition did not start with its marker.
+    BadPartitionMarker,
+    /// Declared block count exceeds `MAX_BLOCKS_PER_PARTITION`.
+    ImplausibleBlockCount,
+    /// A V2 block did not start with its marker.
+    BadBlockMarker,
+    /// Declared block byte length exceeds `MAX_BLOCK_BYTES`.
+    ImplausibleBlockSize,
+    /// Declared report count exceeds the block builder's capacity.
+    ImplausibleReportCount,
+    /// Declared report count cannot fit in the declared byte length.
+    ReportCountVsByteLength,
+    /// A month tag's month byte fell outside `1..=12`.
+    MonthOutOfRange,
+    /// A month tag byte was neither 0 (catch-all) nor 1 (month).
+    BadMonthTag,
+    /// A block's payload no longer matches its stored CRC.
+    ChecksumMismatch,
+    /// A block's payload passed its CRC but did not decode to exactly
+    /// the declared report count.
+    BlockDecode,
+}
+
+impl CorruptKind {
+    /// Human-readable description (the pre-typed-error message text).
+    pub fn describe(self) -> &'static str {
+        match self {
+            CorruptKind::FileShorterThanMagic => "file shorter than magic",
+            CorruptKind::BadMagic => "bad magic",
+            CorruptKind::ImplausiblePartitionCount => "implausible partition count",
+            CorruptKind::BadPartitionMarker => "bad partition marker",
+            CorruptKind::ImplausibleBlockCount => "implausible block count",
+            CorruptKind::BadBlockMarker => "bad block marker",
+            CorruptKind::ImplausibleBlockSize => "implausible block size",
+            CorruptKind::ImplausibleReportCount => "implausible report count",
+            CorruptKind::ReportCountVsByteLength => "report count implausible for byte length",
+            CorruptKind::MonthOutOfRange => "month out of range",
+            CorruptKind::BadMonthTag => "bad month tag",
+            CorruptKind::ChecksumMismatch => "block checksum mismatch",
+            CorruptKind::BlockDecode => "block failed to decode",
+        }
+    }
+}
+
+impl std::fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
 /// Errors surfaced while loading a store file.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file is not a VTSTORE container or is structurally corrupt.
-    Corrupt(&'static str),
+    /// The file is not a VTSTORE container or is structurally corrupt
+    /// at the byte level.
+    Corrupt(CorruptKind),
+    /// The container parsed, but its partition layout is not a store
+    /// this build can host (see [`StoreError`]).
+    Store(StoreError),
 }
 
 impl From<io::Error> for PersistError {
@@ -84,16 +151,31 @@ impl From<io::Error> for PersistError {
     }
 }
 
+impl From<CorruptKind> for PersistError {
+    fn from(kind: CorruptKind) -> Self {
+        PersistError::Corrupt(kind)
+    }
+}
+
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Corrupt(what) => write!(f, "corrupt store file: {what}"),
+            PersistError::Store(e) => write!(f, "inconsistent store layout: {e}"),
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Corrupt(_) => None,
+            PersistError::Store(e) => Some(e),
+        }
+    }
+}
 
 fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -110,15 +192,13 @@ fn get_u32(r: &mut impl Read) -> Result<u32, PersistError> {
 /// payload allocation happens.
 fn check_block_header(report_count: u32, byte_len: u32) -> Result<(), PersistError> {
     if byte_len > MAX_BLOCK_BYTES {
-        return Err(PersistError::Corrupt("implausible block size"));
+        return Err(PersistError::Corrupt(CorruptKind::ImplausibleBlockSize));
     }
     if report_count as usize > BLOCK_CAPACITY {
-        return Err(PersistError::Corrupt("implausible report count"));
+        return Err(PersistError::Corrupt(CorruptKind::ImplausibleReportCount));
     }
     if (byte_len as u64) < report_count as u64 * MIN_ENCODED_REPORT_BYTES {
-        return Err(PersistError::Corrupt(
-            "report count implausible for byte length",
-        ));
+        return Err(PersistError::Corrupt(CorruptKind::ReportCountVsByteLength));
     }
     Ok(())
 }
@@ -190,7 +270,7 @@ fn read_month_tag(r: &mut impl Read) -> Result<Option<Month>, PersistError> {
             let mut mbuf = [0u8; 1];
             r.read_exact(&mut mbuf)?;
             if !(1..=12).contains(&mbuf[0]) {
-                return Err(PersistError::Corrupt("month out of range"));
+                return Err(PersistError::Corrupt(CorruptKind::MonthOutOfRange));
             }
             Ok(Some(Month {
                 year: i32::from_le_bytes(ybuf),
@@ -198,7 +278,7 @@ fn read_month_tag(r: &mut impl Read) -> Result<Option<Month>, PersistError> {
             }))
         }
         0 => Ok(None),
-        _ => Err(PersistError::Corrupt("bad month tag")),
+        _ => Err(PersistError::Corrupt(CorruptKind::BadMonthTag)),
     }
 }
 
@@ -213,26 +293,28 @@ pub fn read_store(r: &mut impl Read) -> Result<ReportStore, PersistError> {
     let v2 = match &magic {
         m if m == MAGIC_V1 => false,
         m if m == MAGIC_V2 => true,
-        _ => return Err(PersistError::Corrupt("bad magic")),
+        _ => return Err(PersistError::Corrupt(CorruptKind::BadMagic)),
     };
     let partition_count = get_u32(r)?;
     if partition_count > MAX_PARTITIONS {
-        return Err(PersistError::Corrupt("implausible partition count"));
+        return Err(PersistError::Corrupt(
+            CorruptKind::ImplausiblePartitionCount,
+        ));
     }
     let mut partitions = Vec::with_capacity(partition_count as usize);
     for _ in 0..partition_count {
         if v2 && get_u32(r)? != PART_MARKER {
-            return Err(PersistError::Corrupt("bad partition marker"));
+            return Err(PersistError::Corrupt(CorruptKind::BadPartitionMarker));
         }
         let month = read_month_tag(r)?;
         let block_count = get_u32(r)?;
         if block_count > MAX_BLOCKS_PER_PARTITION {
-            return Err(PersistError::Corrupt("implausible block count"));
+            return Err(PersistError::Corrupt(CorruptKind::ImplausibleBlockCount));
         }
         let mut blocks = Vec::with_capacity(block_count as usize);
         for _ in 0..block_count {
             if v2 && get_u32(r)? != BLOCK_MARKER {
-                return Err(PersistError::Corrupt("bad block marker"));
+                return Err(PersistError::Corrupt(CorruptKind::BadBlockMarker));
             }
             let report_count = get_u32(r)?;
             let byte_len = get_u32(r)?;
@@ -242,20 +324,20 @@ pub fn read_store(r: &mut impl Read) -> Result<ReportStore, PersistError> {
             r.read_exact(&mut data)?;
             if let Some(crc) = expected_crc {
                 if crc32(&data) != crc {
-                    return Err(PersistError::Corrupt("block checksum mismatch"));
+                    return Err(PersistError::Corrupt(CorruptKind::ChecksumMismatch));
                 }
             }
             let block = Block::from_parts(data.into(), report_count);
             // Integrity: the block must decode to exactly report_count
             // reports with nothing left over.
             if !block.verify() {
-                return Err(PersistError::Corrupt("block failed to decode"));
+                return Err(PersistError::Corrupt(CorruptKind::BlockDecode));
             }
             blocks.push(block);
         }
         partitions.push((month, blocks));
     }
-    ReportStore::from_persisted(partitions).map_err(PersistError::Corrupt)
+    ReportStore::from_persisted(partitions).map_err(PersistError::Store)
 }
 
 /// How a salvaged partition was identified.
@@ -451,12 +533,12 @@ pub fn read_store_salvage(
     let mut data = Vec::new();
     r.read_to_end(&mut data)?;
     if data.len() < 8 {
-        return Err(PersistError::Corrupt("file shorter than magic"));
+        return Err(PersistError::Corrupt(CorruptKind::FileShorterThanMagic));
     }
     match &data[..8] {
         m if m == MAGIC_V2 => Ok(salvage_v2(&data[8..])),
         m if m == MAGIC_V1 => Ok(salvage_v1(&data[8..])),
-        _ => Err(PersistError::Corrupt("bad magic")),
+        _ => Err(PersistError::Corrupt(CorruptKind::BadMagic)),
     }
 }
 
@@ -758,9 +840,15 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let err = read_store(&mut &b"NOTASTORE!"[..]).unwrap_err();
-        assert!(matches!(err, PersistError::Corrupt("bad magic")), "{err}");
+        assert!(
+            matches!(err, PersistError::Corrupt(CorruptKind::BadMagic)),
+            "{err}"
+        );
         let err = read_store_salvage(&mut &b"NOTASTORE!"[..]).unwrap_err();
-        assert!(matches!(err, PersistError::Corrupt("bad magic")), "{err}");
+        assert!(
+            matches!(err, PersistError::Corrupt(CorruptKind::BadMagic)),
+            "{err}"
+        );
     }
 
     #[test]

@@ -10,13 +10,133 @@ use crate::block::Block;
 use crate::partition::{Loc, Partition, PartitionStats};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::time::Instant;
 use vt_model::time::Month;
 use vt_model::{SampleHash, ScanReport};
+use vt_obs::{saturating_ns, Counter, Gauge, Histogram, Obs};
+
+/// Why [`ReportStore::from_persisted`] rejected a partition layout.
+///
+/// These are *semantic* (layout-level) failures, distinct from the
+/// byte-level corruption [`crate::persist::CorruptKind`] covers: the
+/// container parsed, but its content is not a store this build can
+/// host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file holds a different partition count than the expected
+    /// 14-months-plus-catch-all shape.
+    PartitionCount {
+        /// Partitions this build expects.
+        expected: usize,
+        /// Partitions the file declared.
+        got: usize,
+    },
+    /// A partition's month label does not match the collection-window
+    /// order (catch-all last).
+    PartitionMonthOrder {
+        /// Index of the offending partition.
+        partition: usize,
+    },
+    /// A block failed to decode while re-deriving the per-sample index.
+    BlockDecode {
+        /// Partition holding the block.
+        partition: usize,
+        /// Block index within the partition.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::PartitionCount { expected, got } => {
+                write!(
+                    f,
+                    "unexpected partition count: expected {expected}, got {got}"
+                )
+            }
+            StoreError::PartitionMonthOrder { partition } => {
+                write!(f, "partition {partition} is out of month order")
+            }
+            StoreError::BlockDecode { partition, block } => {
+                write!(f, "block {block} of partition {partition} failed to decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Pre-registered [`vt_obs`] handles the store records into.
+///
+/// Handles are resolved once at attach time (the only time the obs
+/// registry mutex is taken); every recording afterwards is a relaxed
+/// atomic. A `Default` instance (or one attached from a disabled
+/// [`Obs`]) never reads the clock and records nothing, so an
+/// uninstrumented store pays only a branch per batch, not per report.
+///
+/// Metric names: `store/encode_ns` + `store/encoded_reports` on the
+/// append path, `store/decode_ns` + `store/decoded_reports` on the
+/// gather/iterate paths, and `store/sealed_bytes` / `store/sealed_blocks`
+/// gauges set once at [`ReportStore::seal`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreObs {
+    enabled: bool,
+    encode_ns: Histogram,
+    encoded_reports: Counter,
+    decode_ns: Histogram,
+    decoded_reports: Counter,
+    sealed_bytes: Gauge,
+    sealed_blocks: Gauge,
+}
+
+impl StoreObs {
+    /// Resolves the store's metric handles against `obs`. With a
+    /// disabled registry this is `Default` — all handles no-ops.
+    pub fn new(obs: &Obs) -> Self {
+        if !obs.is_enabled() {
+            return Self::default();
+        }
+        Self {
+            enabled: true,
+            encode_ns: obs.histogram("store/encode_ns"),
+            encoded_reports: obs.counter("store/encoded_reports"),
+            decode_ns: obs.histogram("store/decode_ns"),
+            decoded_reports: obs.counter("store/decoded_reports"),
+            sealed_bytes: obs.gauge("store/sealed_bytes"),
+            sealed_blocks: obs.gauge("store/sealed_blocks"),
+        }
+    }
+
+    /// Starts a timing measurement — `None` (no clock read) when
+    /// disabled.
+    #[inline]
+    fn timer(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    #[inline]
+    fn record_encode(&self, start: Option<Instant>, reports: u64) {
+        if let Some(t) = start {
+            self.encode_ns.observe(saturating_ns(t.elapsed()));
+            self.encoded_reports.add(reports);
+        }
+    }
+
+    #[inline]
+    fn record_decode(&self, start: Option<Instant>, reports: u64) {
+        if let Some(t) = start {
+            self.decode_ns.observe(saturating_ns(t.elapsed()));
+            self.decoded_reports.add(reports);
+        }
+    }
+}
 
 /// An in-process, compressed, month-partitioned report store.
 #[derive(Debug)]
 pub struct ReportStore {
     inner: RwLock<Inner>,
+    obs: StoreObs,
 }
 
 #[derive(Debug)]
@@ -47,7 +167,26 @@ impl ReportStore {
                 index: HashMap::new(),
                 sealed: false,
             }),
+            obs: StoreObs::default(),
         }
+    }
+
+    /// [`new`](Self::new), with encode/decode instrumentation recorded
+    /// into `obs` (see [`StoreObs`] for the metric names). Contents are
+    /// identical to an uninstrumented store — the observability is
+    /// write-only.
+    pub fn with_obs(obs: &Obs) -> Self {
+        let mut store = Self::new();
+        store.obs = StoreObs::new(obs);
+        store
+    }
+
+    /// Attaches (or replaces) the store's instrumentation after
+    /// construction — the hook for stores built by
+    /// [`from_persisted`](Self::from_persisted) / the persist readers,
+    /// which have no `Obs` in scope.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = StoreObs::new(obs);
     }
 
     fn partition_for(month_index: Option<usize>, n: usize) -> usize {
@@ -59,6 +198,7 @@ impl ReportStore {
     /// # Panics
     /// Panics if the store was already sealed.
     pub fn append(&self, report: &ScanReport) {
+        let start = self.obs.timer();
         let mut inner = self.inner.write();
         assert!(!inner.sealed, "append after seal");
         let n = inner.partitions.len();
@@ -69,10 +209,13 @@ impl ReportStore {
             block,
             offset,
         });
+        drop(inner);
+        self.obs.record_encode(start, 1);
     }
 
     /// Appends a batch (one lock acquisition).
     pub fn append_batch(&self, reports: &[ScanReport]) {
+        let start = self.obs.timer();
         let mut inner = self.inner.write();
         assert!(!inner.sealed, "append after seal");
         let n = inner.partitions.len();
@@ -85,6 +228,8 @@ impl ReportStore {
                 offset,
             });
         }
+        drop(inner);
+        self.obs.record_encode(start, reports.len() as u64);
     }
 
     /// Seals every partition. Must be called before reads; afterwards
@@ -95,6 +240,16 @@ impl ReportStore {
             p.seal();
         }
         inner.sealed = true;
+        if self.obs.enabled {
+            let mut bytes = 0u64;
+            let mut blocks = 0u64;
+            for p in &inner.partitions {
+                bytes += p.stats().stored_bytes;
+                blocks += p.blocks().len() as u64;
+            }
+            self.obs.sealed_bytes.set_max(bytes);
+            self.obs.sealed_blocks.set_max(blocks);
+        }
     }
 
     /// Total number of reports stored.
@@ -122,25 +277,30 @@ impl ReportStore {
     /// # Panics
     /// Panics if the store is not sealed.
     pub fn sample_reports(&self, hash: SampleHash) -> Vec<ScanReport> {
+        let start = self.obs.timer();
         let inner = self.inner.read();
         assert!(inner.sealed, "seal the store before reading");
         let Some(locs) = inner.index.get(&hash) else {
             return Vec::new();
         };
         let mut out = Vec::with_capacity(locs.len());
+        let mut decoded = 0u64;
         // Decode each needed block once. Blocks reachable here were
         // either built by this store or integrity-checked at load time,
         // so a decode failure is a program error, not an input error.
         let mut cache: HashMap<(u16, u32), Vec<ScanReport>> = HashMap::new();
         for loc in locs {
             let block_reports = cache.entry((loc.partition, loc.block)).or_insert_with(|| {
-                inner.partitions[loc.partition as usize].blocks()[loc.block as usize]
+                let reports = inner.partitions[loc.partition as usize].blocks()[loc.block as usize]
                     .decode_all()
-                    .expect("sealed in-store block decodes")
+                    .expect("sealed in-store block decodes");
+                decoded += reports.len() as u64;
+                reports
             });
             out.push(block_reports[loc.offset as usize]);
         }
         out.sort_by_key(|r| r.analysis_date);
+        self.obs.record_decode(start, decoded);
         out
     }
 
@@ -150,17 +310,21 @@ impl ReportStore {
     /// # Panics
     /// Panics if the store is not sealed.
     pub fn group_by_sample(&self) -> Vec<(SampleHash, Vec<ScanReport>)> {
+        let start = self.obs.timer();
         let inner = self.inner.read();
         assert!(inner.sealed, "seal the store before reading");
         let mut groups: HashMap<SampleHash, Vec<ScanReport>> =
             HashMap::with_capacity(inner.index.len());
+        let mut decoded = 0u64;
         for p in &inner.partitions {
             for block in p.blocks() {
                 for r in block.decode_all().expect("sealed in-store block decodes") {
+                    decoded += 1;
                     groups.entry(r.sample).or_default().push(r);
                 }
             }
         }
+        self.obs.record_decode(start, decoded);
         let mut out: Vec<(SampleHash, Vec<ScanReport>)> = groups.into_iter().collect();
         for (_, reports) in &mut out {
             reports.sort_by_key(|r| r.analysis_date);
@@ -186,25 +350,31 @@ impl ReportStore {
     }
 
     /// Rebuilds a sealed store from persisted partitions, re-deriving
-    /// the per-sample index by decoding each block once. Returns an
-    /// error message if the partition layout is not the expected
+    /// the per-sample index by decoding each block once. Returns a
+    /// typed [`StoreError`] if the partition layout is not the expected
     /// 14-months-plus-catch-all shape.
-    pub fn from_persisted(parts: Vec<(Option<Month>, Vec<Block>)>) -> Result<Self, &'static str> {
+    pub fn from_persisted(parts: Vec<(Option<Month>, Vec<Block>)>) -> Result<Self, StoreError> {
         let expected: Vec<Option<Month>> = Month::collection_window()
             .map(Some)
             .chain(std::iter::once(None))
             .collect();
         if parts.len() != expected.len() {
-            return Err("unexpected partition count");
+            return Err(StoreError::PartitionCount {
+                expected: expected.len(),
+                got: parts.len(),
+            });
         }
         let mut partitions = Vec::with_capacity(parts.len());
         let mut index: HashMap<SampleHash, Vec<Loc>> = HashMap::new();
         for (pi, ((month, blocks), want)) in parts.into_iter().zip(expected).enumerate() {
             if month != want {
-                return Err("unexpected partition month order");
+                return Err(StoreError::PartitionMonthOrder { partition: pi });
             }
             for (bi, block) in blocks.iter().enumerate() {
-                let reports = block.decode_all().map_err(|_| "block failed to decode")?;
+                let reports = block.decode_all().map_err(|_| StoreError::BlockDecode {
+                    partition: pi,
+                    block: bi,
+                })?;
                 for (off, report) in reports.into_iter().enumerate() {
                     index.entry(report.sample).or_default().push(Loc {
                         partition: pi as u16,
@@ -221,20 +391,25 @@ impl ReportStore {
                 index,
                 sealed: true,
             }),
+            obs: StoreObs::default(),
         })
     }
 
     /// Visits every stored report (unordered across samples).
     pub fn for_each_report(&self, mut f: impl FnMut(&ScanReport)) {
+        let start = self.obs.timer();
         let inner = self.inner.read();
         assert!(inner.sealed, "seal the store before reading");
+        let mut decoded = 0u64;
         for p in &inner.partitions {
             for block in p.blocks() {
                 for r in block.decode_all().expect("sealed in-store block decodes") {
+                    decoded += 1;
                     f(&r);
                 }
             }
         }
+        self.obs.record_decode(start, decoded);
     }
 }
 
@@ -336,6 +511,48 @@ mod tests {
         let store = ReportStore::new();
         store.append(&report(1, Date::new(2021, 6, 1), 0));
         store.sample_reports(SampleHash::from_ordinal(1));
+    }
+
+    #[test]
+    fn obs_records_encode_and_decode_without_changing_content() {
+        let obs = Obs::new();
+        let store = ReportStore::with_obs(&obs);
+        let plain = ReportStore::new();
+        for i in 0..40u64 {
+            let r = report(i % 8, Date::new(2021, 7, 1 + (i % 20) as u8), i as i64);
+            store.append(&r);
+            plain.append(&r);
+        }
+        store.seal();
+        plain.seal();
+        // Instrumentation is write-only: contents are identical.
+        assert_eq!(store.group_by_sample(), plain.group_by_sample());
+        let m = obs.snapshot();
+        assert_eq!(m.counter("store/encoded_reports"), Some(40));
+        assert_eq!(m.counter("store/decoded_reports"), Some(40));
+        assert_eq!(m.histogram("store/encode_ns").map(|h| h.count), Some(40));
+        assert_eq!(m.histogram("store/decode_ns").map(|h| h.count), Some(1));
+        assert!(m.gauge("store/sealed_bytes").unwrap_or(0) > 0);
+        assert!(m.gauge("store/sealed_blocks").unwrap_or(0) >= 1);
+        // A disabled registry records nothing.
+        let off = Obs::disabled();
+        let silent = ReportStore::with_obs(&off);
+        silent.append(&report(1, Date::new(2021, 6, 3), 10));
+        silent.seal();
+        assert!(off.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn from_persisted_rejects_a_wrong_partition_count() {
+        let err = ReportStore::from_persisted(vec![(None, Vec::new())]).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::PartitionCount {
+                expected: 15,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("partition count"));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release --example engine_audit -- [samples]`
 
-use vt_label_dynamics::dynamics::{correlation, flips, freshdyn, Study};
+use vt_label_dynamics::dynamics::correlation::Correlation;
+use vt_label_dynamics::dynamics::flips::Flips;
+use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study};
 use vt_label_dynamics::model::EngineId;
 use vt_label_dynamics::sim::SimConfig;
 
@@ -25,8 +27,13 @@ fn main() {
     let window_start = study.sim().config().window_start();
     let s = freshdyn::build(records, window_start);
 
-    let flip = flips::analyze(records, &s, fleet.engine_count());
-    let corr = correlation::analyze(records, &s, fleet.engine_count(), None, 400_000);
+    let ctx = AnalysisCtx::new(records, &s, fleet, window_start);
+    let flip = Flips.run(&ctx);
+    let (corr, _) = Correlation {
+        scopes: &[],
+        max_rows: 400_000,
+    }
+    .run(&ctx);
 
     println!("== engine stability (flip ratio, lower is steadier) ==");
     let ranked = flip.ranked_engines();

@@ -11,7 +11,8 @@
 //! `cargo run --release --example stabilization_monitor -- [samples] [threshold]`
 
 use vt_label_dynamics::aggregate::{stabilization_index, LabelSequence, Threshold};
-use vt_label_dynamics::dynamics::{freshdyn, stabilization, Study};
+use vt_label_dynamics::dynamics::stabilization::Stabilization;
+use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study};
 use vt_label_dynamics::dynamics::{MonitorCriteria, MonitorEvent, SampleMonitor};
 use vt_label_dynamics::sim::SimConfig;
 
@@ -27,8 +28,9 @@ fn main() {
     println!("fresh dynamic set S: {} samples\n", s.len());
 
     // §6.1 — AV-Rank stabilization under fluctuation ranges.
+    let ctx = AnalysisCtx::new(records, &s, study.sim().fleet(), window_start);
     println!("== AV-Rank stabilization (fluctuation tolerance r) ==");
-    for stat in stabilization::rank_stabilization(records, &s) {
+    for stat in Stabilization.run(&ctx).rank {
         println!(
             "  r={}  {:.1}% of samples settle; of those, {:.1}% within 30 days",
             stat.r,

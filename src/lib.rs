@@ -14,6 +14,8 @@
 //! * [`aggregate`] — label aggregation strategies.
 //! * [`dynamics`] — the paper's measurement analyses (the core library).
 //! * [`report`] — text tables / ASCII figures / CSV renderers.
+//! * [`obs`] — the zero-dependency observability layer threaded through
+//!   the pipeline (spans, counters, histograms, `metrics.json`).
 //!
 //! ## Quickstart
 //!
@@ -26,6 +28,7 @@ pub use vt_aggregate as aggregate;
 pub use vt_dynamics as dynamics;
 pub use vt_engines as engines;
 pub use vt_model as model;
+pub use vt_obs as obs;
 pub use vt_report as report;
 pub use vt_sim as sim;
 pub use vt_stats as stats;

@@ -5,23 +5,96 @@
 //!     Generate a seeded VirusTotal feed and persist it.
 //!
 //! vtld analyze --store FEED.vtstore [--fleet-seed S] [--csv-dir DIR]
+//!              [--workers W] [--metrics-out FILE] [--verbose]
 //!     Load a persisted feed and print the full paper-vs-measured
 //!     report (every table and figure); optionally export each
 //!     figure's data series as CSV.
 //!
 //! vtld study [--samples N] [--seed S] [--csv-dir DIR]
+//!            [--workers W] [--metrics-out FILE] [--verbose]
 //!     Simulate and analyze in one step (no file involved).
 //! ```
 //!
+//! `--metrics-out FILE` writes the run's observability snapshot
+//! (per-stage spans, collector/store counters, per-worker busy-time
+//! histograms) as JSON; `--verbose` renders the same snapshot as a
+//! table on stderr. Either flag enables instrumentation; without them
+//! the pipeline runs with the no-op [`Obs`] and pays nothing.
+//!
 //! The analyze path reconstructs sample metadata purely from the stored
 //! reports (`records_from_store`) — the same situation the paper faced.
+//!
+//! All configuration flows through the validating builders
+//! ([`SimConfig::builder`], `FleetConfig::builder`), so malformed flag
+//! values surface as typed errors, not panics deep in the simulator.
 
+use std::io;
 use std::process::ExitCode;
-use vt_label_dynamics::dynamics::{analyze_records, records_from_store, Study};
-use vt_label_dynamics::engines::{EngineFleet, FleetConfig};
+use vt_label_dynamics::dynamics::{analyze_records_obs, par, records_from_store, Study};
+use vt_label_dynamics::engines::{EngineFleet, FleetConfig, FleetConfigError};
+use vt_label_dynamics::obs::Obs;
 use vt_label_dynamics::report::experiments::render_full_report;
-use vt_label_dynamics::sim::SimConfig;
-use vt_label_dynamics::store::{read_store, write_store};
+use vt_label_dynamics::sim::{SimConfig, SimConfigError};
+use vt_label_dynamics::store::{read_store, write_store, PersistError};
+
+/// Everything that can go wrong in a `vtld` invocation, typed by layer:
+/// bad command line, bad configuration, unreadable store, plain I/O.
+#[derive(Debug)]
+enum VtldError {
+    /// Malformed command line (unknown command/flag, missing value…).
+    Usage(String),
+    /// A flag value failed configuration validation.
+    Config(SimConfigError),
+    /// A store file failed to load.
+    Load(PersistError),
+    /// Filesystem failure, with the path for context.
+    Io { context: String, source: io::Error },
+}
+
+impl std::fmt::Display for VtldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VtldError::Usage(message) => write!(f, "{message}"),
+            VtldError::Config(e) => write!(f, "invalid configuration: {e}"),
+            VtldError::Load(e) => write!(f, "load failed: {e}"),
+            VtldError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for VtldError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VtldError::Usage(_) => None,
+            VtldError::Config(e) => Some(e),
+            VtldError::Load(e) => Some(e),
+            VtldError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SimConfigError> for VtldError {
+    fn from(e: SimConfigError) -> Self {
+        VtldError::Config(e)
+    }
+}
+
+impl From<FleetConfigError> for VtldError {
+    fn from(e: FleetConfigError) -> Self {
+        VtldError::Config(SimConfigError::Fleet(e))
+    }
+}
+
+impl From<PersistError> for VtldError {
+    fn from(e: PersistError) -> Self {
+        VtldError::Load(e)
+    }
+}
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(io::Error) -> VtldError {
+    let context = context.into();
+    move |source| VtldError::Io { context, source }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,12 +110,14 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        other => Err(VtldError::Usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("vtld: {message}");
+        Err(error) => {
+            eprintln!("vtld: {error}");
             ExitCode::FAILURE
         }
     }
@@ -51,7 +126,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   vtld simulate --samples N [--seed S] --out FEED.vtstore
   vtld analyze  --store FEED.vtstore [--fleet-seed S] [--csv-dir DIR]
+                [--workers W] [--metrics-out FILE] [--verbose]
   vtld study    [--samples N] [--seed S] [--csv-dir DIR]
+                [--workers W] [--metrics-out FILE] [--verbose]
   vtld help";
 
 /// Writes every figure's data series into `dir` as CSV files.
@@ -59,36 +136,43 @@ fn write_csvs(
     dir: &str,
     results: &vt_label_dynamics::dynamics::StudyResults,
     fleet: &EngineFleet,
-) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+) -> Result<(), VtldError> {
+    std::fs::create_dir_all(dir).map_err(io_err(format!("cannot create {dir}")))?;
     let files = vt_label_dynamics::report::export_csv(results, fleet);
     let n = files.len();
     for (name, contents) in files {
         let path = std::path::Path::new(dir).join(name);
         std::fs::write(&path, contents)
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            .map_err(io_err(format!("cannot write {}", path.display())))?;
     }
     eprintln!("wrote {n} CSV files to {dir}");
     Ok(())
 }
 
-/// Parses `--key value` flags; rejects unknown keys.
+/// Parses `--key value` flags (and valueless `--switch` flags named in
+/// `switches`, recorded with an empty value); rejects unknown keys.
 fn parse_flags<'a>(
     args: &'a [String],
     allowed: &[&str],
-) -> Result<Vec<(&'a str, &'a str)>, String> {
+    switches: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, VtldError> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+            .ok_or_else(|| VtldError::Usage(format!("expected a --flag, got '{}'", args[i])))?;
+        if switches.contains(&key) {
+            out.push((key, ""));
+            i += 1;
+            continue;
+        }
         if !allowed.contains(&key) {
-            return Err(format!("unknown flag --{key}"));
+            return Err(VtldError::Usage(format!("unknown flag --{key}")));
         }
         let value = args
             .get(i + 1)
-            .ok_or_else(|| format!("--{key} requires a value"))?;
+            .ok_or_else(|| VtldError::Usage(format!("--{key} requires a value")))?;
         out.push((key, value.as_str()));
         i += 2;
     }
@@ -99,30 +183,63 @@ fn flag<'a>(flags: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
     flags.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
 }
 
-fn parse_u64(flags: &[(&str, &str)], key: &str, default: u64) -> Result<u64, String> {
+fn has_switch(flags: &[(&str, &str)], key: &str) -> bool {
+    flags.iter().any(|(k, _)| *k == key)
+}
+
+fn parse_u64(flags: &[(&str, &str)], key: &str, default: u64) -> Result<u64, VtldError> {
     match flag(flags, key) {
         Some(v) => {
             let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
                 Some(hex) => u64::from_str_radix(hex, 16),
                 None => v.parse(),
             };
-            parsed.map_err(|_| format!("--{key} expects an integer, got '{v}'"))
+            parsed.map_err(|_| VtldError::Usage(format!("--{key} expects an integer, got '{v}'")))
         }
         None => Ok(default),
     }
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["samples", "seed", "out"])?;
+/// The observability registry a command runs under: enabled only when
+/// `--metrics-out` or `--verbose` asked for it.
+fn obs_for(flags: &[(&str, &str)]) -> Obs {
+    if flag(flags, "metrics-out").is_some() || has_switch(flags, "verbose") {
+        Obs::new()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Emits the run's metrics as requested: JSON to `--metrics-out`,
+/// a human-readable table to stderr for `--verbose`.
+fn emit_metrics(obs: &Obs, flags: &[(&str, &str)]) -> Result<(), VtldError> {
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    let metrics = obs.snapshot();
+    if let Some(path) = flag(flags, "metrics-out") {
+        std::fs::write(path, metrics.to_json()).map_err(io_err(format!("cannot write {path}")))?;
+        eprintln!("wrote metrics to {path}");
+    }
+    if has_switch(flags, "verbose") {
+        eprint!("{}", metrics.render_table());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), VtldError> {
+    let flags = parse_flags(args, &["samples", "seed", "out"], &[])?;
     let samples = parse_u64(&flags, "samples", 100_000)?;
     let seed = parse_u64(&flags, "seed", 0x7e57_5eed)?;
-    let out = flag(&flags, "out").ok_or("simulate requires --out PATH")?;
+    let out = flag(&flags, "out")
+        .ok_or_else(|| VtldError::Usage("simulate requires --out PATH".into()))?;
+    let config = SimConfig::builder().seed(seed).samples(samples).build()?;
 
     eprintln!("simulating {samples} samples (seed {seed:#x})...");
-    let study = Study::generate(SimConfig::new(seed, samples));
+    let study = Study::generate(config);
     let store = study.build_store();
-    let mut file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    write_store(&store, &mut file).map_err(|e| format!("write failed: {e}"))?;
+    let mut file = std::fs::File::create(out).map_err(io_err(format!("cannot create {out}")))?;
+    write_store(&store, &mut file).map_err(io_err("write failed"))?;
     let stats = store.partition_stats();
     let bytes: u64 = stats.iter().map(|p| p.stored_bytes).sum();
     println!(
@@ -138,42 +255,77 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["store", "fleet-seed", "csv-dir"])?;
-    let path = flag(&flags, "store").ok_or("analyze requires --store PATH")?;
+fn cmd_analyze(args: &[String]) -> Result<(), VtldError> {
+    let flags = parse_flags(
+        args,
+        &["store", "fleet-seed", "csv-dir", "workers", "metrics-out"],
+        &["verbose"],
+    )?;
+    let path = flag(&flags, "store")
+        .ok_or_else(|| VtldError::Usage("analyze requires --store PATH".into()))?;
     let fleet_seed = parse_u64(&flags, "fleet-seed", 0x7e57_5eed ^ 0xF1EE_7000)?;
+    let workers = parse_u64(&flags, "workers", par::default_workers() as u64)?.max(1) as usize;
+    let obs = obs_for(&flags);
 
-    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let store = read_store(&mut file).map_err(|e| format!("load failed: {e}"))?;
+    let mut file = std::fs::File::open(path).map_err(io_err(format!("cannot open {path}")))?;
+    let mut store = read_store(&mut file)?;
+    store.set_obs(&obs);
     eprintln!(
         "loaded {} reports / {} samples from {path}",
         store.report_count(),
         store.sample_count()
     );
     let records = records_from_store(&store);
-    let fleet = EngineFleet::new(FleetConfig {
-        seed: fleet_seed,
-        ..FleetConfig::default()
-    });
+    let fleet = EngineFleet::new(FleetConfig::builder().seed(fleet_seed).build()?);
     let window_start = vt_label_dynamics::model::time::Month::COLLECTION_START.start();
-    let results = analyze_records(&records, store.partition_stats(), &fleet, window_start);
+    let results = analyze_records_obs(
+        &records,
+        store.partition_stats(),
+        &fleet,
+        window_start,
+        workers,
+        &obs,
+    );
     println!("{}", render_full_report(&results, &fleet));
     if let Some(dir) = flag(&flags, "csv-dir") {
         write_csvs(dir, &results, &fleet)?;
     }
-    Ok(())
+    emit_metrics(&obs, &flags)
 }
 
-fn cmd_study(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["samples", "seed", "csv-dir"])?;
+fn cmd_study(args: &[String]) -> Result<(), VtldError> {
+    let flags = parse_flags(
+        args,
+        &["samples", "seed", "csv-dir", "workers", "metrics-out"],
+        &["verbose"],
+    )?;
     let samples = parse_u64(&flags, "samples", 100_000)?;
     let seed = parse_u64(&flags, "seed", 0x7e57_5eed)?;
+    let workers = parse_u64(&flags, "workers", par::default_workers() as u64)?.max(1) as usize;
+    let config = SimConfig::builder().seed(seed).samples(samples).build()?;
+    let obs = obs_for(&flags);
+
     eprintln!("simulating {samples} samples (seed {seed:#x})...");
-    let study = Study::generate(SimConfig::new(seed, samples));
-    let results = study.run();
+    let study = Study::generate_with_workers_obs(config, workers, &obs);
+    let results = if obs.is_enabled() {
+        // Instrumented path: ingest through the fault-tolerant
+        // collector (clean feed) so collector/store metrics cover the
+        // paper's collection pipeline, then the registry-driven stages.
+        study.run_with_obs(workers, &obs)
+    } else {
+        let store = study.build_store();
+        analyze_records_obs(
+            study.records(),
+            store.partition_stats(),
+            study.sim().fleet(),
+            config.window_start(),
+            workers,
+            Obs::noop(),
+        )
+    };
     println!("{}", render_full_report(&results, study.sim().fleet()));
     if let Some(dir) = flag(&flags, "csv-dir") {
         write_csvs(dir, &results, study.sim().fleet())?;
     }
-    Ok(())
+    emit_metrics(&obs, &flags)
 }

@@ -1,7 +1,7 @@
 //! End-to-end integration: simulate → store → analyze, checking
 //! cross-crate consistency and determinism.
 
-use vt_label_dynamics::dynamics::Study;
+use vt_label_dynamics::dynamics::{Analysis, Study};
 use vt_label_dynamics::sim::SimConfig;
 
 fn study(seed: u64, samples: u64) -> Study {
@@ -140,21 +140,24 @@ fn store_only_records_analyze_identically() {
     assert_eq!(s.len() as u64, direct.s_samples, "S must match");
     assert_eq!(s.reports, direct.s_reports);
 
-    let st = vt_label_dynamics::dynamics::stability::analyze(&from_store);
+    let ctx = vt_label_dynamics::dynamics::AnalysisCtx::new(
+        &from_store,
+        &s,
+        study.sim().fleet(),
+        window_start,
+    );
+
+    let st = vt_label_dynamics::dynamics::stability::Stability.run(&ctx);
     assert_eq!(st.stable, direct.stability.stable);
     assert_eq!(st.dynamic, direct.stability.dynamic);
 
-    let m = vt_label_dynamics::dynamics::metrics::analyze(&from_store, &s);
+    let m = vt_label_dynamics::dynamics::metrics::Metrics.run(&ctx);
     assert_eq!(m.delta_zero_fraction, direct.metrics.delta_zero_fraction);
 
     let sweep = vt_label_dynamics::dynamics::categorize::sweep(&from_store, &s, true);
     assert_eq!(sweep.samples, direct.categories_pe.samples);
 
-    let fl = vt_label_dynamics::dynamics::flips::analyze(
-        &from_store,
-        &s,
-        study.sim().fleet().engine_count(),
-    );
+    let fl = vt_label_dynamics::dynamics::flips::Flips.run(&ctx);
     assert_eq!(fl.flips, direct.flips.flips);
     assert_eq!(fl.hazard_flips, direct.flips.hazard_flips);
 }
@@ -174,8 +177,14 @@ fn analyses_never_read_ground_truth() {
     let window_start = study.sim().config().window_start();
     let s = vt_label_dynamics::dynamics::freshdyn::build(&scrubbed, window_start);
     assert_eq!(s.len() as u64, r1.s_samples);
-    let st = vt_label_dynamics::dynamics::stability::analyze(&scrubbed);
+    let ctx = vt_label_dynamics::dynamics::AnalysisCtx::new(
+        &scrubbed,
+        &s,
+        study.sim().fleet(),
+        window_start,
+    );
+    let st = vt_label_dynamics::dynamics::stability::Stability.run(&ctx);
     assert_eq!(st.stable, r1.stability.stable);
-    let m = vt_label_dynamics::dynamics::metrics::analyze(&scrubbed, &s);
+    let m = vt_label_dynamics::dynamics::metrics::Metrics.run(&ctx);
     assert_eq!(m.delta_zero_fraction, r1.metrics.delta_zero_fraction);
 }

@@ -6,7 +6,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use vt_label_dynamics::dynamics::{
-    analyze_records, records_from_store, Collector, CollectorConfig, Study,
+    analyze_records, records_from_store, Analysis, Collector, CollectorConfig, Study,
 };
 use vt_label_dynamics::sim::fault::{FaultPlan, FaultyFeed};
 use vt_label_dynamics::sim::SimConfig;
@@ -98,7 +98,19 @@ fn perfect_availability_is_quieter_than_nominal() {
 
     let stable_fraction = |config: SimConfig| {
         let study = Study::generate(config);
-        vt_label_dynamics::dynamics::stability::analyze(study.records()).stable_fraction()
+        let s = vt_label_dynamics::dynamics::freshdyn::build(
+            study.records(),
+            study.sim().config().window_start(),
+        );
+        let ctx = vt_label_dynamics::dynamics::AnalysisCtx::new(
+            study.records(),
+            &s,
+            study.sim().fleet(),
+            study.sim().config().window_start(),
+        );
+        vt_label_dynamics::dynamics::stability::Stability
+            .run(&ctx)
+            .stable_fraction()
     };
     let s_perfect = stable_fraction(perfect);
     let s_nominal = stable_fraction(nominal);

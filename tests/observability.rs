@@ -1,0 +1,106 @@
+//! Observability invariants: instrumentation must be *write-only*.
+//! Turning the metrics sink on or off, or changing the worker count,
+//! must never change a single analysis bit — and an instrumented run's
+//! `metrics.json` must actually cover the whole pipeline.
+
+use vt_label_dynamics::dynamics::{pipeline, Study};
+use vt_label_dynamics::obs::{json, Obs};
+use vt_label_dynamics::sim::SimConfig;
+
+const SEED: u64 = 0x0B5E;
+const SAMPLES: u64 = 4_000;
+
+/// Debug-formats a `StudyResults` with the (timing-dependent)
+/// `stage_timings` field cleared, so two runs can be compared for
+/// bit-identity of the analysis payload. f64 Debug formatting is the
+/// shortest round-trip representation, so equal strings ⇒ equal bits.
+fn analysis_fingerprint(mut r: pipeline::StudyResults) -> String {
+    r.stage_timings.clear();
+    format!("{r:?}")
+}
+
+#[test]
+fn results_bit_identical_with_obs_on_and_off() {
+    let study = Study::generate(SimConfig::new(SEED, SAMPLES));
+    for workers in [1usize, 2, 8] {
+        let plain = study.run_with_obs(workers, Obs::noop());
+        let obs = Obs::new();
+        let observed = study.run_with_obs(workers, &obs);
+
+        assert!(
+            !observed.stage_timings.is_empty(),
+            "enabled obs must produce stage timings"
+        );
+        for name in pipeline::stage_names() {
+            assert!(
+                observed.stage_timings.iter().any(|t| t.name == name),
+                "stage {name} missing from stage_timings at workers={workers}"
+            );
+        }
+        assert_eq!(
+            analysis_fingerprint(plain),
+            analysis_fingerprint(observed),
+            "obs on/off changed analysis output at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn counters_invariant_across_worker_counts() {
+    let study = Study::generate(SimConfig::new(SEED, SAMPLES));
+    let counters_at = |workers: usize| {
+        let obs = Obs::new();
+        let _ = study.run_with_obs(workers, &obs);
+        let mut counters = obs.snapshot().counters;
+        counters.sort();
+        counters
+    };
+    let base = counters_at(1);
+    assert!(
+        base.iter().any(|(name, _)| name == "store/encoded_reports"),
+        "expected store counters in {base:?}"
+    );
+    for workers in [2usize, 8] {
+        assert_eq!(
+            base,
+            counters_at(workers),
+            "counter totals must not depend on the worker count"
+        );
+    }
+}
+
+#[test]
+fn metrics_json_round_trips_and_covers_the_pipeline() {
+    let study = Study::generate(SimConfig::new(SEED, SAMPLES));
+    let obs = Obs::new();
+    let _ = study.run_with_obs(2, &obs);
+    let metrics = obs.snapshot();
+    let parsed = json::parse(&metrics.to_json()).expect("metrics.json must be valid JSON");
+
+    let spans = parsed.get("spans").expect("spans section");
+    for name in pipeline::stage_names() {
+        let key = format!("pipeline/{name}");
+        assert!(spans.get(&key).is_some(), "span {key} missing from JSON");
+    }
+    assert!(spans.get("pipeline/freshdyn").is_some());
+    assert!(spans.get("collector/ingest").is_some());
+
+    let counters = parsed.get("counters").expect("counters section");
+    assert_eq!(
+        counters
+            .get("store/encoded_reports")
+            .and_then(|v| v.as_u64()),
+        metrics.counter("store/encoded_reports"),
+        "JSON counter must round-trip the snapshot value"
+    );
+    assert!(counters.get("collector/accepted").is_some());
+
+    let histograms = parsed.get("histograms").expect("histograms section");
+    assert!(
+        histograms.get("par/generate/worker_busy_ns").is_some()
+            || histograms
+                .get("par/correlation_count/worker_busy_ns")
+                .is_some(),
+        "per-worker busy-time histograms missing from JSON"
+    );
+}

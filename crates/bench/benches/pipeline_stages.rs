@@ -1,0 +1,201 @@
+//! Tentpole bench for the columnar pipeline: the former serial
+//! per-stage walks vs the [`TrajectoryTable`]-backed parallel stages,
+//! plus a per-stage worker ablation (1/2/4/8) and the full
+//! `analyze_records` wall clock.
+//!
+//! All timings run over the memoized ≥200k-sample seeded study
+//! ([`vt_bench::correlation_study`], 500k samples), so the speedup
+//! claim in `BENCH_pipeline.json` is demonstrated at the scale the
+//! paper's dataset demands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vt_bench::{correlation_ctx, correlation_fresh_dynamic, correlation_study, correlation_table};
+use vt_dynamics::categorize::Categorize;
+use vt_dynamics::causes::Causes;
+use vt_dynamics::flips::Flips;
+use vt_dynamics::intervals::Intervals;
+use vt_dynamics::landscape::Landscape;
+use vt_dynamics::metrics::{Metrics, WindowGrowth};
+use vt_dynamics::stability::Stability;
+use vt_dynamics::stabilization::Stabilization;
+use vt_dynamics::{pipeline, Analysis, AnalysisCtx, TrajectoryTable};
+use vt_model::time::Duration;
+use vt_obs::Obs;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The ten formerly-serial stages (everything except correlation, which
+/// kept its own fused kernel), run back to back through the registry's
+/// `Analysis` entry points.
+fn run_stages(ctx: &AnalysisCtx) {
+    black_box(Landscape.run(ctx));
+    black_box(Stability.run(ctx));
+    black_box(Metrics.run(ctx));
+    black_box(WindowGrowth::default().run(ctx));
+    black_box(Intervals::default().run(ctx));
+    black_box(Categorize::ALL.run(ctx));
+    black_box(Categorize::PE.run(ctx));
+    black_box(Causes.run(ctx));
+    black_box(Stabilization.run(ctx));
+    black_box(Flips.run(ctx));
+}
+
+/// The same ten stages through the retained serial reference
+/// implementations — the "before" side of the tentpole claim.
+#[allow(deprecated)]
+fn run_serial_stages() {
+    let st = correlation_study();
+    let records = st.records();
+    let s = correlation_fresh_dynamic();
+    let ws = st.sim().config().window_start();
+    let fleet = st.sim().fleet();
+    black_box(vt_dynamics::landscape::dataset_stats(records, ws));
+    black_box(vt_dynamics::stability::analyze(records));
+    black_box(vt_dynamics::metrics::analyze(records, s));
+    black_box(vt_dynamics::metrics::window_growth_fraction(
+        records,
+        s,
+        Duration::days(30),
+        Duration::days(90),
+    ));
+    black_box(vt_dynamics::intervals::analyze(records, s, 430));
+    black_box(vt_dynamics::categorize::sweep(records, s, false));
+    black_box(vt_dynamics::categorize::sweep(records, s, true));
+    black_box(vt_dynamics::causes::analyze(records, s, fleet));
+    black_box(vt_dynamics::stabilization::rank_stabilization(records, s));
+    black_box(vt_dynamics::stabilization::label_stabilization(
+        records, s, false,
+    ));
+    black_box(vt_dynamics::stabilization::label_stabilization(
+        records, s, true,
+    ));
+    black_box(vt_dynamics::flips::analyze(
+        records,
+        s,
+        fleet.engine_count(),
+    ));
+}
+
+/// Before/after: serial stage total vs the columnar stage total at each
+/// worker count. The acceptance claim is parallel_total/8 ≥ 3× faster
+/// than serial_total.
+fn stage_totals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.bench_function("serial_total", |b| b.iter(run_serial_stages));
+    for &workers in &WORKER_SWEEP {
+        let ctx = correlation_ctx().with_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::new("parallel_total", workers),
+            &workers,
+            |b, _| b.iter(|| run_stages(&ctx)),
+        );
+    }
+    group.finish();
+}
+
+/// Per-stage worker ablation over the shared table.
+fn stage_ablation(c: &mut Criterion) {
+    type StageFn = Box<dyn Fn(&AnalysisCtx)>;
+    let stages: Vec<(&str, StageFn)> = vec![
+        (
+            "landscape",
+            Box::new(|ctx| drop(black_box(Landscape.run(ctx)))),
+        ),
+        (
+            "stability",
+            Box::new(|ctx| drop(black_box(Stability.run(ctx)))),
+        ),
+        ("metrics", Box::new(|ctx| drop(black_box(Metrics.run(ctx))))),
+        (
+            "window_growth",
+            Box::new(|ctx| {
+                black_box(WindowGrowth::default().run(ctx));
+            }),
+        ),
+        (
+            "intervals",
+            Box::new(|ctx| drop(black_box(Intervals::default().run(ctx)))),
+        ),
+        (
+            "categorize_all",
+            Box::new(|ctx| drop(black_box(Categorize::ALL.run(ctx)))),
+        ),
+        (
+            "categorize_pe",
+            Box::new(|ctx| drop(black_box(Categorize::PE.run(ctx)))),
+        ),
+        (
+            "causes",
+            Box::new(|ctx| {
+                black_box(Causes.run(ctx));
+            }),
+        ),
+        (
+            "stabilization",
+            Box::new(|ctx| drop(black_box(Stabilization.run(ctx)))),
+        ),
+        ("flips", Box::new(|ctx| drop(black_box(Flips.run(ctx))))),
+    ];
+    let mut group = c.benchmark_group("stage");
+    for (name, run) in &stages {
+        for &workers in &WORKER_SWEEP {
+            let ctx = correlation_ctx().with_workers(workers);
+            group.bench_with_input(BenchmarkId::new(*name, workers), &workers, |b, _| {
+                b.iter(|| run(&ctx))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The shared one-pass table build (kernel `table_build`).
+fn table_build(c: &mut Criterion) {
+    let st = correlation_study();
+    let ws = st.sim().config().window_start();
+    let mut group = c.benchmark_group("table");
+    for &workers in &WORKER_SWEEP {
+        group.bench_with_input(BenchmarkId::new("build", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(TrajectoryTable::build_with(
+                    st.records(),
+                    ws,
+                    w,
+                    Obs::noop(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full `analyze_records` (all eleven registry stages, table and *S*
+/// construction included) at the default worker count.
+fn full_pipeline(c: &mut Criterion) {
+    let st = correlation_study();
+    // Warm the memoized fixtures so the first iteration isn't charged
+    // for them.
+    let _ = correlation_table();
+    let _ = correlation_fresh_dynamic();
+    let mut group = c.benchmark_group("pipeline_full");
+    group.bench_function("analyze_records", |b| {
+        b.iter(|| {
+            black_box(pipeline::analyze_records(
+                st.records(),
+                Vec::new(),
+                st.sim().fleet(),
+                st.sim().config().window_start(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    stage_totals,
+    stage_ablation,
+    table_build,
+    full_pipeline
+);
+criterion_main!(benches);

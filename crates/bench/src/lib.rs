@@ -12,6 +12,7 @@ use std::sync::OnceLock;
 use vt_dynamics::freshdyn::{self, FreshDynamic};
 use vt_dynamics::AnalysisCtx;
 use vt_dynamics::Study;
+use vt_dynamics::TrajectoryTable;
 use vt_sim::SimConfig;
 
 /// Samples in the benchmark dataset. Large enough that the analyses are
@@ -33,6 +34,15 @@ pub fn fresh_dynamic() -> &'static FreshDynamic {
     S.get_or_init(|| {
         let st = study();
         freshdyn::build(st.records(), st.sim().config().window_start())
+    })
+}
+
+/// The memoized columnar [`TrajectoryTable`] for the benchmark study.
+pub fn table() -> &'static TrajectoryTable {
+    static TABLE: OnceLock<TrajectoryTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let st = study();
+        TrajectoryTable::build(st.records(), st.sim().config().window_start())
     })
 }
 
@@ -59,12 +69,22 @@ pub fn correlation_fresh_dynamic() -> &'static FreshDynamic {
     })
 }
 
+/// The memoized columnar [`TrajectoryTable`] for [`correlation_study`].
+pub fn correlation_table() -> &'static TrajectoryTable {
+    static TABLE: OnceLock<TrajectoryTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let st = correlation_study();
+        TrajectoryTable::build(st.records(), st.sim().config().window_start())
+    })
+}
+
 /// An [`AnalysisCtx`] over the memoized benchmark [`study`], for bench
 /// targets that exercise the unified [`vt_dynamics::Analysis`] stages.
 pub fn bench_ctx() -> AnalysisCtx<'static> {
     let st = study();
     AnalysisCtx::new(
         st.records(),
+        table(),
         fresh_dynamic(),
         st.sim().fleet(),
         st.sim().config().window_start(),
@@ -76,6 +96,7 @@ pub fn correlation_ctx() -> AnalysisCtx<'static> {
     let st = correlation_study();
     AnalysisCtx::new(
         st.records(),
+        correlation_table(),
         correlation_fresh_dynamic(),
         st.sim().fleet(),
         st.sim().config().window_start(),

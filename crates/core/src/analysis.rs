@@ -5,23 +5,27 @@
 //! `(records, s)`, `(records, s, engine_count)`, `(records, s, fleet)`,
 //! `(records, s, max_days)` — which made instrumenting the pipeline
 //! uniformly impossible. [`AnalysisCtx`] bundles everything any stage
-//! can legitimately consume (the record set, the fresh dynamic dataset
-//! *S*, the engine fleet, the observation-window start, the worker
-//! count, and an [`Obs`] handle), and [`Analysis`] is the common shape
-//! every stage now presents:
+//! can legitimately consume (the record set, its columnar
+//! [`TrajectoryTable`] view, the fresh dynamic dataset *S*, the engine
+//! fleet, the observation-window start, the worker count, and an
+//! [`Obs`] handle), and [`Analysis`] is the common shape every stage
+//! now presents:
 //!
 //! ```
 //! use vt_dynamics::analysis::{Analysis, AnalysisCtx};
-//! use vt_dynamics::{flips, freshdyn, pipeline::Study};
+//! use vt_dynamics::{flips, freshdyn, pipeline::Study, TrajectoryTable};
 //! use vt_sim::SimConfig;
 //!
 //! let study = Study::generate_with_workers(SimConfig::new(7, 500), 2);
-//! let s = freshdyn::build(study.records(), study.sim().config().window_start());
+//! let window_start = study.sim().config().window_start();
+//! let table = TrajectoryTable::build(study.records(), window_start);
+//! let s = freshdyn::build(study.records(), window_start);
 //! let ctx = AnalysisCtx::new(
 //!     study.records(),
+//!     &table,
 //!     &s,
 //!     study.sim().fleet(),
-//!     study.sim().config().window_start(),
+//!     window_start,
 //! );
 //! let flips = flips::Flips.run(&ctx);
 //! assert_eq!(flips.flips, flips.flips_up + flips.flips_down);
@@ -36,6 +40,7 @@
 use crate::freshdyn::FreshDynamic;
 use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
 use vt_engines::EngineFleet;
 use vt_model::time::Timestamp;
 use vt_obs::Obs;
@@ -49,6 +54,9 @@ use vt_obs::Obs;
 pub struct AnalysisCtx<'a> {
     /// The full record set under analysis.
     pub records: &'a [SampleRecord],
+    /// The columnar view of `records` every stage reads instead of the
+    /// `ScanReport` structs.
+    pub table: &'a TrajectoryTable,
     /// The fresh dynamic dataset *S* (§5.3.1) over `records`.
     pub s: &'a FreshDynamic,
     /// Engine roster and update schedules (§5.5 cause attribution).
@@ -65,12 +73,14 @@ impl<'a> AnalysisCtx<'a> {
     /// A context with default parallelism and no observation.
     pub fn new(
         records: &'a [SampleRecord],
+        table: &'a TrajectoryTable,
         s: &'a FreshDynamic,
         fleet: &'a EngineFleet,
         window_start: Timestamp,
     ) -> Self {
         Self {
             records,
+            table,
             s,
             fleet,
             window_start,
@@ -101,6 +111,7 @@ impl std::fmt::Debug for AnalysisCtx<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnalysisCtx")
             .field("records", &self.records.len())
+            .field("table_rows", &self.table.report_rows())
             .field("s_samples", &self.s.len())
             .field("window_start", &self.window_start)
             .field("workers", &self.workers)
@@ -149,13 +160,16 @@ mod tests {
     #[test]
     fn ctx_builds_and_overrides() {
         let study = Study::generate_with_workers(SimConfig::new(11, 200), 2);
-        let s = freshdyn::build(study.records(), study.sim().config().window_start());
+        let window_start = study.sim().config().window_start();
+        let table = TrajectoryTable::build(study.records(), window_start);
+        let s = freshdyn::build(study.records(), window_start);
         let obs = Obs::new();
         let ctx = AnalysisCtx::new(
             study.records(),
+            &table,
             &s,
             study.sim().fleet(),
-            study.sim().config().window_start(),
+            window_start,
         )
         .with_workers(3)
         .with_obs(&obs);
@@ -169,12 +183,15 @@ mod tests {
     #[test]
     fn run_timed_records_a_span_without_changing_results() {
         let study = Study::generate_with_workers(SimConfig::new(11, 400), 2);
-        let s = freshdyn::build(study.records(), study.sim().config().window_start());
+        let window_start = study.sim().config().window_start();
+        let table = TrajectoryTable::build(study.records(), window_start);
+        let s = freshdyn::build(study.records(), window_start);
         let base = AnalysisCtx::new(
             study.records(),
+            &table,
             &s,
             study.sim().fleet(),
-            study.sim().config().window_start(),
+            window_start,
         );
         let obs = Obs::new();
         let quiet = crate::stability::Stability.run_timed(&base);

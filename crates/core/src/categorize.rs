@@ -11,7 +11,12 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
+
+/// Ranks above this fold into the top envelope bucket.
+const MAX_RANK: usize = 130;
 
 /// Sample shares for one threshold.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,7 +97,7 @@ impl Analysis for Categorize {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> CategorySweep {
-        sweep(ctx.records, ctx.s, self.pe_only)
+        sweep_columnar(ctx.table, ctx.s, self.pe_only, ctx)
     }
 }
 
@@ -101,7 +106,6 @@ impl Analysis for Categorize {
 pub fn sweep(records: &[SampleRecord], s: &FreshDynamic, pe_only: bool) -> CategorySweep {
     // Count samples by their (p_min, p_max) envelope, then integrate per
     // threshold: white(t) = #{p_max < t}, black(t) = #{p_min >= t}.
-    const MAX_RANK: usize = 130;
     let mut max_hist = [0u64; MAX_RANK + 1];
     let mut min_hist = [0u64; MAX_RANK + 1];
     let mut samples = 0u64;
@@ -109,13 +113,65 @@ pub fn sweep(records: &[SampleRecord], s: &FreshDynamic, pe_only: bool) -> Categ
         if pe_only && !r.meta.file_type.is_pe() {
             continue;
         }
-        let p = r.positives();
-        let p_max = *p.iter().max().expect("multi-report") as usize;
-        let p_min = *p.iter().min().expect("multi-report") as usize;
-        max_hist[p_max.min(MAX_RANK)] += 1;
-        min_hist[p_min.min(MAX_RANK)] += 1;
+        let mut it = r.positives_iter();
+        let first = it.next().expect("multi-report");
+        let (p_min, p_max) = it.fold((first, first), |(lo, hi), p| (lo.min(p), hi.max(p)));
+        max_hist[(p_max as usize).min(MAX_RANK)] += 1;
+        min_hist[(p_min as usize).min(MAX_RANK)] += 1;
         samples += 1;
     }
+    shares_from_envelopes(&max_hist, &min_hist, samples)
+}
+
+/// Parallel sweep over the table's precomputed `p_min`/`p_max`
+/// envelopes; the per-partition histograms sum exactly.
+fn sweep_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    pe_only: bool,
+    ctx: &AnalysisCtx,
+) -> CategorySweep {
+    let kernel = if pe_only {
+        "categorize_pe"
+    } else {
+        "categorize_all"
+    };
+    let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, kernel, |_, range| {
+        let mut max_hist = [0u64; MAX_RANK + 1];
+        let mut min_hist = [0u64; MAX_RANK + 1];
+        let mut samples = 0u64;
+        for &i in &s.indices[range.start as usize..range.end as usize] {
+            if pe_only && !table.is_pe(i) {
+                continue;
+            }
+            max_hist[(table.p_max(i) as usize).min(MAX_RANK)] += 1;
+            min_hist[(table.p_min(i) as usize).min(MAX_RANK)] += 1;
+            samples += 1;
+        }
+        (max_hist, min_hist, samples)
+    });
+    let mut max_hist = [0u64; MAX_RANK + 1];
+    let mut min_hist = [0u64; MAX_RANK + 1];
+    let mut samples = 0u64;
+    for (pmax, pmin, n) in parts {
+        for (a, b) in max_hist.iter_mut().zip(pmax) {
+            *a += b;
+        }
+        for (a, b) in min_hist.iter_mut().zip(pmin) {
+            *a += b;
+        }
+        samples += n;
+    }
+    shares_from_envelopes(&max_hist, &min_hist, samples)
+}
+
+/// Integrates the envelope histograms into per-threshold shares.
+fn shares_from_envelopes(
+    max_hist: &[u64; MAX_RANK + 1],
+    min_hist: &[u64; MAX_RANK + 1],
+    samples: u64,
+) -> CategorySweep {
     let shares = (1u32..=50)
         .map(|t| {
             let white: u64 = max_hist[..(t as usize).min(MAX_RANK + 1)].iter().sum();

@@ -14,7 +14,9 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
 use vt_engines::EngineFleet;
 use vt_model::EngineId;
 
@@ -79,8 +81,72 @@ impl Analysis for Causes {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> CauseAnalysis {
-        analyze_impl(ctx.records, ctx.s, ctx.fleet)
+        analyze_columnar(ctx.table, ctx.s, ctx.fleet, ctx)
     }
+}
+
+/// Parallel cause attribution over the table's verdict-bitmap columns.
+/// All six counters are order-independent sums, so the per-partition
+/// [`CauseAnalysis`] values merge exactly.
+fn analyze_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    fleet: &EngineFleet,
+    ctx: &AnalysisCtx,
+) -> CauseAnalysis {
+    let engines = fleet.engine_count();
+    let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "causes", |_, range| {
+        let mut a = CauseAnalysis::default();
+        for &rec in &s.indices[range.start as usize..range.end as usize] {
+            let rows = table.rows(rec);
+            for e in 0..engines {
+                let id = EngineId::new(e);
+                let mut last: Option<(u8, vt_model::Timestamp)> = None;
+                let mut gap_since_last = false;
+                for row in rows.clone() {
+                    match table.binary_label(row, id) {
+                        None => {
+                            if last.is_some() {
+                                gap_since_last = true;
+                            }
+                        }
+                        Some(label) => {
+                            let date = table.date(row);
+                            if let Some((prev, prev_t)) = last {
+                                if prev != label {
+                                    a.flips += 1;
+                                    if label == 1 {
+                                        a.flips_up += 1;
+                                    } else {
+                                        a.flips_down += 1;
+                                    }
+                                    if fleet.schedule(id).updated_in(prev_t, date) {
+                                        a.update_coincident += 1;
+                                    }
+                                }
+                                if gap_since_last {
+                                    if prev == label {
+                                        a.gap_consistent += 1;
+                                    } else {
+                                        a.gap_changed += 1;
+                                    }
+                                }
+                            }
+                            last = Some((label, date));
+                            gap_since_last = false;
+                        }
+                    }
+                }
+            }
+        }
+        a
+    });
+    let mut a = CauseAnalysis::default();
+    for part in &parts {
+        a.merge(part);
+    }
+    a
 }
 
 /// Runs the cause attribution over *S* using the fleet's update

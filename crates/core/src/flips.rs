@@ -13,7 +13,9 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
 use vt_model::{EngineId, FileType};
 
 /// Flip accounting for one (engine, file-type) cell.
@@ -74,10 +76,37 @@ impl FlipAnalysis {
     /// Engines ranked by overall flip ratio, descending.
     pub fn ranked_engines(&self) -> Vec<(EngineId, f64)> {
         let mut v: Vec<(EngineId, f64)> = (0..self.engine_count)
-            .map(|e| (EngineId(e as u8), self.engine_ratio(EngineId(e as u8))))
+            .map(|e| (EngineId::new(e), self.engine_ratio(EngineId::new(e))))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
+    }
+
+    fn empty(engine_count: usize) -> Self {
+        Self {
+            engine_count,
+            matrix: vec![[FlipCell::default(); 20]; engine_count],
+            flips: 0,
+            flips_up: 0,
+            flips_down: 0,
+            hazard_flips: 0,
+            reports: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &FlipAnalysis) {
+        debug_assert_eq!(self.engine_count, other.engine_count);
+        for (mine, theirs) in self.matrix.iter_mut().zip(&other.matrix) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.opportunities += b.opportunities;
+                a.flips += b.flips;
+            }
+        }
+        self.flips += other.flips;
+        self.flips_up += other.flips_up;
+        self.flips_down += other.flips_down;
+        self.hazard_flips += other.hazard_flips;
+        self.reports += other.reports;
     }
 }
 
@@ -94,8 +123,81 @@ impl Analysis for Flips {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> FlipAnalysis {
-        analyze_impl(ctx.records, ctx.s, ctx.engine_count())
+        analyze_columnar(ctx.table, ctx.s, ctx.engine_count(), ctx)
     }
+}
+
+/// Parallel, bit-sliced flip detection over the table's verdict-bitmap
+/// columns.
+///
+/// Instead of walking every engine's label sequence separately, each
+/// record keeps four two-word masks — `seen1`/`prevlab` (engines with a
+/// previous active label, and that label) and `seen2`/`prevprev` (the
+/// label before that) — and processes all 128 engines per report with a
+/// handful of word operations. A flip is `seen1 & active & (prevlab ^
+/// detected)`; a hazard flip additionally requires `seen2` and
+/// `prevprev == detected`. Per-engine matrix cells come from iterating
+/// the set bits. All counters are sums, so partitions merge exactly.
+fn analyze_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    engine_count: usize,
+    ctx: &AnalysisCtx,
+) -> FlipAnalysis {
+    let mut mask = [0u64; 2];
+    for e in 0..engine_count.min(128) {
+        mask[e / 64] |= 1 << (e % 64);
+    }
+    let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "flips", |_, range| {
+        let mut a = FlipAnalysis::empty(engine_count);
+        for &rec in &s.indices[range.start as usize..range.end as usize] {
+            let type_idx = table.type_idx(rec);
+            debug_assert!(type_idx < 20);
+            a.reports += table.report_count(rec) as u64;
+            let mut seen1 = [0u64; 2];
+            let mut prevlab = [0u64; 2];
+            let mut seen2 = [0u64; 2];
+            let mut prevprev = [0u64; 2];
+            for row in table.rows(rec) {
+                let act = table.active_words(row);
+                let det = table.detected_words(row);
+                for w in 0..2 {
+                    let aw = act[w] & mask[w];
+                    let d = det[w];
+                    let pairs = seen1[w] & aw;
+                    let flipped = pairs & (prevlab[w] ^ d);
+                    a.flips += u64::from(flipped.count_ones());
+                    a.flips_up += u64::from((flipped & d).count_ones());
+                    a.flips_down += u64::from((flipped & !d).count_ones());
+                    a.hazard_flips +=
+                        u64::from((flipped & seen2[w] & !(prevprev[w] ^ d)).count_ones());
+                    let mut bits = pairs;
+                    while bits != 0 {
+                        let e = w * 64 + bits.trailing_zeros() as usize;
+                        a.matrix[e][type_idx].opportunities += 1;
+                        bits &= bits - 1;
+                    }
+                    let mut bits = flipped;
+                    while bits != 0 {
+                        let e = w * 64 + bits.trailing_zeros() as usize;
+                        a.matrix[e][type_idx].flips += 1;
+                        bits &= bits - 1;
+                    }
+                    seen2[w] |= seen1[w] & aw;
+                    prevprev[w] = (prevprev[w] & !aw) | (prevlab[w] & aw);
+                    seen1[w] |= aw;
+                    prevlab[w] = (prevlab[w] & !aw) | (d & aw);
+                }
+            }
+        }
+        a
+    });
+    let mut a = FlipAnalysis::empty(engine_count);
+    for part in &parts {
+        a.merge(part);
+    }
+    a
 }
 
 /// Runs the flip analysis over *S*.
@@ -254,6 +356,31 @@ mod tests {
         assert_eq!(ranked[0].0, EngineId(1));
         assert!(ranked[0].1 > ranked[1].1);
         assert_eq!(a.engine_ratio(EngineId(0)), 0.0);
+    }
+
+    #[test]
+    fn columnar_matches_serial_reference_at_every_worker_count() {
+        use crate::analysis::AnalysisCtx;
+        use crate::pipeline::Study;
+        use crate::table::TrajectoryTable;
+        use vt_sim::SimConfig;
+
+        let study = Study::generate_with_workers(SimConfig::new(0xF11B5, 3_000), 2);
+        let ws = study.sim().config().window_start();
+        let table = TrajectoryTable::build(study.records(), ws);
+        let s = freshdyn::build(study.records(), ws);
+        let serial = analyze_impl(study.records(), &s, study.sim().fleet().engine_count());
+        assert!(serial.flips > 0, "study too small to exercise flips");
+        for workers in [1usize, 2, 8] {
+            let ctx = AnalysisCtx::new(study.records(), &table, &s, study.sim().fleet(), ws)
+                .with_workers(workers);
+            let columnar = Flips.run(&ctx);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{columnar:?}"),
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

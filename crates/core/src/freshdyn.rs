@@ -6,7 +6,9 @@
 //! of one of the **top-20 file types**. In the paper S holds 32,051,433
 //! samples / 109,142,027 reports.
 
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
 use vt_model::time::Timestamp;
 
 /// The fresh dynamic dataset: indices into the record slice.
@@ -38,8 +40,42 @@ impl FreshDynamic {
     }
 }
 
-/// Builds *S* from the full record set.
+/// Builds *S* from the full record set (columnar pass under the hood).
 pub fn build(records: &[SampleRecord], window_start: Timestamp) -> FreshDynamic {
+    let table = TrajectoryTable::build(records, window_start);
+    build_from_table(&table, par::default_workers())
+}
+
+/// Builds *S* from the table's precomputed membership flags: a parallel
+/// scan whose per-partition index lists concatenate in partition order,
+/// so `indices` comes out ascending — identical to the serial filter —
+/// at every worker count.
+pub fn build_from_table(table: &TrajectoryTable, workers: usize) -> FreshDynamic {
+    let ranges = par::partition_ranges(table.len() as u64, workers);
+    let parts = par::map_ranges(&ranges, |_, range| {
+        let mut indices = Vec::new();
+        let mut reports = 0u64;
+        for i in range.start as usize..range.end as usize {
+            if table.in_s(i) {
+                indices.push(i);
+                reports += table.report_count(i) as u64;
+            }
+        }
+        (indices, reports)
+    });
+    let mut indices = Vec::with_capacity(parts.iter().map(|(i, _)| i.len()).sum());
+    let mut reports = 0u64;
+    for (part, r) in parts {
+        indices.extend(part);
+        reports += r;
+    }
+    FreshDynamic { indices, reports }
+}
+
+/// The original serial filter, kept as the bit-identity reference for
+/// [`build_from_table`].
+#[cfg(test)]
+pub(crate) fn build_serial(records: &[SampleRecord], window_start: Timestamp) -> FreshDynamic {
     let mut indices = Vec::new();
     let mut reports = 0u64;
     for (i, r) in records.iter().enumerate() {
@@ -121,5 +157,22 @@ mod tests {
         assert_eq!(s.len(), 2);
         let collected: Vec<u64> = s.iter(&records).map(|r| r.meta.hash.seed64()).collect();
         assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn table_build_matches_serial_reference_at_every_worker_count() {
+        use crate::pipeline::Study;
+        use vt_sim::SimConfig;
+
+        let study = Study::generate_with_workers(SimConfig::new(0x5D, 3_000), 2);
+        let ws = study.sim().config().window_start();
+        let serial = build_serial(study.records(), ws);
+        let table = TrajectoryTable::build(study.records(), ws);
+        for workers in [1usize, 2, 3, 8] {
+            let s = build_from_table(&table, workers);
+            assert_eq!(s.indices, serial.indices, "workers={workers}");
+            assert_eq!(s.reports, serial.reports, "workers={workers}");
+        }
+        assert!(!serial.is_empty(), "study too small to exercise S");
     }
 }

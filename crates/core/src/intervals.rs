@@ -16,8 +16,16 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
+use vt_model::time::Duration;
 use vt_stats::{spearman_with_p, BoxplotSummary, SpearmanResult};
+
+/// |Δp| between two scans is bounded by the roster (≤ 128 engines), so
+/// each day bin is a `[u64; 129]` counting row instead of a `Vec<f64>`
+/// of raw pairs.
+const DIFF_BOUND: usize = 129;
 
 /// Cap on scans considered per sample when forming pairs.
 pub const MAX_SCANS_PER_SAMPLE: usize = 25;
@@ -70,8 +78,118 @@ impl Analysis for Intervals {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> IntervalAnalysis {
-        analyze_impl(ctx.records, ctx.s, self.max_days)
+        analyze_columnar(ctx.table, ctx.s, self.max_days, ctx)
     }
+}
+
+/// Partition accumulator: a flattened `(max_days + 1) × DIFF_BOUND`
+/// counting matrix plus the pair counters. Counts and totals merge by
+/// addition, `max_interval` by max.
+struct IntervalAcc {
+    day_counts: Vec<u64>,
+    pairs: u64,
+    pairs_beyond_max: u64,
+    max_interval: u32,
+}
+
+impl IntervalAcc {
+    fn new(max_days: usize) -> Self {
+        Self {
+            day_counts: vec![0; (max_days + 1) * DIFF_BOUND],
+            pairs: 0,
+            pairs_beyond_max: 0,
+            max_interval: 0,
+        }
+    }
+
+    fn merge(&mut self, other: IntervalAcc) {
+        for (a, b) in self.day_counts.iter_mut().zip(&other.day_counts) {
+            *a += b;
+        }
+        self.pairs += other.pairs;
+        self.pairs_beyond_max += other.pairs_beyond_max;
+        self.max_interval = self.max_interval.max(other.max_interval);
+    }
+}
+
+fn analyze_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    max_days: usize,
+    ctx: &AnalysisCtx,
+) -> IntervalAnalysis {
+    let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "intervals", |_, range| {
+        let mut acc = IntervalAcc::new(max_days);
+        let mut scans: Vec<(i64, u32)> = Vec::with_capacity(MAX_SCANS_PER_SAMPLE);
+        for &rec in &s.indices[range.start as usize..range.end as usize] {
+            strided_columns(
+                table.dates_of(rec),
+                table.positives_of(rec),
+                MAX_SCANS_PER_SAMPLE,
+                &mut scans,
+            );
+            for i in 0..scans.len() {
+                for j in (i + 1)..scans.len() {
+                    let (t1, p1) = scans[i];
+                    let (t2, p2) = scans[j];
+                    let days = Duration::minutes(t2 - t1).as_days().unsigned_abs();
+                    acc.pairs += 1;
+                    acc.max_interval = acc.max_interval.max(days.min(u32::MAX as u64) as u32);
+                    if days > max_days as u64 {
+                        acc.pairs_beyond_max += 1;
+                        continue;
+                    }
+                    let diff = p1.abs_diff(p2) as usize;
+                    acc.day_counts[days as usize * DIFF_BOUND + diff] += 1;
+                }
+            }
+        }
+        acc
+    });
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().unwrap_or_else(|| IntervalAcc::new(max_days));
+    for part in iter {
+        acc.merge(part);
+    }
+    let by_day: Vec<Option<BoxplotSummary>> = (0..=max_days)
+        .map(|d| BoxplotSummary::from_counts(&acc.day_counts[d * DIFF_BOUND..(d + 1) * DIFF_BOUND]))
+        .collect();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut ys_med = Vec::new();
+    for (day, summary) in by_day.iter().enumerate() {
+        if let Some(s) = summary {
+            if s.n >= MIN_PAIRS_PER_BIN {
+                xs.push(day as f64);
+                ys.push(s.mean);
+                ys_med.push(s.median);
+            }
+        }
+    }
+    IntervalAnalysis {
+        by_day,
+        correlation: spearman_with_p(&xs, &ys),
+        correlation_median: spearman_with_p(&xs, &ys_med),
+        pairs: acc.pairs,
+        pairs_beyond_max: acc.pairs_beyond_max,
+        max_interval_days: acc.max_interval,
+    }
+}
+
+/// [`strided`] over the table's date/rank columns, reusing `out`.
+fn strided_columns(dates: &[i64], positives: &[u32], cap: usize, out: &mut Vec<(i64, u32)>) {
+    out.clear();
+    let n = dates.len();
+    if n <= cap {
+        out.extend(dates.iter().copied().zip(positives.iter().copied()));
+        return;
+    }
+    for k in 0..cap {
+        let idx = k * (n - 1) / (cap - 1);
+        out.push((dates[idx], positives[idx]));
+    }
+    out.dedup_by_key(|(t, _)| *t);
 }
 
 /// Runs the §5.3.5 analysis over *S*. `max_days` bounds the day-bin

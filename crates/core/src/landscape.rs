@@ -6,7 +6,9 @@
 //! share, freshness).
 
 use crate::analysis::{Analysis, AnalysisCtx};
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
 use vt_model::time::Timestamp;
 use vt_model::FileType;
 use vt_store::DatasetStats;
@@ -40,10 +42,42 @@ impl Analysis for Landscape {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> (DatasetStats, Fig1Points) {
-        let stats = dataset_stats_impl(ctx.records, ctx.window_start);
+        let stats = dataset_stats_columnar(ctx.table, ctx.workers, ctx);
         let fig1 = fig1_points(&stats);
         (stats, fig1)
     }
+}
+
+/// Partition-reduction over the table's per-record columns: each worker
+/// feeds a [`DatasetStats`] via `record_columns`, and the partitions
+/// merge in order (all counters, so merge order is cosmetic — the
+/// result equals the serial pass exactly).
+fn dataset_stats_columnar(
+    table: &TrajectoryTable,
+    workers: usize,
+    ctx: &AnalysisCtx,
+) -> DatasetStats {
+    debug_assert_eq!(table.window_start(), ctx.window_start);
+    let ranges = par::partition_ranges(table.len() as u64, workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "landscape", |_, range| {
+        let mut stats = DatasetStats::new(table.window_start());
+        for i in range.start as usize..range.end as usize {
+            stats.record_columns(
+                table.type_idx(i),
+                table.report_count(i) as u64,
+                table.is_fresh(i),
+            );
+        }
+        stats
+    });
+    let mut iter = parts.into_iter();
+    let mut stats = iter
+        .next()
+        .unwrap_or_else(|| DatasetStats::new(table.window_start()));
+    for part in iter {
+        stats.merge(&part);
+    }
+    stats
 }
 
 /// Builds the dataset overview from records.

@@ -7,10 +7,19 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
 use vt_model::time::Duration;
 use vt_model::FileType;
 use vt_stats::{BoxplotSummary, Histogram};
+
+/// δ and Δ are bounded by the engine roster (≤ 128 engines), so a
+/// `[u64; 129]` counting array per type replaces the per-observation
+/// `Vec<f64>` buffers — peak memory scales with distinct values, and
+/// [`BoxplotSummary::from_counts`] reproduces `from_unsorted` bit for
+/// bit on integer data.
+const DELTA_BOUND: usize = 129;
 
 /// Per-file-type δ/Δ distributions (Fig. 6's boxes).
 #[derive(Debug, Clone)]
@@ -53,7 +62,109 @@ impl Analysis for Metrics {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> MetricsAnalysis {
-        analyze_impl(ctx.records, ctx.s)
+        analyze_columnar(ctx.table, ctx.s, ctx)
+    }
+}
+
+/// Partition accumulator: two global histograms plus flattened
+/// `20 × DELTA_BOUND` counting arrays. Everything merges by addition.
+struct MetricsAcc {
+    delta_adjacent_hist: Histogram,
+    delta_overall_hist: Histogram,
+    per_type_adjacent: Vec<u64>,
+    per_type_overall: Vec<u64>,
+}
+
+impl MetricsAcc {
+    fn new() -> Self {
+        Self {
+            delta_adjacent_hist: Histogram::new(71),
+            delta_overall_hist: Histogram::new(71),
+            per_type_adjacent: vec![0; 20 * DELTA_BOUND],
+            per_type_overall: vec![0; 20 * DELTA_BOUND],
+        }
+    }
+
+    fn merge(&mut self, other: MetricsAcc) {
+        self.delta_adjacent_hist.merge(&other.delta_adjacent_hist);
+        self.delta_overall_hist.merge(&other.delta_overall_hist);
+        for (a, b) in self
+            .per_type_adjacent
+            .iter_mut()
+            .zip(&other.per_type_adjacent)
+        {
+            *a += b;
+        }
+        for (a, b) in self
+            .per_type_overall
+            .iter_mut()
+            .zip(&other.per_type_overall)
+        {
+            *a += b;
+        }
+    }
+}
+
+fn analyze_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    ctx: &AnalysisCtx,
+) -> MetricsAnalysis {
+    let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "metrics", |_, range| {
+        let mut acc = MetricsAcc::new();
+        for &i in &s.indices[range.start as usize..range.end as usize] {
+            let p = table.positives_of(i);
+            let type_idx = table.type_idx(i);
+            debug_assert!(type_idx < 20, "S contains only top-20 types");
+            for w in p.windows(2) {
+                let d = w[0].abs_diff(w[1]);
+                acc.delta_adjacent_hist.record(d as u64);
+                acc.per_type_adjacent[type_idx * DELTA_BOUND + d as usize] += 1;
+            }
+            let delta = table.delta_max(i).unwrap_or(0);
+            acc.delta_overall_hist.record(delta as u64);
+            acc.per_type_overall[type_idx * DELTA_BOUND + delta as usize] += 1;
+        }
+        acc
+    });
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().unwrap_or_else(MetricsAcc::new);
+    for part in iter {
+        acc.merge(part);
+    }
+    finish(acc)
+}
+
+/// Turns the merged accumulator into the published analysis.
+fn finish(acc: MetricsAcc) -> MetricsAnalysis {
+    let delta_zero_fraction = if acc.delta_adjacent_hist.total() == 0 {
+        0.0
+    } else {
+        acc.delta_adjacent_hist.count(0) as f64 / acc.delta_adjacent_hist.total() as f64
+    };
+    let delta_over_2_fraction = 1.0 - acc.delta_overall_hist.fraction_le(2);
+    let delta_le_11_fraction = acc.delta_overall_hist.fraction_le(11);
+
+    let per_type = (0..20)
+        .map(|idx| TypeMetrics {
+            file_type: FileType::from_dense_index(idx),
+            delta_adjacent: BoxplotSummary::from_counts(
+                &acc.per_type_adjacent[idx * DELTA_BOUND..(idx + 1) * DELTA_BOUND],
+            ),
+            delta_overall: BoxplotSummary::from_counts(
+                &acc.per_type_overall[idx * DELTA_BOUND..(idx + 1) * DELTA_BOUND],
+            ),
+        })
+        .collect();
+
+    MetricsAnalysis {
+        delta_adjacent_hist: acc.delta_adjacent_hist,
+        delta_overall_hist: acc.delta_overall_hist,
+        delta_zero_fraction,
+        delta_over_2_fraction,
+        delta_le_11_fraction,
+        per_type,
     }
 }
 
@@ -86,7 +197,57 @@ impl Analysis for WindowGrowth {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> f64 {
-        window_growth_impl(ctx.records, ctx.s, self.short, self.long)
+        window_growth_columnar(ctx.table, ctx.s, self.short, self.long, ctx)
+    }
+}
+
+/// Parallel §8.1 sweep over the table's date/rank columns; the
+/// per-partition `(eligible, grew)` counters sum exactly.
+fn window_growth_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    short: Duration,
+    long: Duration,
+    ctx: &AnalysisCtx,
+) -> f64 {
+    let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "window_growth", |_, range| {
+        let mut eligible = 0u64;
+        let mut grew = 0u64;
+        for &i in &s.indices[range.start as usize..range.end as usize] {
+            let dates = table.dates_of(i);
+            let p = table.positives_of(i);
+            let t0 = dates[0];
+            let delta_within = |span: Duration| -> Option<u32> {
+                let mut min = u32::MAX;
+                let mut max = 0u32;
+                let mut n = 0;
+                for (&t, &rank) in dates.iter().zip(p) {
+                    if t - t0 <= span.as_minutes() {
+                        min = min.min(rank);
+                        max = max.max(rank);
+                        n += 1;
+                    }
+                }
+                (n >= 2).then(|| max - min)
+            };
+            let (Some(d_short), Some(d_long)) = (delta_within(short), delta_within(long)) else {
+                continue;
+            };
+            eligible += 1;
+            if d_long > d_short {
+                grew += 1;
+            }
+        }
+        (eligible, grew)
+    });
+    let (eligible, grew) = parts
+        .into_iter()
+        .fold((0u64, 0u64), |(e, g), (pe, pg)| (e + pe, g + pg));
+    if eligible == 0 {
+        0.0
+    } else {
+        grew as f64 / eligible as f64
     }
 }
 
@@ -97,49 +258,24 @@ pub fn analyze(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
 }
 
 pub(crate) fn analyze_impl(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
-    let mut delta_adjacent_hist = Histogram::new(71);
-    let mut delta_overall_hist = Histogram::new(71);
-    let mut per_type_adjacent: Vec<Vec<f64>> = vec![Vec::new(); 20];
-    let mut per_type_overall: Vec<Vec<f64>> = vec![Vec::new(); 20];
-
+    let mut acc = MetricsAcc::new();
     for r in s.iter(records) {
-        let p = r.positives();
         let type_idx = r.meta.file_type.dense_index();
         debug_assert!(type_idx < 20, "S contains only top-20 types");
-        for w in p.windows(2) {
-            let d = w[0].abs_diff(w[1]);
-            delta_adjacent_hist.record(d as u64);
-            per_type_adjacent[type_idx].push(d as f64);
+        let mut prev: Option<u32> = None;
+        for p in r.positives_iter() {
+            if let Some(q) = prev {
+                let d = q.abs_diff(p);
+                acc.delta_adjacent_hist.record(d as u64);
+                acc.per_type_adjacent[type_idx * DELTA_BOUND + d as usize] += 1;
+            }
+            prev = Some(p);
         }
         let delta = r.delta_max().unwrap_or(0);
-        delta_overall_hist.record(delta as u64);
-        per_type_overall[type_idx].push(delta as f64);
+        acc.delta_overall_hist.record(delta as u64);
+        acc.per_type_overall[type_idx * DELTA_BOUND + delta as usize] += 1;
     }
-
-    let delta_zero_fraction = if delta_adjacent_hist.total() == 0 {
-        0.0
-    } else {
-        delta_adjacent_hist.count(0) as f64 / delta_adjacent_hist.total() as f64
-    };
-    let delta_over_2_fraction = 1.0 - delta_overall_hist.fraction_le(2);
-    let delta_le_11_fraction = delta_overall_hist.fraction_le(11);
-
-    let per_type = (0..20)
-        .map(|idx| TypeMetrics {
-            file_type: FileType::from_dense_index(idx),
-            delta_adjacent: BoxplotSummary::from_unsorted(&per_type_adjacent[idx]),
-            delta_overall: BoxplotSummary::from_unsorted(&per_type_overall[idx]),
-        })
-        .collect();
-
-    MetricsAnalysis {
-        delta_adjacent_hist,
-        delta_overall_hist,
-        delta_zero_fraction,
-        delta_over_2_fraction,
-        delta_le_11_fraction,
-        per_type,
-    }
+    finish(acc)
 }
 
 /// §8.1 — the measurement-window sweep: among samples first submitted

@@ -35,6 +35,7 @@ use crate::par;
 use crate::records::SampleRecord;
 use crate::stability::{Stability, StabilityAnalysis};
 use crate::stabilization::{LabelStabilization, RankStabilization, Stabilization};
+use crate::table::TrajectoryTable;
 use vt_engines::EngineFleet;
 use vt_model::time::Timestamp;
 use vt_model::{FileType, ScanReport};
@@ -54,8 +55,9 @@ pub struct Study {
 /// run's `pipeline/<name>` spans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageTiming {
-    /// Stage name (as in [`stage_names`], plus `freshdyn` for the *S*
-    /// construction that precedes the stages).
+    /// Stage name (as in [`stage_names`], plus `table` for the columnar
+    /// [`TrajectoryTable`] build and `freshdyn` for the *S*
+    /// construction, both of which precede the stages).
     pub name: String,
     /// Times the stage ran during this `Obs`'s lifetime.
     pub count: u64,
@@ -348,10 +350,12 @@ pub fn analyze_records(
 }
 
 /// [`analyze_records`] with explicit parallelism and observability:
-/// builds *S* under the `pipeline/freshdyn` span, then executes the
-/// registry stages in order against one [`AnalysisCtx`]. When `obs`
-/// is enabled, [`StudyResults::stage_timings`] reports each stage's
-/// wall clock; analysis outputs never depend on `obs` or `workers`.
+/// builds the columnar [`TrajectoryTable`] under the `pipeline/table`
+/// span (kernel `table_build`) and *S* from its flags under the
+/// `pipeline/freshdyn` span, then executes the registry stages in order
+/// against one [`AnalysisCtx`]. When `obs` is enabled,
+/// [`StudyResults::stage_timings`] reports each stage's wall clock;
+/// analysis outputs never depend on `obs` or `workers`.
 pub fn analyze_records_obs(
     records: &[SampleRecord],
     partitions: Vec<PartitionStats>,
@@ -360,10 +364,13 @@ pub fn analyze_records_obs(
     workers: usize,
     obs: &Obs,
 ) -> StudyResults {
-    let s = obs.time("pipeline/freshdyn", || {
-        freshdyn::build(records, window_start)
+    let table = obs.time("pipeline/table", || {
+        TrajectoryTable::build_with(records, window_start, workers, obs)
     });
-    let ctx = AnalysisCtx::new(records, &s, fleet, window_start)
+    let s = obs.time("pipeline/freshdyn", || {
+        freshdyn::build_from_table(&table, workers)
+    });
+    let ctx = AnalysisCtx::new(records, &table, &s, fleet, window_start)
         .with_workers(workers)
         .with_obs(obs);
     let mut draft = Draft::default();
@@ -539,6 +546,7 @@ mod tests {
             assert!(timed.contains(&name), "stage {name} missing a timing");
         }
         assert!(timed.contains(&"freshdyn"));
+        assert!(timed.contains(&"table"));
         for t in &results.stage_timings {
             assert_eq!(t.count, 1, "stage {} ran once", t.name);
             assert!(t.max_ns <= t.total_ns);
@@ -548,6 +556,52 @@ mod tests {
         let total: u64 = study.records().iter().map(|r| r.reports.len() as u64).sum();
         assert_eq!(m.counter("collector/accepted"), Some(total));
         assert_eq!(m.counter("collector/deduped"), Some(0));
+    }
+
+    /// Acceptance gate for the columnar pipeline: on two seeded
+    /// studies, the complete [`StudyResults`] is bit-identical at
+    /// workers 1, 2 and 8 — every field via its Debug fingerprint, the
+    /// correlation ρ matrices additionally by f64 bit pattern (Debug
+    /// would collapse distinct NaN payloads).
+    #[test]
+    fn pipeline_results_are_bit_identical_at_every_worker_count() {
+        for seed in [0xBEA7u64, 0x1D1E5] {
+            let study = Study::generate_with_workers(SimConfig::new(seed, 3_000), 2);
+            let partitions = study.build_store().partition_stats();
+            let run = |workers: usize| {
+                analyze_records_obs(
+                    study.records(),
+                    partitions.clone(),
+                    study.sim().fleet(),
+                    study.sim().config().window_start(),
+                    workers,
+                    Obs::noop(),
+                )
+            };
+            let base = run(1);
+            assert!(base.s_samples > 0, "seed {seed:#x} too small to exercise S");
+            let base_dbg = format!("{base:?}");
+            for workers in [2usize, 8] {
+                let other = run(workers);
+                assert_eq!(
+                    base_dbg,
+                    format!("{other:?}"),
+                    "seed={seed:#x} workers={workers}"
+                );
+                let pairs = std::iter::once(&base.correlation_global)
+                    .chain(&base.correlation_per_type)
+                    .zip(
+                        std::iter::once(&other.correlation_global)
+                            .chain(&other.correlation_per_type),
+                    );
+                for (a, b) in pairs {
+                    assert_eq!(a.rho.len(), b.rho.len());
+                    for (x, y) in a.rho.iter().zip(&b.rho) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "seed={seed:#x} workers={workers}");
+                    }
+                }
+            }
+        }
     }
 
     /// Acceptance gate for the fused kernel: on a seeded study, every

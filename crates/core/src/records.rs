@@ -41,14 +41,20 @@ impl SampleRecord {
 
     /// The AV-Rank (positives) sequence.
     pub fn positives(&self) -> Vec<u32> {
-        self.reports.iter().map(|r| r.positives()).collect()
+        self.positives_iter().collect()
+    }
+
+    /// The AV-Rank sequence without the `Vec` — one popcount per
+    /// report, nothing heap-allocated.
+    pub fn positives_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.reports.iter().map(|r| r.positives())
     }
 
     /// `Δ = p_max − p_min` over the trajectory; `None` with no reports.
     pub fn delta_max(&self) -> Option<u32> {
-        let p = self.positives();
-        let max = *p.iter().max()?;
-        let min = *p.iter().min()?;
+        let mut it = self.positives_iter();
+        let first = it.next()?;
+        let (min, max) = it.fold((first, first), |(lo, hi), p| (lo.min(p), hi.max(p)));
         Some(max - min)
     }
 

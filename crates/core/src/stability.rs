@@ -8,7 +8,10 @@
 //! samples hold their state longest.
 
 use crate::analysis::{Analysis, AnalysisCtx};
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
+use vt_model::time::Duration;
 use vt_stats::{BoxplotSummary, Histogram};
 
 /// Outcome of the §5.1–5.2 analysis.
@@ -115,8 +118,137 @@ impl Analysis for Stability {
     }
 
     fn run(&self, ctx: &AnalysisCtx) -> StabilityAnalysis {
-        analyze_impl(ctx.records)
+        analyze_columnar(ctx.table, ctx.workers, ctx)
     }
+}
+
+/// Per-partition accumulator for the columnar pass. Counters and
+/// histograms merge by addition; the per-bucket span samples
+/// concatenate in partition order so each bucket sees the exact serial
+/// sequence before [`BoxplotSummary::from_unsorted`] sorts it.
+struct Acc {
+    multi: u64,
+    stable: u64,
+    dynamic: u64,
+    stable_report_hist: Histogram,
+    dynamic_report_hist: Histogram,
+    stable_rank_hist: Histogram,
+    rank0_scans: (u64, u64, u64),
+    rank_pos_scans: (u64, u64, u64),
+    spans: Vec<Vec<f64>>,
+    within17: u64,
+    within350: u64,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Self {
+            multi: 0,
+            stable: 0,
+            dynamic: 0,
+            stable_report_hist: Histogram::new(64),
+            dynamic_report_hist: Histogram::new(64),
+            stable_rank_hist: Histogram::new(71),
+            rank0_scans: (0, 0, 0),
+            rank_pos_scans: (0, 0, 0),
+            spans: vec![Vec::new(); StabilityAnalysis::RANK_CAP + 1],
+            within17: 0,
+            within350: 0,
+        }
+    }
+
+    fn merge(&mut self, other: Acc) {
+        self.multi += other.multi;
+        self.stable += other.stable;
+        self.dynamic += other.dynamic;
+        self.stable_report_hist.merge(&other.stable_report_hist);
+        self.dynamic_report_hist.merge(&other.dynamic_report_hist);
+        self.stable_rank_hist.merge(&other.stable_rank_hist);
+        self.rank0_scans.0 += other.rank0_scans.0;
+        self.rank0_scans.1 += other.rank0_scans.1;
+        self.rank0_scans.2 += other.rank0_scans.2;
+        self.rank_pos_scans.0 += other.rank_pos_scans.0;
+        self.rank_pos_scans.1 += other.rank_pos_scans.1;
+        self.rank_pos_scans.2 += other.rank_pos_scans.2;
+        for (mine, theirs) in self.spans.iter_mut().zip(other.spans) {
+            mine.extend(theirs);
+        }
+        self.within17 += other.within17;
+        self.within350 += other.within350;
+    }
+}
+
+fn analyze_columnar(
+    table: &TrajectoryTable,
+    workers: usize,
+    ctx: &AnalysisCtx,
+) -> StabilityAnalysis {
+    let ranges = par::partition_ranges(table.len() as u64, workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "stability", |_, range| {
+        let mut acc = Acc::new();
+        for i in range.start as usize..range.end as usize {
+            if !table.is_multi_report(i) {
+                continue;
+            }
+            acc.multi += 1;
+            let n = table.report_count(i) as u64;
+            if table.is_stable(i) {
+                acc.stable += 1;
+                acc.stable_report_hist.record(n);
+                let rank = table.positives_of(i)[0];
+                acc.stable_rank_hist.record(rank as u64);
+                let scans = (1, (n == 2) as u64, n);
+                let bucket_scans = if rank == 0 {
+                    &mut acc.rank0_scans
+                } else {
+                    &mut acc.rank_pos_scans
+                };
+                bucket_scans.0 += scans.0;
+                bucket_scans.1 += scans.1;
+                bucket_scans.2 += scans.2;
+                let dates = table.dates_of(i);
+                let span_days = Duration::minutes(dates[dates.len() - 1] - dates[0]).as_days_f64();
+                let bucket = (rank as usize).min(StabilityAnalysis::RANK_CAP);
+                acc.spans[bucket].push(span_days);
+                if span_days <= 17.0 {
+                    acc.within17 += 1;
+                }
+                if span_days <= 350.0 {
+                    acc.within350 += 1;
+                }
+            } else {
+                acc.dynamic += 1;
+                acc.dynamic_report_hist.record(n);
+            }
+        }
+        acc
+    });
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().unwrap_or_else(Acc::new);
+    for part in iter {
+        acc.merge(part);
+    }
+    let mut a = StabilityAnalysis {
+        multi_report_samples: acc.multi,
+        stable: acc.stable,
+        dynamic: acc.dynamic,
+        stable_report_hist: acc.stable_report_hist,
+        dynamic_report_hist: acc.dynamic_report_hist,
+        stable_rank_hist: acc.stable_rank_hist,
+        rank0_scans: acc.rank0_scans,
+        rank_pos_scans: acc.rank_pos_scans,
+        span_by_rank: vec![None; StabilityAnalysis::RANK_CAP + 1],
+        span_within_17d: 0.0,
+        span_within_350d: 0.0,
+    };
+    for (bucket, values) in acc.spans.into_iter().enumerate() {
+        a.span_by_rank[bucket] = BoxplotSummary::from_unsorted(&values);
+    }
+    if a.stable > 0 {
+        a.span_within_17d = acc.within17 as f64 / a.stable as f64;
+        a.span_within_350d = acc.within350 as f64 / a.stable as f64;
+    }
+    a
 }
 
 /// Runs the §5.1–5.2 analysis over all records (single-report samples

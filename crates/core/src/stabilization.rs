@@ -15,8 +15,11 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
+use crate::par;
 use crate::records::SampleRecord;
+use crate::table::TrajectoryTable;
 use vt_aggregate::{stabilization_index, LabelSequence, Threshold};
+use vt_model::time::Duration;
 
 /// Combined §6 output: the r-sweep plus both Fig. 9 variants.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,11 +46,162 @@ impl Analysis for Stabilization {
 
     fn run(&self, ctx: &AnalysisCtx) -> StabilizationOutput {
         StabilizationOutput {
-            rank: rank_stabilization_impl(ctx.records, ctx.s),
-            label_all: label_stabilization_impl(ctx.records, ctx.s, false),
-            label_multi: label_stabilization_impl(ctx.records, ctx.s, true),
+            rank: rank_stabilization_columnar(ctx.table, ctx.s, ctx),
+            label_all: label_stabilization_columnar(ctx.table, ctx.s, false, ctx),
+            label_multi: label_stabilization_columnar(ctx.table, ctx.s, true, ctx),
         }
     }
+}
+
+/// Parallel §6.1 sweep over *S* partitions: per-partition `[u64; 5]`
+/// counter blocks per r merge by addition.
+fn rank_stabilization_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    ctx: &AnalysisCtx,
+) -> Vec<RankStabilization> {
+    let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, "stabilization_rank", |_, range| {
+        let mut out: Vec<RankStabilization> = (0..=5)
+            .map(|r| RankStabilization {
+                r,
+                samples: 0,
+                stabilized: 0,
+                within_10d: 0,
+                within_20d: 0,
+                within_30d: 0,
+            })
+            .collect();
+        for &rec in &s.indices[range.start as usize..range.end as usize] {
+            let p = table.positives_of(rec);
+            let dates = table.dates_of(rec);
+            let t0 = dates[0];
+            for stat in &mut out {
+                stat.samples += 1;
+                if let Some(i) = rank_stabilization_index(p, stat.r) {
+                    stat.stabilized += 1;
+                    let days = Duration::minutes(dates[i] - t0).as_days_f64();
+                    if days <= 10.0 {
+                        stat.within_10d += 1;
+                    }
+                    if days <= 20.0 {
+                        stat.within_20d += 1;
+                    }
+                    if days <= 30.0 {
+                        stat.within_30d += 1;
+                    }
+                }
+            }
+        }
+        out
+    });
+    let mut iter = parts.into_iter();
+    let mut out = iter.next().unwrap_or_else(|| {
+        (0..=5)
+            .map(|r| RankStabilization {
+                r,
+                samples: 0,
+                stabilized: 0,
+                within_10d: 0,
+                within_20d: 0,
+                within_30d: 0,
+            })
+            .collect()
+    });
+    for part in iter {
+        for (a, b) in out.iter_mut().zip(part) {
+            a.samples += b.samples;
+            a.stabilized += b.stabilized;
+            a.within_10d += b.within_10d;
+            a.within_20d += b.within_20d;
+            a.within_30d += b.within_30d;
+        }
+    }
+    out
+}
+
+/// [`stabilization_index`] on the implied threshold-`t` label sequence
+/// of an AV-Rank column, without materializing the labels.
+fn label_stab_index(p: &[u32], t: u32) -> Option<usize> {
+    if p.len() < 2 {
+        return None;
+    }
+    let last = p[p.len() - 1] >= t;
+    let mut start = p.len() - 1;
+    while start > 0 && (p[start - 1] >= t) == last {
+        start -= 1;
+    }
+    (p.len() - start >= 2).then_some(start)
+}
+
+/// Parallel §6.2 sweep: one worker per **threshold**, each walking *S*
+/// serially in index order. `days_sum` is a sequential `f64`
+/// accumulation — not associative — so partitioning over samples would
+/// perturb the rounding; partitioning over the 9 independent thresholds
+/// keeps every per-threshold accumulation exactly serial.
+fn label_stabilization_columnar(
+    table: &TrajectoryTable,
+    s: &FreshDynamic,
+    exclude_two_scans: bool,
+    ctx: &AnalysisCtx,
+) -> Vec<LabelStabilization> {
+    let kernel = if exclude_two_scans {
+        "stabilization_label_multi"
+    } else {
+        "stabilization_label_all"
+    };
+    let ranges = par::partition_ranges(FIG9_THRESHOLDS.len() as u64, ctx.workers);
+    let parts = par::map_ranges_obs(&ranges, ctx.obs, kernel, |_, range| {
+        FIG9_THRESHOLDS[range.start as usize..range.end as usize]
+            .iter()
+            .map(|&t| {
+                let mut samples = 0u64;
+                let mut stabilized = 0u64;
+                let mut serial_sum = 0f64;
+                let mut days_sum = 0f64;
+                let mut within_15 = 0u64;
+                let mut within_30 = 0u64;
+                for &rec in &s.indices {
+                    if exclude_two_scans && table.report_count(rec) <= 2 {
+                        continue;
+                    }
+                    samples += 1;
+                    let p = table.positives_of(rec);
+                    if let Some(i) = label_stab_index(p, t) {
+                        stabilized += 1;
+                        serial_sum += (i + 1) as f64;
+                        let dates = table.dates_of(rec);
+                        let days = Duration::minutes(dates[i] - dates[0]).as_days_f64();
+                        days_sum += days;
+                        if days <= 15.0 {
+                            within_15 += 1;
+                        }
+                        if days <= 30.0 {
+                            within_30 += 1;
+                        }
+                    }
+                }
+                LabelStabilization {
+                    t,
+                    samples,
+                    stabilized,
+                    mean_serial: if stabilized == 0 {
+                        0.0
+                    } else {
+                        serial_sum / stabilized as f64
+                    },
+                    mean_days: if stabilized == 0 {
+                        0.0
+                    } else {
+                        days_sum / stabilized as f64
+                    },
+                    within_15d: within_15,
+                    within_30d: within_30,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    parts.into_iter().flatten().collect()
 }
 
 /// §6.1 result for one fluctuation range r.

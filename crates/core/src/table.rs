@@ -1,0 +1,435 @@
+//! The columnar trajectory table: the structure-of-arrays layout every
+//! analysis stage reads instead of walking `ScanReport` structs.
+//!
+//! One parallel pass over the records (kernel `table_build`) flattens
+//! every trajectory into flat columns — AV-Ranks, analysis-date
+//! minutes, verdict bitmap words — indexed CSR-style by per-record
+//! offsets, plus per-record precomputed envelopes (`p_min`/`p_max`,
+//! hence Δ), dense file-type indices and the membership flags the
+//! pipeline keeps re-deriving (`is_multi_report`, `is_stable`,
+//! `is_fresh`, `is_top20`, `is_pe`, and *S* membership). The stages
+//! then run as [`crate::par::map_ranges`] partition-reductions over
+//! index ranges of this table: no stage allocates per record, and no
+//! stage touches a `ScanReport` or `VerdictVec` again.
+//!
+//! Construction is deterministic at every worker count: partitions
+//! cover contiguous record ranges and their column chunks are
+//! concatenated in partition order, so the table — and therefore every
+//! stage output derived from it — is bit-identical whether it was built
+//! by 1 thread or 16.
+
+use crate::par;
+use crate::records::SampleRecord;
+use vt_model::time::Timestamp;
+use vt_model::{EngineId, FileType};
+use vt_obs::Obs;
+
+/// Per-record membership flags, packed into one byte.
+mod flag {
+    /// More than one report (§5.1 measurable subset).
+    pub const MULTI: u8 = 1 << 0;
+    /// Δ = 0 over a non-empty trajectory (§5.1 *stable*).
+    pub const STABLE: u8 = 1 << 1;
+    /// First submitted inside the observation window.
+    pub const FRESH: u8 = 1 << 2;
+    /// One of the top-20 named file types.
+    pub const TOP20: u8 = 1 << 3;
+    /// A PE (Win32 EXE/DLL) sample.
+    pub const PE: u8 = 1 << 4;
+    /// Member of the fresh dynamic dataset *S* (§5.3.1).
+    pub const IN_S: u8 = 1 << 5;
+}
+
+/// The columnar (structure-of-arrays) view of a record set.
+///
+/// Per-report columns are indexed by *row*; record `i`'s rows are
+/// `rows(i)` (CSR offsets). Per-record columns are indexed by record.
+#[derive(Debug, Clone)]
+pub struct TrajectoryTable {
+    /// CSR offsets: record `i` owns rows `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u64>,
+    /// Per-report AV-Rank (the `positives` field).
+    positives: Vec<u32>,
+    /// Per-report analysis date, in minutes since the epoch.
+    date_min: Vec<i64>,
+    /// Per-report verdict bitmap: active words.
+    active: Vec<[u64; 2]>,
+    /// Per-report verdict bitmap: detected words.
+    detected: Vec<[u64; 2]>,
+    /// Per-record dense file-type index.
+    type_idx: Vec<u16>,
+    /// Per-record minimum AV-Rank (0 for empty records).
+    p_min: Vec<u32>,
+    /// Per-record maximum AV-Rank (0 for empty records).
+    p_max: Vec<u32>,
+    /// Per-record membership flags.
+    flags: Vec<u8>,
+    /// The observation-window start the freshness flags were taken at.
+    window_start: Timestamp,
+}
+
+/// One partition's column chunk during the build pass.
+#[derive(Default)]
+struct Chunk {
+    counts: Vec<u32>,
+    positives: Vec<u32>,
+    date_min: Vec<i64>,
+    active: Vec<[u64; 2]>,
+    detected: Vec<[u64; 2]>,
+    type_idx: Vec<u16>,
+    p_min: Vec<u32>,
+    p_max: Vec<u32>,
+    flags: Vec<u8>,
+}
+
+impl TrajectoryTable {
+    /// Builds the table with default parallelism and no observation.
+    pub fn build(records: &[SampleRecord], window_start: Timestamp) -> Self {
+        Self::build_with(records, window_start, par::default_workers(), Obs::noop())
+    }
+
+    /// Builds the table over `workers` threads under the `table_build`
+    /// kernel. The result is bit-identical at every worker count.
+    pub fn build_with(
+        records: &[SampleRecord],
+        window_start: Timestamp,
+        workers: usize,
+        obs: &Obs,
+    ) -> Self {
+        let ranges = par::partition_ranges(records.len() as u64, workers);
+        let chunks = par::map_ranges_obs(&ranges, obs, "table_build", |_, range| {
+            let mut c = Chunk::default();
+            let slice = &records[range.start as usize..range.end as usize];
+            c.counts.reserve(slice.len());
+            c.type_idx.reserve(slice.len());
+            c.flags.reserve(slice.len());
+            for r in slice {
+                let mut p_min = u32::MAX;
+                let mut p_max = 0u32;
+                for rep in &r.reports {
+                    let p = rep.positives();
+                    p_min = p_min.min(p);
+                    p_max = p_max.max(p);
+                    c.positives.push(p);
+                    c.date_min.push(rep.analysis_date.0);
+                    let (a, d) = rep.verdicts.raw();
+                    c.active.push(a);
+                    c.detected.push(d);
+                }
+                let n = r.reports.len();
+                if n == 0 {
+                    p_min = 0;
+                    p_max = 0;
+                }
+                c.counts.push(n as u32);
+                c.type_idx.push(r.meta.file_type.dense_index() as u16);
+                c.p_min.push(p_min);
+                c.p_max.push(p_max);
+
+                let multi = n > 1;
+                let stable = n > 0 && p_min == p_max;
+                let fresh = r.meta.is_fresh(window_start);
+                let top20 = r.meta.file_type.is_top20();
+                let mut f = 0u8;
+                f |= if multi { flag::MULTI } else { 0 };
+                f |= if stable { flag::STABLE } else { 0 };
+                f |= if fresh { flag::FRESH } else { 0 };
+                f |= if top20 { flag::TOP20 } else { 0 };
+                f |= if r.meta.file_type.is_pe() {
+                    flag::PE
+                } else {
+                    0
+                };
+                if top20 && fresh && multi && !stable {
+                    f |= flag::IN_S;
+                }
+                c.flags.push(f);
+            }
+            c
+        });
+
+        let rows: usize = chunks.iter().map(|c| c.positives.len()).sum();
+        let mut t = Self {
+            offsets: Vec::with_capacity(records.len() + 1),
+            positives: Vec::with_capacity(rows),
+            date_min: Vec::with_capacity(rows),
+            active: Vec::with_capacity(rows),
+            detected: Vec::with_capacity(rows),
+            type_idx: Vec::with_capacity(records.len()),
+            p_min: Vec::with_capacity(records.len()),
+            p_max: Vec::with_capacity(records.len()),
+            flags: Vec::with_capacity(records.len()),
+            window_start,
+        };
+        t.offsets.push(0);
+        let mut next = 0u64;
+        for c in chunks {
+            for n in c.counts {
+                next += n as u64;
+                t.offsets.push(next);
+            }
+            t.positives.extend(c.positives);
+            t.date_min.extend(c.date_min);
+            t.active.extend(c.active);
+            t.detected.extend(c.detected);
+            t.type_idx.extend(c.type_idx);
+            t.p_min.extend(c.p_min);
+            t.p_max.extend(c.p_max);
+            t.flags.extend(c.flags);
+        }
+        debug_assert_eq!(t.positives.len() as u64, next);
+        t
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True when the table covers no records.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Total report rows across all records.
+    pub fn report_rows(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// The row range of record `i`'s reports, analysis-date ascending.
+    pub fn rows(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// Record `i`'s report count.
+    pub fn report_count(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Record `i`'s AV-Rank sequence, as a contiguous slice.
+    pub fn positives_of(&self, i: usize) -> &[u32] {
+        &self.positives[self.rows(i)]
+    }
+
+    /// Record `i`'s analysis dates in minutes, as a contiguous slice.
+    pub fn dates_of(&self, i: usize) -> &[i64] {
+        &self.date_min[self.rows(i)]
+    }
+
+    /// One row's analysis date.
+    pub fn date(&self, row: usize) -> Timestamp {
+        Timestamp(self.date_min[row])
+    }
+
+    /// One row's active-engine bitmap words.
+    pub fn active_words(&self, row: usize) -> [u64; 2] {
+        self.active[row]
+    }
+
+    /// One row's detected-engine bitmap words.
+    pub fn detected_words(&self, row: usize) -> [u64; 2] {
+        self.detected[row]
+    }
+
+    /// One engine's binary label in one row: `None` when the engine was
+    /// inactive, else `Some(1)` for malicious / `Some(0)` for benign —
+    /// exactly [`vt_model::Verdict::binary_label`] on the original
+    /// verdict vector.
+    pub fn binary_label(&self, row: usize, engine: EngineId) -> Option<u8> {
+        let (w, b) = (engine.index() / 64, engine.index() % 64);
+        if self.active[row][w] & (1u64 << b) == 0 {
+            None
+        } else {
+            Some(((self.detected[row][w] >> b) & 1) as u8)
+        }
+    }
+
+    /// Record `i`'s file type.
+    pub fn file_type(&self, i: usize) -> FileType {
+        FileType::from_dense_index(self.type_idx[i] as usize)
+    }
+
+    /// Record `i`'s dense file-type index.
+    pub fn type_idx(&self, i: usize) -> usize {
+        self.type_idx[i] as usize
+    }
+
+    /// Record `i`'s minimum AV-Rank (0 for empty records).
+    pub fn p_min(&self, i: usize) -> u32 {
+        self.p_min[i]
+    }
+
+    /// Record `i`'s maximum AV-Rank (0 for empty records).
+    pub fn p_max(&self, i: usize) -> u32 {
+        self.p_max[i]
+    }
+
+    /// `Δ = p_max − p_min`; `None` with no reports — exactly
+    /// [`SampleRecord::delta_max`].
+    pub fn delta_max(&self, i: usize) -> Option<u32> {
+        (self.report_count(i) > 0).then(|| self.p_max[i] - self.p_min[i])
+    }
+
+    /// True when record `i` has more than one report.
+    pub fn is_multi_report(&self, i: usize) -> bool {
+        self.flags[i] & flag::MULTI != 0
+    }
+
+    /// True when record `i` is §5.1 *stable* (Δ = 0, non-empty).
+    pub fn is_stable(&self, i: usize) -> bool {
+        self.flags[i] & flag::STABLE != 0
+    }
+
+    /// True when record `i` was first submitted inside the window.
+    pub fn is_fresh(&self, i: usize) -> bool {
+        self.flags[i] & flag::FRESH != 0
+    }
+
+    /// True when record `i` is of a top-20 named type.
+    pub fn is_top20(&self, i: usize) -> bool {
+        self.flags[i] & flag::TOP20 != 0
+    }
+
+    /// True when record `i` is a PE (Win32 EXE/DLL) sample.
+    pub fn is_pe(&self, i: usize) -> bool {
+        self.flags[i] & flag::PE != 0
+    }
+
+    /// True when record `i` belongs to the fresh dynamic dataset *S*.
+    pub fn in_s(&self, i: usize) -> bool {
+        self.flags[i] & flag::IN_S != 0
+    }
+
+    /// The window start the freshness flags were computed against.
+    pub fn window_start(&self) -> Timestamp {
+        self.window_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Study;
+    use vt_model::Verdict;
+    use vt_sim::SimConfig;
+
+    fn study() -> Study {
+        Study::generate_with_workers(SimConfig::new(0x7AB1E, 3_000), 2)
+    }
+
+    #[test]
+    fn columns_mirror_records() {
+        let study = study();
+        let records = study.records();
+        let ws = study.sim().config().window_start();
+        let t = TrajectoryTable::build(records, ws);
+        assert_eq!(t.len(), records.len());
+        let rows: usize = records.iter().map(|r| r.reports.len()).sum();
+        assert_eq!(t.report_rows(), rows);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(t.report_count(i), r.reports.len());
+            assert_eq!(t.positives_of(i), r.positives().as_slice(), "record {i}");
+            assert_eq!(t.delta_max(i), r.delta_max());
+            assert_eq!(t.is_stable(i), r.is_stable());
+            assert_eq!(t.is_multi_report(i), r.is_multi_report());
+            assert_eq!(t.is_fresh(i), r.meta.is_fresh(ws));
+            assert_eq!(t.is_top20(i), r.meta.file_type.is_top20());
+            assert_eq!(t.is_pe(i), r.meta.file_type.is_pe());
+            assert_eq!(t.file_type(i), r.meta.file_type);
+            assert_eq!(t.type_idx(i), r.meta.file_type.dense_index());
+            for (row, rep) in t.rows(i).zip(&r.reports) {
+                assert_eq!(t.date(row), rep.analysis_date);
+                let (a, d) = rep.verdicts.raw();
+                assert_eq!(t.active_words(row), a);
+                assert_eq!(t.detected_words(row), d);
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_identical_at_every_worker_count() {
+        let study = study();
+        let records = study.records();
+        let ws = study.sim().config().window_start();
+        let base = TrajectoryTable::build_with(records, ws, 1, Obs::noop());
+        for workers in [2usize, 3, 8] {
+            let t = TrajectoryTable::build_with(records, ws, workers, Obs::noop());
+            assert_eq!(t.offsets, base.offsets, "workers={workers}");
+            assert_eq!(t.positives, base.positives, "workers={workers}");
+            assert_eq!(t.date_min, base.date_min, "workers={workers}");
+            assert_eq!(t.active, base.active, "workers={workers}");
+            assert_eq!(t.detected, base.detected, "workers={workers}");
+            assert_eq!(t.type_idx, base.type_idx, "workers={workers}");
+            assert_eq!(t.p_min, base.p_min, "workers={workers}");
+            assert_eq!(t.p_max, base.p_max, "workers={workers}");
+            assert_eq!(t.flags, base.flags, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn binary_label_matches_verdicts() {
+        let study = study();
+        let records = study.records();
+        let ws = study.sim().config().window_start();
+        let t = TrajectoryTable::build(records, ws);
+        let engines = study.sim().fleet().engine_count();
+        for (i, r) in records.iter().enumerate().take(200) {
+            for (row, rep) in t.rows(i).zip(&r.reports) {
+                for e in 0..engines {
+                    let id = EngineId::new(e);
+                    assert_eq!(
+                        t.binary_label(row, id),
+                        rep.verdicts.get(id).binary_label(),
+                        "record {i} engine {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_s_matches_the_freshdyn_filters() {
+        let study = study();
+        let records = study.records();
+        let ws = study.sim().config().window_start();
+        let t = TrajectoryTable::build(records, ws);
+        for (i, r) in records.iter().enumerate() {
+            let expect = r.meta.file_type.is_top20()
+                && r.meta.is_fresh(ws)
+                && r.is_multi_report()
+                && !r.is_stable();
+            assert_eq!(t.in_s(i), expect, "record {i}");
+        }
+        assert!((0..t.len()).any(|i| t.in_s(i)), "study too small for S");
+    }
+
+    #[test]
+    fn table_build_kernel_is_instrumented() {
+        let study = study();
+        let obs = Obs::new();
+        let _ = TrajectoryTable::build_with(
+            study.records(),
+            study.sim().config().window_start(),
+            4,
+            &obs,
+        );
+        let m = obs.snapshot();
+        assert_eq!(m.counter("par/table_build/invocations"), Some(1));
+        assert!(m.histogram("par/table_build/worker_busy_ns").is_some());
+    }
+
+    #[test]
+    fn empty_record_set() {
+        let t = TrajectoryTable::build(&[], Timestamp(0));
+        assert!(t.is_empty());
+        assert_eq!(t.report_rows(), 0);
+    }
+
+    /// `Verdict::binary_label` is the contract `binary_label` mirrors.
+    #[test]
+    fn binary_label_contract() {
+        assert_eq!(Verdict::Malicious.binary_label(), Some(1));
+        assert_eq!(Verdict::Benign.binary_label(), Some(0));
+        assert_eq!(Verdict::Undetected.binary_label(), None);
+    }
+}

@@ -99,6 +99,95 @@ impl BoxplotSummary {
         }
     }
 
+    /// Computes the summary from a counting representation: `counts[v]`
+    /// observations of the integer value `v`. Returns `None` when all
+    /// counts are zero.
+    ///
+    /// Bit-identical to [`Self::from_unsorted`] on the expanded
+    /// multiset as long as every partial sum stays below 2⁵³ (integer
+    /// values and their running sums are then exact in `f64`), so the
+    /// analyses can swap their per-observation `Vec<f64>` buffers for
+    /// fixed-size count arrays without perturbing a single bit of the
+    /// published statistics.
+    pub fn from_counts(counts: &[u64]) -> Option<Self> {
+        let n = counts.iter().map(|&c| c as u128).sum::<u128>();
+        if n == 0 {
+            return None;
+        }
+        let n = usize::try_from(n).expect("observation count fits usize");
+        // k-th (0-based) order statistic via a cumulative walk.
+        let value_at = |k: usize| -> f64 {
+            let mut seen = 0usize;
+            for (v, &c) in counts.iter().enumerate() {
+                seen += c as usize;
+                if seen > k {
+                    return v as f64;
+                }
+            }
+            unreachable!("k < n by construction")
+        };
+        // Replicates `interp_quantile` on the expanded sorted sample.
+        let quantile = |q: f64| -> f64 {
+            if n == 1 {
+                return value_at(0);
+            }
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                value_at(lo)
+            } else {
+                let frac = pos - lo as f64;
+                value_at(lo) * (1.0 - frac) + value_at(hi) * frac
+            }
+        };
+        let q1 = quantile(0.25);
+        let median = quantile(0.50);
+        let q3 = quantile(0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let present = || {
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(v, &c)| (v as f64, c))
+        };
+        let min = present().next().expect("non-empty").0;
+        let max = present().next_back().expect("non-empty").0;
+        let whisker_lo = present()
+            .map(|(v, _)| v)
+            .find(|&v| v >= lo_fence)
+            .unwrap_or(min)
+            .min(q1);
+        let whisker_hi = present()
+            .map(|(v, _)| v)
+            .rev()
+            .find(|&v| v <= hi_fence)
+            .unwrap_or(max)
+            .max(q3);
+        let outliers = present()
+            .filter(|&(v, _)| v < whisker_lo || v > whisker_hi)
+            .map(|(_, c)| c as usize)
+            .sum();
+        // Each value and each partial sum is an integer < 2^53, so this
+        // equals the sequential sum over the expanded sorted sample.
+        let mean = present().map(|(v, c)| v * c as f64).sum::<f64>() / n as f64;
+        Some(Self {
+            n,
+            mean,
+            median,
+            q1,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            min,
+            max,
+        })
+    }
+
     /// Interquartile range.
     pub fn iqr(&self) -> f64 {
         self.q3 - self.q1
@@ -174,7 +263,46 @@ mod tests {
         assert!(BoxplotSummary::from_unsorted(&[]).is_none());
     }
 
+    #[test]
+    fn from_counts_empty_is_none() {
+        assert!(BoxplotSummary::from_counts(&[]).is_none());
+        assert!(BoxplotSummary::from_counts(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn from_counts_singleton() {
+        let s = BoxplotSummary::from_counts(&[0, 0, 3]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.mean, 2.0);
+    }
+
     proptest! {
+        /// The bit-identity contract `from_counts` is built on: on any
+        /// integer multiset it reproduces `from_unsorted` exactly.
+        #[test]
+        fn from_counts_matches_from_unsorted(counts in proptest::collection::vec(0u64..50, 1..130)) {
+            let expanded: Vec<f64> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(v, &c)| std::iter::repeat(v as f64).take(c as usize))
+                .collect();
+            prop_assume!(!expanded.is_empty());
+            let a = BoxplotSummary::from_counts(&counts).unwrap();
+            let b = BoxplotSummary::from_unsorted(&expanded).unwrap();
+            prop_assert_eq!(a.n, b.n);
+            prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            prop_assert_eq!(a.median.to_bits(), b.median.to_bits());
+            prop_assert_eq!(a.q1.to_bits(), b.q1.to_bits());
+            prop_assert_eq!(a.q3.to_bits(), b.q3.to_bits());
+            prop_assert_eq!(a.whisker_lo.to_bits(), b.whisker_lo.to_bits());
+            prop_assert_eq!(a.whisker_hi.to_bits(), b.whisker_hi.to_bits());
+            prop_assert_eq!(a.outliers, b.outliers);
+            prop_assert_eq!(a.min.to_bits(), b.min.to_bits());
+            prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+        }
+
         #[test]
         fn ordering_invariants(v in proptest::collection::vec(-1e4..1e4f64, 1..300)) {
             let s = BoxplotSummary::from_unsorted(&v).unwrap();

@@ -49,16 +49,27 @@ impl DatasetStats {
 
     /// Accumulates one sample and its reports.
     pub fn record(&mut self, meta: &SampleMeta, reports: &[ScanReport]) {
-        let idx = meta.file_type.dense_index();
-        self.samples_per_type[idx] += 1;
-        self.reports_per_type[idx] += reports.len() as u64;
-        self.reports_per_sample.record(reports.len() as u64);
-        if meta.is_fresh(self.window_start) {
+        self.record_columns(
+            meta.file_type.dense_index(),
+            reports.len() as u64,
+            meta.is_fresh(self.window_start),
+        );
+    }
+
+    /// Accumulates one sample already reduced to its columnar facts —
+    /// the dense file-type index, report count and freshness flag — so
+    /// columnar passes feed the same accumulator without materializing
+    /// `SampleMeta`/`ScanReport` values.
+    pub fn record_columns(&mut self, dense_idx: usize, reports: u64, fresh: bool) {
+        self.samples_per_type[dense_idx] += 1;
+        self.reports_per_type[dense_idx] += reports;
+        self.reports_per_sample.record(reports);
+        if fresh {
             self.fresh_samples += 1;
         }
         self.total_samples += 1;
-        self.total_reports += reports.len() as u64;
-        self.max_reports_one_sample = self.max_reports_one_sample.max(reports.len() as u64);
+        self.total_reports += reports;
+        self.max_reports_one_sample = self.max_reports_one_sample.max(reports);
     }
 
     /// Merges a partition of the dataset computed on another thread.

@@ -11,7 +11,7 @@
 
 use vt_label_dynamics::dynamics::correlation::Correlation;
 use vt_label_dynamics::dynamics::flips::Flips;
-use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study};
+use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study, TrajectoryTable};
 use vt_label_dynamics::model::EngineId;
 use vt_label_dynamics::sim::SimConfig;
 
@@ -26,8 +26,9 @@ fn main() {
     let fleet = study.sim().fleet();
     let window_start = study.sim().config().window_start();
     let s = freshdyn::build(records, window_start);
+    let table = TrajectoryTable::build(records, window_start);
 
-    let ctx = AnalysisCtx::new(records, &s, fleet, window_start);
+    let ctx = AnalysisCtx::new(records, &table, &s, fleet, window_start);
     let flip = Flips.run(&ctx);
     let (corr, _) = Correlation {
         scopes: &[],

@@ -12,7 +12,7 @@
 
 use vt_label_dynamics::aggregate::{stabilization_index, LabelSequence, Threshold};
 use vt_label_dynamics::dynamics::stabilization::Stabilization;
-use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study};
+use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study, TrajectoryTable};
 use vt_label_dynamics::dynamics::{MonitorCriteria, MonitorEvent, SampleMonitor};
 use vt_label_dynamics::sim::SimConfig;
 
@@ -25,10 +25,11 @@ fn main() {
     let records = study.records();
     let window_start = study.sim().config().window_start();
     let s = freshdyn::build(records, window_start);
+    let table = TrajectoryTable::build(records, window_start);
     println!("fresh dynamic set S: {} samples\n", s.len());
 
     // §6.1 — AV-Rank stabilization under fluctuation ranges.
-    let ctx = AnalysisCtx::new(records, &s, study.sim().fleet(), window_start);
+    let ctx = AnalysisCtx::new(records, &table, &s, study.sim().fleet(), window_start);
     println!("== AV-Rank stabilization (fluctuation tolerance r) ==");
     for stat in Stabilization.run(&ctx).rank {
         println!(

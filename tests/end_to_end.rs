@@ -140,8 +140,10 @@ fn store_only_records_analyze_identically() {
     assert_eq!(s.len() as u64, direct.s_samples, "S must match");
     assert_eq!(s.reports, direct.s_reports);
 
+    let table = vt_label_dynamics::dynamics::TrajectoryTable::build(&from_store, window_start);
     let ctx = vt_label_dynamics::dynamics::AnalysisCtx::new(
         &from_store,
+        &table,
         &s,
         study.sim().fleet(),
         window_start,
@@ -177,8 +179,10 @@ fn analyses_never_read_ground_truth() {
     let window_start = study.sim().config().window_start();
     let s = vt_label_dynamics::dynamics::freshdyn::build(&scrubbed, window_start);
     assert_eq!(s.len() as u64, r1.s_samples);
+    let table = vt_label_dynamics::dynamics::TrajectoryTable::build(&scrubbed, window_start);
     let ctx = vt_label_dynamics::dynamics::AnalysisCtx::new(
         &scrubbed,
+        &table,
         &s,
         study.sim().fleet(),
         window_start,

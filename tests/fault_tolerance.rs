@@ -102,8 +102,13 @@ fn perfect_availability_is_quieter_than_nominal() {
             study.records(),
             study.sim().config().window_start(),
         );
+        let table = vt_label_dynamics::dynamics::TrajectoryTable::build(
+            study.records(),
+            study.sim().config().window_start(),
+        );
         let ctx = vt_label_dynamics::dynamics::AnalysisCtx::new(
             study.records(),
+            &table,
             &s,
             study.sim().fleet(),
             study.sim().config().window_start(),

@@ -45,6 +45,81 @@ fn results_bit_identical_with_obs_on_and_off() {
     }
 }
 
+/// Registry-wide worker invariance: every stage's output — compared by
+/// Debug fingerprint, which round-trips f64 bits — is identical at
+/// workers 1, 2 and 8 when run individually against one shared context.
+/// The stage list is tied to `stage_names()` so a newly registered
+/// stage cannot silently skip this gate.
+#[test]
+fn every_registry_stage_is_worker_invariant() {
+    use vt_label_dynamics::dynamics::categorize::Categorize;
+    use vt_label_dynamics::dynamics::causes::Causes;
+    use vt_label_dynamics::dynamics::correlation::Correlation;
+    use vt_label_dynamics::dynamics::flips::Flips;
+    use vt_label_dynamics::dynamics::intervals::Intervals;
+    use vt_label_dynamics::dynamics::landscape::Landscape;
+    use vt_label_dynamics::dynamics::metrics::{Metrics, WindowGrowth};
+    use vt_label_dynamics::dynamics::stability::Stability;
+    use vt_label_dynamics::dynamics::stabilization::Stabilization;
+    use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, TrajectoryTable};
+
+    let study = Study::generate(SimConfig::new(SEED, SAMPLES));
+    let ws = study.sim().config().window_start();
+    let table = TrajectoryTable::build(study.records(), ws);
+    let s = freshdyn::build(study.records(), ws);
+    assert!(!s.is_empty(), "study too small to exercise S");
+
+    let run_all = |workers: usize| -> Vec<(&'static str, String)> {
+        let ctx = AnalysisCtx::new(study.records(), &table, &s, study.sim().fleet(), ws)
+            .with_workers(workers);
+        vec![
+            (Landscape.name(), format!("{:?}", Landscape.run(&ctx))),
+            (Stability.name(), format!("{:?}", Stability.run(&ctx))),
+            (Metrics.name(), format!("{:?}", Metrics.run(&ctx))),
+            (
+                WindowGrowth::default().name(),
+                format!("{:?}", WindowGrowth::default().run(&ctx)),
+            ),
+            (
+                Intervals::default().name(),
+                format!("{:?}", Intervals::default().run(&ctx)),
+            ),
+            (
+                Categorize::ALL.name(),
+                format!("{:?}", Categorize::ALL.run(&ctx)),
+            ),
+            (
+                Categorize::PE.name(),
+                format!("{:?}", Categorize::PE.run(&ctx)),
+            ),
+            (Causes.name(), format!("{:?}", Causes.run(&ctx))),
+            (
+                Stabilization.name(),
+                format!("{:?}", Stabilization.run(&ctx)),
+            ),
+            (Flips.name(), format!("{:?}", Flips.run(&ctx))),
+            (
+                Correlation::default().name(),
+                format!("{:?}", Correlation::default().run(&ctx)),
+            ),
+        ]
+    };
+
+    let base = run_all(1);
+    let names: Vec<&str> = base.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        pipeline::stage_names(),
+        "this test must cover every registry stage, in order"
+    );
+    for workers in [2usize, 8] {
+        let other = run_all(workers);
+        for ((name, a), (_, b)) in base.iter().zip(&other) {
+            assert_eq!(a, b, "stage {name} differs at workers={workers}");
+        }
+    }
+}
+
 #[test]
 fn counters_invariant_across_worker_counts() {
     let study = Study::generate(SimConfig::new(SEED, SAMPLES));

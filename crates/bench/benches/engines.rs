@@ -84,14 +84,11 @@ fn fig11_fig12_correlation(c: &mut Criterion) {
     group.finish();
 }
 
-/// Before/after for the §7.2 hot path on a feed-scale slice (≥ 100k
-/// global rows): the old design — 8 serial scope scans, each
-/// materializing per-engine columns — against the fused single-pass
-/// kernel, plus a worker-count ablation of the fused kernel.
-///
-/// The "before" arm deliberately exercises the deprecated serial
-/// `correlation::analyze` — it *is* the legacy path under measurement.
-#[allow(deprecated)]
+/// The §7.2 hot path on a feed-scale slice (≥ 100k global rows): the
+/// fused single-pass kernel over all 8 scopes, plus a worker-count
+/// ablation. (The pre-fusion serial scope-scan arm was retired along
+/// with the deprecated `correlation::analyze` shim; its historical
+/// numbers live in git history.)
 fn fused_correlation_kernel(c: &mut Criterion) {
     let study = correlation_study();
     let s = correlation_fresh_dynamic();
@@ -106,19 +103,6 @@ fn fused_correlation_kernel(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fused_correlation_kernel");
     group.sample_size(10);
-    group.bench_function("before_8_serial_scope_scans", |b| {
-        b.iter(|| {
-            for &scope in &scopes {
-                black_box(correlation::analyze(
-                    study.records(),
-                    s,
-                    engines,
-                    scope,
-                    CORRELATION_MAX_ROWS,
-                ));
-            }
-        })
-    });
     group.bench_function("after_fused_single_pass", |b| {
         b.iter(|| {
             black_box(correlation::analyze_fused(

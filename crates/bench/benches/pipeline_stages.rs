@@ -1,7 +1,8 @@
-//! Tentpole bench for the columnar pipeline: the former serial
-//! per-stage walks vs the [`TrajectoryTable`]-backed parallel stages,
-//! plus a per-stage worker ablation (1/2/4/8) and the full
-//! `analyze_records` wall clock.
+//! Tentpole bench for the columnar pipeline: the
+//! [`TrajectoryTable`]-backed parallel stages with a per-stage worker
+//! ablation (1/2/4/8) and the full `analyze_records` wall clock. The
+//! worker-1 arm stands in for the retired serial reference path (whose
+//! historical `serial_total` numbers are kept in `BENCH_pipeline.json`).
 //!
 //! All timings run over the memoized ≥200k-sample seeded study
 //! ([`vt_bench::correlation_study`], 500k samples), so the speedup
@@ -20,7 +21,6 @@ use vt_dynamics::metrics::{Metrics, WindowGrowth};
 use vt_dynamics::stability::Stability;
 use vt_dynamics::stabilization::Stabilization;
 use vt_dynamics::{pipeline, Analysis, AnalysisCtx, TrajectoryTable};
-use vt_model::time::Duration;
 use vt_obs::Obs;
 
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -41,48 +41,11 @@ fn run_stages(ctx: &AnalysisCtx) {
     black_box(Flips.run(ctx));
 }
 
-/// The same ten stages through the retained serial reference
-/// implementations — the "before" side of the tentpole claim.
-#[allow(deprecated)]
-fn run_serial_stages() {
-    let st = correlation_study();
-    let records = st.records();
-    let s = correlation_fresh_dynamic();
-    let ws = st.sim().config().window_start();
-    let fleet = st.sim().fleet();
-    black_box(vt_dynamics::landscape::dataset_stats(records, ws));
-    black_box(vt_dynamics::stability::analyze(records));
-    black_box(vt_dynamics::metrics::analyze(records, s));
-    black_box(vt_dynamics::metrics::window_growth_fraction(
-        records,
-        s,
-        Duration::days(30),
-        Duration::days(90),
-    ));
-    black_box(vt_dynamics::intervals::analyze(records, s, 430));
-    black_box(vt_dynamics::categorize::sweep(records, s, false));
-    black_box(vt_dynamics::categorize::sweep(records, s, true));
-    black_box(vt_dynamics::causes::analyze(records, s, fleet));
-    black_box(vt_dynamics::stabilization::rank_stabilization(records, s));
-    black_box(vt_dynamics::stabilization::label_stabilization(
-        records, s, false,
-    ));
-    black_box(vt_dynamics::stabilization::label_stabilization(
-        records, s, true,
-    ));
-    black_box(vt_dynamics::flips::analyze(
-        records,
-        s,
-        fleet.engine_count(),
-    ));
-}
-
-/// Before/after: serial stage total vs the columnar stage total at each
-/// worker count. The acceptance claim is parallel_total/8 ≥ 3× faster
-/// than serial_total.
+/// Columnar stage total at each worker count. The worker-1 arm is the
+/// single-threaded baseline; the historical serial reference
+/// implementations were deleted with the deprecated shims.
 fn stage_totals(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_stages");
-    group.bench_function("serial_total", |b| b.iter(run_serial_stages));
     for &workers in &WORKER_SWEEP {
         let ctx = correlation_ctx().with_workers(workers);
         group.bench_with_input(

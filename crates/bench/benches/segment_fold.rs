@@ -1,0 +1,97 @@
+//! Segment-fold cost: the incremental engine's O(segment) claim.
+//!
+//! The tentpole contract of [`vt_dynamics::IncrementalStudy`] is that
+//! incorporating one sealed segment costs O(segment) — table + fold the
+//! new records, merge fixed-size partials — while re-running the batch
+//! pipeline costs O(everything seen so far). Four arms demonstrate it
+//! over the memoized 60k-sample study cut into 5k-sample segments:
+//!
+//! * `fold_first_segment` — fold one segment into an empty study.
+//! * `fold_last_segment` — fold the same-sized segment into a study
+//!   that has already absorbed the other eleven. O(segment) means this
+//!   arm matches `fold_first_segment`, not the amount of history.
+//! * `full_recompute` — the batch pipeline over all twelve segments,
+//!   which is what a naive daemon would re-run per seal (~12× the fold).
+//! * `publish_results` — clone-and-finish of the cached partials, the
+//!   per-seal cost of snapshotting [`StudyResults`] in `vtld serve`.
+//!
+//! Headline numbers land in `BENCH_pipeline.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vt_bench::study;
+use vt_dynamics::{analyze_records_obs, IncrementalStudy, SampleRecord};
+use vt_obs::Obs;
+use vt_store::PartitionStats;
+
+const SEGMENT_SAMPLES: usize = 5_000;
+const WORKERS: usize = 4;
+
+fn segments() -> Vec<&'static [SampleRecord]> {
+    study().records().chunks(SEGMENT_SAMPLES).collect()
+}
+
+fn partitions() -> Vec<PartitionStats> {
+    study().build_store().partition_stats()
+}
+
+fn fresh_study() -> IncrementalStudy<'static> {
+    let st = study();
+    IncrementalStudy::new(st.sim().fleet(), st.sim().config().window_start()).with_workers(WORKERS)
+}
+
+fn segment_fold(c: &mut Criterion) {
+    let segs = segments();
+    let mut group = c.benchmark_group("segment_fold");
+    group.sample_size(20);
+
+    group.bench_function("fold_first_segment", |b| {
+        b.iter(|| {
+            let mut inc = fresh_study();
+            inc.fold_segment(black_box(segs[0]), Obs::noop());
+            black_box(inc.segments())
+        })
+    });
+
+    // All history but the last segment, folded once up front; each
+    // iteration pays only the clone of the cached partials plus the
+    // fold of the final segment.
+    let mut warm = fresh_study();
+    for seg in &segs[..segs.len() - 1] {
+        warm.fold_segment(seg, Obs::noop());
+    }
+    let last = *segs.last().expect("bench study is non-empty");
+    group.bench_function("fold_last_segment", |b| {
+        b.iter(|| {
+            let mut inc = warm.clone();
+            inc.fold_segment(black_box(last), Obs::noop());
+            black_box(inc.segments())
+        })
+    });
+
+    let parts = partitions();
+    group.bench_function("full_recompute", |b| {
+        let st = study();
+        b.iter(|| {
+            black_box(analyze_records_obs(
+                black_box(st.records()),
+                parts.clone(),
+                st.sim().fleet(),
+                st.sim().config().window_start(),
+                WORKERS,
+                Obs::noop(),
+            ))
+        })
+    });
+
+    let mut full = warm.clone();
+    full.fold_segment(last, Obs::noop());
+    group.bench_function("publish_results", |b| {
+        b.iter(|| black_box(full.results(parts.clone(), Obs::noop())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, segment_fold);
+criterion_main!(benches);

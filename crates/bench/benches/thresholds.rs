@@ -3,21 +3,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vt_bench::{bench_ctx, fresh_dynamic, study};
-use vt_dynamics::categorize;
+use vt_bench::bench_ctx;
+use vt_dynamics::categorize::Categorize;
 use vt_dynamics::stabilization::Stabilization;
 use vt_dynamics::Analysis;
 
 fn fig8_categorization(c: &mut Criterion) {
-    let study = study();
-    let s = fresh_dynamic();
+    let ctx = bench_ctx();
     let mut group = c.benchmark_group("categorize");
     group.sample_size(20);
     group.bench_function("fig8a_gray_overall", |b| {
-        b.iter(|| black_box(categorize::sweep(study.records(), s, false)))
+        b.iter(|| black_box(Categorize::ALL.run(&ctx)))
     });
     group.bench_function("fig8b_gray_pe", |b| {
-        b.iter(|| black_box(categorize::sweep(study.records(), s, true)))
+        b.iter(|| black_box(Categorize::PE.run(&ctx)))
     });
     group.finish();
 }

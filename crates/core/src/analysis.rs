@@ -120,7 +120,8 @@ impl std::fmt::Debug for AnalysisCtx<'_> {
     }
 }
 
-/// One stage of the measurement pipeline.
+/// One stage of the measurement pipeline, expressed as a fold over
+/// segments of the record stream.
 ///
 /// Implementors are unit-ish structs (`Flips`, `Causes`, …) living next
 /// to the analysis they wrap; [`crate::pipeline::analyze_records`]
@@ -130,23 +131,61 @@ impl std::fmt::Debug for AnalysisCtx<'_> {
 /// * [`name`](Analysis::name) is stable and unique across the registry
 ///   — it keys the `pipeline/<name>` span and the
 ///   [`crate::pipeline::StudyResults::stage_timings`] rows;
-/// * [`run`](Analysis::run) is deterministic in `ctx` (worker count
-///   included: parallel stages must merge associatively) and must not
+/// * [`fold`](Analysis::fold) reduces one context (one *segment* of the
+///   record stream, or the whole dataset) to a [`Partial`](Analysis::Partial);
+/// * [`merge`](Analysis::merge) combines two partials whose underlying
+///   records are ordered `a` before `b`. Merging per-segment partials
+///   in segment order must equal folding the concatenated segments —
+///   this is the algebra the incremental engine
+///   ([`crate::incremental::IncrementalStudy`]) relies on, and it makes
+///   incremental results **bit-identical** to the batch path by
+///   construction;
+/// * [`finish`](Analysis::finish) converts a partial into the stage's
+///   final output;
+/// * [`run`](Analysis::run) defaults to `finish(fold(ctx))`, so the
+///   batch path *is* the one-segment case. Overrides (the fused
+///   correlation kernel) must stay bit-identical to the default.
+/// * Every method is deterministic in its inputs (worker count
+///   included: parallel folds must merge associatively) and must not
 ///   let the `Obs` handle feed back into results.
 pub trait Analysis {
     /// The stage's typed result.
     type Output;
 
+    /// The stage's mergeable intermediate state: the exact accumulator
+    /// its partition-reduction already used internally, now public so
+    /// segment folds can be cached and merged across segments.
+    type Partial: Clone;
+
     /// Stable, registry-unique stage name.
     fn name(&self) -> &'static str;
 
-    /// Runs the stage.
-    fn run(&self, ctx: &AnalysisCtx) -> Self::Output;
+    /// Reduces the context's records to a mergeable partial.
+    fn fold(&self, ctx: &AnalysisCtx) -> Self::Partial;
+
+    /// Combines two partials; `a`'s records precede `b`'s in stream
+    /// order. Must satisfy `merge(fold(x), fold(y)) == fold(x ++ y)`.
+    fn merge(&self, a: Self::Partial, b: Self::Partial) -> Self::Partial;
+
+    /// Converts an accumulated partial into the stage output.
+    fn finish(&self, partial: Self::Partial) -> Self::Output;
+
+    /// Runs the stage: the one-segment fold, finished.
+    fn run(&self, ctx: &AnalysisCtx) -> Self::Output {
+        self.finish(self.fold(ctx))
+    }
 
     /// Runs the stage inside a `pipeline/<name>` span on `ctx.obs`.
     fn run_timed(&self, ctx: &AnalysisCtx) -> Self::Output {
         let _span = ctx.obs.span(&format!("pipeline/{}", self.name()));
         self.run(ctx)
+    }
+
+    /// Folds one segment inside a `pipeline/<name>` span on `ctx.obs`
+    /// (the incremental engine's per-segment timing hook).
+    fn fold_timed(&self, ctx: &AnalysisCtx) -> Self::Partial {
+        let _span = ctx.obs.span(&format!("pipeline/{}", self.name()));
+        self.fold(ctx)
     }
 }
 

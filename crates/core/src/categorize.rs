@@ -12,6 +12,7 @@
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
 
@@ -87,6 +88,7 @@ impl Categorize {
 
 impl Analysis for Categorize {
     type Output = CategorySweep;
+    type Partial = CategorizePartial;
 
     fn name(&self) -> &'static str {
         if self.pe_only {
@@ -96,14 +98,58 @@ impl Analysis for Categorize {
         }
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> CategorySweep {
-        sweep_columnar(ctx.table, ctx.s, self.pe_only, ctx)
+    fn fold(&self, ctx: &AnalysisCtx) -> CategorizePartial {
+        fold_columnar(ctx.table, ctx.s, self.pe_only, ctx)
+    }
+
+    fn merge(&self, mut a: CategorizePartial, b: CategorizePartial) -> CategorizePartial {
+        a.merge(b);
+        a
+    }
+
+    fn finish(&self, acc: CategorizePartial) -> CategorySweep {
+        shares_from_envelopes(&acc.max_hist, &acc.min_hist, acc.samples)
+    }
+}
+
+/// Mergeable accumulator of the §5.4 fold ([`Categorize`]'s
+/// [`Analysis::Partial`]): the `p_min`/`p_max` envelope histograms plus
+/// the sample count. Everything merges by addition.
+#[derive(Debug, Clone)]
+pub struct CategorizePartial {
+    max_hist: [u64; MAX_RANK + 1],
+    min_hist: [u64; MAX_RANK + 1],
+    samples: u64,
+}
+
+impl CategorizePartial {
+    fn new() -> Self {
+        Self {
+            max_hist: [0; MAX_RANK + 1],
+            min_hist: [0; MAX_RANK + 1],
+            samples: 0,
+        }
+    }
+
+    fn merge(&mut self, other: CategorizePartial) {
+        for (a, b) in self.max_hist.iter_mut().zip(other.max_hist) {
+            *a += b;
+        }
+        for (a, b) in self.min_hist.iter_mut().zip(other.min_hist) {
+            *a += b;
+        }
+        self.samples += other.samples;
     }
 }
 
 /// Runs the sweep over all of *S* (`pe_only = false`) or its PE subset
 /// (`pe_only = true`), for t = 1..=50.
-pub fn sweep(records: &[SampleRecord], s: &FreshDynamic, pe_only: bool) -> CategorySweep {
+#[cfg(test)]
+pub(crate) fn sweep_impl(
+    records: &[SampleRecord],
+    s: &FreshDynamic,
+    pe_only: bool,
+) -> CategorySweep {
     // Count samples by their (p_min, p_max) envelope, then integrate per
     // threshold: white(t) = #{p_max < t}, black(t) = #{p_min >= t}.
     let mut max_hist = [0u64; MAX_RANK + 1];
@@ -125,12 +171,12 @@ pub fn sweep(records: &[SampleRecord], s: &FreshDynamic, pe_only: bool) -> Categ
 
 /// Parallel sweep over the table's precomputed `p_min`/`p_max`
 /// envelopes; the per-partition histograms sum exactly.
-fn sweep_columnar(
+fn fold_columnar(
     table: &TrajectoryTable,
     s: &FreshDynamic,
     pe_only: bool,
     ctx: &AnalysisCtx,
-) -> CategorySweep {
+) -> CategorizePartial {
     let kernel = if pe_only {
         "categorize_pe"
     } else {
@@ -138,32 +184,23 @@ fn sweep_columnar(
     };
     let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
     let parts = par::map_ranges_obs(&ranges, ctx.obs, kernel, |_, range| {
-        let mut max_hist = [0u64; MAX_RANK + 1];
-        let mut min_hist = [0u64; MAX_RANK + 1];
-        let mut samples = 0u64;
+        let mut acc = CategorizePartial::new();
         for &i in &s.indices[range.start as usize..range.end as usize] {
             if pe_only && !table.is_pe(i) {
                 continue;
             }
-            max_hist[(table.p_max(i) as usize).min(MAX_RANK)] += 1;
-            min_hist[(table.p_min(i) as usize).min(MAX_RANK)] += 1;
-            samples += 1;
+            acc.max_hist[(table.p_max(i) as usize).min(MAX_RANK)] += 1;
+            acc.min_hist[(table.p_min(i) as usize).min(MAX_RANK)] += 1;
+            acc.samples += 1;
         }
-        (max_hist, min_hist, samples)
+        acc
     });
-    let mut max_hist = [0u64; MAX_RANK + 1];
-    let mut min_hist = [0u64; MAX_RANK + 1];
-    let mut samples = 0u64;
-    for (pmax, pmin, n) in parts {
-        for (a, b) in max_hist.iter_mut().zip(pmax) {
-            *a += b;
-        }
-        for (a, b) in min_hist.iter_mut().zip(pmin) {
-            *a += b;
-        }
-        samples += n;
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().unwrap_or_else(CategorizePartial::new);
+    for part in iter {
+        acc.merge(part);
     }
-    shares_from_envelopes(&max_hist, &min_hist, samples)
+    acc
 }
 
 /// Integrates the envelope histograms into per-threshold shares.
@@ -241,7 +278,7 @@ mod tests {
         ];
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let sweep = sweep(&records, &s, false);
+        let sweep = sweep_impl(&records, &s, false);
         assert_eq!(sweep.samples, 2);
         for sh in &sweep.shares {
             assert!(
@@ -273,7 +310,7 @@ mod tests {
         let records = vec![record(0, FileType::Win32Exe, &[5, 6])];
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let sweep = sweep(&records, &s, false);
+        let sweep = sweep_impl(&records, &s, false);
         let t5 = sweep.shares[4];
         assert_eq!(t5.black, 1.0); // min 5 >= 5
         let t6 = sweep.shares[5];
@@ -290,9 +327,9 @@ mod tests {
         ];
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let pe = sweep(&records, &s, true);
+        let pe = sweep_impl(&records, &s, true);
         assert_eq!(pe.samples, 1);
-        let all = sweep(&records, &s, false);
+        let all = sweep_impl(&records, &s, false);
         assert_eq!(all.samples, 2);
     }
 
@@ -304,7 +341,7 @@ mod tests {
         ];
         let window = Timestamp::from_date(Date::new(2021, 5, 1));
         let s = freshdyn::build(&records, window);
-        let sweep = sweep(&records, &s, false);
+        let sweep = sweep_impl(&records, &s, false);
         let max = sweep.gray_max().unwrap();
         assert!(max.gray >= sweep.gray_min().unwrap().gray);
         let low = sweep.thresholds_below(0.4);

@@ -15,6 +15,7 @@
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
 use vt_engines::EngineFleet;
@@ -75,20 +76,30 @@ pub struct Causes;
 
 impl Analysis for Causes {
     type Output = CauseAnalysis;
+    type Partial = CauseAnalysis;
 
     fn name(&self) -> &'static str {
         "causes"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> CauseAnalysis {
-        analyze_columnar(ctx.table, ctx.s, ctx.fleet, ctx)
+    fn fold(&self, ctx: &AnalysisCtx) -> CauseAnalysis {
+        fold_columnar(ctx.table, ctx.s, ctx.fleet, ctx)
+    }
+
+    fn merge(&self, mut a: CauseAnalysis, b: CauseAnalysis) -> CauseAnalysis {
+        a.merge(&b);
+        a
+    }
+
+    fn finish(&self, acc: CauseAnalysis) -> CauseAnalysis {
+        acc
     }
 }
 
 /// Parallel cause attribution over the table's verdict-bitmap columns.
 /// All six counters are order-independent sums, so the per-partition
 /// [`CauseAnalysis`] values merge exactly.
-fn analyze_columnar(
+fn fold_columnar(
     table: &TrajectoryTable,
     s: &FreshDynamic,
     fleet: &EngineFleet,
@@ -149,13 +160,7 @@ fn analyze_columnar(
     a
 }
 
-/// Runs the cause attribution over *S* using the fleet's update
-/// schedules.
-#[deprecated(note = "run the `causes::Causes` stage with an `AnalysisCtx` instead")]
-pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, fleet: &EngineFleet) -> CauseAnalysis {
-    analyze_impl(records, s, fleet)
-}
-
+#[cfg(test)]
 pub(crate) fn analyze_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,

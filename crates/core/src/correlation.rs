@@ -13,9 +13,10 @@
 //!
 //! Two implementations coexist:
 //!
-//! * [`analyze`] — the reference path: one scope at a time, engine
-//!   columns materialized as `Vec<i8>`, pairs correlated serially. Kept
-//!   as the ground truth the fused kernel is verified against.
+//! * `analyze_impl` (test-only) — the reference path: one scope at a
+//!   time, engine columns materialized as `Vec<i8>`, pairs correlated
+//!   serially. Kept as the ground truth the fused kernel is verified
+//!   against.
 //! * [`analyze_fused`] — the production path: a **single fused parallel
 //!   pass** over *S* that accumulates the all-pairs contingency tables
 //!   for *every* scope simultaneously. Partitions of *S* accumulate
@@ -480,8 +481,8 @@ fn scope_matches(scope: Option<FileType>, rec: &SampleRecord) -> bool {
 
 /// Runs the fused kernel and finishes every scope into a
 /// [`CorrelationAnalysis`]. Output is bit-identical (ρ matrices,
-/// strong pairs, groups) to calling [`analyze`] once per scope,
-/// independent of `workers`.
+/// strong pairs, groups) to calling the test-only `analyze_impl`
+/// reference once per scope, independent of `workers`.
 pub fn analyze_fused(
     records: &[SampleRecord],
     s: &FreshDynamic,
@@ -543,16 +544,124 @@ impl Default for Correlation {
     }
 }
 
+impl Correlation {
+    /// The scope list the stage analyzes: global first, then the
+    /// configured per-type scopes in order.
+    fn all_scopes(&self) -> Vec<Option<FileType>> {
+        let mut all: Vec<Option<FileType>> = vec![None];
+        all.extend(self.scopes.iter().map(|&ft| Some(ft)));
+        all
+    }
+}
+
 impl Analysis for Correlation {
     type Output = (CorrelationAnalysis, Vec<CorrelationAnalysis>);
+    type Partial = CorrelationPartial;
 
     fn name(&self) -> &'static str {
         "correlation"
     }
 
+    fn fold(&self, ctx: &AnalysisCtx) -> CorrelationPartial {
+        let scopes = self.all_scopes();
+        assert!(
+            scopes.len() <= 8,
+            "scope-membership masks hold at most 8 scopes"
+        );
+        let ranges = par::partition_ranges(ctx.s.len() as u64, ctx.workers);
+        let parts = par::map_ranges_obs(&ranges, ctx.obs, "correlation_fold", |_, range| {
+            let mut membership = Vec::new();
+            let mut detected = Vec::new();
+            let mut zero = Vec::new();
+            let mut totals = vec![0u64; scopes.len()];
+            for i in range {
+                let rec = &ctx.records[ctx.s.indices[i as usize]];
+                let mut mask = 0u8;
+                for (si, &scope) in scopes.iter().enumerate() {
+                    if scope_matches(scope, rec) {
+                        mask |= 1 << si;
+                        totals[si] += rec.reports.len() as u64;
+                    }
+                }
+                for rep in &rec.reports {
+                    let (active, det) = rep.verdicts.raw();
+                    membership.push(mask);
+                    zero.push([active[0] & !det[0], active[1] & !det[1]]);
+                    detected.push(det);
+                }
+            }
+            (membership, detected, zero, totals)
+        });
+        let mut out = CorrelationPartial {
+            scopes,
+            engine_count: ctx.engine_count(),
+            max_rows: self.max_rows,
+            membership: Vec::new(),
+            detected: Vec::new(),
+            zero: Vec::new(),
+            totals: vec![0u64; self.scopes.len() + 1],
+        };
+        for (membership, detected, zero, totals) in parts {
+            out.membership.extend(membership);
+            out.detected.extend(detected);
+            out.zero.extend(zero);
+            for (t, c) in out.totals.iter_mut().zip(totals) {
+                *t += c;
+            }
+        }
+        out
+    }
+
+    fn merge(&self, mut a: CorrelationPartial, b: CorrelationPartial) -> CorrelationPartial {
+        assert_eq!(a.scopes, b.scopes, "partials from different scope lists");
+        assert_eq!(a.engine_count, b.engine_count);
+        assert_eq!(a.max_rows, b.max_rows);
+        a.membership.extend(b.membership);
+        a.detected.extend(b.detected);
+        a.zero.extend(b.zero);
+        for (t, c) in a.totals.iter_mut().zip(b.totals) {
+            *t += c;
+        }
+        a
+    }
+
+    fn finish(&self, p: CorrelationPartial) -> (CorrelationAnalysis, Vec<CorrelationAnalysis>) {
+        let mut accs: Vec<ScopeContingency> = p
+            .scopes
+            .iter()
+            .map(|&scope| ScopeContingency::new(scope, p.engine_count))
+            .collect();
+        let mut next = vec![0u64; p.scopes.len()];
+        for (r, &mask) in p.membership.iter().enumerate() {
+            for (si, acc) in accs.iter_mut().enumerate() {
+                if mask >> si & 1 == 0 {
+                    continue;
+                }
+                let row = next[si];
+                next[si] += 1;
+                if !row_selected(row, p.totals[si], p.max_rows) {
+                    continue;
+                }
+                acc.accumulate_masks(&p.detected[r], &p.zero[r]);
+            }
+        }
+        for (acc, &total) in accs.iter_mut().zip(&p.totals) {
+            acc.finalize();
+            acc.total_rows = total;
+            acc.truncated = total > p.max_rows as u64;
+        }
+        let mut analyses: Vec<CorrelationAnalysis> =
+            accs.iter().map(analysis_from_contingency).collect();
+        let global = analyses.remove(0);
+        (global, analyses)
+    }
+
+    /// The batch path keeps the fused two-pass kernel: it never
+    /// materializes the row plane, so it is cheaper than the default
+    /// `finish(fold(ctx))` while producing bit-identical output
+    /// (verified by `stage_run_equals_finish_of_fold`).
     fn run(&self, ctx: &AnalysisCtx) -> (CorrelationAnalysis, Vec<CorrelationAnalysis>) {
-        let mut all: Vec<Option<FileType>> = vec![None];
-        all.extend(self.scopes.iter().map(|&ft| Some(ft)));
+        let all = self.all_scopes();
         let mut analyses = analyze_fused_obs(
             ctx.records,
             ctx.s,
@@ -565,6 +674,32 @@ impl Analysis for Correlation {
         let global = analyses.remove(0);
         (global, analyses)
     }
+}
+
+/// Mergeable accumulator of the §7.2 fold ([`Correlation`]'s
+/// [`Analysis::Partial`]): the scope-tagged row plane of `R` in record
+/// order — per scan row a scope-membership bitmask (bit 0 = the global
+/// scope, bit `i+1` = `scopes[i]`) plus the report's native
+/// detected/zero verdict words — and the per-scope row totals. Merging
+/// concatenates the row planes in segment order and adds the totals, so
+/// the finished contingency tables (and hence ρ, strong pairs and
+/// groups) are bit-identical to the fused batch kernel over the
+/// concatenated records: the row-cap stride depends only on global row
+/// indices and totals, and [`ScopeContingency`] block boundaries never
+/// change the tables.
+///
+/// Unlike every other stage's partial this one is O(rows), not O(1) —
+/// the row cap can only be applied once the final totals are known, so
+/// the plane must survive until `finish`.
+#[derive(Debug, Clone)]
+pub struct CorrelationPartial {
+    scopes: Vec<Option<FileType>>,
+    engine_count: usize,
+    max_rows: usize,
+    membership: Vec<u8>,
+    detected: Vec<[u64; 2]>,
+    zero: Vec<[u64; 2]>,
+    totals: Vec<u64>,
 }
 
 /// Finishes one scope's merged contingency tables into the ρ matrix,
@@ -587,17 +722,7 @@ pub fn analysis_from_contingency(sc: &ScopeContingency) -> CorrelationAnalysis {
 /// At most `max_rows` scan rows are used; when the scope exceeds the
 /// cap the rows are strided evenly across the scope (see
 /// [`row_selected`]) and the result is flagged `truncated`.
-#[deprecated(note = "run the `correlation::Correlation` stage with an `AnalysisCtx` instead")]
-pub fn analyze(
-    records: &[SampleRecord],
-    s: &FreshDynamic,
-    engine_count: usize,
-    scope: Option<FileType>,
-    max_rows: usize,
-) -> CorrelationAnalysis {
-    analyze_impl(records, s, engine_count, scope, max_rows)
-}
-
+#[cfg(test)]
 pub(crate) fn analyze_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,
@@ -990,6 +1115,55 @@ mod tests {
                     assert_bit_identical(f, r, &format!("workers={workers} max={max_rows}"));
                 }
             }
+        }
+    }
+
+    /// The overridden fused `run` must stay bit-identical to the
+    /// default `finish(fold(ctx))` path — and to a two-segment
+    /// fold/merge/finish — including under row-cap truncation.
+    #[test]
+    fn stage_run_equals_finish_of_fold() {
+        use crate::analysis::AnalysisCtx;
+        use crate::pipeline::Study;
+        use crate::table::TrajectoryTable;
+        use vt_sim::SimConfig;
+
+        let study = Study::generate_with_workers(SimConfig::new(0xC011, 2_000), 2);
+        let ws = study.sim().config().window_start();
+        let records = study.records();
+        let fleet = study.sim().fleet();
+        let table = TrajectoryTable::build(records, ws);
+        let s = freshdyn::build(records, ws);
+        let stage = Correlation {
+            scopes: &[FileType::Win32Exe, FileType::Pdf],
+            max_rows: 300,
+        };
+        let ctx = AnalysisCtx::new(records, &table, &s, fleet, ws).with_workers(2);
+        let (g_run, per_run) = stage.run(&ctx);
+        assert!(g_run.truncated, "fixture must exercise the row cap");
+
+        let (g_fin, per_fin) = stage.finish(stage.fold(&ctx));
+        assert_bit_identical(&g_run, &g_fin, "finish∘fold global");
+        assert_eq!(per_run.len(), per_fin.len());
+        for (r, f) in per_run.iter().zip(&per_fin) {
+            assert_bit_identical(r, f, "finish∘fold scope");
+        }
+
+        // Two contiguous segments, folded independently (at different
+        // worker counts) and merged in order.
+        let mid = records.len() / 3;
+        let (seg_a, seg_b) = records.split_at(mid);
+        let (ta, tb) = (
+            TrajectoryTable::build(seg_a, ws),
+            TrajectoryTable::build(seg_b, ws),
+        );
+        let (sa, sb) = (freshdyn::build(seg_a, ws), freshdyn::build(seg_b, ws));
+        let ctx_a = AnalysisCtx::new(seg_a, &ta, &sa, fleet, ws).with_workers(1);
+        let ctx_b = AnalysisCtx::new(seg_b, &tb, &sb, fleet, ws).with_workers(8);
+        let (g_seg, per_seg) = stage.finish(stage.merge(stage.fold(&ctx_a), stage.fold(&ctx_b)));
+        assert_bit_identical(&g_run, &g_seg, "segmented global");
+        for (r, f) in per_run.iter().zip(&per_seg) {
+            assert_bit_identical(r, f, "segmented scope");
         }
     }
 

@@ -14,6 +14,7 @@
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
 use vt_model::{EngineId, FileType};
@@ -117,13 +118,23 @@ pub struct Flips;
 
 impl Analysis for Flips {
     type Output = FlipAnalysis;
+    type Partial = FlipAnalysis;
 
     fn name(&self) -> &'static str {
         "flips"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> FlipAnalysis {
-        analyze_columnar(ctx.table, ctx.s, ctx.engine_count(), ctx)
+    fn fold(&self, ctx: &AnalysisCtx) -> FlipAnalysis {
+        fold_columnar(ctx.table, ctx.s, ctx.engine_count(), ctx)
+    }
+
+    fn merge(&self, mut a: FlipAnalysis, b: FlipAnalysis) -> FlipAnalysis {
+        a.merge(&b);
+        a
+    }
+
+    fn finish(&self, acc: FlipAnalysis) -> FlipAnalysis {
+        acc
     }
 }
 
@@ -138,7 +149,7 @@ impl Analysis for Flips {
 /// detected)`; a hazard flip additionally requires `seen2` and
 /// `prevprev == detected`. Per-engine matrix cells come from iterating
 /// the set bits. All counters are sums, so partitions merge exactly.
-fn analyze_columnar(
+fn fold_columnar(
     table: &TrajectoryTable,
     s: &FreshDynamic,
     engine_count: usize,
@@ -200,12 +211,7 @@ fn analyze_columnar(
     a
 }
 
-/// Runs the flip analysis over *S*.
-#[deprecated(note = "run the `flips::Flips` stage with an `AnalysisCtx` instead")]
-pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, engine_count: usize) -> FlipAnalysis {
-    analyze_impl(records, s, engine_count)
-}
-
+#[cfg(test)]
 pub(crate) fn analyze_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,

@@ -1,0 +1,351 @@
+//! Segment-at-a-time study evaluation: fold sealed segments as they
+//! arrive, merge the cached partials, finish on demand.
+//!
+//! The batch pipeline ([`crate::pipeline::analyze_records_obs`]) is the
+//! one-segment special case of this module: every [`Analysis`] stage is
+//! a fold whose [`Analysis::Partial`] merges associatively across
+//! contiguous record segments, so folding a stream segment by segment
+//! and merging in arrival order produces partials — and therefore
+//! finished [`StudyResults`] — **bit-identical** to re-running the
+//! whole batch, at every worker count. That is the contract
+//! `merge(fold(x), fold(y)) == fold(x ++ y)` every stage upholds (and
+//! the segment-split tests in each stage module plus
+//! `tests/end_to_end.rs` enforce).
+//!
+//! Segments must partition *samples* (never split one sample's
+//! trajectory across segments — [`vt_store::SegmentWriter`] seals on
+//! sample boundaries for exactly this reason) and be folded in stream
+//! order, because some partials (correlation row planes) are
+//! order-sensitive.
+//!
+//! ```
+//! use vt_dynamics::incremental::IncrementalStudy;
+//! use vt_dynamics::pipeline::Study;
+//! use vt_obs::Obs;
+//! use vt_sim::SimConfig;
+//!
+//! let study = Study::generate_with_workers(SimConfig::new(9, 600), 2);
+//! let records = study.records();
+//! let mut inc = IncrementalStudy::new(
+//!     study.sim().fleet(),
+//!     study.sim().config().window_start(),
+//! );
+//! for segment in records.chunks(250) {
+//!     inc.fold_segment(segment, Obs::noop());
+//! }
+//! let results = inc.results(Vec::new(), Obs::noop());
+//! let batch = study.run();
+//! assert_eq!(
+//!     format!("{:?}", results.dataset),
+//!     format!("{:?}", batch.dataset),
+//! );
+//! ```
+
+use crate::analysis::{Analysis, AnalysisCtx};
+use crate::categorize::{Categorize, CategorizePartial};
+use crate::causes::{CauseAnalysis, Causes};
+use crate::correlation::{Correlation, CorrelationPartial};
+use crate::flips::{FlipAnalysis, Flips};
+use crate::freshdyn;
+use crate::intervals::{IntervalPartial, Intervals};
+use crate::landscape::Landscape;
+use crate::metrics::{Metrics, MetricsPartial, WindowGrowth};
+use crate::par;
+use crate::pipeline::{self, StudyResults};
+use crate::records::SampleRecord;
+use crate::stability::{Stability, StabilityPartial};
+use crate::stabilization::{Stabilization, StabilizationPartial};
+use crate::table::TrajectoryTable;
+use vt_engines::EngineFleet;
+use vt_model::time::Timestamp;
+use vt_obs::Obs;
+use vt_store::{DatasetStats, PartitionStats};
+
+/// The cached, mergeable state of every pipeline stage after some
+/// number of segment folds — one [`Analysis::Partial`] per registry
+/// stage plus the *S* accounting the finished [`StudyResults`] reports
+/// directly.
+///
+/// Cheap to clone relative to refolding (counters, histograms and the
+/// correlation row plane — no report data), which is what lets
+/// [`IncrementalStudy::results`] snapshot results mid-stream without
+/// disturbing the accumulation.
+#[derive(Debug, Clone)]
+pub struct StudyPartials {
+    landscape: DatasetStats,
+    stability: StabilityPartial,
+    metrics: MetricsPartial,
+    window_growth: (u64, u64),
+    intervals: IntervalPartial,
+    categories_all: CategorizePartial,
+    categories_pe: CategorizePartial,
+    causes: CauseAnalysis,
+    stabilization: StabilizationPartial,
+    flips: FlipAnalysis,
+    correlation: CorrelationPartial,
+    s_samples: u64,
+    s_reports: u64,
+    segments: u64,
+}
+
+impl StudyPartials {
+    /// Folds one segment's context through every registry stage (each
+    /// under its `pipeline/<name>` span via [`Analysis::fold_timed`]).
+    fn fold(ctx: &AnalysisCtx) -> Self {
+        StudyPartials {
+            landscape: Landscape.fold_timed(ctx),
+            stability: Stability.fold_timed(ctx),
+            metrics: Metrics.fold_timed(ctx),
+            window_growth: WindowGrowth::default().fold_timed(ctx),
+            intervals: Intervals::default().fold_timed(ctx),
+            categories_all: Categorize::ALL.fold_timed(ctx),
+            categories_pe: Categorize::PE.fold_timed(ctx),
+            causes: Causes.fold_timed(ctx),
+            stabilization: Stabilization.fold_timed(ctx),
+            flips: Flips.fold_timed(ctx),
+            correlation: Correlation::default().fold_timed(ctx),
+            s_samples: ctx.s.len() as u64,
+            s_reports: ctx.s.reports,
+            segments: 1,
+        }
+    }
+
+    /// Merges a later segment's partials into an earlier accumulation
+    /// (`self`'s records precede `next`'s in stream order).
+    fn merge(self, next: Self) -> Self {
+        StudyPartials {
+            landscape: Landscape.merge(self.landscape, next.landscape),
+            stability: Stability.merge(self.stability, next.stability),
+            metrics: Metrics.merge(self.metrics, next.metrics),
+            window_growth: WindowGrowth::default().merge(self.window_growth, next.window_growth),
+            intervals: Intervals::default().merge(self.intervals, next.intervals),
+            categories_all: Categorize::ALL.merge(self.categories_all, next.categories_all),
+            categories_pe: Categorize::PE.merge(self.categories_pe, next.categories_pe),
+            causes: Causes.merge(self.causes, next.causes),
+            stabilization: Stabilization.merge(self.stabilization, next.stabilization),
+            flips: Flips.merge(self.flips, next.flips),
+            correlation: Correlation::default().merge(self.correlation, next.correlation),
+            s_samples: self.s_samples + next.s_samples,
+            s_reports: self.s_reports + next.s_reports,
+            segments: self.segments + next.segments,
+        }
+    }
+
+    /// Segments folded into this accumulation.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Samples of *S* seen so far.
+    pub fn s_samples(&self) -> u64 {
+        self.s_samples
+    }
+
+    /// Reports across *S* seen so far.
+    pub fn s_reports(&self) -> u64 {
+        self.s_reports
+    }
+
+    /// Finishes every stage into a [`StudyResults`].
+    fn finish(self, partitions: Vec<PartitionStats>, obs: &Obs) -> StudyResults {
+        let (dataset, fig1) = Landscape.finish(self.landscape);
+        let stabilization = Stabilization.finish(self.stabilization);
+        let (correlation_global, correlation_per_type) =
+            Correlation::default().finish(self.correlation);
+        StudyResults {
+            dataset,
+            fig1,
+            partitions,
+            stability: Stability.finish(self.stability),
+            s_samples: self.s_samples,
+            s_reports: self.s_reports,
+            metrics: Metrics.finish(self.metrics),
+            window_growth: WindowGrowth::default().finish(self.window_growth),
+            intervals: Intervals::default().finish(self.intervals),
+            categories_all: Categorize::ALL.finish(self.categories_all),
+            categories_pe: Categorize::PE.finish(self.categories_pe),
+            causes: Causes.finish(self.causes),
+            rank_stabilization: stabilization.rank,
+            label_stabilization_all: stabilization.label_all,
+            label_stabilization_multi: stabilization.label_multi,
+            flips: Flips.finish(self.flips),
+            correlation_global,
+            correlation_per_type,
+            stage_timings: pipeline::stage_timings_from(obs),
+        }
+    }
+}
+
+/// The incremental study engine: feed it record segments as they seal,
+/// ask it for full [`StudyResults`] whenever you like.
+///
+/// Folding a segment costs O(segment) — each new segment is tabled,
+/// folded and merged into the cached [`StudyPartials`] without touching
+/// any earlier segment's reports — where re-running the batch pipeline
+/// would cost O(everything seen so far). `vtld serve` keeps one of
+/// these per daemon and snapshots [`results`](Self::results) after
+/// every segment.
+#[derive(Debug, Clone)]
+pub struct IncrementalStudy<'a> {
+    fleet: &'a EngineFleet,
+    window_start: Timestamp,
+    workers: usize,
+    partials: Option<StudyPartials>,
+}
+
+impl<'a> IncrementalStudy<'a> {
+    /// An empty study over a fleet and observation window, folding with
+    /// [`par::default_workers`] threads.
+    pub fn new(fleet: &'a EngineFleet, window_start: Timestamp) -> Self {
+        Self {
+            fleet,
+            window_start,
+            workers: par::default_workers(),
+            partials: None,
+        }
+    }
+
+    /// Overrides the worker count used by segment folds.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Segments folded so far.
+    pub fn segments(&self) -> u64 {
+        self.partials.as_ref().map_or(0, StudyPartials::segments)
+    }
+
+    /// The cached accumulation, if any segment has been folded.
+    pub fn partials(&self) -> Option<&StudyPartials> {
+        self.partials.as_ref()
+    }
+
+    /// Folds one sealed segment — a contiguous run of whole-sample
+    /// records, in stream order — into the cached partials, under a
+    /// `pipeline/segment` span (with the usual `pipeline/table`,
+    /// `pipeline/freshdyn` and per-stage spans inside it).
+    pub fn fold_segment(&mut self, records: &[SampleRecord], obs: &Obs) {
+        let _span = obs.span("pipeline/segment");
+        let table = obs.time("pipeline/table", || {
+            TrajectoryTable::build_with(records, self.window_start, self.workers, obs)
+        });
+        let s = obs.time("pipeline/freshdyn", || {
+            freshdyn::build_from_table(&table, self.workers)
+        });
+        let ctx = AnalysisCtx::new(records, &table, &s, self.fleet, self.window_start)
+            .with_workers(self.workers)
+            .with_obs(obs);
+        let seg = StudyPartials::fold(&ctx);
+        self.partials = Some(match self.partials.take() {
+            None => seg,
+            Some(acc) => acc.merge(seg),
+        });
+    }
+
+    /// Finishes the accumulated partials into full [`StudyResults`]
+    /// (bit-identical to the batch pipeline over the concatenation of
+    /// every folded segment). `partitions` supplies the Table 2 store
+    /// accounting, which lives outside the analysis fold.
+    ///
+    /// Clones the cached partials — accumulation continues unaffected,
+    /// so this can be called after every segment.
+    pub fn results(&self, partitions: Vec<PartitionStats>, obs: &Obs) -> StudyResults {
+        let partials = match &self.partials {
+            Some(p) => p.clone(),
+            // Nothing folded yet: the fold of zero segments is the fold
+            // of an empty one.
+            None => {
+                let table = TrajectoryTable::build_with(&[], self.window_start, 1, obs);
+                let s = freshdyn::build_from_table(&table, 1);
+                let ctx = AnalysisCtx::new(&[], &table, &s, self.fleet, self.window_start)
+                    .with_workers(self.workers)
+                    .with_obs(obs);
+                StudyPartials::fold(&ctx)
+            }
+        };
+        partials.finish(partitions, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze_records_obs, Study};
+    use vt_sim::SimConfig;
+
+    #[test]
+    fn incremental_matches_batch_across_segmentations() {
+        let study = Study::generate_with_workers(SimConfig::new(0x5E6, 2_000), 2);
+        let records = study.records();
+        let partitions = study.build_store().partition_stats();
+        let batch = analyze_records_obs(
+            records,
+            partitions.clone(),
+            study.sim().fleet(),
+            study.sim().config().window_start(),
+            2,
+            Obs::noop(),
+        );
+        assert!(batch.s_samples > 0, "study too small to exercise S");
+        let batch_dbg = format!("{batch:?}");
+        for segments in [1usize, 4] {
+            let mut inc =
+                IncrementalStudy::new(study.sim().fleet(), study.sim().config().window_start())
+                    .with_workers(2);
+            let chunk = records.len().div_ceil(segments);
+            for seg in records.chunks(chunk) {
+                inc.fold_segment(seg, Obs::noop());
+            }
+            assert_eq!(inc.segments(), segments as u64);
+            let results = inc.results(partitions.clone(), Obs::noop());
+            assert_eq!(batch_dbg, format!("{results:?}"), "segments={segments}");
+        }
+    }
+
+    #[test]
+    fn empty_study_matches_batch_over_no_records() {
+        let study = Study::generate_with_workers(SimConfig::new(3, 50), 1);
+        let inc = IncrementalStudy::new(study.sim().fleet(), study.sim().config().window_start());
+        assert_eq!(inc.segments(), 0);
+        assert!(inc.partials().is_none());
+        let results = inc.results(Vec::new(), Obs::noop());
+        let batch = analyze_records_obs(
+            &[],
+            Vec::new(),
+            study.sim().fleet(),
+            study.sim().config().window_start(),
+            1,
+            Obs::noop(),
+        );
+        assert_eq!(format!("{results:?}"), format!("{batch:?}"));
+    }
+
+    #[test]
+    fn fold_segment_records_segment_spans_and_snapshots_do_not_disturb() {
+        let study = Study::generate_with_workers(SimConfig::new(0xACC, 600), 2);
+        let records = study.records();
+        let obs = Obs::new();
+        let mut inc =
+            IncrementalStudy::new(study.sim().fleet(), study.sim().config().window_start())
+                .with_workers(2);
+        let mid = records.len() / 2;
+        inc.fold_segment(&records[..mid], &obs);
+        // A mid-stream snapshot must not change what later folds see.
+        let _early = inc.results(Vec::new(), Obs::noop());
+        inc.fold_segment(&records[mid..], &obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.span("pipeline/segment").map(|s| s.count), Some(2));
+        assert_eq!(snap.span("pipeline/flips").map(|s| s.count), Some(2));
+        let results = inc.results(Vec::new(), Obs::noop());
+        let batch = analyze_records_obs(
+            records,
+            Vec::new(),
+            study.sim().fleet(),
+            study.sim().config().window_start(),
+            2,
+            Obs::noop(),
+        );
+        assert_eq!(format!("{results:?}"), format!("{batch:?}"));
+    }
+}

@@ -17,6 +17,7 @@
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
 use vt_model::time::Duration;
@@ -72,27 +73,40 @@ impl Default for Intervals {
 
 impl Analysis for Intervals {
     type Output = IntervalAnalysis;
+    type Partial = IntervalPartial;
 
     fn name(&self) -> &'static str {
         "intervals"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> IntervalAnalysis {
-        analyze_columnar(ctx.table, ctx.s, self.max_days, ctx)
+    fn fold(&self, ctx: &AnalysisCtx) -> IntervalPartial {
+        fold_columnar(ctx.table, ctx.s, self.max_days, ctx)
+    }
+
+    fn merge(&self, mut a: IntervalPartial, b: IntervalPartial) -> IntervalPartial {
+        a.merge(b);
+        a
+    }
+
+    fn finish(&self, acc: IntervalPartial) -> IntervalAnalysis {
+        finish(acc, self.max_days)
     }
 }
 
-/// Partition accumulator: a flattened `(max_days + 1) × DIFF_BOUND`
+/// Mergeable accumulator of the §5.3.5 fold ([`Intervals`]'s
+/// [`Analysis::Partial`]): a flattened `(max_days + 1) × DIFF_BOUND`
 /// counting matrix plus the pair counters. Counts and totals merge by
-/// addition, `max_interval` by max.
-struct IntervalAcc {
+/// addition, `max_interval` by max — both partials must come from the
+/// same `max_days` configuration.
+#[derive(Debug, Clone)]
+pub struct IntervalPartial {
     day_counts: Vec<u64>,
     pairs: u64,
     pairs_beyond_max: u64,
     max_interval: u32,
 }
 
-impl IntervalAcc {
+impl IntervalPartial {
     fn new(max_days: usize) -> Self {
         Self {
             day_counts: vec![0; (max_days + 1) * DIFF_BOUND],
@@ -102,7 +116,12 @@ impl IntervalAcc {
         }
     }
 
-    fn merge(&mut self, other: IntervalAcc) {
+    fn merge(&mut self, other: IntervalPartial) {
+        assert_eq!(
+            self.day_counts.len(),
+            other.day_counts.len(),
+            "interval partials from different max_days configurations"
+        );
         for (a, b) in self.day_counts.iter_mut().zip(&other.day_counts) {
             *a += b;
         }
@@ -112,15 +131,15 @@ impl IntervalAcc {
     }
 }
 
-fn analyze_columnar(
+fn fold_columnar(
     table: &TrajectoryTable,
     s: &FreshDynamic,
     max_days: usize,
     ctx: &AnalysisCtx,
-) -> IntervalAnalysis {
+) -> IntervalPartial {
     let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
     let parts = par::map_ranges_obs(&ranges, ctx.obs, "intervals", |_, range| {
-        let mut acc = IntervalAcc::new(max_days);
+        let mut acc = IntervalPartial::new(max_days);
         let mut scans: Vec<(i64, u32)> = Vec::with_capacity(MAX_SCANS_PER_SAMPLE);
         for &rec in &s.indices[range.start as usize..range.end as usize] {
             strided_columns(
@@ -148,10 +167,18 @@ fn analyze_columnar(
         acc
     });
     let mut iter = parts.into_iter();
-    let mut acc = iter.next().unwrap_or_else(|| IntervalAcc::new(max_days));
+    let mut acc = iter
+        .next()
+        .unwrap_or_else(|| IntervalPartial::new(max_days));
     for part in iter {
         acc.merge(part);
     }
+    acc
+}
+
+/// Turns the merged accumulator into the published analysis.
+fn finish(acc: IntervalPartial, max_days: usize) -> IntervalAnalysis {
+    debug_assert_eq!(acc.day_counts.len(), (max_days + 1) * DIFF_BOUND);
     let by_day: Vec<Option<BoxplotSummary>> = (0..=max_days)
         .map(|d| BoxplotSummary::from_counts(&acc.day_counts[d * DIFF_BOUND..(d + 1) * DIFF_BOUND]))
         .collect();
@@ -192,17 +219,7 @@ fn strided_columns(dates: &[i64], positives: &[u32], cap: usize, out: &mut Vec<(
     out.dedup_by_key(|(t, _)| *t);
 }
 
-/// Runs the §5.3.5 analysis over *S*. `max_days` bounds the day-bin
-/// axis (the paper observes up to 418 days); pairs with a longer
-/// interval are counted in
-/// [`pairs_beyond_max`](IntervalAnalysis::pairs_beyond_max) and kept
-/// out of the bins (and hence the Spearman input) rather than clamped
-/// into the top bin.
-#[deprecated(note = "run the `intervals::Intervals` stage with an `AnalysisCtx` instead")]
-pub fn analyze(records: &[SampleRecord], s: &FreshDynamic, max_days: usize) -> IntervalAnalysis {
-    analyze_impl(records, s, max_days)
-}
-
+#[cfg(test)]
 pub(crate) fn analyze_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,
@@ -265,6 +282,7 @@ pub(crate) fn analyze_impl(
 
 /// Picks at most `cap` evenly spaced scans, always keeping the first
 /// and last.
+#[cfg(test)]
 fn strided(reports: &[vt_model::ScanReport], cap: usize) -> Vec<(vt_model::Timestamp, u32)> {
     let n = reports.len();
     if n <= cap {

@@ -7,8 +7,10 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
+#[cfg(test)]
 use vt_model::time::Timestamp;
 use vt_model::FileType;
 use vt_store::DatasetStats;
@@ -36,13 +38,22 @@ pub struct Landscape;
 
 impl Analysis for Landscape {
     type Output = (DatasetStats, Fig1Points);
+    type Partial = DatasetStats;
 
     fn name(&self) -> &'static str {
         "landscape"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> (DatasetStats, Fig1Points) {
-        let stats = dataset_stats_columnar(ctx.table, ctx.workers, ctx);
+    fn fold(&self, ctx: &AnalysisCtx) -> DatasetStats {
+        dataset_stats_columnar(ctx.table, ctx.workers, ctx)
+    }
+
+    fn merge(&self, mut a: DatasetStats, b: DatasetStats) -> DatasetStats {
+        a.merge(&b);
+        a
+    }
+
+    fn finish(&self, stats: DatasetStats) -> (DatasetStats, Fig1Points) {
         let fig1 = fig1_points(&stats);
         (stats, fig1)
     }
@@ -80,12 +91,7 @@ fn dataset_stats_columnar(
     stats
 }
 
-/// Builds the dataset overview from records.
-#[deprecated(note = "run the `landscape::Landscape` stage with an `AnalysisCtx` instead")]
-pub fn dataset_stats(records: &[SampleRecord], window_start: Timestamp) -> DatasetStats {
-    dataset_stats_impl(records, window_start)
-}
-
+#[cfg(test)]
 pub(crate) fn dataset_stats_impl(
     records: &[SampleRecord],
     window_start: Timestamp,

@@ -8,6 +8,7 @@
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
 use vt_model::time::Duration;
@@ -56,26 +57,38 @@ pub struct Metrics;
 
 impl Analysis for Metrics {
     type Output = MetricsAnalysis;
+    type Partial = MetricsPartial;
 
     fn name(&self) -> &'static str {
         "metrics"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> MetricsAnalysis {
-        analyze_columnar(ctx.table, ctx.s, ctx)
+    fn fold(&self, ctx: &AnalysisCtx) -> MetricsPartial {
+        fold_columnar(ctx.table, ctx.s, ctx)
+    }
+
+    fn merge(&self, mut a: MetricsPartial, b: MetricsPartial) -> MetricsPartial {
+        a.merge(b);
+        a
+    }
+
+    fn finish(&self, acc: MetricsPartial) -> MetricsAnalysis {
+        finish(acc)
     }
 }
 
-/// Partition accumulator: two global histograms plus flattened
+/// Mergeable accumulator of the δ/Δ fold ([`Metrics`]'s
+/// [`Analysis::Partial`]): two global histograms plus flattened
 /// `20 × DELTA_BOUND` counting arrays. Everything merges by addition.
-struct MetricsAcc {
+#[derive(Debug, Clone)]
+pub struct MetricsPartial {
     delta_adjacent_hist: Histogram,
     delta_overall_hist: Histogram,
     per_type_adjacent: Vec<u64>,
     per_type_overall: Vec<u64>,
 }
 
-impl MetricsAcc {
+impl MetricsPartial {
     fn new() -> Self {
         Self {
             delta_adjacent_hist: Histogram::new(71),
@@ -85,7 +98,7 @@ impl MetricsAcc {
         }
     }
 
-    fn merge(&mut self, other: MetricsAcc) {
+    fn merge(&mut self, other: MetricsPartial) {
         self.delta_adjacent_hist.merge(&other.delta_adjacent_hist);
         self.delta_overall_hist.merge(&other.delta_overall_hist);
         for (a, b) in self
@@ -105,14 +118,10 @@ impl MetricsAcc {
     }
 }
 
-fn analyze_columnar(
-    table: &TrajectoryTable,
-    s: &FreshDynamic,
-    ctx: &AnalysisCtx,
-) -> MetricsAnalysis {
+fn fold_columnar(table: &TrajectoryTable, s: &FreshDynamic, ctx: &AnalysisCtx) -> MetricsPartial {
     let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
     let parts = par::map_ranges_obs(&ranges, ctx.obs, "metrics", |_, range| {
-        let mut acc = MetricsAcc::new();
+        let mut acc = MetricsPartial::new();
         for &i in &s.indices[range.start as usize..range.end as usize] {
             let p = table.positives_of(i);
             let type_idx = table.type_idx(i);
@@ -129,15 +138,15 @@ fn analyze_columnar(
         acc
     });
     let mut iter = parts.into_iter();
-    let mut acc = iter.next().unwrap_or_else(MetricsAcc::new);
+    let mut acc = iter.next().unwrap_or_else(MetricsPartial::new);
     for part in iter {
         acc.merge(part);
     }
-    finish(acc)
+    acc
 }
 
 /// Turns the merged accumulator into the published analysis.
-fn finish(acc: MetricsAcc) -> MetricsAnalysis {
+fn finish(acc: MetricsPartial) -> MetricsAnalysis {
     let delta_zero_fraction = if acc.delta_adjacent_hist.total() == 0 {
         0.0
     } else {
@@ -191,13 +200,26 @@ impl Default for WindowGrowth {
 
 impl Analysis for WindowGrowth {
     type Output = f64;
+    type Partial = (u64, u64);
 
     fn name(&self) -> &'static str {
         "window_growth"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> f64 {
+    fn fold(&self, ctx: &AnalysisCtx) -> (u64, u64) {
         window_growth_columnar(ctx.table, ctx.s, self.short, self.long, ctx)
+    }
+
+    fn merge(&self, a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+        (a.0 + b.0, a.1 + b.1)
+    }
+
+    fn finish(&self, (eligible, grew): (u64, u64)) -> f64 {
+        if eligible == 0 {
+            0.0
+        } else {
+            grew as f64 / eligible as f64
+        }
     }
 }
 
@@ -209,7 +231,7 @@ fn window_growth_columnar(
     short: Duration,
     long: Duration,
     ctx: &AnalysisCtx,
-) -> f64 {
+) -> (u64, u64) {
     let ranges = par::partition_ranges(s.indices.len() as u64, ctx.workers);
     let parts = par::map_ranges_obs(&ranges, ctx.obs, "window_growth", |_, range| {
         let mut eligible = 0u64;
@@ -241,24 +263,14 @@ fn window_growth_columnar(
         }
         (eligible, grew)
     });
-    let (eligible, grew) = parts
+    parts
         .into_iter()
-        .fold((0u64, 0u64), |(e, g), (pe, pg)| (e + pe, g + pg));
-    if eligible == 0 {
-        0.0
-    } else {
-        grew as f64 / eligible as f64
-    }
+        .fold((0u64, 0u64), |(e, g), (pe, pg)| (e + pe, g + pg))
 }
 
-/// Runs the δ/Δ analysis over *S*.
-#[deprecated(note = "run the `metrics::Metrics` stage with an `AnalysisCtx` instead")]
-pub fn analyze(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
-    analyze_impl(records, s)
-}
-
+#[cfg(test)]
 pub(crate) fn analyze_impl(records: &[SampleRecord], s: &FreshDynamic) -> MetricsAnalysis {
-    let mut acc = MetricsAcc::new();
+    let mut acc = MetricsPartial::new();
     for r in s.iter(records) {
         let type_idx = r.meta.file_type.dense_index();
         debug_assert!(type_idx < 20, "S contains only top-20 types");
@@ -278,20 +290,7 @@ pub(crate) fn analyze_impl(records: &[SampleRecord], s: &FreshDynamic) -> Metric
     finish(acc)
 }
 
-/// §8.1 — the measurement-window sweep: among samples first submitted
-/// in the window's first month, the fraction whose observed Δ grows
-/// when the observation window extends from `short` to `long`
-/// (paper: 8.6% grow from 1 month to 3 months).
-#[deprecated(note = "run the `metrics::WindowGrowth` stage with an `AnalysisCtx` instead")]
-pub fn window_growth_fraction(
-    records: &[SampleRecord],
-    s: &FreshDynamic,
-    short: Duration,
-    long: Duration,
-) -> f64 {
-    window_growth_impl(records, s, short, long)
-}
-
+#[cfg(test)]
 pub(crate) fn window_growth_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,

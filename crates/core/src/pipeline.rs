@@ -407,7 +407,7 @@ pub fn analyze_records_obs(
 
 /// Extracts [`StageTiming`]s from the `pipeline/`-prefixed spans of an
 /// enabled `Obs` (empty for a disabled one).
-fn stage_timings_from(obs: &Obs) -> Vec<StageTiming> {
+pub(crate) fn stage_timings_from(obs: &Obs) -> Vec<StageTiming> {
     if !obs.is_enabled() {
         return Vec::new();
     }

@@ -9,6 +9,7 @@
 
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
 use vt_model::time::Duration;
@@ -112,21 +113,53 @@ pub struct Stability;
 
 impl Analysis for Stability {
     type Output = StabilityAnalysis;
+    type Partial = StabilityPartial;
 
     fn name(&self) -> &'static str {
         "stability"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> StabilityAnalysis {
-        analyze_columnar(ctx.table, ctx.workers, ctx)
+    fn fold(&self, ctx: &AnalysisCtx) -> StabilityPartial {
+        fold_columnar(ctx.table, ctx.workers, ctx)
+    }
+
+    fn merge(&self, mut a: StabilityPartial, b: StabilityPartial) -> StabilityPartial {
+        a.merge(b);
+        a
+    }
+
+    fn finish(&self, acc: StabilityPartial) -> StabilityAnalysis {
+        let mut a = StabilityAnalysis {
+            multi_report_samples: acc.multi,
+            stable: acc.stable,
+            dynamic: acc.dynamic,
+            stable_report_hist: acc.stable_report_hist,
+            dynamic_report_hist: acc.dynamic_report_hist,
+            stable_rank_hist: acc.stable_rank_hist,
+            rank0_scans: acc.rank0_scans,
+            rank_pos_scans: acc.rank_pos_scans,
+            span_by_rank: vec![None; StabilityAnalysis::RANK_CAP + 1],
+            span_within_17d: 0.0,
+            span_within_350d: 0.0,
+        };
+        for (bucket, values) in acc.spans.into_iter().enumerate() {
+            a.span_by_rank[bucket] = BoxplotSummary::from_unsorted(&values);
+        }
+        if a.stable > 0 {
+            a.span_within_17d = acc.within17 as f64 / a.stable as f64;
+            a.span_within_350d = acc.within350 as f64 / a.stable as f64;
+        }
+        a
     }
 }
 
-/// Per-partition accumulator for the columnar pass. Counters and
-/// histograms merge by addition; the per-bucket span samples
-/// concatenate in partition order so each bucket sees the exact serial
-/// sequence before [`BoxplotSummary::from_unsorted`] sorts it.
-struct Acc {
+/// Mergeable accumulator of the §5.1–5.2 fold ([`Stability`]'s
+/// [`Analysis::Partial`]). Counters and histograms merge by addition;
+/// the per-bucket span samples concatenate in stream order so each
+/// bucket sees the exact serial sequence before
+/// [`BoxplotSummary::from_unsorted`] sorts it.
+#[derive(Debug, Clone)]
+pub struct StabilityPartial {
     multi: u64,
     stable: u64,
     dynamic: u64,
@@ -140,7 +173,7 @@ struct Acc {
     within350: u64,
 }
 
-impl Acc {
+impl StabilityPartial {
     fn new() -> Self {
         Self {
             multi: 0,
@@ -157,7 +190,7 @@ impl Acc {
         }
     }
 
-    fn merge(&mut self, other: Acc) {
+    fn merge(&mut self, other: StabilityPartial) {
         self.multi += other.multi;
         self.stable += other.stable;
         self.dynamic += other.dynamic;
@@ -178,14 +211,10 @@ impl Acc {
     }
 }
 
-fn analyze_columnar(
-    table: &TrajectoryTable,
-    workers: usize,
-    ctx: &AnalysisCtx,
-) -> StabilityAnalysis {
+fn fold_columnar(table: &TrajectoryTable, workers: usize, ctx: &AnalysisCtx) -> StabilityPartial {
     let ranges = par::partition_ranges(table.len() as u64, workers);
     let parts = par::map_ranges_obs(&ranges, ctx.obs, "stability", |_, range| {
-        let mut acc = Acc::new();
+        let mut acc = StabilityPartial::new();
         for i in range.start as usize..range.end as usize {
             if !table.is_multi_report(i) {
                 continue;
@@ -224,40 +253,14 @@ fn analyze_columnar(
         acc
     });
     let mut iter = parts.into_iter();
-    let mut acc = iter.next().unwrap_or_else(Acc::new);
+    let mut acc = iter.next().unwrap_or_else(StabilityPartial::new);
     for part in iter {
         acc.merge(part);
     }
-    let mut a = StabilityAnalysis {
-        multi_report_samples: acc.multi,
-        stable: acc.stable,
-        dynamic: acc.dynamic,
-        stable_report_hist: acc.stable_report_hist,
-        dynamic_report_hist: acc.dynamic_report_hist,
-        stable_rank_hist: acc.stable_rank_hist,
-        rank0_scans: acc.rank0_scans,
-        rank_pos_scans: acc.rank_pos_scans,
-        span_by_rank: vec![None; StabilityAnalysis::RANK_CAP + 1],
-        span_within_17d: 0.0,
-        span_within_350d: 0.0,
-    };
-    for (bucket, values) in acc.spans.into_iter().enumerate() {
-        a.span_by_rank[bucket] = BoxplotSummary::from_unsorted(&values);
-    }
-    if a.stable > 0 {
-        a.span_within_17d = acc.within17 as f64 / a.stable as f64;
-        a.span_within_350d = acc.within350 as f64 / a.stable as f64;
-    }
-    a
+    acc
 }
 
-/// Runs the §5.1–5.2 analysis over all records (single-report samples
-/// are skipped).
-#[deprecated(note = "run the `stability::Stability` stage with an `AnalysisCtx` instead")]
-pub fn analyze(records: &[SampleRecord]) -> StabilityAnalysis {
-    analyze_impl(records)
-}
-
+#[cfg(test)]
 pub(crate) fn analyze_impl(records: &[SampleRecord]) -> StabilityAnalysis {
     let mut a = StabilityAnalysis {
         multi_report_samples: 0,

@@ -16,8 +16,10 @@
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
+#[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
+#[cfg(test)]
 use vt_aggregate::{stabilization_index, LabelSequence, Threshold};
 use vt_model::time::Duration;
 
@@ -39,16 +41,121 @@ pub struct Stabilization;
 
 impl Analysis for Stabilization {
     type Output = StabilizationOutput;
+    type Partial = StabilizationPartial;
 
     fn name(&self) -> &'static str {
         "stabilization"
     }
 
-    fn run(&self, ctx: &AnalysisCtx) -> StabilizationOutput {
-        StabilizationOutput {
+    fn fold(&self, ctx: &AnalysisCtx) -> StabilizationPartial {
+        StabilizationPartial {
             rank: rank_stabilization_columnar(ctx.table, ctx.s, ctx),
             label_all: label_stabilization_columnar(ctx.table, ctx.s, false, ctx),
             label_multi: label_stabilization_columnar(ctx.table, ctx.s, true, ctx),
+        }
+    }
+
+    fn merge(&self, mut a: StabilizationPartial, b: StabilizationPartial) -> StabilizationPartial {
+        a.merge(b);
+        a
+    }
+
+    fn finish(&self, acc: StabilizationPartial) -> StabilizationOutput {
+        StabilizationOutput {
+            rank: acc.rank,
+            label_all: acc.label_all.into_iter().map(LabelAcc::finish).collect(),
+            label_multi: acc.label_multi.into_iter().map(LabelAcc::finish).collect(),
+        }
+    }
+}
+
+/// Mergeable accumulator of the §6 fold ([`Stabilization`]'s
+/// [`Analysis::Partial`]): the r-sweep counter blocks plus per-threshold
+/// integer accumulators for both Fig. 9 variants. All fields merge by
+/// addition, so per-segment partials combine exactly — the means are
+/// only formed in `finish`.
+#[derive(Debug, Clone)]
+pub struct StabilizationPartial {
+    rank: Vec<RankStabilization>,
+    label_all: Vec<LabelAcc>,
+    label_multi: Vec<LabelAcc>,
+}
+
+impl StabilizationPartial {
+    fn merge(&mut self, other: StabilizationPartial) {
+        debug_assert_eq!(self.rank.len(), other.rank.len());
+        for (a, b) in self.rank.iter_mut().zip(other.rank) {
+            debug_assert_eq!(a.r, b.r);
+            a.samples += b.samples;
+            a.stabilized += b.stabilized;
+            a.within_10d += b.within_10d;
+            a.within_20d += b.within_20d;
+            a.within_30d += b.within_30d;
+        }
+        for (a, b) in self.label_all.iter_mut().zip(other.label_all) {
+            a.merge(b);
+        }
+        for (a, b) in self.label_multi.iter_mut().zip(other.label_multi) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Per-threshold integer accumulator for one Fig. 9 variant. The serial
+/// and elapsed-minutes sums stay integral (scan serials and scan
+/// timestamps are whole minutes), which makes the accumulation
+/// associative — any segment split merges to the same sums bit for bit.
+#[derive(Debug, Clone, Copy)]
+struct LabelAcc {
+    t: u32,
+    samples: u64,
+    stabilized: u64,
+    serial_sum: u64,
+    minutes_sum: u64,
+    within_15: u64,
+    within_30: u64,
+}
+
+impl LabelAcc {
+    fn new(t: u32) -> Self {
+        Self {
+            t,
+            samples: 0,
+            stabilized: 0,
+            serial_sum: 0,
+            minutes_sum: 0,
+            within_15: 0,
+            within_30: 0,
+        }
+    }
+
+    fn merge(&mut self, other: LabelAcc) {
+        debug_assert_eq!(self.t, other.t);
+        self.samples += other.samples;
+        self.stabilized += other.stabilized;
+        self.serial_sum += other.serial_sum;
+        self.minutes_sum += other.minutes_sum;
+        self.within_15 += other.within_15;
+        self.within_30 += other.within_30;
+    }
+
+    fn finish(self) -> LabelStabilization {
+        LabelStabilization {
+            t: self.t,
+            samples: self.samples,
+            stabilized: self.stabilized,
+            mean_serial: if self.stabilized == 0 {
+                0.0
+            } else {
+                self.serial_sum as f64 / self.stabilized as f64
+            },
+            mean_days: if self.stabilized == 0 {
+                0.0
+            } else {
+                self.minutes_sum as f64 / (24.0 * 60.0) / self.stabilized as f64
+            },
+            within_15d: self.within_15,
+            within_30d: self.within_30,
         }
     }
 }
@@ -135,16 +242,16 @@ fn label_stab_index(p: &[u32], t: u32) -> Option<usize> {
 }
 
 /// Parallel §6.2 sweep: one worker per **threshold**, each walking *S*
-/// serially in index order. `days_sum` is a sequential `f64`
-/// accumulation — not associative — so partitioning over samples would
-/// perturb the rounding; partitioning over the 9 independent thresholds
-/// keeps every per-threshold accumulation exactly serial.
+/// serially in index order. Every accumulator is an integer sum (scan
+/// serials; elapsed whole minutes), so the per-threshold totals are
+/// independent of the partitioning *and* of any segment split — the
+/// means are only formed when the partial is finished.
 fn label_stabilization_columnar(
     table: &TrajectoryTable,
     s: &FreshDynamic,
     exclude_two_scans: bool,
     ctx: &AnalysisCtx,
-) -> Vec<LabelStabilization> {
+) -> Vec<LabelAcc> {
     let kernel = if exclude_two_scans {
         "stabilization_label_multi"
     } else {
@@ -155,49 +262,29 @@ fn label_stabilization_columnar(
         FIG9_THRESHOLDS[range.start as usize..range.end as usize]
             .iter()
             .map(|&t| {
-                let mut samples = 0u64;
-                let mut stabilized = 0u64;
-                let mut serial_sum = 0f64;
-                let mut days_sum = 0f64;
-                let mut within_15 = 0u64;
-                let mut within_30 = 0u64;
+                let mut acc = LabelAcc::new(t);
                 for &rec in &s.indices {
                     if exclude_two_scans && table.report_count(rec) <= 2 {
                         continue;
                     }
-                    samples += 1;
+                    acc.samples += 1;
                     let p = table.positives_of(rec);
                     if let Some(i) = label_stab_index(p, t) {
-                        stabilized += 1;
-                        serial_sum += (i + 1) as f64;
+                        acc.stabilized += 1;
+                        acc.serial_sum += (i + 1) as u64;
                         let dates = table.dates_of(rec);
-                        let days = Duration::minutes(dates[i] - dates[0]).as_days_f64();
-                        days_sum += days;
+                        let minutes = dates[i] - dates[0];
+                        acc.minutes_sum += minutes as u64;
+                        let days = Duration::minutes(minutes).as_days_f64();
                         if days <= 15.0 {
-                            within_15 += 1;
+                            acc.within_15 += 1;
                         }
                         if days <= 30.0 {
-                            within_30 += 1;
+                            acc.within_30 += 1;
                         }
                     }
                 }
-                LabelStabilization {
-                    t,
-                    samples,
-                    stabilized,
-                    mean_serial: if stabilized == 0 {
-                        0.0
-                    } else {
-                        serial_sum / stabilized as f64
-                    },
-                    mean_days: if stabilized == 0 {
-                        0.0
-                    } else {
-                        days_sum / stabilized as f64
-                    },
-                    within_15d: within_15,
-                    within_30d: within_30,
-                }
+                acc
             })
             .collect::<Vec<_>>()
     });
@@ -268,12 +355,7 @@ pub fn rank_stabilization_index(p: &[u32], r: u32) -> Option<usize> {
     best
 }
 
-/// Runs the §6.1 sweep over r = 0..=5.
-#[deprecated(note = "run the `stabilization::Stabilization` stage with an `AnalysisCtx` instead")]
-pub fn rank_stabilization(records: &[SampleRecord], s: &FreshDynamic) -> Vec<RankStabilization> {
-    rank_stabilization_impl(records, s)
-}
-
+#[cfg(test)]
 pub(crate) fn rank_stabilization_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,
@@ -356,15 +438,7 @@ pub const FIG9_THRESHOLDS: [u32; 9] = [2, 5, 10, 15, 20, 25, 30, 35, 40];
 /// Runs the §6.2 sweep. `exclude_two_scans` selects Fig. 9b's variant
 /// (samples with only two scans trivially stabilize and dominate the
 /// averages).
-#[deprecated(note = "run the `stabilization::Stabilization` stage with an `AnalysisCtx` instead")]
-pub fn label_stabilization(
-    records: &[SampleRecord],
-    s: &FreshDynamic,
-    exclude_two_scans: bool,
-) -> Vec<LabelStabilization> {
-    label_stabilization_impl(records, s, exclude_two_scans)
-}
-
+#[cfg(test)]
 pub(crate) fn label_stabilization_impl(
     records: &[SampleRecord],
     s: &FreshDynamic,

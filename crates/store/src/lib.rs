@@ -20,6 +20,11 @@
 //!   checksummed, marker-framed blocks, a strict reader for both format
 //!   versions, and a salvage reader that recovers what a damaged file
 //!   still holds.
+//! * [`segment`] — sealed, append-ordered segments of the report
+//!   stream: [`SegmentWriter`] cuts ingestion into whole-sample
+//!   [`Segment`]s every N reports, each persistable through the same
+//!   checksummed container, so the incremental pipeline folds O(segment)
+//!   work per seal instead of recomputing the monolith.
 //!
 //! The store is synchronous and single-writer / multi-reader
 //! (`parking_lot` guards the append path), in line with the project's
@@ -34,6 +39,7 @@ pub mod crc32;
 pub mod dataset;
 pub mod partition;
 pub mod persist;
+pub mod segment;
 pub mod store;
 
 pub use dataset::DatasetStats;
@@ -42,4 +48,5 @@ pub use persist::{
     read_store, read_store_salvage, write_store, write_store_v1, CorruptKind, PartitionRecovery,
     PersistError, RecoveryReport, SalvageLabel,
 };
+pub use segment::{read_segment, read_segment_salvage, write_segment, Segment, SegmentWriter};
 pub use store::{ReportStore, StoreError, StoreObs};

@@ -1,0 +1,306 @@
+//! Sealed, append-ordered store *segments* — the unit the incremental
+//! pipeline folds.
+//!
+//! A long-running collector cannot keep one monolithic dataset open: an
+//! analysis snapshot would have to re-read everything ingested so far.
+//! Instead the feed is cut into segments: a [`SegmentWriter`] appends
+//! whole-sample report batches to an open [`ReportStore`] and seals a
+//! [`Segment`] every `threshold` reports — always on a **sample
+//! boundary**, never mid-trajectory, because the analysis fold algebra
+//! (`vt-dynamics`' `Analysis::merge`) is only exact when segments
+//! partition samples.
+//!
+//! Segments are append-ordered: each carries a monotonically increasing
+//! sequence number assigned at seal time, and downstream folds must
+//! consume them in that order (some stage partials are order-sensitive).
+//!
+//! On disk a segment reuses the whole `VTSTORE2` machinery — per-block
+//! CRCs, salvage markers and all — behind an 8-byte segment magic and
+//! the sequence number:
+//!
+//! ```text
+//! magic "VTSEG001"
+//! u64   sequence number (little-endian)
+//! <VTSTORE2 container — see crate::persist>
+//! ```
+//!
+//! [`read_segment`] is strict; [`read_segment_salvage`] recovers what a
+//! damaged segment file still holds, exactly like
+//! [`read_store_salvage`] does for monolithic stores.
+
+use crate::persist::{
+    read_store, read_store_salvage, write_store, CorruptKind, PersistError, RecoveryReport,
+};
+use crate::store::ReportStore;
+use std::io::{self, Read, Write};
+use vt_model::ScanReport;
+
+const SEGMENT_MAGIC: &[u8; 8] = b"VTSEG001";
+
+/// One sealed segment of the report stream: a read-only
+/// [`ReportStore`] over a contiguous run of whole samples, plus its
+/// position in the stream.
+#[derive(Debug)]
+pub struct Segment {
+    seq: u64,
+    store: ReportStore,
+}
+
+impl Segment {
+    /// The segment's position in the stream (0-based, assigned in seal
+    /// order by the writer).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The sealed store holding the segment's reports.
+    pub fn store(&self) -> &ReportStore {
+        &self.store
+    }
+
+    /// Consumes the segment, yielding its sealed store.
+    pub fn into_store(self) -> ReportStore {
+        self.store
+    }
+}
+
+/// Cuts an append-ordered report stream into sealed [`Segment`]s of
+/// roughly `threshold` reports each, never splitting a sample.
+///
+/// ```
+/// use vt_store::SegmentWriter;
+///
+/// let mut writer = SegmentWriter::new(100);
+/// // ... writer.push_sample(&reports) per sample, in stream order ...
+/// let tail = writer.finish();
+/// assert!(tail.is_none(), "nothing was pushed");
+/// ```
+#[derive(Debug)]
+pub struct SegmentWriter {
+    threshold: u64,
+    next_seq: u64,
+    open: ReportStore,
+}
+
+impl SegmentWriter {
+    /// A writer sealing every `threshold` reports (≥ 1; a sample whose
+    /// batch crosses the threshold stays whole in the current segment).
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold >= 1, "segment threshold must be at least 1");
+        Self {
+            threshold,
+            next_seq: 0,
+            open: ReportStore::new(),
+        }
+    }
+
+    /// Reports appended to the currently open (unsealed) segment.
+    pub fn open_reports(&self) -> u64 {
+        self.open.report_count()
+    }
+
+    /// Segments sealed so far.
+    pub fn sealed_segments(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one sample's full report batch to the open segment,
+    /// sealing and returning it once it holds at least `threshold`
+    /// reports. All of a sample's reports must arrive in one call —
+    /// that is what keeps every sealed segment a union of whole
+    /// trajectories.
+    pub fn push_sample(&mut self, reports: &[ScanReport]) -> Option<Segment> {
+        self.open.append_batch(reports);
+        if self.open.report_count() >= self.threshold {
+            return Some(self.seal());
+        }
+        None
+    }
+
+    /// Seals whatever the open segment holds, if anything — the stream
+    /// tail that never reached the threshold.
+    pub fn finish(mut self) -> Option<Segment> {
+        if self.open.report_count() == 0 {
+            return None;
+        }
+        Some(self.seal())
+    }
+
+    fn seal(&mut self) -> Segment {
+        let store = std::mem::take(&mut self.open);
+        store.seal();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Segment { seq, store }
+    }
+}
+
+/// Serializes a sealed segment: segment magic, sequence number, then
+/// the standard `VTSTORE2` container.
+///
+/// # Panics
+/// Panics if the segment's store is not sealed (writers only produce
+/// sealed segments; this guards hand-built ones).
+pub fn write_segment(segment: &Segment, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(SEGMENT_MAGIC)?;
+    w.write_all(&segment.seq.to_le_bytes())?;
+    write_store(&segment.store, w)
+}
+
+fn read_segment_header(r: &mut impl Read) -> Result<u64, PersistError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != SEGMENT_MAGIC {
+        return Err(PersistError::Corrupt(CorruptKind::BadMagic));
+    }
+    let mut seq = [0u8; 8];
+    r.read_exact(&mut seq)?;
+    Ok(u64::from_le_bytes(seq))
+}
+
+/// Loads a segment file strictly: bad magic, bad markers, CRC
+/// mismatches or undecodable blocks abort the load (see
+/// [`read_store`]).
+pub fn read_segment(r: &mut impl Read) -> Result<Segment, PersistError> {
+    let seq = read_segment_header(r)?;
+    let store = read_store(r)?;
+    Ok(Segment { seq, store })
+}
+
+/// Loads as much of a (possibly damaged) segment file as possible,
+/// reusing the `VTSTORE2` salvage reader: damaged blocks are skipped,
+/// framing is re-synchronized on the next marker, and the
+/// [`RecoveryReport`] says what was lost. Errors only when the segment
+/// header itself is unreadable.
+pub fn read_segment_salvage(r: &mut impl Read) -> Result<(Segment, RecoveryReport), PersistError> {
+    let seq = read_segment_header(r)?;
+    let (store, report) = read_store_salvage(r)?;
+    Ok((Segment { seq, store }, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Timestamp};
+    use vt_model::{FileType, ReportKind, SampleHash, VerdictVec};
+
+    fn sample_batch(sample: u64, reports: usize) -> Vec<ScanReport> {
+        (0..reports)
+            .map(|i| ScanReport {
+                sample: SampleHash::from_ordinal(sample),
+                file_type: FileType::Pdf,
+                analysis_date: Timestamp::from_date(Date::new(2021, 7, 1 + (i % 28) as u8)),
+                last_submission_date: Timestamp::from_date(Date::new(2021, 7, 1)),
+                times_submitted: 1,
+                kind: ReportKind::Upload,
+                verdicts: VerdictVec::new(70),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seals_on_sample_boundaries_with_ordered_seqs() {
+        let mut writer = SegmentWriter::new(10);
+        let mut sealed = Vec::new();
+        for sample in 0..20u64 {
+            // 3 reports per sample: seals land mid-threshold but never
+            // mid-sample.
+            if let Some(seg) = writer.push_sample(&sample_batch(sample, 3)) {
+                sealed.push(seg);
+            }
+        }
+        if let Some(tail) = writer.finish() {
+            sealed.push(tail);
+        }
+        assert!(sealed.len() > 1, "threshold must have cut the stream");
+        let total: u64 = sealed.iter().map(|s| s.store().report_count()).sum();
+        assert_eq!(total, 60);
+        for (i, seg) in sealed.iter().enumerate() {
+            assert_eq!(seg.seq(), i as u64);
+            // Whole samples only: every sample's 3 reports live in one
+            // segment.
+            for (_, reports) in seg.store().group_by_sample() {
+                assert_eq!(reports.len(), 3);
+            }
+            assert!(
+                seg.store().report_count() >= 10 || i == sealed.len() - 1,
+                "only the tail may be under threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_writer_finishes_to_nothing() {
+        assert!(SegmentWriter::new(5).finish().is_none());
+        let mut writer = SegmentWriter::new(5);
+        assert_eq!(writer.open_reports(), 0);
+        assert_eq!(writer.sealed_segments(), 0);
+        let seg = writer
+            .push_sample(&sample_batch(0, 7))
+            .expect("over threshold");
+        assert_eq!(seg.seq(), 0);
+        assert_eq!(writer.sealed_segments(), 1);
+        assert!(writer.finish().is_none(), "nothing left after the seal");
+    }
+
+    #[test]
+    fn segment_roundtrips_through_disk_format() {
+        let mut writer = SegmentWriter::new(50);
+        for sample in 0..30u64 {
+            let _ = writer.push_sample(&sample_batch(sample, 2));
+        }
+        let seg = writer.finish().expect("tail segment");
+        let mut buf = Vec::new();
+        write_segment(&seg, &mut buf).expect("write");
+        assert_eq!(&buf[..8], SEGMENT_MAGIC);
+
+        let loaded = read_segment(&mut buf.as_slice()).expect("read");
+        assert_eq!(loaded.seq(), seg.seq());
+        assert_eq!(loaded.store().report_count(), seg.store().report_count());
+        for sample in 0..30u64 {
+            let hash = SampleHash::from_ordinal(sample);
+            assert_eq!(
+                loaded.store().sample_reports(hash),
+                seg.store().sample_reports(hash)
+            );
+        }
+
+        let (salvaged, report) = read_segment_salvage(&mut buf.as_slice()).expect("salvage");
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(salvaged.seq(), seg.seq());
+        assert_eq!(salvaged.store().report_count(), seg.store().report_count());
+    }
+
+    #[test]
+    fn corrupt_segment_salvages_with_loss_reported() {
+        let mut writer = SegmentWriter::new(1_000_000);
+        for sample in 0..400u64 {
+            let _ = writer.push_sample(&sample_batch(sample, 6));
+        }
+        let seg = writer.finish().expect("tail segment");
+        let mut buf = Vec::new();
+        write_segment(&seg, &mut buf).expect("write");
+        // Flip a payload byte well past the headers.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        assert!(read_segment(&mut buf.as_slice()).is_err(), "strict rejects");
+        let (salvaged, report) = read_segment_salvage(&mut buf.as_slice()).expect("salvage");
+        assert_eq!(salvaged.seq(), seg.seq());
+        assert!(!report.is_clean());
+        assert!(salvaged.store().report_count() < seg.store().report_count());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_segment(&mut &b"VTSTORE2abcdefgh"[..]).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt(CorruptKind::BadMagic)),
+            "{err}"
+        );
+        let err = read_segment_salvage(&mut &b"NOTASEG!aaaaaaaa"[..]).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt(CorruptKind::BadMagic)),
+            "{err}"
+        );
+    }
+}

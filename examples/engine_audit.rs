@@ -11,9 +11,8 @@
 
 use vt_label_dynamics::dynamics::correlation::Correlation;
 use vt_label_dynamics::dynamics::flips::Flips;
-use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study, TrajectoryTable};
-use vt_label_dynamics::model::EngineId;
-use vt_label_dynamics::sim::SimConfig;
+use vt_label_dynamics::dynamics::freshdyn;
+use vt_label_dynamics::prelude::*;
 
 fn main() {
     let samples: u64 = std::env::args()

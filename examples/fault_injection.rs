@@ -16,10 +16,9 @@
 //!
 //! Run with: `cargo run --release --example fault_injection -- [samples]`
 
-use vt_label_dynamics::dynamics::{Collector, CollectorConfig, Study};
-use vt_label_dynamics::sim::{FaultPlan, FaultyFeed, SimConfig};
+use vt_label_dynamics::prelude::*;
 use vt_label_dynamics::store::crc32::crc32;
-use vt_label_dynamics::store::{read_store_salvage, write_store};
+use vt_label_dynamics::store::read_store_salvage;
 
 fn main() {
     let samples: u64 = std::env::args()

@@ -7,9 +7,8 @@
 //! Defaults to 1,000,000 samples (~30 s on a laptop). The output of this
 //! binary is what `EXPERIMENTS.md` archives.
 
-use vt_label_dynamics::dynamics::Study;
+use vt_label_dynamics::prelude::*;
 use vt_label_dynamics::report::experiments::render_full_report;
-use vt_label_dynamics::sim::SimConfig;
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -15,11 +15,8 @@
 //!
 //! Run with: `cargo run --release --example label_quality -- [samples]`
 
-use vt_label_dynamics::aggregate::{
-    Aggregator, Label, PercentageThreshold, ReliabilityModel, Threshold,
-};
-use vt_label_dynamics::dynamics::Study;
-use vt_label_dynamics::sim::SimConfig;
+use vt_label_dynamics::aggregate::{Label, PercentageThreshold, ReliabilityModel};
+use vt_label_dynamics::prelude::*;
 
 fn main() {
     let samples: u64 = std::env::args()

@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use vt_label_dynamics::aggregate::{Aggregator, Threshold};
-use vt_label_dynamics::dynamics::Study;
-use vt_label_dynamics::sim::SimConfig;
+use vt_label_dynamics::prelude::*;
 
 fn main() {
     // A seeded study: same seed → same dataset, bit for bit.

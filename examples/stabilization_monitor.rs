@@ -10,11 +10,10 @@
 //! Run with:
 //! `cargo run --release --example stabilization_monitor -- [samples] [threshold]`
 
-use vt_label_dynamics::aggregate::{stabilization_index, LabelSequence, Threshold};
+use vt_label_dynamics::aggregate::{stabilization_index, LabelSequence};
 use vt_label_dynamics::dynamics::stabilization::Stabilization;
-use vt_label_dynamics::dynamics::{freshdyn, Analysis, AnalysisCtx, Study, TrajectoryTable};
-use vt_label_dynamics::dynamics::{MonitorCriteria, MonitorEvent, SampleMonitor};
-use vt_label_dynamics::sim::SimConfig;
+use vt_label_dynamics::dynamics::{freshdyn, MonitorCriteria, MonitorEvent, SampleMonitor};
+use vt_label_dynamics::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -10,8 +10,9 @@
 //! Run with:
 //! `cargo run --release --example threshold_tuning -- [samples] [gray_budget_%]`
 
-use vt_label_dynamics::dynamics::{categorize, freshdyn, Study};
-use vt_label_dynamics::sim::SimConfig;
+use vt_label_dynamics::dynamics::categorize::Categorize;
+use vt_label_dynamics::dynamics::freshdyn;
+use vt_label_dynamics::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -21,6 +22,7 @@ fn main() {
     let study = Study::generate(SimConfig::new(0xD47A, samples));
     let records = study.records();
     let window_start = study.sim().config().window_start();
+    let table = TrajectoryTable::build(records, window_start);
     let s = freshdyn::build(records, window_start);
     println!(
         "dataset: {} samples, {} in the fresh-dynamic set S\n",
@@ -28,8 +30,12 @@ fn main() {
         s.len()
     );
 
-    for (name, pe_only) in [("all file types", false), ("PE files only", true)] {
-        let sweep = categorize::sweep(records, &s, pe_only);
+    let ctx = AnalysisCtx::new(records, &table, &s, study.sim().fleet(), window_start);
+    for (name, stage) in [
+        ("all file types", Categorize::ALL),
+        ("PE files only", Categorize::PE),
+    ] {
+        let sweep = stage.run(&ctx);
         println!("== {name} ({} samples) ==", sweep.samples);
         print!("gray share by threshold: ");
         for sh in sweep.shares.iter().step_by(7) {

@@ -17,12 +17,20 @@
 //! * [`obs`] — the zero-dependency observability layer threaded through
 //!   the pipeline (spans, counters, histograms, `metrics.json`).
 //!
+//! Two facade-level modules round it out: [`prelude`] re-exports the
+//! blessed types flat (one `use` for a whole study), and [`serve`] is
+//! the `vtld serve` daemon — segment-incremental ingestion behind a
+//! newline-delimited-JSON TCP endpoint.
+//!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`, or run the full paper reproduction with
 //! `cargo run --release --example full_study`.
 
 #![forbid(unsafe_code)]
+
+pub mod prelude;
+pub mod serve;
 
 pub use vt_aggregate as aggregate;
 pub use vt_dynamics as dynamics;

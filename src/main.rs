@@ -13,7 +13,19 @@
 //! vtld study [--samples N] [--seed S] [--csv-dir DIR]
 //!            [--workers W] [--metrics-out FILE] [--verbose]
 //!     Simulate and analyze in one step (no file involved).
+//!
+//! vtld serve [--samples N] [--seed S] [--segment-reports R]
+//!            [--workers W] [--addr HOST:PORT]
+//!     Run the long-lived daemon: ingest the chaos-injected feed
+//!     through the fault-tolerant collector, fold each sealed segment
+//!     incrementally, and answer JSON queries over TCP while ingestion
+//!     continues (see `vt_label_dynamics::serve`).
 //! ```
+//!
+//! Each subcommand parses into a typed argument struct
+//! ([`SimulateArgs`], [`AnalyzeArgs`], [`StudyArgs`], [`ServeArgs`])
+//! with its own `--help` text; flag names, defaults and error messages
+//! are stable.
 //!
 //! `--metrics-out FILE` writes the run's observability snapshot
 //! (per-stage spans, collector/store counters, per-worker busy-time
@@ -34,6 +46,7 @@ use vt_label_dynamics::dynamics::{analyze_records_obs, par, records_from_store, 
 use vt_label_dynamics::engines::{EngineFleet, FleetConfig, FleetConfigError};
 use vt_label_dynamics::obs::Obs;
 use vt_label_dynamics::report::experiments::render_full_report;
+use vt_label_dynamics::serve::{ServeConfig, Server};
 use vt_label_dynamics::sim::{SimConfig, SimConfigError};
 use vt_label_dynamics::store::{read_store, write_store, PersistError};
 
@@ -102,10 +115,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    let rest = &args[1..];
     let result = match command.as_str() {
-        "simulate" => cmd_simulate(&args[1..]),
-        "analyze" => cmd_analyze(&args[1..]),
-        "study" => cmd_study(&args[1..]),
+        "simulate" => with_args(rest, SimulateArgs::parse, SimulateArgs::HELP, cmd_simulate),
+        "analyze" => with_args(rest, AnalyzeArgs::parse, AnalyzeArgs::HELP, cmd_analyze),
+        "study" => with_args(rest, StudyArgs::parse, StudyArgs::HELP, cmd_study),
+        "serve" => with_args(rest, ServeArgs::parse, ServeArgs::HELP, cmd_serve),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -129,25 +144,28 @@ const USAGE: &str = "usage:
                 [--workers W] [--metrics-out FILE] [--verbose]
   vtld study    [--samples N] [--seed S] [--csv-dir DIR]
                 [--workers W] [--metrics-out FILE] [--verbose]
-  vtld help";
+  vtld serve    [--samples N] [--seed S] [--segment-reports R]
+                [--workers W] [--addr HOST:PORT]
+  vtld help
 
-/// Writes every figure's data series into `dir` as CSV files.
-fn write_csvs(
-    dir: &str,
-    results: &vt_label_dynamics::dynamics::StudyResults,
-    fleet: &EngineFleet,
+run any subcommand with --help for its flags and defaults";
+
+/// Runs one subcommand: `--help` prints the subcommand's help text,
+/// anything else parses into the typed argument struct and executes.
+fn with_args<A>(
+    args: &[String],
+    parse: impl FnOnce(&[String]) -> Result<A, VtldError>,
+    help: &str,
+    run: impl FnOnce(A) -> Result<(), VtldError>,
 ) -> Result<(), VtldError> {
-    std::fs::create_dir_all(dir).map_err(io_err(format!("cannot create {dir}")))?;
-    let files = vt_label_dynamics::report::export_csv(results, fleet);
-    let n = files.len();
-    for (name, contents) in files {
-        let path = std::path::Path::new(dir).join(name);
-        std::fs::write(&path, contents)
-            .map_err(io_err(format!("cannot write {}", path.display())))?;
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{help}");
+        return Ok(());
     }
-    eprintln!("wrote {n} CSV files to {dir}");
-    Ok(())
+    run(parse(args)?)
 }
+
+// ---- flag-level parsing helpers ----------------------------------------
 
 /// Parses `--key value` flags (and valueless `--switch` flags named in
 /// `switches`, recorded with an empty value); rejects unknown keys.
@@ -200,45 +218,229 @@ fn parse_u64(flags: &[(&str, &str)], key: &str, default: u64) -> Result<u64, Vtl
     }
 }
 
-/// The observability registry a command runs under: enabled only when
-/// `--metrics-out` or `--verbose` asked for it.
-fn obs_for(flags: &[(&str, &str)]) -> Obs {
-    if flag(flags, "metrics-out").is_some() || has_switch(flags, "verbose") {
-        Obs::new()
-    } else {
-        Obs::disabled()
+fn parse_workers(flags: &[(&str, &str)]) -> Result<usize, VtldError> {
+    Ok(parse_u64(flags, "workers", par::default_workers() as u64)?.max(1) as usize)
+}
+
+// ---- typed per-subcommand arguments ------------------------------------
+
+/// `vtld simulate`: generate a feed and persist it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SimulateArgs {
+    samples: u64,
+    seed: u64,
+    out: String,
+}
+
+impl SimulateArgs {
+    const HELP: &'static str = "vtld simulate — generate a seeded feed and persist it
+
+flags:
+  --samples N   samples to simulate           (default 100000)
+  --seed S      platform seed, decimal or 0x  (default 0x7e575eed)
+  --out PATH    output store file             (required)";
+
+    fn parse(args: &[String]) -> Result<Self, VtldError> {
+        let flags = parse_flags(args, &["samples", "seed", "out"], &[])?;
+        Ok(Self {
+            samples: parse_u64(&flags, "samples", 100_000)?,
+            seed: parse_u64(&flags, "seed", 0x7e57_5eed)?,
+            out: flag(&flags, "out")
+                .ok_or_else(|| VtldError::Usage("simulate requires --out PATH".into()))?
+                .to_string(),
+        })
     }
 }
 
-/// Emits the run's metrics as requested: JSON to `--metrics-out`,
-/// a human-readable table to stderr for `--verbose`.
-fn emit_metrics(obs: &Obs, flags: &[(&str, &str)]) -> Result<(), VtldError> {
-    if !obs.is_enabled() {
-        return Ok(());
+/// The shared observability flags (`--metrics-out`, `--verbose`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct ObsArgs {
+    metrics_out: Option<String>,
+    verbose: bool,
+}
+
+impl ObsArgs {
+    fn parse(flags: &[(&str, &str)]) -> Self {
+        Self {
+            metrics_out: flag(flags, "metrics-out").map(str::to_string),
+            verbose: has_switch(flags, "verbose"),
+        }
     }
-    let metrics = obs.snapshot();
-    if let Some(path) = flag(flags, "metrics-out") {
-        std::fs::write(path, metrics.to_json()).map_err(io_err(format!("cannot write {path}")))?;
-        eprintln!("wrote metrics to {path}");
+
+    /// The registry a command runs under: enabled only when
+    /// `--metrics-out` or `--verbose` asked for it.
+    fn obs(&self) -> Obs {
+        if self.metrics_out.is_some() || self.verbose {
+            Obs::new()
+        } else {
+            Obs::disabled()
+        }
     }
-    if has_switch(flags, "verbose") {
-        eprint!("{}", metrics.render_table());
+
+    /// Emits the run's metrics as requested: JSON to `--metrics-out`,
+    /// a human-readable table to stderr for `--verbose`.
+    fn emit(&self, obs: &Obs) -> Result<(), VtldError> {
+        if !obs.is_enabled() {
+            return Ok(());
+        }
+        let metrics = obs.snapshot();
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, metrics.to_json())
+                .map_err(io_err(format!("cannot write {path}")))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        if self.verbose {
+            eprint!("{}", metrics.render_table());
+        }
+        Ok(())
     }
+}
+
+/// `vtld analyze`: load a persisted feed and print the full report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AnalyzeArgs {
+    store: String,
+    fleet_seed: u64,
+    csv_dir: Option<String>,
+    workers: usize,
+    obs: ObsArgs,
+}
+
+impl AnalyzeArgs {
+    const HELP: &'static str = "vtld analyze — analyze a persisted feed
+
+flags:
+  --store PATH        store file to load                  (required)
+  --fleet-seed S      engine-fleet seed                   (default 0x7e575eed ^ 0xf1ee7000)
+  --csv-dir DIR       export figure data series as CSV
+  --workers W         analysis worker threads             (default: cores)
+  --metrics-out FILE  write observability snapshot JSON
+  --verbose           render the snapshot table on stderr";
+
+    fn parse(args: &[String]) -> Result<Self, VtldError> {
+        let flags = parse_flags(
+            args,
+            &["store", "fleet-seed", "csv-dir", "workers", "metrics-out"],
+            &["verbose"],
+        )?;
+        Ok(Self {
+            store: flag(&flags, "store")
+                .ok_or_else(|| VtldError::Usage("analyze requires --store PATH".into()))?
+                .to_string(),
+            fleet_seed: parse_u64(&flags, "fleet-seed", 0x7e57_5eed ^ 0xF1EE_7000)?,
+            csv_dir: flag(&flags, "csv-dir").map(str::to_string),
+            workers: parse_workers(&flags)?,
+            obs: ObsArgs::parse(&flags),
+        })
+    }
+}
+
+/// `vtld study`: simulate and analyze in one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StudyArgs {
+    samples: u64,
+    seed: u64,
+    csv_dir: Option<String>,
+    workers: usize,
+    obs: ObsArgs,
+}
+
+impl StudyArgs {
+    const HELP: &'static str = "vtld study — simulate and analyze in one step
+
+flags:
+  --samples N         samples to simulate                 (default 100000)
+  --seed S            platform seed, decimal or 0x        (default 0x7e575eed)
+  --csv-dir DIR       export figure data series as CSV
+  --workers W         generation/analysis worker threads  (default: cores)
+  --metrics-out FILE  write observability snapshot JSON
+  --verbose           render the snapshot table on stderr";
+
+    fn parse(args: &[String]) -> Result<Self, VtldError> {
+        let flags = parse_flags(
+            args,
+            &["samples", "seed", "csv-dir", "workers", "metrics-out"],
+            &["verbose"],
+        )?;
+        Ok(Self {
+            samples: parse_u64(&flags, "samples", 100_000)?,
+            seed: parse_u64(&flags, "seed", 0x7e57_5eed)?,
+            csv_dir: flag(&flags, "csv-dir").map(str::to_string),
+            workers: parse_workers(&flags)?,
+            obs: ObsArgs::parse(&flags),
+        })
+    }
+}
+
+/// `vtld serve`: the long-running incremental daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ServeArgs {
+    samples: u64,
+    seed: u64,
+    segment_reports: u64,
+    workers: usize,
+    addr: String,
+}
+
+impl ServeArgs {
+    const HELP: &'static str = "vtld serve — incremental ingestion daemon with a TCP query endpoint
+
+flags:
+  --samples N           samples the simulated feed delivers  (default 100000)
+  --seed S              platform seed, decimal or 0x         (default 0x7e575eed)
+  --segment-reports R   reports per sealed segment           (default 20000)
+  --workers W           per-segment fold worker threads      (default: cores)
+  --addr HOST:PORT      bind address (port 0 = ephemeral)    (default 127.0.0.1:7311)
+
+protocol: one JSON object per line over TCP; commands are
+{\"cmd\":\"status\"}, {\"cmd\":\"results\"}, {\"cmd\":\"engines\"},
+{\"cmd\":\"metrics\"}, {\"cmd\":\"shutdown\"}. Every response carries the
+snapshot epoch.";
+
+    fn parse(args: &[String]) -> Result<Self, VtldError> {
+        let flags = parse_flags(
+            args,
+            &["samples", "seed", "segment-reports", "workers", "addr"],
+            &[],
+        )?;
+        Ok(Self {
+            samples: parse_u64(&flags, "samples", 100_000)?,
+            seed: parse_u64(&flags, "seed", 0x7e57_5eed)?,
+            segment_reports: parse_u64(&flags, "segment-reports", 20_000)?.max(1),
+            workers: parse_workers(&flags)?,
+            addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7311").to_string(),
+        })
+    }
+}
+
+// ---- subcommand bodies -------------------------------------------------
+
+/// Writes every figure's data series into `dir` as CSV files.
+fn write_csvs(
+    dir: &str,
+    results: &vt_label_dynamics::dynamics::StudyResults,
+    fleet: &EngineFleet,
+) -> Result<(), VtldError> {
+    std::fs::create_dir_all(dir).map_err(io_err(format!("cannot create {dir}")))?;
+    let files = vt_label_dynamics::report::export_csv(results, fleet);
+    let n = files.len();
+    for (name, contents) in files {
+        let path = std::path::Path::new(dir).join(name);
+        std::fs::write(&path, contents)
+            .map_err(io_err(format!("cannot write {}", path.display())))?;
+    }
+    eprintln!("wrote {n} CSV files to {dir}");
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), VtldError> {
-    let flags = parse_flags(args, &["samples", "seed", "out"], &[])?;
-    let samples = parse_u64(&flags, "samples", 100_000)?;
-    let seed = parse_u64(&flags, "seed", 0x7e57_5eed)?;
-    let out = flag(&flags, "out")
-        .ok_or_else(|| VtldError::Usage("simulate requires --out PATH".into()))?;
+fn cmd_simulate(args: SimulateArgs) -> Result<(), VtldError> {
+    let SimulateArgs { samples, seed, out } = args;
     let config = SimConfig::builder().seed(seed).samples(samples).build()?;
 
     eprintln!("simulating {samples} samples (seed {seed:#x})...");
     let study = Study::generate(config);
     let store = study.build_store();
-    let mut file = std::fs::File::create(out).map_err(io_err(format!("cannot create {out}")))?;
+    let mut file = std::fs::File::create(&out).map_err(io_err(format!("cannot create {out}")))?;
     write_store(&store, &mut file).map_err(io_err("write failed"))?;
     let stats = store.partition_stats();
     let bytes: u64 = stats.iter().map(|p| p.stored_bytes).sum();
@@ -255,18 +457,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), VtldError> {
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), VtldError> {
-    let flags = parse_flags(
-        args,
-        &["store", "fleet-seed", "csv-dir", "workers", "metrics-out"],
-        &["verbose"],
-    )?;
-    let path = flag(&flags, "store")
-        .ok_or_else(|| VtldError::Usage("analyze requires --store PATH".into()))?;
-    let fleet_seed = parse_u64(&flags, "fleet-seed", 0x7e57_5eed ^ 0xF1EE_7000)?;
-    let workers = parse_u64(&flags, "workers", par::default_workers() as u64)?.max(1) as usize;
-    let obs = obs_for(&flags);
-
+fn cmd_analyze(args: AnalyzeArgs) -> Result<(), VtldError> {
+    let obs = args.obs.obs();
+    let path = &args.store;
     let mut file = std::fs::File::open(path).map_err(io_err(format!("cannot open {path}")))?;
     let mut store = read_store(&mut file)?;
     store.set_obs(&obs);
@@ -276,42 +469,40 @@ fn cmd_analyze(args: &[String]) -> Result<(), VtldError> {
         store.sample_count()
     );
     let records = records_from_store(&store);
-    let fleet = EngineFleet::new(FleetConfig::builder().seed(fleet_seed).build()?);
+    let fleet = EngineFleet::new(FleetConfig::builder().seed(args.fleet_seed).build()?);
     let window_start = vt_label_dynamics::model::time::Month::COLLECTION_START.start();
     let results = analyze_records_obs(
         &records,
         store.partition_stats(),
         &fleet,
         window_start,
-        workers,
+        args.workers,
         &obs,
     );
     println!("{}", render_full_report(&results, &fleet));
-    if let Some(dir) = flag(&flags, "csv-dir") {
+    if let Some(dir) = &args.csv_dir {
         write_csvs(dir, &results, &fleet)?;
     }
-    emit_metrics(&obs, &flags)
+    args.obs.emit(&obs)
 }
 
-fn cmd_study(args: &[String]) -> Result<(), VtldError> {
-    let flags = parse_flags(
-        args,
-        &["samples", "seed", "csv-dir", "workers", "metrics-out"],
-        &["verbose"],
-    )?;
-    let samples = parse_u64(&flags, "samples", 100_000)?;
-    let seed = parse_u64(&flags, "seed", 0x7e57_5eed)?;
-    let workers = parse_u64(&flags, "workers", par::default_workers() as u64)?.max(1) as usize;
-    let config = SimConfig::builder().seed(seed).samples(samples).build()?;
-    let obs = obs_for(&flags);
+fn cmd_study(args: StudyArgs) -> Result<(), VtldError> {
+    let config = SimConfig::builder()
+        .seed(args.seed)
+        .samples(args.samples)
+        .build()?;
+    let obs = args.obs.obs();
 
-    eprintln!("simulating {samples} samples (seed {seed:#x})...");
-    let study = Study::generate_with_workers_obs(config, workers, &obs);
+    eprintln!(
+        "simulating {} samples (seed {:#x})...",
+        args.samples, args.seed
+    );
+    let study = Study::generate_with_workers_obs(config, args.workers, &obs);
     let results = if obs.is_enabled() {
         // Instrumented path: ingest through the fault-tolerant
         // collector (clean feed) so collector/store metrics cover the
         // paper's collection pipeline, then the registry-driven stages.
-        study.run_with_obs(workers, &obs)
+        study.run_with_obs(args.workers, &obs)
     } else {
         let store = study.build_store();
         analyze_records_obs(
@@ -319,13 +510,112 @@ fn cmd_study(args: &[String]) -> Result<(), VtldError> {
             store.partition_stats(),
             study.sim().fleet(),
             config.window_start(),
-            workers,
+            args.workers,
             Obs::noop(),
         )
     };
     println!("{}", render_full_report(&results, study.sim().fleet()));
-    if let Some(dir) = flag(&flags, "csv-dir") {
+    if let Some(dir) = &args.csv_dir {
         write_csvs(dir, &results, study.sim().fleet())?;
     }
-    emit_metrics(&obs, &flags)
+    args.obs.emit(&obs)
+}
+
+fn cmd_serve(args: ServeArgs) -> Result<(), VtldError> {
+    let mut config = ServeConfig::new(args.samples, args.seed);
+    config.segment_reports = args.segment_reports;
+    config.workers = args.workers;
+    config.addr = args.addr;
+    let addr_for_err = config.addr.clone();
+    let server = Server::start(config).map_err(io_err(format!("cannot bind {addr_for_err}")))?;
+    eprintln!(
+        "vtld serve listening on {} (newline-delimited JSON; try {{\"cmd\":\"status\"}})",
+        server.addr()
+    );
+    server.wait();
+    eprintln!("vtld serve: shut down");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simulate_args_parse_and_validate() {
+        let ok = SimulateArgs::parse(&strings(&[
+            "--samples",
+            "500",
+            "--seed",
+            "0x2A",
+            "--out",
+            "f.vtstore",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            ok,
+            SimulateArgs {
+                samples: 500,
+                seed: 42,
+                out: "f.vtstore".into()
+            }
+        );
+        let err = SimulateArgs::parse(&strings(&["--samples", "500"])).unwrap_err();
+        assert_eq!(err.to_string(), "simulate requires --out PATH");
+        let err = SimulateArgs::parse(&strings(&["--bogus", "1"])).unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --bogus");
+        let err = SimulateArgs::parse(&strings(&["samples"])).unwrap_err();
+        assert_eq!(err.to_string(), "expected a --flag, got 'samples'");
+        let err = SimulateArgs::parse(&strings(&["--seed"])).unwrap_err();
+        assert_eq!(err.to_string(), "--seed requires a value");
+        let err = SimulateArgs::parse(&strings(&["--samples", "many"])).unwrap_err();
+        assert_eq!(err.to_string(), "--samples expects an integer, got 'many'");
+    }
+
+    #[test]
+    fn analyze_and_study_args_defaults() {
+        let a = AnalyzeArgs::parse(&strings(&["--store", "f.vtstore", "--verbose"])).expect("ok");
+        assert_eq!(a.store, "f.vtstore");
+        assert_eq!(a.fleet_seed, 0x7e57_5eed ^ 0xF1EE_7000);
+        assert!(a.obs.verbose);
+        assert!(a.obs.metrics_out.is_none());
+        assert!(a.csv_dir.is_none());
+        let err = AnalyzeArgs::parse(&[]).unwrap_err();
+        assert_eq!(err.to_string(), "analyze requires --store PATH");
+
+        let s =
+            StudyArgs::parse(&strings(&["--workers", "3", "--metrics-out", "m.json"])).expect("ok");
+        assert_eq!(s.samples, 100_000);
+        assert_eq!(s.seed, 0x7e57_5eed);
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.obs.metrics_out.as_deref(), Some("m.json"));
+        assert!(s.obs.obs().is_enabled());
+        assert!(!StudyArgs::parse(&[]).expect("ok").obs.obs().is_enabled());
+    }
+
+    #[test]
+    fn serve_args_defaults_and_overrides() {
+        let d = ServeArgs::parse(&[]).expect("ok");
+        assert_eq!(d.samples, 100_000);
+        assert_eq!(d.segment_reports, 20_000);
+        assert_eq!(d.addr, "127.0.0.1:7311");
+        let s = ServeArgs::parse(&strings(&[
+            "--samples",
+            "2000",
+            "--segment-reports",
+            "0",
+            "--addr",
+            "127.0.0.1:0",
+        ]))
+        .expect("ok");
+        assert_eq!(s.samples, 2_000);
+        assert_eq!(s.segment_reports, 1, "zero clamps to one");
+        assert_eq!(s.addr, "127.0.0.1:0");
+        let err = ServeArgs::parse(&strings(&["--csv-dir", "x"])).unwrap_err();
+        assert_eq!(err.to_string(), "unknown flag --csv-dir");
+    }
 }

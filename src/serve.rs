@@ -1,0 +1,570 @@
+//! `vtld serve` — the long-running label-dynamics daemon.
+//!
+//! The batch CLI answers one question and exits; `serve` keeps the
+//! whole measurement *live*. One ingest thread pulls the chaos-injected
+//! feed through the fault-tolerant collector, cuts the accepted stream
+//! into sealed [`vt_store::Segment`]s, folds each one into the cached
+//! [`IncrementalStudy`] partials (O(segment) per seal, under
+//! `pipeline/segment` obs spans), and publishes a fresh immutable
+//! snapshot after every fold. Concurrent clients query over plain
+//! TCP with newline-delimited JSON and always see one epoch-consistent
+//! snapshot — never a half-updated study.
+//!
+//! ## Snapshot semantics
+//!
+//! Published state lives behind `RwLock<Arc<Snapshot>>`. The ingest
+//! thread builds the next snapshot off to the side and swaps the `Arc`
+//! in one write; request handlers clone the `Arc` (one read-lock hit)
+//! and answer every question from that pinned snapshot. Epochs start at
+//! 0 (the empty study), increase by exactly 1 per folded segment, and
+//! take one final step when ingestion completes, so any client's
+//! observed epoch sequence is monotone.
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per line, both directions. Requests:
+//! `{"cmd":"status"}`, `{"cmd":"results"}`, `{"cmd":"engines"}`,
+//! `{"cmd":"metrics"}`, `{"cmd":"shutdown"}`. Every response carries
+//! the snapshot's `"epoch"`; malformed input gets an `"error"` member
+//! instead of a dropped connection. See `DESIGN.md` §10 for the full
+//! schema.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use crate::dynamics::{par, records_from_store, Collector, IncrementalStudy};
+use crate::engines::EngineFleet;
+use crate::model::EngineId;
+use crate::obs::Obs;
+use crate::sim::fault::{FaultPlan, FaultyFeed};
+use crate::sim::{SimConfig, VirusTotalSim};
+use crate::store::{read_segment, write_segment, PartitionStats, SegmentWriter};
+
+/// Sample ordinals ingested per collector run (one `FaultyFeed` each);
+/// several collector runs typically contribute to one sealed segment.
+const INGEST_CHUNK_SAMPLES: u64 = 1_024;
+
+/// Everything `vtld serve` needs to run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Samples the simulated feed delivers before ingestion completes.
+    pub samples: u64,
+    /// Platform seed (fleet seed derived as in [`SimConfig::new`]).
+    pub seed: u64,
+    /// Reports per sealed segment (the incremental fold granularity).
+    pub segment_reports: u64,
+    /// Worker threads for per-segment folds.
+    pub workers: usize,
+    /// Bind address, e.g. `127.0.0.1:7311` (port 0 picks one).
+    pub addr: String,
+    /// Fault injection applied to the feed (the daemon ingests through
+    /// the same collector the chaos tests exercise).
+    pub plan: FaultPlan,
+}
+
+impl ServeConfig {
+    /// A config with the daemon defaults: ephemeral localhost port,
+    /// 20k-report segments, default worker count, and a lightly chaotic
+    /// feed (1% duplicates, 5% reordering within the collector's
+    /// horizon).
+    pub fn new(samples: u64, seed: u64) -> Self {
+        Self {
+            samples,
+            seed,
+            segment_reports: 20_000,
+            workers: par::default_workers(),
+            addr: "127.0.0.1:0".to_string(),
+            plan: FaultPlan::clean(seed)
+                .with_duplicates(0.01)
+                .with_reordering(0.05, 30),
+        }
+    }
+}
+
+/// One epoch-consistent view of the study, with every response
+/// pre-rendered at publish time so request handling is allocation-only.
+#[derive(Debug)]
+struct Snapshot {
+    epoch: u64,
+    status: String,
+    results: String,
+    engines: String,
+    metrics: String,
+}
+
+/// State shared between the ingest thread, the accept loop and every
+/// connection handler.
+struct Shared {
+    snapshot: RwLock<Arc<Snapshot>>,
+    shutdown: AtomicBool,
+    obs: Obs,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    fn publish(&self, snapshot: Snapshot) {
+        *self.snapshot.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+    }
+}
+
+/// A running `vtld serve` daemon: ingest + accept threads, plus the
+/// published snapshot they share.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    ingest: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("epoch", &self.shared.current().epoch)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener, publishes the epoch-0 (empty study)
+    /// snapshot, and starts the ingest and accept threads.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            snapshot: RwLock::new(Arc::new(empty_snapshot(&config))),
+            shutdown: AtomicBool::new(false),
+            obs: Obs::new(),
+        });
+
+        let ingest = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::spawn(move || ingest_loop(&config, &shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            ingest: Some(ingest),
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the picked port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current().epoch
+    }
+
+    /// Signals shutdown: ingestion stops at the next chunk boundary and
+    /// the accept loop exits. Idempotent; does not wait (see
+    /// [`wait`](Self::wait)).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop may be parked in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until both daemon threads exit (after
+    /// [`shutdown`](Self::shutdown), or a client's `shutdown` command).
+    pub fn wait(mut self) {
+        if let Some(h) = self.ingest.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.ingest.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The epoch-0 snapshot: the finished empty study, so every query has a
+/// well-formed answer before the first segment seals.
+fn empty_snapshot(config: &ServeConfig) -> Snapshot {
+    let fleet = EngineFleet::with_seed(config.seed ^ 0xF1EE_7000);
+    let window_start = SimConfig::new(config.seed, config.samples).window_start();
+    let study = IncrementalStudy::new(&fleet, window_start);
+    let results = study.results(Vec::new(), Obs::noop());
+    render_snapshot(
+        0,
+        &results,
+        &fleet,
+        &IngestProgress::default(),
+        &Obs::noop().snapshot(),
+    )
+}
+
+/// Running totals the `status` response reports alongside the study.
+#[derive(Debug, Default, Clone)]
+struct IngestProgress {
+    segments: u64,
+    samples: u64,
+    reports: u64,
+    accepted: u64,
+    quarantined: u64,
+    done: bool,
+}
+
+/// The ingest thread: simulate → chaos feed → collector → segment
+/// writer → incremental fold → snapshot swap, until the feed is
+/// exhausted or shutdown is requested.
+fn ingest_loop(config: &ServeConfig, shared: &Shared) {
+    let sim = VirusTotalSim::new(SimConfig::new(config.seed, config.samples));
+    let window_start = sim.config().window_start();
+    let mut study = IncrementalStudy::new(sim.fleet(), window_start).with_workers(config.workers);
+    let mut writer = SegmentWriter::new(config.segment_reports.max(1));
+    let mut partitions: Vec<PartitionStats> = Vec::new();
+    let mut progress = IngestProgress::default();
+    let mut epoch = 0u64;
+
+    let mut fold = |segment: crate::store::Segment,
+                    study: &mut IncrementalStudy,
+                    partitions: &mut Vec<PartitionStats>,
+                    progress: &mut IngestProgress| {
+        // Round-trip the sealed segment through its checksummed on-disk
+        // container: what the daemon folds is exactly what a restart
+        // would recover from disk.
+        let mut buf = Vec::new();
+        write_segment(&segment, &mut buf).expect("in-memory segment write");
+        let segment = read_segment(&mut buf.as_slice()).expect("own segment re-reads");
+        merge_partitions(partitions, &segment.store().partition_stats());
+        let records = records_from_store(segment.store());
+        progress.segments += 1;
+        progress.samples += records.len() as u64;
+        progress.reports += segment.store().report_count();
+        study.fold_segment(&records, &shared.obs);
+        epoch += 1;
+        let results = study.results(partitions.clone(), &shared.obs);
+        shared.publish(render_snapshot(
+            epoch,
+            &results,
+            sim.fleet(),
+            progress,
+            &shared.obs.snapshot(),
+        ));
+    };
+
+    let mut start = 0u64;
+    while start < config.samples && !shared.shutdown.load(Ordering::SeqCst) {
+        let end = (start + INGEST_CHUNK_SAMPLES).min(config.samples);
+        let feed = FaultyFeed::from_sim(&sim, start..end, config.plan);
+        let outcome = Collector::default().run_with_obs(feed, &shared.obs);
+        progress.accepted += outcome.stats.accepted;
+        progress.quarantined += outcome.stats.quarantined;
+        for (_, reports) in outcome.store.group_by_sample() {
+            if let Some(segment) = writer.push_sample(&reports) {
+                fold(segment, &mut study, &mut partitions, &mut progress);
+            }
+        }
+        start = end;
+    }
+    if let Some(tail) = writer.finish() {
+        fold(tail, &mut study, &mut partitions, &mut progress);
+    }
+
+    // Final swap marks ingestion complete in the status response.
+    progress.done = true;
+    epoch += 1;
+    let results = study.results(partitions.clone(), &shared.obs);
+    shared.publish(render_snapshot(
+        epoch,
+        &results,
+        sim.fleet(),
+        &progress,
+        &shared.obs.snapshot(),
+    ));
+}
+
+/// Month-wise accumulation of per-segment Table 2 accounting.
+fn merge_partitions(acc: &mut Vec<PartitionStats>, seg: &[PartitionStats]) {
+    for stat in seg {
+        match acc.iter_mut().find(|a| a.month == stat.month) {
+            Some(a) => {
+                a.reports += stat.reports;
+                a.raw_bytes += stat.raw_bytes;
+                a.stored_bytes += stat.stored_bytes;
+            }
+            None => acc.push(*stat),
+        }
+    }
+}
+
+/// The accept loop: one handler thread per connection, until shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+/// One client connection: newline-delimited JSON requests, each
+/// answered from the snapshot current at that moment.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = respond(&line, shared);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            if let Ok(addr) = writer.local_addr() {
+                let _ = TcpStream::connect(SocketAddr::new(addr.ip(), addr.port()));
+            }
+            break;
+        }
+    }
+}
+
+/// Routes one request line to its pre-rendered response. Returns the
+/// response and whether the request asked the daemon to shut down.
+fn respond(line: &str, shared: &Shared) -> (String, bool) {
+    let snap = shared.current();
+    let parsed = match crate::obs::json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                format!(
+                    "{{\"epoch\":{},\"error\":{}}}",
+                    snap.epoch,
+                    json_string(&format!("bad request: {e}"))
+                ),
+                false,
+            )
+        }
+    };
+    match parsed.get("cmd").and_then(|c| c.as_str()) {
+        Some("status") => (snap.status.clone(), false),
+        Some("results") => (snap.results.clone(), false),
+        Some("engines") => (snap.engines.clone(), false),
+        Some("metrics") => (snap.metrics.clone(), false),
+        Some("shutdown") => (
+            format!("{{\"epoch\":{},\"shutting_down\":true}}", snap.epoch),
+            true,
+        ),
+        Some(other) => (
+            format!(
+                "{{\"epoch\":{},\"error\":{}}}",
+                snap.epoch,
+                json_string(&format!("unknown command '{other}'"))
+            ),
+            false,
+        ),
+        None => (
+            format!(
+                "{{\"epoch\":{},\"error\":\"missing string member 'cmd'\"}}",
+                snap.epoch
+            ),
+            false,
+        ),
+    }
+}
+
+// ---- response rendering ------------------------------------------------
+
+/// JSON number for an `f64`: non-finite values have no JSON spelling
+/// and render as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders every response for one epoch in one place, so a snapshot can
+/// never mix stages of the study.
+fn render_snapshot(
+    epoch: u64,
+    results: &crate::dynamics::StudyResults,
+    fleet: &EngineFleet,
+    progress: &IngestProgress,
+    metrics: &crate::obs::RunMetrics,
+) -> Snapshot {
+    let status = format!(
+        "{{\"epoch\":{epoch},\"segments\":{},\"samples\":{},\"reports\":{},\
+         \"accepted\":{},\"quarantined\":{},\"s_samples\":{},\"ingest_done\":{}}}",
+        progress.segments,
+        progress.samples,
+        progress.reports,
+        progress.accepted,
+        progress.quarantined,
+        results.s_samples,
+        progress.done,
+    );
+
+    let c = &results.correlation_global;
+    let ranks: Vec<String> = results
+        .rank_stabilization
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"r\":{},\"samples\":{},\"stabilized\":{}}}",
+                r.r, r.samples, r.stabilized
+            )
+        })
+        .collect();
+    let results_json = format!(
+        "{{\"epoch\":{epoch},\"dataset\":{{\"samples\":{},\"reports\":{}}},\
+         \"s_samples\":{},\"s_reports\":{},\
+         \"stability\":{{\"stable\":{},\"dynamic\":{}}},\
+         \"window_growth\":{},\
+         \"flips\":{{\"total\":{},\"up\":{},\"down\":{},\"hazard\":{}}},\
+         \"correlation\":{{\"engine_count\":{},\"rows\":{},\"strong_pairs\":{},\"groups\":{}}},\
+         \"rank_stabilization\":[{}]}}",
+        results.dataset.total_samples(),
+        results.dataset.total_reports(),
+        results.s_samples,
+        results.s_reports,
+        results.stability.stable,
+        results.stability.dynamic,
+        json_f64(results.window_growth),
+        results.flips.flips,
+        results.flips.flips_up,
+        results.flips.flips_down,
+        results.flips.hazard_flips,
+        c.engine_count,
+        c.rows,
+        c.strong_pairs.len(),
+        c.groups.len(),
+        ranks.join(","),
+    );
+
+    let engines: Vec<String> = (0..results.flips.engine_count)
+        .map(|i| {
+            let id = EngineId::new(i);
+            let row = &results.flips.matrix[i];
+            let flips: u64 = row.iter().map(|cell| cell.flips).sum();
+            let opportunities: u64 = row.iter().map(|cell| cell.opportunities).sum();
+            let ratio = if opportunities == 0 {
+                0.0
+            } else {
+                flips as f64 / opportunities as f64
+            };
+            format!(
+                "{{\"name\":{},\"flips\":{flips},\"opportunities\":{opportunities},\
+                 \"flip_ratio\":{}}}",
+                json_string(fleet.profile(id).name),
+                json_f64(ratio)
+            )
+        })
+        .collect();
+    let engines_json = format!("{{\"epoch\":{epoch},\"engines\":[{}]}}", engines.join(","));
+
+    // `RunMetrics::to_json` pretty-prints; the wire format is one line
+    // per response. String values escape control characters, so every
+    // literal newline in the rendering is structural whitespace.
+    let metrics_json = format!(
+        "{{\"epoch\":{epoch},\"metrics\":{}}}",
+        metrics.to_json().replace('\n', " ")
+    );
+
+    Snapshot {
+        epoch,
+        status,
+        results: results_json,
+        engines: engines_json,
+        metrics: metrics_json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_helpers_guard_edge_cases() {
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_parseable_responses() {
+        let config = ServeConfig::new(100, 7);
+        let snap = empty_snapshot(&config);
+        assert_eq!(snap.epoch, 0);
+        for doc in [&snap.status, &snap.results, &snap.engines, &snap.metrics] {
+            let v = crate::obs::json::parse(doc).expect("valid JSON");
+            assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(0));
+        }
+    }
+
+    #[test]
+    fn merge_partitions_accumulates_by_month() {
+        let a = PartitionStats {
+            month: None,
+            reports: 3,
+            raw_bytes: 30,
+            stored_bytes: 10,
+        };
+        let mut acc = vec![a];
+        merge_partitions(&mut acc.clone(), &[]);
+        merge_partitions(&mut acc, &[a, a]);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].reports, 9);
+        assert_eq!(acc[0].stored_bytes, 30);
+    }
+}

@@ -1,7 +1,8 @@
 //! End-to-end integration: simulate → store → analyze, checking
 //! cross-crate consistency and determinism.
 
-use vt_label_dynamics::dynamics::{Analysis, Study};
+use vt_label_dynamics::dynamics::{analyze_records_obs, Analysis, IncrementalStudy, Study};
+use vt_label_dynamics::obs::Obs;
 use vt_label_dynamics::sim::SimConfig;
 
 fn study(seed: u64, samples: u64) -> Study {
@@ -156,12 +157,71 @@ fn store_only_records_analyze_identically() {
     let m = vt_label_dynamics::dynamics::metrics::Metrics.run(&ctx);
     assert_eq!(m.delta_zero_fraction, direct.metrics.delta_zero_fraction);
 
-    let sweep = vt_label_dynamics::dynamics::categorize::sweep(&from_store, &s, true);
+    let sweep = vt_label_dynamics::dynamics::categorize::Categorize::PE.run(&ctx);
     assert_eq!(sweep.samples, direct.categories_pe.samples);
 
     let fl = vt_label_dynamics::dynamics::flips::Flips.run(&ctx);
     assert_eq!(fl.flips, direct.flips.flips);
     assert_eq!(fl.hazard_flips, direct.flips.hazard_flips);
+}
+
+#[test]
+fn incremental_folds_are_bit_identical_to_batch() {
+    // The tentpole contract: folding the stream segment by segment and
+    // merging partials must reproduce the one-shot batch run *bit for
+    // bit* — for any segmentation, at any worker count. Debug output
+    // fingerprints every integer field; the Spearman planes are compared
+    // through `to_bits` so NaNs and signed zeros count too.
+    let study = study(0x1DE17, 6_000);
+    let records = study.records();
+    let partitions = study.build_store().partition_stats();
+    let window_start = study.sim().config().window_start();
+    let fleet = study.sim().fleet();
+
+    let batch = analyze_records_obs(
+        records,
+        partitions.clone(),
+        fleet,
+        window_start,
+        1,
+        Obs::noop(),
+    );
+    let batch_fp = format!("{batch:?}");
+
+    for splits in [1usize, 3, 17] {
+        for workers in [1usize, 2, 8] {
+            let mut inc = IncrementalStudy::new(fleet, window_start).with_workers(workers);
+            let chunk = records.len().div_ceil(splits);
+            for segment in records.chunks(chunk) {
+                inc.fold_segment(segment, Obs::noop());
+            }
+            assert_eq!(inc.segments(), splits as u64);
+            let merged = inc.results(partitions.clone(), Obs::noop());
+            assert_eq!(
+                format!("{merged:?}"),
+                batch_fp,
+                "splits={splits} workers={workers}: Debug fingerprint diverged"
+            );
+            let pairs = std::iter::once((&merged.correlation_global, &batch.correlation_global))
+                .chain(
+                    merged
+                        .correlation_per_type
+                        .iter()
+                        .zip(&batch.correlation_per_type),
+                );
+            for (m, b) in pairs {
+                assert_eq!(m.rho.len(), b.rho.len());
+                for (x, y) in m.rho.iter().zip(&b.rho) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "splits={splits} workers={workers}: rho diverged in {:?}",
+                        m.scope
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,111 @@
+//! Smoke test for the `vtld serve` daemon: concurrent clients query a
+//! live server *while* it ingests the chaos-injected feed, and every
+//! answer must be a parseable, epoch-consistent snapshot.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use vt_label_dynamics::obs::json;
+use vt_label_dynamics::prelude::*;
+
+/// One request/response round-trip over an existing connection.
+fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, cmd: &str) -> json::Value {
+    stream
+        .write_all(format!("{{\"cmd\":\"{cmd}\"}}\n").as_bytes())
+        .expect("write request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(line.ends_with('\n'), "response must be newline-terminated");
+    json::parse(line.trim_end()).unwrap_or_else(|e| panic!("unparseable {cmd} response: {e}"))
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+#[test]
+fn serve_answers_concurrent_clients_during_ingestion() {
+    let mut config = ServeConfig::new(4_000, 0x5E12E);
+    config.segment_reports = 1_000; // several seals → several epoch swaps
+    config.workers = 2;
+    let server = Server::start(config).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // 8 concurrent clients hammer the four query commands while the
+    // ingest thread folds segments and swaps snapshots underneath them.
+    let clients: Vec<_> = (0..8)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let (mut stream, mut reader) = connect(addr);
+                let mut last_epoch = 0u64;
+                for round in 0..40 {
+                    let cmd = ["status", "results", "engines", "metrics"][round % 4];
+                    let v = ask(&mut stream, &mut reader, cmd);
+                    let epoch = v
+                        .get("epoch")
+                        .and_then(|e| e.as_u64())
+                        .unwrap_or_else(|| panic!("client {client}: {cmd} lacks epoch"));
+                    assert!(
+                        epoch >= last_epoch,
+                        "client {client}: epoch went backwards ({epoch} < {last_epoch})"
+                    );
+                    last_epoch = epoch;
+                    match cmd {
+                        "status" => assert!(v.get("samples").is_some()),
+                        "results" => assert!(v.get("dataset").is_some()),
+                        "engines" => assert!(v.get("engines").is_some()),
+                        _ => assert!(v.get("metrics").is_some()),
+                    }
+                }
+                last_epoch
+            })
+        })
+        .collect();
+
+    // A ninth connection watches for ingestion to finish.
+    let (mut stream, mut reader) = connect(addr);
+    let final_status = loop {
+        let v = ask(&mut stream, &mut reader, "status");
+        if v.get("ingest_done").and_then(|d| d.as_bool()) == Some(true) {
+            break v;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert!(
+        final_status.get("epoch").and_then(|e| e.as_u64()).unwrap() >= 2,
+        "expected at least one segment swap plus the final swap"
+    );
+    assert_eq!(
+        final_status.get("samples").and_then(|s| s.as_u64()),
+        Some(4_000)
+    );
+
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Unknown commands get a typed error, not a dropped connection.
+    let err = ask(&mut stream, &mut reader, "bogus");
+    assert!(err.get("error").is_some());
+    assert!(err.get("epoch").is_some());
+
+    // A fresh client still sees the final snapshot after ingestion.
+    let (mut s2, mut r2) = connect(addr);
+    let results = ask(&mut s2, &mut r2, "results");
+    assert_eq!(
+        results
+            .get("dataset")
+            .and_then(|d| d.get("samples"))
+            .and_then(|s| s.as_u64()),
+        Some(4_000)
+    );
+
+    // Shutdown over the wire; wait() must return.
+    let bye = ask(&mut stream, &mut reader, "shutdown");
+    assert_eq!(
+        bye.get("shutting_down").and_then(|b| b.as_bool()),
+        Some(true)
+    );
+    server.wait();
+}

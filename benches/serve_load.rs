@@ -1,0 +1,268 @@
+//! Load generator for the hardened `vtld serve` daemon.
+//!
+//! Not a criterion bench (`harness = false`): it boots real in-process
+//! daemons on ephemeral ports and measures the three numbers the
+//! robustness work is accountable for, writing them to
+//! `BENCH_serve.json` at the repo root:
+//!
+//! * **Ingest throughput at shards 1 / 2 / 4** — wall-clock from start
+//!   to `ingest_done`, in-memory and (at shards 2) with the durable
+//!   fsync-per-seal segment log, so the durability tax is visible.
+//! * **Clients vs latency** — p50/p99 request latency over persistent
+//!   connections at 1 / 8 / 32 concurrent clients against a live
+//!   daemon.
+//! * **Overload shedding** — 32 one-shot clients against an 8-slot
+//!   admission gate: how many were served vs shed with a typed
+//!   `overloaded` response (shed responses are also timed — shedding
+//!   must be cheap).
+//!
+//! Run with: `cargo bench --bench serve_load`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use vt_label_dynamics::obs::json;
+use vt_label_dynamics::prelude::*;
+
+const SAMPLES: u64 = 30_000;
+const SEED: u64 = 0x10AD;
+const SEGMENT_REPORTS: u64 = 2_000;
+
+fn base_config(shards: usize) -> ServeConfig {
+    let mut config = ServeConfig::new(SAMPLES, SEED);
+    config.segment_reports = SEGMENT_REPORTS;
+    config.workers = 2;
+    config.shards = shards;
+    config
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, cmd: &str) -> json::Value {
+    stream
+        .write_all(format!("{{\"cmd\":\"{cmd}\"}}\n").as_bytes())
+        .expect("write request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    json::parse(line.trim_end()).expect("parseable response")
+}
+
+fn wait_done(addr: SocketAddr) {
+    let (mut stream, mut reader) = connect(addr);
+    loop {
+        let v = ask(&mut stream, &mut reader, "status");
+        if v.get("ingest_done").and_then(|d| d.as_bool()) == Some(true) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Boots a daemon, times start → `ingest_done`, shuts it down. Returns
+/// (elapsed, samples/sec).
+fn ingest_run(config: ServeConfig) -> (Duration, f64) {
+    let started = Instant::now();
+    let server = Server::start(config).expect("start server");
+    wait_done(server.addr());
+    let elapsed = started.elapsed();
+    server.shutdown();
+    server.wait();
+    (elapsed, SAMPLES as f64 / elapsed.as_secs_f64())
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// `clients` persistent connections, each issuing `rounds` status
+/// requests; returns sorted per-request latencies in microseconds.
+fn latency_run(addr: SocketAddr, clients: usize, rounds: usize) -> Vec<u64> {
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (mut stream, mut reader) = connect(addr);
+                let mut lat = Vec::with_capacity(rounds);
+                for _ in 0..rounds {
+                    let t0 = Instant::now();
+                    let v = ask(&mut stream, &mut reader, "status");
+                    lat.push(t0.elapsed().as_micros() as u64);
+                    assert!(v.get("epoch").is_some());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("latency client"))
+        .collect();
+    all.sort_unstable();
+    all
+}
+
+/// One-shot flood against a small admission gate: every thread
+/// connects, sends one request, reads one response. Returns
+/// (served, shed, sorted shed-response latencies in µs).
+fn overload_run(addr: SocketAddr, clients: usize) -> (u64, u64, Vec<u64>) {
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let Ok(mut stream) = TcpStream::connect(addr) else {
+                    return (0u64, 0u64, None);
+                };
+                if stream.write_all(b"{\"cmd\":\"status\"}\n").is_err() {
+                    return (0, 0, None);
+                }
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                if reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true) {
+                    return (0, 0, None);
+                }
+                let v = json::parse(line.trim_end()).expect("parseable response");
+                let us = t0.elapsed().as_micros() as u64;
+                if v.get("overloaded").and_then(|o| o.as_bool()) == Some(true) {
+                    (0, 1, Some(us))
+                } else {
+                    (1, 0, None)
+                }
+            })
+        })
+        .collect();
+    let mut served = 0;
+    let mut shed = 0;
+    let mut shed_us = Vec::new();
+    for t in threads {
+        let (s, r, us) = t.join().expect("flood client");
+        served += s;
+        shed += r;
+        shed_us.extend(us);
+    }
+    shed_us.sort_unstable();
+    (served, shed, shed_us)
+}
+
+/// Days-since-epoch → (year, month, day), civil calendar.
+fn civil_date() -> (i64, u32, u32) {
+    let days = (SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("after 1970")
+        .as_secs()
+        / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("serve_load: {SAMPLES} samples, seed {SEED:#x}, {cpus} cpu(s)");
+
+    // ---- ingest throughput at shards 1 / 2 / 4 ----------------------
+    let mut throughput = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (elapsed, rate) = ingest_run(base_config(shards));
+        eprintln!("  ingest shards={shards}: {elapsed:?} ({rate:.0} samples/s)");
+        throughput.push((shards, elapsed, rate));
+    }
+
+    // ---- durable ingest (fsync per seal) at shards 2 ----------------
+    let wal = std::env::temp_dir().join(format!("vtld-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal);
+    let mut durable_config = base_config(2);
+    durable_config.data_dir = Some(wal.clone());
+    let (durable_elapsed, durable_rate) = ingest_run(durable_config);
+    eprintln!("  ingest shards=2 durable: {durable_elapsed:?} ({durable_rate:.0} samples/s)");
+    let _ = std::fs::remove_dir_all(&wal);
+
+    // ---- clients vs latency against a live daemon -------------------
+    let server = Server::start(base_config(2)).expect("start latency server");
+    let addr = server.addr();
+    wait_done(addr);
+    let mut latency = Vec::new();
+    for clients in [1usize, 8, 32] {
+        let lat = latency_run(addr, clients, 200);
+        let (p50, p99) = (percentile_us(&lat, 0.50), percentile_us(&lat, 0.99));
+        eprintln!(
+            "  latency clients={clients}: p50={p50}us p99={p99}us ({} reqs)",
+            lat.len()
+        );
+        latency.push((clients, p50, p99, lat.len()));
+    }
+    server.shutdown();
+    server.wait();
+
+    // ---- overload shedding ------------------------------------------
+    let mut shed_config = base_config(1);
+    shed_config.samples = 500; // tiny feed; the gate is what's measured
+    shed_config.max_clients = 8;
+    let server = Server::start(shed_config).expect("start overload server");
+    let addr = server.addr();
+    wait_done(addr);
+    let (served, shed, shed_us) = overload_run(addr, 32);
+    let shed_p99 = percentile_us(&shed_us, 0.99);
+    eprintln!("  overload 32 clients vs cap 8: served={served} shed={shed} shed_p99={shed_p99}us");
+    server.shutdown();
+    server.wait();
+
+    // ---- BENCH_serve.json -------------------------------------------
+    let (y, m, d) = civil_date();
+    let throughput_json: Vec<String> = throughput
+        .iter()
+        .map(|(shards, elapsed, rate)| {
+            format!(
+                "    \"{shards}\": {{ \"ingest_ms\": {}, \"samples_per_s\": {:.0} }}",
+                elapsed.as_millis(),
+                rate
+            )
+        })
+        .collect();
+    let latency_json: Vec<String> = latency
+        .iter()
+        .map(|(clients, p50, p99, reqs)| {
+            format!(
+                "    \"{clients}\": {{ \"p50_us\": {p50}, \"p99_us\": {p99}, \"requests\": {reqs} }}"
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n\
+         \x20 \"bench\": \"benches/serve_load.rs\",\n\
+         \x20 \"command\": \"cargo bench --bench serve_load\",\n\
+         \x20 \"date\": \"{y:04}-{m:02}-{d:02}\",\n\
+         \x20 \"machine\": {{\n\
+         \x20   \"cpus\": {cpus},\n\
+         \x20   \"note\": \"shard workers contend for the same cores as the feed simulator and the fold threads, so shard counts > available cores measure coordination overhead, not scaling; the acceptance gate for sharding is bit-identity (tests/serve_chaos.rs), not speedup\"\n\
+         \x20 }},\n\
+         \x20 \"dataset\": {{ \"samples\": {SAMPLES}, \"seed\": \"{SEED:#x}\", \"segment_reports\": {SEGMENT_REPORTS}, \"fold_workers\": 2 }},\n\
+         \x20 \"ingest_throughput_by_shards\": {{\n{}\n  }},\n\
+         \x20 \"durable_ingest_shards_2\": {{ \"ingest_ms\": {}, \"samples_per_s\": {:.0}, \"note\": \"segment log on, fsync file+dir per seal\" }},\n\
+         \x20 \"latency_by_clients\": {{\n{}\n  }},\n\
+         \x20 \"overload\": {{ \"clients\": 32, \"max_clients\": 8, \"served\": {served}, \"shed\": {shed}, \"shed_p99_us\": {shed_p99} }}\n\
+         }}\n",
+        throughput_json.join(",\n"),
+        durable_elapsed.as_millis(),
+        durable_rate,
+        latency_json.join(",\n"),
+    );
+    std::fs::write("BENCH_serve.json", &doc).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+    print!("{doc}");
+}

@@ -112,7 +112,16 @@ impl StudyPartials {
 
     /// Merges a later segment's partials into an earlier accumulation
     /// (`self`'s records precede `next`'s in stream order).
-    fn merge(self, next: Self) -> Self {
+    ///
+    /// Public because the serve tier's merger thread reassembles the
+    /// global study from shard-local accumulations: merging each hash
+    /// slot's partials in fixed slot order is `fold` over the canonical
+    /// concatenation `slot 0 ++ slot 1 ++ …`, which is what makes the
+    /// published snapshot bit-identical at every shard count. Callers
+    /// must uphold the same contract as segment folds: `self` and
+    /// `next` cover disjoint sample sets, concatenated in a canonical
+    /// order every run agrees on.
+    pub fn merge(self, next: Self) -> Self {
         StudyPartials {
             landscape: Landscape.merge(self.landscape, next.landscape),
             stability: Stability.merge(self.stability, next.stability),
@@ -146,8 +155,11 @@ impl StudyPartials {
         self.s_reports
     }
 
-    /// Finishes every stage into a [`StudyResults`].
-    fn finish(self, partitions: Vec<PartitionStats>, obs: &Obs) -> StudyResults {
+    /// Finishes every stage into a [`StudyResults`]. `partitions`
+    /// supplies the Table 2 store accounting, which lives outside the
+    /// analysis fold. Consumes the accumulation; clone first to keep
+    /// folding (as [`IncrementalStudy::results`] does).
+    pub fn finish(self, partitions: Vec<PartitionStats>, obs: &Obs) -> StudyResults {
         let (dataset, fig1) = Landscape.finish(self.landscape);
         let stabilization = Stabilization.finish(self.stabilization);
         let (correlation_global, correlation_per_type) =

@@ -25,6 +25,11 @@
 //!   [`Segment`]s every N reports, each persistable through the same
 //!   checksummed container, so the incremental pipeline folds O(segment)
 //!   work per seal instead of recomputing the monolith.
+//! * [`segdir`] — the serve tier's write-ahead log: a directory of
+//!   durably persisted segments ([`DurableWriter`] fsyncs file and
+//!   directory before a seal is visible) with a crash-recovery scan
+//!   ([`SegmentDir::replay`]) that keeps each slot's clean prefix and
+//!   quarantines what salvage cannot fully recover.
 //!
 //! The store is synchronous and single-writer / multi-reader
 //! (`parking_lot` guards the append path), in line with the project's
@@ -39,6 +44,7 @@ pub mod crc32;
 pub mod dataset;
 pub mod partition;
 pub mod persist;
+pub mod segdir;
 pub mod segment;
 pub mod store;
 
@@ -48,5 +54,6 @@ pub use persist::{
     read_store, read_store_salvage, write_store, write_store_v1, CorruptKind, PartitionRecovery,
     PersistError, RecoveryReport, SalvageLabel,
 };
+pub use segdir::{DurableWriter, Replay, SegmentDir, SegmentFile};
 pub use segment::{read_segment, read_segment_salvage, write_segment, Segment, SegmentWriter};
 pub use store::{ReportStore, StoreError, StoreObs};

@@ -1,0 +1,489 @@
+//! Directory-backed segment persistence — the serve tier's write-ahead
+//! log.
+//!
+//! A long-running daemon cannot treat sealed segments as in-memory
+//! ephemera: a crash mid-ingest would lose the whole epoch. This module
+//! turns a directory into a crash-recoverable segment log:
+//!
+//! * [`SegmentDir`] owns the directory. [`SegmentDir::persist`] writes a
+//!   sealed [`Segment`] to a temporary file, fsyncs the file, renames it
+//!   into place, and fsyncs the directory — only then is the segment
+//!   *durable*, and only durable segments may be published. The
+//!   seal → fsync → publish ordering is the recovery protocol's one
+//!   load-bearing invariant (DESIGN.md §11).
+//! * [`DurableWriter`] couples a [`SegmentWriter`] to a `SegmentDir` so
+//!   that a segment is on disk (file and directory both synced) before
+//!   `push_sample` ever hands it back — a seal can never precede
+//!   durability.
+//! * [`SegmentDir::replay`] is the restart path: scan the directory,
+//!   read every segment with the salvage reader, keep each slot's
+//!   longest clean prefix (contiguous sequence numbers from 0, fully
+//!   recovered payloads), and move everything after the first damaged or
+//!   missing segment into a `quarantine/` subdirectory. The daemon
+//!   serves from the clean prefix and re-ingests the rest instead of
+//!   refusing to start.
+//!
+//! Segments are keyed by `(slot, seq)`: `slot` is the fixed hash
+//! partition the serve tier routes samples through, `seq` the per-slot
+//! seal order. File names are `seg-SSS-NNNNNNNNNN.vtseg`. A small
+//! manifest records the slot count so a directory can never be replayed
+//! under a different partitioning than it was written with (that would
+//! silently break the clean-prefix property).
+
+use crate::segment::{read_segment_salvage, write_segment, Segment, SegmentWriter};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use vt_model::ScanReport;
+
+/// Manifest file name inside a segment directory.
+const MANIFEST: &str = "segdir.manifest";
+/// Manifest format tag.
+const MANIFEST_TAG: &str = "VTSEGDIR1";
+/// Quarantine subdirectory for segments replay could not fully recover.
+const QUARANTINE: &str = "quarantine";
+
+/// A directory of durable sealed segments, partitioned into a fixed
+/// number of slots. See the module docs for the lifecycle.
+#[derive(Debug, Clone)]
+pub struct SegmentDir {
+    root: PathBuf,
+    slots: u32,
+}
+
+/// One segment file found by [`SegmentDir::scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentFile {
+    /// Hash-partition slot parsed from the file name.
+    pub slot: u32,
+    /// Per-slot sequence number parsed from the file name.
+    pub seq: u64,
+    /// Absolute path of the segment file.
+    pub path: PathBuf,
+}
+
+/// The outcome of [`SegmentDir::replay`]: each slot's recovered clean
+/// prefix, plus what had to be set aside.
+#[derive(Debug)]
+pub struct Replay {
+    /// Per-slot clean prefixes, `slots.len()` == the directory's slot
+    /// count, each inner vec in ascending contiguous `seq` order.
+    pub slots: Vec<Vec<Segment>>,
+    /// Segments recovered into the clean prefixes.
+    pub recovered_segments: u64,
+    /// Segment files moved into `quarantine/` (damaged, mis-numbered,
+    /// or orphaned behind a gap).
+    pub quarantined_segments: u64,
+}
+
+impl SegmentDir {
+    /// Opens (creating if needed) a segment directory for `slots` hash
+    /// partitions. Writes the manifest on first use; on reuse, a slot
+    /// count that disagrees with the manifest is an
+    /// [`io::ErrorKind::InvalidData`] error — replaying under a
+    /// different partitioning would corrupt the recovery semantics.
+    pub fn open(root: impl Into<PathBuf>, slots: u32) -> io::Result<SegmentDir> {
+        assert!(slots >= 1, "a segment directory needs at least one slot");
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let manifest = root.join(MANIFEST);
+        match fs::read_to_string(&manifest) {
+            Ok(text) => {
+                let expected = format!("{MANIFEST_TAG} slots={slots}\n");
+                if text != expected {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "segment dir manifest mismatch: found {:?}, expected {:?}",
+                            text.trim(),
+                            expected.trim()
+                        ),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                fs::write(&manifest, format!("{MANIFEST_TAG} slots={slots}\n"))?;
+                sync_dir(&root)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(SegmentDir { root, slots })
+    }
+
+    /// The directory this log lives in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The fixed slot count recorded in the manifest.
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+
+    /// Whether the directory holds any segment files (quarantined ones
+    /// do not count).
+    pub fn has_segments(&self) -> io::Result<bool> {
+        Ok(!self.scan()?.is_empty())
+    }
+
+    /// Durably persists one sealed segment: write to `*.tmp`, fsync the
+    /// file, rename into place, fsync the directory. Returns the final
+    /// path. After this returns, a crash at any point leaves either the
+    /// whole segment or (for an interrupted call) an ignorable `*.tmp`.
+    pub fn persist(&self, slot: u32, segment: &Segment) -> io::Result<PathBuf> {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        let final_path = self.root.join(segment_file_name(slot, segment.seq()));
+        let tmp_path = final_path.with_extension("vtseg.tmp");
+        let mut file = File::create(&tmp_path)?;
+        let mut buf = Vec::new();
+        write_segment(segment, &mut buf)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.root)?;
+        Ok(final_path)
+    }
+
+    /// Lists the segment files present, sorted by `(slot, seq)`.
+    /// Ignores the manifest, `*.tmp` leftovers, the quarantine
+    /// subdirectory and anything else that does not parse as a segment
+    /// file name.
+    pub fn scan(&self) -> io::Result<Vec<SegmentFile>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some((slot, seq)) = parse_segment_file_name(&name.to_string_lossy()) else {
+                continue;
+            };
+            out.push(SegmentFile {
+                slot,
+                seq,
+                path: entry.path(),
+            });
+        }
+        out.sort_by_key(|f| (f.slot, f.seq));
+        Ok(out)
+    }
+
+    /// Recovers each slot's clean segment prefix and quarantines the
+    /// rest. See the module docs for the policy; the short version:
+    ///
+    /// * a segment joins the clean prefix iff its sequence number is the
+    ///   next expected one for its slot, its header agrees with its file
+    ///   name, and the salvage reader recovers it **fully** (clean
+    ///   [`crate::RecoveryReport`]);
+    /// * the first violation in a slot quarantines that file and every
+    ///   later file of the same slot (they are orphaned behind the gap —
+    ///   folding across a hole would break the stream-prefix invariant
+    ///   recovery correctness rests on);
+    /// * slots whose files parse to a slot ≥ the manifest's count are
+    ///   quarantined wholesale.
+    ///
+    /// Quarantined files are moved (not deleted) into `quarantine/`,
+    /// preserving their names, so an operator can inspect them.
+    pub fn replay(&self) -> io::Result<Replay> {
+        let files = self.scan()?;
+        let mut slots: Vec<Vec<Segment>> = (0..self.slots).map(|_| Vec::new()).collect();
+        let mut recovered = 0u64;
+        let mut quarantined = 0u64;
+        // Per-slot: whether the clean prefix has already ended
+        // (everything later in that slot quarantines).
+        let mut broken = vec![false; self.slots as usize];
+        for file in files {
+            let slot = file.slot as usize;
+            if file.slot >= self.slots || broken[slot] {
+                self.quarantine_file(&file.path)?;
+                quarantined += 1;
+                continue;
+            }
+            let expected_seq = slots[slot].len() as u64;
+            match load_fully_recovered(&file) {
+                Some(segment) if file.seq == expected_seq && segment.seq() == expected_seq => {
+                    slots[slot].push(segment);
+                    recovered += 1;
+                }
+                _ => {
+                    broken[slot] = true;
+                    self.quarantine_file(&file.path)?;
+                    quarantined += 1;
+                }
+            }
+        }
+        Ok(Replay {
+            slots,
+            recovered_segments: recovered,
+            quarantined_segments: quarantined,
+        })
+    }
+
+    fn quarantine_file(&self, path: &Path) -> io::Result<()> {
+        let qdir = self.root.join(QUARANTINE);
+        fs::create_dir_all(&qdir)?;
+        let name = path.file_name().expect("scanned files have names");
+        fs::rename(path, qdir.join(name))?;
+        sync_dir(&self.root)?;
+        Ok(())
+    }
+}
+
+/// Reads one segment file with the salvage reader, accepting it only if
+/// salvage recovered it fully (clean report). Any I/O or format error,
+/// and any partial recovery, yields `None` — the caller quarantines.
+fn load_fully_recovered(file: &SegmentFile) -> Option<Segment> {
+    let mut reader = io::BufReader::new(File::open(&file.path).ok()?);
+    let (segment, report) = read_segment_salvage(&mut reader).ok()?;
+    report.is_clean().then_some(segment)
+}
+
+/// A [`SegmentWriter`] whose seals are durable: every segment returned
+/// by [`DurableWriter::push_sample`] or [`DurableWriter::finish`] has
+/// already been written, fsynced and directory-fsynced via
+/// [`SegmentDir::persist`]. A publish can therefore never precede
+/// durability — the caller only ever sees segments a restart would
+/// recover.
+#[derive(Debug)]
+pub struct DurableWriter {
+    dir: SegmentDir,
+    slot: u32,
+    inner: SegmentWriter,
+}
+
+impl DurableWriter {
+    /// A durable writer for one slot of `dir`, sealing every
+    /// `threshold` reports, with its first seal numbered `next_seq`
+    /// (0 for a fresh stream; the clean-prefix length when resuming
+    /// after [`SegmentDir::replay`]).
+    pub fn new(dir: SegmentDir, slot: u32, threshold: u64, next_seq: u64) -> Self {
+        assert!(slot < dir.slots(), "slot {slot} out of range");
+        Self {
+            dir,
+            slot,
+            inner: SegmentWriter::resuming(threshold, next_seq),
+        }
+    }
+
+    /// Reports appended to the currently open (unsealed) segment.
+    pub fn open_reports(&self) -> u64 {
+        self.inner.open_reports()
+    }
+
+    /// Appends one sample's full report batch; if that seals a segment,
+    /// persists it durably before returning it. An `Err` means the
+    /// segment is **not** durable and must not be folded or published.
+    pub fn push_sample(&mut self, reports: &[ScanReport]) -> io::Result<Option<Segment>> {
+        match self.inner.push_sample(reports) {
+            Some(segment) => {
+                self.dir.persist(self.slot, &segment)?;
+                Ok(Some(segment))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Seals, persists and returns the stream tail, if any reports are
+    /// open.
+    pub fn finish(self) -> io::Result<Option<Segment>> {
+        match self.inner.finish() {
+            Some(segment) => {
+                self.dir.persist(self.slot, &segment)?;
+                Ok(Some(segment))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Fsyncs a directory so a just-renamed entry survives a crash.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn segment_file_name(slot: u32, seq: u64) -> String {
+    format!("seg-{slot:03}-{seq:010}.vtseg")
+}
+
+fn parse_segment_file_name(name: &str) -> Option<(u32, u64)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".vtseg")?;
+    let (slot, seq) = rest.split_once('-')?;
+    if slot.len() != 3 || seq.len() != 10 {
+        return None;
+    }
+    Some((slot.parse().ok()?, seq.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_model::time::{Date, Timestamp};
+    use vt_model::{FileType, ReportKind, SampleHash, VerdictVec};
+
+    fn sample_batch(sample: u64, reports: usize) -> Vec<ScanReport> {
+        (0..reports)
+            .map(|i| ScanReport {
+                sample: SampleHash::from_ordinal(sample),
+                file_type: FileType::Pdf,
+                analysis_date: Timestamp::from_date(Date::new(2021, 7, 1 + (i % 28) as u8)),
+                last_submission_date: Timestamp::from_date(Date::new(2021, 7, 1)),
+                times_submitted: 1,
+                kind: ReportKind::Upload,
+                verdicts: VerdictVec::new(70),
+            })
+            .collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vt-segdir-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Seals `n` segments into slot `slot`, 4 samples × 3 reports each.
+    fn fill_slot(dir: &SegmentDir, slot: u32, n: u64) {
+        let mut writer = DurableWriter::new(dir.clone(), slot, 12, 0);
+        let mut sealed = 0;
+        let mut sample = u64::from(slot) * 10_000;
+        while sealed < n {
+            if writer
+                .push_sample(&sample_batch(sample, 3))
+                .expect("durable push")
+                .is_some()
+            {
+                sealed += 1;
+            }
+            sample += 1;
+        }
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(segment_file_name(3, 17), "seg-003-0000000017.vtseg");
+        assert_eq!(
+            parse_segment_file_name("seg-003-0000000017.vtseg"),
+            Some((3, 17))
+        );
+        for bogus in [
+            "seg-3-17.vtseg",
+            "seg-003-0000000017.vtseg.tmp",
+            "segdir.manifest",
+            "seg-003-0000000017.vtstore",
+        ] {
+            assert_eq!(parse_segment_file_name(bogus), None, "{bogus}");
+        }
+    }
+
+    #[test]
+    fn durable_writer_persists_before_returning_and_replay_recovers() {
+        let root = temp_dir("durable");
+        let dir = SegmentDir::open(&root, 2).expect("open");
+        let mut writer = DurableWriter::new(dir.clone(), 0, 6, 0);
+        let mut segs = Vec::new();
+        for sample in 0..8u64 {
+            if let Some(seg) = writer.push_sample(&sample_batch(sample, 3)).expect("push") {
+                // The moment a seal is visible, its file is on disk.
+                let path = root.join(segment_file_name(0, seg.seq()));
+                assert!(path.is_file(), "{} missing at seal time", path.display());
+                segs.push(seg);
+            }
+        }
+        let tail = writer.finish().expect("finish");
+        assert!(dir.has_segments().expect("scan"));
+
+        let replay = dir.replay().expect("replay");
+        assert_eq!(replay.quarantined_segments, 0);
+        assert_eq!(
+            replay.recovered_segments,
+            segs.len() as u64 + u64::from(tail.is_some())
+        );
+        assert!(replay.slots[1].is_empty());
+        for (i, seg) in replay.slots[0].iter().enumerate() {
+            assert_eq!(seg.seq(), i as u64);
+        }
+        let total: u64 = replay.slots[0]
+            .iter()
+            .map(|s| s.store().report_count())
+            .sum();
+        assert_eq!(total, 24);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn replay_quarantines_damaged_segment_and_orphaned_suffix() {
+        let root = temp_dir("quarantine");
+        let dir = SegmentDir::open(&root, 2).expect("open");
+        fill_slot(&dir, 0, 4);
+        fill_slot(&dir, 1, 2);
+        // Stray tmp files from an interrupted persist are ignored.
+        fs::write(root.join("seg-000-0000000099.vtseg.tmp"), b"junk").expect("tmp");
+
+        // Damage slot 0's seq 1 mid-payload: salvage recovers partially,
+        // which is not good enough for the clean prefix.
+        let victim = root.join(segment_file_name(0, 1));
+        let mut bytes = fs::read(&victim).expect("read victim");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&victim, bytes).expect("rewrite victim");
+
+        let replay = dir.replay().expect("replay");
+        // Slot 0: seq 0 survives; seq 1 (damaged) and seqs 2..3
+        // (orphaned behind the gap) quarantine. Slot 1 untouched.
+        assert_eq!(replay.slots[0].len(), 1);
+        assert_eq!(replay.slots[1].len(), 2);
+        assert_eq!(replay.recovered_segments, 3);
+        assert_eq!(replay.quarantined_segments, 3);
+        for seq in [1u64, 2, 3] {
+            let q = root.join(QUARANTINE).join(segment_file_name(0, seq));
+            assert!(q.is_file(), "expected {} in quarantine", q.display());
+        }
+        // Quarantined files are out of the way: a second replay sees a
+        // clean directory with the same prefix.
+        let again = dir.replay().expect("second replay");
+        assert_eq!(again.recovered_segments, 3);
+        assert_eq!(again.quarantined_segments, 0);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn manifest_slot_count_is_enforced() {
+        let root = temp_dir("manifest");
+        let dir = SegmentDir::open(&root, 8).expect("open");
+        assert_eq!(dir.slots(), 8);
+        drop(dir);
+        let reopened = SegmentDir::open(&root, 8).expect("same slot count reopens");
+        assert_eq!(reopened.slots(), 8);
+        let err = SegmentDir::open(&root, 4).expect_err("slot mismatch must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn replay_quarantines_out_of_range_slots_and_header_mismatches() {
+        let root = temp_dir("misc");
+        let dir = SegmentDir::open(&root, 1).expect("open");
+        fill_slot(&dir, 0, 2);
+        // A file claiming slot 7 in a 1-slot directory.
+        fs::copy(
+            root.join(segment_file_name(0, 0)),
+            root.join("seg-007-0000000000.vtseg"),
+        )
+        .expect("copy");
+        // A file whose name seq disagrees with its header seq.
+        fs::copy(
+            root.join(segment_file_name(0, 1)),
+            root.join("seg-000-0000000005.vtseg"),
+        )
+        .expect("copy");
+        let replay = dir.replay().expect("replay");
+        assert_eq!(replay.slots[0].len(), 2);
+        assert_eq!(replay.quarantined_segments, 2);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+}

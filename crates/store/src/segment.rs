@@ -86,10 +86,18 @@ impl SegmentWriter {
     /// A writer sealing every `threshold` reports (≥ 1; a sample whose
     /// batch crosses the threshold stays whole in the current segment).
     pub fn new(threshold: u64) -> Self {
+        Self::resuming(threshold, 0)
+    }
+
+    /// A writer whose first sealed segment carries sequence number
+    /// `next_seq` — the restart path: a recovering daemon replays its
+    /// sealed segments and resumes the stream right after them, keeping
+    /// the per-stream sequence numbering gapless across the crash.
+    pub fn resuming(threshold: u64, next_seq: u64) -> Self {
         assert!(threshold >= 1, "segment threshold must be at least 1");
         Self {
             threshold,
-            next_seq: 0,
+            next_seq,
             open: ReportStore::new(),
         }
     }

@@ -262,6 +262,17 @@ impl ReportStore {
         self.inner.read().index.len() as u64
     }
 
+    /// Every distinct sample hash in the store, sorted ascending.
+    ///
+    /// Reads the per-sample index only — no block is decoded — so this
+    /// is how a recovering daemon cheaply learns which samples a sealed
+    /// segment already covers.
+    pub fn sample_hashes(&self) -> Vec<SampleHash> {
+        let mut hashes: Vec<SampleHash> = self.inner.read().index.keys().copied().collect();
+        hashes.sort_unstable();
+        hashes
+    }
+
     /// Per-partition statistics, in window order (catch-all last).
     pub fn partition_stats(&self) -> Vec<PartitionStats> {
         self.inner

@@ -15,11 +15,16 @@
 //!     Simulate and analyze in one step (no file involved).
 //!
 //! vtld serve [--samples N] [--seed S] [--segment-reports R]
-//!            [--workers W] [--addr HOST:PORT]
+//!            [--workers W] [--shards K] [--addr HOST:PORT]
+//!            [--data-dir DIR] [--recover] [--max-clients C]
 //!     Run the long-lived daemon: ingest the chaos-injected feed
 //!     through the fault-tolerant collector, fold each sealed segment
-//!     incrementally, and answer JSON queries over TCP while ingestion
-//!     continues (see `vt_label_dynamics::serve`).
+//!     incrementally across a sharded worker fleet, and answer JSON
+//!     queries over TCP while ingestion continues. With `--data-dir`
+//!     every sealed segment is fsynced to disk before it is published;
+//!     with `--recover` a restarted daemon replays that directory and
+//!     resumes ingest where the previous process died (see
+//!     `vt_label_dynamics::serve`).
 //! ```
 //!
 //! Each subcommand parses into a typed argument struct
@@ -145,7 +150,8 @@ const USAGE: &str = "usage:
   vtld study    [--samples N] [--seed S] [--csv-dir DIR]
                 [--workers W] [--metrics-out FILE] [--verbose]
   vtld serve    [--samples N] [--seed S] [--segment-reports R]
-                [--workers W] [--addr HOST:PORT]
+                [--workers W] [--shards K] [--addr HOST:PORT]
+                [--data-dir DIR] [--recover] [--max-clients C]
   vtld help
 
 run any subcommand with --help for its flags and defaults";
@@ -379,7 +385,11 @@ struct ServeArgs {
     seed: u64,
     segment_reports: u64,
     workers: usize,
+    shards: usize,
     addr: String,
+    data_dir: Option<String>,
+    recover: bool,
+    max_clients: usize,
 }
 
 impl ServeArgs {
@@ -390,25 +400,58 @@ flags:
   --seed S              platform seed, decimal or 0x         (default 0x7e575eed)
   --segment-reports R   reports per sealed segment           (default 20000)
   --workers W           per-segment fold worker threads      (default: cores)
+  --shards K            shard worker threads folding the
+                        fixed hash slots (1..=8)             (default 1)
   --addr HOST:PORT      bind address (port 0 = ephemeral)    (default 127.0.0.1:7311)
+  --data-dir DIR        durable segment log: every sealed
+                        segment is fsynced here before it
+                        is folded or published
+  --recover             replay DIR's sealed segments on
+                        startup and resume ingest past them
+                        (requires --data-dir)
+  --max-clients C       concurrent connections before new
+                        clients are shed with a typed
+                        'overloaded' response               (default 256)
 
 protocol: one JSON object per line over TCP; commands are
 {\"cmd\":\"status\"}, {\"cmd\":\"results\"}, {\"cmd\":\"engines\"},
-{\"cmd\":\"metrics\"}, {\"cmd\":\"shutdown\"}. Every response carries the
-snapshot epoch.";
+{\"cmd\":\"metrics\"}, {\"cmd\":\"fingerprint\"}, {\"cmd\":\"shutdown\"}.
+Every response carries the snapshot epoch.";
 
     fn parse(args: &[String]) -> Result<Self, VtldError> {
         let flags = parse_flags(
             args,
-            &["samples", "seed", "segment-reports", "workers", "addr"],
-            &[],
+            &[
+                "samples",
+                "seed",
+                "segment-reports",
+                "workers",
+                "shards",
+                "addr",
+                "data-dir",
+                "max-clients",
+            ],
+            &["recover"],
         )?;
+        let data_dir = flag(&flags, "data-dir").map(str::to_string);
+        let recover = has_switch(&flags, "recover");
+        if recover && data_dir.is_none() {
+            return Err(VtldError::Usage(
+                "--recover requires --data-dir DIR (there is nothing to replay without a \
+                 segment log)"
+                    .into(),
+            ));
+        }
         Ok(Self {
             samples: parse_u64(&flags, "samples", 100_000)?,
             seed: parse_u64(&flags, "seed", 0x7e57_5eed)?,
             segment_reports: parse_u64(&flags, "segment-reports", 20_000)?.max(1),
             workers: parse_workers(&flags)?,
+            shards: parse_u64(&flags, "shards", 1)?.clamp(1, 8) as usize,
             addr: flag(&flags, "addr").unwrap_or("127.0.0.1:7311").to_string(),
+            data_dir,
+            recover,
+            max_clients: parse_u64(&flags, "max-clients", 256)?.max(1) as usize,
         })
     }
 }
@@ -525,7 +568,11 @@ fn cmd_serve(args: ServeArgs) -> Result<(), VtldError> {
     let mut config = ServeConfig::new(args.samples, args.seed);
     config.segment_reports = args.segment_reports;
     config.workers = args.workers;
+    config.shards = args.shards;
     config.addr = args.addr;
+    config.data_dir = args.data_dir.map(std::path::PathBuf::from);
+    config.recover = args.recover;
+    config.max_clients = args.max_clients;
     let addr_for_err = config.addr.clone();
     let server = Server::start(config).map_err(io_err(format!("cannot bind {addr_for_err}")))?;
     eprintln!(
@@ -603,6 +650,10 @@ mod tests {
         assert_eq!(d.samples, 100_000);
         assert_eq!(d.segment_reports, 20_000);
         assert_eq!(d.addr, "127.0.0.1:7311");
+        assert_eq!(d.shards, 1);
+        assert_eq!(d.max_clients, 256);
+        assert!(d.data_dir.is_none());
+        assert!(!d.recover);
         let s = ServeArgs::parse(&strings(&[
             "--samples",
             "2000",
@@ -617,5 +668,43 @@ mod tests {
         assert_eq!(s.addr, "127.0.0.1:0");
         let err = ServeArgs::parse(&strings(&["--csv-dir", "x"])).unwrap_err();
         assert_eq!(err.to_string(), "unknown flag --csv-dir");
+    }
+
+    #[test]
+    fn serve_args_hardening_flags() {
+        let s = ServeArgs::parse(&strings(&[
+            "--shards",
+            "4",
+            "--data-dir",
+            "/tmp/wal",
+            "--recover",
+            "--max-clients",
+            "2",
+        ]))
+        .expect("ok");
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.data_dir.as_deref(), Some("/tmp/wal"));
+        assert!(s.recover);
+        assert_eq!(s.max_clients, 2);
+
+        assert_eq!(
+            ServeArgs::parse(&strings(&["--shards", "99"]))
+                .expect("ok")
+                .shards,
+            8,
+            "shards clamp to the slot count"
+        );
+        assert_eq!(
+            ServeArgs::parse(&strings(&["--max-clients", "0"]))
+                .expect("ok")
+                .max_clients,
+            1,
+            "a zero client cap clamps to one"
+        );
+        let err = ServeArgs::parse(&strings(&["--recover"])).unwrap_err();
+        assert!(
+            err.to_string().starts_with("--recover requires --data-dir"),
+            "{err}"
+        );
     }
 }

@@ -1,51 +1,107 @@
-//! `vtld serve` — the long-running label-dynamics daemon.
+//! `vtld serve` — the long-running label-dynamics daemon, hardened.
 //!
 //! The batch CLI answers one question and exits; `serve` keeps the
-//! whole measurement *live*. One ingest thread pulls the chaos-injected
-//! feed through the fault-tolerant collector, cuts the accepted stream
-//! into sealed [`vt_store::Segment`]s, folds each one into the cached
-//! [`IncrementalStudy`] partials (O(segment) per seal, under
-//! `pipeline/segment` obs spans), and publishes a fresh immutable
-//! snapshot after every fold. Concurrent clients query over plain
-//! TCP with newline-delimited JSON and always see one epoch-consistent
-//! snapshot — never a half-updated study.
+//! whole measurement *live*, and survives what a long-running service
+//! meets in practice: crashes, slow or hostile clients, and overload.
+//! Three robustness layers sit on top of the PR 5 incremental engine:
+//!
+//! ## Crash recovery (the segment log is the WAL)
+//!
+//! With `--data-dir`, every sealed segment is persisted through
+//! [`vt_store::SegmentDir`] — written, fsynced, renamed into place,
+//! directory-fsynced — *before* it is folded or published
+//! (seal → fsync → publish). On restart with `recover`, the directory
+//! is scanned with the salvage reader: each slot's clean segment prefix
+//! replays into the study, segments salvage cannot fully recover (and
+//! everything orphaned behind them) move to `quarantine/`, and live
+//! ingest resumes from the last whole-sample boundary — samples already
+//! sealed are skipped, everything else (including quarantined samples)
+//! is re-ingested. Because every stage's Partial algebra satisfies
+//! `merge(fold(x), fold(y)) == fold(x ++ y)` bit-identically, a daemon
+//! killed mid-ingest and recovered converges to a snapshot
+//! bit-identical to the never-killed run's (`tests/serve_chaos.rs`).
+//!
+//! ## Sharded ingest fleet
+//!
+//! Accepted samples are partitioned by hash into [`INGEST_SLOTS`] fixed
+//! slots; each slot is an independent segment stream folded by one of
+//! `shards` worker threads into slot-local
+//! [`crate::dynamics::StudyPartials`]. A merger thread
+//! reassembles the global study by merging slot partials **in slot
+//! order** — the canonical concatenation `slot 0 ++ slot 1 ++ …` — and
+//! publishes the epoch-swapped `Arc<Snapshot>`. The slot count is fixed
+//! (not the shard count), so the merge order, and therefore every
+//! published bit, is identical at shards 1, 2 and 4.
+//!
+//! ## Admission control and graceful degradation
+//!
+//! The accept path is capped: beyond `max_clients` concurrent
+//! connections, new clients get a typed `overloaded` response and are
+//! closed (`serve/rejected`). Every accepted connection carries read and
+//! write deadlines and a request-line length limit; slow or hostile
+//! clients are evicted with a typed response (`serve/evicted`), never
+//! serviced forever. The ingest queues between feeder and shard workers
+//! are bounded: when folds lag, the feeder *blocks* (backpressure —
+//! accepted samples are never dropped), with the high-water depth on the
+//! `serve/queue_depth` gauge. Shutdown drains: the feeder seals and
+//! persists in-progress segments, workers fold what is queued, and the
+//! merger publishes a final snapshot before the daemon exits.
 //!
 //! ## Snapshot semantics
 //!
-//! Published state lives behind `RwLock<Arc<Snapshot>>`. The ingest
-//! thread builds the next snapshot off to the side and swaps the `Arc`
-//! in one write; request handlers clone the `Arc` (one read-lock hit)
-//! and answer every question from that pinned snapshot. Epochs start at
-//! 0 (the empty study), increase by exactly 1 per folded segment, and
-//! take one final step when ingestion completes, so any client's
+//! Published state lives behind `RwLock<Arc<Snapshot>>`; handlers clone
+//! the `Arc` and answer from that pinned snapshot. Epochs start at 0
+//! (the empty study) and increase by at least 1 per publish; the final
+//! publish (after every sealed segment has been folded and merged)
+//! reports `ingest_done` when the feed was fully consumed. Any client's
 //! observed epoch sequence is monotone.
 //!
 //! ## Wire protocol
 //!
 //! One JSON object per line, both directions. Requests:
 //! `{"cmd":"status"}`, `{"cmd":"results"}`, `{"cmd":"engines"}`,
-//! `{"cmd":"metrics"}`, `{"cmd":"shutdown"}`. Every response carries
-//! the snapshot's `"epoch"`; malformed input gets an `"error"` member
-//! instead of a dropped connection. See `DESIGN.md` §10 for the full
-//! schema.
+//! `{"cmd":"metrics"}`, `{"cmd":"fingerprint"}`, `{"cmd":"shutdown"}`.
+//! Every response carries the snapshot's `"epoch"`; malformed input gets
+//! an `"error"` member, overload gets `"overloaded":true`, eviction gets
+//! `"evicted":true`. See `DESIGN.md` §11 for the full schema.
 
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::dynamics::{par, records_from_store, Collector, IncrementalStudy};
+use crate::dynamics::{
+    par, records_from_store, Collector, IncrementalStudy, StudyPartials, StudyResults,
+};
 use crate::engines::EngineFleet;
-use crate::model::EngineId;
-use crate::obs::Obs;
+use crate::model::{EngineId, SampleHash};
+use crate::obs::{Counter, Gauge, Obs};
 use crate::sim::fault::{FaultPlan, FaultyFeed};
 use crate::sim::{SimConfig, VirusTotalSim};
-use crate::store::{read_segment, write_segment, PartitionStats, SegmentWriter};
+use crate::store::{
+    read_segment, write_segment, DurableWriter, PartitionStats, Segment, SegmentDir, SegmentWriter,
+};
+
+/// Fixed number of hash-partition slots accepted samples are routed
+/// through. Slots — not shard workers — are the unit the merger
+/// reassembles in order, so the published study is bit-identical at any
+/// shard count; `shards` only decides how many threads fold the slot
+/// streams. Fixed so a data dir written at one shard count recovers
+/// correctly at another.
+pub const INGEST_SLOTS: usize = 8;
 
 /// Sample ordinals ingested per collector run (one `FaultyFeed` each);
 /// several collector runs typically contribute to one sealed segment.
 const INGEST_CHUNK_SAMPLES: u64 = 1_024;
+
+/// Sealed segments allowed in flight per shard worker before the feeder
+/// blocks (the backpressure bound).
+const SHARD_QUEUE_SEGMENTS: usize = 4;
 
 /// Everything `vtld serve` needs to run.
 #[derive(Debug, Clone)]
@@ -54,33 +110,74 @@ pub struct ServeConfig {
     pub samples: u64,
     /// Platform seed (fleet seed derived as in [`SimConfig::new`]).
     pub seed: u64,
-    /// Reports per sealed segment (the incremental fold granularity).
+    /// Reports per sealed segment (the incremental fold granularity),
+    /// per slot stream.
     pub segment_reports: u64,
-    /// Worker threads for per-segment folds.
+    /// Worker threads inside each per-segment fold.
     pub workers: usize,
+    /// Shard worker threads folding the slot streams (clamped to
+    /// `1..=`[`INGEST_SLOTS`]).
+    pub shards: usize,
     /// Bind address, e.g. `127.0.0.1:7311` (port 0 picks one).
     pub addr: String,
     /// Fault injection applied to the feed (the daemon ingests through
     /// the same collector the chaos tests exercise).
     pub plan: FaultPlan,
+    /// Segment write-ahead-log directory. `None` runs in-memory (no
+    /// durability, no recovery).
+    pub data_dir: Option<PathBuf>,
+    /// Replay the data dir's sealed segments on startup and resume
+    /// ingest past them. Requires `data_dir`. Without it, a data dir
+    /// that already holds segments refuses to start (instead of
+    /// silently interleaving two runs' streams).
+    pub recover: bool,
+    /// Concurrent connections admitted before new clients are shed with
+    /// a typed `overloaded` response.
+    pub max_clients: usize,
+    /// Per-connection read deadline: a client that sends nothing for
+    /// this long is evicted (typed response, connection closed).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline: a client that will not drain its
+    /// responses is evicted.
+    pub write_timeout: Duration,
+    /// Maximum request line length in bytes; longer lines evict.
+    pub max_line_bytes: usize,
 }
 
 impl ServeConfig {
     /// A config with the daemon defaults: ephemeral localhost port,
-    /// 20k-report segments, default worker count, and a lightly chaotic
-    /// feed (1% duplicates, 5% reordering within the collector's
-    /// horizon).
+    /// 20k-report segments, one shard, default fold workers, 256-client
+    /// cap, 10s deadlines, 64 KiB request lines, in-memory (no data
+    /// dir), and a lightly chaotic feed (1% duplicates, 5% reordering
+    /// within the collector's horizon).
     pub fn new(samples: u64, seed: u64) -> Self {
         Self {
             samples,
             seed,
             segment_reports: 20_000,
             workers: par::default_workers(),
+            shards: 1,
             addr: "127.0.0.1:0".to_string(),
             plan: FaultPlan::clean(seed)
                 .with_duplicates(0.01)
                 .with_reordering(0.05, 30),
+            data_dir: None,
+            recover: false,
+            max_clients: 256,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: 64 * 1024,
         }
+    }
+
+    /// Clamps the tunables into their valid ranges.
+    fn normalized(mut self) -> Self {
+        self.segment_reports = self.segment_reports.max(1);
+        self.workers = self.workers.max(1);
+        self.shards = self.shards.clamp(1, INGEST_SLOTS);
+        self.max_clients = self.max_clients.max(1);
+        self.max_line_bytes = self.max_line_bytes.max(64);
+        self
     }
 }
 
@@ -93,17 +190,87 @@ struct Snapshot {
     results: String,
     engines: String,
     metrics: String,
+    fingerprint: String,
 }
 
-/// State shared between the ingest thread, the accept loop and every
-/// connection handler.
+/// Obs handles for the serve tier's own health metrics, registered once
+/// at startup.
+#[derive(Debug)]
+struct ServeCounters {
+    /// Connections shed at the accept gate (`serve/rejected`).
+    rejected: Counter,
+    /// Connections evicted mid-life — idle timeout, oversized line,
+    /// stuck writes (`serve/evicted`).
+    evicted: Counter,
+    /// Sealed segments replayed from the data dir
+    /// (`serve/recovered_segments`).
+    recovered: Counter,
+    /// Segment files quarantined at recovery
+    /// (`serve/quarantined_segments`).
+    quarantined: Counter,
+    /// High-water mark of sealed segments queued between the feeder and
+    /// the shard workers (`serve/queue_depth`).
+    queue_depth: Gauge,
+}
+
+impl ServeCounters {
+    fn register(obs: &Obs) -> Self {
+        Self {
+            rejected: obs.counter("serve/rejected"),
+            evicted: obs.counter("serve/evicted"),
+            recovered: obs.counter("serve/recovered_segments"),
+            quarantined: obs.counter("serve/quarantined_segments"),
+            queue_depth: obs.gauge("serve/queue_depth"),
+        }
+    }
+}
+
+/// Running ingest totals, updated by the feeder and the shard workers,
+/// read by the merger at publish time.
+#[derive(Debug, Default)]
+struct Progress {
+    accepted: AtomicU64,
+    quarantined: AtomicU64,
+    segments: AtomicU64,
+    samples: AtomicU64,
+    reports: AtomicU64,
+    feed_done: AtomicBool,
+}
+
+/// State shared between every daemon thread and every connection
+/// handler.
 struct Shared {
     snapshot: RwLock<Arc<Snapshot>>,
     shutdown: AtomicBool,
     obs: Obs,
+    active_clients: AtomicU64,
+    queue_depth: AtomicU64,
+    counters: ServeCounters,
+    progress: Progress,
 }
 
 impl Shared {
+    fn new() -> Self {
+        let obs = Obs::new();
+        let counters = ServeCounters::register(&obs);
+        Shared {
+            snapshot: RwLock::new(Arc::new(Snapshot {
+                epoch: 0,
+                status: String::new(),
+                results: String::new(),
+                engines: String::new(),
+                metrics: String::new(),
+                fingerprint: String::new(),
+            })),
+            shutdown: AtomicBool::new(false),
+            obs,
+            active_clients: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            counters,
+            progress: Progress::default(),
+        }
+    }
+
     fn current(&self) -> Arc<Snapshot> {
         Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
     }
@@ -111,15 +278,60 @@ impl Shared {
     fn publish(&self, snapshot: Snapshot) {
         *self.snapshot.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
     }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
 }
 
-/// A running `vtld serve` daemon: ingest + accept threads, plus the
-/// published snapshot they share.
+/// Slot-local accumulation the shard workers write and the merger
+/// reads: the slot's merged [`StudyPartials`] plus its Table 2 store
+/// accounting.
+#[derive(Debug, Default)]
+struct SlotState {
+    partials: Option<StudyPartials>,
+    partitions: Vec<PartitionStats>,
+}
+
+/// One mutex per slot — a worker updates its slot while the merger
+/// walks all of them; neither holds a lock for longer than a clone.
+struct SlotTable {
+    slots: Vec<Mutex<SlotState>>,
+}
+
+impl SlotTable {
+    fn new() -> Self {
+        Self {
+            slots: (0..INGEST_SLOTS).map(|_| Mutex::default()).collect(),
+        }
+    }
+}
+
+/// One sealed segment travelling from the feeder to a shard worker.
+struct SegmentMsg {
+    slot: usize,
+    segment: Segment,
+    /// Replayed from the data dir (already round-tripped through the
+    /// on-disk container) rather than freshly sealed.
+    recovered: bool,
+}
+
+/// Shard-worker → merger notifications.
+enum MergeEvent {
+    Folded,
+    WorkerExited,
+}
+
+/// A running `vtld serve` daemon: feeder, shard fleet, merger and
+/// accept threads, plus the published snapshot they share.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    ingest: Option<JoinHandle<()>>,
-    accept: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -132,31 +344,92 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds the listener, publishes the epoch-0 (empty study)
-    /// snapshot, and starts the ingest and accept threads.
+    /// Binds the listener, opens (and on `recover` validates) the data
+    /// dir, publishes the epoch-0 (empty study) snapshot, and starts
+    /// the feeder, shard, merger and accept threads.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let config = config.normalized();
+        let segdir = match &config.data_dir {
+            Some(path) => {
+                let dir = SegmentDir::open(path, INGEST_SLOTS as u32)?;
+                if !config.recover && dir.has_segments()? {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!(
+                            "data dir {} already holds sealed segments; \
+                             restart with recovery enabled or point at a clean directory",
+                            dir.root().display()
+                        ),
+                    ));
+                }
+                Some(dir)
+            }
+            None if config.recover => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "recovery needs a data dir to replay",
+                ));
+            }
+            None => None,
+        };
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            snapshot: RwLock::new(Arc::new(empty_snapshot(&config))),
-            shutdown: AtomicBool::new(false),
-            obs: Obs::new(),
-        });
+        let shared = Arc::new(Shared::new());
+        let sim = Arc::new(VirusTotalSim::new(SimConfig::new(
+            config.seed,
+            config.samples,
+        )));
+        shared.publish(empty_snapshot(&config, sim.fleet()));
+        let table = Arc::new(SlotTable::new());
 
-        let ingest = {
+        let mut threads = Vec::new();
+        let (merge_tx, merge_rx) = channel::<MergeEvent>();
+        let mut shard_txs: Vec<SyncSender<SegmentMsg>> = Vec::new();
+        for _ in 0..config.shards {
+            let (tx, rx) = sync_channel::<SegmentMsg>(SHARD_QUEUE_SEGMENTS);
+            shard_txs.push(tx);
+            let (sim, shared, table, merge_tx) = (
+                Arc::clone(&sim),
+                Arc::clone(&shared),
+                Arc::clone(&table),
+                merge_tx.clone(),
+            );
+            let fold_workers = config.workers;
+            threads.push(std::thread::spawn(move || {
+                shard_worker(rx, &sim, &shared, &table, &merge_tx, fold_workers)
+            }));
+        }
+        drop(merge_tx);
+
+        {
+            let (sim, shared, table, config) = (
+                Arc::clone(&sim),
+                Arc::clone(&shared),
+                Arc::clone(&table),
+                config.clone(),
+            );
+            threads.push(std::thread::spawn(move || {
+                merger_loop(&merge_rx, &shared, &table, &sim, &config)
+            }));
+        }
+        {
+            let (shared, config) = (Arc::clone(&shared), config.clone());
+            threads.push(std::thread::spawn(move || {
+                ingest_loop(&config, &shared, &sim, &shard_txs, segdir)
+            }));
+        }
+        {
             let shared = Arc::clone(&shared);
             let config = config.clone();
-            std::thread::spawn(move || ingest_loop(&config, &shared))
-        };
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
-        };
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&listener, &shared, &config)
+            }));
+        }
         Ok(Server {
             addr,
             shared,
-            ingest: Some(ingest),
-            accept: Some(accept),
+            threads,
         })
     }
 
@@ -170,23 +443,22 @@ impl Server {
         self.shared.current().epoch
     }
 
-    /// Signals shutdown: ingestion stops at the next chunk boundary and
-    /// the accept loop exits. Idempotent; does not wait (see
-    /// [`wait`](Self::wait)).
+    /// Signals shutdown: the feeder drains at the next boundary (sealing
+    /// and persisting in-progress segments), workers fold what is
+    /// queued, the merger publishes a final snapshot, and the accept
+    /// loop exits. Idempotent; does not wait (see [`wait`](Self::wait)).
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.request_shutdown();
         // The accept loop may be parked in accept(); poke it awake.
         let _ = TcpStream::connect(self.addr);
     }
 
-    /// Blocks until both daemon threads exit (after
-    /// [`shutdown`](Self::shutdown), or a client's `shutdown` command).
+    /// Blocks until every daemon thread exits (after
+    /// [`shutdown`](Self::shutdown), feed exhaustion plus a client's
+    /// `shutdown` command, or a fatal ingest error).
     pub fn wait(mut self) {
-        if let Some(h) = self.ingest.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -194,108 +466,334 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
-        if let Some(h) = self.ingest.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
         }
     }
 }
 
-/// The epoch-0 snapshot: the finished empty study, so every query has a
-/// well-formed answer before the first segment seals.
-fn empty_snapshot(config: &ServeConfig) -> Snapshot {
-    let fleet = EngineFleet::with_seed(config.seed ^ 0xF1EE_7000);
-    let window_start = SimConfig::new(config.seed, config.samples).window_start();
-    let study = IncrementalStudy::new(&fleet, window_start);
-    let results = study.results(Vec::new(), Obs::noop());
-    render_snapshot(
-        0,
-        &results,
-        &fleet,
-        &IngestProgress::default(),
-        &Obs::noop().snapshot(),
-    )
+/// The slot an accepted sample's whole trajectory is routed to. Purely
+/// a function of the (well-mixed) hash, so every run at every shard
+/// count routes identically.
+fn slot_of(hash: SampleHash) -> usize {
+    (hash.0 % INGEST_SLOTS as u128) as usize
 }
 
-/// Running totals the `status` response reports alongside the study.
-#[derive(Debug, Default, Clone)]
-struct IngestProgress {
-    segments: u64,
-    samples: u64,
-    reports: u64,
-    accepted: u64,
-    quarantined: u64,
-    done: bool,
+/// A slot's segment writer: durable (fsync-before-sealed through the
+/// data dir) or in-memory.
+enum SlotWriter {
+    Durable(DurableWriter),
+    Memory(SegmentWriter),
 }
 
-/// The ingest thread: simulate → chaos feed → collector → segment
-/// writer → incremental fold → snapshot swap, until the feed is
-/// exhausted or shutdown is requested.
-fn ingest_loop(config: &ServeConfig, shared: &Shared) {
-    let sim = VirusTotalSim::new(SimConfig::new(config.seed, config.samples));
-    let window_start = sim.config().window_start();
-    let mut study = IncrementalStudy::new(sim.fleet(), window_start).with_workers(config.workers);
-    let mut writer = SegmentWriter::new(config.segment_reports.max(1));
-    let mut partitions: Vec<PartitionStats> = Vec::new();
-    let mut progress = IngestProgress::default();
-    let mut epoch = 0u64;
+impl SlotWriter {
+    fn push_sample(
+        &mut self,
+        reports: &[crate::model::ScanReport],
+    ) -> std::io::Result<Option<Segment>> {
+        match self {
+            SlotWriter::Durable(w) => w.push_sample(reports),
+            SlotWriter::Memory(w) => Ok(w.push_sample(reports)),
+        }
+    }
 
-    let mut fold = |segment: crate::store::Segment,
-                    study: &mut IncrementalStudy,
-                    partitions: &mut Vec<PartitionStats>,
-                    progress: &mut IngestProgress| {
-        // Round-trip the sealed segment through its checksummed on-disk
-        // container: what the daemon folds is exactly what a restart
-        // would recover from disk.
-        let mut buf = Vec::new();
-        write_segment(&segment, &mut buf).expect("in-memory segment write");
-        let segment = read_segment(&mut buf.as_slice()).expect("own segment re-reads");
-        merge_partitions(partitions, &segment.store().partition_stats());
-        let records = records_from_store(segment.store());
-        progress.segments += 1;
-        progress.samples += records.len() as u64;
-        progress.reports += segment.store().report_count();
-        study.fold_segment(&records, &shared.obs);
-        epoch += 1;
-        let results = study.results(partitions.clone(), &shared.obs);
-        shared.publish(render_snapshot(
-            epoch,
-            &results,
-            sim.fleet(),
-            progress,
-            &shared.obs.snapshot(),
-        ));
-    };
+    fn finish(self) -> std::io::Result<Option<Segment>> {
+        match self {
+            SlotWriter::Durable(w) => w.finish(),
+            SlotWriter::Memory(w) => Ok(w.finish()),
+        }
+    }
+}
+
+/// Hands one sealed segment to its slot's shard worker, blocking when
+/// the bounded queue is full (backpressure — the feed waits, accepted
+/// samples are never dropped). Returns `false` if the worker is gone
+/// (it panicked); the feeder then stops.
+fn send_segment(shared: &Shared, senders: &[SyncSender<SegmentMsg>], msg: SegmentMsg) -> bool {
+    let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.counters.queue_depth.set_max(depth);
+    if senders[msg.slot % senders.len()].send(msg).is_err() {
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        shared.request_shutdown();
+        return false;
+    }
+    true
+}
+
+/// The feeder thread: replay the data dir (under recovery), then
+/// simulate → chaos feed → collector → hash-route → seal durably →
+/// hand to the shard fleet, until the feed is exhausted or shutdown is
+/// requested — at which point it drains (seals and ships in-progress
+/// segments) before dropping the queues.
+fn ingest_loop(
+    config: &ServeConfig,
+    shared: &Shared,
+    sim: &Arc<VirusTotalSim>,
+    senders: &[SyncSender<SegmentMsg>],
+    segdir: Option<SegmentDir>,
+) {
+    // ---- recovery replay --------------------------------------------
+    let mut sealed_hashes: HashSet<SampleHash> = HashSet::new();
+    let mut next_seq = [0u64; INGEST_SLOTS];
+    if let (Some(dir), true) = (&segdir, config.recover) {
+        let replay = match dir.replay() {
+            Ok(replay) => replay,
+            Err(e) => {
+                eprintln!("vtld serve: recovery replay failed: {e}");
+                shared.request_shutdown();
+                return;
+            }
+        };
+        shared.counters.quarantined.add(replay.quarantined_segments);
+        for (slot, segments) in replay.slots.into_iter().enumerate() {
+            next_seq[slot] = segments.len() as u64;
+            for segment in segments {
+                for hash in segment.store().sample_hashes() {
+                    sealed_hashes.insert(hash);
+                }
+                if !send_segment(
+                    shared,
+                    senders,
+                    SegmentMsg {
+                        slot,
+                        segment,
+                        recovered: true,
+                    },
+                ) {
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---- live ingest ------------------------------------------------
+    let mut writers: Vec<Option<SlotWriter>> = (0..INGEST_SLOTS)
+        .map(|slot| {
+            Some(match &segdir {
+                Some(dir) => SlotWriter::Durable(DurableWriter::new(
+                    dir.clone(),
+                    slot as u32,
+                    config.segment_reports,
+                    next_seq[slot],
+                )),
+                None => SlotWriter::Memory(SegmentWriter::resuming(
+                    config.segment_reports,
+                    next_seq[slot],
+                )),
+            })
+        })
+        .collect();
 
     let mut start = 0u64;
-    while start < config.samples && !shared.shutdown.load(Ordering::SeqCst) {
+    'feed: while start < config.samples && !shared.shutdown_requested() {
         let end = (start + INGEST_CHUNK_SAMPLES).min(config.samples);
-        let feed = FaultyFeed::from_sim(&sim, start..end, config.plan);
+        // Resume fast-path: a chunk whose samples were all sealed before
+        // the crash needs no re-simulation at all.
+        if !sealed_hashes.is_empty()
+            && (start..end).all(|o| sealed_hashes.contains(&sim.population().sample(o).hash))
+        {
+            start = end;
+            continue;
+        }
+        let feed = FaultyFeed::from_sim(sim, start..end, config.plan);
         let outcome = Collector::default().run_with_obs(feed, &shared.obs);
-        progress.accepted += outcome.stats.accepted;
-        progress.quarantined += outcome.stats.quarantined;
-        for (_, reports) in outcome.store.group_by_sample() {
-            if let Some(segment) = writer.push_sample(&reports) {
-                fold(segment, &mut study, &mut partitions, &mut progress);
+        shared
+            .progress
+            .accepted
+            .fetch_add(outcome.stats.accepted, Ordering::SeqCst);
+        shared
+            .progress
+            .quarantined
+            .fetch_add(outcome.stats.quarantined, Ordering::SeqCst);
+        for (hash, reports) in outcome.store.group_by_sample() {
+            if sealed_hashes.contains(&hash) {
+                continue;
+            }
+            let slot = slot_of(hash);
+            match writers[slot]
+                .as_mut()
+                .expect("writer taken only at drain")
+                .push_sample(&reports)
+            {
+                Ok(Some(segment)) => {
+                    if !send_segment(
+                        shared,
+                        senders,
+                        SegmentMsg {
+                            slot,
+                            segment,
+                            recovered: false,
+                        },
+                    ) {
+                        break 'feed;
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("vtld serve: segment persist failed, stopping ingest: {e}");
+                    shared.request_shutdown();
+                    break 'feed;
+                }
             }
         }
         start = end;
     }
-    if let Some(tail) = writer.finish() {
-        fold(tail, &mut study, &mut partitions, &mut progress);
-    }
+    let completed = start >= config.samples;
 
-    // Final swap marks ingestion complete in the status response.
-    progress.done = true;
+    // ---- drain: seal in-progress segments, even on shutdown ---------
+    for (slot, writer) in writers.iter_mut().enumerate() {
+        let writer = writer.take().expect("each writer drains once");
+        match writer.finish() {
+            Ok(Some(segment)) => {
+                send_segment(
+                    shared,
+                    senders,
+                    SegmentMsg {
+                        slot,
+                        segment,
+                        recovered: false,
+                    },
+                );
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("vtld serve: tail segment persist failed: {e}"),
+        }
+    }
+    if completed {
+        shared.progress.feed_done.store(true, Ordering::SeqCst);
+    }
+    // Senders drop here: workers drain their queues and exit, and the
+    // merger publishes the final snapshot once they have.
+}
+
+/// One shard worker: folds its slots' segment streams, in arrival
+/// (= per-slot seal) order, into slot-local partials, and notifies the
+/// merger after every fold.
+fn shard_worker(
+    rx: Receiver<SegmentMsg>,
+    sim: &VirusTotalSim,
+    shared: &Shared,
+    table: &SlotTable,
+    merge_tx: &Sender<MergeEvent>,
+    fold_workers: usize,
+) {
+    let fleet = sim.fleet();
+    let window_start = sim.config().window_start();
+    let mut studies: HashMap<usize, IncrementalStudy<'_>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let SegmentMsg {
+            slot,
+            segment,
+            recovered,
+        } = msg;
+        // Freshly sealed segments round-trip through their checksummed
+        // container before folding: what the daemon folds is exactly
+        // what a restart would recover from disk. Replayed segments
+        // already came through it.
+        let segment = if recovered {
+            segment
+        } else {
+            let mut buf = Vec::new();
+            write_segment(&segment, &mut buf).expect("in-memory segment write");
+            read_segment(&mut buf.as_slice()).expect("own segment re-reads")
+        };
+        let records = records_from_store(segment.store());
+        let study = studies.entry(slot).or_insert_with(|| {
+            IncrementalStudy::new(fleet, window_start).with_workers(fold_workers)
+        });
+        study.fold_segment(&records, &shared.obs);
+        {
+            let mut state = table.slots[slot].lock().expect("slot lock poisoned");
+            state.partials = study.partials().cloned();
+            merge_partitions(&mut state.partitions, &segment.store().partition_stats());
+        }
+        shared.progress.segments.fetch_add(1, Ordering::SeqCst);
+        shared
+            .progress
+            .samples
+            .fetch_add(records.len() as u64, Ordering::SeqCst);
+        shared
+            .progress
+            .reports
+            .fetch_add(segment.store().report_count(), Ordering::SeqCst);
+        if recovered {
+            shared.counters.recovered.incr();
+        }
+        let _ = merge_tx.send(MergeEvent::Folded);
+    }
+    let _ = merge_tx.send(MergeEvent::WorkerExited);
+}
+
+/// The merger thread: on every fold notification (coalescing bursts),
+/// merge the slot partials in slot order, finish the study, and publish
+/// the next epoch. After the whole fleet exits — every sealed segment
+/// folded — publish the final snapshot, marking `ingest_done` when the
+/// feed was fully consumed.
+fn merger_loop(
+    rx: &Receiver<MergeEvent>,
+    shared: &Shared,
+    table: &SlotTable,
+    sim: &VirusTotalSim,
+    config: &ServeConfig,
+) {
+    let fleet = sim.fleet();
+    let mut epoch = 0u64;
+    let mut exited = 0usize;
+    while exited < config.shards {
+        let Ok(first) = rx.recv() else { break };
+        let mut folded = false;
+        for event in std::iter::once(first).chain(std::iter::from_fn(|| rx.try_recv().ok())) {
+            match event {
+                MergeEvent::Folded => folded = true,
+                MergeEvent::WorkerExited => exited += 1,
+            }
+        }
+        if folded && exited < config.shards {
+            epoch += 1;
+            publish_merged(epoch, false, shared, table, sim, config);
+        }
+    }
+    // Final publish: every sealed segment has been folded and merged.
     epoch += 1;
-    let results = study.results(partitions.clone(), &shared.obs);
+    let done = shared.progress.feed_done.load(Ordering::SeqCst);
+    publish_merged(epoch, done, shared, table, sim, config);
+    let _ = fleet;
+}
+
+/// Merges the slot partials in canonical slot order and publishes the
+/// rendered snapshot.
+fn publish_merged(
+    epoch: u64,
+    done: bool,
+    shared: &Shared,
+    table: &SlotTable,
+    sim: &VirusTotalSim,
+    config: &ServeConfig,
+) {
+    let mut acc: Option<StudyPartials> = None;
+    let mut partitions: Vec<PartitionStats> = Vec::new();
+    for slot in &table.slots {
+        let state = slot.lock().expect("slot lock poisoned");
+        if let Some(partials) = &state.partials {
+            acc = Some(match acc {
+                None => partials.clone(),
+                Some(earlier) => earlier.merge(partials.clone()),
+            });
+        }
+        merge_partitions(&mut partitions, &state.partitions);
+    }
+    let results = match acc {
+        Some(partials) => partials.finish(partitions, &shared.obs),
+        None => IncrementalStudy::new(sim.fleet(), sim.config().window_start())
+            .results(partitions, &shared.obs),
+    };
+    let view = StatusView::collect(shared, done, config.shards);
     shared.publish(render_snapshot(
         epoch,
         &results,
         sim.fleet(),
-        &progress,
+        &view,
         &shared.obs.snapshot(),
     ));
 }
@@ -314,47 +812,196 @@ fn merge_partitions(acc: &mut Vec<PartitionStats>, seg: &[PartitionStats]) {
     }
 }
 
-/// The accept loop: one handler thread per connection, until shutdown.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+/// The epoch-0 snapshot: the finished empty study, so every query has a
+/// well-formed answer before the first segment folds.
+fn empty_snapshot(config: &ServeConfig, fleet: &EngineFleet) -> Snapshot {
+    let window_start = SimConfig::new(config.seed, config.samples).window_start();
+    let study = IncrementalStudy::new(fleet, window_start);
+    let results = study.results(Vec::new(), Obs::noop());
+    render_snapshot(
+        0,
+        &results,
+        fleet,
+        &StatusView::empty(config.shards),
+        &Obs::noop().snapshot(),
+    )
+}
+
+// ---- connection handling -----------------------------------------------
+
+/// The accept loop: admission-controlled, one handler thread per
+/// admitted connection, until shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServeConfig) {
     for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown_requested() {
             break;
         }
         let Ok(stream) = stream else { continue };
+        if shared.active_clients.load(Ordering::SeqCst) >= config.max_clients as u64 {
+            shed_connection(stream, shared, config);
+            continue;
+        }
+        shared.active_clients.fetch_add(1, Ordering::SeqCst);
         let shared = Arc::clone(shared);
-        std::thread::spawn(move || handle_connection(stream, &shared));
+        let config = config.clone();
+        std::thread::spawn(move || {
+            // Decrement even if the handler panics, so one bad
+            // connection can never wedge the admission gate.
+            struct Guard(Arc<Shared>);
+            impl Drop for Guard {
+                fn drop(&mut self) {
+                    self.0.active_clients.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            let guard = Guard(Arc::clone(&shared));
+            handle_connection(stream, &shared, &config);
+            drop(guard);
+        });
     }
 }
 
-/// One client connection: newline-delimited JSON requests, each
-/// answered from the snapshot current at that moment.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+/// Sheds one connection at the admission gate with a typed `overloaded`
+/// response (best effort — a client that will not even read it is
+/// simply dropped).
+fn shed_connection(mut stream: TcpStream, shared: &Shared, config: &ServeConfig) {
+    shared.counters.rejected.incr();
+    let epoch = shared.current().epoch;
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.write_all(
+        format!(
+            "{{\"epoch\":{epoch},\"overloaded\":true,\
+             \"error\":\"overloaded: connection limit reached, retry later\"}}\n"
+        )
+        .as_bytes(),
+    );
+}
+
+/// Why a bounded line read stopped without producing a line.
+enum LineError {
+    /// The line exceeded the configured byte limit.
+    TooLong,
+    /// The read deadline expired with no complete line.
+    Timeout,
+    /// Any other I/O failure (connection reset and friends).
+    Io,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes (exclusive of
+/// the terminator). `Ok(None)` is EOF; a partial line truncated by EOF
+/// is also EOF (there is no requester left to answer).
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> Result<Option<String>, LineError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, complete) = {
+            let available = match reader.fill_buf() {
+                Ok([]) => return Ok(None),
+                Ok(bytes) => bytes,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(LineError::Timeout)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(LineError::Io),
+            };
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if buf.len() > max {
+            return Err(LineError::TooLong);
+        }
+        if complete {
+            // Non-UTF-8 input degrades to a replacement-character string
+            // that fails JSON parsing and earns a typed error response.
+            return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+        }
+    }
+}
+
+/// One client connection: newline-delimited JSON requests under read
+/// and write deadlines, each answered from the snapshot current at that
+/// moment; deadline or line-limit violations evict with a typed
+/// response.
+fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServeConfig) {
+    if stream
+        .set_read_timeout(Some(config.read_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(config.write_timeout)))
+        .is_err()
+    {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = respond(&line, shared);
-        if writer
-            .write_all(format!("{response}\n").as_bytes())
-            .is_err()
-        {
+    let mut reader = BufReader::new(read_half);
+    loop {
+        if shared.shutdown_requested() {
             break;
         }
-        if shutdown {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop so it observes the flag.
-            if let Ok(addr) = writer.local_addr() {
-                let _ = TcpStream::connect(SocketAddr::new(addr.ip(), addr.port()));
+        match read_bounded_line(&mut reader, config.max_line_bytes) {
+            Ok(None) => break,
+            Ok(Some(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (response, shutdown) = respond(&line, shared);
+                if writer
+                    .write_all(format!("{response}\n").as_bytes())
+                    .is_err()
+                {
+                    shared.counters.evicted.incr();
+                    break;
+                }
+                if shutdown {
+                    shared.request_shutdown();
+                    // Wake the accept loop so it observes the flag.
+                    if let Ok(addr) = writer.local_addr() {
+                        let _ = TcpStream::connect(SocketAddr::new(addr.ip(), addr.port()));
+                    }
+                    break;
+                }
             }
-            break;
+            Err(LineError::TooLong) => {
+                evict(&mut writer, shared, "request line exceeds the length limit");
+                break;
+            }
+            Err(LineError::Timeout) => {
+                evict(&mut writer, shared, "idle past the read deadline");
+                break;
+            }
+            Err(LineError::Io) => break,
         }
     }
+}
+
+/// Evicts one connection with a typed response (best effort) and counts
+/// it.
+fn evict(writer: &mut TcpStream, shared: &Shared, reason: &str) {
+    shared.counters.evicted.incr();
+    let epoch = shared.current().epoch;
+    let _ = writer.write_all(
+        format!(
+            "{{\"epoch\":{epoch},\"evicted\":true,\"error\":{}}}\n",
+            json_string(&format!("connection evicted: {reason}"))
+        )
+        .as_bytes(),
+    );
 }
 
 /// Routes one request line to its pre-rendered response. Returns the
@@ -379,6 +1026,7 @@ fn respond(line: &str, shared: &Shared) -> (String, bool) {
         Some("results") => (snap.results.clone(), false),
         Some("engines") => (snap.engines.clone(), false),
         Some("metrics") => (snap.metrics.clone(), false),
+        Some("fingerprint") => (snap.fingerprint.clone(), false),
         Some("shutdown") => (
             format!("{{\"epoch\":{},\"shutting_down\":true}}", snap.epoch),
             true,
@@ -402,6 +1050,47 @@ fn respond(line: &str, shared: &Shared) -> (String, bool) {
 }
 
 // ---- response rendering ------------------------------------------------
+
+/// The ingest totals one rendered snapshot reports.
+#[derive(Debug, Default)]
+struct StatusView {
+    segments: u64,
+    samples: u64,
+    reports: u64,
+    accepted: u64,
+    quarantined: u64,
+    done: bool,
+    shards: usize,
+    recovered_segments: u64,
+    quarantined_segments: u64,
+    rejected: u64,
+    evicted: u64,
+}
+
+impl StatusView {
+    fn collect(shared: &Shared, done: bool, shards: usize) -> Self {
+        StatusView {
+            segments: shared.progress.segments.load(Ordering::SeqCst),
+            samples: shared.progress.samples.load(Ordering::SeqCst),
+            reports: shared.progress.reports.load(Ordering::SeqCst),
+            accepted: shared.progress.accepted.load(Ordering::SeqCst),
+            quarantined: shared.progress.quarantined.load(Ordering::SeqCst),
+            done,
+            shards,
+            recovered_segments: shared.counters.recovered.value(),
+            quarantined_segments: shared.counters.quarantined.value(),
+            rejected: shared.counters.rejected.value(),
+            evicted: shared.counters.evicted.value(),
+        }
+    }
+
+    fn empty(shards: usize) -> Self {
+        StatusView {
+            shards,
+            ..StatusView::default()
+        }
+    }
+}
 
 /// JSON number for an `f64`: non-finite values have no JSON spelling
 /// and render as `null`.
@@ -432,25 +1121,85 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// FNV-1a accumulation over a byte slice.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// The chaos-gate fingerprint of a finished study: an FNV-1a digest of
+/// the Debug rendering of every result field **except** the wall-clock
+/// `stage_timings` (never deterministic), plus a digest of the raw
+/// `to_bits` of every Spearman plane (global + per-type), so NaN
+/// payloads and signed zeros count. Two runs whose fingerprints match
+/// agree on every published statistic bit for bit — this is what
+/// `tests/serve_chaos.rs` compares across kill/restart and shard
+/// counts.
+fn study_fingerprint(results: &StudyResults) -> (u64, u64) {
+    let debug = format!(
+        "{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        results.dataset,
+        results.fig1,
+        results.partitions,
+        results.stability,
+        results.s_samples,
+        results.s_reports,
+        results.metrics,
+        results.window_growth,
+        results.intervals,
+        results.categories_all,
+        results.categories_pe,
+        results.causes,
+        results.rank_stabilization,
+        results.label_stabilization_all,
+        results.label_stabilization_multi,
+        results.flips,
+        results.correlation_global,
+        results.correlation_per_type,
+    );
+    let mut debug_fnv = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a(&mut debug_fnv, debug.as_bytes());
+    fnv1a(
+        &mut debug_fnv,
+        &results.window_growth.to_bits().to_le_bytes(),
+    );
+    let mut rho_fnv = 0xcbf2_9ce4_8422_2325u64;
+    for plane in std::iter::once(&results.correlation_global).chain(&results.correlation_per_type) {
+        for v in &plane.rho {
+            fnv1a(&mut rho_fnv, &v.to_bits().to_le_bytes());
+        }
+    }
+    (debug_fnv, rho_fnv)
+}
+
 /// Renders every response for one epoch in one place, so a snapshot can
 /// never mix stages of the study.
 fn render_snapshot(
     epoch: u64,
-    results: &crate::dynamics::StudyResults,
+    results: &StudyResults,
     fleet: &EngineFleet,
-    progress: &IngestProgress,
+    view: &StatusView,
     metrics: &crate::obs::RunMetrics,
 ) -> Snapshot {
     let status = format!(
         "{{\"epoch\":{epoch},\"segments\":{},\"samples\":{},\"reports\":{},\
-         \"accepted\":{},\"quarantined\":{},\"s_samples\":{},\"ingest_done\":{}}}",
-        progress.segments,
-        progress.samples,
-        progress.reports,
-        progress.accepted,
-        progress.quarantined,
+         \"accepted\":{},\"quarantined\":{},\"s_samples\":{},\"ingest_done\":{},\
+         \"shards\":{},\"recovered_segments\":{},\"quarantined_segments\":{},\
+         \"rejected\":{},\"evicted\":{}}}",
+        view.segments,
+        view.samples,
+        view.reports,
+        view.accepted,
+        view.quarantined,
         results.s_samples,
-        progress.done,
+        view.done,
+        view.shards,
+        view.recovered_segments,
+        view.quarantined_segments,
+        view.rejected,
+        view.evicted,
     );
 
     let c = &results.correlation_global;
@@ -519,12 +1268,20 @@ fn render_snapshot(
         metrics.to_json().replace('\n', " ")
     );
 
+    let (debug_fnv, rho_fnv) = study_fingerprint(results);
+    let fingerprint = format!(
+        "{{\"epoch\":{epoch},\"ingest_done\":{},\
+         \"fingerprint\":\"{debug_fnv:016x}\",\"rho_fnv\":\"{rho_fnv:016x}\"}}",
+        view.done,
+    );
+
     Snapshot {
         epoch,
         status,
         results: results_json,
         engines: engines_json,
         metrics: metrics_json,
+        fingerprint,
     }
 }
 
@@ -544,12 +1301,24 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_parseable_responses() {
         let config = ServeConfig::new(100, 7);
-        let snap = empty_snapshot(&config);
+        let fleet = EngineFleet::with_seed(config.seed ^ 0xF1EE_7000);
+        let snap = empty_snapshot(&config, &fleet);
         assert_eq!(snap.epoch, 0);
-        for doc in [&snap.status, &snap.results, &snap.engines, &snap.metrics] {
+        for doc in [
+            &snap.status,
+            &snap.results,
+            &snap.engines,
+            &snap.metrics,
+            &snap.fingerprint,
+        ] {
             let v = crate::obs::json::parse(doc).expect("valid JSON");
             assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(0));
         }
+        let v = crate::obs::json::parse(&snap.fingerprint).expect("valid JSON");
+        assert_eq!(
+            v.get("fingerprint").and_then(|f| f.as_str()).map(str::len),
+            Some(16)
+        );
     }
 
     #[test]
@@ -566,5 +1335,43 @@ mod tests {
         assert_eq!(acc.len(), 1);
         assert_eq!(acc[0].reports, 9);
         assert_eq!(acc[0].stored_bytes, 30);
+    }
+
+    #[test]
+    fn slot_routing_is_total_and_stable() {
+        for ordinal in 0..512u64 {
+            let hash = SampleHash::from_ordinal(ordinal);
+            let slot = slot_of(hash);
+            assert!(slot < INGEST_SLOTS);
+            assert_eq!(slot, slot_of(hash), "routing must be pure");
+        }
+    }
+
+    #[test]
+    fn config_normalization_clamps() {
+        let mut config = ServeConfig::new(10, 1);
+        config.shards = 0;
+        config.segment_reports = 0;
+        config.max_clients = 0;
+        let n = config.normalized();
+        assert_eq!(n.shards, 1);
+        assert_eq!(n.segment_reports, 1);
+        assert_eq!(n.max_clients, 1);
+        let mut config = ServeConfig::new(10, 1);
+        config.shards = 64;
+        assert_eq!(config.normalized().shards, INGEST_SLOTS);
+    }
+
+    #[test]
+    fn fingerprint_ignores_stage_timings_only() {
+        let fleet = EngineFleet::with_seed(42);
+        let window_start = SimConfig::new(42, 10).window_start();
+        let study = IncrementalStudy::new(&fleet, window_start);
+        let mut a = study.results(Vec::new(), Obs::noop());
+        let b = study.results(Vec::new(), Obs::noop());
+        let fp_a = study_fingerprint(&a);
+        assert_eq!(fp_a, study_fingerprint(&b), "same study, same fingerprint");
+        a.s_samples += 1;
+        assert_ne!(fp_a, study_fingerprint(&a), "results changes must show");
     }
 }

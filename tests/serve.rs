@@ -1,9 +1,13 @@
-//! Smoke test for the `vtld serve` daemon: concurrent clients query a
-//! live server *while* it ingests the chaos-injected feed, and every
-//! answer must be a parseable, epoch-consistent snapshot.
+//! Smoke tests for the `vtld serve` daemon: concurrent clients query a
+//! live server *while* it ingests the chaos-injected feed, every answer
+//! must be a parseable, epoch-consistent snapshot — and hostile wire
+//! input (oversized lines, truncated JSON, binary garbage, half-closed
+//! or silent sockets) must earn typed errors or eviction, never a
+//! panic, a hang, or a wedged daemon.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 use vt_label_dynamics::obs::json;
 use vt_label_dynamics::prelude::*;
 
@@ -107,5 +111,163 @@ fn serve_answers_concurrent_clients_during_ingestion() {
         bye.get("shutting_down").and_then(|b| b.as_bool()),
         Some(true)
     );
+    server.wait();
+}
+
+/// Sends raw bytes on a fresh connection and returns the first response
+/// line (if the server sent one before closing).
+fn send_raw(addr: std::net::SocketAddr, payload: &[u8]) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(payload).expect("write payload");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line),
+        Err(_) => None,
+    }
+}
+
+/// A tiny idle server for protocol-abuse tests: no ingestion to speak
+/// of, tight limits so hostile input trips them quickly.
+fn hostile_test_server() -> Server {
+    let mut config = ServeConfig::new(50, 0xBAD);
+    config.segment_reports = 1_000;
+    config.workers = 1;
+    config.max_line_bytes = 256;
+    config.read_timeout = Duration::from_millis(400);
+    Server::start(config).expect("bind ephemeral port")
+}
+
+#[test]
+fn hostile_wire_input_gets_typed_errors_never_a_panic() {
+    let server = hostile_test_server();
+    let addr = server.addr();
+
+    // Truncated JSON: typed parse error carrying the epoch.
+    let line = send_raw(addr, b"{\"cmd\":\"sta\n").expect("a response");
+    let v = json::parse(line.trim_end()).expect("parseable error response");
+    assert!(v.get("error").is_some(), "{line}");
+    assert!(v.get("epoch").is_some(), "{line}");
+
+    // Binary garbage (not UTF-8, not JSON): typed error, not a panic.
+    let mut garbage = vec![0xFFu8, 0xFE, 0x00, 0x9B, 0x01, 0x80];
+    garbage.push(b'\n');
+    let line = send_raw(addr, &garbage).expect("a response");
+    let v = json::parse(line.trim_end()).expect("parseable error response");
+    assert!(v.get("error").is_some(), "{line}");
+
+    // A wrong-typed cmd member: typed error.
+    let line = send_raw(addr, b"{\"cmd\":42}\n").expect("a response");
+    let v = json::parse(line.trim_end()).expect("parseable error response");
+    assert!(v.get("error").is_some(), "{line}");
+
+    // An oversized request line (no newline until way past the limit):
+    // the client is evicted with a typed response and the connection is
+    // closed.
+    let mut huge = vec![b'a'; 4 * 1024];
+    huge.push(b'\n');
+    let line = send_raw(addr, &huge).expect("an eviction notice");
+    let v = json::parse(line.trim_end()).expect("parseable eviction response");
+    assert_eq!(v.get("evicted").and_then(|e| e.as_bool()), Some(true));
+    assert!(v.get("error").is_some(), "{line}");
+
+    // Half-closed socket: the client shuts down its write side without
+    // sending anything; the server must treat it as EOF and move on.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut rest = Vec::new();
+        let mut reader = BufReader::new(stream);
+        let _ = reader.read_to_end(&mut rest); // server closes quietly
+    }
+
+    // After all of that abuse, a well-formed client is served normally.
+    let (mut stream, mut reader) = connect(addr);
+    let v = ask(&mut stream, &mut reader, "status");
+    assert!(v.get("epoch").is_some());
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn silent_clients_are_evicted_on_the_read_deadline() {
+    let server = hostile_test_server();
+    let addr = server.addr();
+
+    // Connect and say nothing: the read deadline must evict us with a
+    // typed response instead of holding the slot forever.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client timeout");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("eviction notice");
+    let v = json::parse(line.trim_end()).expect("parseable eviction response");
+    assert_eq!(v.get("evicted").and_then(|e| e.as_bool()), Some(true));
+    // ...and the connection is then closed.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("eof"), 0);
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn connection_cap_sheds_load_with_typed_overloaded_responses() {
+    let mut config = ServeConfig::new(50, 0xCA5);
+    config.segment_reports = 1_000;
+    config.workers = 1;
+    config.max_clients = 2;
+    let server = Server::start(config).expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Two admitted clients, proven live by a round-trip each.
+    let mut held: Vec<_> = (0..2)
+        .map(|_| {
+            let (mut stream, mut reader) = connect(addr);
+            let v = ask(&mut stream, &mut reader, "status");
+            assert!(v.get("epoch").is_some());
+            (stream, reader)
+        })
+        .collect();
+
+    // The third connection is shed at the gate with a typed response.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("overload notice");
+    let v = json::parse(line.trim_end()).expect("parseable overload response");
+    assert_eq!(v.get("overloaded").and_then(|o| o.as_bool()), Some(true));
+    assert!(v.get("error").is_some(), "{line}");
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("eof"), 0, "then closed");
+
+    // Freeing a slot re-admits new clients (retry until the handler's
+    // exit is visible to the admission gate).
+    drop(held.pop());
+    let mut admitted = false;
+    for _ in 0..100 {
+        let (mut stream, mut reader) = connect(addr);
+        stream
+            .write_all(b"{\"cmd\":\"status\"}\n")
+            .expect("write request");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        let v = json::parse(line.trim_end()).expect("parseable response");
+        if v.get("overloaded").is_none() {
+            assert!(v.get("samples").is_some(), "{line}");
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(admitted, "slot release must re-open admission");
+
+    drop(held);
+    server.shutdown();
     server.wait();
 }

@@ -1,0 +1,379 @@
+//! Chaos tests for the hardened `vtld serve` daemon.
+//!
+//! The contract under test (ISSUE 6 / DESIGN.md §11):
+//!
+//! * **Kill-recover bit-identity** — a daemon SIGKILLed mid-ingest and
+//!   restarted with `--recover` over the same `--data-dir` must finish
+//!   with a study fingerprint bit-identical to a never-killed run's, at
+//!   every shard × worker combination.
+//! * **Shard-count invariance** — the published fingerprint is
+//!   identical at shards 1, 2 and 4 (the merger folds the fixed hash
+//!   slots in canonical order, so shard parallelism can never show).
+//! * **Quarantine self-healing** — a corrupted segment file quarantines
+//!   (along with everything orphaned behind it) and its samples are
+//!   simply re-ingested: same fingerprint, `quarantined_segments`
+//!   counted, damaged bytes preserved under `quarantine/`.
+//! * **Load shedding** — a connection flood gets typed `overloaded`
+//!   responses beyond the client cap; epochs stay monotone, nothing
+//!   panics, and no accepted sample is lost.
+//!
+//! The reference fingerprint (same feed, in-memory, never killed) is
+//! computed once per test process and shared.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+use vt_label_dynamics::obs::json;
+use vt_label_dynamics::prelude::*;
+
+/// One feed shared by every scenario: the fingerprints must agree
+/// across all of them.
+const SAMPLES: u64 = 2_400;
+const SEED: u64 = 0x00C0_FFEE;
+const SEGMENT_REPORTS: u64 = 400;
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, cmd: &str) -> json::Value {
+    stream
+        .write_all(format!("{{\"cmd\":\"{cmd}\"}}\n").as_bytes())
+        .expect("write request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    json::parse(line.trim_end()).unwrap_or_else(|e| panic!("unparseable {cmd} response: {e}"))
+}
+
+/// The chaos config for this feed at a given shard/worker count.
+fn chaos_config(shards: usize, workers: usize) -> ServeConfig {
+    let mut config = ServeConfig::new(SAMPLES, SEED);
+    config.segment_reports = SEGMENT_REPORTS;
+    config.workers = workers;
+    config.shards = shards;
+    config
+}
+
+/// Polls a live server until `ingest_done`, then returns the
+/// `(fingerprint, rho_fnv)` pair and the final status document.
+fn await_fingerprint(addr: SocketAddr) -> ((String, String), json::Value) {
+    let (mut stream, mut reader) = connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let status = loop {
+        let v = ask(&mut stream, &mut reader, "status");
+        if v.get("ingest_done").and_then(|d| d.as_bool()) == Some(true) {
+            break v;
+        }
+        assert!(Instant::now() < deadline, "ingestion never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let fp = ask(&mut stream, &mut reader, "fingerprint");
+    assert_eq!(
+        fp.get("ingest_done").and_then(|d| d.as_bool()),
+        Some(true),
+        "{fp:?}"
+    );
+    let pair = (
+        fp.get("fingerprint")
+            .and_then(|f| f.as_str())
+            .expect("fingerprint member")
+            .to_string(),
+        fp.get("rho_fnv")
+            .and_then(|f| f.as_str())
+            .expect("rho_fnv member")
+            .to_string(),
+    );
+    (pair, status)
+}
+
+/// Runs one in-process server to completion and returns its fingerprint
+/// pair and final status.
+fn run_to_completion(config: ServeConfig) -> ((String, String), json::Value) {
+    let server = Server::start(config).expect("start server");
+    let out = await_fingerprint(server.addr());
+    server.shutdown();
+    server.wait();
+    out
+}
+
+/// The never-killed, in-memory reference fingerprint for this feed,
+/// computed once per test process.
+fn reference_fingerprint() -> &'static (String, String) {
+    static REFERENCE: OnceLock<(String, String)> = OnceLock::new();
+    REFERENCE.get_or_init(|| run_to_completion(chaos_config(1, 1)).0)
+}
+
+/// A unique scratch directory for one scenario's segment log.
+fn temp_data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vtld-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Counts durable (non-tmp, non-quarantined) segment files in a data
+/// dir.
+fn segment_files(dir: &PathBuf) -> usize {
+    match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file() && e.file_name().to_string_lossy().ends_with(".vtseg"))
+            .count(),
+        Err(_) => 0,
+    }
+}
+
+/// The full kill-recover scenario: spawn the real `vtld` binary on this
+/// feed with a durable segment log, SIGKILL it mid-ingest, then recover
+/// in-process over the same directory and demand the reference
+/// fingerprint, bit for bit.
+fn kill_mid_ingest_then_recover(tag: &str, shards: usize, workers: usize) {
+    let data_dir = temp_data_dir(tag);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vtld"))
+        .args([
+            "serve",
+            "--samples",
+            &SAMPLES.to_string(),
+            "--seed",
+            &format!("{SEED:#x}"),
+            "--segment-reports",
+            &SEGMENT_REPORTS.to_string(),
+            "--workers",
+            &workers.to_string(),
+            "--shards",
+            &shards.to_string(),
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            data_dir.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn vtld serve");
+
+    // Wait until the write-ahead log holds a few durable segments —
+    // proof the daemon is mid-ingest — then SIGKILL it. No grace, no
+    // drain: whatever the log holds is all that survives.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if segment_files(&data_dir) >= 3 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("vtld serve exited early with {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no segments appeared in {}",
+            data_dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap child");
+
+    // A dirty data dir must refuse to start without recovery enabled —
+    // silently interleaving two runs' streams is the one unforgivable
+    // outcome.
+    let mut config = chaos_config(shards, workers);
+    config.data_dir = Some(data_dir.clone());
+    let err = Server::start(config.clone()).expect_err("dirty dir must refuse without recover");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{err}");
+
+    // Recover: replay the clean prefix, resume ingest past it, finish.
+    config.recover = true;
+    let (fingerprint, status) = run_to_completion(config);
+    assert_eq!(
+        &fingerprint,
+        reference_fingerprint(),
+        "recovered run (shards={shards}, workers={workers}) must be \
+         bit-identical to the never-killed run"
+    );
+    assert!(
+        status
+            .get("recovered_segments")
+            .and_then(|r| r.as_u64())
+            .expect("recovered_segments member")
+            >= 3,
+        "{status:?}"
+    );
+    assert_eq!(
+        status.get("samples").and_then(|s| s.as_u64()),
+        Some(SAMPLES),
+        "every sample must be folded exactly once after recovery"
+    );
+
+    std::fs::remove_dir_all(&data_dir).expect("cleanup");
+}
+
+#[test]
+fn kill_recover_bit_identical_shards1_workers1() {
+    kill_mid_ingest_then_recover("s1w1", 1, 1);
+}
+
+#[test]
+fn kill_recover_bit_identical_shards2_workers2() {
+    kill_mid_ingest_then_recover("s2w2", 2, 2);
+}
+
+#[test]
+fn kill_recover_bit_identical_shards4_workers8() {
+    kill_mid_ingest_then_recover("s4w8", 4, 8);
+}
+
+#[test]
+fn fingerprint_bit_identical_across_shard_and_worker_counts() {
+    for (shards, workers) in [(2, 2), (4, 8)] {
+        let (fingerprint, _) = run_to_completion(chaos_config(shards, workers));
+        assert_eq!(
+            &fingerprint,
+            reference_fingerprint(),
+            "shards={shards}, workers={workers} must publish the same bits as shards=1"
+        );
+    }
+}
+
+#[test]
+fn corrupt_segment_quarantines_and_recovery_self_heals() {
+    let data_dir = temp_data_dir("quarantine");
+
+    // A clean durable run to completion seeds the log.
+    let mut config = chaos_config(2, 2);
+    config.data_dir = Some(data_dir.clone());
+    let (fingerprint, _) = run_to_completion(config.clone());
+    assert_eq!(&fingerprint, reference_fingerprint());
+
+    // Corrupt some slot's seq-1 segment mid-payload: salvage will only
+    // partially recover it, so replay must quarantine it *and* the same
+    // slot's later segments (orphaned behind the gap).
+    let victim = std::fs::read_dir(&data_dir)
+        .expect("read data dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .map(|n| {
+                    let n = n.to_string_lossy();
+                    n.starts_with("seg-") && n.ends_with("-0000000001.vtseg")
+                })
+                .unwrap_or(false)
+        })
+        .expect("some slot sealed at least two segments");
+    let mut bytes = std::fs::read(&victim).expect("read victim");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&victim, bytes).expect("rewrite victim");
+    // Interrupted-persist leftovers must be ignored, not tripped over.
+    std::fs::write(data_dir.join("seg-000-0000000099.vtseg.tmp"), b"junk").expect("tmp litter");
+
+    // Recovery serves from the clean prefix and re-ingests the rest —
+    // converging on the same bits, with the damage counted and kept.
+    config.recover = true;
+    let (fingerprint, status) = run_to_completion(config);
+    assert_eq!(
+        &fingerprint,
+        reference_fingerprint(),
+        "quarantine-and-reingest must converge on the reference bits"
+    );
+    assert!(
+        status
+            .get("quarantined_segments")
+            .and_then(|q| q.as_u64())
+            .expect("quarantined_segments member")
+            >= 1,
+        "{status:?}"
+    );
+    let quarantine = data_dir.join("quarantine");
+    assert!(
+        std::fs::read_dir(&quarantine)
+            .expect("quarantine dir exists")
+            .next()
+            .is_some(),
+        "damaged segments are preserved for inspection"
+    );
+
+    std::fs::remove_dir_all(&data_dir).expect("cleanup");
+}
+
+#[test]
+fn connection_flood_sheds_load_and_loses_nothing() {
+    let mut config = chaos_config(2, 2);
+    config.max_clients = 4;
+    let server = Server::start(config).expect("start server");
+    let addr = server.addr();
+
+    // 24 clients vs a 4-connection cap, hammering while ingestion runs.
+    let floods: Vec<_> = (0..24)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut shed = 0u64;
+                let mut last_epoch = 0u64;
+                for _ in 0..15 {
+                    let Ok(mut stream) = TcpStream::connect(addr) else {
+                        continue;
+                    };
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut line = String::new();
+                    let first = {
+                        // An admitted connection answers our request; a
+                        // shed one responds unprompted. Write first —
+                        // the shed path never reads it.
+                        if stream.write_all(b"{\"cmd\":\"status\"}\n").is_err() {
+                            continue;
+                        }
+                        reader.read_line(&mut line)
+                    };
+                    if first.map(|n| n == 0).unwrap_or(true) {
+                        continue;
+                    }
+                    let v = json::parse(line.trim_end())
+                        .unwrap_or_else(|e| panic!("unparseable flood response: {e}: {line}"));
+                    let epoch = v
+                        .get("epoch")
+                        .and_then(|e| e.as_u64())
+                        .expect("every response carries the epoch");
+                    assert!(epoch >= last_epoch, "epoch went backwards under flood");
+                    last_epoch = epoch;
+                    if v.get("overloaded").and_then(|o| o.as_bool()) == Some(true) {
+                        assert!(v.get("error").is_some(), "{line}");
+                        shed += 1;
+                    } else {
+                        assert!(v.get("samples").is_some(), "{line}");
+                        served += 1;
+                    }
+                }
+                (served, shed)
+            })
+        })
+        .collect();
+
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for f in floods {
+        let (s, r) = f.join().expect("flood thread");
+        served += s;
+        shed += r;
+    }
+    assert!(shed > 0, "24 clients vs cap 4 must shed something");
+    assert!(served > 0, "admitted clients must still be answered");
+
+    // The flood must not have cost a single accepted sample.
+    let (_, status) = await_fingerprint(addr);
+    assert_eq!(
+        status.get("samples").and_then(|s| s.as_u64()),
+        Some(SAMPLES)
+    );
+    assert!(
+        status.get("rejected").and_then(|r| r.as_u64()).is_some(),
+        "the shed counter must be published: {status:?}"
+    );
+    server.shutdown();
+    server.wait();
+}

@@ -15,11 +15,18 @@
 //!   admission gate: how many were served vs shed with a typed
 //!   `overloaded` response (shed responses are also timed — shedding
 //!   must be cheap).
+//! * **Zipf per-hash reads under live ingest** — 8 reader clients issue
+//!   `sample` queries with Zipf(1.0)-skewed hash popularity *while* the
+//!   daemon ingests and swaps epochs underneath: p50/p99 read latency
+//!   plus the hot-sample cache hit rate (every epoch swap invalidates,
+//!   so the hit rate prices the cache under churn, not at steady state).
 //!
 //! Run with: `cargo bench --bench serve_load`
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use vt_label_dynamics::obs::json;
 use vt_label_dynamics::prelude::*;
@@ -150,6 +157,93 @@ fn overload_run(addr: SocketAddr, clients: usize) -> (u64, u64, Vec<u64>) {
     (served, shed, shed_us)
 }
 
+/// Zipf(1.0) sampler over `0..n`: rank `r + 1` is drawn with weight
+/// `1/(r + 1)` — the classic hot-key skew for cache benchmarks.
+struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n {
+            total += 1.0 / r as f64;
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { cum }
+    }
+
+    fn draw(&self, u: f64) -> usize {
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+}
+
+/// Deterministic per-thread RNG (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `readers` persistent connections issue Zipf-skewed `sample` queries
+/// until ingestion completes. Returns (sorted latencies µs, requests,
+/// found answers).
+fn zipf_read_run(
+    addr: SocketAddr,
+    hashes: Arc<Vec<String>>,
+    zipf: Arc<Zipf>,
+    readers: usize,
+) -> (Vec<u64>, u64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..readers)
+        .map(|r| {
+            let (hashes, zipf, stop) = (Arc::clone(&hashes), Arc::clone(&zipf), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let (mut stream, mut reader) = connect(addr);
+                let mut state = 0x5EED ^ ((r as u64) << 17);
+                let mut lat = Vec::new();
+                let mut found = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                    let hash = &hashes[zipf.draw(u)];
+                    let t0 = Instant::now();
+                    stream
+                        .write_all(
+                            format!("{{\"cmd\":\"sample\",\"hash\":\"{hash}\"}}\n").as_bytes(),
+                        )
+                        .expect("write sample query");
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read sample response");
+                    lat.push(t0.elapsed().as_micros() as u64);
+                    let v = json::parse(line.trim_end()).expect("parseable response");
+                    if v.get("found").and_then(|f| f.as_bool()) == Some(true) {
+                        found += 1;
+                    }
+                }
+                (lat, found)
+            })
+        })
+        .collect();
+    wait_done(addr);
+    stop.store(true, Ordering::Relaxed);
+    let mut all = Vec::new();
+    let mut found = 0;
+    for t in threads {
+        let (lat, f) = t.join().expect("zipf reader");
+        all.extend(lat);
+        found += f;
+    }
+    let requests = all.len() as u64;
+    all.sort_unstable();
+    (all, requests, found)
+}
+
 /// Days-since-epoch → (year, month, day), civil calendar.
 fn civil_date() -> (i64, u32, u32) {
     let days = (SystemTime::now()
@@ -222,6 +316,44 @@ fn main() {
     server.shutdown();
     server.wait();
 
+    // ---- Zipf per-hash reads mixed with live ingest -----------------
+    let sim = VirusTotalSim::new(SimConfig::new(SEED, SAMPLES));
+    let hashes: Arc<Vec<String>> = Arc::new(
+        (0..SAMPLES)
+            .map(|o| sim.population().sample(o).hash.to_hex())
+            .collect(),
+    );
+    let zipf = Arc::new(Zipf::new(SAMPLES as usize));
+    let server = Server::start(base_config(2)).expect("start zipf server");
+    let addr = server.addr();
+    let (read_lat, read_reqs, read_found) = zipf_read_run(addr, hashes, zipf, 8);
+    let (read_p50, read_p99) = (
+        percentile_us(&read_lat, 0.50),
+        percentile_us(&read_lat, 0.99),
+    );
+    let (mut stream, mut reader) = connect(addr);
+    let status = ask(&mut stream, &mut reader, "status");
+    let cache_hits = status
+        .get("cache_hits")
+        .and_then(|h| h.as_u64())
+        .unwrap_or(0);
+    let cache_misses = status
+        .get("cache_misses")
+        .and_then(|m| m.as_u64())
+        .unwrap_or(0);
+    let hit_rate = if cache_hits + cache_misses == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    };
+    drop((stream, reader));
+    server.shutdown();
+    server.wait();
+    eprintln!(
+        "  zipf reads 8 clients: p50={read_p50}us p99={read_p99}us \
+         ({read_reqs} reqs, {read_found} found, hit rate {hit_rate:.3})"
+    );
+
     // ---- BENCH_serve.json -------------------------------------------
     let (y, m, d) = civil_date();
     let throughput_json: Vec<String> = throughput
@@ -255,7 +387,8 @@ fn main() {
          \x20 \"ingest_throughput_by_shards\": {{\n{}\n  }},\n\
          \x20 \"durable_ingest_shards_2\": {{ \"ingest_ms\": {}, \"samples_per_s\": {:.0}, \"note\": \"segment log on, fsync file+dir per seal\" }},\n\
          \x20 \"latency_by_clients\": {{\n{}\n  }},\n\
-         \x20 \"overload\": {{ \"clients\": 32, \"max_clients\": 8, \"served\": {served}, \"shed\": {shed}, \"shed_p99_us\": {shed_p99} }}\n\
+         \x20 \"overload\": {{ \"clients\": 32, \"max_clients\": 8, \"served\": {served}, \"shed\": {shed}, \"shed_p99_us\": {shed_p99} }},\n\
+         \x20 \"zipf_read\": {{ \"skew\": 1.0, \"clients\": 8, \"cache_samples\": 1024, \"requests\": {read_reqs}, \"found\": {read_found}, \"p50_us\": {read_p50}, \"p99_us\": {read_p99}, \"cache_hits\": {cache_hits}, \"cache_misses\": {cache_misses}, \"hit_rate\": {hit_rate:.4}, \"note\": \"per-hash `sample` queries during live ingest; every epoch swap invalidates the hot-sample cache, so the hit rate prices the cache under churn\" }}\n\
          }}\n",
         throughput_json.join(",\n"),
         durable_elapsed.as_millis(),

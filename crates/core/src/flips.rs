@@ -83,7 +83,9 @@ impl FlipAnalysis {
         v
     }
 
-    fn empty(engine_count: usize) -> Self {
+    /// An all-zero analysis over `engine_count` engines — what a study
+    /// with no folded segments reports (and merge's identity element).
+    pub fn empty(engine_count: usize) -> Self {
         Self {
             engine_count,
             matrix: vec![[FlipCell::default(); 20]; engine_count],

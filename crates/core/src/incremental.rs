@@ -47,6 +47,7 @@ use crate::causes::{CauseAnalysis, Causes};
 use crate::correlation::{Correlation, CorrelationPartial};
 use crate::flips::{FlipAnalysis, Flips};
 use crate::freshdyn;
+use crate::index::SampleIndex;
 use crate::intervals::{IntervalPartial, Intervals};
 use crate::landscape::Landscape;
 use crate::metrics::{Metrics, MetricsPartial, WindowGrowth};
@@ -203,6 +204,8 @@ pub struct IncrementalStudy<'a> {
     window_start: Timestamp,
     workers: usize,
     partials: Option<StudyPartials>,
+    indexing: bool,
+    index: Option<SampleIndex>,
 }
 
 impl<'a> IncrementalStudy<'a> {
@@ -214,12 +217,25 @@ impl<'a> IncrementalStudy<'a> {
             window_start,
             workers: par::default_workers(),
             partials: None,
+            indexing: false,
+            index: None,
         }
     }
 
     /// Overrides the worker count used by segment folds.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Additionally accumulates a per-sample [`SampleIndex`] at fold
+    /// time (hash → trajectory summary; what the serve tier's per-hash
+    /// query verbs answer from). Kept **outside** [`StudyPartials`] on
+    /// purpose: the study fingerprint and the incremental-vs-batch
+    /// bit-identity gates hash the partials' rendering, and the index
+    /// is a query surface, not a study result.
+    pub fn with_index(mut self) -> Self {
+        self.indexing = true;
         self
     }
 
@@ -231,6 +247,13 @@ impl<'a> IncrementalStudy<'a> {
     /// The cached accumulation, if any segment has been folded.
     pub fn partials(&self) -> Option<&StudyPartials> {
         self.partials.as_ref()
+    }
+
+    /// The accumulated per-sample index: `Some` once a segment has been
+    /// folded on a [`with_index`](Self::with_index) study, `None`
+    /// otherwise.
+    pub fn index(&self) -> Option<&SampleIndex> {
+        self.index.as_ref()
     }
 
     /// Folds one sealed segment — a contiguous run of whole-sample
@@ -249,6 +272,13 @@ impl<'a> IncrementalStudy<'a> {
             .with_workers(self.workers)
             .with_obs(obs);
         let seg = StudyPartials::fold(&ctx);
+        if self.indexing {
+            let part = obs.time("pipeline/index", || SampleIndex::fold(records, &table));
+            self.index = Some(match self.index.take() {
+                None => part,
+                Some(acc) => acc.merge(part),
+            });
+        }
         self.partials = Some(match self.partials.take() {
             None => seg,
             Some(acc) => acc.merge(seg),
@@ -313,6 +343,37 @@ mod tests {
             let results = inc.results(partitions.clone(), Obs::noop());
             assert_eq!(batch_dbg, format!("{results:?}"), "segments={segments}");
         }
+    }
+
+    #[test]
+    fn with_index_accumulates_the_whole_fold() {
+        let study = Study::generate_with_workers(SimConfig::new(0x1D0, 900), 2);
+        let records = study.records();
+        let ws = study.sim().config().window_start();
+        let obs = Obs::new();
+        let mut inc = IncrementalStudy::new(study.sim().fleet(), ws)
+            .with_workers(2)
+            .with_index();
+        assert!(inc.index().is_none(), "nothing folded yet");
+        for seg in records.chunks(records.len().div_ceil(3)) {
+            inc.fold_segment(seg, &obs);
+        }
+        let table = TrajectoryTable::build_with(records, ws, 2, Obs::noop());
+        let whole = SampleIndex::fold(records, &table);
+        assert_eq!(inc.index(), Some(&whole));
+        assert_eq!(
+            obs.snapshot().span("pipeline/index").map(|s| s.count),
+            Some(3)
+        );
+        // Indexing must not perturb the study results themselves.
+        let mut plain = IncrementalStudy::new(study.sim().fleet(), ws).with_workers(2);
+        for seg in records.chunks(records.len().div_ceil(3)) {
+            plain.fold_segment(seg, Obs::noop());
+        }
+        assert!(plain.index().is_none());
+        let a = inc.results(Vec::new(), Obs::noop());
+        let b = plain.results(Vec::new(), Obs::noop());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -227,9 +227,12 @@ fn rank_stabilization_columnar(
     out
 }
 
-/// [`stabilization_index`] on the implied threshold-`t` label sequence
-/// of an AV-Rank column, without materializing the labels.
-fn label_stab_index(p: &[u32], t: u32) -> Option<usize> {
+/// [`vt_aggregate::stabilization_index`] on the implied threshold-`t`
+/// label sequence
+/// of an AV-Rank column, without materializing the labels. Public so
+/// the per-sample [`crate::index::SampleIndex`] answers "stabilized at
+/// `t`?" with exactly the §6.2 sweep's definition.
+pub fn label_stabilization_index(p: &[u32], t: u32) -> Option<usize> {
     if p.len() < 2 {
         return None;
     }
@@ -269,7 +272,7 @@ fn label_stabilization_columnar(
                     }
                     acc.samples += 1;
                     let p = table.positives_of(rec);
-                    if let Some(i) = label_stab_index(p, t) {
+                    if let Some(i) = label_stabilization_index(p, t) {
                         acc.stabilized += 1;
                         acc.serial_sum += (i + 1) as u64;
                         let dates = table.dates_of(rec);

@@ -62,6 +62,18 @@ impl Segment {
     pub fn into_store(self) -> ReportStore {
         self.store
     }
+
+    /// Hashes of every whole sample sealed in this segment (sorted).
+    /// What recovery replay walks to rebuild the sealed-sample set and
+    /// the per-hash query index without touching report payloads.
+    pub fn sample_hashes(&self) -> Vec<vt_model::SampleHash> {
+        self.store.sample_hashes()
+    }
+
+    /// Reports sealed in this segment.
+    pub fn report_count(&self) -> u64 {
+        self.store.report_count()
+    }
 }
 
 /// Cuts an append-ordered report stream into sealed [`Segment`]s of

@@ -17,10 +17,12 @@
 //! vtld serve [--samples N] [--seed S] [--segment-reports R]
 //!            [--workers W] [--shards K] [--addr HOST:PORT]
 //!            [--data-dir DIR] [--recover] [--max-clients C]
+//!            [--cache-samples E]
 //!     Run the long-lived daemon: ingest the chaos-injected feed
 //!     through the fault-tolerant collector, fold each sealed segment
 //!     incrementally across a sharded worker fleet, and answer JSON
-//!     queries over TCP while ingestion continues. With `--data-dir`
+//!     queries — aggregate and per-hash — over TCP while ingestion
+//!     continues. With `--data-dir`
 //!     every sealed segment is fsynced to disk before it is published;
 //!     with `--recover` a restarted daemon replays that directory and
 //!     resumes ingest where the previous process died (see
@@ -152,6 +154,7 @@ const USAGE: &str = "usage:
   vtld serve    [--samples N] [--seed S] [--segment-reports R]
                 [--workers W] [--shards K] [--addr HOST:PORT]
                 [--data-dir DIR] [--recover] [--max-clients C]
+                [--cache-samples E]
   vtld help
 
 run any subcommand with --help for its flags and defaults";
@@ -390,6 +393,7 @@ struct ServeArgs {
     data_dir: Option<String>,
     recover: bool,
     max_clients: usize,
+    cache_samples: usize,
 }
 
 impl ServeArgs {
@@ -412,10 +416,16 @@ flags:
   --max-clients C       concurrent connections before new
                         clients are shed with a typed
                         'overloaded' response               (default 256)
+  --cache-samples E     hot-sample response cache entries
+                        for the per-hash query verbs
+                        (0 disables caching)                (default 1024)
 
 protocol: one JSON object per line over TCP; commands are
 {\"cmd\":\"status\"}, {\"cmd\":\"results\"}, {\"cmd\":\"engines\"},
-{\"cmd\":\"metrics\"}, {\"cmd\":\"fingerprint\"}, {\"cmd\":\"shutdown\"}.
+{\"cmd\":\"metrics\"}, {\"cmd\":\"fingerprint\"}, {\"cmd\":\"shutdown\"},
+plus the per-hash query verbs {\"cmd\":\"sample\",\"hash\":H},
+{\"cmd\":\"stabilized\",\"hash\":H,\"threshold\":T},
+{\"cmd\":\"engine\",\"name\":N} and {\"cmd\":\"flip_leaders\",\"k\":K}.
 Every response carries the snapshot epoch.";
 
     fn parse(args: &[String]) -> Result<Self, VtldError> {
@@ -430,6 +440,7 @@ Every response carries the snapshot epoch.";
                 "addr",
                 "data-dir",
                 "max-clients",
+                "cache-samples",
             ],
             &["recover"],
         )?;
@@ -452,6 +463,7 @@ Every response carries the snapshot epoch.";
             data_dir,
             recover,
             max_clients: parse_u64(&flags, "max-clients", 256)?.max(1) as usize,
+            cache_samples: parse_u64(&flags, "cache-samples", 1_024)? as usize,
         })
     }
 }
@@ -573,6 +585,7 @@ fn cmd_serve(args: ServeArgs) -> Result<(), VtldError> {
     config.data_dir = args.data_dir.map(std::path::PathBuf::from);
     config.recover = args.recover;
     config.max_clients = args.max_clients;
+    config.cache_samples = args.cache_samples;
     let addr_for_err = config.addr.clone();
     let server = Server::start(config).map_err(io_err(format!("cannot bind {addr_for_err}")))?;
     eprintln!(
@@ -652,6 +665,7 @@ mod tests {
         assert_eq!(d.addr, "127.0.0.1:7311");
         assert_eq!(d.shards, 1);
         assert_eq!(d.max_clients, 256);
+        assert_eq!(d.cache_samples, 1_024);
         assert!(d.data_dir.is_none());
         assert!(!d.recover);
         let s = ServeArgs::parse(&strings(&[
@@ -700,6 +714,13 @@ mod tests {
                 .max_clients,
             1,
             "a zero client cap clamps to one"
+        );
+        assert_eq!(
+            ServeArgs::parse(&strings(&["--cache-samples", "0"]))
+                .expect("ok")
+                .cache_samples,
+            0,
+            "zero means caching disabled, not clamped"
         );
         let err = ServeArgs::parse(&strings(&["--recover"])).unwrap_err();
         assert!(

@@ -18,8 +18,8 @@
 pub use crate::aggregate::{Aggregator, Threshold};
 pub use crate::dynamics::{
     analyze_records, analyze_records_obs, records_from_store, Analysis, AnalysisCtx, Collector,
-    CollectorConfig, IncrementalStudy, IngestOutcome, SampleRecord, Study, StudyPartials,
-    StudyResults, TrajectoryTable,
+    CollectorConfig, IncrementalStudy, IngestOutcome, SampleIndex, SampleRecord, SampleSummary,
+    Study, StudyPartials, StudyResults, TrajectoryTable,
 };
 pub use crate::engines::{EngineFleet, FleetConfig};
 pub use crate::model::{EngineId, FileType, ScanReport};

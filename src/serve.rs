@@ -56,14 +56,32 @@
 //! reports `ingest_done` when the feed was fully consumed. Any client's
 //! observed epoch sequence is monotone.
 //!
+//! ## Per-hash queries (the sample index)
+//!
+//! Each shard worker folds a [`crate::dynamics::SampleIndex`] alongside
+//! its slot's `StudyPartials`; the merger merges the slot indexes in
+//! the same canonical slot order and ships the result *inside* the
+//! published `Arc<Snapshot>` — so a per-hash answer is always rendered
+//! from exactly the data its epoch's aggregates summarize. Unlike the
+//! four aggregate responses, per-hash responses are rendered lazily per
+//! request behind a bounded LRU cache keyed by the canonical request;
+//! the cache only ever serves entries stamped with the live snapshot's
+//! epoch (it is cleared the first time a newer epoch is requested), so
+//! a cached answer can never leak across an epoch swap.
+//!
 //! ## Wire protocol
 //!
 //! One JSON object per line, both directions. Requests:
 //! `{"cmd":"status"}`, `{"cmd":"results"}`, `{"cmd":"engines"}`,
-//! `{"cmd":"metrics"}`, `{"cmd":"fingerprint"}`, `{"cmd":"shutdown"}`.
+//! `{"cmd":"metrics"}`, `{"cmd":"fingerprint"}`, `{"cmd":"shutdown"}`,
+//! plus the per-hash verbs `{"cmd":"sample","hash":H}`,
+//! `{"cmd":"stabilized","hash":H,"threshold":T}`,
+//! `{"cmd":"engine","name":N}` and `{"cmd":"flip_leaders","k":K}`.
 //! Every response carries the snapshot's `"epoch"`; malformed input gets
 //! an `"error"` member, overload gets `"overloaded":true`, eviction gets
-//! `"evicted":true`. See `DESIGN.md` §11 for the full schema.
+//! `"evicted":true`, and responses rendered after a slot lock was
+//! poisoned carry `"degraded":true`. See `DESIGN.md` §§11–12 for the
+//! full schema.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
@@ -71,12 +89,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::dynamics::flips::FlipAnalysis;
+use crate::dynamics::stabilization::FIG9_THRESHOLDS;
 use crate::dynamics::{
-    par, records_from_store, Collector, IncrementalStudy, StudyPartials, StudyResults,
+    par, records_from_store, Collector, IncrementalStudy, SampleIndex, StudyPartials, StudyResults,
 };
 use crate::engines::EngineFleet;
 use crate::model::{EngineId, SampleHash};
@@ -142,14 +162,19 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// Maximum request line length in bytes; longer lines evict.
     pub max_line_bytes: usize,
+    /// Hot-sample response cache capacity (entries). Per-hash responses
+    /// are rendered lazily and kept behind a bounded LRU invalidated on
+    /// epoch swap; `0` disables caching.
+    pub cache_samples: usize,
 }
 
 impl ServeConfig {
     /// A config with the daemon defaults: ephemeral localhost port,
     /// 20k-report segments, one shard, default fold workers, 256-client
-    /// cap, 10s deadlines, 64 KiB request lines, in-memory (no data
-    /// dir), and a lightly chaotic feed (1% duplicates, 5% reordering
-    /// within the collector's horizon).
+    /// cap, 10s deadlines, 64 KiB request lines, a 1 024-entry
+    /// hot-sample cache, in-memory (no data dir), and a lightly chaotic
+    /// feed (1% duplicates, 5% reordering within the collector's
+    /// horizon).
     pub fn new(samples: u64, seed: u64) -> Self {
         Self {
             samples,
@@ -167,6 +192,7 @@ impl ServeConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_line_bytes: 64 * 1024,
+            cache_samples: 1_024,
         }
     }
 
@@ -181,8 +207,12 @@ impl ServeConfig {
     }
 }
 
-/// One epoch-consistent view of the study, with every response
-/// pre-rendered at publish time so request handling is allocation-only.
+/// One epoch-consistent view of the study: the four aggregate responses
+/// pre-rendered at publish time (request handling is allocation-only),
+/// plus everything the lazily rendered per-hash verbs answer from — the
+/// sample index, the flip matrix and the engine roster — pinned to the
+/// same epoch, so a handler that cloned the `Arc` can never mix stages
+/// of the study.
 #[derive(Debug)]
 struct Snapshot {
     epoch: u64,
@@ -191,6 +221,17 @@ struct Snapshot {
     engines: String,
     metrics: String,
     fingerprint: String,
+    /// Hash → trajectory summary, merged in slot order from the same
+    /// folds this epoch's aggregates summarize.
+    index: Arc<SampleIndex>,
+    /// The §7.1 flip matrix backing the `engine` scorecard verb.
+    flips: Arc<FlipAnalysis>,
+    /// Engine names in [`EngineId`] order (the `engine` verb resolves
+    /// names against the snapshot, not the live fleet).
+    engine_names: Arc<Vec<String>>,
+    /// True once a slot lock has been observed poisoned: the study no
+    /// longer updates from that slot, answers may lag its stream.
+    degraded: bool,
 }
 
 /// Obs handles for the serve tier's own health metrics, registered once
@@ -211,6 +252,15 @@ struct ServeCounters {
     /// High-water mark of sealed segments queued between the feeder and
     /// the shard workers (`serve/queue_depth`).
     queue_depth: Gauge,
+    /// Poisoned-lock recoveries: each time a slot lock is taken over
+    /// from a panicked holder (`serve/poisoned`). Zero in a healthy
+    /// daemon.
+    poisoned: Counter,
+    /// Per-hash responses served from the hot-sample cache
+    /// (`serve/cache_hits`).
+    cache_hits: Counter,
+    /// Per-hash responses rendered on demand (`serve/cache_misses`).
+    cache_misses: Counter,
 }
 
 impl ServeCounters {
@@ -221,6 +271,9 @@ impl ServeCounters {
             recovered: obs.counter("serve/recovered_segments"),
             quarantined: obs.counter("serve/quarantined_segments"),
             queue_depth: obs.gauge("serve/queue_depth"),
+            poisoned: obs.counter("serve/poisoned"),
+            cache_hits: obs.counter("serve/cache_hits"),
+            cache_misses: obs.counter("serve/cache_misses"),
         }
     }
 }
@@ -237,6 +290,23 @@ struct Progress {
     feed_done: AtomicBool,
 }
 
+/// The bounded LRU cache behind the lazily rendered per-hash verbs.
+///
+/// Entries are stamped with the epoch they were rendered from; the
+/// first request against a newer snapshot clears the whole map (the
+/// epoch only rolls forward). A request that races a publish and holds
+/// an *older* snapshot bypasses the cache entirely — a response for
+/// epoch N is never stored or served once the cache has seen N+1, so
+/// answers cannot leak across an epoch swap.
+#[derive(Debug, Default)]
+struct ResponseCache {
+    epoch: u64,
+    /// Monotone use counter backing least-recently-used eviction.
+    clock: u64,
+    /// Canonical request key → (rendered response, last-used stamp).
+    map: HashMap<String, (String, u64)>,
+}
+
 /// State shared between every daemon thread and every connection
 /// handler.
 struct Shared {
@@ -247,6 +317,7 @@ struct Shared {
     queue_depth: AtomicU64,
     counters: ServeCounters,
     progress: Progress,
+    cache: Mutex<ResponseCache>,
 }
 
 impl Shared {
@@ -261,6 +332,10 @@ impl Shared {
                 engines: String::new(),
                 metrics: String::new(),
                 fingerprint: String::new(),
+                index: Arc::new(SampleIndex::default()),
+                flips: Arc::new(FlipAnalysis::empty(0)),
+                engine_names: Arc::new(Vec::new()),
+                degraded: false,
             })),
             shutdown: AtomicBool::new(false),
             obs,
@@ -268,15 +343,23 @@ impl Shared {
             queue_depth: AtomicU64::new(0),
             counters,
             progress: Progress::default(),
+            cache: Mutex::new(ResponseCache::default()),
         }
     }
 
+    // The snapshot lock only ever guards a swap of the `Arc` — a
+    // panicked holder cannot leave the pointer half-written — so a
+    // poisoned lock is recovered, not propagated: one crashing handler
+    // must not cascade into every later connection panicking too.
     fn current(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     fn publish(&self, snapshot: Snapshot) {
-        *self.snapshot.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        *self
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
     }
 
     fn shutdown_requested(&self) -> bool {
@@ -289,11 +372,12 @@ impl Shared {
 }
 
 /// Slot-local accumulation the shard workers write and the merger
-/// reads: the slot's merged [`StudyPartials`] plus its Table 2 store
-/// accounting.
+/// reads: the slot's merged [`StudyPartials`] and [`SampleIndex`] plus
+/// its Table 2 store accounting.
 #[derive(Debug, Default)]
 struct SlotState {
     partials: Option<StudyPartials>,
+    index: Option<SampleIndex>,
     partitions: Vec<PartitionStats>,
 }
 
@@ -307,6 +391,28 @@ impl SlotTable {
     fn new() -> Self {
         Self {
             slots: (0..INGEST_SLOTS).map(|_| Mutex::default()).collect(),
+        }
+    }
+}
+
+/// Takes a slot lock, recovering from poisoning instead of cascading
+/// the panic. Returns the guard plus whether the lock was poisoned.
+///
+/// Recovery is sound because every write under a slot lock is a full
+/// overwrite of the slot's fields from worker-local state (never an
+/// in-place mutation), so a panicked holder can at worst have left the
+/// *previous* consistent accumulation behind — stale, not torn. The
+/// daemon keeps serving, counts the recovery on `serve/poisoned`, and
+/// the next publish flags the snapshot `degraded`.
+fn lock_slot<'a>(
+    slot: &'a Mutex<SlotState>,
+    counters: &ServeCounters,
+) -> (MutexGuard<'a, SlotState>, bool) {
+    match slot.lock() {
+        Ok(guard) => (guard, false),
+        Err(poisoned) => {
+            counters.poisoned.incr();
+            (poisoned.into_inner(), true)
         }
     }
 }
@@ -331,6 +437,7 @@ enum MergeEvent {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    table: Arc<SlotTable>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -429,6 +536,7 @@ impl Server {
         Ok(Server {
             addr,
             shared,
+            table,
             threads,
         })
     }
@@ -436,6 +544,20 @@ impl Server {
     /// The bound address (resolves port 0 to the picked port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Test hook: poisons one slot lock by panicking a thread that
+    /// holds it — the failure mode a crashed shard worker leaves
+    /// behind. The degraded-mode regression tests drive this; nothing
+    /// in the daemon calls it.
+    #[doc(hidden)]
+    pub fn poison_slot(&self, slot: usize) {
+        let table = Arc::clone(&self.table);
+        let _ = std::thread::spawn(move || {
+            let _guard = table.slots[slot % INGEST_SLOTS].lock();
+            panic!("test-injected slot poisoning");
+        })
+        .join();
     }
 
     /// Epoch of the currently published snapshot.
@@ -548,7 +670,7 @@ fn ingest_loop(
         for (slot, segments) in replay.slots.into_iter().enumerate() {
             next_seq[slot] = segments.len() as u64;
             for segment in segments {
-                for hash in segment.store().sample_hashes() {
+                for hash in segment.sample_hashes() {
                     sealed_hashes.insert(hash);
                 }
                 if !send_segment(
@@ -667,8 +789,13 @@ fn ingest_loop(
 }
 
 /// One shard worker: folds its slots' segment streams, in arrival
-/// (= per-slot seal) order, into slot-local partials, and notifies the
-/// merger after every fold.
+/// (= per-slot seal) order, into slot-local partials (and per-sample
+/// indexes), and notifies the merger after every fold.
+///
+/// All accumulation — studies *and* partition accounting — lives in
+/// worker-local state; every write under a slot lock fully overwrites
+/// the slot's fields from it. That overwrite-only discipline is what
+/// makes poisoned-lock recovery ([`lock_slot`]) sound.
 fn shard_worker(
     rx: Receiver<SegmentMsg>,
     sim: &VirusTotalSim,
@@ -680,6 +807,7 @@ fn shard_worker(
     let fleet = sim.fleet();
     let window_start = sim.config().window_start();
     let mut studies: HashMap<usize, IncrementalStudy<'_>> = HashMap::new();
+    let mut partitions: HashMap<usize, Vec<PartitionStats>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
         let SegmentMsg {
@@ -700,13 +828,18 @@ fn shard_worker(
         };
         let records = records_from_store(segment.store());
         let study = studies.entry(slot).or_insert_with(|| {
-            IncrementalStudy::new(fleet, window_start).with_workers(fold_workers)
+            IncrementalStudy::new(fleet, window_start)
+                .with_workers(fold_workers)
+                .with_index()
         });
         study.fold_segment(&records, &shared.obs);
+        let slot_partitions = partitions.entry(slot).or_default();
+        merge_partitions(slot_partitions, &segment.store().partition_stats());
         {
-            let mut state = table.slots[slot].lock().expect("slot lock poisoned");
+            let (mut state, _was_poisoned) = lock_slot(&table.slots[slot], &shared.counters);
             state.partials = study.partials().cloned();
-            merge_partitions(&mut state.partitions, &segment.store().partition_stats());
+            state.index = study.index().cloned();
+            state.partitions = slot_partitions.clone();
         }
         shared.progress.segments.fetch_add(1, Ordering::SeqCst);
         shared
@@ -716,7 +849,7 @@ fn shard_worker(
         shared
             .progress
             .reports
-            .fetch_add(segment.store().report_count(), Ordering::SeqCst);
+            .fetch_add(segment.report_count(), Ordering::SeqCst);
         if recovered {
             shared.counters.recovered.incr();
         }
@@ -761,8 +894,10 @@ fn merger_loop(
     let _ = fleet;
 }
 
-/// Merges the slot partials in canonical slot order and publishes the
-/// rendered snapshot.
+/// Merges the slot partials (and slot indexes) in canonical slot order
+/// and publishes the rendered snapshot. A poisoned slot lock marks the
+/// snapshot degraded — its last consistent accumulation still merges,
+/// the daemon keeps answering.
 fn publish_merged(
     epoch: u64,
     done: bool,
@@ -772,13 +907,22 @@ fn publish_merged(
     config: &ServeConfig,
 ) {
     let mut acc: Option<StudyPartials> = None;
+    let mut index_acc: Option<SampleIndex> = None;
     let mut partitions: Vec<PartitionStats> = Vec::new();
+    let mut degraded = false;
     for slot in &table.slots {
-        let state = slot.lock().expect("slot lock poisoned");
+        let (state, was_poisoned) = lock_slot(slot, &shared.counters);
+        degraded |= was_poisoned;
         if let Some(partials) = &state.partials {
             acc = Some(match acc {
                 None => partials.clone(),
                 Some(earlier) => earlier.merge(partials.clone()),
+            });
+        }
+        if let Some(index) = &state.index {
+            index_acc = Some(match index_acc {
+                None => index.clone(),
+                Some(earlier) => earlier.merge(index.clone()),
             });
         }
         merge_partitions(&mut partitions, &state.partitions);
@@ -788,13 +932,14 @@ fn publish_merged(
         None => IncrementalStudy::new(sim.fleet(), sim.config().window_start())
             .results(partitions, &shared.obs),
     };
-    let view = StatusView::collect(shared, done, config.shards);
+    let view = StatusView::collect(shared, done, config.shards, degraded);
     shared.publish(render_snapshot(
         epoch,
         &results,
         sim.fleet(),
         &view,
         &shared.obs.snapshot(),
+        Arc::new(index_acc.unwrap_or_default()),
     ));
 }
 
@@ -824,6 +969,7 @@ fn empty_snapshot(config: &ServeConfig, fleet: &EngineFleet) -> Snapshot {
         fleet,
         &StatusView::empty(config.shards),
         &Obs::noop().snapshot(),
+        Arc::new(SampleIndex::default()),
     )
 }
 
@@ -887,8 +1033,12 @@ enum LineError {
 }
 
 /// Reads one `\n`-terminated line of at most `max` bytes (exclusive of
-/// the terminator). `Ok(None)` is EOF; a partial line truncated by EOF
-/// is also EOF (there is no requester left to answer).
+/// the terminator). `Ok(None)` is EOF. EOF with a partial line buffered
+/// yields that line — a client that shuts down its write half right
+/// after its final unterminated request still gets an answer (the next
+/// call sees a clean EOF). The bound is exact: the length check runs
+/// *before* bytes are buffered, so a line of `max` bytes passes and
+/// `max + 1` fails, regardless of how the reader chunks its input.
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     max: usize,
@@ -897,7 +1047,13 @@ fn read_bounded_line(
     loop {
         let (consumed, complete) = {
             let available = match reader.fill_buf() {
-                Ok([]) => return Ok(None),
+                Ok([]) => {
+                    if buf.is_empty() {
+                        return Ok(None);
+                    }
+                    // EOF terminates the final line.
+                    return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+                }
                 Ok(bytes) => bytes,
                 Err(e)
                     if matches!(
@@ -910,21 +1066,18 @@ fn read_bounded_line(
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => return Err(LineError::Io),
             };
-            match available.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    buf.extend_from_slice(&available[..pos]);
-                    (pos + 1, true)
-                }
-                None => {
-                    buf.extend_from_slice(available);
-                    (available.len(), false)
-                }
+            let take = match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => pos,
+                None => available.len(),
+            };
+            if buf.len() + take > max {
+                return Err(LineError::TooLong);
             }
+            buf.extend_from_slice(&available[..take]);
+            let complete = take < available.len();
+            (take + usize::from(complete), complete)
         };
         reader.consume(consumed);
-        if buf.len() > max {
-            return Err(LineError::TooLong);
-        }
         if complete {
             // Non-UTF-8 input degrades to a replacement-character string
             // that fails JSON parsing and earns a typed error response.
@@ -960,7 +1113,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServeConfig) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, shutdown) = respond(&line, shared);
+                let (response, shutdown) = respond(&line, shared, config);
                 if writer
                     .write_all(format!("{response}\n").as_bytes())
                     .is_err()
@@ -1004,22 +1157,25 @@ fn evict(writer: &mut TcpStream, shared: &Shared, reason: &str) {
     );
 }
 
-/// Routes one request line to its pre-rendered response. Returns the
-/// response and whether the request asked the daemon to shut down.
-fn respond(line: &str, shared: &Shared) -> (String, bool) {
+/// Routes one request line to its response — pre-rendered for the
+/// aggregate verbs, lazily rendered (behind the hot-sample cache) for
+/// the per-hash verbs. Returns the response and whether the request
+/// asked the daemon to shut down.
+fn respond(line: &str, shared: &Shared, config: &ServeConfig) -> (String, bool) {
     let snap = shared.current();
+    let err = |msg: &str| {
+        (
+            format!(
+                "{{\"epoch\":{},\"error\":{}}}",
+                snap.epoch,
+                json_string(msg)
+            ),
+            false,
+        )
+    };
     let parsed = match crate::obs::json::parse(line) {
         Ok(v) => v,
-        Err(e) => {
-            return (
-                format!(
-                    "{{\"epoch\":{},\"error\":{}}}",
-                    snap.epoch,
-                    json_string(&format!("bad request: {e}"))
-                ),
-                false,
-            )
-        }
+        Err(e) => return err(&format!("bad request: {e}")),
     };
     match parsed.get("cmd").and_then(|c| c.as_str()) {
         Some("status") => (snap.status.clone(), false),
@@ -1027,26 +1183,305 @@ fn respond(line: &str, shared: &Shared) -> (String, bool) {
         Some("engines") => (snap.engines.clone(), false),
         Some("metrics") => (snap.metrics.clone(), false),
         Some("fingerprint") => (snap.fingerprint.clone(), false),
+        Some("sample") => {
+            let hash = match parse_hash_member(&parsed) {
+                Ok(hash) => hash,
+                Err(msg) => return err(&msg),
+            };
+            let key = format!("sample:{}", hash.to_hex());
+            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
+                render_sample(&snap, hash)
+            });
+            (response, false)
+        }
+        Some("stabilized") => {
+            let hash = match parse_hash_member(&parsed) {
+                Ok(hash) => hash,
+                Err(msg) => return err(&msg),
+            };
+            let Some(threshold) = parsed.get("threshold").and_then(|t| t.as_u64()) else {
+                return err("missing numeric member 'threshold'");
+            };
+            if !FIG9_THRESHOLDS.contains(&(threshold as u32)) {
+                return err(&format!(
+                    "threshold {threshold} is not a Fig. 9 threshold; valid: {FIG9_THRESHOLDS:?}"
+                ));
+            }
+            let key = format!("stabilized:{}:{threshold}", hash.to_hex());
+            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
+                render_stabilized(&snap, hash, threshold as u32)
+            });
+            (response, false)
+        }
+        Some("engine") => {
+            let Some(name) = parsed.get("name").and_then(|n| n.as_str()) else {
+                return err("missing string member 'name'");
+            };
+            // Unknown names are answered uncached: the cache is keyed by
+            // client-controlled strings only after they resolve against
+            // the roster, so misses cannot crowd out real entries.
+            let Some(engine) = snap.engine_names.iter().position(|n| n == name) else {
+                return err(&format!("unknown engine '{name}'"));
+            };
+            let key = format!("engine:{engine}");
+            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
+                render_engine(&snap, engine)
+            });
+            (response, false)
+        }
+        Some("flip_leaders") => {
+            let k = match parsed.get("k") {
+                None => 10,
+                Some(v) => match v.as_u64() {
+                    Some(k) => k.min(MAX_FLIP_LEADERS) as usize,
+                    None => return err("member 'k' must be a non-negative integer"),
+                },
+            };
+            let key = format!("flip_leaders:{k}");
+            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
+                render_flip_leaders(&snap, k)
+            });
+            (response, false)
+        }
         Some("shutdown") => (
             format!("{{\"epoch\":{},\"shutting_down\":true}}", snap.epoch),
             true,
         ),
-        Some(other) => (
-            format!(
-                "{{\"epoch\":{},\"error\":{}}}",
-                snap.epoch,
-                json_string(&format!("unknown command '{other}'"))
-            ),
-            false,
+        Some(other) => err(&format!("unknown command '{other}'")),
+        None => err("missing string member 'cmd'"),
+    }
+}
+
+/// Largest `k` the `flip_leaders` verb will rank (the response is
+/// rendered per request; an unbounded `k` would be a cheap DoS).
+const MAX_FLIP_LEADERS: u64 = 1_000;
+
+/// Extracts and parses the `"hash"` member: 1–32 hex digits, as
+/// [`SampleHash::to_hex`] prints them.
+fn parse_hash_member(parsed: &crate::obs::json::Value) -> Result<SampleHash, String> {
+    let Some(hex) = parsed.get("hash").and_then(|h| h.as_str()) else {
+        return Err("missing string member 'hash'".to_string());
+    };
+    if hex.is_empty() || hex.len() > 32 {
+        return Err(format!("bad hash '{hex}': expected 1-32 hex digits",));
+    }
+    u128::from_str_radix(hex, 16)
+        .map(SampleHash)
+        .map_err(|_| format!("bad hash '{hex}': expected 1-32 hex digits"))
+}
+
+/// Serves one lazily rendered response through the hot-sample cache
+/// (see [`ResponseCache`] for the epoch-safety argument). `capacity`
+/// of 0 disables caching entirely.
+fn cached_response(
+    shared: &Shared,
+    capacity: usize,
+    snap: &Snapshot,
+    key: &str,
+    render: impl FnOnce() -> String,
+) -> String {
+    if capacity == 0 {
+        return render();
+    }
+    {
+        let mut cache = lock_cache(shared);
+        if cache.epoch != snap.epoch {
+            if snap.epoch > cache.epoch {
+                // First request against a newer snapshot: invalidate.
+                cache.epoch = snap.epoch;
+                cache.clock = 0;
+                cache.map.clear();
+            } else {
+                // This request pinned a snapshot from before the swap
+                // the cache has already seen: serve it uncached rather
+                // than ever mixing epochs.
+                drop(cache);
+                shared.counters.cache_misses.incr();
+                return render();
+            }
+        }
+        cache.clock += 1;
+        let stamp = cache.clock;
+        if let Some(entry) = cache.map.get_mut(key) {
+            entry.1 = stamp;
+            shared.counters.cache_hits.incr();
+            return entry.0.clone();
+        }
+    }
+    // Render outside the lock — a fold-sized index walk must not block
+    // every other per-hash reader.
+    shared.counters.cache_misses.incr();
+    let rendered = render();
+    let mut cache = lock_cache(shared);
+    if cache.epoch == snap.epoch {
+        if cache.map.len() >= capacity && !cache.map.contains_key(key) {
+            let victim = cache
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                cache.map.remove(&victim);
+            }
+        }
+        cache.clock += 1;
+        let stamp = cache.clock;
+        cache.map.insert(key.to_string(), (rendered.clone(), stamp));
+    }
+    rendered
+}
+
+/// Takes the cache lock, recovering from poisoning by dropping every
+/// entry (a handler that panicked mid-insert may have left the map in
+/// an arbitrary but memory-safe state; an empty cache is always
+/// correct).
+fn lock_cache(shared: &Shared) -> MutexGuard<'_, ResponseCache> {
+    shared.cache.lock().unwrap_or_else(|poisoned| {
+        shared.counters.poisoned.incr();
+        let mut guard = poisoned.into_inner();
+        *guard = ResponseCache::default();
+        guard
+    })
+}
+
+/// `,"degraded":true` when the snapshot was published past a poisoned
+/// slot lock, empty otherwise — appended to every lazily rendered
+/// response.
+fn degraded_suffix(snap: &Snapshot) -> &'static str {
+    if snap.degraded {
+        ",\"degraded\":true"
+    } else {
+        ""
+    }
+}
+
+/// The `sample` verb: one hash's full trajectory summary from the
+/// snapshot's index.
+fn render_sample(snap: &Snapshot, hash: SampleHash) -> String {
+    let epoch = snap.epoch;
+    let suffix = degraded_suffix(snap);
+    match snap.index.get(hash) {
+        None => format!(
+            "{{\"epoch\":{epoch},\"hash\":\"{}\",\"found\":false{suffix}}}",
+            hash.to_hex()
         ),
-        None => (
+        Some(s) => {
+            let positives: Vec<String> = s.positives.iter().map(u32::to_string).collect();
+            let dates: Vec<String> = s.dates_min.iter().map(i64::to_string).collect();
+            let stab: Vec<String> = FIG9_THRESHOLDS
+                .iter()
+                .map(|&t| {
+                    format!(
+                        "{{\"threshold\":{t},\"stabilized\":{}}}",
+                        s.stabilized_at(t).unwrap_or(false)
+                    )
+                })
+                .collect();
             format!(
-                "{{\"epoch\":{},\"error\":\"missing string member 'cmd'\"}}",
-                snap.epoch
-            ),
-            false,
+                "{{\"epoch\":{epoch},\"hash\":\"{}\",\"found\":true,\
+                 \"file_type\":{},\"reports\":{},\"current_positives\":{},\
+                 \"p_min\":{},\"p_max\":{},\"flips\":{},\
+                 \"multi_report\":{},\"stable\":{},\"fresh\":{},\"in_s\":{},\
+                 \"stabilization\":[{}],\"positives\":[{}],\"dates_min\":[{}]{suffix}}}",
+                hash.to_hex(),
+                json_string(&s.file_type.name()),
+                s.report_count(),
+                s.current_positives(),
+                s.p_min(),
+                s.p_max(),
+                s.flips,
+                s.is_multi_report(),
+                s.is_stable(),
+                s.is_fresh(),
+                s.in_s(),
+                stab.join(","),
+                positives.join(","),
+                dates.join(","),
+            )
+        }
+    }
+}
+
+/// The `stabilized` verb: has this hash's threshold-`t` label sequence
+/// stabilized (§6.2)?
+fn render_stabilized(snap: &Snapshot, hash: SampleHash, t: u32) -> String {
+    let epoch = snap.epoch;
+    let suffix = degraded_suffix(snap);
+    match snap.index.get(hash) {
+        None => format!(
+            "{{\"epoch\":{epoch},\"hash\":\"{}\",\"threshold\":{t},\"found\":false{suffix}}}",
+            hash.to_hex()
+        ),
+        Some(s) => format!(
+            "{{\"epoch\":{epoch},\"hash\":\"{}\",\"threshold\":{t},\"found\":true,\
+             \"stabilized\":{}{suffix}}}",
+            hash.to_hex(),
+            s.stabilized_at(t).unwrap_or(false),
         ),
     }
+}
+
+/// The `engine` verb: one engine's flip scorecard — totals plus every
+/// top-20 type it has had flip opportunities on.
+fn render_engine(snap: &Snapshot, engine: usize) -> String {
+    let epoch = snap.epoch;
+    let suffix = degraded_suffix(snap);
+    let name = &snap.engine_names[engine];
+    let row = &snap.flips.matrix[engine];
+    let flips: u64 = row.iter().map(|cell| cell.flips).sum();
+    let opportunities: u64 = row.iter().map(|cell| cell.opportunities).sum();
+    let ratio = if opportunities == 0 {
+        0.0
+    } else {
+        flips as f64 / opportunities as f64
+    };
+    let types: Vec<String> = row
+        .iter()
+        .enumerate()
+        .filter(|(_, cell)| cell.opportunities > 0)
+        .map(|(j, cell)| {
+            format!(
+                "{{\"type\":{},\"flips\":{},\"opportunities\":{},\"flip_ratio\":{}}}",
+                json_string(&crate::model::FileType::from_dense_index(j).name()),
+                cell.flips,
+                cell.opportunities,
+                json_f64(cell.ratio()),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"epoch\":{epoch},\"engine\":{},\"flips\":{flips},\
+         \"opportunities\":{opportunities},\"flip_ratio\":{},\"types\":[{}]{suffix}}}",
+        json_string(name),
+        json_f64(ratio),
+        types.join(","),
+    )
+}
+
+/// The `flip_leaders` verb: the top-`k` samples by engine-label flip
+/// count (ties by hash — a total order, identical at every shard and
+/// worker count).
+fn render_flip_leaders(snap: &Snapshot, k: usize) -> String {
+    let epoch = snap.epoch;
+    let suffix = degraded_suffix(snap);
+    let leaders: Vec<String> = snap
+        .index
+        .top_flips(k)
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"hash\":\"{}\",\"flips\":{},\"reports\":{},\"current_positives\":{}}}",
+                s.hash.to_hex(),
+                s.flips,
+                s.report_count(),
+                s.current_positives(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"epoch\":{epoch},\"k\":{k},\"leaders\":[{}]{suffix}}}",
+        leaders.join(","),
+    )
 }
 
 // ---- response rendering ------------------------------------------------
@@ -1065,10 +1500,14 @@ struct StatusView {
     quarantined_segments: u64,
     rejected: u64,
     evicted: u64,
+    degraded: bool,
+    poisoned: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl StatusView {
-    fn collect(shared: &Shared, done: bool, shards: usize) -> Self {
+    fn collect(shared: &Shared, done: bool, shards: usize, degraded: bool) -> Self {
         StatusView {
             segments: shared.progress.segments.load(Ordering::SeqCst),
             samples: shared.progress.samples.load(Ordering::SeqCst),
@@ -1081,6 +1520,10 @@ impl StatusView {
             quarantined_segments: shared.counters.quarantined.value(),
             rejected: shared.counters.rejected.value(),
             evicted: shared.counters.evicted.value(),
+            degraded,
+            poisoned: shared.counters.poisoned.value(),
+            cache_hits: shared.counters.cache_hits.value(),
+            cache_misses: shared.counters.cache_misses.value(),
         }
     }
 
@@ -1182,12 +1625,14 @@ fn render_snapshot(
     fleet: &EngineFleet,
     view: &StatusView,
     metrics: &crate::obs::RunMetrics,
+    index: Arc<SampleIndex>,
 ) -> Snapshot {
     let status = format!(
         "{{\"epoch\":{epoch},\"segments\":{},\"samples\":{},\"reports\":{},\
          \"accepted\":{},\"quarantined\":{},\"s_samples\":{},\"ingest_done\":{},\
          \"shards\":{},\"recovered_segments\":{},\"quarantined_segments\":{},\
-         \"rejected\":{},\"evicted\":{}}}",
+         \"rejected\":{},\"evicted\":{},\"indexed\":{},\"degraded\":{},\
+         \"poisoned\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
         view.segments,
         view.samples,
         view.reports,
@@ -1200,6 +1645,11 @@ fn render_snapshot(
         view.quarantined_segments,
         view.rejected,
         view.evicted,
+        index.len(),
+        view.degraded,
+        view.poisoned,
+        view.cache_hits,
+        view.cache_misses,
     );
 
     let c = &results.correlation_global;
@@ -1275,6 +1725,10 @@ fn render_snapshot(
         view.done,
     );
 
+    let engine_names: Vec<String> = (0..results.flips.engine_count)
+        .map(|i| fleet.profile(EngineId::new(i)).name.to_string())
+        .collect();
+
     Snapshot {
         epoch,
         status,
@@ -1282,6 +1736,10 @@ fn render_snapshot(
         engines: engines_json,
         metrics: metrics_json,
         fingerprint,
+        index,
+        flips: Arc::new(results.flips.clone()),
+        engine_names: Arc::new(engine_names),
+        degraded: view.degraded,
     }
 }
 
@@ -1360,6 +1818,128 @@ mod tests {
         let mut config = ServeConfig::new(10, 1);
         config.shards = 64;
         assert_eq!(config.normalized().shards, INGEST_SLOTS);
+    }
+
+    fn bare_snapshot(epoch: u64) -> Snapshot {
+        Snapshot {
+            epoch,
+            status: String::new(),
+            results: String::new(),
+            engines: String::new(),
+            metrics: String::new(),
+            fingerprint: String::new(),
+            index: Arc::new(SampleIndex::default()),
+            flips: Arc::new(FlipAnalysis::empty(0)),
+            engine_names: Arc::new(Vec::new()),
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn hash_member_parses_hex_and_rejects_garbage() {
+        let parse = |doc: &str| parse_hash_member(&crate::obs::json::parse(doc).expect("json"));
+        assert_eq!(parse("{\"hash\":\"ff\"}"), Ok(SampleHash(0xff)));
+        let full = "f".repeat(32);
+        assert_eq!(
+            parse(&format!("{{\"hash\":\"{full}\"}}")),
+            Ok(SampleHash(u128::MAX))
+        );
+        for bad in [
+            "{\"cmd\":\"sample\"}",
+            "{\"hash\":\"\"}",
+            "{\"hash\":\"xyz\"}",
+            "{\"hash\":\"-1\"}",
+            "{\"hash\":17}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad} must not parse");
+        }
+        assert!(
+            parse(&format!("{{\"hash\":\"{}0\"}}", full)).is_err(),
+            "33 digits overflow"
+        );
+        // Round-trip: to_hex output parses back to the same hash.
+        let hash = SampleHash::from_ordinal(99);
+        assert_eq!(
+            parse(&format!("{{\"hash\":\"{}\"}}", hash.to_hex())),
+            Ok(hash)
+        );
+    }
+
+    #[test]
+    fn cache_serves_hits_within_an_epoch_and_clears_on_swap() {
+        let shared = Shared::new();
+        let snap1 = bare_snapshot(1);
+        let a = cached_response(&shared, 8, &snap1, "k", || "one".to_string());
+        let b = cached_response(&shared, 8, &snap1, "k", || "two".to_string());
+        assert_eq!((a.as_str(), b.as_str()), ("one", "one"), "second is a hit");
+        assert_eq!(shared.counters.cache_hits.value(), 1);
+        assert_eq!(shared.counters.cache_misses.value(), 1);
+        // Epoch swap: the same key renders fresh.
+        let snap2 = bare_snapshot(2);
+        let c = cached_response(&shared, 8, &snap2, "k", || "three".to_string());
+        assert_eq!(c, "three", "epoch swap invalidates");
+        // A reader still pinning epoch 1 bypasses the cache entirely —
+        // it neither serves nor stores stale entries.
+        let d = cached_response(&shared, 8, &snap1, "k", || "stale".to_string());
+        assert_eq!(d, "stale");
+        let e = cached_response(&shared, 8, &snap2, "k", || "four".to_string());
+        assert_eq!(e, "three", "epoch-2 entry survived the stale reader");
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let shared = Shared::new();
+        let snap = bare_snapshot(1);
+        cached_response(&shared, 2, &snap, "a", || "A".to_string());
+        cached_response(&shared, 2, &snap, "b", || "B".to_string());
+        cached_response(&shared, 2, &snap, "a", || "A2".to_string()); // touch a
+        cached_response(&shared, 2, &snap, "c", || "C".to_string()); // evicts b
+        assert_eq!(
+            cached_response(&shared, 2, &snap, "a", || "A3".to_string()),
+            "A",
+            "a stayed cached"
+        );
+        assert_eq!(
+            cached_response(&shared, 2, &snap, "b", || "B2".to_string()),
+            "B2",
+            "b was the LRU victim"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let shared = Shared::new();
+        let snap = bare_snapshot(1);
+        assert_eq!(
+            cached_response(&shared, 0, &snap, "k", || "x".to_string()),
+            "x"
+        );
+        assert_eq!(
+            cached_response(&shared, 0, &snap, "k", || "y".to_string()),
+            "y",
+            "nothing is retained"
+        );
+        assert_eq!(shared.counters.cache_hits.value(), 0);
+    }
+
+    #[test]
+    fn lazy_renderers_answer_missing_hashes_and_empty_indexes() {
+        let snap = bare_snapshot(3);
+        let hash = SampleHash::from_ordinal(7);
+        let sample = crate::obs::json::parse(&render_sample(&snap, hash)).expect("json");
+        assert_eq!(sample.get("epoch").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(sample.get("found").and_then(|v| v.as_bool()), Some(false));
+        let stab = crate::obs::json::parse(&render_stabilized(&snap, hash, 10)).expect("json");
+        assert_eq!(stab.get("found").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(stab.get("threshold").and_then(|v| v.as_u64()), Some(10));
+        let leaders = crate::obs::json::parse(&render_flip_leaders(&snap, 5)).expect("json");
+        assert_eq!(
+            leaders
+                .get("leaders")
+                .and_then(|v| v.as_array())
+                .map(<[_]>::len),
+            Some(0)
+        );
     }
 
     #[test]

@@ -193,6 +193,142 @@ fn hostile_wire_input_gets_typed_errors_never_a_panic() {
 }
 
 #[test]
+fn unterminated_final_request_is_answered_at_eof() {
+    // Regression: a client whose last request line lacks the trailing
+    // newline (it shuts down its write half right after the bytes) used
+    // to be dropped silently — EOF discarded the buffered partial line.
+    // EOF now terminates the final line and the request is answered.
+    let server = hostile_test_server();
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(b"{\"cmd\":\"status\"}") // no '\n'
+        .expect("write unterminated request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close after the partial line");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("a response");
+    let v = json::parse(line.trim_end()).expect("parseable response");
+    assert!(
+        v.get("samples").is_some(),
+        "the unterminated request must be answered as a status query: {line}"
+    );
+    // ...after which the connection sees a clean EOF.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("eof"), 0);
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn request_line_bound_is_exact() {
+    // Regression: the length check ran after buffering, so the
+    // documented max_line_bytes bound could be exceeded by up to one
+    // BufReader chunk. The bound is now exact: a line of exactly `max`
+    // bytes is served, one more byte evicts.
+    let server = hostile_test_server(); // max_line_bytes = 256
+    let addr = server.addr();
+
+    // Exactly 256 bytes of valid JSON (newline excluded from the bound).
+    let base = "{\"cmd\":\"status\",\"pad\":\"\"}";
+    let mut exact = format!(
+        "{{\"cmd\":\"status\",\"pad\":\"{}\"}}",
+        "a".repeat(256 - base.len())
+    )
+    .into_bytes();
+    assert_eq!(exact.len(), 256);
+    exact.push(b'\n');
+    let line = send_raw(addr, &exact).expect("a response");
+    let v = json::parse(line.trim_end()).expect("parseable response");
+    assert!(
+        v.get("samples").is_some(),
+        "a line of exactly max bytes must be served: {line}"
+    );
+
+    // 257 bytes: evicted, not serviced.
+    let mut over = vec![b'a'; 257];
+    over.push(b'\n');
+    let line = send_raw(addr, &over).expect("an eviction notice");
+    let v = json::parse(line.trim_end()).expect("parseable eviction response");
+    assert_eq!(
+        v.get("evicted").and_then(|e| e.as_bool()),
+        Some(true),
+        "one byte past the bound must evict: {line}"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn poisoned_slot_lock_degrades_instead_of_killing_the_daemon() {
+    // Regression: a panic while holding a slot lock used to cascade —
+    // every later lock().expect() panicked in turn, wedging the daemon.
+    // Poisoning is now recovered, counted, and surfaced as degraded.
+    let mut config = ServeConfig::new(2_000, 0xDE6);
+    config.segment_reports = 300;
+    config.workers = 1;
+    config.shards = 2;
+    let server = Server::start(config).expect("bind ephemeral port");
+    let addr = server.addr();
+    server.poison_slot(0);
+
+    // The daemon keeps ingesting and answering through the poisoned
+    // slot; ingestion still completes.
+    let (mut stream, mut reader) = connect(addr);
+    let final_status = loop {
+        let v = ask(&mut stream, &mut reader, "status");
+        if v.get("ingest_done").and_then(|d| d.as_bool()) == Some(true) {
+            break v;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        final_status.get("degraded").and_then(|d| d.as_bool()),
+        Some(true),
+        "a publish past a poisoned slot must be flagged: {final_status:?}"
+    );
+    assert!(
+        final_status
+            .get("poisoned")
+            .and_then(|p| p.as_u64())
+            .unwrap_or(0)
+            > 0,
+        "recoveries must be counted on serve/poisoned"
+    );
+    assert_eq!(
+        final_status.get("samples").and_then(|s| s.as_u64()),
+        Some(2_000),
+        "the poisoned slot's stream must still fold to completion"
+    );
+
+    // Lazily rendered per-hash responses carry the degraded marker too.
+    stream
+        .write_all(b"{\"cmd\":\"sample\",\"hash\":\"ff\"}\n")
+        .expect("write sample query");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("sample response");
+    let v = json::parse(line.trim_end()).expect("parseable sample response");
+    assert_eq!(v.get("degraded").and_then(|d| d.as_bool()), Some(true));
+
+    // And a fresh client is still served — no cascade.
+    let (mut s2, mut r2) = connect(addr);
+    let v = ask(&mut s2, &mut r2, "results");
+    assert!(v.get("dataset").is_some());
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn silent_clients_are_evicted_on_the_read_deadline() {
     let server = hostile_test_server();
     let addr = server.addr();

@@ -20,7 +20,7 @@ use vt_dynamics::landscape::Landscape;
 use vt_dynamics::metrics::{Metrics, WindowGrowth};
 use vt_dynamics::stability::Stability;
 use vt_dynamics::stabilization::Stabilization;
-use vt_dynamics::{pipeline, Analysis, AnalysisCtx, TrajectoryTable};
+use vt_dynamics::{pipeline, Analysis, AnalysisCtx, DecodeArena, TrajectoryTable};
 use vt_obs::Obs;
 
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -112,11 +112,16 @@ fn stage_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-/// The shared one-pass table build (kernel `table_build`).
+/// The shared one-pass table build (kernel `table_build`): the
+/// row-struct path (`build`, from materialized `SampleRecord`s) next to
+/// the zero-copy segment-fold path (`build_arena`, streaming the sealed
+/// store's blocks into a reused [`DecodeArena`] and building the
+/// columns straight from it — the route `vtld serve` folds through).
 fn table_build(c: &mut Criterion) {
     let st = correlation_study();
     let ws = st.sim().config().window_start();
     let mut group = c.benchmark_group("table");
+    group.sample_size(10);
     for &workers in &WORKER_SWEEP {
         group.bench_with_input(BenchmarkId::new("build", workers), &workers, |b, &w| {
             b.iter(|| {
@@ -128,6 +133,37 @@ fn table_build(c: &mut Criterion) {
                 ))
             })
         });
+    }
+    let store = st.build_store();
+    let mut arena = DecodeArena::new();
+    // Untimed first-touch warmup: the first arena fill + build faults
+    // in ~50MB of fresh pages, and the 3-iteration harness would
+    // charge that one-off artifact to the first arm's mean.
+    arena.clear();
+    store.for_each_row(&mut arena);
+    black_box(TrajectoryTable::build_from_arena(
+        &arena,
+        ws,
+        1,
+        Obs::noop(),
+    ));
+    for &workers in &WORKER_SWEEP {
+        group.bench_with_input(
+            BenchmarkId::new("build_arena", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    arena.clear();
+                    store.for_each_row(&mut arena);
+                    black_box(TrajectoryTable::build_from_arena(
+                        &arena,
+                        ws,
+                        w,
+                        Obs::noop(),
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -20,7 +20,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vt_bench::study;
-use vt_dynamics::{analyze_records_obs, IncrementalStudy, SampleRecord};
+use vt_dynamics::{analyze_records_obs, DecodeArena, IncrementalStudy, SampleRecord};
 use vt_obs::Obs;
 use vt_store::PartitionStats;
 
@@ -65,6 +65,26 @@ fn segment_fold(c: &mut Criterion) {
         b.iter(|| {
             let mut inc = warm.clone();
             inc.fold_segment(black_box(last), Obs::noop());
+            black_box(inc.segments())
+        })
+    });
+
+    // The zero-copy serve-ingest path: the same first segment as a
+    // sealed store, folded through the reusable decode arena
+    // (`fold_store`) — no `Vec<ScanReport>`, no `SampleRecord`.
+    let seg_store = {
+        let store = vt_store::ReportStore::new();
+        for r in segs[0] {
+            store.append_batch(&r.reports);
+        }
+        store.seal();
+        store
+    };
+    let mut arena = DecodeArena::new();
+    group.bench_function("fold_first_segment_store", |b| {
+        b.iter(|| {
+            let mut inc = fresh_study();
+            inc.fold_store(black_box(&seg_store), &mut arena, Obs::noop());
             black_box(inc.segments())
         })
     });

@@ -1,0 +1,93 @@
+//! Bench-drift smoke gate for the zero-copy `table_build` kernel.
+//!
+//! Re-times the table build over the committed 500k-sample fixture and
+//! fails (exit 1) if the zero-copy arena path regresses more than the
+//! tolerated fraction against the `table_build_arena` baseline recorded
+//! in `BENCH_pipeline.json`. A few timed iterations, minimum taken —
+//! this is a smoke test against order-of-magnitude regressions
+//! (an accidental clone, a lost reserve, a quadratic sort), not a
+//! replacement for the full criterion run.
+//!
+//! Usage: `cargo run --release -p vt-bench --bin bench_drift [-- path]`
+//!
+//! * `path` — baseline JSON (default `BENCH_pipeline.json` in the
+//!   working directory).
+//! * `BENCH_DRIFT_TOLERANCE` — allowed regression fraction (default
+//!   `0.25`). CI machines differ from the recording machine; raise the
+//!   tolerance rather than skipping the gate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use vt_bench::correlation_study;
+use vt_dynamics::{DecodeArena, TrajectoryTable};
+use vt_obs::{json, Obs};
+
+const DEFAULT_BASELINE: &str = "BENCH_pipeline.json";
+const ITERATIONS: u32 = 5;
+
+fn baseline_ns(path: &str) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    v.get("table_build_arena")
+        .and_then(|t| t.get("1"))
+        .and_then(|n| n.as_u64())
+        .ok_or_else(|| format!("{path} has no table_build_arena.\"1\" member"))
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_BASELINE.to_string());
+    let tolerance: f64 = std::env::var("BENCH_DRIFT_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0.25);
+    let baseline = match baseline_ns(&path) {
+        Ok(ns) => ns,
+        Err(e) => {
+            eprintln!("bench_drift: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("bench_drift: generating the 500k-sample fixture...");
+    let st = correlation_study();
+    let ws = st.sim().config().window_start();
+    let store = st.build_store();
+    let mut arena = DecodeArena::new();
+
+    // Warm-up (fills the arena to steady-state capacity), then the
+    // timed minimum over a handful of iterations.
+    arena.clear();
+    store.for_each_row(&mut arena);
+    let warm = TrajectoryTable::build_from_arena(&arena, ws, 1, Obs::noop());
+    let samples = warm.len();
+    drop(warm);
+
+    let mut best = u64::MAX;
+    for _ in 0..ITERATIONS {
+        let t = Instant::now();
+        arena.clear();
+        store.for_each_row(&mut arena);
+        let table = TrajectoryTable::build_from_arena(&arena, ws, 1, Obs::noop());
+        let ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(table.len(), samples, "fixture changed mid-run");
+        best = best.min(ns);
+    }
+
+    let limit = (baseline as f64 * (1.0 + tolerance)) as u64;
+    eprintln!(
+        "bench_drift: table_build_arena best-of-{ITERATIONS} = {:.1}ms, \
+         baseline {:.1}ms, limit {:.1}ms (tolerance {:.0}%)",
+        best as f64 / 1e6,
+        baseline as f64 / 1e6,
+        limit as f64 / 1e6,
+        tolerance * 100.0,
+    );
+    if best > limit {
+        eprintln!("bench_drift: FAIL — table build regressed past the tolerance");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_drift: OK");
+    ExitCode::SUCCESS
+}

@@ -247,14 +247,28 @@ impl ScopeContingency {
     /// undetected). This is the kernel's entry point — it reads the
     /// report's native verdict bitmaps without materializing per-engine
     /// values.
+    ///
+    /// Instead of testing every engine's bit individually, each input
+    /// word is walked by its *set* bits (`trailing_zeros` + clear-lowest),
+    /// so a sparse row costs work proportional to the engines that
+    /// actually scanned it, not the roster size. Bits at or beyond
+    /// `engine_count` are masked off, and a bit set in both `pos` and
+    /// `zero` counts as `pos` — the same precedence as the old
+    /// per-engine `if`/`else if`.
     pub fn accumulate_masks(&mut self, pos: &[u64; 2], zero: &[u64; 2]) {
         let bit = 1u64 << self.buffered;
-        for e in 0..self.engine_count {
-            let (w, b) = (e >> 6, e & 63);
-            if pos[w] >> b & 1 == 1 {
-                self.pos[e] |= bit;
-            } else if zero[w] >> b & 1 == 1 {
-                self.zero[e] |= bit;
+        for w in 0..2 {
+            let roster = word_mask(self.engine_count, w);
+            let base = w << 6;
+            let mut p = pos[w] & roster;
+            while p != 0 {
+                self.pos[base + p.trailing_zeros() as usize] |= bit;
+                p &= p - 1;
+            }
+            let mut z = zero[w] & roster & !pos[w];
+            while z != 0 {
+                self.zero[base + z.trailing_zeros() as usize] |= bit;
+                z &= z - 1;
             }
         }
         self.advance_row();
@@ -479,6 +493,19 @@ fn scope_matches(scope: Option<FileType>, rec: &SampleRecord) -> bool {
     }
 }
 
+/// Bits of verdict-bitmap word `w` that correspond to real engines
+/// (`engine_count` total across the two words).
+fn word_mask(engine_count: usize, w: usize) -> u64 {
+    let lo = w * 64;
+    if engine_count <= lo {
+        0
+    } else if engine_count >= lo + 64 {
+        !0
+    } else {
+        (1u64 << (engine_count - lo)) - 1
+    }
+}
+
 /// Runs the fused kernel and finishes every scope into a
 /// [`CorrelationAnalysis`]. Output is bit-identical (ρ matrices,
 /// strong pairs, groups) to calling the test-only `analyze_impl`
@@ -568,6 +595,19 @@ impl Analysis for Correlation {
             scopes.len() <= 8,
             "scope-membership masks hold at most 8 scopes"
         );
+        // Table-only fold: scope membership compares dense type indices,
+        // report counts come from CSR offsets, and the verdict planes are
+        // read straight out of the table's bitmap columns — no
+        // `SampleRecord`/`ScanReport` access, so the zero-copy segment
+        // path feeds this fold without materializing row structs. The
+        // table's per-sample rows are date-sorted exactly like
+        // `SampleRecord::reports`, so the emitted row plane is
+        // bit-identical to the record-walking fold.
+        let scope_idx: Vec<Option<usize>> = scopes
+            .iter()
+            .map(|s| s.map(|ft| ft.dense_index()))
+            .collect();
+        let table = ctx.table;
         let ranges = par::partition_ranges(ctx.s.len() as u64, ctx.workers);
         let parts = par::map_ranges_obs(&ranges, ctx.obs, "correlation_fold", |_, range| {
             let mut membership = Vec::new();
@@ -575,16 +615,18 @@ impl Analysis for Correlation {
             let mut zero = Vec::new();
             let mut totals = vec![0u64; scopes.len()];
             for i in range {
-                let rec = &ctx.records[ctx.s.indices[i as usize]];
+                let idx = ctx.s.indices[i as usize];
+                let ti = table.type_idx(idx);
                 let mut mask = 0u8;
-                for (si, &scope) in scopes.iter().enumerate() {
-                    if scope_matches(scope, rec) {
+                for (si, scope) in scope_idx.iter().enumerate() {
+                    if scope.map_or(true, |d| d == ti) {
                         mask |= 1 << si;
-                        totals[si] += rec.reports.len() as u64;
+                        totals[si] += table.report_count(idx) as u64;
                     }
                 }
-                for rep in &rec.reports {
-                    let (active, det) = rep.verdicts.raw();
+                for row in table.rows(idx) {
+                    let active = table.active_words(row);
+                    let det = table.detected_words(row);
                     membership.push(mask);
                     zero.push([active[0] & !det[0], active[1] & !det[1]]);
                     detected.push(det);

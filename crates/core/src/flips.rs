@@ -140,17 +140,57 @@ impl Analysis for Flips {
     }
 }
 
+/// One report's flip-state update for one 64-engine verdict-word lane.
+///
+/// `state` is the lane's 4-word block `[seen1, prevlab, seen2,
+/// prevprev]` — engines with a previous active label, that label, the
+/// label before that, and whether it exists — updated straight-line
+/// with no inner word loop. A flip is `seen1 & active & (prevlab ^
+/// detected)`; a hazard flip additionally requires `seen2` and
+/// `prevprev == detected`. Per-engine matrix cells come from iterating
+/// the set bits of the (typically sparse) `pairs`/`flipped` words.
+#[inline(always)]
+fn step_lane(
+    a: &mut FlipAnalysis,
+    type_idx: usize,
+    state: &mut [u64; 4],
+    aw: u64,
+    d: u64,
+    base: usize,
+) {
+    let [seen1, prevlab, seen2, prevprev] = *state;
+    let pairs = seen1 & aw;
+    let flipped = pairs & (prevlab ^ d);
+    a.flips += u64::from(flipped.count_ones());
+    a.flips_up += u64::from((flipped & d).count_ones());
+    a.flips_down += u64::from((flipped & !d).count_ones());
+    a.hazard_flips += u64::from((flipped & seen2 & !(prevprev ^ d)).count_ones());
+    let mut bits = pairs;
+    while bits != 0 {
+        let e = base + bits.trailing_zeros() as usize;
+        a.matrix[e][type_idx].opportunities += 1;
+        bits &= bits - 1;
+    }
+    let mut bits = flipped;
+    while bits != 0 {
+        let e = base + bits.trailing_zeros() as usize;
+        a.matrix[e][type_idx].flips += 1;
+        bits &= bits - 1;
+    }
+    state[0] = seen1 | aw;
+    state[1] = (prevlab & !aw) | (d & aw);
+    state[2] = seen2 | pairs;
+    state[3] = (prevprev & !aw) | (prevlab & aw);
+}
+
 /// Parallel, bit-sliced flip detection over the table's verdict-bitmap
 /// columns.
 ///
 /// Instead of walking every engine's label sequence separately, each
-/// record keeps four two-word masks — `seen1`/`prevlab` (engines with a
-/// previous active label, and that label) and `seen2`/`prevprev` (the
-/// label before that) — and processes all 128 engines per report with a
-/// handful of word operations. A flip is `seen1 & active & (prevlab ^
-/// detected)`; a hazard flip additionally requires `seen2` and
-/// `prevprev == detected`. Per-engine matrix cells come from iterating
-/// the set bits. All counters are sums, so partitions merge exactly.
+/// record keeps one 4-word state block per 64-engine lane (see
+/// [`step_lane`]) and processes all 128 engines per report with two
+/// straight-line block updates — no inner loop over words. All counters
+/// are sums, so partitions merge exactly.
 fn fold_columnar(
     table: &TrajectoryTable,
     s: &FreshDynamic,
@@ -168,40 +208,19 @@ fn fold_columnar(
             let type_idx = table.type_idx(rec);
             debug_assert!(type_idx < 20);
             a.reports += table.report_count(rec) as u64;
-            let mut seen1 = [0u64; 2];
-            let mut prevlab = [0u64; 2];
-            let mut seen2 = [0u64; 2];
-            let mut prevprev = [0u64; 2];
+            let mut lanes = [[0u64; 4]; 2];
             for row in table.rows(rec) {
                 let act = table.active_words(row);
                 let det = table.detected_words(row);
-                for w in 0..2 {
-                    let aw = act[w] & mask[w];
-                    let d = det[w];
-                    let pairs = seen1[w] & aw;
-                    let flipped = pairs & (prevlab[w] ^ d);
-                    a.flips += u64::from(flipped.count_ones());
-                    a.flips_up += u64::from((flipped & d).count_ones());
-                    a.flips_down += u64::from((flipped & !d).count_ones());
-                    a.hazard_flips +=
-                        u64::from((flipped & seen2[w] & !(prevprev[w] ^ d)).count_ones());
-                    let mut bits = pairs;
-                    while bits != 0 {
-                        let e = w * 64 + bits.trailing_zeros() as usize;
-                        a.matrix[e][type_idx].opportunities += 1;
-                        bits &= bits - 1;
-                    }
-                    let mut bits = flipped;
-                    while bits != 0 {
-                        let e = w * 64 + bits.trailing_zeros() as usize;
-                        a.matrix[e][type_idx].flips += 1;
-                        bits &= bits - 1;
-                    }
-                    seen2[w] |= seen1[w] & aw;
-                    prevprev[w] = (prevprev[w] & !aw) | (prevlab[w] & aw);
-                    seen1[w] |= aw;
-                    prevlab[w] = (prevlab[w] & !aw) | (d & aw);
-                }
+                step_lane(&mut a, type_idx, &mut lanes[0], act[0] & mask[0], det[0], 0);
+                step_lane(
+                    &mut a,
+                    type_idx,
+                    &mut lanes[1],
+                    act[1] & mask[1],
+                    det[1],
+                    64,
+                );
             }
         }
         a

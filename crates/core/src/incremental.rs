@@ -260,20 +260,76 @@ impl<'a> IncrementalStudy<'a> {
     /// records, in stream order — into the cached partials, under a
     /// `pipeline/segment` span (with the usual `pipeline/table`,
     /// `pipeline/freshdyn` and per-stage spans inside it).
+    ///
+    /// This is now a thin adapter over [`fold_table`](Self::fold_table):
+    /// it builds the segment's columnar table and folds that. Callers
+    /// holding a sealed [`vt_store::ReportStore`] should prefer
+    /// [`fold_store`](Self::fold_store), which skips the
+    /// `Vec<SampleRecord>` materialization entirely.
     pub fn fold_segment(&mut self, records: &[SampleRecord], obs: &Obs) {
         let _span = obs.span("pipeline/segment");
         let table = obs.time("pipeline/table", || {
             TrajectoryTable::build_with(records, self.window_start, self.workers, obs)
         });
-        let s = obs.time("pipeline/freshdyn", || {
-            freshdyn::build_from_table(&table, self.workers)
+        self.fold_table_inner(&table, obs);
+    }
+
+    /// Folds one sealed segment straight out of its report store: the
+    /// store's blocks stream into `arena` (reused across calls — its
+    /// row buffer keeps capacity between segments, so a steady-state
+    /// worker stops allocating), the columnar table is built from the
+    /// arena with no `Vec<ScanReport>`/`Vec<SampleRecord>` round-trip,
+    /// and the table is folded exactly like
+    /// [`fold_table`](Self::fold_table). Returns the number of samples
+    /// folded.
+    ///
+    /// Bit-identical to `fold_segment(&records_from_store(store))` —
+    /// the arena path sorts decoded rows by `(hash, analysis_date,
+    /// arrival)`, which is the same canonical order the record
+    /// materialization produces.
+    pub fn fold_store(
+        &mut self,
+        store: &vt_store::ReportStore,
+        arena: &mut crate::arena::DecodeArena,
+        obs: &Obs,
+    ) -> usize {
+        let _span = obs.span("pipeline/segment");
+        let table = obs.time("pipeline/table", || {
+            arena.clear();
+            store.for_each_row(arena);
+            TrajectoryTable::build_from_arena(arena, self.window_start, self.workers, obs)
         });
-        let ctx = AnalysisCtx::new(records, &table, &s, self.fleet, self.window_start)
+        let samples = table.len();
+        self.fold_table_inner(&table, obs);
+        samples
+    }
+
+    /// Folds one sealed segment's columnar table — however it was built
+    /// — into the cached partials. This is the core fold entry point:
+    /// [`fold_segment`](Self::fold_segment) and
+    /// [`fold_store`](Self::fold_store) both construct a table and land
+    /// here. The table must cover whole samples (never split one
+    /// sample's trajectory across tables) and tables must be folded in
+    /// stream order.
+    pub fn fold_table(&mut self, table: &TrajectoryTable, obs: &Obs) {
+        let _span = obs.span("pipeline/segment");
+        self.fold_table_inner(table, obs);
+    }
+
+    /// Shared tail of the fold entry points (caller owns the
+    /// `pipeline/segment` span).
+    fn fold_table_inner(&mut self, table: &TrajectoryTable, obs: &Obs) {
+        let s = obs.time("pipeline/freshdyn", || {
+            freshdyn::build_from_table(table, self.workers)
+        });
+        // Every stage fold is table-only, so the context carries no
+        // records — the zero-copy store path never materializes them.
+        let ctx = AnalysisCtx::new(&[], table, &s, self.fleet, self.window_start)
             .with_workers(self.workers)
             .with_obs(obs);
         let seg = StudyPartials::fold(&ctx);
         if self.indexing {
-            let part = obs.time("pipeline/index", || SampleIndex::fold(records, &table));
+            let part = obs.time("pipeline/index", || SampleIndex::fold_table(table));
             self.index = Some(match self.index.take() {
                 None => part,
                 Some(acc) => acc.merge(part),

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 
 use crate::records::SampleRecord;
-use crate::stabilization::{label_stabilization_index, FIG9_THRESHOLDS};
+use crate::stabilization::{stabilization_mask, FIG9_THRESHOLDS};
 use crate::table::TrajectoryTable;
 use vt_model::{FileType, SampleHash};
 
@@ -148,53 +148,49 @@ impl SampleSummary<'_> {
 /// *active* label was (two 128-bit mask planes) — exactly the §7.1
 /// definition, `Undetected` scans skipped.
 fn record_flips(table: &TrajectoryTable, i: usize) -> u32 {
-    let mut seen = [0u64; 2];
-    let mut prev = [0u64; 2];
+    // State lives in one 4-word block — [seen lo, seen hi, prev lo,
+    // prev hi] — and the per-row update is straight-line over the block
+    // (no per-word loop), so the whole walk stays in vector registers.
+    let mut state = [0u64; 4];
     let mut flips = 0u32;
     for row in table.rows(i) {
-        let active = table.active_words(row);
-        let detected = table.detected_words(row);
-        for w in 0..2 {
-            let both = active[w] & seen[w];
-            flips += ((prev[w] ^ detected[w]) & both).count_ones();
-            prev[w] = (prev[w] & !active[w]) | (detected[w] & active[w]);
-            seen[w] |= active[w];
-        }
+        let a = table.active_words(row);
+        let d = table.detected_words(row);
+        let both0 = a[0] & state[0];
+        let both1 = a[1] & state[1];
+        flips += ((state[2] ^ d[0]) & both0).count_ones();
+        flips += ((state[3] ^ d[1]) & both1).count_ones();
+        state[2] = (state[2] & !a[0]) | (d[0] & a[0]);
+        state[3] = (state[3] & !a[1]) | (d[1] & a[1]);
+        state[0] |= a[0];
+        state[1] |= a[1];
     }
     flips
 }
 
 impl SampleIndex {
-    /// Folds one sealed segment into an index partial. `records` and
-    /// `table` must describe the same segment (the table is the one the
-    /// incremental fold already built — nothing is re-decoded here).
-    pub fn fold(records: &[SampleRecord], table: &TrajectoryTable) -> Self {
-        assert_eq!(
-            records.len(),
-            table.len(),
-            "records and table must cover the same segment"
-        );
+    /// Folds one sealed segment's table into an index partial — the
+    /// columnar entry point: everything the index needs (including the
+    /// sample hashes) now lives in the [`TrajectoryTable`], so no
+    /// `SampleRecord` is touched and the zero-copy segment-fold path
+    /// can index without ever materializing rows.
+    pub fn fold_table(table: &TrajectoryTable) -> Self {
+        let n = table.len();
         let rows = table.report_rows();
         let mut idx = SampleIndex {
-            hashes: Vec::with_capacity(records.len()),
-            type_idx: Vec::with_capacity(records.len()),
-            flags: Vec::with_capacity(records.len()),
-            flips: Vec::with_capacity(records.len()),
-            stab_mask: Vec::with_capacity(records.len()),
-            offsets: Vec::with_capacity(records.len() + 1),
+            hashes: Vec::with_capacity(n),
+            type_idx: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            flips: Vec::with_capacity(n),
+            stab_mask: Vec::with_capacity(n),
+            offsets: Vec::with_capacity(n + 1),
             positives: Vec::with_capacity(rows),
             date_min: Vec::with_capacity(rows),
-            lookup: HashMap::with_capacity(records.len()),
+            lookup: HashMap::with_capacity(n),
         };
         idx.offsets.push(0);
-        for (i, r) in records.iter().enumerate() {
+        for i in 0..n {
             let p = table.positives_of(i);
-            let mut mask = 0u16;
-            for (bit, &t) in FIG9_THRESHOLDS.iter().enumerate() {
-                if label_stabilization_index(p, t).is_some() {
-                    mask |= 1 << bit;
-                }
-            }
             let mut f = 0u8;
             f |= if table.is_multi_report(i) {
                 flag::MULTI
@@ -205,19 +201,32 @@ impl SampleIndex {
             f |= if table.is_fresh(i) { flag::FRESH } else { 0 };
             f |= if table.in_s(i) { flag::IN_S } else { 0 };
 
+            let hash = table.hash(i);
             let slot = idx.hashes.len() as u32;
-            idx.hashes.push(r.meta.hash);
+            idx.hashes.push(hash);
             idx.type_idx.push(table.type_idx(i) as u16);
             idx.flags.push(f);
             idx.flips.push(record_flips(table, i));
-            idx.stab_mask.push(mask);
+            idx.stab_mask.push(stabilization_mask(p));
             idx.positives.extend_from_slice(p);
             idx.date_min.extend_from_slice(table.dates_of(i));
             idx.offsets.push(idx.positives.len() as u64);
-            let prior = idx.lookup.insert(r.meta.hash, slot);
+            let prior = idx.lookup.insert(hash, slot);
             debug_assert!(prior.is_none(), "segments hold whole, distinct samples");
         }
         idx
+    }
+
+    /// Row-path adapter over [`fold_table`](Self::fold_table): `records`
+    /// and `table` must describe the same segment (the table already
+    /// carries every column the index reads, hashes included).
+    pub fn fold(records: &[SampleRecord], table: &TrajectoryTable) -> Self {
+        assert_eq!(
+            records.len(),
+            table.len(),
+            "records and table must cover the same segment"
+        );
+        Self::fold_table(table)
     }
 
     /// Merges a later accumulation into this one. The two must cover
@@ -306,6 +315,7 @@ mod tests {
     use crate::flips::Flips;
     use crate::freshdyn;
     use crate::pipeline::Study;
+    use crate::stabilization::label_stabilization_index;
     use vt_obs::Obs;
     use vt_sim::SimConfig;
 

@@ -124,6 +124,90 @@ where
     out
 }
 
+/// [`map_ranges`], but each range additionally *owns* one payload from
+/// `payloads` (moved into its worker). This is how the columnar table
+/// build hands every worker a disjoint `&mut` window of the final
+/// column buffers: the caller `split_at_mut`s the columns along the
+/// range boundaries, and each worker writes its slice directly — no
+/// per-worker allocation, no concat pass.
+///
+/// # Panics
+/// Panics if `payloads.len() != ranges.len()`.
+pub fn map_ranges_with<P, T, F>(ranges: &[std::ops::Range<u64>], payloads: Vec<P>, f: F) -> Vec<T>
+where
+    P: Send,
+    T: Send,
+    F: Fn(usize, std::ops::Range<u64>, P) -> T + Sync,
+{
+    assert_eq!(payloads.len(), ranges.len(), "one payload per range");
+    if ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .cloned()
+            .zip(payloads)
+            .enumerate()
+            .map(|(i, (r, p))| f(i, r, p))
+            .collect();
+    }
+    let mut out: Vec<Option<T>> = (0..ranges.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, (range, payload)) in ranges.iter().zip(payloads).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| f(i, range.clone(), payload)));
+        }
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("analysis worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter().map(|t| t.expect("worker result")).collect()
+}
+
+/// [`map_ranges_with`] with the same per-worker instrumentation as
+/// [`map_ranges_obs`] (`par/<kernel>/worker_busy_ns`,
+/// `par/<kernel>/imbalance_pct`, `par/<kernel>/invocations`). With a
+/// disabled `obs` this *is* [`map_ranges_with`].
+pub fn map_ranges_with_obs<P, T, F>(
+    ranges: &[std::ops::Range<u64>],
+    payloads: Vec<P>,
+    obs: &Obs,
+    kernel: &str,
+    f: F,
+) -> Vec<T>
+where
+    P: Send,
+    T: Send,
+    F: Fn(usize, std::ops::Range<u64>, P) -> T + Sync,
+{
+    if !obs.is_enabled() {
+        return map_ranges_with(ranges, payloads, f);
+    }
+    let timed = map_ranges_with(ranges, payloads, |i, r, p| {
+        let start = Instant::now();
+        let out = f(i, r, p);
+        (out, saturating_ns(start.elapsed()))
+    });
+    let busy = obs.histogram(&format!("par/{kernel}/worker_busy_ns"));
+    let mut total_ns = 0u64;
+    let mut max_ns = 0u64;
+    let mut out = Vec::with_capacity(timed.len());
+    for (t, ns) in timed {
+        busy.observe(ns);
+        total_ns = total_ns.saturating_add(ns);
+        max_ns = max_ns.max(ns);
+        out.push(t);
+    }
+    if !out.is_empty() && total_ns > 0 {
+        let mean = total_ns as f64 / out.len() as f64;
+        let pct = (max_ns as f64 / mean * 100.0).round() as u64;
+        obs.gauge(&format!("par/{kernel}/imbalance_pct"))
+            .set_max(pct);
+    }
+    obs.counter(&format!("par/{kernel}/invocations")).incr();
+    out
+}
+
 /// Splits `0..n` into `workers` contiguous ranges, runs `f` on each
 /// range on its own scoped thread, and returns the results in range
 /// order. With `workers == 1` (or tiny `n`) it runs inline.
@@ -196,6 +280,30 @@ mod tests {
     fn empty_range() {
         let parts = map_partitions(0, 4, |r| r.count());
         assert_eq!(parts.iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn map_ranges_with_writes_disjoint_slices() {
+        let n = 1_000u64;
+        for workers in [1usize, 3, 8] {
+            let ranges = partition_ranges(n, workers);
+            let mut buf = vec![0u64; n as usize];
+            let mut payloads = Vec::with_capacity(ranges.len());
+            let mut rest = buf.as_mut_slice();
+            for r in &ranges {
+                let (head, tail) =
+                    std::mem::take(&mut rest).split_at_mut((r.end - r.start) as usize);
+                payloads.push(head);
+                rest = tail;
+            }
+            map_ranges_with(&ranges, payloads, |_, r, slice: &mut [u64]| {
+                for (k, i) in r.clone().enumerate() {
+                    slice[k] = i * i % 97;
+                }
+            });
+            let serial: Vec<u64> = (0..n).map(|i| i * i % 97).collect();
+            assert_eq!(buf, serial, "workers={workers}");
+        }
     }
 
     #[test]

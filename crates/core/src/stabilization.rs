@@ -244,6 +244,32 @@ pub fn label_stabilization_index(p: &[u32], t: u32) -> Option<usize> {
     (p.len() - start >= 2).then_some(start)
 }
 
+/// All nine [`FIG9_THRESHOLDS`] stabilization verdicts of one AV-Rank
+/// column in a single pass: bit `i` is set iff
+/// `label_stabilization_index(p, FIG9_THRESHOLDS[i]).is_some()`.
+///
+/// Replaces nine separate backward mask walks with one: the index
+/// exists iff the trailing constant-label run has length ≥ 2, and the
+/// run reaches length 2 exactly when the last two labels agree — so
+/// *existence* (unlike the index's position) is decided by the final
+/// two AV-Ranks alone, for every threshold at once. The per-threshold
+/// function stays the source of truth; a test pins the equivalence.
+pub fn stabilization_mask(p: &[u32]) -> u16 {
+    let n = p.len();
+    if n < 2 {
+        return 0;
+    }
+    let a = p[n - 2];
+    let b = p[n - 1];
+    let mut mask = 0u16;
+    for (bit, &t) in FIG9_THRESHOLDS.iter().enumerate() {
+        if (a >= t) == (b >= t) {
+            mask |= 1 << bit;
+        }
+    }
+    mask
+}
+
 /// Parallel §6.2 sweep: one worker per **threshold**, each walking *S*
 /// serially in index order. Every accumulator is an integer sum (scan
 /// serials; elapsed whole minutes), so the per-threshold totals are
@@ -558,6 +584,22 @@ mod tests {
                     prop_assert!(idx.is_some(), "stability must persist as r grows");
                 }
                 last_idx = idx;
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mask_matches_per_threshold_walks(
+            p in proptest::collection::vec(0u32..45, 0..12)
+        ) {
+            let mask = stabilization_mask(&p);
+            for (bit, &t) in FIG9_THRESHOLDS.iter().enumerate() {
+                prop_assert_eq!(
+                    mask >> bit & 1 == 1,
+                    label_stabilization_index(&p, t).is_some(),
+                    "t={} p={:?}", t, &p
+                );
             }
         }
     }

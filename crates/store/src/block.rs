@@ -6,9 +6,53 @@
 //! sequential within a block (the delta chain requires it), which is the
 //! access pattern every analysis uses.
 
-use crate::codec::{decode_report, encode_report};
+use crate::codec::{decode_report_raw, encode_report, ReportRow};
 use bytes::{Buf, Bytes, BytesMut};
 use vt_model::ScanReport;
+
+/// Streaming consumer of decoded reports.
+///
+/// [`Block::decode_into`] drives a sink instead of materializing a
+/// `Vec<ScanReport>`, so bulk consumers (the columnar table build, the
+/// persistence index rebuild) copy out only the columns they keep.
+///
+/// # Contract
+///
+/// * **Ordering** — rows arrive in block offset order (the physical
+///   append order), exactly once each, with offsets `0..block.len()`.
+///   Within one block, analysis dates are whatever the writer appended;
+///   no sorting is applied.
+/// * **Errors** — on a corrupt block the sink has already observed every
+///   row *before* the corrupt one; the decoder stops at the first bad
+///   report and returns [`BlockDecodeError`]. Callers that need
+///   all-or-nothing semantics must buffer (as [`Block::decode_all`]
+///   does, discarding its partial `Vec` on error) or pre-[`Block::verify`].
+/// * **Borrowing** — the `&ReportRow` is only valid for the duration of
+///   the call; sinks copy out what they keep.
+pub trait ReportSink {
+    /// Accepts the next decoded row.
+    fn report(&mut self, row: &ReportRow);
+}
+
+/// Adapter that lets a closure act as a [`ReportSink`].
+///
+/// (A blanket `impl<F: FnMut(&ReportRow)> ReportSink for F` would
+/// conflict with the `Vec<ScanReport>` impl under coherence rules, so
+/// closures wrap in this named struct instead.)
+pub struct SinkFn<F>(pub F);
+
+impl<F: FnMut(&ReportRow)> ReportSink for SinkFn<F> {
+    fn report(&mut self, row: &ReportRow) {
+        (self.0)(row);
+    }
+}
+
+/// The materializing sink: collects rows as [`ScanReport`]s.
+impl ReportSink for Vec<ScanReport> {
+    fn report(&mut self, row: &ReportRow) {
+        self.push(row.to_report());
+    }
+}
 
 /// A block's bytes failed to decode — either a report is corrupt or the
 /// byte stream does not end exactly at the last report.
@@ -75,37 +119,20 @@ impl Block {
         &self.data
     }
 
-    /// Checked decode: true iff the bytes decode to exactly `len`
-    /// reports with nothing left over.
-    pub fn verify(&self) -> bool {
-        let mut cur = self.data.clone();
-        let mut prev = 0i64;
-        for _ in 0..self.len {
-            match decode_report(&mut cur, prev) {
-                Some((_, p)) => prev = p,
-                None => return false,
-            }
-        }
-        !cur.has_remaining()
-    }
-
-    /// Decodes every report in the block. Fails (instead of panicking)
-    /// when the bytes are corrupt or do not end exactly at the last
-    /// report, so persistence readers can skip or salvage bad blocks.
-    pub fn decode_all(&self) -> Result<Vec<ScanReport>, BlockDecodeError> {
-        let mut cur = self.data.clone();
-        // Cap the pre-allocation by what the bytes could possibly hold:
-        // a corrupt header may claim billions of reports.
-        let plausible =
-            (self.data.len() as u64 / crate::codec::MIN_ENCODED_REPORT_BYTES.max(1)) as usize;
-        let mut out = Vec::with_capacity((self.len as usize).min(plausible + 1));
+    /// Streams every report in the block into `sink`, in offset order,
+    /// without materializing [`ScanReport`]s. Returns the number of rows
+    /// delivered. Fails (instead of panicking) when the bytes are corrupt
+    /// or do not end exactly at the last report; on failure the sink has
+    /// already seen every row before the corrupt one (see [`ReportSink`]).
+    pub fn decode_into(&self, sink: &mut impl ReportSink) -> Result<u32, BlockDecodeError> {
+        let mut cur = &self.data[..];
         let mut prev = 0i64;
         for i in 0..self.len {
-            let (r, p) = decode_report(&mut cur, prev).ok_or(BlockDecodeError {
+            let (row, p) = decode_report_raw(&mut cur, prev).ok_or(BlockDecodeError {
                 report_index: i,
                 report_count: self.len,
             })?;
-            out.push(r);
+            sink.report(&row);
             prev = p;
         }
         if cur.has_remaining() {
@@ -114,6 +141,25 @@ impl Block {
                 report_count: self.len,
             });
         }
+        Ok(self.len)
+    }
+
+    /// Checked decode: true iff the bytes decode to exactly `len`
+    /// reports with nothing left over.
+    pub fn verify(&self) -> bool {
+        self.decode_into(&mut SinkFn(|_: &ReportRow| {})).is_ok()
+    }
+
+    /// Decodes every report in the block, materialized. Thin adapter over
+    /// [`Block::decode_into`] with a `Vec<ScanReport>` sink; the partial
+    /// `Vec` is discarded on error, giving all-or-nothing semantics.
+    pub fn decode_all(&self) -> Result<Vec<ScanReport>, BlockDecodeError> {
+        // Cap the pre-allocation by what the bytes could possibly hold:
+        // a corrupt header may claim billions of reports.
+        let plausible =
+            (self.data.len() as u64 / crate::codec::MIN_ENCODED_REPORT_BYTES.max(1)) as usize;
+        let mut out = Vec::with_capacity((self.len as usize).min(plausible + 1));
+        self.decode_into(&mut out)?;
         Ok(out)
     }
 }
@@ -253,5 +299,79 @@ mod tests {
         extended.extend_from_slice(&[0xAB; 5]);
         let trailing = Block::from_parts(extended.into(), block.len() as u32);
         assert!(trailing.decode_all().is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The streaming sink sees exactly the rows `decode_all`
+            /// materializes, in offset order, and every `ReportRow`
+            /// accessor agrees with its materialized `ScanReport`.
+            #[test]
+            fn sink_rows_match_materialized_reports(
+                ordinals in proptest::collection::vec(0u64..5_000, 1..60),
+            ) {
+                let reports: Vec<ScanReport> = ordinals.iter().map(|&i| report(i)).collect();
+                let mut b = BlockBuilder::new();
+                for r in &reports {
+                    b.push(r);
+                }
+                let block = b.seal();
+                let mut rows: Vec<(SampleHash, u32, i64)> = Vec::new();
+                let n = block
+                    .decode_into(&mut SinkFn(|row: &ReportRow| {
+                        rows.push((row.sample, row.positives(), row.analysis));
+                    }))
+                    .expect("clean block decodes");
+                prop_assert_eq!(n as usize, reports.len());
+                let all = block.decode_all().expect("clean block decodes");
+                prop_assert_eq!(all.len(), rows.len());
+                for (r, (hash, positives, analysis)) in all.iter().zip(&rows) {
+                    prop_assert_eq!(r.sample, *hash);
+                    prop_assert_eq!(r.positives(), *positives);
+                    prop_assert_eq!(r.analysis_date.0, *analysis);
+                }
+                prop_assert_eq!(&all, &reports);
+            }
+
+            /// Arbitrary single-byte corruption and truncation never
+            /// panic the decoder: it returns Ok (the flip happened to
+            /// stay decodable) or a structured error after delivering
+            /// exactly the rows before the failure point.
+            #[test]
+            fn corrupt_bytes_never_panic(
+                ordinals in proptest::collection::vec(0u64..5_000, 1..40),
+                site in any::<u16>(),
+                flip in 1u8..=255,
+                cut in any::<u16>(),
+            ) {
+                let mut b = BlockBuilder::new();
+                for &i in &ordinals {
+                    b.push(&report(i));
+                }
+                let block = b.seal();
+                let mut bytes = block.raw_bytes().to_vec();
+                let site = site as usize % bytes.len();
+                bytes[site] ^= flip;
+                let cut_len = cut as usize % (bytes.len() + 1);
+                for data in [
+                    Bytes::copy_from_slice(&bytes),
+                    Bytes::copy_from_slice(&bytes[..cut_len]),
+                ] {
+                    let bad = Block::from_parts(data, ordinals.len() as u32);
+                    let mut seen = 0u32;
+                    let res = bad.decode_into(&mut SinkFn(|_: &ReportRow| seen += 1));
+                    match res {
+                        Ok(n) => prop_assert_eq!(n, ordinals.len() as u32),
+                        Err(e) => {
+                            prop_assert!(e.report_index <= e.report_count);
+                            prop_assert_eq!(seen, e.report_index);
+                        }
+                    }
+                }
+            }
+        }
     }
 }

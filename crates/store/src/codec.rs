@@ -97,9 +97,58 @@ pub fn encode_report(buf: &mut BytesMut, r: &ScanReport, prev_analysis: i64) {
     put_varint(buf, detected[1]);
 }
 
-/// Decodes one report (inverse of [`encode_report`]). Returns the report
-/// and its analysis-date for use as the next delta base.
-pub fn decode_report(buf: &mut impl Buf, prev_analysis: i64) -> Option<(ScanReport, i64)> {
+/// One decoded report as plain column values — no `VerdictVec`, no heap.
+///
+/// This is what the wire format actually carries; [`ScanReport`] is a
+/// materialized view over it. Streaming consumers ([`crate::ReportSink`])
+/// receive rows by reference and copy out only the columns they keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportRow {
+    /// The sample this report describes.
+    pub sample: SampleHash,
+    /// Dense file-type index, `< TOTAL_TYPE_COUNT` (validated on decode).
+    pub type_idx: u16,
+    /// Analysis date in raw timestamp minutes.
+    pub analysis: i64,
+    /// Last submission date in raw timestamp minutes.
+    pub submission: i64,
+    /// Times the sample was submitted as of this report.
+    pub times_submitted: u32,
+    /// How the report was produced.
+    pub kind: ReportKind,
+    /// Engines in the fleet at scan time, `<= MAX_ENGINES`.
+    pub engine_count: u8,
+    /// Bitmap of engines that returned a verdict (bit e = engine e).
+    pub active: [u64; 2],
+    /// Bitmap of engines that detected; always a subset of `active`
+    /// (validated on decode).
+    pub detected: [u64; 2],
+}
+
+impl ReportRow {
+    /// AV-Rank: number of detecting engines.
+    pub fn positives(&self) -> u32 {
+        self.detected[0].count_ones() + self.detected[1].count_ones()
+    }
+
+    /// Materializes the row-struct view.
+    pub fn to_report(&self) -> ScanReport {
+        ScanReport {
+            sample: self.sample,
+            file_type: FileType::from_dense_index(self.type_idx as usize),
+            analysis_date: Timestamp(self.analysis),
+            last_submission_date: Timestamp(self.submission),
+            times_submitted: self.times_submitted,
+            kind: self.kind,
+            verdicts: VerdictVec::from_raw(self.active, self.detected, self.engine_count as usize),
+        }
+    }
+}
+
+/// Decodes one report into plain column values (inverse of
+/// [`encode_report`], minus the [`ScanReport`] materialization). Returns
+/// the row and its analysis-date for use as the next delta base.
+pub fn decode_report_raw(buf: &mut impl Buf, prev_analysis: i64) -> Option<(ReportRow, i64)> {
     if buf.remaining() < 16 {
         return None;
     }
@@ -108,7 +157,6 @@ pub fn decode_report(buf: &mut impl Buf, prev_analysis: i64) -> Option<(ScanRepo
     if type_idx >= TOTAL_TYPE_COUNT {
         return None;
     }
-    let file_type = FileType::from_dense_index(type_idx);
     // Checked arithmetic: adversarial bytes can encode deltas that
     // overflow i64, which must surface as a decode failure, not a
     // debug-mode panic.
@@ -127,11 +175,11 @@ pub fn decode_report(buf: &mut impl Buf, prev_analysis: i64) -> Option<(ScanRepo
     if !buf.has_remaining() {
         return None;
     }
-    let engine_count = buf.get_u8() as usize;
-    if engine_count > vt_model::engine::MAX_ENGINES {
+    let engine_count = buf.get_u8();
+    if engine_count as usize > vt_model::engine::MAX_ENGINES {
         return None;
     }
-    let full = full_mask(engine_count);
+    let full = full_mask(engine_count as usize);
     let inactive0 = get_varint(buf)?;
     let inactive1 = get_varint(buf)?;
     let detected0 = get_varint(buf)?;
@@ -141,17 +189,28 @@ pub fn decode_report(buf: &mut impl Buf, prev_analysis: i64) -> Option<(ScanRepo
     if detected0 & !active[0] != 0 || detected1 & !active[1] != 0 {
         return None;
     }
-    let verdicts = VerdictVec::from_raw(active, [detected0, detected1], engine_count);
-    let report = ScanReport {
+    let row = ReportRow {
         sample,
-        file_type,
-        analysis_date: Timestamp(analysis),
-        last_submission_date: Timestamp(submission),
+        type_idx: type_idx as u16,
+        analysis,
+        submission,
         times_submitted,
         kind,
-        verdicts,
+        engine_count,
+        active,
+        detected: [detected0, detected1],
     };
-    Some((report, analysis))
+    Some((row, analysis))
+}
+
+/// Decodes one report (inverse of [`encode_report`]). Returns the report
+/// and its analysis-date for use as the next delta base.
+///
+/// Thin adapter over [`decode_report_raw`] that materializes the
+/// [`ScanReport`]; streaming decoders use the raw form directly.
+pub fn decode_report(buf: &mut impl Buf, prev_analysis: i64) -> Option<(ScanReport, i64)> {
+    let (row, analysis) = decode_report_raw(buf, prev_analysis)?;
+    Some((row.to_report(), analysis))
 }
 
 fn full_mask(engine_count: usize) -> (u64, u64) {

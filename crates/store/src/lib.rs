@@ -48,6 +48,8 @@ pub mod segdir;
 pub mod segment;
 pub mod store;
 
+pub use block::{Block, BlockDecodeError, ReportSink, SinkFn};
+pub use codec::ReportRow;
 pub use dataset::DatasetStats;
 pub use partition::PartitionStats;
 pub use persist::{

@@ -6,7 +6,8 @@
 //! pipeline does the same thing with MongoDB collections keyed by
 //! sample hash.
 
-use crate::block::Block;
+use crate::block::{Block, ReportSink, SinkFn};
+use crate::codec::ReportRow;
 use crate::partition::{Loc, Partition, PartitionStats};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -329,10 +330,12 @@ impl ReportStore {
         let mut decoded = 0u64;
         for p in &inner.partitions {
             for block in p.blocks() {
-                for r in block.decode_all().expect("sealed in-store block decodes") {
-                    decoded += 1;
-                    groups.entry(r.sample).or_default().push(r);
-                }
+                block
+                    .decode_into(&mut SinkFn(|row: &ReportRow| {
+                        decoded += 1;
+                        groups.entry(row.sample).or_default().push(row.to_report());
+                    }))
+                    .expect("sealed in-store block decodes");
             }
         }
         self.obs.record_decode(start, decoded);
@@ -382,17 +385,22 @@ impl ReportStore {
                 return Err(StoreError::PartitionMonthOrder { partition: pi });
             }
             for (bi, block) in blocks.iter().enumerate() {
-                let reports = block.decode_all().map_err(|_| StoreError::BlockDecode {
-                    partition: pi,
-                    block: bi,
-                })?;
-                for (off, report) in reports.into_iter().enumerate() {
-                    index.entry(report.sample).or_default().push(Loc {
-                        partition: pi as u16,
-                        block: bi as u32,
-                        offset: off as u32,
-                    });
-                }
+                // Only the sample hash is needed to rebuild the index —
+                // stream the rows instead of materializing the reports.
+                let mut off = 0u32;
+                block
+                    .decode_into(&mut SinkFn(|row: &ReportRow| {
+                        index.entry(row.sample).or_default().push(Loc {
+                            partition: pi as u16,
+                            block: bi as u32,
+                            offset: off,
+                        });
+                        off += 1;
+                    }))
+                    .map_err(|_| StoreError::BlockDecode {
+                        partition: pi,
+                        block: bi,
+                    })?;
             }
             partitions.push(Partition::from_blocks(month, blocks));
         }
@@ -407,17 +415,32 @@ impl ReportStore {
     }
 
     /// Visits every stored report (unordered across samples).
+    ///
+    /// Materializing adapter over [`for_each_row`](Self::for_each_row):
+    /// one stack-local [`ScanReport`] per row, never a `Vec`.
     pub fn for_each_report(&self, mut f: impl FnMut(&ScanReport)) {
+        self.for_each_row(&mut SinkFn(|row: &ReportRow| f(&row.to_report())));
+    }
+
+    /// Streams every stored row into `sink` in physical order —
+    /// partitions in window order (catch-all last), blocks in append
+    /// order, offsets ascending — without materializing [`ScanReport`]s.
+    /// This is the zero-copy bulk-decode entry the columnar table build
+    /// consumes; the ordering is part of the contract (arrival order is
+    /// the tie-break key for equal-date reports).
+    ///
+    /// # Panics
+    /// Panics if the store is not sealed.
+    pub fn for_each_row(&self, sink: &mut impl ReportSink) {
         let start = self.obs.timer();
         let inner = self.inner.read();
         assert!(inner.sealed, "seal the store before reading");
         let mut decoded = 0u64;
         for p in &inner.partitions {
             for block in p.blocks() {
-                for r in block.decode_all().expect("sealed in-store block decodes") {
-                    decoded += 1;
-                    f(&r);
-                }
+                decoded += block
+                    .decode_into(sink)
+                    .expect("sealed in-store block decodes") as u64;
             }
         }
         self.obs.record_decode(start, decoded);

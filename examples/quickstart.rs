@@ -66,5 +66,19 @@ fn main() {
         );
         println!("                          demo scale — run full_study for the real series)");
     }
+
+    // The same study, folded zero-copy: the sealed store's blocks
+    // stream into a reusable decode arena and the columnar table is
+    // built straight from it — no per-report structs on the way. This
+    // is the path `vtld serve` folds every segment through, and it is
+    // bit-identical to the batch run above.
+    let store = study.build_store();
+    let mut arena = DecodeArena::new();
+    let mut inc = IncrementalStudy::new(study.sim().fleet(), study.sim().config().window_start());
+    let folded = inc.fold_store(&store, &mut arena, Obs::noop());
+    let streamed = inc.results(store.partition_stats(), Obs::noop());
+    assert_eq!(streamed.flips.flips, results.flips.flips);
+    println!("\nzero-copy fold over the sealed store: {folded} samples, identical results");
+
     println!("\nnext: cargo run --release --example full_study");
 }

@@ -18,8 +18,8 @@
 pub use crate::aggregate::{Aggregator, Threshold};
 pub use crate::dynamics::{
     analyze_records, analyze_records_obs, records_from_store, Analysis, AnalysisCtx, Collector,
-    CollectorConfig, IncrementalStudy, IngestOutcome, SampleIndex, SampleRecord, SampleSummary,
-    Study, StudyPartials, StudyResults, TrajectoryTable,
+    CollectorConfig, DecodeArena, IncrementalStudy, IngestOutcome, SampleIndex, SampleRecord,
+    SampleSummary, Study, StudyPartials, StudyResults, TrajectoryTable,
 };
 pub use crate::engines::{EngineFleet, FleetConfig};
 pub use crate::model::{EngineId, FileType, ScanReport};
@@ -28,5 +28,6 @@ pub use crate::serve::{ServeConfig, Server};
 pub use crate::sim::fault::{FaultPlan, FaultyFeed};
 pub use crate::sim::{SimConfig, VirusTotalSim};
 pub use crate::store::{
-    read_segment, read_store, write_segment, write_store, ReportStore, Segment, SegmentWriter,
+    read_segment, read_store, write_segment, write_store, ReportRow, ReportSink, ReportStore,
+    Segment, SegmentWriter,
 };

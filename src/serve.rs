@@ -96,7 +96,7 @@ use std::time::Duration;
 use crate::dynamics::flips::FlipAnalysis;
 use crate::dynamics::stabilization::FIG9_THRESHOLDS;
 use crate::dynamics::{
-    par, records_from_store, Collector, IncrementalStudy, SampleIndex, StudyPartials, StudyResults,
+    par, Collector, DecodeArena, IncrementalStudy, SampleIndex, StudyPartials, StudyResults,
 };
 use crate::engines::EngineFleet;
 use crate::model::{EngineId, SampleHash};
@@ -808,6 +808,10 @@ fn shard_worker(
     let window_start = sim.config().window_start();
     let mut studies: HashMap<usize, IncrementalStudy<'_>> = HashMap::new();
     let mut partitions: HashMap<usize, Vec<PartitionStats>> = HashMap::new();
+    // One decode arena per worker, reused across every segment it
+    // folds: the row buffer reaches steady-state capacity after the
+    // first few segments and stops allocating.
+    let mut arena = DecodeArena::new();
     while let Ok(msg) = rx.recv() {
         shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
         let SegmentMsg {
@@ -826,13 +830,17 @@ fn shard_worker(
             write_segment(&segment, &mut buf).expect("in-memory segment write");
             read_segment(&mut buf.as_slice()).expect("own segment re-reads")
         };
-        let records = records_from_store(segment.store());
+        // Zero-copy fold: the segment's blocks stream into the worker's
+        // reusable decode arena and the columnar table is built straight
+        // from it — no `Vec<ScanReport>`/`Vec<SampleRecord>` round-trip
+        // per segment (bit-identical to the old record-materializing
+        // path; see `IncrementalStudy::fold_store`).
         let study = studies.entry(slot).or_insert_with(|| {
             IncrementalStudy::new(fleet, window_start)
                 .with_workers(fold_workers)
                 .with_index()
         });
-        study.fold_segment(&records, &shared.obs);
+        let samples = study.fold_store(segment.store(), &mut arena, &shared.obs);
         let slot_partitions = partitions.entry(slot).or_default();
         merge_partitions(slot_partitions, &segment.store().partition_stats());
         {
@@ -845,7 +853,7 @@ fn shard_worker(
         shared
             .progress
             .samples
-            .fetch_add(records.len() as u64, Ordering::SeqCst);
+            .fetch_add(samples as u64, Ordering::SeqCst);
         shared
             .progress
             .reports

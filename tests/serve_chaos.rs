@@ -35,21 +35,6 @@ const SAMPLES: u64 = 2_400;
 const SEED: u64 = 0x00C0_FFEE;
 const SEGMENT_REPORTS: u64 = 400;
 
-fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
-    let stream = TcpStream::connect(addr).expect("connect");
-    let reader = BufReader::new(stream.try_clone().expect("clone"));
-    (stream, reader)
-}
-
-fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, cmd: &str) -> json::Value {
-    stream
-        .write_all(format!("{{\"cmd\":\"{cmd}\"}}\n").as_bytes())
-        .expect("write request");
-    let mut line = String::new();
-    reader.read_line(&mut line).expect("read response");
-    json::parse(line.trim_end()).unwrap_or_else(|e| panic!("unparseable {cmd} response: {e}"))
-}
-
 /// The chaos config for this feed at a given shard/worker count.
 fn chaos_config(shards: usize, workers: usize) -> ServeConfig {
     let mut config = ServeConfig::new(SAMPLES, SEED);
@@ -61,18 +46,46 @@ fn chaos_config(shards: usize, workers: usize) -> ServeConfig {
 
 /// Polls a live server until `ingest_done`, then returns the
 /// `(fingerprint, rho_fnv)` pair and the final status document.
+/// One request over a fresh connection; `None` when the connection was
+/// refused or shed (the admission controller answers unprompted with
+/// `overloaded:true` and closes, so a reused stream would break on the
+/// next write — right after a flood the probe itself can be shed while
+/// the server's connection accounting catches up with client closes).
+fn try_ask(addr: SocketAddr, cmd: &str) -> Option<json::Value> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    stream
+        .write_all(format!("{{\"cmd\":\"{cmd}\"}}\n").as_bytes())
+        .ok()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let v = json::parse(line.trim_end()).ok()?;
+    if v.get("overloaded").and_then(|o| o.as_bool()) == Some(true) {
+        return None;
+    }
+    Some(v)
+}
+
 fn await_fingerprint(addr: SocketAddr) -> ((String, String), json::Value) {
-    let (mut stream, mut reader) = connect(addr);
     let deadline = Instant::now() + Duration::from_secs(300);
     let status = loop {
-        let v = ask(&mut stream, &mut reader, "status");
-        if v.get("ingest_done").and_then(|d| d.as_bool()) == Some(true) {
-            break v;
+        if let Some(v) = try_ask(addr, "status") {
+            if v.get("ingest_done").and_then(|d| d.as_bool()) == Some(true) {
+                break v;
+            }
         }
         assert!(Instant::now() < deadline, "ingestion never finished");
         std::thread::sleep(Duration::from_millis(25));
     };
-    let fp = ask(&mut stream, &mut reader, "fingerprint");
+    let fp = loop {
+        if let Some(v) = try_ask(addr, "fingerprint") {
+            break v;
+        }
+        assert!(Instant::now() < deadline, "fingerprint never served");
+        std::thread::sleep(Duration::from_millis(25));
+    };
     assert_eq!(
         fp.get("ingest_done").and_then(|d| d.as_bool()),
         Some(true),

@@ -231,6 +231,56 @@ impl Buf for Bytes {
         self.start += n;
         out
     }
+
+    fn get_u8(&mut self) -> u8 {
+        self.array::<1>()[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.array())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.array())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.array())
+    }
+
+    fn get_u128(&mut self) -> u128 {
+        u128::from_be_bytes(self.array())
+    }
+}
+
+impl Bytes {
+    /// Reads `N` bytes off the front without allocating (the hot decode
+    /// paths issue millions of fixed-width reads; a `Vec` per read is a
+    /// heap allocation per byte).
+    fn array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(
+            N <= self.len(),
+            "buffer underflow: need {N}, have {}",
+            self.len()
+        );
+        let arr: [u8; N] = self.data[self.start..self.start + N]
+            .try_into()
+            .expect("slice is N bytes");
+        self.start += N;
+        arr
+    }
+}
+
+/// Reads `N` bytes off the front of a slice cursor without allocating.
+fn slice_array<const N: usize>(buf: &mut &[u8]) -> [u8; N] {
+    assert!(
+        N <= buf.len(),
+        "buffer underflow: need {N}, have {}",
+        buf.len()
+    );
+    let (head, tail) = buf.split_at(N);
+    *buf = tail;
+    head.try_into().expect("split_at returns N bytes")
 }
 
 impl Buf for &[u8] {
@@ -247,6 +297,26 @@ impl Buf for &[u8] {
         let (head, tail) = self.split_at(n);
         *self = tail;
         head.to_vec()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        slice_array::<1>(self)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(slice_array(self))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(slice_array(self))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(slice_array(self))
+    }
+
+    fn get_u128(&mut self) -> u128 {
+        u128::from_be_bytes(slice_array(self))
     }
 }
 

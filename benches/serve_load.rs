@@ -18,8 +18,9 @@
 //! * **Zipf per-hash reads under live ingest** — 8 reader clients issue
 //!   `sample` queries with Zipf(1.0)-skewed hash popularity *while* the
 //!   daemon ingests and swaps epochs underneath: p50/p99 read latency
-//!   plus the hot-sample cache hit rate (every epoch swap invalidates,
-//!   so the hit rate prices the cache under churn, not at steady state).
+//!   plus the hot-sample cache hit rate (slot-aware invalidation: an
+//!   epoch swap only evicts the changed ingest slot's entries, so the
+//!   hit rate prices the cache under churn, not at steady state).
 //!
 //! Run with: `cargo bench --bench serve_load`
 
@@ -388,7 +389,7 @@ fn main() {
          \x20 \"durable_ingest_shards_2\": {{ \"ingest_ms\": {}, \"samples_per_s\": {:.0}, \"note\": \"segment log on, fsync file+dir per seal\" }},\n\
          \x20 \"latency_by_clients\": {{\n{}\n  }},\n\
          \x20 \"overload\": {{ \"clients\": 32, \"max_clients\": 8, \"served\": {served}, \"shed\": {shed}, \"shed_p99_us\": {shed_p99} }},\n\
-         \x20 \"zipf_read\": {{ \"skew\": 1.0, \"clients\": 8, \"cache_samples\": 1024, \"requests\": {read_reqs}, \"found\": {read_found}, \"p50_us\": {read_p50}, \"p99_us\": {read_p99}, \"cache_hits\": {cache_hits}, \"cache_misses\": {cache_misses}, \"hit_rate\": {hit_rate:.4}, \"note\": \"per-hash `sample` queries during live ingest; every epoch swap invalidates the hot-sample cache, so the hit rate prices the cache under churn\" }}\n\
+         \x20 \"zipf_read\": {{ \"skew\": 1.0, \"clients\": 8, \"cache_samples\": 1024, \"requests\": {read_reqs}, \"found\": {read_found}, \"p50_us\": {read_p50}, \"p99_us\": {read_p99}, \"cache_hits\": {cache_hits}, \"cache_misses\": {cache_misses}, \"hit_rate\": {hit_rate:.4}, \"note\": \"per-hash `sample` queries during live ingest; slot-aware invalidation: an epoch swap only evicts the changed ingest slot's cache entries and splices the new epoch into surviving hits, so the hit rate prices the cache under churn\" }}\n\
          }}\n",
         throughput_json.join(",\n"),
         durable_elapsed.as_millis(),

@@ -13,14 +13,27 @@
 //! * `full_recompute` — the batch pipeline over all twelve segments,
 //!   which is what a naive daemon would re-run per seal (~12× the fold).
 //! * `publish_results` — clone-and-finish of the cached partials, the
-//!   per-seal cost of snapshotting [`StudyResults`] in `vtld serve`.
+//!   per-seal cost of snapshotting [`StudyResults`] in `vtld serve`
+//!   before the merge tree (kept as the flat-publish baseline).
+//! * `publish_first_segment` / `publish_last_segment` — the
+//!   O(changed-slot) epoch publish: update one leaf of the serve
+//!   merger's [`vt_dynamics::SlotMergeTree`] and finish the cached
+//!   root. The `first` arm publishes epoch 1 (one slot, one segment);
+//!   the `last` arm re-publishes a dirty slot with the other eleven
+//!   segments of history already merged behind the cached internal
+//!   nodes. History-independence means the two arms match — the
+//!   per-epoch cost is the dirty slot's log₂(8) root path plus a
+//!   finish whose dominant term (Spearman over engine pairs) does not
+//!   grow with samples.
 //!
 //! Headline numbers land in `BENCH_pipeline.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vt_bench::study;
-use vt_dynamics::{analyze_records_obs, DecodeArena, IncrementalStudy, SampleRecord};
+use vt_dynamics::{
+    analyze_records_obs, DecodeArena, IncrementalStudy, SampleRecord, SlotMergeTree,
+};
 use vt_obs::Obs;
 use vt_store::PartitionStats;
 
@@ -108,6 +121,59 @@ fn segment_fold(c: &mut Criterion) {
     full.fold_segment(last, Obs::noop());
     group.bench_function("publish_results", |b| {
         b.iter(|| black_box(full.results(parts.clone(), Obs::noop())))
+    });
+
+    // ---- incremental epoch publishing (the serve merge tree) ---------
+    // Slot-route the study as `vtld serve` does: per-slot studies fold
+    // their own streams; a publish is one leaf update plus finishing
+    // the cached root.
+    const SLOTS: usize = 8;
+    let st = study();
+    let mut slot_records: Vec<Vec<SampleRecord>> = vec![Vec::new(); SLOTS];
+    for r in st.records() {
+        slot_records[(r.meta.hash.0 % SLOTS as u128) as usize].push(r.clone());
+    }
+
+    // Epoch 1: only one slot has folded anything — its first segment.
+    let first_seg = &slot_records[0][..slot_records[0].len().min(SEGMENT_SAMPLES)];
+    let first_partial = {
+        let mut inc = fresh_study();
+        inc.fold_segment(first_seg, Obs::noop());
+        inc.partials().cloned()
+    };
+    let mut first_tree = SlotMergeTree::new(SLOTS);
+    first_tree.update_slot(0, first_partial.clone(), parts.clone());
+    group.bench_function("publish_first_segment", |b| {
+        b.iter(|| {
+            first_tree.update_slot(0, black_box(first_partial.clone()), parts.clone());
+            let root = first_tree.root().expect("leaf 0 is set");
+            black_box(root.finish(first_tree.root_partitions().to_vec(), Obs::noop()))
+        })
+    });
+
+    // Epoch N: every slot fully folded; one slot republishes against
+    // eleven segments of history cached in the internal nodes.
+    let full_partials: Vec<_> = slot_records
+        .iter()
+        .map(|recs| {
+            let mut inc = fresh_study();
+            for seg in recs.chunks(SEGMENT_SAMPLES) {
+                inc.fold_segment(seg, Obs::noop());
+            }
+            inc.partials().cloned()
+        })
+        .collect();
+    let mut last_tree = SlotMergeTree::new(SLOTS);
+    for (slot, partials) in full_partials.iter().enumerate() {
+        let slot_parts = if slot == 0 { parts.clone() } else { Vec::new() };
+        last_tree.update_slot(slot, partials.clone(), slot_parts);
+    }
+    group.bench_function("publish_last_segment", |b| {
+        b.iter(|| {
+            last_tree.update_slot(0, black_box(full_partials[0].clone()), parts.clone());
+            let root = last_tree.root().expect("warm tree");
+            black_box(root.finish(last_tree.root_partitions().to_vec(), Obs::noop()))
+        })
     });
 
     group.finish();

@@ -1,12 +1,22 @@
-//! Bench-drift smoke gate for the zero-copy `table_build` kernel.
+//! Bench-drift smoke gate for the hot serve-path kernels.
 //!
-//! Re-times the table build over the committed 500k-sample fixture and
-//! fails (exit 1) if the zero-copy arena path regresses more than the
-//! tolerated fraction against the `table_build_arena` baseline recorded
-//! in `BENCH_pipeline.json`. A few timed iterations, minimum taken —
-//! this is a smoke test against order-of-magnitude regressions
-//! (an accidental clone, a lost reserve, a quadratic sort), not a
-//! replacement for the full criterion run.
+//! Re-times two committed-baseline arms and fails (exit 1) if either
+//! regresses more than the tolerated fraction against
+//! `BENCH_pipeline.json`:
+//!
+//! * `table_build_arena` — the zero-copy table build over the
+//!   500k-sample fixture (guards against an accidental clone, a lost
+//!   reserve, a quadratic sort).
+//! * `segment_fold.publish_last_segment` — the O(changed-slot) epoch
+//!   publish over the 60k-sample fixture: one dirty-slot update of a
+//!   warm [`vt_dynamics::SlotMergeTree`] plus finishing the cached root
+//!   (guards against per-publish work creeping back to O(history) —
+//!   a reintroduced partial clone, an O(rows) plane walk, a per-publish
+//!   index merge).
+//!
+//! A few timed iterations, minimum taken — this is a smoke test against
+//! order-of-magnitude regressions, not a replacement for the full
+//! criterion run.
 //!
 //! Usage: `cargo run --release -p vt-bench --bin bench_drift [-- path]`
 //!
@@ -18,38 +28,47 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
-use vt_bench::correlation_study;
-use vt_dynamics::{DecodeArena, TrajectoryTable};
+use vt_bench::{correlation_study, study};
+use vt_dynamics::{DecodeArena, IncrementalStudy, SlotMergeTree, TrajectoryTable};
 use vt_obs::{json, Obs};
 
 const DEFAULT_BASELINE: &str = "BENCH_pipeline.json";
 const ITERATIONS: u32 = 5;
 
-fn baseline_ns(path: &str) -> Result<u64, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let v = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
-    v.get("table_build_arena")
-        .and_then(|t| t.get("1"))
-        .and_then(|n| n.as_u64())
-        .ok_or_else(|| format!("{path} has no table_build_arena.\"1\" member"))
+fn lookup_ns(v: &json::Value, path: &str, keys: &[&str]) -> Result<u64, String> {
+    let mut node = v;
+    for k in keys {
+        node = node
+            .get(k)
+            .ok_or_else(|| format!("{path} has no {} member", keys.join(".")))?;
+    }
+    node.as_u64()
+        .ok_or_else(|| format!("{path}: {} is not an integer", keys.join(".")))
 }
 
-fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| DEFAULT_BASELINE.to_string());
-    let tolerance: f64 = std::env::var("BENCH_DRIFT_TOLERANCE")
-        .ok()
-        .and_then(|t| t.parse().ok())
-        .unwrap_or(0.25);
-    let baseline = match baseline_ns(&path) {
-        Ok(ns) => ns,
-        Err(e) => {
-            eprintln!("bench_drift: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// One gated arm: best-of-[`ITERATIONS`] against its baseline.
+fn gate(name: &str, baseline: u64, tolerance: f64, mut iteration: impl FnMut() -> u64) -> bool {
+    let mut best = u64::MAX;
+    for _ in 0..ITERATIONS {
+        best = best.min(iteration());
+    }
+    let limit = (baseline as f64 * (1.0 + tolerance)) as u64;
+    eprintln!(
+        "bench_drift: {name} best-of-{ITERATIONS} = {:.1}ms, \
+         baseline {:.1}ms, limit {:.1}ms (tolerance {:.0}%)",
+        best as f64 / 1e6,
+        baseline as f64 / 1e6,
+        limit as f64 / 1e6,
+        tolerance * 100.0,
+    );
+    if best > limit {
+        eprintln!("bench_drift: FAIL — {name} regressed past the tolerance");
+        return false;
+    }
+    true
+}
 
+fn table_build_ok(baseline: u64, tolerance: f64) -> bool {
     eprintln!("bench_drift: generating the 500k-sample fixture...");
     let st = correlation_study();
     let ws = st.sim().config().window_start();
@@ -64,28 +83,86 @@ fn main() -> ExitCode {
     let samples = warm.len();
     drop(warm);
 
-    let mut best = u64::MAX;
-    for _ in 0..ITERATIONS {
+    gate("table_build_arena", baseline, tolerance, || {
         let t = Instant::now();
         arena.clear();
         store.for_each_row(&mut arena);
         let table = TrajectoryTable::build_from_arena(&arena, ws, 1, Obs::noop());
         let ns = t.elapsed().as_nanos() as u64;
         assert_eq!(table.len(), samples, "fixture changed mid-run");
-        best = best.min(ns);
-    }
+        ns
+    })
+}
 
-    let limit = (baseline as f64 * (1.0 + tolerance)) as u64;
-    eprintln!(
-        "bench_drift: table_build_arena best-of-{ITERATIONS} = {:.1}ms, \
-         baseline {:.1}ms, limit {:.1}ms (tolerance {:.0}%)",
-        best as f64 / 1e6,
-        baseline as f64 / 1e6,
-        limit as f64 / 1e6,
-        tolerance * 100.0,
-    );
-    if best > limit {
-        eprintln!("bench_drift: FAIL — table build regressed past the tolerance");
+fn publish_ok(baseline: u64, tolerance: f64) -> bool {
+    eprintln!("bench_drift: slot-routing the 60k-sample fixture...");
+    const SLOTS: usize = 8;
+    const SEGMENT_SAMPLES: usize = 5_000;
+    let st = study();
+    let ws = st.sim().config().window_start();
+    // Route records to slots exactly as `vtld serve` shards them, fold
+    // each slot's stream, and warm the merge tree with every leaf.
+    let mut slot_records = vec![Vec::new(); SLOTS];
+    for r in st.records() {
+        slot_records[(r.meta.hash.0 % SLOTS as u128) as usize].push(r.clone());
+    }
+    let parts = st.build_store().partition_stats();
+    let partials: Vec<_> = slot_records
+        .iter()
+        .map(|recs| {
+            let mut inc = IncrementalStudy::new(st.sim().fleet(), ws).with_workers(4);
+            for seg in recs.chunks(SEGMENT_SAMPLES) {
+                inc.fold_segment(seg, Obs::noop());
+            }
+            inc.partials().cloned()
+        })
+        .collect();
+    let mut tree = SlotMergeTree::new(SLOTS);
+    for (slot, p) in partials.iter().enumerate() {
+        let slot_parts = if slot == 0 { parts.clone() } else { Vec::new() };
+        tree.update_slot(slot, p.clone(), slot_parts);
+    }
+    let samples = tree.root().map_or(0, |r| r.s_samples());
+
+    gate("publish_last_segment", baseline, tolerance, || {
+        let t = Instant::now();
+        tree.update_slot(0, partials[0].clone(), parts.clone());
+        let root = tree.root().expect("warm tree has a root");
+        let results = root.finish(tree.root_partitions().to_vec(), Obs::noop());
+        let ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(root.s_samples(), samples, "fixture changed mid-run");
+        std::hint::black_box(results);
+        ns
+    })
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_BASELINE.to_string());
+    let tolerance: f64 = std::env::var("BENCH_DRIFT_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0.25);
+    let baselines = (|| -> Result<(u64, u64), String> {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+        let v = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        Ok((
+            lookup_ns(&v, &path, &["table_build_arena", "1"])?,
+            lookup_ns(&v, &path, &["segment_fold", "publish_last_segment"])?,
+        ))
+    })();
+    let (table_baseline, publish_baseline) = match baselines {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_drift: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ok = table_build_ok(table_baseline, tolerance);
+    ok &= publish_ok(publish_baseline, tolerance);
+    if !ok {
         return ExitCode::FAILURE;
     }
     eprintln!("bench_drift: OK");

@@ -168,11 +168,17 @@ pub trait Analysis {
     fn merge(&self, a: Self::Partial, b: Self::Partial) -> Self::Partial;
 
     /// Converts an accumulated partial into the stage output.
-    fn finish(&self, partial: Self::Partial) -> Self::Output;
+    ///
+    /// Borrows the partial: finishing is a read-only projection, so a
+    /// cached accumulation (the incremental engine's, a serve slot's)
+    /// can be finished on every snapshot without being cloned or
+    /// consumed first. Implementations clone only the fields the
+    /// output actually carries.
+    fn finish(&self, partial: &Self::Partial) -> Self::Output;
 
     /// Runs the stage: the one-segment fold, finished.
     fn run(&self, ctx: &AnalysisCtx) -> Self::Output {
-        self.finish(self.fold(ctx))
+        self.finish(&self.fold(ctx))
     }
 
     /// Runs the stage inside a `pipeline/<name>` span on `ctx.obs`.

@@ -103,11 +103,11 @@ impl Analysis for Categorize {
     }
 
     fn merge(&self, mut a: CategorizePartial, b: CategorizePartial) -> CategorizePartial {
-        a.merge(b);
+        a.merge(&b);
         a
     }
 
-    fn finish(&self, acc: CategorizePartial) -> CategorySweep {
+    fn finish(&self, acc: &CategorizePartial) -> CategorySweep {
         shares_from_envelopes(&acc.max_hist, &acc.min_hist, acc.samples)
     }
 }
@@ -131,11 +131,11 @@ impl CategorizePartial {
         }
     }
 
-    fn merge(&mut self, other: CategorizePartial) {
-        for (a, b) in self.max_hist.iter_mut().zip(other.max_hist) {
+    pub(crate) fn merge(&mut self, other: &CategorizePartial) {
+        for (a, b) in self.max_hist.iter_mut().zip(&other.max_hist) {
             *a += b;
         }
-        for (a, b) in self.min_hist.iter_mut().zip(other.min_hist) {
+        for (a, b) in self.min_hist.iter_mut().zip(&other.min_hist) {
             *a += b;
         }
         self.samples += other.samples;
@@ -198,7 +198,7 @@ fn fold_columnar(
     let mut iter = parts.into_iter();
     let mut acc = iter.next().unwrap_or_else(CategorizePartial::new);
     for part in iter {
-        acc.merge(part);
+        acc.merge(&part);
     }
     acc
 }

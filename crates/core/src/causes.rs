@@ -91,8 +91,8 @@ impl Analysis for Causes {
         a
     }
 
-    fn finish(&self, acc: CauseAnalysis) -> CauseAnalysis {
-        acc
+    fn finish(&self, acc: &CauseAnalysis) -> CauseAnalysis {
+        *acc
     }
 }
 

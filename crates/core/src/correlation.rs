@@ -36,6 +36,7 @@ use crate::analysis::{Analysis, AnalysisCtx};
 use crate::freshdyn::FreshDynamic;
 use crate::par;
 use crate::records::SampleRecord;
+use std::sync::Arc;
 use vt_model::{EngineId, FileType};
 use vt_obs::Obs;
 
@@ -154,18 +155,22 @@ pub fn row_selected(row: u64, total_rows: u64, max_rows: usize) -> bool {
 /// This is the fused kernel's accumulator: per-partition instances fill
 /// independently and [`merge`](Self::merge) associatively (tables are
 /// plain counts), so `partition → merge → ρ` is deterministic at every
-/// worker count. For the paper's 70-engine roster one accumulator is
-/// 70·69/2 · 9 counts ≈ 170 KB — independent of row count, unlike the
-/// reference path's `engines × rows` column matrix.
+/// worker count. Only the four `{1,0}×{1,0}` cells are stored per pair;
+/// the five cells involving −1 follow exactly from the per-engine
+/// margins and the row count, so [`table`](Self::table) reconstructs
+/// the full 3×3 by exact `u64` subtraction. For the paper's 70-engine
+/// roster one accumulator is 70·69/2 · 4 counts ≈ 77 KB — independent
+/// of row count, unlike the reference path's `engines × rows` column
+/// matrix, and cheap enough that `vtld serve`'s merge tree clones it on
+/// every epoch publish.
 ///
 /// Rows are counted **bit-sliced**: up to 64 rows buffer as one bit per
 /// row in two words per engine (`pos` = R is 1, `zero` = R is 0; unset
 /// in both = −1). A full block flushes into the tables with 4
-/// `AND`+`popcount`s per pair — the remaining 5 cells follow exactly
-/// from the block's per-engine margins — which is ~an order of
-/// magnitude fewer operations than incrementing per row × pair. All
-/// arithmetic is exact `u64` counting, so block boundaries (and hence
-/// partitioning) never change the resulting tables.
+/// `AND`+`popcount`s per pair — ~an order of magnitude fewer operations
+/// than incrementing per row × pair. All arithmetic is exact `u64`
+/// counting, so block boundaries (and hence partitioning) never change
+/// the resulting tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScopeContingency {
     /// Scope this accumulator counts (None = global).
@@ -178,9 +183,13 @@ pub struct ScopeContingency {
     pub total_rows: u64,
     /// Whether the row cap dropped rows.
     pub truncated: bool,
-    /// Flattened upper-triangle tables: pair `(a, b)` with `a < b` at
-    /// `pair_index(a, b) * 9 + (x+1)*3 + (y+1)`.
+    /// Flattened upper-triangle `{1,0}×{1,0}` cells: pair `(a, b)` with
+    /// `a < b` at `pair_index(a, b) * 4 + x*2 + y`, where `x`/`y` is 1
+    /// when the engine's R is 1 and 0 when it is 0.
     counts: Vec<u64>,
+    /// Per-engine margins: rows where engine `e` has R = 1 / R = 0.
+    pos_total: Vec<u64>,
+    zero_total: Vec<u64>,
     /// Block buffer: bit `r` of `pos[e]` / `zero[e]` is engine `e`'s
     /// verdict for the `r`-th buffered row.
     pos: Vec<u64>,
@@ -199,7 +208,9 @@ impl ScopeContingency {
             rows: 0,
             total_rows: 0,
             truncated: false,
-            counts: vec![0; pairs * 9],
+            counts: vec![0; pairs * 4],
+            pos_total: vec![0; engine_count],
+            zero_total: vec![0; engine_count],
             pos: vec![0; engine_count],
             zero: vec![0; engine_count],
             buffered: 0,
@@ -215,16 +226,25 @@ impl ScopeContingency {
     /// The 3×3 table of pair `(a, b)`, `a < b`. Call
     /// [`finalize`](Self::finalize) first if rows were accumulated
     /// directly (the kernel does).
+    ///
+    /// Only the `{1,0}×{1,0}` cells are stored; the −1 row/column is
+    /// reconstructed from the margins. Every subtraction is a sum of
+    /// per-block non-negative terms, so the reconstruction is exact.
     pub fn table(&self, a: usize, b: usize) -> [[u64; 3]; 3] {
         debug_assert_eq!(self.buffered, 0, "finalize() before reading tables");
-        let base = self.pair_index(a, b) * 9;
-        let mut out = [[0u64; 3]; 3];
-        for (i, row) in out.iter_mut().enumerate() {
-            for (j, cell) in row.iter_mut().enumerate() {
-                *cell = self.counts[base + i * 3 + j];
-            }
-        }
-        out
+        let base = self.pair_index(a, b) * 4;
+        let c11 = self.counts[base];
+        let c12 = self.counts[base + 1];
+        let c21 = self.counts[base + 2];
+        let c22 = self.counts[base + 3];
+        let (ma, ka) = (self.pos_total[a], self.zero_total[a]);
+        let (mb, kb) = (self.pos_total[b], self.zero_total[b]);
+        let c10 = ka - c12 - c11;
+        let c01 = kb - c21 - c11;
+        let c20 = ma - c22 - c21;
+        let c02 = mb - c22 - c12;
+        let c00 = (self.rows - ma - ka) - c01 - c02;
+        [[c00, c01, c02], [c10, c11, c12], [c20, c21, c22]]
     }
 
     /// Counts one scan row into every pair's table. `vals[e]` is engine
@@ -282,44 +302,26 @@ impl ScopeContingency {
         }
     }
 
-    /// Folds the buffered block into the tables. For each pair only the
-    /// four `{1,0}×{1,0}` cells need a popcount of an `AND`; the five
-    /// cells involving −1 follow exactly from the block's per-engine
-    /// margins and the block row count.
+    /// Folds the buffered block into the tables: per pair, a popcount of
+    /// an `AND` for each of the four stored `{1,0}×{1,0}` cells, plus
+    /// per-engine margin updates.
     fn flush_block(&mut self) {
         if self.buffered == 0 {
             return;
         }
-        let n = self.buffered as u64;
         let mut base = 0usize;
         for a in 0..self.engine_count {
             let (pa, za) = (self.pos[a], self.zero[a]);
-            let ma = pa.count_ones() as u64;
-            let ka = za.count_ones() as u64;
+            self.pos_total[a] += pa.count_ones() as u64;
+            self.zero_total[a] += za.count_ones() as u64;
             for b in (a + 1)..self.engine_count {
                 let (pb, zb) = (self.pos[b], self.zero[b]);
-                let c22 = (pa & pb).count_ones() as u64;
-                let c21 = (pa & zb).count_ones() as u64;
-                let c12 = (za & pb).count_ones() as u64;
-                let c11 = (za & zb).count_ones() as u64;
-                let mb = pb.count_ones() as u64;
-                let kb = zb.count_ones() as u64;
-                let c20 = ma - c22 - c21;
-                let c10 = ka - c12 - c11;
-                let c02 = mb - c22 - c12;
-                let c01 = kb - c21 - c11;
-                let c00 = (n - ma - ka) - c01 - c02;
-                let t = &mut self.counts[base..base + 9];
-                t[0] += c00;
-                t[1] += c01;
-                t[2] += c02;
-                t[3] += c10;
-                t[4] += c11;
-                t[5] += c12;
-                t[6] += c20;
-                t[7] += c21;
-                t[8] += c22;
-                base += 9;
+                let t = &mut self.counts[base..base + 4];
+                t[0] += (za & zb).count_ones() as u64;
+                t[1] += (za & pb).count_ones() as u64;
+                t[2] += (pa & zb).count_ones() as u64;
+                t[3] += (pa & pb).count_ones() as u64;
+                base += 4;
             }
         }
         self.pos.iter_mut().for_each(|w| *w = 0);
@@ -337,7 +339,7 @@ impl ScopeContingency {
     /// Folds another partition's finalized accumulator into this one.
     /// Addition of counts is associative and commutative, so any merge
     /// tree yields the same tables.
-    pub fn merge(&mut self, other: ScopeContingency) {
+    pub fn merge(&mut self, other: &ScopeContingency) {
         debug_assert_eq!(self.scope, other.scope);
         debug_assert_eq!(self.engine_count, other.engine_count);
         debug_assert_eq!(self.buffered, 0, "finalize() both sides before merging");
@@ -345,6 +347,12 @@ impl ScopeContingency {
         self.rows += other.rows;
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
+        }
+        for (m, o) in self.pos_total.iter_mut().zip(&other.pos_total) {
+            *m += o;
+        }
+        for (k, o) in self.zero_total.iter_mut().zip(&other.zero_total) {
+            *k += o;
         }
     }
 }
@@ -475,7 +483,7 @@ pub fn fused_contingencies_obs(
             .collect()
     });
     for part in iter {
-        for (acc, p) in merged.iter_mut().zip(part) {
+        for (acc, p) in merged.iter_mut().zip(&part) {
             acc.merge(p);
         }
     }
@@ -608,6 +616,7 @@ impl Analysis for Correlation {
             .map(|s| s.map(|ft| ft.dense_index()))
             .collect();
         let table = ctx.table;
+        let engine_count = ctx.engine_count();
         let ranges = par::partition_ranges(ctx.s.len() as u64, ctx.workers);
         let parts = par::map_ranges_obs(&ranges, ctx.obs, "correlation_fold", |_, range| {
             let mut membership = Vec::new();
@@ -627,73 +636,128 @@ impl Analysis for Correlation {
                 for row in table.rows(idx) {
                     let active = table.active_words(row);
                     let det = table.detected_words(row);
+                    let z = [active[0] & !det[0], active[1] & !det[1]];
                     membership.push(mask);
-                    zero.push([active[0] & !det[0], active[1] & !det[1]]);
+                    zero.push(z);
                     detected.push(det);
                 }
             }
             (membership, detected, zero, totals)
         });
         let mut out = CorrelationPartial {
-            scopes,
-            engine_count: ctx.engine_count(),
+            scopes: scopes.clone(),
+            engine_count,
             max_rows: self.max_rows,
+            plane: Vec::new(),
+            totals: vec![0u64; self.scopes.len() + 1],
+            contingency: scopes
+                .iter()
+                .map(|&scope| ScopeContingency::new(scope, engine_count))
+                .collect(),
+        };
+        let mut chunk = PlaneChunk {
             membership: Vec::new(),
             detected: Vec::new(),
             zero: Vec::new(),
-            totals: vec![0u64; self.scopes.len() + 1],
         };
         for (membership, detected, zero, totals) in parts {
-            out.membership.extend(membership);
-            out.detected.extend(detected);
-            out.zero.extend(zero);
+            // Eager uncapped accumulation: every row of the segment
+            // counts into its scopes' contingency tables right here, so
+            // `finish` only walks the retained plane when a scope
+            // actually overflows the row cap. One accumulator set per
+            // fold (not per worker partition — the tables are fixed-size
+            // and zeroing a set per partition dwarfs the per-row work at
+            // segment scale). Counts are exact u64 sums and block
+            // boundaries never change the tables, so this is
+            // bit-identical to the sequential finish-time walk.
+            for ((&mask, det), z) in membership.iter().zip(&detected).zip(&zero) {
+                for (si, acc) in out.contingency.iter_mut().enumerate() {
+                    if mask >> si & 1 == 1 {
+                        acc.accumulate_masks(det, z);
+                    }
+                }
+            }
+            chunk.membership.extend(membership);
+            chunk.detected.extend(detected);
+            chunk.zero.extend(zero);
             for (t, c) in out.totals.iter_mut().zip(totals) {
                 *t += c;
             }
+        }
+        if !chunk.membership.is_empty() {
+            out.plane.push(Arc::new(chunk));
+        }
+        for acc in &mut out.contingency {
+            acc.finalize();
         }
         out
     }
 
     fn merge(&self, mut a: CorrelationPartial, b: CorrelationPartial) -> CorrelationPartial {
-        assert_eq!(a.scopes, b.scopes, "partials from different scope lists");
-        assert_eq!(a.engine_count, b.engine_count);
-        assert_eq!(a.max_rows, b.max_rows);
-        a.membership.extend(b.membership);
-        a.detected.extend(b.detected);
-        a.zero.extend(b.zero);
-        for (t, c) in a.totals.iter_mut().zip(b.totals) {
-            *t += c;
-        }
+        a.merge_from(&b);
         a
     }
 
-    fn finish(&self, p: CorrelationPartial) -> (CorrelationAnalysis, Vec<CorrelationAnalysis>) {
-        let mut accs: Vec<ScopeContingency> = p
+    fn finish(&self, p: &CorrelationPartial) -> (CorrelationAnalysis, Vec<CorrelationAnalysis>) {
+        // Scopes under the row cap select every row, so their eagerly
+        // accumulated tables are exactly what the plane walk would
+        // rebuild — skip it. Only overflowing scopes pay the O(rows)
+        // walk, because their selection stride depends on the final
+        // totals.
+        let capped: Vec<bool> = p
+            .totals
+            .iter()
+            .map(|&total| total > p.max_rows as u64)
+            .collect();
+        let mut walked: Vec<Option<ScopeContingency>> = p
             .scopes
             .iter()
-            .map(|&scope| ScopeContingency::new(scope, p.engine_count))
+            .zip(&capped)
+            .map(|(&scope, &is_capped)| {
+                is_capped.then(|| ScopeContingency::new(scope, p.engine_count))
+            })
             .collect();
-        let mut next = vec![0u64; p.scopes.len()];
-        for (r, &mask) in p.membership.iter().enumerate() {
-            for (si, acc) in accs.iter_mut().enumerate() {
-                if mask >> si & 1 == 0 {
-                    continue;
+        if capped.iter().any(|&c| c) {
+            // Per-scope row counters are global across chunks: the rope
+            // concatenates folds in segment order, so walking chunks
+            // sequentially visits rows in exactly the flat-plane order.
+            let mut next = vec![0u64; p.scopes.len()];
+            for chunk in &p.plane {
+                for (r, &mask) in chunk.membership.iter().enumerate() {
+                    for (si, acc) in walked.iter_mut().enumerate() {
+                        let Some(acc) = acc else { continue };
+                        if mask >> si & 1 == 0 {
+                            continue;
+                        }
+                        let row = next[si];
+                        next[si] += 1;
+                        if !row_selected(row, p.totals[si], p.max_rows) {
+                            continue;
+                        }
+                        acc.accumulate_masks(&chunk.detected[r], &chunk.zero[r]);
+                    }
                 }
-                let row = next[si];
-                next[si] += 1;
-                if !row_selected(row, p.totals[si], p.max_rows) {
-                    continue;
-                }
-                acc.accumulate_masks(&p.detected[r], &p.zero[r]);
+            }
+            for acc in walked.iter_mut().flatten() {
+                acc.finalize();
             }
         }
-        for (acc, &total) in accs.iter_mut().zip(&p.totals) {
-            acc.finalize();
-            acc.total_rows = total;
-            acc.truncated = total > p.max_rows as u64;
-        }
-        let mut analyses: Vec<CorrelationAnalysis> =
-            accs.iter().map(analysis_from_contingency).collect();
+        let mut analyses: Vec<CorrelationAnalysis> = p
+            .scopes
+            .iter()
+            .enumerate()
+            .map(|(si, &scope)| {
+                let acc = walked[si].as_ref().unwrap_or(&p.contingency[si]);
+                finish_analysis(
+                    scope,
+                    p.engine_count,
+                    acc.rows,
+                    p.totals[si],
+                    capped[si],
+                    |a, b| acc.table(a, b),
+                )
+            })
+            .collect();
         let global = analyses.remove(0);
         (global, analyses)
     }
@@ -732,16 +796,61 @@ impl Analysis for Correlation {
 ///
 /// Unlike every other stage's partial this one is O(rows), not O(1) —
 /// the row cap can only be applied once the final totals are known, so
-/// the plane must survive until `finish`.
+/// the plane must survive until `finish`. Alongside the plane, each
+/// scope's **uncapped** contingency tables are accumulated eagerly at
+/// fold time and merged by addition: while a scope stays under
+/// `max_rows` (every row selected), `finish` reads those tables
+/// directly and never re-walks the plane, which is what keeps a serve
+/// publish O(changed-slot) instead of O(total rows).
+///
+/// The plane itself is a rope of immutable [`Arc`]-shared chunks (one
+/// per fold), so cloning or merging partials — which the serve merge
+/// tree does on every publish — moves chunk pointers instead of copying
+/// row data. Chunks are never mutated after the fold that built them,
+/// and the rope preserves segment order, so the walk in `finish` sees
+/// the same row sequence as a flat plane would.
 #[derive(Debug, Clone)]
 pub struct CorrelationPartial {
     scopes: Vec<Option<FileType>>,
     engine_count: usize,
     max_rows: usize,
+    plane: Vec<Arc<PlaneChunk>>,
+    totals: Vec<u64>,
+    /// Per-scope tables over *all* rows (no cap applied), finalized at
+    /// every fold/merge boundary. Exact u64 counts, so any merge tree
+    /// over segments yields the same tables.
+    contingency: Vec<ScopeContingency>,
+}
+
+/// One fold's contiguous slice of the scope-tagged row plane. Shared
+/// immutably between every partial whose history includes the fold.
+#[derive(Debug)]
+struct PlaneChunk {
     membership: Vec<u8>,
     detected: Vec<[u64; 2]>,
     zero: Vec<[u64; 2]>,
-    totals: Vec<u64>,
+}
+
+impl CorrelationPartial {
+    /// Folds a later segment's partial into this one without consuming
+    /// it — the serve merge tree re-merges cached internal nodes on
+    /// every publish, and cloning the right child just to feed an owned
+    /// merge would double the per-publish memory traffic.
+    pub(crate) fn merge_from(&mut self, other: &CorrelationPartial) {
+        assert_eq!(
+            self.scopes, other.scopes,
+            "partials from different scope lists"
+        );
+        assert_eq!(self.engine_count, other.engine_count);
+        assert_eq!(self.max_rows, other.max_rows);
+        self.plane.extend_from_slice(&other.plane);
+        for (t, c) in self.totals.iter_mut().zip(&other.totals) {
+            *t += c;
+        }
+        for (acc, part) in self.contingency.iter_mut().zip(&other.contingency) {
+            acc.merge(part);
+        }
+    }
 }
 
 /// Finishes one scope's merged contingency tables into the ρ matrix,
@@ -1184,7 +1293,7 @@ mod tests {
         let (g_run, per_run) = stage.run(&ctx);
         assert!(g_run.truncated, "fixture must exercise the row cap");
 
-        let (g_fin, per_fin) = stage.finish(stage.fold(&ctx));
+        let (g_fin, per_fin) = stage.finish(&stage.fold(&ctx));
         assert_bit_identical(&g_run, &g_fin, "finish∘fold global");
         assert_eq!(per_run.len(), per_fin.len());
         for (r, f) in per_run.iter().zip(&per_fin) {
@@ -1202,10 +1311,28 @@ mod tests {
         let (sa, sb) = (freshdyn::build(seg_a, ws), freshdyn::build(seg_b, ws));
         let ctx_a = AnalysisCtx::new(seg_a, &ta, &sa, fleet, ws).with_workers(1);
         let ctx_b = AnalysisCtx::new(seg_b, &tb, &sb, fleet, ws).with_workers(8);
-        let (g_seg, per_seg) = stage.finish(stage.merge(stage.fold(&ctx_a), stage.fold(&ctx_b)));
+        let (g_seg, per_seg) = stage.finish(&stage.merge(stage.fold(&ctx_a), stage.fold(&ctx_b)));
         assert_bit_identical(&g_run, &g_seg, "segmented global");
         for (r, f) in per_run.iter().zip(&per_seg) {
             assert_bit_identical(r, f, "segmented scope");
+        }
+
+        // Uncapped config: `finish` takes the eager-contingency fast
+        // path (no plane walk) and must still match the fused run and
+        // the segmented fold bit for bit.
+        let wide = Correlation {
+            scopes: &[FileType::Win32Exe, FileType::Pdf],
+            max_rows: 400_000,
+        };
+        let (gw_run, pw_run) = wide.run(&ctx);
+        assert!(!gw_run.truncated, "fixture must stay under the cap");
+        let (gw_fin, pw_fin) = wide.finish(&wide.fold(&ctx));
+        assert_bit_identical(&gw_run, &gw_fin, "uncapped finish∘fold global");
+        let (gw_seg, pw_seg) = wide.finish(&wide.merge(wide.fold(&ctx_a), wide.fold(&ctx_b)));
+        assert_bit_identical(&gw_run, &gw_seg, "uncapped segmented global");
+        for ((r, f), s) in pw_run.iter().zip(&pw_fin).zip(&pw_seg) {
+            assert_bit_identical(r, f, "uncapped finish∘fold scope");
+            assert_bit_identical(r, s, "uncapped segmented scope");
         }
     }
 

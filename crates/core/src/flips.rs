@@ -97,7 +97,7 @@ impl FlipAnalysis {
         }
     }
 
-    fn merge(&mut self, other: &FlipAnalysis) {
+    pub(crate) fn merge(&mut self, other: &FlipAnalysis) {
         debug_assert_eq!(self.engine_count, other.engine_count);
         for (mine, theirs) in self.matrix.iter_mut().zip(&other.matrix) {
             for (a, b) in mine.iter_mut().zip(theirs) {
@@ -135,8 +135,8 @@ impl Analysis for Flips {
         a
     }
 
-    fn finish(&self, acc: FlipAnalysis) -> FlipAnalysis {
-        acc
+    fn finish(&self, acc: &FlipAnalysis) -> FlipAnalysis {
+        acc.clone()
     }
 }
 

@@ -122,23 +122,41 @@ impl StudyPartials {
     /// must uphold the same contract as segment folds: `self` and
     /// `next` cover disjoint sample sets, concatenated in a canonical
     /// order every run agrees on.
-    pub fn merge(self, next: Self) -> Self {
-        StudyPartials {
-            landscape: Landscape.merge(self.landscape, next.landscape),
-            stability: Stability.merge(self.stability, next.stability),
-            metrics: Metrics.merge(self.metrics, next.metrics),
-            window_growth: WindowGrowth::default().merge(self.window_growth, next.window_growth),
-            intervals: Intervals::default().merge(self.intervals, next.intervals),
-            categories_all: Categorize::ALL.merge(self.categories_all, next.categories_all),
-            categories_pe: Categorize::PE.merge(self.categories_pe, next.categories_pe),
-            causes: Causes.merge(self.causes, next.causes),
-            stabilization: Stabilization.merge(self.stabilization, next.stabilization),
-            flips: Flips.merge(self.flips, next.flips),
-            correlation: Correlation::default().merge(self.correlation, next.correlation),
-            s_samples: self.s_samples + next.s_samples,
-            s_reports: self.s_reports + next.s_reports,
-            segments: self.segments + next.segments,
-        }
+    pub fn merge(mut self, next: Self) -> Self {
+        self.merge_from(&next);
+        self
+    }
+
+    /// [`merge`](Self::merge) without consuming either side: builds the
+    /// merged accumulation from borrowed partials. This is the serve
+    /// merge tree's per-publish primitive — internal nodes re-merge from
+    /// cached children on every epoch, and cloning both children just to
+    /// feed the owned path would double the per-publish memory traffic.
+    pub fn merge_ref(&self, next: &Self) -> Self {
+        let mut out = self.clone();
+        out.merge_from(next);
+        out
+    }
+
+    /// Field-wise by-ref merge both public entry points reduce to.
+    /// Every stage partial merges by addition/extension, so borrowing
+    /// `next` is bit-identical to consuming it.
+    fn merge_from(&mut self, next: &Self) {
+        self.landscape.merge(&next.landscape);
+        self.stability.merge(&next.stability);
+        self.metrics.merge(&next.metrics);
+        self.window_growth.0 += next.window_growth.0;
+        self.window_growth.1 += next.window_growth.1;
+        self.intervals.merge(&next.intervals);
+        self.categories_all.merge(&next.categories_all);
+        self.categories_pe.merge(&next.categories_pe);
+        self.causes.merge(&next.causes);
+        self.stabilization.merge(&next.stabilization);
+        self.flips.merge(&next.flips);
+        self.correlation.merge_from(&next.correlation);
+        self.s_samples += next.s_samples;
+        self.s_reports += next.s_reports;
+        self.segments += next.segments;
     }
 
     /// Segments folded into this accumulation.
@@ -158,30 +176,31 @@ impl StudyPartials {
 
     /// Finishes every stage into a [`StudyResults`]. `partitions`
     /// supplies the Table 2 store accounting, which lives outside the
-    /// analysis fold. Consumes the accumulation; clone first to keep
-    /// folding (as [`IncrementalStudy::results`] does).
-    pub fn finish(self, partitions: Vec<PartitionStats>, obs: &Obs) -> StudyResults {
-        let (dataset, fig1) = Landscape.finish(self.landscape);
-        let stabilization = Stabilization.finish(self.stabilization);
+    /// analysis fold. Borrows the accumulation — finishing is a
+    /// read-only projection, so it can run on every publish without
+    /// cloning the partials or disturbing further folds.
+    pub fn finish(&self, partitions: Vec<PartitionStats>, obs: &Obs) -> StudyResults {
+        let (dataset, fig1) = Landscape.finish(&self.landscape);
+        let stabilization = Stabilization.finish(&self.stabilization);
         let (correlation_global, correlation_per_type) =
-            Correlation::default().finish(self.correlation);
+            Correlation::default().finish(&self.correlation);
         StudyResults {
             dataset,
             fig1,
             partitions,
-            stability: Stability.finish(self.stability),
+            stability: Stability.finish(&self.stability),
             s_samples: self.s_samples,
             s_reports: self.s_reports,
-            metrics: Metrics.finish(self.metrics),
-            window_growth: WindowGrowth::default().finish(self.window_growth),
-            intervals: Intervals::default().finish(self.intervals),
-            categories_all: Categorize::ALL.finish(self.categories_all),
-            categories_pe: Categorize::PE.finish(self.categories_pe),
-            causes: Causes.finish(self.causes),
+            metrics: Metrics.finish(&self.metrics),
+            window_growth: WindowGrowth::default().finish(&self.window_growth),
+            intervals: Intervals::default().finish(&self.intervals),
+            categories_all: Categorize::ALL.finish(&self.categories_all),
+            categories_pe: Categorize::PE.finish(&self.categories_pe),
+            causes: Causes.finish(&self.causes),
             rank_stabilization: stabilization.rank,
             label_stabilization_all: stabilization.label_all,
             label_stabilization_multi: stabilization.label_multi,
-            flips: Flips.finish(self.flips),
+            flips: Flips.finish(&self.flips),
             correlation_global,
             correlation_per_type,
             stage_timings: pipeline::stage_timings_from(obs),
@@ -346,11 +365,11 @@ impl<'a> IncrementalStudy<'a> {
     /// every folded segment). `partitions` supplies the Table 2 store
     /// accounting, which lives outside the analysis fold.
     ///
-    /// Clones the cached partials — accumulation continues unaffected,
-    /// so this can be called after every segment.
+    /// Borrows the cached partials — no clone, accumulation continues
+    /// unaffected — so this can be called after every segment.
     pub fn results(&self, partitions: Vec<PartitionStats>, obs: &Obs) -> StudyResults {
-        let partials = match &self.partials {
-            Some(p) => p.clone(),
+        match &self.partials {
+            Some(p) => p.finish(partitions, obs),
             // Nothing folded yet: the fold of zero segments is the fold
             // of an empty one.
             None => {
@@ -359,10 +378,104 @@ impl<'a> IncrementalStudy<'a> {
                 let ctx = AnalysisCtx::new(&[], &table, &s, self.fleet, self.window_start)
                     .with_workers(self.workers)
                     .with_obs(obs);
-                StudyPartials::fold(&ctx)
+                StudyPartials::fold(&ctx).finish(partitions, obs)
             }
-        };
-        partials.finish(partitions, obs)
+        }
+    }
+}
+
+/// Month-wise accumulation of per-segment Table 2 store accounting.
+/// Months append in first-seen order, so merging slot vectors in
+/// canonical slot order reproduces the flat left-to-right scan exactly.
+pub fn merge_partition_stats(acc: &mut Vec<PartitionStats>, seg: &[PartitionStats]) {
+    for stat in seg {
+        match acc.iter_mut().find(|a| a.month == stat.month) {
+            Some(a) => {
+                a.reports += stat.reports;
+                a.raw_bytes += stat.raw_bytes;
+                a.stored_bytes += stat.stored_bytes;
+            }
+            None => acc.push(*stat),
+        }
+    }
+}
+
+/// A binary merge tree over fixed accumulation slots: cached
+/// internal-node [`StudyPartials`] (and [`PartitionStats`]) so that
+/// updating one slot re-merges only the log₂(slots) nodes on its
+/// root path instead of re-merging every slot from scratch.
+///
+/// The tree shape is fixed — node `i` covers the contiguous slot range
+/// of its subtree, children merge left-before-right — so the root
+/// equals the flat left-to-right fold over slots `0..n`. By the
+/// committed `merge(fold(x), fold(y)) == fold(x ++ y)` algebra
+/// (associative over the canonical concatenation, with an empty slot as
+/// identity), the cached root is **bit-identical** to re-merging every
+/// slot in order, which is what `vtld serve` publishes per epoch.
+#[derive(Debug, Clone)]
+pub struct SlotMergeTree {
+    /// Leaf count, rounded up to a power of two.
+    slots: usize,
+    /// Heap layout: `nodes[slots + s]` is slot `s`'s leaf,
+    /// `nodes[i] = merge(nodes[2i], nodes[2i+1])`, `nodes[1]` the root.
+    nodes: Vec<Option<StudyPartials>>,
+    /// The same tree over Table 2 store accounting.
+    partitions: Vec<Vec<PartitionStats>>,
+}
+
+impl SlotMergeTree {
+    /// An empty tree over `slots` leaves.
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.next_power_of_two().max(1);
+        Self {
+            slots,
+            nodes: vec![None; 2 * slots],
+            partitions: vec![Vec::new(); 2 * slots],
+        }
+    }
+
+    /// Leaves in the tree.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Replaces one slot's accumulation and re-merges the nodes on its
+    /// root path — O(log slots) merges of cached partials, independent
+    /// of how many other slots hold history.
+    pub fn update_slot(
+        &mut self,
+        slot: usize,
+        partials: Option<StudyPartials>,
+        partitions: Vec<PartitionStats>,
+    ) {
+        assert!(slot < self.slots, "slot {slot} out of range {}", self.slots);
+        let mut i = self.slots + slot;
+        self.nodes[i] = partials;
+        self.partitions[i] = partitions;
+        while i > 1 {
+            i /= 2;
+            let (l, r) = (2 * i, 2 * i + 1);
+            self.nodes[i] = match (&self.nodes[l], &self.nodes[r]) {
+                (Some(a), Some(b)) => Some(a.merge_ref(b)),
+                (Some(a), None) => Some(a.clone()),
+                (None, Some(b)) => Some(b.clone()),
+                (None, None) => None,
+            };
+            let mut parts = self.partitions[l].clone();
+            merge_partition_stats(&mut parts, &self.partitions[r]);
+            self.partitions[i] = parts;
+        }
+    }
+
+    /// The cached merge over every slot in canonical order (`None`
+    /// while every slot is empty).
+    pub fn root(&self) -> Option<&StudyPartials> {
+        self.nodes[1].as_ref()
+    }
+
+    /// The cached month-wise store accounting over every slot.
+    pub fn root_partitions(&self) -> &[PartitionStats] {
+        &self.partitions[1]
     }
 }
 
@@ -448,6 +561,89 @@ mod tests {
             Obs::noop(),
         );
         assert_eq!(format!("{results:?}"), format!("{batch:?}"));
+    }
+
+    #[test]
+    fn slot_merge_tree_root_matches_flat_merge_in_slot_order() {
+        let study = Study::generate_with_workers(SimConfig::new(0x7EE, 1_500), 2);
+        let records = study.records();
+        let ws = study.sim().config().window_start();
+        const SLOTS: usize = 8;
+        // Route samples into fixed hash slots as `vtld serve` does.
+        let mut slot_records: Vec<Vec<SampleRecord>> = vec![Vec::new(); SLOTS];
+        for r in records {
+            slot_records[(r.meta.hash.0 % SLOTS as u128) as usize].push(r.clone());
+        }
+        assert!(
+            slot_records.iter().filter(|s| !s.is_empty()).count() >= 4,
+            "fixture must populate several slots"
+        );
+        let mut tree = SlotMergeTree::new(SLOTS);
+        assert!(tree.root().is_none(), "empty tree has no accumulation");
+        let mut studies: Vec<IncrementalStudy<'_>> = (0..SLOTS)
+            .map(|_| IncrementalStudy::new(study.sim().fleet(), ws).with_workers(2))
+            .collect();
+        // Fold each slot's stream in two segments (interleaved across
+        // slots, like a live shard fleet), updating its leaf after every
+        // fold and checking the cached root against the flat
+        // left-to-right slot merge it must stay bit-identical to.
+        for pass in 0..2 {
+            for (slot, recs) in slot_records.iter().enumerate() {
+                let half = recs.len() / 2;
+                let seg = if pass == 0 {
+                    &recs[..half]
+                } else {
+                    &recs[half..]
+                };
+                studies[slot].fold_segment(seg, Obs::noop());
+                tree.update_slot(slot, studies[slot].partials().cloned(), Vec::new());
+                let flat = studies
+                    .iter()
+                    .filter_map(|st| st.partials().cloned())
+                    .reduce(StudyPartials::merge)
+                    .expect("at least one slot folded");
+                assert_eq!(
+                    format!(
+                        "{:?}",
+                        tree.root().expect("root").finish(Vec::new(), Obs::noop())
+                    ),
+                    format!("{:?}", flat.finish(Vec::new(), Obs::noop())),
+                    "slot {slot} pass {pass}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slot_merge_tree_partitions_match_flat_first_seen_order() {
+        use vt_model::time::Month;
+        let month = |i: usize| Some(Month::COLLECTION_START.plus(i));
+        let stat = |m: Option<Month>, reports: u64| PartitionStats {
+            month: m,
+            reports,
+            raw_bytes: reports * 10,
+            stored_bytes: reports * 3,
+        };
+        let per_slot: Vec<Vec<PartitionStats>> = vec![
+            vec![stat(month(2), 5), stat(month(0), 1)],
+            vec![],
+            vec![stat(month(0), 2), stat(None, 7)],
+            vec![stat(month(1), 4)],
+            vec![stat(month(2), 9)],
+        ];
+        let mut tree = SlotMergeTree::new(8);
+        // Update out of slot order — the cached result must still equal
+        // the flat slot-0..8 scan.
+        for &slot in &[4usize, 0, 2, 3, 1] {
+            tree.update_slot(slot, None, per_slot.get(slot).cloned().unwrap_or_default());
+        }
+        let mut flat = Vec::new();
+        for parts in &per_slot {
+            merge_partition_stats(&mut flat, parts);
+        }
+        assert_eq!(tree.root_partitions(), flat.as_slice());
+        assert_eq!(flat[0].month, month(2), "first-seen order preserved");
+        assert_eq!(flat[0].reports, 14, "slot 0 and 4 months accumulate");
     }
 
     #[test]

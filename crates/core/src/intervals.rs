@@ -84,11 +84,11 @@ impl Analysis for Intervals {
     }
 
     fn merge(&self, mut a: IntervalPartial, b: IntervalPartial) -> IntervalPartial {
-        a.merge(b);
+        a.merge(&b);
         a
     }
 
-    fn finish(&self, acc: IntervalPartial) -> IntervalAnalysis {
+    fn finish(&self, acc: &IntervalPartial) -> IntervalAnalysis {
         finish(acc, self.max_days)
     }
 }
@@ -116,7 +116,7 @@ impl IntervalPartial {
         }
     }
 
-    fn merge(&mut self, other: IntervalPartial) {
+    pub(crate) fn merge(&mut self, other: &IntervalPartial) {
         assert_eq!(
             self.day_counts.len(),
             other.day_counts.len(),
@@ -260,7 +260,7 @@ fn fold_columnar(
 }
 
 /// Turns the merged accumulator into the published analysis.
-fn finish(acc: IntervalPartial, max_days: usize) -> IntervalAnalysis {
+fn finish(acc: &IntervalPartial, max_days: usize) -> IntervalAnalysis {
     debug_assert_eq!(acc.day_counts.len(), (max_days + 1) * DIFF_BOUND);
     let by_day: Vec<Option<BoxplotSummary>> = (0..=max_days)
         .map(|d| BoxplotSummary::from_counts(&acc.day_counts[d * DIFF_BOUND..(d + 1) * DIFF_BOUND]))

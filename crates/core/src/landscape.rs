@@ -53,9 +53,8 @@ impl Analysis for Landscape {
         a
     }
 
-    fn finish(&self, stats: DatasetStats) -> (DatasetStats, Fig1Points) {
-        let fig1 = fig1_points(&stats);
-        (stats, fig1)
+    fn finish(&self, stats: &DatasetStats) -> (DatasetStats, Fig1Points) {
+        (stats.clone(), fig1_points(stats))
     }
 }
 

@@ -68,11 +68,11 @@ impl Analysis for Metrics {
     }
 
     fn merge(&self, mut a: MetricsPartial, b: MetricsPartial) -> MetricsPartial {
-        a.merge(b);
+        a.merge(&b);
         a
     }
 
-    fn finish(&self, acc: MetricsPartial) -> MetricsAnalysis {
+    fn finish(&self, acc: &MetricsPartial) -> MetricsAnalysis {
         finish(acc)
     }
 }
@@ -98,7 +98,7 @@ impl MetricsPartial {
         }
     }
 
-    fn merge(&mut self, other: MetricsPartial) {
+    pub(crate) fn merge(&mut self, other: &MetricsPartial) {
         self.delta_adjacent_hist.merge(&other.delta_adjacent_hist);
         self.delta_overall_hist.merge(&other.delta_overall_hist);
         for (a, b) in self
@@ -140,13 +140,13 @@ fn fold_columnar(table: &TrajectoryTable, s: &FreshDynamic, ctx: &AnalysisCtx) -
     let mut iter = parts.into_iter();
     let mut acc = iter.next().unwrap_or_else(MetricsPartial::new);
     for part in iter {
-        acc.merge(part);
+        acc.merge(&part);
     }
     acc
 }
 
 /// Turns the merged accumulator into the published analysis.
-fn finish(acc: MetricsPartial) -> MetricsAnalysis {
+fn finish(acc: &MetricsPartial) -> MetricsAnalysis {
     let delta_zero_fraction = if acc.delta_adjacent_hist.total() == 0 {
         0.0
     } else {
@@ -168,8 +168,8 @@ fn finish(acc: MetricsPartial) -> MetricsAnalysis {
         .collect();
 
     MetricsAnalysis {
-        delta_adjacent_hist: acc.delta_adjacent_hist,
-        delta_overall_hist: acc.delta_overall_hist,
+        delta_adjacent_hist: acc.delta_adjacent_hist.clone(),
+        delta_overall_hist: acc.delta_overall_hist.clone(),
         delta_zero_fraction,
         delta_over_2_fraction,
         delta_le_11_fraction,
@@ -214,7 +214,7 @@ impl Analysis for WindowGrowth {
         (a.0 + b.0, a.1 + b.1)
     }
 
-    fn finish(&self, (eligible, grew): (u64, u64)) -> f64 {
+    fn finish(&self, &(eligible, grew): &(u64, u64)) -> f64 {
         if eligible == 0 {
             0.0
         } else {
@@ -287,7 +287,7 @@ pub(crate) fn analyze_impl(records: &[SampleRecord], s: &FreshDynamic) -> Metric
         acc.delta_overall_hist.record(delta as u64);
         acc.per_type_overall[type_idx * DELTA_BOUND + delta as usize] += 1;
     }
-    finish(acc)
+    finish(&acc)
 }
 
 #[cfg(test)]

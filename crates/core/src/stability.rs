@@ -12,6 +12,7 @@ use crate::par;
 #[cfg(test)]
 use crate::records::SampleRecord;
 use crate::table::TrajectoryTable;
+use std::sync::Arc;
 use vt_model::time::Duration;
 use vt_stats::{BoxplotSummary, Histogram};
 
@@ -124,25 +125,33 @@ impl Analysis for Stability {
     }
 
     fn merge(&self, mut a: StabilityPartial, b: StabilityPartial) -> StabilityPartial {
-        a.merge(b);
+        a.merge(&b);
         a
     }
 
-    fn finish(&self, acc: StabilityPartial) -> StabilityAnalysis {
+    fn finish(&self, acc: &StabilityPartial) -> StabilityAnalysis {
         let mut a = StabilityAnalysis {
             multi_report_samples: acc.multi,
             stable: acc.stable,
             dynamic: acc.dynamic,
-            stable_report_hist: acc.stable_report_hist,
-            dynamic_report_hist: acc.dynamic_report_hist,
-            stable_rank_hist: acc.stable_rank_hist,
+            stable_report_hist: acc.stable_report_hist.clone(),
+            dynamic_report_hist: acc.dynamic_report_hist.clone(),
+            stable_rank_hist: acc.stable_rank_hist.clone(),
             rank0_scans: acc.rank0_scans,
             rank_pos_scans: acc.rank_pos_scans,
             span_by_rank: vec![None; StabilityAnalysis::RANK_CAP + 1],
             span_within_17d: 0.0,
             span_within_350d: 0.0,
         };
-        for (bucket, values) in acc.spans.into_iter().enumerate() {
+        // The rope concatenates per-bucket spans in chunk order, which
+        // is partition/segment order — the exact sequence the old flat
+        // vectors held before `from_unsorted` sorts them.
+        let mut values: Vec<f64> = Vec::new();
+        for bucket in 0..=StabilityAnalysis::RANK_CAP {
+            values.clear();
+            for chunk in &acc.spans {
+                values.extend_from_slice(&chunk[bucket]);
+            }
             a.span_by_rank[bucket] = BoxplotSummary::from_unsorted(&values);
         }
         if a.stable > 0 {
@@ -155,9 +164,11 @@ impl Analysis for Stability {
 
 /// Mergeable accumulator of the §5.1–5.2 fold ([`Stability`]'s
 /// [`Analysis::Partial`]). Counters and histograms merge by addition;
-/// the per-bucket span samples concatenate in stream order so each
-/// bucket sees the exact serial sequence before
-/// [`BoxplotSummary::from_unsorted`] sorts it.
+/// the per-bucket span samples live in a rope of immutable
+/// [`Arc`]-shared chunks (one per fold partition) concatenated in
+/// stream order, so each bucket sees the exact serial sequence before
+/// [`BoxplotSummary::from_unsorted`] sorts it while merge/clone of a
+/// partial moves chunk pointers instead of copying span data.
 #[derive(Debug, Clone)]
 pub struct StabilityPartial {
     multi: u64,
@@ -168,7 +179,9 @@ pub struct StabilityPartial {
     stable_rank_hist: Histogram,
     rank0_scans: (u64, u64, u64),
     rank_pos_scans: (u64, u64, u64),
-    spans: Vec<Vec<f64>>,
+    /// Rope of span chunks; each chunk holds `RANK_CAP + 1` bucket
+    /// vectors from one fold partition.
+    spans: Vec<Arc<Vec<Vec<f64>>>>,
     within17: u64,
     within350: u64,
 }
@@ -184,13 +197,13 @@ impl StabilityPartial {
             stable_rank_hist: Histogram::new(71),
             rank0_scans: (0, 0, 0),
             rank_pos_scans: (0, 0, 0),
-            spans: vec![Vec::new(); StabilityAnalysis::RANK_CAP + 1],
+            spans: Vec::new(),
             within17: 0,
             within350: 0,
         }
     }
 
-    fn merge(&mut self, other: StabilityPartial) {
+    pub(crate) fn merge(&mut self, other: &StabilityPartial) {
         self.multi += other.multi;
         self.stable += other.stable;
         self.dynamic += other.dynamic;
@@ -203,9 +216,7 @@ impl StabilityPartial {
         self.rank_pos_scans.0 += other.rank_pos_scans.0;
         self.rank_pos_scans.1 += other.rank_pos_scans.1;
         self.rank_pos_scans.2 += other.rank_pos_scans.2;
-        for (mine, theirs) in self.spans.iter_mut().zip(other.spans) {
-            mine.extend(theirs);
-        }
+        self.spans.extend_from_slice(&other.spans);
         self.within17 += other.within17;
         self.within350 += other.within350;
     }
@@ -215,6 +226,7 @@ fn fold_columnar(table: &TrajectoryTable, workers: usize, ctx: &AnalysisCtx) -> 
     let ranges = par::partition_ranges(table.len() as u64, workers);
     let parts = par::map_ranges_obs(&ranges, ctx.obs, "stability", |_, range| {
         let mut acc = StabilityPartial::new();
+        let mut spans: Vec<Vec<f64>> = vec![Vec::new(); StabilityAnalysis::RANK_CAP + 1];
         for i in range.start as usize..range.end as usize {
             if !table.is_multi_report(i) {
                 continue;
@@ -238,7 +250,7 @@ fn fold_columnar(table: &TrajectoryTable, workers: usize, ctx: &AnalysisCtx) -> 
                 let dates = table.dates_of(i);
                 let span_days = Duration::minutes(dates[dates.len() - 1] - dates[0]).as_days_f64();
                 let bucket = (rank as usize).min(StabilityAnalysis::RANK_CAP);
-                acc.spans[bucket].push(span_days);
+                spans[bucket].push(span_days);
                 if span_days <= 17.0 {
                     acc.within17 += 1;
                 }
@@ -250,12 +262,15 @@ fn fold_columnar(table: &TrajectoryTable, workers: usize, ctx: &AnalysisCtx) -> 
                 acc.dynamic_report_hist.record(n);
             }
         }
+        if spans.iter().any(|b| !b.is_empty()) {
+            acc.spans.push(Arc::new(spans));
+        }
         acc
     });
     let mut iter = parts.into_iter();
     let mut acc = iter.next().unwrap_or_else(StabilityPartial::new);
     for part in iter {
-        acc.merge(part);
+        acc.merge(&part);
     }
     acc
 }

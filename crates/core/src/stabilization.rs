@@ -56,15 +56,25 @@ impl Analysis for Stabilization {
     }
 
     fn merge(&self, mut a: StabilizationPartial, b: StabilizationPartial) -> StabilizationPartial {
-        a.merge(b);
+        a.merge(&b);
         a
     }
 
-    fn finish(&self, acc: StabilizationPartial) -> StabilizationOutput {
+    fn finish(&self, acc: &StabilizationPartial) -> StabilizationOutput {
         StabilizationOutput {
-            rank: acc.rank,
-            label_all: acc.label_all.into_iter().map(LabelAcc::finish).collect(),
-            label_multi: acc.label_multi.into_iter().map(LabelAcc::finish).collect(),
+            rank: acc.rank.clone(),
+            label_all: acc
+                .label_all
+                .iter()
+                .copied()
+                .map(LabelAcc::finish)
+                .collect(),
+            label_multi: acc
+                .label_multi
+                .iter()
+                .copied()
+                .map(LabelAcc::finish)
+                .collect(),
         }
     }
 }
@@ -82,9 +92,9 @@ pub struct StabilizationPartial {
 }
 
 impl StabilizationPartial {
-    fn merge(&mut self, other: StabilizationPartial) {
+    pub(crate) fn merge(&mut self, other: &StabilizationPartial) {
         debug_assert_eq!(self.rank.len(), other.rank.len());
-        for (a, b) in self.rank.iter_mut().zip(other.rank) {
+        for (a, b) in self.rank.iter_mut().zip(&other.rank) {
             debug_assert_eq!(a.r, b.r);
             a.samples += b.samples;
             a.stabilized += b.stabilized;
@@ -92,11 +102,11 @@ impl StabilizationPartial {
             a.within_20d += b.within_20d;
             a.within_30d += b.within_30d;
         }
-        for (a, b) in self.label_all.iter_mut().zip(other.label_all) {
-            a.merge(b);
+        for (a, b) in self.label_all.iter_mut().zip(&other.label_all) {
+            a.merge(*b);
         }
-        for (a, b) in self.label_multi.iter_mut().zip(other.label_multi) {
-            a.merge(b);
+        for (a, b) in self.label_multi.iter_mut().zip(&other.label_multi) {
+            a.merge(*b);
         }
     }
 }

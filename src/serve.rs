@@ -26,12 +26,16 @@
 //! Accepted samples are partitioned by hash into [`INGEST_SLOTS`] fixed
 //! slots; each slot is an independent segment stream folded by one of
 //! `shards` worker threads into slot-local
-//! [`crate::dynamics::StudyPartials`]. A merger thread
-//! reassembles the global study by merging slot partials **in slot
-//! order** — the canonical concatenation `slot 0 ++ slot 1 ++ …` — and
-//! publishes the epoch-swapped `Arc<Snapshot>`. The slot count is fixed
-//! (not the shard count), so the merge order, and therefore every
-//! published bit, is identical at shards 1, 2 and 4.
+//! [`crate::dynamics::StudyPartials`]. A merger thread reassembles the
+//! global study through a [`SlotMergeTree`] — a fixed-shape binary
+//! merge tree over the slots whose cached internal nodes make each
+//! publish O(changed-slot): a fold that touched one slot re-merges only
+//! that leaf's log₂([`INGEST_SLOTS`]) path to the root, and the other
+//! slots' partials are not even cloned. The tree's in-order leaf walk
+//! is the canonical concatenation `slot 0 ++ slot 1 ++ …`, so the root
+//! equals the flat slot-order merge bit for bit, and every published
+//! bit is identical at shards 1, 2 and 4. The merger then finishes the
+//! cached root and publishes the epoch-swapped `Arc<Snapshot>`.
 //!
 //! ## Admission control and graceful degradation
 //!
@@ -59,15 +63,19 @@
 //! ## Per-hash queries (the sample index)
 //!
 //! Each shard worker folds a [`crate::dynamics::SampleIndex`] alongside
-//! its slot's `StudyPartials`; the merger merges the slot indexes in
-//! the same canonical slot order and ships the result *inside* the
-//! published `Arc<Snapshot>` — so a per-hash answer is always rendered
-//! from exactly the data its epoch's aggregates summarize. Unlike the
-//! four aggregate responses, per-hash responses are rendered lazily per
-//! request behind a bounded LRU cache keyed by the canonical request;
-//! the cache only ever serves entries stamped with the live snapshot's
-//! epoch (it is cleared the first time a newer epoch is requested), so
-//! a cached answer can never leak across an epoch swap.
+//! its slot's `StudyPartials`; the published `Arc<Snapshot>` carries
+//! one index `Arc` **per slot** (a publish replaces only the dirty
+//! slots' pointers — slot indexes are never merged), and per-hash
+//! verbs route straight to `slot_of(hash)`'s index — so a per-hash
+//! answer is always rendered from exactly the data its epoch's
+//! aggregates summarize. Unlike the four aggregate responses, per-hash
+//! responses are rendered lazily per request behind a bounded LRU cache
+//! keyed by the canonical request; entries are stamped with the epoch
+//! their *slot* last changed at, so an epoch swap invalidates only the
+//! answers whose slot actually republished — a hot sample in an
+//! untouched slot stays cached across swaps (its epoch member is
+//! spliced to the live epoch at serve time), and a cached answer can
+//! never leak stale data across a swap.
 //!
 //! ## Wire protocol
 //!
@@ -96,7 +104,8 @@ use std::time::Duration;
 use crate::dynamics::flips::FlipAnalysis;
 use crate::dynamics::stabilization::FIG9_THRESHOLDS;
 use crate::dynamics::{
-    par, Collector, DecodeArena, IncrementalStudy, SampleIndex, StudyPartials, StudyResults,
+    par, Collector, DecodeArena, IncrementalStudy, SampleIndex, SlotMergeTree, StudyPartials,
+    StudyResults,
 };
 use crate::engines::EngineFleet;
 use crate::model::{EngineId, SampleHash};
@@ -221,9 +230,15 @@ struct Snapshot {
     engines: String,
     metrics: String,
     fingerprint: String,
-    /// Hash → trajectory summary, merged in slot order from the same
-    /// folds this epoch's aggregates summarize.
-    index: Arc<SampleIndex>,
+    /// Hash → trajectory summary, one index per ingest slot — the same
+    /// folds this epoch's aggregates summarize. Publishing a new epoch
+    /// replaces only the dirty slots' `Arc`s; per-hash verbs route by
+    /// [`slot_of`] and never pay a cross-slot merge.
+    slot_indexes: Vec<Arc<SampleIndex>>,
+    /// Epoch at which each slot's index (and partials) last changed.
+    /// The hot-sample cache compares these to decide which entries an
+    /// epoch swap actually invalidated.
+    slot_epochs: [u64; INGEST_SLOTS],
     /// The §7.1 flip matrix backing the `engine` scorecard verb.
     flips: Arc<FlipAnalysis>,
     /// Engine names in [`EngineId`] order (the `engine` verb resolves
@@ -232,6 +247,13 @@ struct Snapshot {
     /// True once a slot lock has been observed poisoned: the study no
     /// longer updates from that slot, answers may lag its stream.
     degraded: bool,
+}
+
+impl Snapshot {
+    /// The slot index holding `hash`'s trajectory, if any was folded.
+    fn slot_index(&self, hash: SampleHash) -> &SampleIndex {
+        &self.slot_indexes[slot_of(hash)]
+    }
 }
 
 /// Obs handles for the serve tier's own health metrics, registered once
@@ -290,21 +312,60 @@ struct Progress {
     feed_done: AtomicBool,
 }
 
+/// One cached per-hash response: the rendered body with the epoch
+/// digits spliced out, plus the provenance stamps that decide whether
+/// an epoch swap invalidated it.
+#[derive(Debug)]
+struct CacheEntry {
+    /// The response *after* the `{"epoch":` digits — every lazily
+    /// rendered verb starts with that prefix, so serving a hit is a
+    /// splice of the live epoch in front of this tail.
+    tail: String,
+    /// Which ingest slot the answer was rendered from (`None` for the
+    /// whole-study verbs `engine` and `flip_leaders`).
+    slot: Option<usize>,
+    /// For slot-routed entries, the snapshot's `slot_epochs[slot]` at
+    /// render time; for whole-study entries, the full epoch.
+    stamp: u64,
+    /// Whether the rendering snapshot was degraded (the suffix is baked
+    /// into the tail, so a hit must match the live snapshot's flag).
+    degraded: bool,
+    /// Last-used stamp backing least-recently-used eviction.
+    last_used: u64,
+}
+
+impl CacheEntry {
+    /// Is this entry still exactly what rendering against `snap` would
+    /// produce (up to the spliced epoch digits)?
+    fn valid_for(&self, snap: &Snapshot) -> bool {
+        let stamp = match self.slot {
+            Some(slot) => snap.slot_epochs[slot],
+            None => snap.epoch,
+        };
+        stamp == self.stamp && self.degraded == snap.degraded
+    }
+}
+
 /// The bounded LRU cache behind the lazily rendered per-hash verbs.
 ///
-/// Entries are stamped with the epoch they were rendered from; the
-/// first request against a newer snapshot clears the whole map (the
-/// epoch only rolls forward). A request that races a publish and holds
-/// an *older* snapshot bypasses the cache entirely — a response for
-/// epoch N is never stored or served once the cache has seen N+1, so
-/// answers cannot leak across an epoch swap.
+/// Entries are stamped with the *slot epoch* they were rendered from —
+/// the epoch at which their hash's ingest slot last changed. The first
+/// request against a newer snapshot sweeps the map, dropping only the
+/// entries whose slot actually republished since they were rendered
+/// (plus the whole-study `engine`/`flip_leaders` entries, which every
+/// epoch invalidates); entries for untouched slots survive the swap,
+/// because their slot's index `Arc` is byte-for-byte the one they were
+/// rendered from. A request that races a publish and holds an *older*
+/// snapshot bypasses the cache entirely — a response for epoch N is
+/// never stored once the cache has seen N+1, so answers cannot leak
+/// across an epoch swap, and any one connection's epochs stay monotone.
 #[derive(Debug, Default)]
 struct ResponseCache {
     epoch: u64,
     /// Monotone use counter backing least-recently-used eviction.
     clock: u64,
-    /// Canonical request key → (rendered response, last-used stamp).
-    map: HashMap<String, (String, u64)>,
+    /// Canonical request key → cached response.
+    map: HashMap<String, CacheEntry>,
 }
 
 /// State shared between every daemon thread and every connection
@@ -332,7 +393,8 @@ impl Shared {
                 engines: String::new(),
                 metrics: String::new(),
                 fingerprint: String::new(),
-                index: Arc::new(SampleIndex::default()),
+                slot_indexes: empty_slot_indexes(),
+                slot_epochs: [0; INGEST_SLOTS],
                 flips: Arc::new(FlipAnalysis::empty(0)),
                 engine_names: Arc::new(Vec::new()),
                 degraded: false,
@@ -376,8 +438,15 @@ impl Shared {
 /// its Table 2 store accounting.
 #[derive(Debug, Default)]
 struct SlotState {
+    /// Bumped on every fold into this slot; the merger compares it to
+    /// the version behind its merge-tree leaf, so publishing touches
+    /// only the slots that actually changed since the last epoch.
+    version: u64,
     partials: Option<StudyPartials>,
-    index: Option<SampleIndex>,
+    /// Frozen behind an `Arc` at fold time: publishing ships the
+    /// pointer into the snapshot's per-slot index table instead of
+    /// merging the slot indexes into one.
+    index: Option<Arc<SampleIndex>>,
     partitions: Vec<PartitionStats>,
 }
 
@@ -843,10 +912,12 @@ fn shard_worker(
         let samples = study.fold_store(segment.store(), &mut arena, &shared.obs);
         let slot_partitions = partitions.entry(slot).or_default();
         merge_partitions(slot_partitions, &segment.store().partition_stats());
+        let frozen_index = study.index().cloned().map(Arc::new);
         {
             let (mut state, _was_poisoned) = lock_slot(&table.slots[slot], &shared.counters);
+            state.version += 1;
             state.partials = study.partials().cloned();
-            state.index = study.index().cloned();
+            state.index = frozen_index;
             state.partitions = slot_partitions.clone();
         }
         shared.progress.segments.fetch_add(1, Ordering::SeqCst);
@@ -866,11 +937,37 @@ fn shard_worker(
     let _ = merge_tx.send(MergeEvent::WorkerExited);
 }
 
+/// The merger's cross-publish accumulation: the binary merge tree over
+/// the slot partials (internal nodes cached, so a publish re-merges
+/// only the changed slot's root path), the per-slot index `Arc`s and
+/// the bookkeeping that detects which slots changed.
+struct MergerState {
+    tree: SlotMergeTree,
+    /// [`SlotState::version`] behind each leaf — a mismatch marks the
+    /// slot dirty.
+    leaf_versions: [u64; INGEST_SLOTS],
+    /// Epoch at which each slot last changed (shipped in the snapshot
+    /// for slot-aware cache invalidation).
+    slot_epochs: [u64; INGEST_SLOTS],
+    slot_indexes: Vec<Arc<SampleIndex>>,
+}
+
+impl MergerState {
+    fn new() -> Self {
+        Self {
+            tree: SlotMergeTree::new(INGEST_SLOTS),
+            leaf_versions: [0; INGEST_SLOTS],
+            slot_epochs: [0; INGEST_SLOTS],
+            slot_indexes: empty_slot_indexes(),
+        }
+    }
+}
+
 /// The merger thread: on every fold notification (coalescing bursts),
-/// merge the slot partials in slot order, finish the study, and publish
-/// the next epoch. After the whole fleet exits — every sealed segment
-/// folded — publish the final snapshot, marking `ingest_done` when the
-/// feed was fully consumed.
+/// refresh the merge tree's dirty leaves, finish the cached root, and
+/// publish the next epoch. After the whole fleet exits — every sealed
+/// segment folded — publish the final snapshot, marking `ingest_done`
+/// when the feed was fully consumed.
 fn merger_loop(
     rx: &Receiver<MergeEvent>,
     shared: &Shared,
@@ -878,7 +975,7 @@ fn merger_loop(
     sim: &VirusTotalSim,
     config: &ServeConfig,
 ) {
-    let fleet = sim.fleet();
+    let mut state = MergerState::new();
     let mut epoch = 0u64;
     let mut exited = 0usize;
     while exited < config.shards {
@@ -892,20 +989,26 @@ fn merger_loop(
         }
         if folded && exited < config.shards {
             epoch += 1;
-            publish_merged(epoch, false, shared, table, sim, config);
+            publish_merged(epoch, false, shared, table, sim, config, &mut state);
         }
     }
     // Final publish: every sealed segment has been folded and merged.
     epoch += 1;
     let done = shared.progress.feed_done.load(Ordering::SeqCst);
-    publish_merged(epoch, done, shared, table, sim, config);
-    let _ = fleet;
+    publish_merged(epoch, done, shared, table, sim, config, &mut state);
 }
 
-/// Merges the slot partials (and slot indexes) in canonical slot order
-/// and publishes the rendered snapshot. A poisoned slot lock marks the
-/// snapshot degraded — its last consistent accumulation still merges,
-/// the daemon keeps answering.
+/// Publishes one epoch from the merge tree: pull the slots whose
+/// version moved since the last publish into their leaves (an
+/// O(changed-slot) walk — each dirty slot re-merges only its log₂(8)
+/// root path, and clean slots are not even cloned), finish the cached
+/// root, and swap in the rendered snapshot. The tree's fixed shape
+/// keeps the merge order the canonical `slot 0 ++ slot 1 ++ …`, so the
+/// published bits are identical to the old flat slot-order merge — at
+/// any shard count. A poisoned slot lock marks the snapshot degraded —
+/// its last consistent accumulation still merges, the daemon keeps
+/// answering.
+#[allow(clippy::too_many_arguments)]
 fn publish_merged(
     epoch: u64,
     done: bool,
@@ -913,32 +1016,31 @@ fn publish_merged(
     table: &SlotTable,
     sim: &VirusTotalSim,
     config: &ServeConfig,
+    state: &mut MergerState,
 ) {
-    let mut acc: Option<StudyPartials> = None;
-    let mut index_acc: Option<SampleIndex> = None;
-    let mut partitions: Vec<PartitionStats> = Vec::new();
     let mut degraded = false;
-    for slot in &table.slots {
-        let (state, was_poisoned) = lock_slot(slot, &shared.counters);
+    for (slot, lock) in table.slots.iter().enumerate() {
+        let (slot_state, was_poisoned) = lock_slot(lock, &shared.counters);
         degraded |= was_poisoned;
-        if let Some(partials) = &state.partials {
-            acc = Some(match acc {
-                None => partials.clone(),
-                Some(earlier) => earlier.merge(partials.clone()),
-            });
+        if slot_state.version == state.leaf_versions[slot] {
+            continue;
         }
-        if let Some(index) = &state.index {
-            index_acc = Some(match index_acc {
-                None => index.clone(),
-                Some(earlier) => earlier.merge(index.clone()),
-            });
-        }
-        merge_partitions(&mut partitions, &state.partitions);
+        state.leaf_versions[slot] = slot_state.version;
+        state.slot_epochs[slot] = epoch;
+        let partials = slot_state.partials.clone();
+        let partitions = slot_state.partitions.clone();
+        state.slot_indexes[slot] = slot_state
+            .index
+            .clone()
+            .unwrap_or_else(|| Arc::new(SampleIndex::default()));
+        drop(slot_state);
+        // Re-merge outside the slot lock: only this slot's root path.
+        state.tree.update_slot(slot, partials, partitions);
     }
-    let results = match acc {
-        Some(partials) => partials.finish(partitions, &shared.obs),
+    let results = match state.tree.root() {
+        Some(partials) => partials.finish(state.tree.root_partitions().to_vec(), &shared.obs),
         None => IncrementalStudy::new(sim.fleet(), sim.config().window_start())
-            .results(partitions, &shared.obs),
+            .results(state.tree.root_partitions().to_vec(), &shared.obs),
     };
     let view = StatusView::collect(shared, done, config.shards, degraded);
     shared.publish(render_snapshot(
@@ -947,22 +1049,24 @@ fn publish_merged(
         sim.fleet(),
         &view,
         &shared.obs.snapshot(),
-        Arc::new(index_acc.unwrap_or_default()),
+        state.slot_indexes.clone(),
+        state.slot_epochs,
     ));
 }
 
-/// Month-wise accumulation of per-segment Table 2 accounting.
+/// Month-wise accumulation of per-segment Table 2 accounting
+/// (delegates to the core algebra the merge tree accumulates with, so
+/// the shard workers' slot-local totals and the tree's cached internal
+/// nodes agree on ordering).
 fn merge_partitions(acc: &mut Vec<PartitionStats>, seg: &[PartitionStats]) {
-    for stat in seg {
-        match acc.iter_mut().find(|a| a.month == stat.month) {
-            Some(a) => {
-                a.reports += stat.reports;
-                a.raw_bytes += stat.raw_bytes;
-                a.stored_bytes += stat.stored_bytes;
-            }
-            None => acc.push(*stat),
-        }
-    }
+    crate::dynamics::merge_partition_stats(acc, seg);
+}
+
+/// One default (empty) index per ingest slot.
+fn empty_slot_indexes() -> Vec<Arc<SampleIndex>> {
+    (0..INGEST_SLOTS)
+        .map(|_| Arc::new(SampleIndex::default()))
+        .collect()
 }
 
 /// The epoch-0 snapshot: the finished empty study, so every query has a
@@ -977,7 +1081,8 @@ fn empty_snapshot(config: &ServeConfig, fleet: &EngineFleet) -> Snapshot {
         fleet,
         &StatusView::empty(config.shards),
         &Obs::noop().snapshot(),
-        Arc::new(SampleIndex::default()),
+        empty_slot_indexes(),
+        [0; INGEST_SLOTS],
     )
 }
 
@@ -1197,9 +1302,14 @@ fn respond(line: &str, shared: &Shared, config: &ServeConfig) -> (String, bool) 
                 Err(msg) => return err(&msg),
             };
             let key = format!("sample:{}", hash.to_hex());
-            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
-                render_sample(&snap, hash)
-            });
+            let response = cached_response(
+                shared,
+                config.cache_samples,
+                &snap,
+                &key,
+                Some(slot_of(hash)),
+                || render_sample(&snap, hash),
+            );
             (response, false)
         }
         Some("stabilized") => {
@@ -1216,9 +1326,14 @@ fn respond(line: &str, shared: &Shared, config: &ServeConfig) -> (String, bool) 
                 ));
             }
             let key = format!("stabilized:{}:{threshold}", hash.to_hex());
-            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
-                render_stabilized(&snap, hash, threshold as u32)
-            });
+            let response = cached_response(
+                shared,
+                config.cache_samples,
+                &snap,
+                &key,
+                Some(slot_of(hash)),
+                || render_stabilized(&snap, hash, threshold as u32),
+            );
             (response, false)
         }
         Some("engine") => {
@@ -1231,8 +1346,10 @@ fn respond(line: &str, shared: &Shared, config: &ServeConfig) -> (String, bool) 
             let Some(engine) = snap.engine_names.iter().position(|n| n == name) else {
                 return err(&format!("unknown engine '{name}'"));
             };
+            // Whole-study answer (`slot: None`): every epoch swap
+            // invalidates it, since the flip matrix re-finishes.
             let key = format!("engine:{engine}");
-            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
+            let response = cached_response(shared, config.cache_samples, &snap, &key, None, || {
                 render_engine(&snap, engine)
             });
             (response, false)
@@ -1245,8 +1362,10 @@ fn respond(line: &str, shared: &Shared, config: &ServeConfig) -> (String, bool) 
                     None => return err("member 'k' must be a non-negative integer"),
                 },
             };
+            // Ranks across every slot, so any slot change invalidates
+            // it — cached under the whole-study rule (`slot: None`).
             let key = format!("flip_leaders:{k}");
-            let response = cached_response(shared, config.cache_samples, &snap, &key, || {
+            let response = cached_response(shared, config.cache_samples, &snap, &key, None, || {
                 render_flip_leaders(&snap, k)
             });
             (response, false)
@@ -1278,14 +1397,34 @@ fn parse_hash_member(parsed: &crate::obs::json::Value) -> Result<SampleHash, Str
         .map_err(|_| format!("bad hash '{hex}': expected 1-32 hex digits"))
 }
 
+/// Splits a lazily rendered response after its `{"epoch":<digits>`
+/// prefix, returning the epoch-independent tail. Every per-hash verb
+/// renders that prefix first; `None` (uncacheable) otherwise.
+fn epoch_tail(response: &str) -> Option<&str> {
+    let rest = response.strip_prefix("{\"epoch\":")?;
+    let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+    if digits == 0 {
+        return None;
+    }
+    Some(&rest[digits..])
+}
+
+/// Reassembles a cached tail under the serving snapshot's epoch.
+fn splice_epoch(epoch: u64, tail: &str) -> String {
+    format!("{{\"epoch\":{epoch}{tail}")
+}
+
 /// Serves one lazily rendered response through the hot-sample cache
-/// (see [`ResponseCache`] for the epoch-safety argument). `capacity`
-/// of 0 disables caching entirely.
+/// (see [`ResponseCache`] for the epoch-safety argument). `slot` is the
+/// ingest slot the answer is rendered from (`None` for whole-study
+/// answers); it decides which epoch swaps invalidate the entry.
+/// `capacity` of 0 disables caching entirely.
 fn cached_response(
     shared: &Shared,
     capacity: usize,
     snap: &Snapshot,
     key: &str,
+    slot: Option<usize>,
     render: impl FnOnce() -> String,
 ) -> String {
     if capacity == 0 {
@@ -1295,10 +1434,11 @@ fn cached_response(
         let mut cache = lock_cache(shared);
         if cache.epoch != snap.epoch {
             if snap.epoch > cache.epoch {
-                // First request against a newer snapshot: invalidate.
+                // First request against a newer snapshot: sweep out the
+                // entries whose slot republished (or whole-study
+                // entries); untouched slots' answers stay hot.
                 cache.epoch = snap.epoch;
-                cache.clock = 0;
-                cache.map.clear();
+                cache.map.retain(|_, entry| entry.valid_for(snap));
             } else {
                 // This request pinned a snapshot from before the swap
                 // the cache has already seen: serve it uncached rather
@@ -1311,22 +1451,28 @@ fn cached_response(
         cache.clock += 1;
         let stamp = cache.clock;
         if let Some(entry) = cache.map.get_mut(key) {
-            entry.1 = stamp;
+            entry.last_used = stamp;
             shared.counters.cache_hits.incr();
-            return entry.0.clone();
+            // The entry may have been rendered epochs ago (its slot
+            // unchanged since); splicing the live epoch reproduces the
+            // fresh rendering byte for byte.
+            return splice_epoch(snap.epoch, &entry.tail);
         }
     }
     // Render outside the lock — a fold-sized index walk must not block
     // every other per-hash reader.
     shared.counters.cache_misses.incr();
     let rendered = render();
+    let Some(tail) = epoch_tail(&rendered) else {
+        return rendered;
+    };
     let mut cache = lock_cache(shared);
     if cache.epoch == snap.epoch {
         if cache.map.len() >= capacity && !cache.map.contains_key(key) {
             let victim = cache
                 .map
                 .iter()
-                .min_by_key(|(_, (_, last))| *last)
+                .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(k, _)| k.clone());
             if let Some(victim) = victim {
                 cache.map.remove(&victim);
@@ -1334,7 +1480,19 @@ fn cached_response(
         }
         cache.clock += 1;
         let stamp = cache.clock;
-        cache.map.insert(key.to_string(), (rendered.clone(), stamp));
+        cache.map.insert(
+            key.to_string(),
+            CacheEntry {
+                tail: tail.to_string(),
+                slot,
+                stamp: match slot {
+                    Some(slot) => snap.slot_epochs[slot],
+                    None => snap.epoch,
+                },
+                degraded: snap.degraded,
+                last_used: stamp,
+            },
+        );
     }
     rendered
 }
@@ -1368,7 +1526,7 @@ fn degraded_suffix(snap: &Snapshot) -> &'static str {
 fn render_sample(snap: &Snapshot, hash: SampleHash) -> String {
     let epoch = snap.epoch;
     let suffix = degraded_suffix(snap);
-    match snap.index.get(hash) {
+    match snap.slot_index(hash).get(hash) {
         None => format!(
             "{{\"epoch\":{epoch},\"hash\":\"{}\",\"found\":false{suffix}}}",
             hash.to_hex()
@@ -1415,7 +1573,7 @@ fn render_sample(snap: &Snapshot, hash: SampleHash) -> String {
 fn render_stabilized(snap: &Snapshot, hash: SampleHash, t: u32) -> String {
     let epoch = snap.epoch;
     let suffix = degraded_suffix(snap);
-    match snap.index.get(hash) {
+    match snap.slot_index(hash).get(hash) {
         None => format!(
             "{{\"epoch\":{epoch},\"hash\":\"{}\",\"threshold\":{t},\"found\":false{suffix}}}",
             hash.to_hex()
@@ -1468,13 +1626,20 @@ fn render_engine(snap: &Snapshot, engine: usize) -> String {
 
 /// The `flip_leaders` verb: the top-`k` samples by engine-label flip
 /// count (ties by hash — a total order, identical at every shard and
-/// worker count).
+/// worker count). Ranked by merging each slot's own top-`k` under that
+/// total order — the global top `k` is contained in the union, so the
+/// answer is bit-identical to ranking one merged index.
 fn render_flip_leaders(snap: &Snapshot, k: usize) -> String {
     let epoch = snap.epoch;
     let suffix = degraded_suffix(snap);
-    let leaders: Vec<String> = snap
-        .index
-        .top_flips(k)
+    let mut ranked: Vec<_> = snap
+        .slot_indexes
+        .iter()
+        .flat_map(|index| index.top_flips(k))
+        .collect();
+    ranked.sort_unstable_by(|a, b| b.flips.cmp(&a.flips).then_with(|| a.hash.cmp(&b.hash)));
+    ranked.truncate(k);
+    let leaders: Vec<String> = ranked
         .iter()
         .map(|s| {
             format!(
@@ -1633,8 +1798,10 @@ fn render_snapshot(
     fleet: &EngineFleet,
     view: &StatusView,
     metrics: &crate::obs::RunMetrics,
-    index: Arc<SampleIndex>,
+    slot_indexes: Vec<Arc<SampleIndex>>,
+    slot_epochs: [u64; INGEST_SLOTS],
 ) -> Snapshot {
+    let indexed: usize = slot_indexes.iter().map(|i| i.len()).sum();
     let status = format!(
         "{{\"epoch\":{epoch},\"segments\":{},\"samples\":{},\"reports\":{},\
          \"accepted\":{},\"quarantined\":{},\"s_samples\":{},\"ingest_done\":{},\
@@ -1653,7 +1820,7 @@ fn render_snapshot(
         view.quarantined_segments,
         view.rejected,
         view.evicted,
-        index.len(),
+        indexed,
         view.degraded,
         view.poisoned,
         view.cache_hits,
@@ -1744,7 +1911,8 @@ fn render_snapshot(
         engines: engines_json,
         metrics: metrics_json,
         fingerprint,
-        index,
+        slot_indexes,
+        slot_epochs,
         flips: Arc::new(results.flips.clone()),
         engine_names: Arc::new(engine_names),
         degraded: view.degraded,
@@ -1829,6 +1997,13 @@ mod tests {
     }
 
     fn bare_snapshot(epoch: u64) -> Snapshot {
+        // Every slot stamped with the snapshot's own epoch — the
+        // "everything changed" worst case the old wholesale-clearing
+        // cache behaved like.
+        bare_snapshot_with_slots(epoch, [epoch; INGEST_SLOTS])
+    }
+
+    fn bare_snapshot_with_slots(epoch: u64, slot_epochs: [u64; INGEST_SLOTS]) -> Snapshot {
         Snapshot {
             epoch,
             status: String::new(),
@@ -1836,11 +2011,17 @@ mod tests {
             engines: String::new(),
             metrics: String::new(),
             fingerprint: String::new(),
-            index: Arc::new(SampleIndex::default()),
+            slot_indexes: empty_slot_indexes(),
+            slot_epochs,
             flips: Arc::new(FlipAnalysis::empty(0)),
             engine_names: Arc::new(Vec::new()),
             degraded: false,
         }
+    }
+
+    /// A cacheable body as the lazy renderers produce one.
+    fn body(epoch: u64, tag: &str) -> String {
+        format!("{{\"epoch\":{epoch},\"tag\":\"{tag}\"}}")
     }
 
     #[test]
@@ -1877,41 +2058,92 @@ mod tests {
     fn cache_serves_hits_within_an_epoch_and_clears_on_swap() {
         let shared = Shared::new();
         let snap1 = bare_snapshot(1);
-        let a = cached_response(&shared, 8, &snap1, "k", || "one".to_string());
-        let b = cached_response(&shared, 8, &snap1, "k", || "two".to_string());
-        assert_eq!((a.as_str(), b.as_str()), ("one", "one"), "second is a hit");
+        let a = cached_response(&shared, 8, &snap1, "k", Some(0), || body(1, "one"));
+        let b = cached_response(&shared, 8, &snap1, "k", Some(0), || body(1, "two"));
+        assert_eq!(a, body(1, "one"));
+        assert_eq!(b, body(1, "one"), "second is a hit");
         assert_eq!(shared.counters.cache_hits.value(), 1);
         assert_eq!(shared.counters.cache_misses.value(), 1);
-        // Epoch swap: the same key renders fresh.
+        // Epoch swap that republished slot 0: the same key renders
+        // fresh.
         let snap2 = bare_snapshot(2);
-        let c = cached_response(&shared, 8, &snap2, "k", || "three".to_string());
-        assert_eq!(c, "three", "epoch swap invalidates");
+        let c = cached_response(&shared, 8, &snap2, "k", Some(0), || body(2, "three"));
+        assert_eq!(c, body(2, "three"), "epoch swap invalidates");
         // A reader still pinning epoch 1 bypasses the cache entirely —
         // it neither serves nor stores stale entries.
-        let d = cached_response(&shared, 8, &snap1, "k", || "stale".to_string());
-        assert_eq!(d, "stale");
-        let e = cached_response(&shared, 8, &snap2, "k", || "four".to_string());
-        assert_eq!(e, "three", "epoch-2 entry survived the stale reader");
+        let d = cached_response(&shared, 8, &snap1, "k", Some(0), || body(1, "stale"));
+        assert_eq!(d, body(1, "stale"));
+        let e = cached_response(&shared, 8, &snap2, "k", Some(0), || body(2, "four"));
+        assert_eq!(
+            e,
+            body(2, "three"),
+            "epoch-2 entry survived the stale reader"
+        );
+    }
+
+    #[test]
+    fn cache_keeps_unchanged_slots_across_epoch_swaps() {
+        let shared = Shared::new();
+        // Epoch 3: slot 0 last changed at epoch 1, slot 1 at epoch 3.
+        let mut slot_epochs = [0; INGEST_SLOTS];
+        slot_epochs[0] = 1;
+        slot_epochs[1] = 3;
+        let snap3 = bare_snapshot_with_slots(3, slot_epochs);
+        let a = cached_response(&shared, 8, &snap3, "a", Some(0), || body(3, "slot0"));
+        let b = cached_response(&shared, 8, &snap3, "b", Some(1), || body(3, "slot1"));
+        let c = cached_response(&shared, 8, &snap3, "c", None, || body(3, "study"));
+        assert_eq!(
+            (a, b, c),
+            (body(3, "slot0"), body(3, "slot1"), body(3, "study"))
+        );
+        // Epoch 4 republishes only slot 1.
+        slot_epochs[1] = 4;
+        let snap4 = bare_snapshot_with_slots(4, slot_epochs);
+        let a2 = cached_response(&shared, 8, &snap4, "a", Some(0), || body(4, "MISS"));
+        assert_eq!(
+            a2,
+            body(4, "slot0"),
+            "unchanged slot's entry survives the swap, re-stamped to the live epoch"
+        );
+        assert_eq!(shared.counters.cache_hits.value(), 1);
+        let b2 = cached_response(&shared, 8, &snap4, "b", Some(1), || body(4, "fresh1"));
+        assert_eq!(b2, body(4, "fresh1"), "dirty slot's entry was dropped");
+        let c2 = cached_response(&shared, 8, &snap4, "c", None, || body(4, "fresh2"));
+        assert_eq!(
+            c2,
+            body(4, "fresh2"),
+            "whole-study entries drop every epoch"
+        );
+    }
+
+    #[test]
+    fn cache_never_serves_entries_across_a_degraded_transition() {
+        let shared = Shared::new();
+        let snap1 = bare_snapshot_with_slots(1, [1; INGEST_SLOTS]);
+        cached_response(&shared, 8, &snap1, "k", Some(2), || body(1, "clean"));
+        // Epoch 2 degrades without touching slot 2: the baked-in
+        // (absent) degraded suffix no longer matches, so no hit.
+        let mut snap2 = bare_snapshot_with_slots(2, [1; INGEST_SLOTS]);
+        snap2.degraded = true;
+        let got = cached_response(&shared, 8, &snap2, "k", Some(2), || body(2, "flagged"));
+        assert_eq!(got, body(2, "flagged"));
+        assert_eq!(shared.counters.cache_hits.value(), 0);
     }
 
     #[test]
     fn cache_evicts_least_recently_used_at_capacity() {
         let shared = Shared::new();
         let snap = bare_snapshot(1);
-        cached_response(&shared, 2, &snap, "a", || "A".to_string());
-        cached_response(&shared, 2, &snap, "b", || "B".to_string());
-        cached_response(&shared, 2, &snap, "a", || "A2".to_string()); // touch a
-        cached_response(&shared, 2, &snap, "c", || "C".to_string()); // evicts b
-        assert_eq!(
-            cached_response(&shared, 2, &snap, "a", || "A3".to_string()),
-            "A",
-            "a stayed cached"
-        );
-        assert_eq!(
-            cached_response(&shared, 2, &snap, "b", || "B2".to_string()),
-            "B2",
-            "b was the LRU victim"
-        );
+        let hit = |key: &str, tag: &str| {
+            let want = body(1, tag);
+            cached_response(&shared, 2, &snap, key, Some(0), || want.clone())
+        };
+        hit("a", "A");
+        hit("b", "B");
+        hit("a", "A2"); // touch a
+        hit("c", "C"); // evicts b
+        assert_eq!(hit("a", "A3"), body(1, "A"), "a stayed cached");
+        assert_eq!(hit("b", "B2"), body(1, "B2"), "b was the LRU victim");
     }
 
     #[test]
@@ -1919,15 +2151,24 @@ mod tests {
         let shared = Shared::new();
         let snap = bare_snapshot(1);
         assert_eq!(
-            cached_response(&shared, 0, &snap, "k", || "x".to_string()),
-            "x"
+            cached_response(&shared, 0, &snap, "k", Some(0), || body(1, "x")),
+            body(1, "x")
         );
         assert_eq!(
-            cached_response(&shared, 0, &snap, "k", || "y".to_string()),
-            "y",
+            cached_response(&shared, 0, &snap, "k", Some(0), || body(1, "y")),
+            body(1, "y"),
             "nothing is retained"
         );
         assert_eq!(shared.counters.cache_hits.value(), 0);
+    }
+
+    #[test]
+    fn epoch_tail_splits_only_wellformed_prefixes() {
+        assert_eq!(epoch_tail("{\"epoch\":17,\"x\":1}"), Some(",\"x\":1}"));
+        assert_eq!(epoch_tail("{\"epoch\":0}"), Some("}"));
+        assert_eq!(epoch_tail("{\"epoch\":}"), None);
+        assert_eq!(epoch_tail("{\"other\":1}"), None);
+        assert_eq!(splice_epoch(42, ",\"x\":1}"), "{\"epoch\":42,\"x\":1}");
     }
 
     #[test]
@@ -1947,6 +2188,59 @@ mod tests {
                 .and_then(|v| v.as_array())
                 .map(<[_]>::len),
             Some(0)
+        );
+    }
+
+    /// The published fingerprint is a function of the finished study
+    /// only — merging the slot partials through the cached
+    /// [`SlotMergeTree`] must produce the same bits as the flat
+    /// left-to-right slot merge the daemon used to do, at every fold
+    /// worker count.
+    #[test]
+    fn tree_merged_fingerprint_matches_flat_slot_merge() {
+        let samples = 600u64;
+        let sim = VirusTotalSim::new(SimConfig::new(0xF1A7, samples));
+        let feed = FaultyFeed::from_sim(&sim, 0..samples, FaultPlan::clean(0xF1A7));
+        let outcome = Collector::default().run(feed);
+        let records = crate::dynamics::records_from_store(&outcome.store);
+        let ws = sim.config().window_start();
+        let mut slot_records: Vec<Vec<_>> = vec![Vec::new(); INGEST_SLOTS];
+        for r in &records {
+            slot_records[slot_of(r.meta.hash)].push(r.clone());
+        }
+        let mut fingerprints = Vec::new();
+        for fold_workers in [1usize, 2] {
+            let mut studies: Vec<IncrementalStudy<'_>> = (0..INGEST_SLOTS)
+                .map(|_| IncrementalStudy::new(sim.fleet(), ws).with_workers(fold_workers))
+                .collect();
+            let mut tree = SlotMergeTree::new(INGEST_SLOTS);
+            for (slot, recs) in slot_records.iter().enumerate() {
+                for seg in recs.chunks(recs.len().div_ceil(2).max(1)) {
+                    studies[slot].fold_segment(seg, Obs::noop());
+                }
+                tree.update_slot(slot, studies[slot].partials().cloned(), Vec::new());
+            }
+            let flat = studies
+                .iter()
+                .filter_map(|st| st.partials().cloned())
+                .reduce(StudyPartials::merge)
+                .expect("the fixture folds at least one slot");
+            let tree_results = tree
+                .root()
+                .expect("tree accumulated")
+                .finish(Vec::new(), Obs::noop());
+            let flat_results = flat.finish(Vec::new(), Obs::noop());
+            let fp = study_fingerprint(&tree_results);
+            assert_eq!(
+                fp,
+                study_fingerprint(&flat_results),
+                "tree merge must publish the flat merge's bits (fold_workers={fold_workers})"
+            );
+            fingerprints.push(fp);
+        }
+        assert_eq!(
+            fingerprints[0], fingerprints[1],
+            "fold parallelism must never show in the fingerprint"
         );
     }
 

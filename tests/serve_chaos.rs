@@ -242,13 +242,22 @@ fn kill_recover_bit_identical_shards4_workers8() {
 
 #[test]
 fn fingerprint_bit_identical_across_shard_and_worker_counts() {
-    for (shards, workers) in [(2, 2), (4, 8)] {
-        let (fingerprint, _) = run_to_completion(chaos_config(shards, workers));
-        assert_eq!(
-            &fingerprint,
-            reference_fingerprint(),
-            "shards={shards}, workers={workers} must publish the same bits as shards=1"
-        );
+    // The full shards 1/2/4 × workers 1/2/8 grid against the (1, 1)
+    // reference: the merger's cached slot merge tree re-merges only
+    // dirty root paths, and must still publish exactly the canonical
+    // slot-order bits at every combination.
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 2, 8] {
+            if (shards, workers) == (1, 1) {
+                continue; // the reference itself
+            }
+            let (fingerprint, _) = run_to_completion(chaos_config(shards, workers));
+            assert_eq!(
+                &fingerprint,
+                reference_fingerprint(),
+                "shards={shards}, workers={workers} must publish the same bits as shards=1"
+            );
+        }
     }
 }
 

@@ -15,6 +15,10 @@
 //!   admission gate: how many were served vs shed with a typed
 //!   `overloaded` response (shed responses are also timed — shedding
 //!   must be cheap).
+//! * **Alert-detector overhead** — ingest wall-clock with the
+//!   streaming drift detectors on vs off at shards 2: the detectors
+//!   ride every segment fold, and the acceptance bar is staying within
+//!   5% of the detectors-off rate.
 //! * **Zipf per-hash reads under live ingest** — 8 reader clients issue
 //!   `sample` queries with Zipf(1.0)-skewed hash popularity *while* the
 //!   daemon ingests and swaps epochs underneath: p50/p99 read latency
@@ -287,6 +291,17 @@ fn main() {
     eprintln!("  ingest shards=2 durable: {durable_elapsed:?} ({durable_rate:.0} samples/s)");
     let _ = std::fs::remove_dir_all(&wal);
 
+    // ---- alert-detector overhead ------------------------------------
+    let mut detectors_off = base_config(2);
+    detectors_off.alerts = false;
+    let (off_elapsed, off_rate) = ingest_run(detectors_off);
+    let (on_elapsed, on_rate) = ingest_run(base_config(2));
+    let alert_overhead = on_elapsed.as_secs_f64() / off_elapsed.as_secs_f64();
+    eprintln!(
+        "  ingest shards=2 detectors off: {off_elapsed:?} ({off_rate:.0} samples/s), \
+         on: {on_elapsed:?} ({on_rate:.0} samples/s) — overhead ×{alert_overhead:.3}"
+    );
+
     // ---- clients vs latency against a live daemon -------------------
     let server = Server::start(base_config(2)).expect("start latency server");
     let addr = server.addr();
@@ -387,6 +402,7 @@ fn main() {
          \x20 \"dataset\": {{ \"samples\": {SAMPLES}, \"seed\": \"{SEED:#x}\", \"segment_reports\": {SEGMENT_REPORTS}, \"fold_workers\": 2 }},\n\
          \x20 \"ingest_throughput_by_shards\": {{\n{}\n  }},\n\
          \x20 \"durable_ingest_shards_2\": {{ \"ingest_ms\": {}, \"samples_per_s\": {:.0}, \"note\": \"segment log on, fsync file+dir per seal\" }},\n\
+         \x20 \"alert_overhead\": {{ \"detectors_off_ms\": {}, \"detectors_on_ms\": {}, \"overhead_ratio\": {alert_overhead:.4}, \"note\": \"streaming drift detectors folded into every segment seal; acceptance bar is a ratio within 1.05 — the detector fold itself is gated in bench_drift\" }},\n\
          \x20 \"latency_by_clients\": {{\n{}\n  }},\n\
          \x20 \"overload\": {{ \"clients\": 32, \"max_clients\": 8, \"served\": {served}, \"shed\": {shed}, \"shed_p99_us\": {shed_p99} }},\n\
          \x20 \"zipf_read\": {{ \"skew\": 1.0, \"clients\": 8, \"cache_samples\": 1024, \"requests\": {read_reqs}, \"found\": {read_found}, \"p50_us\": {read_p50}, \"p99_us\": {read_p99}, \"cache_hits\": {cache_hits}, \"cache_misses\": {cache_misses}, \"hit_rate\": {hit_rate:.4}, \"note\": \"per-hash `sample` queries during live ingest; slot-aware invalidation: an epoch swap only evicts the changed ingest slot's cache entries and splices the new epoch into surviving hits, so the hit rate prices the cache under churn\" }}\n\
@@ -394,6 +410,8 @@ fn main() {
         throughput_json.join(",\n"),
         durable_elapsed.as_millis(),
         durable_rate,
+        off_elapsed.as_millis(),
+        on_elapsed.as_millis(),
         latency_json.join(",\n"),
     );
     std::fs::write("BENCH_serve.json", &doc).expect("write BENCH_serve.json");

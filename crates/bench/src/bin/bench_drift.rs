@@ -14,6 +14,18 @@
 //!   a reintroduced partial clone, an O(rows) plane walk, a per-publish
 //!   index merge).
 //!
+//! A third arm is self-relative rather than baseline-gated:
+//! `alert_overhead` folds the 60k fixture with and without the
+//! streaming drift detectors ([`vt_dynamics::AlertConfig`]) in the same
+//! process and fails if detectors-on exceeds detectors-off by more than
+//! `ALERT_OVERHEAD_TOLERANCE` (default `0.25`, the same smoke posture
+//! as the baseline arms). This measures the detectors' cost on the
+//! *bare fold* — four extra table passes against a fold whose own ten
+//! stages are fused — so it is a regression canary, not the acceptance
+//! bar: the ≤5% detectors-on ingest-throughput criterion is measured
+//! where ingest actually runs, in `benches/serve_load.rs`
+//! (`alert_overhead.overhead_ratio` in `BENCH_serve.json`).
+//!
 //! A few timed iterations, minimum taken — this is a smoke test against
 //! order-of-magnitude regressions, not a replacement for the full
 //! criterion run.
@@ -29,7 +41,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use vt_bench::{correlation_study, study};
-use vt_dynamics::{DecodeArena, IncrementalStudy, SlotMergeTree, TrajectoryTable};
+use vt_dynamics::{AlertConfig, DecodeArena, IncrementalStudy, SlotMergeTree, TrajectoryTable};
 use vt_obs::{json, Obs};
 
 const DEFAULT_BASELINE: &str = "BENCH_pipeline.json";
@@ -136,6 +148,48 @@ fn publish_ok(baseline: u64, tolerance: f64) -> bool {
     })
 }
 
+/// Self-relative gate: the streaming drift detectors must cost no more
+/// than `tolerance` extra on the segment-fold path. Both sides run in
+/// this process on the same fixture, so no stored baseline (and no
+/// machine drift) is involved.
+fn alert_overhead_ok(tolerance: f64) -> bool {
+    const SEGMENT_SAMPLES: usize = 5_000;
+    eprintln!("bench_drift: folding the 60k-sample fixture with and without detectors...");
+    let st = study();
+    let ws = st.sim().config().window_start();
+    let time_fold = |alerts: bool| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..ITERATIONS {
+            let t = Instant::now();
+            let mut inc = IncrementalStudy::new(st.sim().fleet(), ws).with_workers(4);
+            if alerts {
+                inc = inc.with_alerts(AlertConfig::default());
+            }
+            for seg in st.records().chunks(SEGMENT_SAMPLES) {
+                inc.fold_segment(seg, Obs::noop());
+            }
+            std::hint::black_box(inc.take_alerts());
+            best = best.min(t.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+    let off = time_fold(false);
+    let on = time_fold(true);
+    let ratio = on as f64 / off as f64;
+    eprintln!(
+        "bench_drift: alert_overhead best-of-{ITERATIONS}: off {:.1}ms, on {:.1}ms \
+         (×{ratio:.3}, tolerance ×{:.3})",
+        off as f64 / 1e6,
+        on as f64 / 1e6,
+        1.0 + tolerance,
+    );
+    if ratio > 1.0 + tolerance {
+        eprintln!("bench_drift: FAIL — drift detectors exceed the fold-overhead budget");
+        return false;
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let path = std::env::args()
         .nth(1)
@@ -160,8 +214,14 @@ fn main() -> ExitCode {
         }
     };
 
+    let alert_tolerance: f64 = std::env::var("ALERT_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0.25);
+
     let mut ok = table_build_ok(table_baseline, tolerance);
     ok &= publish_ok(publish_baseline, tolerance);
+    ok &= alert_overhead_ok(alert_tolerance);
     if !ok {
         return ExitCode::FAILURE;
     }

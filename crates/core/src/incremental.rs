@@ -41,6 +41,7 @@
 //! );
 //! ```
 
+use crate::alerts::{Alert, AlertConfig, AlertEngine, AlertTotals};
 use crate::analysis::{Analysis, AnalysisCtx};
 use crate::categorize::{Categorize, CategorizePartial};
 use crate::causes::{CauseAnalysis, Causes};
@@ -174,6 +175,13 @@ impl StudyPartials {
         self.s_reports
     }
 
+    /// The §6 stabilization accumulator — read by the streaming drift
+    /// detectors ([`crate::alerts`]) to compare a segment delta against
+    /// the running baseline.
+    pub(crate) fn stabilization_partial(&self) -> &StabilizationPartial {
+        &self.stabilization
+    }
+
     /// Finishes every stage into a [`StudyResults`]. `partitions`
     /// supplies the Table 2 store accounting, which lives outside the
     /// analysis fold. Borrows the accumulation — finishing is a
@@ -225,6 +233,7 @@ pub struct IncrementalStudy<'a> {
     partials: Option<StudyPartials>,
     indexing: bool,
     index: Option<SampleIndex>,
+    alerts: Option<AlertEngine>,
 }
 
 impl<'a> IncrementalStudy<'a> {
@@ -238,6 +247,7 @@ impl<'a> IncrementalStudy<'a> {
             partials: None,
             indexing: false,
             index: None,
+            alerts: None,
         }
     }
 
@@ -258,6 +268,17 @@ impl<'a> IncrementalStudy<'a> {
         self
     }
 
+    /// Additionally runs the streaming drift detectors
+    /// ([`crate::alerts`]) over every folded segment. Like the index,
+    /// the alert state lives **outside** [`StudyPartials`]: alerts are
+    /// a notification surface, not a study result, so the study
+    /// fingerprint and the incremental-vs-batch bit-identity gates are
+    /// untouched.
+    pub fn with_alerts(mut self, config: AlertConfig) -> Self {
+        self.alerts = Some(AlertEngine::new(config));
+        self
+    }
+
     /// Segments folded so far.
     pub fn segments(&self) -> u64 {
         self.partials.as_ref().map_or(0, StudyPartials::segments)
@@ -273,6 +294,24 @@ impl<'a> IncrementalStudy<'a> {
     /// otherwise.
     pub fn index(&self) -> Option<&SampleIndex> {
         self.index.as_ref()
+    }
+
+    /// Drains drift alerts fired since the last drain (empty unless
+    /// built [`with_alerts`](Self::with_alerts)), in key order.
+    pub fn take_alerts(&mut self) -> Vec<Alert> {
+        self.alerts
+            .as_mut()
+            .map(AlertEngine::take_pending)
+            .unwrap_or_default()
+    }
+
+    /// Cumulative drift-event totals (zero unless built
+    /// [`with_alerts`](Self::with_alerts)).
+    pub fn alert_totals(&self) -> AlertTotals {
+        self.alerts
+            .as_ref()
+            .map(AlertEngine::totals)
+            .unwrap_or_default()
     }
 
     /// Folds one sealed segment — a contiguous run of whole-sample
@@ -347,6 +386,13 @@ impl<'a> IncrementalStudy<'a> {
             .with_workers(self.workers)
             .with_obs(obs);
         let seg = StudyPartials::fold(&ctx);
+        if let Some(engine) = self.alerts.as_mut() {
+            // Observe the segment delta against the accumulation of all
+            // *prior* segments, before the merge below folds it in.
+            obs.time("pipeline/alerts", || {
+                engine.observe_segment(self.partials.as_ref(), &seg, table)
+            });
+        }
         if self.indexing {
             let part = obs.time("pipeline/index", || SampleIndex::fold_table(table));
             self.index = Some(match self.index.take() {

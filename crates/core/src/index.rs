@@ -306,6 +306,29 @@ impl SampleIndex {
     pub fn iter(&self) -> impl Iterator<Item = SampleSummary<'_>> {
         (0..self.len()).map(|i| self.summary(i))
     }
+
+    /// Sums the §6 stabilization masks over the fresh-dynamic samples:
+    /// `counts[k]` is how many *S* members stabilized at
+    /// [`FIG9_THRESHOLDS`]`[k]`, and the second value is |*S*| within
+    /// this index. Addition over disjoint indexes, so per-slot answers
+    /// sum to the global sweep — the serve tier's `recommend` verb is
+    /// built on this, and the totals match the offline
+    /// `label_stabilization_all` counts bit for bit.
+    pub fn stab_counts_in_s(&self) -> ([u64; FIG9_THRESHOLDS.len()], u64) {
+        let mut counts = [0u64; FIG9_THRESHOLDS.len()];
+        let mut in_s = 0u64;
+        for i in 0..self.len() {
+            if self.flags[i] & flag::IN_S == 0 {
+                continue;
+            }
+            in_s += 1;
+            let mask = self.stab_mask[i];
+            for (bit, count) in counts.iter_mut().enumerate() {
+                *count += u64::from(mask >> bit & 1);
+            }
+        }
+        (counts, in_s)
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,11 @@
 //! * [`MonitorEvent::Swing`] — a large AV-Rank change over a short
 //!   interval (the paper's "significant variations in short time
 //!   intervals" alert).
+//!
+//! The monitor is live on the serve path: [`crate::alerts`] runs one
+//! per trajectory inside every segment fold (detector 3,
+//! `sample_event`), so `vtld serve` streams these events over the
+//! `alerts`/`subscribe` wire verbs and its alert sinks.
 
 use vt_model::time::{Duration, Timestamp};
 
@@ -95,6 +100,10 @@ pub struct SampleMonitor {
     /// The current candidate stable window (trailing observations whose
     /// envelope fits the fluctuation range).
     window: Vec<(Timestamp, u32)>,
+    /// Cached rank envelope of `window` (`None` iff the window is
+    /// empty) — kept in lockstep with every window mutation so
+    /// [`envelope`](Self::envelope) is O(1) on the streaming path.
+    env: Option<(u32, u32)>,
     /// Whether a Stabilized event has fired for the current window.
     announced: bool,
     last: Option<(Timestamp, u32)>,
@@ -110,16 +119,25 @@ impl SampleMonitor {
         Self {
             criteria,
             window: Vec::new(),
+            env: None,
             announced: false,
             last: None,
         }
     }
 
+    /// Returns the monitor to its freshly-created state, keeping the
+    /// window buffer's capacity — for callers that run one monitor per
+    /// sample over millions of samples.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.env = None;
+        self.announced = false;
+        self.last = None;
+    }
+
     /// Current stable-window envelope, if any observations are held.
     pub fn envelope(&self) -> Option<(u32, u32)> {
-        let min = self.window.iter().map(|&(_, p)| p).min()?;
-        let max = self.window.iter().map(|&(_, p)| p).max()?;
-        Some((min, max))
+        self.env
     }
 
     /// Whether the sample is currently considered stable (a
@@ -190,8 +208,13 @@ impl SampleMonitor {
                 }
                 self.window.remove(0);
             }
+            self.env = envelope_of(&self.window);
         }
         self.window.push((at, rank));
+        self.env = Some(match self.env {
+            Some((min, max)) => (min.min(rank), max.max(rank)),
+            None => (rank, rank),
+        });
 
         // Announce stabilization once the window meets the criteria.
         if !self.announced
@@ -209,6 +232,13 @@ impl SampleMonitor {
         }
         events
     }
+}
+
+/// Rank envelope of a candidate window (`None` when empty).
+fn envelope_of(window: &[(Timestamp, u32)]) -> Option<(u32, u32)> {
+    let min = window.iter().map(|&(_, p)| p).min()?;
+    let max = window.iter().map(|&(_, p)| p).max()?;
+    Some((min, max))
 }
 
 #[cfg(test)]

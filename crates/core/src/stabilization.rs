@@ -92,6 +92,15 @@ pub struct StabilizationPartial {
 }
 
 impl StabilizationPartial {
+    /// Per-threshold `(t, stabilized, minutes_sum)` totals of the
+    /// all-samples Fig. 9 variant — the view the streaming regression
+    /// detector ([`crate::alerts`]) compares segment-vs-baseline.
+    pub(crate) fn label_all_totals(&self) -> impl Iterator<Item = (u32, u64, u64)> + '_ {
+        self.label_all
+            .iter()
+            .map(|a| (a.t, a.stabilized, a.minutes_sum))
+    }
+
     pub(crate) fn merge(&mut self, other: &StabilizationPartial) {
         debug_assert_eq!(self.rank.len(), other.rank.len());
         for (a, b) in self.rank.iter_mut().zip(&other.rank) {

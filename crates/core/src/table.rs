@@ -419,6 +419,19 @@ impl TrajectoryTable {
         self.active[row]
     }
 
+    /// The whole active-bitmap plane, one `[u64; 2]` per report row —
+    /// for streaming kernels that walk every row and want bounds checks
+    /// hoisted out of the loop.
+    pub fn active_rows(&self) -> &[[u64; 2]] {
+        &self.active
+    }
+
+    /// The whole detected-bitmap plane, aligned with
+    /// [`active_rows`](Self::active_rows).
+    pub fn detected_rows(&self) -> &[[u64; 2]] {
+        &self.detected
+    }
+
     /// One row's detected-engine bitmap words.
     pub fn detected_words(&self, row: usize) -> [u64; 2] {
         self.detected[row]

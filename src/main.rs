@@ -17,11 +17,13 @@
 //! vtld serve [--samples N] [--seed S] [--segment-reports R]
 //!            [--workers W] [--shards K] [--addr HOST:PORT]
 //!            [--data-dir DIR] [--recover] [--max-clients C]
-//!            [--cache-samples E]
+//!            [--cache-samples E] [--alerts-out PATH]
+//!            [--alerts-tcp ADDR] [--no-alerts]
 //!     Run the long-lived daemon: ingest the chaos-injected feed
 //!     through the fault-tolerant collector, fold each sealed segment
-//!     incrementally across a sharded worker fleet, and answer JSON
-//!     queries — aggregate and per-hash — over TCP while ingestion
+//!     incrementally across a sharded worker fleet, run the streaming
+//!     drift detectors over every fold, and answer JSON queries —
+//!     aggregate, per-hash and alerting — over TCP while ingestion
 //!     continues. With `--data-dir`
 //!     every sealed segment is fsynced to disk before it is published;
 //!     with `--recover` a restarted daemon replays that directory and
@@ -154,7 +156,8 @@ const USAGE: &str = "usage:
   vtld serve    [--samples N] [--seed S] [--segment-reports R]
                 [--workers W] [--shards K] [--addr HOST:PORT]
                 [--data-dir DIR] [--recover] [--max-clients C]
-                [--cache-samples E]
+                [--cache-samples E] [--alerts-out PATH]
+                [--alerts-tcp ADDR] [--no-alerts]
   vtld help
 
 run any subcommand with --help for its flags and defaults";
@@ -394,6 +397,9 @@ struct ServeArgs {
     recover: bool,
     max_clients: usize,
     cache_samples: usize,
+    alerts: bool,
+    alerts_out: Option<String>,
+    alerts_tcp: Option<String>,
 }
 
 impl ServeArgs {
@@ -419,13 +425,22 @@ flags:
   --cache-samples E     hot-sample response cache entries
                         for the per-hash query verbs
                         (0 disables caching)                (default 1024)
+  --alerts-out PATH     append drift alerts to PATH as JSONL
+                        (exactly-once across --recover)
+  --alerts-tcp ADDR     stream drift alerts to a TCP endpoint
+                        (at-most-once, retried with backoff)
+  --no-alerts           disable the streaming drift detectors
 
 protocol: one JSON object per line over TCP; commands are
 {\"cmd\":\"status\"}, {\"cmd\":\"results\"}, {\"cmd\":\"engines\"},
 {\"cmd\":\"metrics\"}, {\"cmd\":\"fingerprint\"}, {\"cmd\":\"shutdown\"},
-plus the per-hash query verbs {\"cmd\":\"sample\",\"hash\":H},
+the per-hash query verbs {\"cmd\":\"sample\",\"hash\":H},
 {\"cmd\":\"stabilized\",\"hash\":H,\"threshold\":T},
-{\"cmd\":\"engine\",\"name\":N} and {\"cmd\":\"flip_leaders\",\"k\":K}.
+{\"cmd\":\"engine\",\"name\":N} and {\"cmd\":\"flip_leaders\",\"k\":K},
+plus the alerting verbs {\"cmd\":\"alerts\",\"since\":E} (drift alerts
+published after epoch E), {\"cmd\":\"subscribe\"} (switches the
+connection to a push stream of new alerts) and {\"cmd\":\"recommend\"}
+(the online threshold/engine-subset recommendation).
 Every response carries the snapshot epoch.";
 
     fn parse(args: &[String]) -> Result<Self, VtldError> {
@@ -441,8 +456,10 @@ Every response carries the snapshot epoch.";
                 "data-dir",
                 "max-clients",
                 "cache-samples",
+                "alerts-out",
+                "alerts-tcp",
             ],
-            &["recover"],
+            &["recover", "no-alerts"],
         )?;
         let data_dir = flag(&flags, "data-dir").map(str::to_string);
         let recover = has_switch(&flags, "recover");
@@ -464,6 +481,9 @@ Every response carries the snapshot epoch.";
             recover,
             max_clients: parse_u64(&flags, "max-clients", 256)?.max(1) as usize,
             cache_samples: parse_u64(&flags, "cache-samples", 1_024)? as usize,
+            alerts: !has_switch(&flags, "no-alerts"),
+            alerts_out: flag(&flags, "alerts-out").map(str::to_string),
+            alerts_tcp: flag(&flags, "alerts-tcp").map(str::to_string),
         })
     }
 }
@@ -586,6 +606,9 @@ fn cmd_serve(args: ServeArgs) -> Result<(), VtldError> {
     config.recover = args.recover;
     config.max_clients = args.max_clients;
     config.cache_samples = args.cache_samples;
+    config.alerts = args.alerts;
+    config.alerts_out = args.alerts_out.map(std::path::PathBuf::from);
+    config.alerts_tcp = args.alerts_tcp;
     let addr_for_err = config.addr.clone();
     let server = Server::start(config).map_err(io_err(format!("cannot bind {addr_for_err}")))?;
     eprintln!(
@@ -668,6 +691,9 @@ mod tests {
         assert_eq!(d.cache_samples, 1_024);
         assert!(d.data_dir.is_none());
         assert!(!d.recover);
+        assert!(d.alerts, "detectors are on by default");
+        assert!(d.alerts_out.is_none());
+        assert!(d.alerts_tcp.is_none());
         let s = ServeArgs::parse(&strings(&[
             "--samples",
             "2000",
@@ -727,5 +753,23 @@ mod tests {
             err.to_string().starts_with("--recover requires --data-dir"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn serve_args_alerting_flags() {
+        let s = ServeArgs::parse(&strings(&[
+            "--alerts-out",
+            "/tmp/alerts.jsonl",
+            "--alerts-tcp",
+            "127.0.0.1:9000",
+        ]))
+        .expect("ok");
+        assert!(s.alerts);
+        assert_eq!(s.alerts_out.as_deref(), Some("/tmp/alerts.jsonl"));
+        assert_eq!(s.alerts_tcp.as_deref(), Some("127.0.0.1:9000"));
+
+        let off = ServeArgs::parse(&strings(&["--no-alerts"])).expect("ok");
+        assert!(!off.alerts, "--no-alerts turns the detectors off");
+        assert!(off.alerts_out.is_none());
     }
 }

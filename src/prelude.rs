@@ -17,9 +17,10 @@
 
 pub use crate::aggregate::{Aggregator, Threshold};
 pub use crate::dynamics::{
-    analyze_records, analyze_records_obs, records_from_store, Analysis, AnalysisCtx, Collector,
-    CollectorConfig, DecodeArena, IncrementalStudy, IngestOutcome, SampleIndex, SampleRecord,
-    SampleSummary, Study, StudyPartials, StudyResults, TrajectoryTable,
+    analyze_records, analyze_records_obs, records_from_store, Alert, AlertConfig, AlertEngine,
+    AlertKind, AlertTotals, Analysis, AnalysisCtx, Collector, CollectorConfig, DecodeArena,
+    IncrementalStudy, IngestOutcome, SampleIndex, SampleRecord, SampleSummary, Study,
+    StudyPartials, StudyResults, TrajectoryTable,
 };
 pub use crate::engines::{EngineFleet, FleetConfig};
 pub use crate::model::{EngineId, FileType, ScanReport};

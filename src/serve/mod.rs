@@ -77,19 +77,50 @@
 //! spliced to the live epoch at serve time), and a cached answer can
 //! never leak stale data across a swap.
 //!
+//! ## Drift alerting (streaming detectors over the segment folds)
+//!
+//! When alerting is on (the default), every shard worker's
+//! [`IncrementalStudy`] carries a slot-local
+//! [`crate::dynamics::AlertEngine`]: four streaming detectors (engine
+//! model-update bursts, detection-rate crossovers, stabilization-time
+//! regressions, per-sample [`crate::dynamics::SampleMonitor`] events)
+//! observing each sealed segment's delta as it folds. Alerts are keyed
+//! `(slot, seq, detector, ordinal)` — a pure function of the WAL, so
+//! the stream is bit-identical at any shard × worker count and across
+//! crash-recovery replay. The merger pulls each dirty slot's new alerts
+//! at publish (tracked by a per-slot high-water key), stamps them with
+//! the publish epoch, and ships a key-sorted, capped ring on every
+//! `Arc<Snapshot>`; clients pull with `{"cmd":"alerts","since":E}` or
+//! switch the connection to push mode with `{"cmd":"subscribe"}`.
+//! Workers also hand fresh batches straight to the connector sinks
+//! ([`sink`]): a JSONL file (`--alerts-out`, exactly-once across
+//! recovery via content dedup) and a webhook-shaped TCP endpoint
+//! (`--alerts-tcp`, at-most-once with retry/backoff). The
+//! `{"cmd":"recommend"}` verb caps it with a Maat-style online
+//! recommendation — the Fig. 9 AV-Rank threshold and engine subset that
+//! would have labeled the stream most accurately, from the §6
+//! stabilization masks already in the slot indexes.
+//!
 //! ## Wire protocol
 //!
-//! One JSON object per line, both directions. Requests:
+//! One JSON object per line, both directions, parsed into the typed
+//! [`wire::Request`] enum (see [`wire`] — every legacy error string is
+//! preserved byte for byte). Requests:
 //! `{"cmd":"status"}`, `{"cmd":"results"}`, `{"cmd":"engines"}`,
 //! `{"cmd":"metrics"}`, `{"cmd":"fingerprint"}`, `{"cmd":"shutdown"}`,
-//! plus the per-hash verbs `{"cmd":"sample","hash":H}`,
+//! the per-hash verbs `{"cmd":"sample","hash":H}`,
 //! `{"cmd":"stabilized","hash":H,"threshold":T}`,
-//! `{"cmd":"engine","name":N}` and `{"cmd":"flip_leaders","k":K}`.
+//! `{"cmd":"engine","name":N}` and `{"cmd":"flip_leaders","k":K}`,
+//! plus the alerting verbs `{"cmd":"alerts","since":E}`,
+//! `{"cmd":"subscribe"}` and `{"cmd":"recommend"}`.
 //! Every response carries the snapshot's `"epoch"`; malformed input gets
 //! an `"error"` member, overload gets `"overloaded":true`, eviction gets
 //! `"evicted":true`, and responses rendered after a slot lock was
-//! poisoned carry `"degraded":true`. See `DESIGN.md` §§11–12 for the
-//! full schema.
+//! poisoned carry `"degraded":true`. See `DESIGN.md` §§11–12 and §15
+//! for the full schema.
+
+mod sink;
+mod wire;
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
@@ -104,8 +135,8 @@ use std::time::Duration;
 use crate::dynamics::flips::FlipAnalysis;
 use crate::dynamics::stabilization::FIG9_THRESHOLDS;
 use crate::dynamics::{
-    par, Collector, DecodeArena, IncrementalStudy, SampleIndex, SlotMergeTree, StudyPartials,
-    StudyResults,
+    par, Alert, AlertConfig, Collector, DecodeArena, IncrementalStudy, SampleIndex, SlotMergeTree,
+    StudyPartials, StudyResults,
 };
 use crate::engines::EngineFleet;
 use crate::model::{EngineId, SampleHash};
@@ -175,6 +206,23 @@ pub struct ServeConfig {
     /// are rendered lazily and kept behind a bounded LRU invalidated on
     /// epoch swap; `0` disables caching.
     pub cache_samples: usize,
+    /// Run the streaming drift detectors alongside every slot fold
+    /// (the `alerts`/`subscribe`/`recommend` verbs answer either way;
+    /// with detectors off the alert stream is empty).
+    pub alerts: bool,
+    /// Detector tuning shared by every slot (each worker stamps its own
+    /// slot id into its copy).
+    pub alert_config: AlertConfig,
+    /// Alerts retained on the published snapshot (largest
+    /// `(seq, slot, detector, ordinal)` keys win — a memory bound, not
+    /// a correctness bound; sinks see every alert regardless).
+    pub alerts_ring: usize,
+    /// JSONL alert sink: every fired alert appended as one JSON line,
+    /// exactly-once across crash recovery.
+    pub alerts_out: Option<PathBuf>,
+    /// Webhook-shaped TCP alert sink (`host:port`), at-most-once with
+    /// retry/backoff.
+    pub alerts_tcp: Option<String>,
 }
 
 impl ServeConfig {
@@ -202,6 +250,11 @@ impl ServeConfig {
             write_timeout: Duration::from_secs(10),
             max_line_bytes: 64 * 1024,
             cache_samples: 1_024,
+            alerts: true,
+            alert_config: AlertConfig::default(),
+            alerts_ring: 4_096,
+            alerts_out: None,
+            alerts_tcp: None,
         }
     }
 
@@ -212,6 +265,7 @@ impl ServeConfig {
         self.shards = self.shards.clamp(1, INGEST_SLOTS);
         self.max_clients = self.max_clients.max(1);
         self.max_line_bytes = self.max_line_bytes.max(64);
+        self.alerts_ring = self.alerts_ring.max(1);
         self
     }
 }
@@ -244,9 +298,29 @@ struct Snapshot {
     /// Engine names in [`EngineId`] order (the `engine` verb resolves
     /// names against the snapshot, not the live fleet).
     engine_names: Arc<Vec<String>>,
+    /// The retained drift-alert ring, sorted by alert key, each entry
+    /// stamped with the epoch that published it (the `alerts` verb's
+    /// `since` filter and the `subscribe` push cursor key off that
+    /// stamp; the rendered bodies themselves carry no epoch).
+    alerts: Arc<Vec<PublishedAlert>>,
+    /// The `recommend` verb's pre-rendered response.
+    recommend: String,
     /// True once a slot lock has been observed poisoned: the study no
     /// longer updates from that slot, answers may lag its stream.
     degraded: bool,
+}
+
+/// One alert on the published ring: its identity key, the epoch whose
+/// publish first carried it, and the deterministic rendered body.
+#[derive(Debug, Clone)]
+struct PublishedAlert {
+    /// [`Alert::key`] — `(seq, slot, detector, ordinal)`.
+    key: (u64, u32, u8, u32),
+    /// Epoch at which the merger first shipped this alert.
+    published: u64,
+    /// [`wire::render_alert`] body (no epoch member — byte-identical
+    /// across shard/worker grids and recovery replays).
+    rendered: String,
 }
 
 impl Snapshot {
@@ -283,6 +357,22 @@ struct ServeCounters {
     cache_hits: Counter,
     /// Per-hash responses rendered on demand (`serve/cache_misses`).
     cache_misses: Counter,
+    /// Drift alerts fired by the detectors (`serve/alerts_fired`).
+    alerts_fired: Counter,
+    /// [`crate::dynamics::MonitorEvent::Stabilized`] events observed
+    /// (`serve/alerts_stabilized`) — counted, not alerted.
+    alerts_stabilized: Counter,
+    /// [`crate::dynamics::MonitorEvent::Destabilized`] events observed
+    /// (`serve/alerts_destabilized`).
+    alerts_destabilized: Counter,
+    /// [`crate::dynamics::MonitorEvent::Swing`] events observed
+    /// (`serve/alerts_swings`).
+    alerts_swings: Counter,
+    /// Alert lines delivered by the sinks (`serve/alerts_emitted`).
+    alerts_emitted: Counter,
+    /// Alert lines a sink deduped, skipped or gave up on
+    /// (`serve/alerts_dropped`).
+    alerts_dropped: Counter,
 }
 
 impl ServeCounters {
@@ -296,6 +386,12 @@ impl ServeCounters {
             poisoned: obs.counter("serve/poisoned"),
             cache_hits: obs.counter("serve/cache_hits"),
             cache_misses: obs.counter("serve/cache_misses"),
+            alerts_fired: obs.counter("serve/alerts_fired"),
+            alerts_stabilized: obs.counter("serve/alerts_stabilized"),
+            alerts_destabilized: obs.counter("serve/alerts_destabilized"),
+            alerts_swings: obs.counter("serve/alerts_swings"),
+            alerts_emitted: obs.counter("serve/alerts_emitted"),
+            alerts_dropped: obs.counter("serve/alerts_dropped"),
         }
     }
 }
@@ -397,6 +493,8 @@ impl Shared {
                 slot_epochs: [0; INGEST_SLOTS],
                 flips: Arc::new(FlipAnalysis::empty(0)),
                 engine_names: Arc::new(Vec::new()),
+                alerts: Arc::new(Vec::new()),
+                recommend: String::new(),
                 degraded: false,
             })),
             shutdown: AtomicBool::new(false),
@@ -448,6 +546,11 @@ struct SlotState {
     /// merging the slot indexes into one.
     index: Option<Arc<SampleIndex>>,
     partitions: Vec<PartitionStats>,
+    /// The slot's cumulative alert log in key order (bounded by the
+    /// per-segment detector caps, so never truncated here). Overwritten
+    /// whole at fold time like every other field; the merger pulls the
+    /// suffix past its per-slot high-water key.
+    alerts: Arc<Vec<Alert>>,
 }
 
 /// One mutex per slot — a worker updates its slot while the merger
@@ -560,6 +663,36 @@ impl Server {
         let table = Arc::new(SlotTable::new());
 
         let mut threads = Vec::new();
+
+        // The roster names alert bodies render with — a pure function
+        // of the fleet, so workers, merger and sinks agree byte for
+        // byte.
+        let engine_names: Arc<Vec<String>> = Arc::new(
+            (0..sim.fleet().engine_count())
+                .map(|i| sim.fleet().profile(EngineId::new(i)).name.to_string())
+                .collect(),
+        );
+
+        // Connector sinks get their own thread; workers hand it
+        // rendered batches over an unbounded channel (producers are
+        // bounded by the per-segment detector caps) so a slow or dead
+        // connector can never backpressure ingest.
+        let sink_config = sink::SinkConfig {
+            out: config.alerts_out.clone(),
+            tcp: config.alerts_tcp.clone(),
+        };
+        let alert_sink = if config.alerts && sink_config.is_active() {
+            let (tx, rx) = channel::<sink::SinkMsg>();
+            let emitted = shared.counters.alerts_emitted.clone();
+            let dropped = shared.counters.alerts_dropped.clone();
+            threads.push(std::thread::spawn(move || {
+                sink::sink_loop(rx, sink_config, emitted, dropped)
+            }));
+            Some(tx)
+        } else {
+            None
+        };
+
         let (merge_tx, merge_rx) = channel::<MergeEvent>();
         let mut shard_txs: Vec<SyncSender<SegmentMsg>> = Vec::new();
         for _ in 0..config.shards {
@@ -571,12 +704,28 @@ impl Server {
                 Arc::clone(&table),
                 merge_tx.clone(),
             );
-            let fold_workers = config.workers;
+            let (config, alert_sink, engine_names) = (
+                config.clone(),
+                alert_sink.clone(),
+                Arc::clone(&engine_names),
+            );
             threads.push(std::thread::spawn(move || {
-                shard_worker(rx, &sim, &shared, &table, &merge_tx, fold_workers)
+                shard_worker(
+                    rx,
+                    &sim,
+                    &shared,
+                    &table,
+                    &merge_tx,
+                    &config,
+                    alert_sink,
+                    &engine_names,
+                )
             }));
         }
         drop(merge_tx);
+        // The start-scope sink sender drops here; the sink thread exits
+        // once every worker's clone is gone.
+        drop(alert_sink);
 
         {
             let (sim, shared, table, config) = (
@@ -859,24 +1008,34 @@ fn ingest_loop(
 
 /// One shard worker: folds its slots' segment streams, in arrival
 /// (= per-slot seal) order, into slot-local partials (and per-sample
-/// indexes), and notifies the merger after every fold.
+/// indexes), runs the slot's drift detectors over each fold's delta,
+/// and notifies the merger after every fold.
 ///
-/// All accumulation — studies *and* partition accounting — lives in
-/// worker-local state; every write under a slot lock fully overwrites
-/// the slot's fields from it. That overwrite-only discipline is what
-/// makes poisoned-lock recovery ([`lock_slot`]) sound.
+/// All accumulation — studies, partition accounting *and* alert logs —
+/// lives in worker-local state; every write under a slot lock fully
+/// overwrites the slot's fields from it. That overwrite-only discipline
+/// is what makes poisoned-lock recovery ([`lock_slot`]) sound.
+#[allow(clippy::too_many_arguments)]
 fn shard_worker(
     rx: Receiver<SegmentMsg>,
     sim: &VirusTotalSim,
     shared: &Shared,
     table: &SlotTable,
     merge_tx: &Sender<MergeEvent>,
-    fold_workers: usize,
+    config: &ServeConfig,
+    alert_sink: Option<Sender<sink::SinkMsg>>,
+    engine_names: &[String],
 ) {
     let fleet = sim.fleet();
     let window_start = sim.config().window_start();
+    let fold_workers = config.workers;
     let mut studies: HashMap<usize, IncrementalStudy<'_>> = HashMap::new();
     let mut partitions: HashMap<usize, Vec<PartitionStats>> = HashMap::new();
+    // Per-slot cumulative alert logs (the lock-protected copy is an
+    // overwrite of these) and the last totals already counted, so the
+    // shared counters advance by exact deltas.
+    let mut alert_logs: HashMap<usize, Vec<Alert>> = HashMap::new();
+    let mut alert_totals: HashMap<usize, crate::dynamics::AlertTotals> = HashMap::new();
     // One decode arena per worker, reused across every segment it
     // folds: the row buffer reaches steady-state capacity after the
     // first few segments and stops allocating.
@@ -905,20 +1064,69 @@ fn shard_worker(
         // per segment (bit-identical to the old record-materializing
         // path; see `IncrementalStudy::fold_store`).
         let study = studies.entry(slot).or_insert_with(|| {
-            IncrementalStudy::new(fleet, window_start)
+            let study = IncrementalStudy::new(fleet, window_start)
                 .with_workers(fold_workers)
-                .with_index()
+                .with_index();
+            if config.alerts {
+                study.with_alerts(AlertConfig {
+                    slot: slot as u32,
+                    ..config.alert_config
+                })
+            } else {
+                study
+            }
         });
         let samples = study.fold_store(segment.store(), &mut arena, &shared.obs);
         let slot_partitions = partitions.entry(slot).or_default();
         merge_partitions(slot_partitions, &segment.store().partition_stats());
         let frozen_index = study.index().cloned().map(Arc::new);
+
+        // Drain this fold's alerts: extend the slot's cumulative log
+        // (already in key order — seq grows per fold, ordinals are
+        // deterministic within one), advance the shared counters by the
+        // totals delta, and hand the fresh batch to the sinks.
+        let new_alerts = study.take_alerts();
+        let totals = study.alert_totals();
+        let prev = alert_totals.insert(slot, totals).unwrap_or_default();
+        shared.counters.alerts_fired.add(totals.fired - prev.fired);
+        shared
+            .counters
+            .alerts_stabilized
+            .add(totals.stabilized - prev.stabilized);
+        shared
+            .counters
+            .alerts_destabilized
+            .add(totals.destabilized - prev.destabilized);
+        shared
+            .counters
+            .alerts_swings
+            .add(totals.swings - prev.swings);
+        if let (Some(sink), false) = (&alert_sink, new_alerts.is_empty()) {
+            let _ = sink.send(sink::SinkMsg {
+                lines: new_alerts
+                    .iter()
+                    .map(|a| wire::render_alert(a, engine_names))
+                    .collect(),
+                recovered,
+            });
+        }
+        let frozen_alerts = if new_alerts.is_empty() {
+            None
+        } else {
+            let log = alert_logs.entry(slot).or_default();
+            log.extend(new_alerts);
+            Some(Arc::new(log.clone()))
+        };
+
         {
             let (mut state, _was_poisoned) = lock_slot(&table.slots[slot], &shared.counters);
             state.version += 1;
             state.partials = study.partials().cloned();
             state.index = frozen_index;
             state.partitions = slot_partitions.clone();
+            if let Some(alerts) = frozen_alerts {
+                state.alerts = alerts;
+            }
         }
         shared.progress.segments.fetch_add(1, Ordering::SeqCst);
         shared
@@ -950,15 +1158,30 @@ struct MergerState {
     /// for slot-aware cache invalidation).
     slot_epochs: [u64; INGEST_SLOTS],
     slot_indexes: Vec<Arc<SampleIndex>>,
+    /// Per-slot `(seq, detector, ordinal)` high-water mark of alerts
+    /// already published. Slot logs grow strictly in that order, so a
+    /// dirty slot's new alerts are exactly the suffix past the mark —
+    /// and an alert is stamped with a publish epoch exactly once.
+    alert_high: [Option<(u64, u8, u32)>; INGEST_SLOTS],
+    /// Every published alert, kept sorted by [`Alert::key`]. Bounded by
+    /// the per-segment detector caps × WAL length, so retaining the
+    /// full log here is a small fixed multiple of the segment count;
+    /// the snapshot ships only the last `alerts_ring` entries.
+    alerts: Vec<PublishedAlert>,
+    /// Roster names alert bodies are rendered with.
+    engine_names: Vec<String>,
 }
 
 impl MergerState {
-    fn new() -> Self {
+    fn new(engine_names: Vec<String>) -> Self {
         Self {
             tree: SlotMergeTree::new(INGEST_SLOTS),
             leaf_versions: [0; INGEST_SLOTS],
             slot_epochs: [0; INGEST_SLOTS],
             slot_indexes: empty_slot_indexes(),
+            alert_high: [None; INGEST_SLOTS],
+            alerts: Vec::new(),
+            engine_names,
         }
     }
 }
@@ -975,7 +1198,10 @@ fn merger_loop(
     sim: &VirusTotalSim,
     config: &ServeConfig,
 ) {
-    let mut state = MergerState::new();
+    let engine_names: Vec<String> = (0..sim.fleet().engine_count())
+        .map(|i| sim.fleet().profile(EngineId::new(i)).name.to_string())
+        .collect();
+    let mut state = MergerState::new(engine_names);
     let mut epoch = 0u64;
     let mut exited = 0usize;
     while exited < config.shards {
@@ -1019,6 +1245,7 @@ fn publish_merged(
     state: &mut MergerState,
 ) {
     let mut degraded = false;
+    let mut dirty_alerts: Vec<(usize, Arc<Vec<Alert>>)> = Vec::new();
     for (slot, lock) in table.slots.iter().enumerate() {
         let (slot_state, was_poisoned) = lock_slot(lock, &shared.counters);
         degraded |= was_poisoned;
@@ -1033,10 +1260,37 @@ fn publish_merged(
             .index
             .clone()
             .unwrap_or_else(|| Arc::new(SampleIndex::default()));
+        dirty_alerts.push((slot, Arc::clone(&slot_state.alerts)));
         drop(slot_state);
         // Re-merge outside the slot lock: only this slot's root path.
         state.tree.update_slot(slot, partials, partitions);
     }
+    // Pull each dirty slot's alerts past its high-water key, stamp them
+    // with this publish's epoch, and keep the global log key-sorted.
+    // The stamp is pull-timing-dependent (it is *when this daemon
+    // noticed*, the `since` cursor), but the rendered bodies and the
+    // key order are pure functions of the WAL.
+    let mut published_new = false;
+    for (slot, log) in dirty_alerts {
+        for alert in log.iter() {
+            let k3 = (alert.seq, alert.detector, alert.ordinal);
+            if state.alert_high[slot].is_some_and(|high| k3 <= high) {
+                continue;
+            }
+            state.alert_high[slot] = Some(k3);
+            state.alerts.push(PublishedAlert {
+                key: alert.key(),
+                published: epoch,
+                rendered: wire::render_alert(alert, &state.engine_names),
+            });
+            published_new = true;
+        }
+    }
+    if published_new {
+        state.alerts.sort_unstable_by_key(|a| a.key);
+    }
+    let ring_start = state.alerts.len().saturating_sub(config.alerts_ring);
+    let alerts_ring = Arc::new(state.alerts[ring_start..].to_vec());
     let results = match state.tree.root() {
         Some(partials) => partials.finish(state.tree.root_partitions().to_vec(), &shared.obs),
         None => IncrementalStudy::new(sim.fleet(), sim.config().window_start())
@@ -1051,6 +1305,7 @@ fn publish_merged(
         &shared.obs.snapshot(),
         state.slot_indexes.clone(),
         state.slot_epochs,
+        alerts_ring,
     ));
 }
 
@@ -1083,6 +1338,7 @@ fn empty_snapshot(config: &ServeConfig, fleet: &EngineFleet) -> Snapshot {
         &Obs::noop().snapshot(),
         empty_slot_indexes(),
         [0; INGEST_SLOTS],
+        Arc::new(Vec::new()),
     )
 }
 
@@ -1226,7 +1482,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServeConfig) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (response, shutdown) = respond(&line, shared, config);
+                let action = respond(&line, shared, config);
+                let response = match &action {
+                    Action::Reply(r) | Action::ReplyThenShutdown(r) => r,
+                    Action::Subscribe { ack, .. } => ack,
+                };
                 if writer
                     .write_all(format!("{response}\n").as_bytes())
                     .is_err()
@@ -1234,13 +1494,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServeConfig) {
                     shared.counters.evicted.incr();
                     break;
                 }
-                if shutdown {
-                    shared.request_shutdown();
-                    // Wake the accept loop so it observes the flag.
-                    if let Ok(addr) = writer.local_addr() {
-                        let _ = TcpStream::connect(SocketAddr::new(addr.ip(), addr.port()));
+                match action {
+                    Action::Reply(_) => {}
+                    Action::ReplyThenShutdown(_) => {
+                        shared.request_shutdown();
+                        // Wake the accept loop so it observes the flag.
+                        if let Ok(addr) = writer.local_addr() {
+                            let _ = TcpStream::connect(SocketAddr::new(addr.ip(), addr.port()));
+                        }
+                        break;
                     }
-                    break;
+                    Action::Subscribe { epoch, .. } => {
+                        subscribe_loop(&mut writer, shared, epoch);
+                        break;
+                    }
                 }
             }
             Err(LineError::TooLong) => {
@@ -1270,131 +1537,158 @@ fn evict(writer: &mut TcpStream, shared: &Shared, reason: &str) {
     );
 }
 
-/// Routes one request line to its response — pre-rendered for the
-/// aggregate verbs, lazily rendered (behind the hot-sample cache) for
-/// the per-hash verbs. Returns the response and whether the request
-/// asked the daemon to shut down.
-fn respond(line: &str, shared: &Shared, config: &ServeConfig) -> (String, bool) {
+/// What the connection reactor does with one parsed request.
+enum Action {
+    /// Write the response and keep reading requests.
+    Reply(String),
+    /// Write the response, then begin daemon shutdown and close.
+    ReplyThenShutdown(String),
+    /// Write the ack, then switch the connection to alert push mode
+    /// ([`subscribe_loop`]) until shutdown or the client hangs up.
+    /// `epoch` is the push cursor — the ack's epoch, so no alert
+    /// published between the ack render and the loop start is skipped.
+    Subscribe {
+        /// The rendered `subscribed` acknowledgement.
+        ack: String,
+        /// Epoch the ack was rendered at.
+        epoch: u64,
+    },
+}
+
+/// Routes one request line through the typed [`wire::Request`] API to
+/// its response — pre-rendered for the aggregate verbs, lazily rendered
+/// (behind the hot-sample cache) for the per-hash verbs.
+fn respond(line: &str, shared: &Shared, config: &ServeConfig) -> Action {
+    use wire::{Render, Request};
     let snap = shared.current();
-    let err = |msg: &str| {
-        (
-            format!(
-                "{{\"epoch\":{},\"error\":{}}}",
-                snap.epoch,
-                json_string(msg)
-            ),
-            false,
-        )
+    let req = match Request::parse_line(line) {
+        Ok(req) => req,
+        Err(e) => return Action::Reply(e.render(snap.epoch)),
     };
-    let parsed = match crate::obs::json::parse(line) {
-        Ok(v) => v,
-        Err(e) => return err(&format!("bad request: {e}")),
-    };
-    match parsed.get("cmd").and_then(|c| c.as_str()) {
-        Some("status") => (snap.status.clone(), false),
-        Some("results") => (snap.results.clone(), false),
-        Some("engines") => (snap.engines.clone(), false),
-        Some("metrics") => (snap.metrics.clone(), false),
-        Some("fingerprint") => (snap.fingerprint.clone(), false),
-        Some("sample") => {
-            let hash = match parse_hash_member(&parsed) {
-                Ok(hash) => hash,
-                Err(msg) => return err(&msg),
-            };
+    match req {
+        Request::Status => Action::Reply(snap.status.clone()),
+        Request::Results => Action::Reply(snap.results.clone()),
+        Request::Engines => Action::Reply(snap.engines.clone()),
+        Request::Metrics => Action::Reply(snap.metrics.clone()),
+        Request::Fingerprint => Action::Reply(snap.fingerprint.clone()),
+        Request::Sample { hash } => {
             let key = format!("sample:{}", hash.to_hex());
-            let response = cached_response(
+            Action::Reply(cached_response(
                 shared,
                 config.cache_samples,
                 &snap,
                 &key,
                 Some(slot_of(hash)),
                 || render_sample(&snap, hash),
-            );
-            (response, false)
+            ))
         }
-        Some("stabilized") => {
-            let hash = match parse_hash_member(&parsed) {
-                Ok(hash) => hash,
-                Err(msg) => return err(&msg),
-            };
-            let Some(threshold) = parsed.get("threshold").and_then(|t| t.as_u64()) else {
-                return err("missing numeric member 'threshold'");
-            };
-            if !FIG9_THRESHOLDS.contains(&(threshold as u32)) {
-                return err(&format!(
-                    "threshold {threshold} is not a Fig. 9 threshold; valid: {FIG9_THRESHOLDS:?}"
-                ));
-            }
+        Request::Stabilized { hash, threshold } => {
             let key = format!("stabilized:{}:{threshold}", hash.to_hex());
-            let response = cached_response(
+            Action::Reply(cached_response(
                 shared,
                 config.cache_samples,
                 &snap,
                 &key,
                 Some(slot_of(hash)),
-                || render_stabilized(&snap, hash, threshold as u32),
-            );
-            (response, false)
+                || render_stabilized(&snap, hash, threshold),
+            ))
         }
-        Some("engine") => {
-            let Some(name) = parsed.get("name").and_then(|n| n.as_str()) else {
-                return err("missing string member 'name'");
-            };
-            // Unknown names are answered uncached: the cache is keyed by
-            // client-controlled strings only after they resolve against
-            // the roster, so misses cannot crowd out real entries.
-            let Some(engine) = snap.engine_names.iter().position(|n| n == name) else {
-                return err(&format!("unknown engine '{name}'"));
+        Request::Engine { name } => {
+            // Resolution happens against the snapshot's roster, not at
+            // parse time (the parser cannot know the roster). Unknown
+            // names are answered uncached: the cache is keyed by
+            // client-controlled strings only after they resolve, so
+            // misses cannot crowd out real entries.
+            let Some(engine) = snap.engine_names.iter().position(|n| *n == name) else {
+                return Action::Reply(format!(
+                    "{{\"epoch\":{},\"error\":{}}}",
+                    snap.epoch,
+                    json_string(&format!("unknown engine '{name}'"))
+                ));
             };
             // Whole-study answer (`slot: None`): every epoch swap
             // invalidates it, since the flip matrix re-finishes.
             let key = format!("engine:{engine}");
-            let response = cached_response(shared, config.cache_samples, &snap, &key, None, || {
-                render_engine(&snap, engine)
-            });
-            (response, false)
+            Action::Reply(cached_response(
+                shared,
+                config.cache_samples,
+                &snap,
+                &key,
+                None,
+                || render_engine(&snap, engine),
+            ))
         }
-        Some("flip_leaders") => {
-            let k = match parsed.get("k") {
-                None => 10,
-                Some(v) => match v.as_u64() {
-                    Some(k) => k.min(MAX_FLIP_LEADERS) as usize,
-                    None => return err("member 'k' must be a non-negative integer"),
-                },
-            };
+        Request::FlipLeaders { k } => {
             // Ranks across every slot, so any slot change invalidates
             // it — cached under the whole-study rule (`slot: None`).
             let key = format!("flip_leaders:{k}");
-            let response = cached_response(shared, config.cache_samples, &snap, &key, None, || {
-                render_flip_leaders(&snap, k)
-            });
-            (response, false)
+            Action::Reply(cached_response(
+                shared,
+                config.cache_samples,
+                &snap,
+                &key,
+                None,
+                || render_flip_leaders(&snap, k),
+            ))
         }
-        Some("shutdown") => (
-            format!("{{\"epoch\":{},\"shutting_down\":true}}", snap.epoch),
-            true,
-        ),
-        Some(other) => err(&format!("unknown command '{other}'")),
-        None => err("missing string member 'cmd'"),
+        // Uncached: the filter is a cheap scan of the pre-rendered
+        // ring, and `since` is client-controlled (unbounded key space).
+        Request::Alerts { since } => Action::Reply(render_alerts(&snap, since)),
+        Request::Subscribe => Action::Subscribe {
+            ack: wire::SubscribeAck.render(snap.epoch),
+            epoch: snap.epoch,
+        },
+        Request::Recommend => Action::Reply(snap.recommend.clone()),
+        Request::Shutdown => Action::ReplyThenShutdown(wire::ShutdownAck.render(snap.epoch)),
     }
 }
 
-/// Largest `k` the `flip_leaders` verb will rank (the response is
-/// rendered per request; an unbounded `k` would be a cheap DoS).
-const MAX_FLIP_LEADERS: u64 = 1_000;
+/// The `alerts` pull verb: every retained alert published after epoch
+/// `since`, in key order. The array holds the deterministic [`wire`]
+/// bodies only — no publish stamps — so at `since: 0` everything after
+/// the epoch prefix is bit-identical at any shard × worker grid and
+/// across crash-recovery replay (the chaos and determinism suites
+/// compare exactly that tail). Clients resume by passing the last
+/// response's top-level `epoch` as the next `since`.
+fn render_alerts(snap: &Snapshot, since: u64) -> String {
+    let items: Vec<&str> = snap
+        .alerts
+        .iter()
+        .filter(|a| a.published > since)
+        .map(|a| a.rendered.as_str())
+        .collect();
+    format!(
+        "{{\"epoch\":{},\"since\":{since},\"count\":{},\"alerts\":[{}]{}}}",
+        snap.epoch,
+        items.len(),
+        items.join(","),
+        degraded_suffix(snap),
+    )
+}
 
-/// Extracts and parses the `"hash"` member: 1–32 hex digits, as
-/// [`SampleHash::to_hex`] prints them.
-fn parse_hash_member(parsed: &crate::obs::json::Value) -> Result<SampleHash, String> {
-    let Some(hex) = parsed.get("hash").and_then(|h| h.as_str()) else {
-        return Err("missing string member 'hash'".to_string());
-    };
-    if hex.is_empty() || hex.len() > 32 {
-        return Err(format!("bad hash '{hex}': expected 1-32 hex digits",));
+/// Push mode: after the `subscribe` ack, poll the published snapshot
+/// and stream every alert stamped after the epochs this connection has
+/// already seen, one `{"epoch":E,"alert":{…}}` line each, until
+/// shutdown or the client hangs up. Alerts published before the
+/// subscription are not replayed — a client wanting history pulls
+/// `{"cmd":"alerts","since":0}` first and dedups by the alert key.
+fn subscribe_loop(writer: &mut TcpStream, shared: &Shared, mut seen_epoch: u64) {
+    while !shared.shutdown_requested() {
+        let snap = shared.current();
+        if snap.epoch != seen_epoch {
+            for alert in snap.alerts.iter().filter(|a| a.published > seen_epoch) {
+                let line = format!(
+                    "{{\"epoch\":{},\"alert\":{}}}\n",
+                    alert.published, alert.rendered
+                );
+                if writer.write_all(line.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            seen_epoch = snap.epoch;
+        }
+        std::thread::sleep(Duration::from_millis(20));
     }
-    u128::from_str_radix(hex, 16)
-        .map(SampleHash)
-        .map_err(|_| format!("bad hash '{hex}': expected 1-32 hex digits"))
 }
 
 /// Splits a lazily rendered response after its `{"epoch":<digits>`
@@ -1677,6 +1971,12 @@ struct StatusView {
     poisoned: u64,
     cache_hits: u64,
     cache_misses: u64,
+    alerts_fired: u64,
+    alerts_stabilized: u64,
+    alerts_destabilized: u64,
+    alerts_swings: u64,
+    alerts_emitted: u64,
+    alerts_dropped: u64,
 }
 
 impl StatusView {
@@ -1697,6 +1997,12 @@ impl StatusView {
             poisoned: shared.counters.poisoned.value(),
             cache_hits: shared.counters.cache_hits.value(),
             cache_misses: shared.counters.cache_misses.value(),
+            alerts_fired: shared.counters.alerts_fired.value(),
+            alerts_stabilized: shared.counters.alerts_stabilized.value(),
+            alerts_destabilized: shared.counters.alerts_destabilized.value(),
+            alerts_swings: shared.counters.alerts_swings.value(),
+            alerts_emitted: shared.counters.alerts_emitted.value(),
+            alerts_dropped: shared.counters.alerts_dropped.value(),
         }
     }
 
@@ -1792,6 +2098,7 @@ fn study_fingerprint(results: &StudyResults) -> (u64, u64) {
 
 /// Renders every response for one epoch in one place, so a snapshot can
 /// never mix stages of the study.
+#[allow(clippy::too_many_arguments)]
 fn render_snapshot(
     epoch: u64,
     results: &StudyResults,
@@ -1800,6 +2107,7 @@ fn render_snapshot(
     metrics: &crate::obs::RunMetrics,
     slot_indexes: Vec<Arc<SampleIndex>>,
     slot_epochs: [u64; INGEST_SLOTS],
+    alerts: Arc<Vec<PublishedAlert>>,
 ) -> Snapshot {
     let indexed: usize = slot_indexes.iter().map(|i| i.len()).sum();
     let status = format!(
@@ -1807,7 +2115,9 @@ fn render_snapshot(
          \"accepted\":{},\"quarantined\":{},\"s_samples\":{},\"ingest_done\":{},\
          \"shards\":{},\"recovered_segments\":{},\"quarantined_segments\":{},\
          \"rejected\":{},\"evicted\":{},\"indexed\":{},\"degraded\":{},\
-         \"poisoned\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+         \"poisoned\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"alerts_fired\":{},\"alerts_stabilized\":{},\"alerts_destabilized\":{},\
+         \"alerts_swings\":{},\"alerts_emitted\":{},\"alerts_dropped\":{}}}",
         view.segments,
         view.samples,
         view.reports,
@@ -1825,6 +2135,12 @@ fn render_snapshot(
         view.poisoned,
         view.cache_hits,
         view.cache_misses,
+        view.alerts_fired,
+        view.alerts_stabilized,
+        view.alerts_destabilized,
+        view.alerts_swings,
+        view.alerts_emitted,
+        view.alerts_dropped,
     );
 
     let c = &results.correlation_global;
@@ -1903,6 +2219,7 @@ fn render_snapshot(
     let engine_names: Vec<String> = (0..results.flips.engine_count)
         .map(|i| fleet.profile(EngineId::new(i)).name.to_string())
         .collect();
+    let recommend = render_recommend(epoch, &slot_indexes, &results.flips, &engine_names);
 
     Snapshot {
         epoch,
@@ -1915,8 +2232,92 @@ fn render_snapshot(
         slot_epochs,
         flips: Arc::new(results.flips.clone()),
         engine_names: Arc::new(engine_names),
+        alerts,
+        recommend,
         degraded: view.degraded,
     }
+}
+
+/// The `recommend` verb, pre-rendered at publish: a Maat-style online
+/// recommendation of (a) the Fig. 9 AV-Rank threshold whose label
+/// sequences stabilized for the most fresh-dynamic samples so far —
+/// the threshold that would have labeled the stream most accurately —
+/// and (b) the engine subset whose flip ratio is at or below the
+/// fleet-wide ratio (the engines whose labels move least per
+/// opportunity, §7.1). Everything is summed from the per-slot §6
+/// stabilization masks ([`SampleIndex::stab_counts_in_s`]), so the
+/// counts equal the offline `label_stabilization_all` sweep bit for
+/// bit, and ties break deterministically (lowest threshold; ratio then
+/// name order for engines).
+fn render_recommend(
+    epoch: u64,
+    slot_indexes: &[Arc<SampleIndex>],
+    flips: &FlipAnalysis,
+    engine_names: &[String],
+) -> String {
+    // Threshold sweep: sum each slot's in-S stabilization-mask counts.
+    let mut counts = [0u64; FIG9_THRESHOLDS.len()];
+    let mut in_s = 0u64;
+    for index in slot_indexes {
+        let (slot_counts, slot_in_s) = index.stab_counts_in_s();
+        for (acc, c) in counts.iter_mut().zip(slot_counts) {
+            *acc += c;
+        }
+        in_s += slot_in_s;
+    }
+    let best = (0..FIG9_THRESHOLDS.len())
+        .max_by(|&a, &b| counts[a].cmp(&counts[b]).then(b.cmp(&a)))
+        .expect("FIG9_THRESHOLDS is nonempty");
+
+    // Engine subset: flip ratio at or below the fleet-wide ratio,
+    // compared exactly by cross-multiplication (no float thresholds).
+    let per_engine: Vec<(usize, u64, u64)> = (0..flips.engine_count)
+        .map(|i| {
+            let row = &flips.matrix[i];
+            let f: u64 = row.iter().map(|cell| cell.flips).sum();
+            let o: u64 = row.iter().map(|cell| cell.opportunities).sum();
+            (i, f, o)
+        })
+        .collect();
+    let total_flips: u64 = per_engine.iter().map(|&(_, f, _)| f).sum();
+    let total_opps: u64 = per_engine.iter().map(|&(_, _, o)| o).sum();
+    let mut subset: Vec<&(usize, u64, u64)> = per_engine
+        .iter()
+        .filter(|&&(_, f, o)| {
+            // f/o <= total_flips/total_opps  ⇔  f·TO <= TF·o
+            o > 0 && (f as u128) * (total_opps as u128) <= (total_flips as u128) * (o as u128)
+        })
+        .collect();
+    subset.sort_by(|&&(i, fi, oi), &&(j, fj, oj)| {
+        ((fi as u128) * (oj as u128))
+            .cmp(&((fj as u128) * (oi as u128)))
+            .then_with(|| engine_names[i].cmp(&engine_names[j]))
+    });
+    let engines: Vec<String> = subset
+        .iter()
+        .map(|&&(i, f, o)| {
+            format!(
+                "{{\"name\":{},\"flips\":{f},\"opportunities\":{o},\"flip_ratio\":{}}}",
+                json_string(&engine_names[i]),
+                json_f64(f as f64 / o as f64),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"epoch\":{epoch},\"recommend\":{{\
+         \"threshold\":{},\"stabilized\":{},\"in_s\":{in_s},\
+         \"thresholds\":[{}],\
+         \"engines\":[{}]}}}}",
+        FIG9_THRESHOLDS[best],
+        counts[best],
+        FIG9_THRESHOLDS
+            .iter()
+            .zip(counts)
+            .map(|(t, c)| format!("{{\"threshold\":{t},\"stabilized\":{c}}}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        engines.join(","),
+    )
 }
 
 #[cfg(test)]
@@ -2015,6 +2416,8 @@ mod tests {
             slot_epochs,
             flips: Arc::new(FlipAnalysis::empty(0)),
             engine_names: Arc::new(Vec::new()),
+            alerts: Arc::new(Vec::new()),
+            recommend: String::new(),
             degraded: false,
         }
     }
@@ -2022,36 +2425,6 @@ mod tests {
     /// A cacheable body as the lazy renderers produce one.
     fn body(epoch: u64, tag: &str) -> String {
         format!("{{\"epoch\":{epoch},\"tag\":\"{tag}\"}}")
-    }
-
-    #[test]
-    fn hash_member_parses_hex_and_rejects_garbage() {
-        let parse = |doc: &str| parse_hash_member(&crate::obs::json::parse(doc).expect("json"));
-        assert_eq!(parse("{\"hash\":\"ff\"}"), Ok(SampleHash(0xff)));
-        let full = "f".repeat(32);
-        assert_eq!(
-            parse(&format!("{{\"hash\":\"{full}\"}}")),
-            Ok(SampleHash(u128::MAX))
-        );
-        for bad in [
-            "{\"cmd\":\"sample\"}",
-            "{\"hash\":\"\"}",
-            "{\"hash\":\"xyz\"}",
-            "{\"hash\":\"-1\"}",
-            "{\"hash\":17}",
-        ] {
-            assert!(parse(bad).is_err(), "{bad} must not parse");
-        }
-        assert!(
-            parse(&format!("{{\"hash\":\"{}0\"}}", full)).is_err(),
-            "33 digits overflow"
-        );
-        // Round-trip: to_hex output parses back to the same hash.
-        let hash = SampleHash::from_ordinal(99);
-        assert_eq!(
-            parse(&format!("{{\"hash\":\"{}\"}}", hash.to_hex())),
-            Ok(hash)
-        );
     }
 
     #[test]

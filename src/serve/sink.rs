@@ -1,0 +1,374 @@
+//! Connector-style alert sinks: drift alerts leaving the daemon.
+//!
+//! Shard workers hand every freshly fired alert batch (already rendered
+//! by [`super::wire::render_alert`], one JSON object per alert) to one
+//! sink thread over an mpsc channel; the thread fans each batch out to
+//! the configured connectors:
+//!
+//! * **JSONL file** (`--alerts-out PATH`): one rendered alert per line,
+//!   appended and flushed per batch. Delivery is **exactly-once across
+//!   crash-recovery**: on startup the sink reads the file back and
+//!   seeds a dedup set with every line already present, so the WAL
+//!   replay after a SIGKILL (which regenerates the same alerts under
+//!   the same `(slot, seq, detector, ordinal)` keys, rendered to the
+//!   same bytes) appends nothing it already delivered.
+//! * **Webhook-shaped TCP** (`--alerts-tcp ADDR`): rendered alerts
+//!   written line-by-line to a TCP endpoint, connected lazily and
+//!   retried with exponential backoff. Delivery is **at-most-once**:
+//!   recovery-replayed batches are skipped entirely (the remote saw
+//!   them before the crash, or never will — consumers needing
+//!   exactly-once dedup on the alert key, which is stable across
+//!   replays), and a batch that exhausts its retries is dropped and
+//!   counted rather than wedging ingest.
+//!
+//! The channel is unbounded but the producers are bounded: detectors
+//! cap alerts per segment, so the sink can never grow past the WAL's
+//! segment count times a small constant. The thread exits when every
+//! worker has dropped its sender, and the daemon joins it on shutdown —
+//! a flushed file is part of the drain contract.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+use crate::obs::Counter;
+
+/// One batch of rendered alerts travelling from a shard worker to the
+/// sink thread.
+pub(super) struct SinkMsg {
+    /// Rendered alert bodies (see [`super::wire::render_alert`]), in
+    /// key order within the batch.
+    pub lines: Vec<String>,
+    /// The batch came from a crash-recovery WAL replay rather than live
+    /// ingest (the file sink dedups it; the TCP sink skips it).
+    pub recovered: bool,
+}
+
+/// Where the sink thread delivers to.
+pub(super) struct SinkConfig {
+    /// JSONL file path (`--alerts-out`).
+    pub out: Option<PathBuf>,
+    /// TCP endpoint (`--alerts-tcp`).
+    pub tcp: Option<String>,
+}
+
+impl SinkConfig {
+    /// Whether any connector is configured (no thread is spawned
+    /// otherwise).
+    pub fn is_active(&self) -> bool {
+        self.out.is_some() || self.tcp.is_some()
+    }
+}
+
+/// The JSONL file connector with its crash-recovery dedup set.
+struct FileSink {
+    writer: BufWriter<std::fs::File>,
+    /// Every line already in the file — alerts are rendered
+    /// deterministically, so byte equality is key equality.
+    delivered: HashSet<String>,
+}
+
+impl FileSink {
+    fn open(path: &PathBuf) -> std::io::Result<FileSink> {
+        let mut delivered = HashSet::new();
+        match std::fs::File::open(path) {
+            Ok(existing) => {
+                for line in BufReader::new(existing).lines() {
+                    let line = line?;
+                    if !line.is_empty() {
+                        delivered.insert(line);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(FileSink {
+            writer: BufWriter::new(file),
+            delivered,
+        })
+    }
+
+    /// Appends the batch's new lines, flushing once per batch. Returns
+    /// `(emitted, deduped)`.
+    fn deliver(&mut self, lines: &[String]) -> std::io::Result<(u64, u64)> {
+        let mut emitted = 0;
+        let mut deduped = 0;
+        for line in lines {
+            if self.delivered.contains(line) {
+                deduped += 1;
+                continue;
+            }
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+            self.delivered.insert(line.clone());
+            emitted += 1;
+        }
+        self.writer.flush()?;
+        Ok((emitted, deduped))
+    }
+}
+
+/// Connection attempts per batch before the TCP connector drops it.
+const TCP_ATTEMPTS: u32 = 5;
+/// First retry backoff; doubles per attempt up to [`TCP_BACKOFF_CAP`].
+const TCP_BACKOFF: Duration = Duration::from_millis(50);
+/// Backoff ceiling.
+const TCP_BACKOFF_CAP: Duration = Duration::from_millis(800);
+
+/// The TCP connector: lazy connect, per-batch retry with exponential
+/// backoff, at-most-once delivery.
+struct TcpSink {
+    addr: String,
+    conn: Option<TcpStream>,
+}
+
+impl TcpSink {
+    fn new(addr: String) -> TcpSink {
+        TcpSink { addr, conn: None }
+    }
+
+    /// Writes the whole batch over one connection, reconnecting (with
+    /// backoff) on failure. Returns the lines actually written.
+    fn deliver(&mut self, lines: &[String]) -> u64 {
+        let mut backoff = TCP_BACKOFF;
+        for attempt in 0..TCP_ATTEMPTS {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(TCP_BACKOFF_CAP);
+            }
+            let conn = match self.conn.as_mut() {
+                Some(conn) => conn,
+                None => match TcpStream::connect(&self.addr) {
+                    Ok(conn) => self.conn.insert(conn),
+                    Err(_) => continue,
+                },
+            };
+            let mut payload = String::new();
+            for line in lines {
+                payload.push_str(line);
+                payload.push('\n');
+            }
+            match conn
+                .write_all(payload.as_bytes())
+                .and_then(|()| conn.flush())
+            {
+                Ok(()) => return lines.len() as u64,
+                Err(_) => {
+                    // A dead connection is retried on a fresh one; the
+                    // whole batch is resent (the consumer dedups by
+                    // alert key if it must).
+                    self.conn = None;
+                }
+            }
+        }
+        0
+    }
+}
+
+/// The sink thread body: drains batches until every producer hangs up,
+/// delivering to whichever connectors are configured and counting
+/// `serve/alerts_emitted` / `serve/alerts_dropped`.
+pub(super) fn sink_loop(
+    rx: Receiver<SinkMsg>,
+    config: SinkConfig,
+    emitted: Counter,
+    dropped: Counter,
+) {
+    let mut file = match &config.out {
+        Some(path) => match FileSink::open(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!(
+                    "vtld serve: cannot open alerts sink {}: {e}",
+                    path.display()
+                );
+                None
+            }
+        },
+        None => None,
+    };
+    let mut tcp = config.tcp.clone().map(TcpSink::new);
+    while let Ok(SinkMsg { lines, recovered }) = rx.recv() {
+        if lines.is_empty() {
+            continue;
+        }
+        if let Some(sink) = file.as_mut() {
+            match sink.deliver(&lines) {
+                Ok((wrote, deduped)) => {
+                    emitted.add(wrote);
+                    dropped.add(deduped);
+                }
+                Err(e) => {
+                    eprintln!("vtld serve: alerts sink write failed: {e}");
+                    dropped.add(lines.len() as u64);
+                }
+            }
+        }
+        if let Some(sink) = tcp.as_mut() {
+            if recovered {
+                // At-most-once: replayed alerts were either delivered
+                // before the crash or are gone; never send them twice.
+                dropped.add(lines.len() as u64);
+            } else {
+                let wrote = sink.deliver(&lines);
+                emitted.add(wrote);
+                dropped.add(lines.len() as u64 - wrote);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn counters() -> (Counter, Counter, crate::obs::Obs) {
+        let obs = crate::obs::Obs::new();
+        (
+            obs.counter("serve/alerts_emitted"),
+            obs.counter("serve/alerts_dropped"),
+            obs,
+        )
+    }
+
+    #[test]
+    fn file_sink_appends_and_dedups_across_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "vtld-sink-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("alerts.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let (emitted, dropped, _obs) = counters();
+        let (tx, rx) = channel();
+        let lines = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
+        tx.send(SinkMsg {
+            lines: lines.clone(),
+            recovered: false,
+        })
+        .expect("send");
+        drop(tx);
+        sink_loop(
+            rx,
+            SinkConfig {
+                out: Some(path.clone()),
+                tcp: None,
+            },
+            emitted.clone(),
+            dropped.clone(),
+        );
+        assert_eq!(emitted.value(), 2);
+        assert_eq!(dropped.value(), 0);
+
+        // A second sink over the same file (the recovery case) dedups
+        // replayed lines and appends only the genuinely new one.
+        let (tx, rx) = channel();
+        tx.send(SinkMsg {
+            lines: vec![lines[0].clone(), "{\"c\":3}".to_string()],
+            recovered: true,
+        })
+        .expect("send");
+        drop(tx);
+        sink_loop(
+            rx,
+            SinkConfig {
+                out: Some(path.clone()),
+                tcp: None,
+            },
+            emitted.clone(),
+            dropped.clone(),
+        );
+        assert_eq!(emitted.value(), 3, "one new line appended");
+        assert_eq!(dropped.value(), 1, "one replayed line deduped");
+        let contents = std::fs::read_to_string(&path).expect("read back");
+        let got: Vec<&str> = contents.lines().collect();
+        assert_eq!(got, vec!["{\"a\":1}", "{\"b\":2}", "{\"c\":3}"]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn tcp_sink_delivers_live_and_skips_recovered() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let reader = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut lines = Vec::new();
+            for line in BufReader::new(stream).lines() {
+                match line {
+                    Ok(line) => lines.push(line),
+                    Err(_) => break,
+                }
+            }
+            lines
+        });
+
+        let (emitted, dropped, _obs) = counters();
+        let (tx, rx) = channel();
+        tx.send(SinkMsg {
+            lines: vec!["{\"replayed\":true}".to_string()],
+            recovered: true,
+        })
+        .expect("send");
+        tx.send(SinkMsg {
+            lines: vec!["{\"live\":1}".to_string(), "{\"live\":2}".to_string()],
+            recovered: false,
+        })
+        .expect("send");
+        drop(tx);
+        sink_loop(
+            rx,
+            SinkConfig {
+                out: None,
+                tcp: Some(addr),
+            },
+            emitted.clone(),
+            dropped.clone(),
+        );
+        assert_eq!(emitted.value(), 2);
+        assert_eq!(dropped.value(), 1, "the replayed batch is skipped");
+        let got = reader.join().expect("reader thread");
+        assert_eq!(got, vec!["{\"live\":1}", "{\"live\":2}"]);
+    }
+
+    #[test]
+    fn tcp_sink_gives_up_after_bounded_retries() {
+        // A port nothing listens on: bind, take the port, drop the
+        // listener.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+
+        let (emitted, dropped, _obs) = counters();
+        let (tx, rx) = channel();
+        tx.send(SinkMsg {
+            lines: vec!["{\"x\":1}".to_string()],
+            recovered: false,
+        })
+        .expect("send");
+        drop(tx);
+        sink_loop(
+            rx,
+            SinkConfig {
+                out: None,
+                tcp: Some(addr),
+            },
+            emitted.clone(),
+            dropped.clone(),
+        );
+        assert_eq!(emitted.value(), 0);
+        assert_eq!(dropped.value(), 1, "undeliverable batches drop, not wedge");
+    }
+}
